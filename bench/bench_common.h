@@ -1,0 +1,115 @@
+#ifndef PRIX_BENCH_BENCH_COMMON_H_
+#define PRIX_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/swissprot_gen.h"
+#include "datagen/treebank_gen.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "twigstack/twig_stack.h"
+#include "vist/vist_index.h"
+#include "vist/vist_query.h"
+
+namespace prix::bench {
+
+/// The paper's Table 3 queries (identical XPath over the generated analogs).
+inline constexpr const char* kQ1 =
+    R"(//inproceedings[./author="Jim Gray"][./year="1990"])";
+inline constexpr const char* kQ2 = "//www[./editor]/url";
+inline constexpr const char* kQ3 =
+    R"(//title[text()="Semantic Analysis Patterns"])";
+inline constexpr const char* kQ4 = R"(//Entry[./Keyword="Rhizomelic"])";
+inline constexpr const char* kQ5 =
+    R"(//Entry/Ref[./Author="Mueller P"][./Author="Keller M"])";
+inline constexpr const char* kQ6 =
+    R"(//Entry[./Org="Piroplasmida"][.//Author]//from)";
+inline constexpr const char* kQ7 = "//S//NP/SYM";
+inline constexpr const char* kQ8 = "//NP[./RBR_OR_JJR]/PP";
+inline constexpr const char* kQ9 = "//NP/PP/NP[./NNS_OR_NN][./NN]";
+
+struct QuerySpec {
+  const char* id;
+  const char* xpath;
+  const char* dataset;  // "DBLP", "SWISSPROT", "TREEBANK"
+  size_t paper_matches;
+};
+
+/// All nine queries with the paper's match counts (Table 3).
+const std::vector<QuerySpec>& AllQueries();
+
+/// Scale factor from $PRIX_BENCH_SCALE (default 1.0).
+double ScaleFromEnv();
+
+DocumentCollection MakeDataset(const std::string& name, double scale);
+
+/// Outcome of one cold-cache query run.
+struct RunResult {
+  double seconds = 0;
+  uint64_t pages = 0;  ///< physical page reads (the paper's "Disk IO")
+  size_t matches = 0;
+  size_t docs = 0;
+  QueryStats prix_stats;          // engine-specific extras (when applicable)
+  VistQueryStats vist_stats;
+  TwigStackStats twig_stats;
+};
+
+/// One dataset with every engine built over a shared disk + 2000-page pool
+/// (Sec. 6.1 setup). Queries run against a cleared pool, emulating the
+/// paper's direct-I/O cold-cache measurements.
+class EngineSet {
+ public:
+  /// `engines` is a subset of "prix,vist,twigstack"; building only what a
+  /// bench needs keeps its setup time down.
+  EngineSet(const std::string& dataset_name, double scale,
+            const std::string& engines = "prix,vist,twigstack");
+  ~EngineSet();
+
+  Status Build();
+
+  Result<RunResult> RunPrix(
+      const std::string& xpath, bool use_maxgap = true,
+      QueryOptions::IndexChoice index = QueryOptions::IndexChoice::kAuto);
+  Result<RunResult> RunVist(const std::string& xpath);
+  Result<RunResult> RunTwigStack(const std::string& xpath, bool use_xb);
+  /// In-memory oracle count (ordered semantics), for result validation.
+  size_t OracleCount(const std::string& xpath);
+
+  DocumentCollection& collection() { return coll_; }
+  const std::string& name() const { return name_; }
+  BufferPool* pool() { return pool_.get(); }
+  const PrixIndexBuildStats& rp_stats() const { return rp_stats_; }
+  const PrixIndexBuildStats& ep_stats() const { return ep_stats_; }
+  const VistIndexBuildStats& vist_stats() const { return vist_stats_; }
+  PrixIndex* rp() { return rp_.get(); }
+  PrixIndex* ep() { return ep_.get(); }
+
+ private:
+  Status ColdStart();
+
+  std::string name_;
+  std::string engines_;
+  DocumentCollection coll_;
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<PrixIndex> rp_;
+  std::unique_ptr<PrixIndex> ep_;
+  std::unique_ptr<VistIndex> vist_;
+  std::unique_ptr<StreamStore> streams_;
+  std::unique_ptr<XbForest> forest_;
+  PrixIndexBuildStats rp_stats_;
+  PrixIndexBuildStats ep_stats_;
+  VistIndexBuildStats vist_stats_;
+};
+
+/// "0.123 secs" / "1234 pages" formatting used by the table benches.
+std::string Secs(double seconds);
+std::string PagesStr(uint64_t pages);
+
+}  // namespace prix::bench
+
+#endif  // PRIX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,40 @@
+// Regenerates Figure 6: elapsed time for queries Q1-Q9 across PRIX, ViST,
+// TwigStack, and TwigStackXB (the paper's bar chart, as a table).
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+int main() {
+  double scale = ScaleFromEnv();
+  std::printf("Figure 6: Elapsed time for XPath queries (seconds)\n");
+  std::printf("%-4s %-10s %12s %12s %12s %12s\n", "Id", "Dataset", "PRIX",
+              "ViST", "TwigStack", "TwigStackXB");
+  for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
+    EngineSet set(dataset, scale);
+    if (!set.Build().ok()) return 1;
+    for (const QuerySpec& spec : AllQueries()) {
+      if (std::strcmp(spec.dataset, dataset) != 0) continue;
+      auto prix_run = set.RunPrix(spec.xpath);
+      auto vist_run = set.RunVist(spec.xpath);
+      auto ts = set.RunTwigStack(spec.xpath, /*use_xb=*/false);
+      auto xb = set.RunTwigStack(spec.xpath, /*use_xb=*/true);
+      if (!prix_run.ok() || !vist_run.ok() || !ts.ok() || !xb.ok()) {
+        std::fprintf(stderr, "query %s failed\n", spec.id);
+        return 1;
+      }
+      std::printf("%-4s %-10s %12.4f %12.4f %12.4f %12.4f\n", spec.id,
+                  dataset, prix_run->seconds, vist_run->seconds, ts->seconds,
+                  xb->seconds);
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 6, log scale): PRIX fastest or tied on "
+      "every query; ViST slowest by 1-3 orders of magnitude except Q2; "
+      "TwigStackXB between PRIX and TwigStack.\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Micro-benchmarks (google-benchmark) for the substrates: Prüfer
+// transformation, B+-tree operations, and buffer-pool access paths.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "datagen/treebank_gen.h"
+#include "prufer/prufer.h"
+#include "storage/buffer_pool.h"
+
+namespace prix {
+namespace {
+
+// ---- Prüfer ----
+
+Document MakeTree(size_t n) {
+  TagDictionary dict;
+  Random rng(7);
+  Document doc(0);
+  std::vector<NodeId> nodes = {doc.AddRoot(0)};
+  while (doc.num_nodes() < n) {
+    nodes.push_back(
+        doc.AddChild(nodes[rng.Uniform(nodes.size())],
+                     static_cast<LabelId>(rng.Uniform(32))));
+  }
+  return doc;
+}
+
+void BM_PruferBuildLemma1(benchmark::State& state) {
+  Document doc = MakeTree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPruferSequences(doc));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PruferBuildLemma1)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PruferBuildSimulation(benchmark::State& state) {
+  Document doc = MakeTree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPruferSequencesBySimulation(doc));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PruferBuildSimulation)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PruferReconstruct(benchmark::State& state) {
+  Document doc = MakeTree(state.range(0));
+  PruferSequences seq = BuildPruferSequences(doc);
+  auto leaves = CollectLeaves(doc);
+  for (auto _ : state) {
+    auto rebuilt = ReconstructTree(seq, leaves);
+    benchmark::DoNotOptimize(rebuilt);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PruferReconstruct)->Arg(1000)->Arg(10000);
+
+// ---- B+-tree ----
+
+struct BtreeFixtureState {
+  std::string dir;
+  DiskManager disk;
+  std::unique_ptr<BufferPool> pool;
+
+  BtreeFixtureState() {
+    char tmpl[] = "/tmp/prix_microbench_XXXXXX";
+    PRIX_CHECK(mkdtemp(tmpl) != nullptr);
+    dir = tmpl;
+    PRIX_CHECK(disk.Open(dir + "/db").ok());
+    pool = std::make_unique<BufferPool>(&disk, 4096);
+  }
+  ~BtreeFixtureState() {
+    pool.reset();
+    std::string cmd = "rm -rf " + dir;
+    if (std::system(cmd.c_str()) != 0) {
+    }
+  }
+};
+
+void BM_BtreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BtreeFixtureState fx;
+    auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool.get());
+    PRIX_CHECK(tree.ok());
+    Random rng(3);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      (void)tree->Insert(rng.Next(), i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BtreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_BtreeGet(benchmark::State& state) {
+  BtreeFixtureState fx;
+  auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool.get());
+  PRIX_CHECK(tree.ok());
+  Random rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    uint64_t k = rng.Next();
+    if (tree->Insert(k, i).ok()) keys.push_back(k);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = tree->Get(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeGet)->Arg(100000);
+
+void BM_BtreeScan(benchmark::State& state) {
+  BtreeFixtureState fx;
+  auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool.get());
+  PRIX_CHECK(tree.ok());
+  for (uint64_t k = 0; k < 100000; ++k) {
+    PRIX_CHECK(tree->Insert(k, k).ok());
+  }
+  for (auto _ : state) {
+    auto it = tree->SeekToFirst();
+    PRIX_CHECK(it.ok());
+    uint64_t sum = 0;
+    while (it->Valid()) {
+      sum += it->value();
+      PRIX_CHECK(it->Next().ok());
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BtreeScan);
+
+// ---- Buffer pool ----
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  BtreeFixtureState fx;
+  auto page = fx.pool->NewPage();
+  PRIX_CHECK(page.ok());
+  PageId id = (*page)->page_id();
+  fx.pool->UnpinPage(id, true);
+  for (auto _ : state) {
+    auto p = fx.pool->FetchPage(id);
+    benchmark::DoNotOptimize(p);
+    fx.pool->UnpinPage(id, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  // Working set twice the pool size: every fetch misses and evicts.
+  char tmpl[] = "/tmp/prix_microbench_XXXXXX";
+  PRIX_CHECK(mkdtemp(tmpl) != nullptr);
+  std::string dir = tmpl;
+  DiskManager disk;
+  PRIX_CHECK(disk.Open(dir + "/db").ok());
+  BufferPool pool(&disk, 64);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 128; ++i) {
+    auto page = pool.NewPage();
+    PRIX_CHECK(page.ok());
+    ids.push_back((*page)->page_id());
+    pool.UnpinPage(ids.back(), true);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    PageId id = ids[(i += 65) % ids.size()];
+    auto p = pool.FetchPage(id);
+    benchmark::DoNotOptimize(p);
+    pool.UnpinPage(id, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::string cmd = "rm -rf " + dir;
+  if (std::system(cmd.c_str()) != 0) {
+  }
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+// ---- Whole-dataset transformation throughput ----
+
+void BM_TransformTreebank(benchmark::State& state) {
+  datagen::TreebankConfig config;
+  config.num_sentences = 500;
+  DocumentCollection coll = datagen::GenerateTreebank(config);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (const Document& doc : coll.documents) {
+      total += BuildPruferSequences(doc).lps.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * coll.TotalNodes());
+}
+BENCHMARK(BM_TransformTreebank);
+
+}  // namespace
+}  // namespace prix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Regenerates Table 2 (dataset statistics) for the generated analogs, plus
+// the per-index size statistics DESIGN.md calls out (including ViST's
+// prefix-label blowup).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+int main() {
+  double scale = ScaleFromEnv();
+  std::printf(
+      "Table 2: Datasets (synthetic analogs, scale %.2f; see DESIGN.md)\n",
+      scale);
+  std::printf("%-12s %12s %12s %12s %10s %12s\n", "Dataset", "Nodes",
+              "Elements", "Values", "Max-depth", "#Sequences");
+  for (const char* name : {"DBLP", "SWISSPROT", "TREEBANK"}) {
+    DocumentCollection coll = MakeDataset(name, scale);
+    size_t elements = 0, values = 0;
+    uint32_t max_depth = 0;
+    for (const Document& doc : coll.documents) {
+      elements += doc.CountElements();
+      values += doc.CountValues();
+      max_depth = std::max(max_depth, doc.MaxDepth());
+    }
+    std::printf("%-12s %12zu %12zu %12zu %10u %12zu\n", name,
+                coll.TotalNodes(), elements, values, max_depth,
+                coll.documents.size());
+  }
+
+  std::printf("\nIndex construction statistics\n");
+  std::printf("%-12s %14s %16s %14s %16s %18s\n", "Dataset", "RP trie",
+              "RP max-sharing", "EP trie", "ViST trie",
+              "ViST prefix-labels");
+  for (const char* name : {"DBLP", "SWISSPROT", "TREEBANK"}) {
+    EngineSet set(name, scale, "prix,vist");
+    if (!set.Build().ok()) return 1;
+    std::printf("%-12s %14llu %16llu %14llu %16llu %18llu\n", name,
+                (unsigned long long)set.rp_stats().trie_nodes,
+                (unsigned long long)set.rp_stats().max_path_sharing,
+                (unsigned long long)set.ep_stats().trie_nodes,
+                (unsigned long long)set.vist_stats().trie_nodes,
+                (unsigned long long)set.vist_stats().prefix_labels);
+  }
+  std::printf(
+      "\nPaper reference (Table 2): DBLP 134MB/3.3M elements/depth 6/328858"
+      " seqs; SWISSPROT 115MB/3.0M/5/50000; TREEBANK 86MB/2.4M/36/56385.\n");
+  return 0;
+}

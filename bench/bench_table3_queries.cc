@@ -1,0 +1,49 @@
+// Regenerates Table 3: the nine XPath queries and their twig-match counts,
+// cross-checked across PRIX, ViST, TwigStack/TwigStackXB, and the oracle.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+int main() {
+  double scale = ScaleFromEnv();
+  std::printf("Table 3: XPath queries and twig-match counts (scale %.2f)\n",
+              scale);
+  std::printf("%-4s %-58s %-10s %8s %8s %8s %8s %8s\n", "Id", "Query",
+              "Dataset", "paper", "oracle", "PRIX", "ViST", "TwigStk");
+  bool all_agree = true;
+  for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
+    EngineSet set(dataset, scale);
+    if (!set.Build().ok()) return 1;
+    for (const QuerySpec& spec : AllQueries()) {
+      if (std::strcmp(spec.dataset, dataset) != 0) continue;
+      size_t oracle = set.OracleCount(spec.xpath);
+      auto prix_run = set.RunPrix(spec.xpath);
+      auto vist_run = set.RunVist(spec.xpath);
+      auto twig_run = set.RunTwigStack(spec.xpath, /*use_xb=*/false);
+      auto xb_run = set.RunTwigStack(spec.xpath, /*use_xb=*/true);
+      if (!prix_run.ok() || !vist_run.ok() || !twig_run.ok() ||
+          !xb_run.ok()) {
+        std::fprintf(stderr, "query %s failed\n", spec.id);
+        return 1;
+      }
+      std::printf("%-4s %-58s %-10s %8zu %8zu %8zu %8zu %8zu\n", spec.id,
+                  spec.xpath, spec.dataset, spec.paper_matches, oracle,
+                  prix_run->matches, vist_run->matches, twig_run->matches);
+      all_agree &= prix_run->matches == oracle;
+      all_agree &= vist_run->matches == oracle;
+      all_agree &= twig_run->matches == oracle;
+      all_agree &= xb_run->matches == twig_run->matches;
+      all_agree &= oracle == spec.paper_matches;
+    }
+  }
+  std::printf(all_agree
+                  ? "\nAll engines agree with the oracle and the paper's "
+                    "Table 3 counts.\n"
+                  : "\nWARNING: engine disagreement detected!\n");
+  return all_agree ? 0 : 1;
+}

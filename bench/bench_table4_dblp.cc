@@ -1,0 +1,33 @@
+// Regenerates Table 4: DBLP — PRIX vs ViST (total time and disk I/O) for
+// queries Q1-Q3.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+int main() {
+  EngineSet set("DBLP", ScaleFromEnv(), "prix,vist");
+  if (!set.Build().ok()) return 1;
+  std::printf("Table 4: DBLP - PRIX vs ViST\n");
+  std::printf("%-6s %14s %14s %14s %14s\n", "Query", "PRIX time",
+              "PRIX IO", "ViST time", "ViST IO");
+  const char* ids[] = {"Q1", "Q2", "Q3"};
+  const char* queries[] = {kQ1, kQ2, kQ3};
+  for (int i = 0; i < 3; ++i) {
+    auto prix_run = set.RunPrix(queries[i]);
+    auto vist_run = set.RunVist(queries[i]);
+    if (!prix_run.ok() || !vist_run.ok()) return 1;
+    std::printf("%-6s %14s %14s %14s %14s\n", ids[i],
+                Secs(prix_run->seconds).c_str(),
+                PagesStr(prix_run->pages).c_str(),
+                Secs(vist_run->seconds).c_str(),
+                PagesStr(vist_run->pages).c_str());
+  }
+  std::printf(
+      "\nPaper (Table 4): Q1 1.48s/185p vs 15.28s/3543p; Q2 0.05s/7p vs "
+      "0.15s/15p; Q3 0.07s/9p vs 22.07s/2280p.\n");
+  return 0;
+}

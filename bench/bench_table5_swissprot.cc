@@ -1,0 +1,32 @@
+// Regenerates Table 5: SWISSPROT — PRIX vs ViST for queries Q4-Q6.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+int main() {
+  EngineSet set("SWISSPROT", ScaleFromEnv(), "prix,vist");
+  if (!set.Build().ok()) return 1;
+  std::printf("Table 5: SWISSPROT - PRIX vs ViST\n");
+  std::printf("%-6s %14s %14s %14s %14s\n", "Query", "PRIX time",
+              "PRIX IO", "ViST time", "ViST IO");
+  const char* ids[] = {"Q4", "Q5", "Q6"};
+  const char* queries[] = {kQ4, kQ5, kQ6};
+  for (int i = 0; i < 3; ++i) {
+    auto prix_run = set.RunPrix(queries[i]);
+    auto vist_run = set.RunVist(queries[i]);
+    if (!prix_run.ok() || !vist_run.ok()) return 1;
+    std::printf("%-6s %14s %14s %14s %14s\n", ids[i],
+                Secs(prix_run->seconds).c_str(),
+                PagesStr(prix_run->pages).c_str(),
+                Secs(vist_run->seconds).c_str(),
+                PagesStr(vist_run->pages).c_str());
+  }
+  std::printf(
+      "\nPaper (Table 5): Q4 0.29s/23p vs 9.52s/1757p; Q5 0.36s/49p vs "
+      "131.67s/128150p; Q6 0.75s/86p vs 39.12s/6967p.\n");
+  return 0;
+}

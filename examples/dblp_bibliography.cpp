@@ -1,0 +1,98 @@
+// Bibliography search over a DBLP-like collection: the workload the paper's
+// introduction motivates. Demonstrates value queries on the EPIndex,
+// structure-only queries on the RPIndex, ordered vs unordered twig
+// matching, and the execution statistics the engine exposes.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/dblp_gen.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+
+using namespace prix;
+
+int main() {
+  // A small bibliography (5000 records) with the paper's planted answers.
+  datagen::DblpConfig config;
+  config.num_records = 5000;
+  DocumentCollection coll = datagen::GenerateDblp(config);
+  std::printf("Generated %zu bibliography records (%zu tree nodes).\n\n",
+              coll.documents.size(), coll.TotalNodes());
+
+  char dir[] = "/tmp/prix_dblp_example_XXXXXX";
+  if (mkdtemp(dir) == nullptr) return 1;
+  DiskManager disk;
+  if (!disk.Open(std::string(dir) + "/db").ok()) return 1;
+  BufferPool pool(&disk, 2000);
+
+  PrixIndexBuildStats rp_stats, ep_stats;
+  auto rp = PrixIndex::Build(coll.documents, &pool, PrixIndexOptions{},
+                             &rp_stats);
+  PrixIndexOptions ep_options;
+  ep_options.extended = true;
+  auto ep = PrixIndex::Build(coll.documents, &pool, ep_options, &ep_stats);
+  if (!rp.ok() || !ep.ok()) return 1;
+  std::printf(
+      "RPIndex: %llu trie nodes (best path shared by %llu sequences)\n"
+      "EPIndex: %llu trie nodes\n\n",
+      (unsigned long long)rp_stats.trie_nodes,
+      (unsigned long long)rp_stats.max_path_sharing,
+      (unsigned long long)ep_stats.trie_nodes);
+
+  QueryProcessor qp(rp->get(), ep->get());
+
+  struct Demo {
+    const char* label;
+    const char* xpath;
+  };
+  const Demo demos[] = {
+      {"Author+year lookup (paper Q1)",
+       R"(//inproceedings[./author="Jim Gray"][./year="1990"])"},
+      {"All Jim Gray inproceedings",
+       R"(//inproceedings[./author="Jim Gray"])"},
+      {"Structure-only twig (paper Q2)", "//www[./editor]/url"},
+      {"Exact title lookup (paper Q3)",
+       R"(//title[text()="Semantic Analysis Patterns"])"},
+      {"Descendant axis", "//article//year"},
+  };
+  for (const Demo& demo : demos) {
+    if (!pool.Clear().ok()) return 1;
+    pool.ResetStats();
+    auto result = qp.ExecuteXPath(demo.xpath, &coll.dictionary);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", demo.label,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n  %s\n", demo.label, demo.xpath);
+    std::printf(
+        "  %zu matches in %zu docs | index: %s | range queries %llu, "
+        "trie nodes scanned %llu, candidates %llu, disk %llu pages\n\n",
+        result->matches.size(), result->docs.size(),
+        result->stats.used_extended_index ? "EP" : "RP",
+        (unsigned long long)result->stats.matcher.range_queries,
+        (unsigned long long)result->stats.matcher.nodes_scanned,
+        (unsigned long long)result->stats.refine.candidates,
+        (unsigned long long)pool.stats().physical_reads);
+  }
+
+  // Ordered vs unordered twig semantics (Sec. 5.7): the year branch written
+  // BEFORE the author branch does not occur in document order, so ordered
+  // matching finds nothing and unordered matching recovers the records.
+  const char* swapped = R"(//inproceedings[./year="1990"][./author="Jim Gray"])";
+  QueryOptions ordered;
+  QueryOptions unordered;
+  unordered.semantics = MatchSemantics::kUnorderedInjective;
+  auto r1 = qp.ExecuteXPath(swapped, &coll.dictionary, ordered);
+  auto r2 = qp.ExecuteXPath(swapped, &coll.dictionary, unordered);
+  if (!r1.ok() || !r2.ok()) return 1;
+  std::printf(
+      "Branch order demo: %s\n  ordered semantics: %zu matches; unordered "
+      "(arrangement enumeration over %llu arrangements): %zu matches\n",
+      swapped, r1->matches.size(),
+      (unsigned long long)r2->stats.arrangements, r2->matches.size());
+
+  std::string cleanup = "rm -rf " + std::string(dir);
+  return std::system(cleanup.c_str()) == 0 ? 0 : 1;
+}

@@ -1,0 +1,506 @@
+#ifndef PRIX_BTREE_BTREE_H_
+#define PRIX_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace prix {
+
+/// Disk-based B+-tree over the buffer pool, templated on trivially copyable
+/// key/value types. This is the index structure behind PRIX's Trie-Symbol and
+/// Docid indexes and ViST's D-Ancestorship index (the paper used GiST
+/// B+-trees, Sec. 6).
+///
+/// - Keys are unique; callers needing duplicates append a sequence number to
+///   the key (all in-tree composite keys do this).
+/// - `Compare` is a strict weak order over Key.
+/// - Supported operations: Insert, Get, Delete (lazy, no rebalancing),
+///   ordered iteration via Iterator with Seek/Next.
+///
+/// Page layout (8 KB pages):
+///   byte 0      : is_leaf flag
+///   byte 1      : unused
+///   bytes 2..3  : entry count (uint16)
+///   bytes 4..7  : leaf: next-leaf PageId; internal: leftmost child PageId
+///   bytes 8..   : packed entries
+/// Leaf entries are (Key, Value); internal entries are (Key, PageId child)
+/// where child holds keys >= Key.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class BPlusTree {
+  static_assert(std::is_trivially_copyable_v<Key>);
+  static_assert(std::is_trivially_copyable_v<Value>);
+
+ public:
+  /// Persistent tree metadata, kept in the tree's meta page.
+  struct Meta {
+    PageId root = kInvalidPage;
+    uint64_t num_entries = 0;
+    uint32_t height = 0;
+  };
+
+  BPlusTree() = default;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  /// Creates an empty tree: allocates a meta page and an empty root leaf.
+  static Result<BPlusTree> Create(BufferPool* pool, Compare cmp = Compare()) {
+    BPlusTree tree;
+    tree.pool_ = pool;
+    tree.cmp_ = cmp;
+    PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool->NewPage());
+    tree.meta_page_id_ = meta_page->page_id();
+    pool->UnpinPage(tree.meta_page_id_, /*dirty=*/true);
+    PRIX_ASSIGN_OR_RETURN(Page * root, pool->NewPage());
+    InitNode(root, /*is_leaf=*/true);
+    tree.meta_.root = root->page_id();
+    tree.meta_.height = 1;
+    pool->UnpinPage(root->page_id(), /*dirty=*/true);
+    PRIX_RETURN_NOT_OK(tree.SaveMeta());
+    return tree;
+  }
+
+  /// Opens an existing tree whose meta page is `meta_page_id`.
+  static Result<BPlusTree> Open(BufferPool* pool, PageId meta_page_id,
+                                Compare cmp = Compare()) {
+    BPlusTree tree;
+    tree.pool_ = pool;
+    tree.cmp_ = cmp;
+    tree.meta_page_id_ = meta_page_id;
+    PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool->FetchPage(meta_page_id));
+    std::memcpy(&tree.meta_, meta_page->data(), sizeof(Meta));
+    pool->UnpinPage(meta_page_id, /*dirty=*/false);
+    if (tree.meta_.root == kInvalidPage) {
+      return Status::Corruption("B+-tree meta page has no root");
+    }
+    return tree;
+  }
+
+  PageId meta_page_id() const { return meta_page_id_; }
+  uint64_t num_entries() const { return meta_.num_entries; }
+  uint32_t height() const { return meta_.height; }
+
+  /// Inserts (key, value). Fails with AlreadyExists on duplicate key.
+  Status Insert(const Key& key, const Value& value) {
+    SplitResult split;
+    PRIX_RETURN_NOT_OK(InsertRecursive(meta_.root, key, value, &split));
+    if (split.happened) {
+      // Grow a new root: children are the old root and the split sibling.
+      PRIX_ASSIGN_OR_RETURN(Page * new_root, pool_->NewPage());
+      InitNode(new_root, /*is_leaf=*/false);
+      SetExtra(new_root, meta_.root);
+      SetCount(new_root, 1);
+      WriteInternalEntry(new_root, 0, split.separator, split.right);
+      meta_.root = new_root->page_id();
+      ++meta_.height;
+      pool_->UnpinPage(new_root->page_id(), /*dirty=*/true);
+    }
+    ++meta_.num_entries;
+    return SaveMeta();
+  }
+
+  /// Point lookup. Returns NotFound if absent.
+  Result<Value> Get(const Key& key) {
+    PageId node = meta_.root;
+    while (true) {
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      PageGuard guard(pool_, page);
+      if (IsLeaf(page)) {
+        int idx = LeafLowerBound(page, key);
+        if (idx < Count(page)) {
+          Key k;
+          Value v;
+          ReadLeafEntry(page, idx, &k, &v);
+          if (!cmp_(key, k) && !cmp_(k, key)) return v;
+        }
+        return Status::NotFound("key not in tree");
+      }
+      node = ChildForKey(page, key);
+    }
+  }
+
+  /// Removes `key` from its leaf (no rebalancing — deletes are rare in every
+  /// workload this library serves, so space is reclaimed only by rebuild).
+  /// Returns NotFound if absent.
+  Status Delete(const Key& key) {
+    PageId node = meta_.root;
+    while (true) {
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      PageGuard guard(pool_, page);
+      if (IsLeaf(page)) {
+        int idx = LeafLowerBound(page, key);
+        int count = Count(page);
+        if (idx >= count) return Status::NotFound("key not in tree");
+        Key k;
+        Value v;
+        ReadLeafEntry(page, idx, &k, &v);
+        if (cmp_(key, k) || cmp_(k, key)) {
+          return Status::NotFound("key not in tree");
+        }
+        // Shift the tail left by one entry.
+        char* base = page->data() + kHeaderSize + idx * kLeafStride;
+        std::memmove(base, base + kLeafStride,
+                     (count - idx - 1) * kLeafStride);
+        SetCount(page, count - 1);
+        guard.MarkDirty();
+        --meta_.num_entries;
+        return SaveMeta();
+      }
+      node = ChildForKey(page, key);
+    }
+  }
+
+  /// Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+
+    bool Valid() const { return static_cast<bool>(guard_); }
+    const Key& key() const { return key_; }
+    const Value& value() const { return value_; }
+
+    /// Advances to the next entry; invalidates at the end.
+    Status Next() {
+      PRIX_DCHECK(Valid());
+      ++index_;
+      return LoadCurrent();
+    }
+
+   private:
+    friend class BPlusTree;
+    Iterator(BPlusTree* tree, PageGuard guard, int index)
+        : tree_(tree), guard_(std::move(guard)), index_(index) {}
+
+    /// Positions on (leaf_, index_), hopping to the next leaf as needed.
+    Status LoadCurrent() {
+      while (guard_) {
+        if (index_ < Count(guard_.get())) {
+          ReadLeafEntry(guard_.get(), index_, &key_, &value_);
+          return Status::OK();
+        }
+        PageId next = Extra(guard_.get());
+        guard_.Release();
+        if (next == kInvalidPage) return Status::OK();  // end
+        PRIX_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(next));
+        guard_ = PageGuard(tree_->pool_, page);
+        index_ = 0;
+      }
+      return Status::OK();
+    }
+
+    BPlusTree* tree_ = nullptr;
+    PageGuard guard_;
+    int index_ = 0;
+    Key key_{};
+    Value value_{};
+  };
+
+  /// Iterator positioned at the first entry with key >= `key`.
+  Result<Iterator> Seek(const Key& key) {
+    PageId node = meta_.root;
+    while (true) {
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      if (IsLeaf(page)) {
+        Iterator it(this, PageGuard(pool_, page), LeafLowerBound(page, key));
+        PRIX_RETURN_NOT_OK(it.LoadCurrent());
+        return it;
+      }
+      PageId child = ChildForKey(page, key);
+      pool_->UnpinPage(node, /*dirty=*/false);
+      node = child;
+    }
+  }
+
+  /// Iterator positioned at the smallest entry.
+  Result<Iterator> SeekToFirst() {
+    PageId node = meta_.root;
+    while (true) {
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      if (IsLeaf(page)) {
+        Iterator it(this, PageGuard(pool_, page), 0);
+        PRIX_RETURN_NOT_OK(it.LoadCurrent());
+        return it;
+      }
+      PageId child = Extra(page);  // leftmost child
+      pool_->UnpinPage(node, /*dirty=*/false);
+      node = child;
+    }
+  }
+
+  // Exposed for tests.
+  static constexpr int LeafCapacity() { return kLeafCapacity; }
+  static constexpr int InternalCapacity() { return kInternalCapacity; }
+
+ private:
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kLeafStride = sizeof(Key) + sizeof(Value);
+  static constexpr size_t kInternalStride = sizeof(Key) + sizeof(PageId);
+  static constexpr int kLeafCapacity =
+      static_cast<int>((kPageSize - kHeaderSize) / kLeafStride);
+  static constexpr int kInternalCapacity =
+      static_cast<int>((kPageSize - kHeaderSize) / kInternalStride);
+  static_assert(kLeafCapacity >= 4, "key/value too large for a page");
+  static_assert(kInternalCapacity >= 4, "key too large for a page");
+
+  struct SplitResult {
+    bool happened = false;
+    Key separator{};
+    PageId right = kInvalidPage;
+  };
+
+  // ---- node accessors (memcpy-based to sidestep alignment issues) ----
+  static void InitNode(Page* page, bool is_leaf) {
+    std::memset(page->data(), 0, kHeaderSize);
+    page->data()[0] = is_leaf ? 1 : 0;
+    PageId invalid = kInvalidPage;
+    std::memcpy(page->data() + 4, &invalid, sizeof(PageId));
+  }
+  static bool IsLeaf(const Page* page) { return page->data()[0] == 1; }
+  static int Count(const Page* page) {
+    uint16_t c;
+    std::memcpy(&c, page->data() + 2, sizeof(c));
+    return c;
+  }
+  static void SetCount(Page* page, int count) {
+    uint16_t c = static_cast<uint16_t>(count);
+    std::memcpy(page->data() + 2, &c, sizeof(c));
+  }
+  /// Leaf: next-leaf pointer. Internal: leftmost child.
+  static PageId Extra(const Page* page) {
+    PageId id;
+    std::memcpy(&id, page->data() + 4, sizeof(id));
+    return id;
+  }
+  static void SetExtra(Page* page, PageId id) {
+    std::memcpy(page->data() + 4, &id, sizeof(id));
+  }
+  static void ReadLeafEntry(const Page* page, int idx, Key* key, Value* val) {
+    const char* base = page->data() + kHeaderSize + idx * kLeafStride;
+    std::memcpy(key, base, sizeof(Key));
+    std::memcpy(val, base + sizeof(Key), sizeof(Value));
+  }
+  static void WriteLeafEntry(Page* page, int idx, const Key& key,
+                             const Value& val) {
+    char* base = page->data() + kHeaderSize + idx * kLeafStride;
+    std::memcpy(base, &key, sizeof(Key));
+    std::memcpy(base + sizeof(Key), &val, sizeof(Value));
+  }
+  static void ReadInternalEntry(const Page* page, int idx, Key* key,
+                                PageId* child) {
+    const char* base = page->data() + kHeaderSize + idx * kInternalStride;
+    std::memcpy(key, base, sizeof(Key));
+    std::memcpy(child, base + sizeof(Key), sizeof(PageId));
+  }
+  static void WriteInternalEntry(Page* page, int idx, const Key& key,
+                                 PageId child) {
+    char* base = page->data() + kHeaderSize + idx * kInternalStride;
+    std::memcpy(base, &key, sizeof(Key));
+    std::memcpy(base + sizeof(Key), &child, sizeof(PageId));
+  }
+
+  /// First index whose key is >= `key` in a leaf.
+  int LeafLowerBound(const Page* page, const Key& key) const {
+    int lo = 0, hi = Count(page);
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      Key k;
+      Value v;
+      ReadLeafEntry(page, mid, &k, &v);
+      if (cmp_(k, key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Child page to descend into for `key`: entries hold keys >= separator,
+  /// so take the last entry whose separator is <= key, else leftmost child.
+  PageId ChildForKey(const Page* page, const Key& key) const {
+    int lo = 0, hi = Count(page);
+    // upper_bound over separators
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      Key k;
+      PageId c;
+      ReadInternalEntry(page, mid, &k, &c);
+      if (cmp_(key, k)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (lo == 0) return Extra(page);
+    Key k;
+    PageId c;
+    ReadInternalEntry(page, lo - 1, &k, &c);
+    return c;
+  }
+
+  Status SaveMeta() {
+    PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool_->FetchPage(meta_page_id_));
+    std::memcpy(meta_page->data(), &meta_, sizeof(Meta));
+    pool_->UnpinPage(meta_page_id_, /*dirty=*/true);
+    return Status::OK();
+  }
+
+  Status InsertRecursive(PageId node, const Key& key, const Value& value,
+                         SplitResult* split) {
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+    PageGuard guard(pool_, page);
+    if (IsLeaf(page)) {
+      return InsertIntoLeaf(page, &guard, key, value, split);
+    }
+    PageId child = ChildForKey(page, key);
+    SplitResult child_split;
+    {
+      // Release the parent pin during the recursive descent to keep the
+      // pinned set small (depth is re-fetched only on split).
+      guard.Release();
+      PRIX_RETURN_NOT_OK(InsertRecursive(child, key, value, &child_split));
+    }
+    if (!child_split.happened) {
+      split->happened = false;
+      return Status::OK();
+    }
+    PRIX_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    guard = PageGuard(pool_, page);
+    return InsertIntoInternal(page, &guard, child_split.separator,
+                              child_split.right, split);
+  }
+
+  Status InsertIntoLeaf(Page* page, PageGuard* guard, const Key& key,
+                        const Value& value, SplitResult* split) {
+    int idx = LeafLowerBound(page, key);
+    int count = Count(page);
+    if (idx < count) {
+      Key k;
+      Value v;
+      ReadLeafEntry(page, idx, &k, &v);
+      if (!cmp_(key, k) && !cmp_(k, key)) {
+        return Status::AlreadyExists("duplicate key in B+-tree");
+      }
+    }
+    if (count < kLeafCapacity) {
+      char* base = page->data() + kHeaderSize + idx * kLeafStride;
+      std::memmove(base + kLeafStride, base, (count - idx) * kLeafStride);
+      WriteLeafEntry(page, idx, key, value);
+      SetCount(page, count + 1);
+      guard->MarkDirty();
+      split->happened = false;
+      return Status::OK();
+    }
+    // Split: left keeps the lower half, right gets the rest.
+    PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
+    PageGuard right_guard(pool_, right);
+    InitNode(right, /*is_leaf=*/true);
+    int left_count = (count + 1) / 2;
+    int right_count = count - left_count;
+    std::memcpy(right->data() + kHeaderSize,
+                page->data() + kHeaderSize + left_count * kLeafStride,
+                right_count * kLeafStride);
+    SetCount(right, right_count);
+    SetCount(page, left_count);
+    SetExtra(right, Extra(page));
+    SetExtra(page, right->page_id());
+    guard->MarkDirty();
+    right_guard.MarkDirty();
+    // Insert into the proper half.
+    Key right_first;
+    Value unused;
+    ReadLeafEntry(right, 0, &right_first, &unused);
+    SplitResult ignore;
+    if (cmp_(key, right_first)) {
+      PRIX_RETURN_NOT_OK(InsertIntoLeaf(page, guard, key, value, &ignore));
+    } else {
+      PRIX_RETURN_NOT_OK(
+          InsertIntoLeaf(right, &right_guard, key, value, &ignore));
+    }
+    PRIX_DCHECK(!ignore.happened);
+    split->happened = true;
+    ReadLeafEntry(right, 0, &split->separator, &unused);
+    split->right = right->page_id();
+    return Status::OK();
+  }
+
+  Status InsertIntoInternal(Page* page, PageGuard* guard, const Key& sep,
+                            PageId new_child, SplitResult* split) {
+    int count = Count(page);
+    // Position: first entry with separator > sep.
+    int lo = 0, hi = count;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      Key k;
+      PageId c;
+      ReadInternalEntry(page, mid, &k, &c);
+      if (cmp_(sep, k)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    int idx = lo;
+    if (count < kInternalCapacity) {
+      char* base = page->data() + kHeaderSize + idx * kInternalStride;
+      std::memmove(base + kInternalStride, base,
+                   (count - idx) * kInternalStride);
+      WriteInternalEntry(page, idx, sep, new_child);
+      SetCount(page, count + 1);
+      guard->MarkDirty();
+      split->happened = false;
+      return Status::OK();
+    }
+    // Split the internal node. Gather entries (including the new one) into a
+    // scratch array, then redistribute around the median.
+    struct Entry {
+      Key key;
+      PageId child;
+    };
+    std::vector<Entry> entries(count + 1);
+    for (int i = 0; i < count; ++i) {
+      ReadInternalEntry(page, i, &entries[i + (i >= idx ? 1 : 0)].key,
+                        &entries[i + (i >= idx ? 1 : 0)].child);
+    }
+    entries[idx] = Entry{sep, new_child};
+    int total = count + 1;
+    int mid = total / 2;  // entries[mid] moves up
+    PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
+    PageGuard right_guard(pool_, right);
+    InitNode(right, /*is_leaf=*/false);
+    // Left keeps entries [0, mid); right gets (mid, total) with leftmost
+    // child = entries[mid].child.
+    SetCount(page, mid);
+    for (int i = 0; i < mid; ++i) {
+      WriteInternalEntry(page, i, entries[i].key, entries[i].child);
+    }
+    SetExtra(right, entries[mid].child);
+    SetCount(right, total - mid - 1);
+    for (int i = mid + 1; i < total; ++i) {
+      WriteInternalEntry(right, i - mid - 1, entries[i].key,
+                         entries[i].child);
+    }
+    guard->MarkDirty();
+    right_guard.MarkDirty();
+    split->happened = true;
+    split->separator = entries[mid].key;
+    split->right = right->page_id();
+    return Status::OK();
+  }
+
+  BufferPool* pool_ = nullptr;
+  Compare cmp_{};
+  PageId meta_page_id_ = kInvalidPage;
+  Meta meta_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_BTREE_BTREE_H_

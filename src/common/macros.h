@@ -1,0 +1,44 @@
+#ifndef PRIX_COMMON_MACROS_H_
+#define PRIX_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Propagates a non-OK Status from the enclosing function.
+#define PRIX_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::prix::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define PRIX_CONCAT_IMPL(x, y) x##y
+#define PRIX_CONCAT(x, y) PRIX_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define PRIX_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto PRIX_CONCAT(_result_, __LINE__) = (rexpr);                 \
+  if (!PRIX_CONCAT(_result_, __LINE__).ok())                      \
+    return PRIX_CONCAT(_result_, __LINE__).status();              \
+  lhs = std::move(PRIX_CONCAT(_result_, __LINE__)).ValueOrDie()
+
+/// Fatal invariant check, active in all build types. Database-internal
+/// corruption is never worth limping past.
+#define PRIX_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PRIX_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define PRIX_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define PRIX_DCHECK(cond) PRIX_CHECK(cond)
+#endif
+
+#endif  // PRIX_COMMON_MACROS_H_

@@ -1,0 +1,57 @@
+#ifndef PRIX_COMMON_RESULT_H_
+#define PRIX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace prix {
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+/// A default-constructed Result is an Internal error ("uninitialized").
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors arrow::Result.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status cannot carry a Result value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Requires ok().
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_COMMON_RESULT_H_

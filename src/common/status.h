@@ -1,0 +1,99 @@
+#ifndef PRIX_COMMON_STATUS_H_
+#define PRIX_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace prix {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIoError = 2,
+  kNotFound = 3,
+  kCorruption = 4,
+  kOutOfRange = 5,
+  kParseError = 6,
+  kAlreadyExists = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+  kNotImplemented = 10,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style operation outcome. An OK status carries no allocation;
+/// error statuses carry a code and a message. Statuses are cheap to move and
+/// cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK statuses.
+  std::string_view message() const {
+    return ok() ? std::string_view() : std::string_view(state_->msg);
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_COMMON_STATUS_H_

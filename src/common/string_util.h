@@ -1,0 +1,29 @@
+#ifndef PRIX_COMMON_STRING_UTIL_H_
+#define PRIX_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prix {
+
+/// Splits `s` on `delim`; empty pieces are kept.
+std::vector<std::string_view> SplitString(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Formats a byte count as "12.3 MB" style text.
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace prix
+
+#endif  // PRIX_COMMON_STRING_UTIL_H_

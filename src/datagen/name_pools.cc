@@ -1,0 +1,89 @@
+#include "datagen/name_pools.h"
+
+namespace prix::datagen {
+
+namespace {
+
+const char* const kFirstInitials = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+const char* const kSurnames[] = {
+    "Smith",  "Chen",   "Garcia", "Kumar",  "Tanaka", "Muller",
+    "Rossi",  "Novak",  "Silva",  "Kim",    "Ivanov", "Dubois",
+    "Larsen", "Kowalski", "Okafor", "Haddad", "Nguyen", "OBrien",
+    "Schmidt", "Moreau",
+};
+
+const char* const kTitleWords[] = {
+    "efficient", "scalable",  "adaptive", "distributed", "incremental",
+    "semantic",  "temporal",  "spatial",  "relational",  "parallel",
+    "indexing",  "querying",  "mining",   "processing",  "optimization",
+    "databases", "streams",   "patterns", "structures",  "algorithms",
+};
+
+const char* const kVenueWords[] = {
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM", "PODS", "WWW", "KDD",
+};
+
+const char* const kKeywordWords[] = {
+    "Hydrolase",  "Transferase", "Kinase",     "Receptor",  "Membrane",
+    "Transport",  "Signal",      "Zinc",       "Repeat",    "Glycoprotein",
+    "Oxidoreductase", "Ligase",  "Isomerase",  "Chaperone", "Ribosomal",
+};
+
+const char* const kOrganisms[] = {
+    "Escherichia",  "Saccharomyces", "Drosophila", "Arabidopsis",
+    "Homo",         "Mus",           "Rattus",     "Bacillus",
+    "Plasmodium",   "Caenorhabditis", "Danio",     "Xenopus",
+};
+
+}  // namespace
+
+std::string AuthorName(size_t i) {
+  std::string out(1, kFirstInitials[i % 26]);
+  out += ". ";
+  out += kSurnames[(i / 26) % (sizeof(kSurnames) / sizeof(kSurnames[0]))];
+  out += std::to_string(i / (26 * (sizeof(kSurnames) / sizeof(kSurnames[0]))));
+  return out;
+}
+
+std::string Title(Random& rng, size_t words) {
+  std::string out;
+  constexpr size_t kPool = sizeof(kTitleWords) / sizeof(kTitleWords[0]);
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kTitleWords[rng.Uniform(kPool)];
+  }
+  out += ' ';
+  out += std::to_string(rng.Uniform(100000));
+  return out;
+}
+
+std::string Venue(size_t i) {
+  constexpr size_t kPool = sizeof(kVenueWords) / sizeof(kVenueWords[0]);
+  return std::string(kVenueWords[i % kPool]) + " " +
+         std::to_string(1970 + (i / kPool) % 34);
+}
+
+std::string Keyword(size_t i) {
+  constexpr size_t kPool = sizeof(kKeywordWords) / sizeof(kKeywordWords[0]);
+  return std::string(kKeywordWords[i % kPool]) + std::to_string(i / kPool);
+}
+
+std::string Organism(size_t i) {
+  constexpr size_t kPool = sizeof(kOrganisms) / sizeof(kOrganisms[0]);
+  return std::string(kOrganisms[i % kPool]) + " sp" +
+         std::to_string(i / kPool);
+}
+
+std::string EncryptedValue(Random& rng) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out = "enc:";
+  for (int i = 0; i < 12; ++i) out += kHex[rng.Uniform(16)];
+  return out;
+}
+
+std::string Year(Random& rng) {
+  return std::to_string(1970 + rng.Uniform(34));
+}
+
+}  // namespace prix::datagen

@@ -1,0 +1,37 @@
+#ifndef PRIX_DATAGEN_NAME_POOLS_H_
+#define PRIX_DATAGEN_NAME_POOLS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace prix::datagen {
+
+/// Deterministic synthetic value pools for the generated datasets. Index i
+/// always yields the same string, so planted query answers are stable.
+
+/// "F. Lastname<i>"-style author name.
+std::string AuthorName(size_t i);
+
+/// Paper/book title of `words` pseudo-words.
+std::string Title(Random& rng, size_t words);
+
+/// Conference/journal venue name.
+std::string Venue(size_t i);
+
+/// Protein keyword.
+std::string Keyword(size_t i);
+
+/// Organism name.
+std::string Organism(size_t i);
+
+/// Opaque token standing in for TREEBANK's encrypted values.
+std::string EncryptedValue(Random& rng);
+
+/// Year as a string in [1970, 2003].
+std::string Year(Random& rng);
+
+}  // namespace prix::datagen
+
+#endif  // PRIX_DATAGEN_NAME_POOLS_H_

@@ -1,0 +1,190 @@
+#include "naive/naive_matcher.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace prix {
+
+ParentArrayMatcher::ParentArrayMatcher(const std::vector<uint32_t>& parent,
+                                       const std::vector<LabelId>& label,
+                                       uint32_t n)
+    : parent_(parent), label_(label), n_(n) {
+  PRIX_CHECK(parent_.size() >= n_ + 1);
+  PRIX_CHECK(label_.size() >= n_ + 1);
+  depth_.assign(n_ + 1, 0);
+  // Parents have larger postorder numbers, so a descending pass suffices.
+  for (uint32_t v = n_; v >= 1; --v) {
+    if (v == n_) {
+      depth_[v] = 0;
+    } else {
+      depth_[v] = depth_[parent_[v]] + 1;
+    }
+    if (v == 1) break;
+  }
+}
+
+namespace {
+
+/// Steps `k` edges up from `v`; returns 0 when the walk leaves the tree.
+uint32_t ClimbExact(const std::vector<uint32_t>& parent, uint32_t root,
+                    uint32_t v, uint32_t k) {
+  for (uint32_t i = 0; i < k; ++i) {
+    if (v == root) return 0;
+    v = parent[v];
+  }
+  return v;
+}
+
+struct SearchState {
+  const EffectiveTwig* twig;
+  const std::vector<uint32_t>* parent;
+  const std::vector<LabelId>* label;
+  const std::vector<uint32_t>* depth;
+  uint32_t n;
+  MatchSemantics semantics;
+  std::vector<uint32_t> preorder;              // twig nodes in assignment order
+  std::vector<uint32_t> image;                 // effective node -> data node
+  std::vector<std::vector<uint32_t>> results;  // completed images
+};
+
+bool LabelOk(const SearchState& s, uint32_t twig_node, uint32_t data_node) {
+  if (s.twig->is_star(twig_node)) return true;
+  return s.twig->node(twig_node).label == (*s.label)[data_node];
+}
+
+void Recurse(SearchState& s, size_t idx) {
+  if (idx == s.preorder.size()) {
+    s.results.push_back(s.image);
+    return;
+  }
+  uint32_t tnode = s.preorder[idx];
+  const EffectiveTwig::Node& tn = s.twig->node(tnode);
+  uint32_t p_img = s.image[tn.parent];
+  const EdgeSpec edge = tn.edge;
+  // Candidates: nodes in p_img's subtree at the right depth. Postorder
+  // subtree membership: v is in p_img's subtree iff p_img is on v's parent
+  // chain; enumerate by scanning the contiguous postorder range of the
+  // subtree instead. The subtree of node p occupies postorder numbers
+  // [p - size(p) + 1, p]; sizes are not precomputed, so walk candidates
+  // v < p_img and test the parent chain (documents are small).
+  for (uint32_t v = 1; v < p_img; ++v) {
+    if (!LabelOk(s, tnode, v)) continue;
+    uint32_t dd = (*s.depth)[v];
+    uint32_t dp = (*s.depth)[p_img];
+    if (dd <= dp) continue;
+    uint32_t dist = dd - dp;
+    bool edge_ok =
+        edge.exact ? dist == edge.min_edges : dist >= edge.min_edges;
+    if (!edge_ok) continue;
+    // Confirm ancestry.
+    if (ClimbExact(*s.parent, s.n, v, dist) != p_img) continue;
+    if (s.semantics != MatchSemantics::kStandard) {
+      // Injectivity (and for kOrdered, order) checked incrementally against
+      // already-assigned twig nodes.
+      bool ok = true;
+      for (size_t j = 0; j < idx && ok; ++j) {
+        uint32_t other = s.preorder[j];
+        if (s.image[other] == v) ok = false;
+      }
+      if (!ok) continue;
+    }
+    s.image[tnode] = v;
+    Recurse(s, idx + 1);
+  }
+}
+
+/// Global postorder-order preservation check for kOrdered.
+bool OrderPreserved(const EffectiveTwig& twig,
+                    const std::vector<uint32_t>& image) {
+  std::vector<uint32_t> tw_post = twig.ComputePostorder();
+  // For every pair a, b: tw_post[a] < tw_post[b] iff image[a] < image[b].
+  for (uint32_t a = 0; a < twig.num_nodes(); ++a) {
+    for (uint32_t b = a + 1; b < twig.num_nodes(); ++b) {
+      if ((tw_post[a] < tw_post[b]) != (image[a] < image[b])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> ParentArrayMatcher::Match(
+    const EffectiveTwig& twig, MatchSemantics semantics) const {
+  SearchState s;
+  s.twig = &twig;
+  s.parent = &parent_;
+  s.label = &label_;
+  s.depth = &depth_;
+  s.n = n_;
+  s.semantics = semantics;
+  s.image.assign(twig.num_nodes(), 0);
+
+  // Assignment order: twig preorder (parents before children).
+  std::vector<uint32_t> stack = {twig.root()};
+  while (!stack.empty()) {
+    uint32_t t = stack.back();
+    stack.pop_back();
+    s.preorder.push_back(t);
+    const auto& kids = twig.node(t).children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+
+  // Root candidates, constrained by the anchor.
+  EdgeSpec anchor = twig.root_anchor();
+  uint32_t troot = twig.root();
+  std::vector<std::vector<uint32_t>> all;
+  for (uint32_t v = 1; v <= n_; ++v) {
+    if (!LabelOk(s, troot, v)) continue;
+    bool anchor_ok = anchor.exact ? depth_[v] == anchor.min_edges
+                                  : depth_[v] >= anchor.min_edges;
+    if (!anchor_ok) continue;
+    s.image[troot] = v;
+    Recurse(s, 1);
+  }
+  if (semantics == MatchSemantics::kOrdered) {
+    std::vector<std::vector<uint32_t>> kept;
+    for (auto& image : s.results) {
+      if (OrderPreserved(twig, image)) kept.push_back(std::move(image));
+    }
+    return kept;
+  }
+  return std::move(s.results);
+}
+
+std::vector<TwigMatch> NaiveMatch(const Document& doc,
+                                  const EffectiveTwig& twig,
+                                  MatchSemantics semantics) {
+  std::vector<TwigMatch> out;
+  const uint32_t n = static_cast<uint32_t>(doc.num_nodes());
+  if (n == 0 || twig.num_nodes() == 0) return out;
+  std::vector<uint32_t> number = doc.ComputePostorder();
+  std::vector<uint32_t> parent(n + 1, 0);
+  std::vector<LabelId> label(n + 1, kInvalidLabel);
+  for (NodeId v = 0; v < n; ++v) {
+    label[number[v]] = doc.label(v);
+    if (doc.parent(v) != kInvalidNode) {
+      parent[number[v]] = number[doc.parent(v)];
+    }
+  }
+  ParentArrayMatcher matcher(parent, label, n);
+  for (auto& image : matcher.Match(twig, semantics)) {
+    out.push_back(TwigMatch{doc.doc_id(), std::move(image)});
+  }
+  return out;
+}
+
+std::vector<TwigMatch> NaiveMatchCollection(
+    const std::vector<Document>& documents, const EffectiveTwig& twig,
+    MatchSemantics semantics) {
+  std::vector<TwigMatch> out;
+  for (const Document& doc : documents) {
+    auto matches = NaiveMatch(doc, twig, semantics);
+    out.insert(out.end(), matches.begin(), matches.end());
+  }
+  return out;
+}
+
+}  // namespace prix

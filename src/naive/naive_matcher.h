@@ -1,0 +1,74 @@
+#ifndef PRIX_NAIVE_NAIVE_MATCHER_H_
+#define PRIX_NAIVE_NAIVE_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/twig_pattern.h"
+#include "xml/document.h"
+
+namespace prix {
+
+/// One embedding of a twig in a document: effective-twig node id ->
+/// 1-based postorder number of the matched data node.
+struct TwigMatch {
+  DocId doc = 0;
+  std::vector<uint32_t> image;
+
+  bool operator==(const TwigMatch&) const = default;
+  bool operator<(const TwigMatch& o) const {
+    if (doc != o.doc) return doc < o.doc;
+    return image < o.image;
+  }
+};
+
+/// Which embeddings count as matches.
+enum class MatchSemantics {
+  /// PRIX ordered semantics (Sec. 4): the embedding must preserve postorder
+  /// order globally — node a before b in twig postorder implies image(a)
+  /// before image(b) in document postorder. Implies injectivity.
+  kOrdered,
+  /// Unordered matching (Sec. 5.7): any injective embedding satisfying the
+  /// label and edge constraints.
+  kUnorderedInjective,
+  /// Standard twig-join semantics (TwigStack): only the label and edge
+  /// constraints along query edges; neither order nor injectivity.
+  kStandard,
+};
+
+/// Brute-force oracle: enumerates every embedding of `twig` in `doc` under
+/// `semantics`. Exponential in the worst case; intended for ground truth in
+/// tests and for final verification of wildcard-query candidates.
+std::vector<TwigMatch> NaiveMatch(const Document& doc,
+                                  const EffectiveTwig& twig,
+                                  MatchSemantics semantics);
+
+/// Convenience: all matches across a collection.
+std::vector<TwigMatch> NaiveMatchCollection(
+    const std::vector<Document>& documents, const EffectiveTwig& twig,
+    MatchSemantics semantics);
+
+/// A document matcher over precomputed arrays, reusable when the tree is
+/// known only as a parent array (reconstructed from an NPS). `parent[k]` is
+/// the parent postorder number of node k (1-based, parent[n] unused),
+/// `label[k]` the node's label, n the node count.
+class ParentArrayMatcher {
+ public:
+  ParentArrayMatcher(const std::vector<uint32_t>& parent,
+                     const std::vector<LabelId>& label, uint32_t n);
+
+  /// Enumerates embeddings (image indexed by effective node, values are
+  /// postorder numbers) under `semantics`.
+  std::vector<std::vector<uint32_t>> Match(const EffectiveTwig& twig,
+                                           MatchSemantics semantics) const;
+
+ private:
+  const std::vector<uint32_t>& parent_;  // indexed 1..n; parent_[n] unused
+  const std::vector<LabelId>& label_;    // indexed 1..n
+  uint32_t n_;
+  std::vector<uint32_t> depth_;  // depth below root, root = 0
+};
+
+}  // namespace prix
+
+#endif  // PRIX_NAIVE_NAIVE_MATCHER_H_

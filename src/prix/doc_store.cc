@@ -1,0 +1,62 @@
+#include "prix/doc_store.h"
+
+#include "common/macros.h"
+
+namespace prix {
+
+Status DocStore::Append(DocId doc, const PruferSequences& seq,
+                        const std::vector<LeafEntry>& leaves) {
+  if (doc != store_.num_records()) {
+    return Status::InvalidArgument("DocStore::Append out of DocId order");
+  }
+  std::vector<char> buf;
+  const uint32_t n = seq.num_nodes;
+  buf.reserve(16 + 8ull * (n > 0 ? n - 1 : 0) + 8ull * leaves.size());
+  PutU32(&buf, n);
+  PutU32(&buf, seq.root_label);
+  for (LabelId l : seq.lps) PutU32(&buf, l);
+  for (uint32_t p : seq.nps) PutU32(&buf, p);
+  PutU32(&buf, static_cast<uint32_t>(leaves.size()));
+  for (const LeafEntry& leaf : leaves) {
+    PutU32(&buf, leaf.label);
+    PutU32(&buf, leaf.postorder);
+  }
+  PRIX_ASSIGN_OR_RETURN(uint32_t id, store_.Append(buf.data(), buf.size()));
+  PRIX_DCHECK(id == doc);
+  (void)id;
+  return Status::OK();
+}
+
+Result<StoredDoc> DocStore::Load(DocId doc) const {
+  std::vector<char> buf;
+  PRIX_RETURN_NOT_OK(store_.Load(doc, &buf));
+  StoredDoc out;
+  const char* p = buf.data();
+  const char* end = buf.data() + buf.size();
+  auto need = [&](size_t bytes) -> Status {
+    if (p + bytes > end) return Status::Corruption("truncated doc record");
+    return Status::OK();
+  };
+  PRIX_RETURN_NOT_OK(need(8));
+  uint32_t n = GetU32(p);
+  p += 4;
+  out.seq.num_nodes = n;
+  out.seq.root_label = GetU32(p);
+  p += 4;
+  uint32_t len = n > 0 ? n - 1 : 0;
+  PRIX_RETURN_NOT_OK(need(8ull * len + 4));
+  out.seq.lps.resize(len);
+  for (uint32_t i = 0; i < len; ++i, p += 4) out.seq.lps[i] = GetU32(p);
+  out.seq.nps.resize(len);
+  for (uint32_t i = 0; i < len; ++i, p += 4) out.seq.nps[i] = GetU32(p);
+  uint32_t leaf_count = GetU32(p);
+  p += 4;
+  PRIX_RETURN_NOT_OK(need(8ull * leaf_count));
+  out.leaves.resize(leaf_count);
+  for (uint32_t i = 0; i < leaf_count; ++i, p += 8) {
+    out.leaves[i] = LeafEntry{GetU32(p), GetU32(p + 4)};
+  }
+  return out;
+}
+
+}  // namespace prix

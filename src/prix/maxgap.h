@@ -1,0 +1,41 @@
+#ifndef PRIX_PRIX_MAXGAP_H_
+#define PRIX_PRIX_MAXGAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace prix {
+
+/// MaxGap(e, Delta) of Definition 5: the maximum, over all nodes labeled e in
+/// the collection, of (postorder of last child - postorder of first child).
+/// Labels whose occurrences all have at most one child get 0; so do labels
+/// never seen. Used as the upper-bounding distance metric of Theorem 4.
+class MaxGapTable {
+ public:
+  MaxGapTable() = default;
+
+  /// Folds one document (already extended, for EP tables) into the table.
+  void AddDocument(const Document& doc);
+
+  uint32_t Get(LabelId label) const {
+    auto it = table_.find(label);
+    return it == table_.end() ? 0 : it->second;
+  }
+
+  size_t size() const { return table_.size(); }
+
+  /// Catalog (de)serialization for index persistence.
+  void SerializeTo(std::vector<char>* out) const;
+  static Result<MaxGapTable> Deserialize(const char** p, const char* end);
+
+ private:
+  std::unordered_map<LabelId, uint32_t> table_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_PRIX_MAXGAP_H_

@@ -1,0 +1,171 @@
+#include "prix/prix_index.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace prix {
+
+Result<std::unique_ptr<PrixIndex>> PrixIndex::Build(
+    const std::vector<Document>& documents, BufferPool* pool,
+    PrixIndexOptions options, PrixIndexBuildStats* stats) {
+  auto index = std::unique_ptr<PrixIndex>(new PrixIndex());
+  index->options_ = options;
+  index->docs_ = std::make_unique<DocStore>(pool);
+  PRIX_ASSIGN_OR_RETURN(SymbolTree sym, SymbolTree::Create(pool));
+  index->symbol_index_ = std::make_unique<SymbolTree>(std::move(sym));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Create(pool));
+  index->docid_index_ = std::make_unique<DocTree>(std::move(doct));
+
+  PrixIndexBuildStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  // Phase 1: transform every document, populate the doc store and MaxGap
+  // table, and insert every LPS into the (in-memory, build-time) trie.
+  SequenceTrie trie;
+  std::vector<std::vector<LabelId>> sequences;
+  sequences.reserve(documents.size());
+  for (DocId d = 0; d < documents.size(); ++d) {
+    const Document& original = documents[d];
+    PRIX_CHECK(original.doc_id() == d);
+    PruferSequences seq;
+    std::vector<LeafEntry> leaves;
+    if (options.extended) {
+      Document ext = ExtendWithDummyLeaves(original, kDummyLabel);
+      seq = BuildPruferSequences(ext);
+      index->maxgap_.AddDocument(ext);
+      // EP stores need no leaf list: every original label is in the LPS.
+    } else {
+      seq = BuildPruferSequences(original);
+      index->maxgap_.AddDocument(original);
+      leaves = CollectLeaves(original);
+      for (NodeId v = 0; v < original.num_nodes(); ++v) {
+        if (original.is_leaf(v)) {
+          index->childless_labels_.insert(original.label(v));
+        }
+      }
+    }
+    stats->total_sequence_length += seq.lps.size();
+    PRIX_RETURN_NOT_OK(index->docs_->Append(d, seq, leaves));
+    trie.Insert(seq.lps, d);
+    sequences.push_back(std::move(seq.lps));
+  }
+  stats->trie_nodes = trie.num_nodes();
+  for (uint32_t v = 0; v < trie.num_nodes(); ++v) {
+    const auto& node = trie.node(v);
+    if (node.children.empty()) {
+      stats->max_path_sharing =
+          std::max(stats->max_path_sharing, node.seqs_through);
+    }
+  }
+
+  // Phase 2: range-label the trie.
+  std::vector<RangeLabel> labels;
+  if (options.labeling == PrixIndexOptions::Labeling::kExact) {
+    labels = LabelTrieExact(trie);
+  } else {
+    labels = LabelTrieDynamic(trie, sequences, options.alpha,
+                              &stats->labeler);
+  }
+  index->root_range_ = labels[trie.root()];
+
+  // Phase 3: materialize the Trie-Symbol and Docid B+-trees.
+  uint32_t doc_seq = 0;
+  for (uint32_t v = 0; v < trie.num_nodes(); ++v) {
+    if (v == trie.root()) continue;
+    const auto& node = trie.node(v);
+    PRIX_RETURN_NOT_OK(index->symbol_index_->Insert(
+        SymbolKey{node.label, 0, labels[v].left},
+        TrieNodeValue{labels[v].right, node.depth, 0}));
+    ++stats->symbol_entries;
+  }
+  for (uint32_t v = 0; v < trie.num_nodes(); ++v) {
+    for (DocId d : trie.node(v).end_docs) {
+      PRIX_RETURN_NOT_OK(index->docid_index_->Insert(
+          DocKey{labels[v].left, doc_seq++, 0}, d));
+      ++stats->docid_entries;
+    }
+  }
+  stats->pages_after_build = pool->disk()->num_pages();
+  PRIX_RETURN_NOT_OK(pool->FlushAll());
+  return index;
+}
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0x50524958;  // "PRIX"
+constexpr uint32_t kCatalogVersion = 1;
+}  // namespace
+
+Result<PageId> PrixIndex::Save(BufferPool* pool) const {
+  std::vector<char> blob;
+  PutU32(&blob, kCatalogMagic);
+  PutU32(&blob, kCatalogVersion);
+  PutU32(&blob, options_.extended ? 1 : 0);
+  PutU32(&blob, static_cast<uint32_t>(options_.labeling));
+  PutU32(&blob, options_.alpha);
+  PutU64(&blob, root_range_.left);
+  PutU64(&blob, root_range_.right);
+  PutU32(&blob, symbol_index_->meta_page_id());
+  PutU32(&blob, docid_index_->meta_page_id());
+  docs_->SerializeTo(&blob);
+  maxgap_.SerializeTo(&blob);
+  PutU32(&blob, static_cast<uint32_t>(childless_labels_.size()));
+  for (LabelId l : childless_labels_) PutU32(&blob, l);
+  PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(pool, blob));
+  PRIX_RETURN_NOT_OK(pool->FlushAll());
+  return first;
+}
+
+Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(BufferPool* pool,
+                                                   PageId catalog_page) {
+  std::vector<char> blob;
+  PRIX_RETURN_NOT_OK(ReadBlob(pool, catalog_page, &blob));
+  const char* p = blob.data();
+  const char* end = blob.data() + blob.size();
+  auto need = [&](size_t bytes) -> Status {
+    if (p + bytes > end) return Status::Corruption("truncated index catalog");
+    return Status::OK();
+  };
+  PRIX_RETURN_NOT_OK(need(44));
+  if (GetU32(p) != kCatalogMagic) {
+    return Status::Corruption("not a PRIX index catalog");
+  }
+  p += 4;
+  if (GetU32(p) != kCatalogVersion) {
+    return Status::Corruption("unsupported index catalog version");
+  }
+  p += 4;
+  auto index = std::unique_ptr<PrixIndex>(new PrixIndex());
+  index->options_.extended = GetU32(p) != 0;
+  p += 4;
+  index->options_.labeling =
+      static_cast<PrixIndexOptions::Labeling>(GetU32(p));
+  p += 4;
+  index->options_.alpha = GetU32(p);
+  p += 4;
+  index->root_range_.left = GetU64(p);
+  p += 8;
+  index->root_range_.right = GetU64(p);
+  p += 8;
+  PageId symbol_meta = GetU32(p);
+  p += 4;
+  PageId docid_meta = GetU32(p);
+  p += 4;
+  PRIX_ASSIGN_OR_RETURN(SymbolTree sym, SymbolTree::Open(pool, symbol_meta));
+  index->symbol_index_ = std::make_unique<SymbolTree>(std::move(sym));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Open(pool, docid_meta));
+  index->docid_index_ = std::make_unique<DocTree>(std::move(doct));
+  PRIX_ASSIGN_OR_RETURN(DocStore docs, DocStore::Deserialize(pool, &p, end));
+  index->docs_ = std::make_unique<DocStore>(std::move(docs));
+  PRIX_ASSIGN_OR_RETURN(index->maxgap_, MaxGapTable::Deserialize(&p, end));
+  PRIX_RETURN_NOT_OK(need(4));
+  uint32_t childless = GetU32(p);
+  p += 4;
+  PRIX_RETURN_NOT_OK(need(4ull * childless));
+  for (uint32_t i = 0; i < childless; ++i, p += 4) {
+    index->childless_labels_.insert(GetU32(p));
+  }
+  return index;
+}
+
+}  // namespace prix

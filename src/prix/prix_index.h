@@ -1,0 +1,140 @@
+#ifndef PRIX_PRIX_PRIX_INDEX_H_
+#define PRIX_PRIX_PRIX_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "btree/btree.h"
+#include "prix/doc_store.h"
+#include "prix/maxgap.h"
+#include "trie/range_labeler.h"
+#include "trie/trie_builder.h"
+#include "xml/document.h"
+
+namespace prix {
+
+/// Label used for the dummy children of Extended-Prüfer trees. Dummies are
+/// always leaves, so this label never enters any sequence or index.
+inline constexpr LabelId kDummyLabel = 0xfffffffeu;
+
+/// Key of the Trie-Symbol index: all symbols share one B+-tree, keyed by
+/// (symbol, LeftPos). Range descent for symbol e over trie scope (l, r]
+/// scans keys (e, l+1) .. (e, r). The paper builds one B+-tree per tag;
+/// a shared tree with a composite key has the same asymptotics and page
+/// behaviour without needing one tree per distinct value label (see
+/// DESIGN.md).
+struct SymbolKey {
+  LabelId label;
+  uint32_t pad = 0;
+  uint64_t left;
+
+  friend bool operator<(const SymbolKey& a, const SymbolKey& b) {
+    if (a.label != b.label) return a.label < b.label;
+    return a.left < b.left;
+  }
+};
+
+/// Value of the Trie-Symbol index: the node's RightPos and its level in the
+/// trie (= the position of this label within the LPS, 1-based).
+struct TrieNodeValue {
+  uint64_t right;
+  uint32_t level;
+  uint32_t pad = 0;
+};
+
+/// Key of the Docid index: (LeftPos of the trie node where an LPS ends,
+/// sequence number to disambiguate multiple documents ending at one node).
+struct DocKey {
+  uint64_t left;
+  uint32_t seq;
+  uint32_t pad = 0;
+
+  friend bool operator<(const DocKey& a, const DocKey& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.seq < b.seq;
+  }
+};
+
+/// Options controlling index construction.
+struct PrixIndexOptions {
+  /// false: RPIndex (Regular-Prüfer); true: EPIndex (Extended-Prüfer,
+  /// Sec. 5.6) — leaves get dummy children so every label enters the LPS.
+  bool extended = false;
+  enum class Labeling { kExact, kDynamic };
+  Labeling labeling = Labeling::kExact;
+  /// Pre-allocated prefix depth for dynamic labeling (Sec. 5.2.1).
+  uint32_t alpha = 2;
+};
+
+/// Construction statistics (reported by benches and EXPERIMENTS.md).
+struct PrixIndexBuildStats {
+  uint64_t trie_nodes = 0;
+  uint64_t max_path_sharing = 0;  ///< most sequences through one deepest node
+  uint64_t symbol_entries = 0;
+  uint64_t docid_entries = 0;
+  uint64_t total_sequence_length = 0;
+  LabelerStats labeler;
+  uint64_t pages_after_build = 0;
+};
+
+/// The PRIX index of Fig. 3: a virtual trie over the collection's Labeled
+/// Prüfer sequences, materialized as a Trie-Symbol B+-tree and a Docid
+/// B+-tree, plus the document store (NPS + leaf lists) and the MaxGap table.
+class PrixIndex {
+ public:
+  using SymbolTree = BPlusTree<SymbolKey, TrieNodeValue>;
+  using DocTree = BPlusTree<DocKey, DocId>;
+
+  /// Builds the index over `documents` (DocIds must equal vector positions).
+  static Result<std::unique_ptr<PrixIndex>> Build(
+      const std::vector<Document>& documents, BufferPool* pool,
+      PrixIndexOptions options, PrixIndexBuildStats* stats = nullptr);
+
+  /// Persists the index catalog (tree roots, doc-store extents, MaxGap
+  /// table, childless labels) and returns the catalog's first page id.
+  /// Together with DiskManager::OpenExisting this makes indexes reopenable
+  /// across process restarts.
+  Result<PageId> Save(BufferPool* pool) const;
+
+  /// Reopens an index saved by Save() over the same database file.
+  static Result<std::unique_ptr<PrixIndex>> Open(BufferPool* pool,
+                                                 PageId catalog_page);
+
+  SymbolTree& symbol_index() { return *symbol_index_; }
+  DocTree& docid_index() { return *docid_index_; }
+  const DocStore& docs() const { return *docs_; }
+  const MaxGapTable& maxgap() const { return maxgap_; }
+
+  /// Scope of the virtual trie root: every node's LeftPos lies in
+  /// (root.left, root.right].
+  RangeLabel root_range() const { return root_range_; }
+  bool extended() const { return options_.extended; }
+  size_t num_docs() const { return docs_->num_docs(); }
+  const PrixIndexOptions& options() const { return options_; }
+
+  /// True if some node labeled `label` occurs WITHOUT children anywhere in
+  /// the collection. Labels for which this is false may be safely added to
+  /// regular query sequences via a dummy child (the Sec. 4.4 leaf
+  /// treatment): any matching data node is guaranteed a deletion recording
+  /// its label.
+  bool LabelOccursChildless(LabelId label) const {
+    return childless_labels_.find(label) != childless_labels_.end();
+  }
+
+ private:
+  PrixIndex() = default;
+
+  PrixIndexOptions options_;
+  std::unique_ptr<SymbolTree> symbol_index_;
+  std::unique_ptr<DocTree> docid_index_;
+  std::unique_ptr<DocStore> docs_;
+  MaxGapTable maxgap_;
+  RangeLabel root_range_;
+  std::unordered_set<LabelId> childless_labels_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_PRIX_PRIX_INDEX_H_

@@ -1,0 +1,315 @@
+#include "prix/query_processor.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/macros.h"
+#include "query/xpath_parser.h"
+
+namespace prix {
+
+namespace {
+
+/// Upper bound on cached refinable documents per query.
+constexpr size_t kDocCacheCap = 8192;
+
+void SortUnique(std::vector<DocId>* docs) {
+  std::sort(docs->begin(), docs->end());
+  docs->erase(std::unique(docs->begin(), docs->end()), docs->end());
+}
+
+}  // namespace
+
+Result<QueryResult> QueryProcessor::ExecuteXPath(std::string_view xpath,
+                                                 TagDictionary* dict,
+                                                 const QueryOptions& options) {
+  PRIX_ASSIGN_OR_RETURN(TwigPattern pattern, ParseXPath(xpath, dict));
+  return Execute(pattern, options);
+}
+
+PrixIndex* QueryProcessor::ChooseIndex(const EffectiveTwig& twig,
+                                       const QueryOptions& options) const {
+  switch (options.index) {
+    case QueryOptions::IndexChoice::kRegular:
+      return rp_;
+    case QueryOptions::IndexChoice::kExtended:
+      return ep_;
+    case QueryOptions::IndexChoice::kAuto:
+      break;
+  }
+  if (ep_ == nullptr || rp_ == nullptr) return ep_ == nullptr ? rp_ : ep_;
+  // The paper's optimizer rule (Sec. 5.6): queries with values use the
+  // EPIndex (value labels only appear in extended sequences, and their high
+  // selectivity prunes paths early under the bottom-up transformation);
+  // value-free queries use the RPIndex, whose shorter, value-free sequences
+  // share trie paths heavily. On the RPIndex, element leaf labels still
+  // enter the query sequence via the Sec. 4.4 leaf treatment (see
+  // RunArrangement). A trailing '*' cannot be expressed in an EP sequence
+  // and also forces the regular index.
+  bool trailing_star = false;
+  for (uint32_t e = 0; e < twig.num_nodes(); ++e) {
+    trailing_star |= twig.is_star(e);
+  }
+  if (twig.HasValue() && !trailing_star) return ep_;
+  return rp_;
+}
+
+Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
+                                            const QueryOptions& options) {
+  if (options.semantics == MatchSemantics::kStandard) {
+    return Status::InvalidArgument(
+        "PRIX answers ordered or unordered-injective semantics");
+  }
+  if (pattern.empty()) return Status::InvalidArgument("empty twig pattern");
+
+  QueryResult result;
+  doc_cache_.clear();
+
+  EffectiveTwig base = EffectiveTwig::Build(pattern);
+  PrixIndex* index = ChooseIndex(base, options);
+  if (index == nullptr) {
+    return Status::InvalidArgument("no index available for this query");
+  }
+  result.stats.used_extended_index = index->extended();
+
+  bool generalized = base.NeedsGeneralizedMatching();
+
+  std::vector<EffectiveTwig> arrangements;
+  if (options.semantics == MatchSemantics::kOrdered) {
+    arrangements.push_back(base);
+  } else {
+    PRIX_ASSIGN_OR_RETURN(
+        arrangements, EnumerateArrangements(base, options.arrangement_limit));
+  }
+  result.stats.arrangements = arrangements.size();
+
+  if (base.num_nodes() == 1) {
+    PRIX_RETURN_NOT_OK(
+        ScanSingleNode(index, base, &result.matches, &result.stats));
+  } else {
+    std::set<TwigMatch> match_set;
+    for (const EffectiveTwig& arrangement : arrangements) {
+      std::vector<TwigMatch> matches;
+      std::vector<DocId> candidates;
+      PRIX_RETURN_NOT_OK(RunArrangement(index, arrangement, options,
+                                        generalized, &matches, &candidates,
+                                        &result.stats));
+      for (auto& m : matches) match_set.insert(std::move(m));
+      if (generalized) {
+        SortUnique(&candidates);
+        // Final phase for generalized queries: direct embedding check on
+        // the reconstructed tree (parent array is the NPS, Lemma 1).
+        for (DocId doc : candidates) {
+          PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
+                                LoadDoc(index, doc, &result.stats));
+          std::vector<uint32_t> parent;
+          std::vector<LabelId> label;
+          uint32_t n = 0;
+          BuildOriginalArrays(*rdoc, index->extended(), &parent, &label, &n);
+          ParentArrayMatcher matcher(parent, label, n);
+          ++result.stats.docs_verified;
+          for (auto& image :
+               matcher.Match(arrangement, MatchSemantics::kOrdered)) {
+            match_set.insert(TwigMatch{doc, std::move(image)});
+          }
+        }
+      }
+    }
+    result.matches.assign(match_set.begin(), match_set.end());
+  }
+
+  result.docs.reserve(result.matches.size());
+  for (const TwigMatch& m : result.matches) result.docs.push_back(m.doc);
+  SortUnique(&result.docs);
+  doc_cache_.clear();
+  return result;
+}
+
+namespace {
+
+/// A twig has branch-coincidence risk when two branches can embed into the
+/// same child subtree of their parent's image in a way no monotone
+/// subsequence witnesses. Closed-interval descent (SubsequenceMatcher's
+/// generalized mode) covers coinciding SINGLE-node branches by repeating a
+/// position; what remains unfixable is a non-first sibling branch with two
+/// or more effective nodes when either its edge or an earlier sibling's
+/// edge is not a plain '/': the deeper nodes of the later branch then map
+/// to deletions BEFORE the earlier branch's matched top, breaking
+/// monotonicity (see DESIGN.md). Exact twigs are never at risk.
+bool HasBranchCoincidenceRisk(const EffectiveTwig& twig,
+                              const std::vector<bool>& leaf_has_dummy) {
+  // Subtree sizes in the SEQUENCE tree: a leaf that carries a dummy (all of
+  // them on extended indexes; the Sec. 4.4-treated ones on regular indexes)
+  // counts as two nodes and regains the risk (children have larger ids than
+  // parents).
+  const uint32_t n = static_cast<uint32_t>(twig.num_nodes());
+  std::vector<uint32_t> size(n, 1);
+  for (uint32_t e = n; e-- > 0;) {
+    if (twig.node(e).children.empty() && leaf_has_dummy[e]) size[e] = 2;
+    for (uint32_t c : twig.node(e).children) size[e] += size[c];
+  }
+  for (uint32_t e = 0; e < n; ++e) {
+    const auto& kids = twig.node(e).children;
+    for (size_t j = 1; j < kids.size(); ++j) {
+      if (size[kids[j]] < 2) continue;
+      bool later_nonsimple = twig.node(kids[j]).edge != EdgeSpec{1, true};
+      bool earlier_nonsimple = false;
+      for (size_t i = 0; i < j; ++i) {
+        earlier_nonsimple |= twig.node(kids[i]).edge != EdgeSpec{1, true};
+      }
+      if (later_nonsimple || earlier_nonsimple) return true;
+    }
+  }
+  return false;
+}
+
+/// Root-to-leaf path used as the sound filter for risky twigs: prefer the
+/// branch holding a value (highest selectivity, Sec. 5.6), then the deepest
+/// branch. For extended indexes a trailing-'*' tail is cut off.
+std::vector<uint32_t> ChooseSpine(const EffectiveTwig& twig, bool extended) {
+  const uint32_t n = static_cast<uint32_t>(twig.num_nodes());
+  std::vector<bool> has_value(n, false);
+  std::vector<uint32_t> depth(n, 1);
+  // Children have larger ids than parents (construction order), so a
+  // reverse pass aggregates subtrees.
+  for (uint32_t e = n; e-- > 0;) {
+    if (twig.node(e).is_value) has_value[e] = true;
+    for (uint32_t c : twig.node(e).children) {
+      has_value[e] = has_value[e] || has_value[c];
+      depth[e] = std::max(depth[e], depth[c] + 1);
+    }
+  }
+  std::vector<uint32_t> path = {twig.root()};
+  uint32_t cur = twig.root();
+  while (!twig.node(cur).children.empty()) {
+    uint32_t best = twig.node(cur).children[0];
+    for (uint32_t c : twig.node(cur).children) {
+      auto rank = [&](uint32_t x) {
+        return std::make_tuple(has_value[x], depth[x]);
+      };
+      if (rank(c) > rank(best)) best = c;
+    }
+    path.push_back(best);
+    cur = best;
+  }
+  if (extended) {
+    while (path.size() > 1 && twig.is_star(path.back())) path.pop_back();
+  }
+  return path;
+}
+
+}  // namespace
+
+Status QueryProcessor::RunArrangement(PrixIndex* index,
+                                      const EffectiveTwig& twig,
+                                      const QueryOptions& options,
+                                      bool generalized,
+                                      std::vector<TwigMatch>* matches,
+                                      std::vector<DocId>* candidates,
+                                      QueryStats* stats) {
+  // Sec. 4.4 leaf treatment on regular indexes: give a query element leaf a
+  // dummy (so its label is checked during subsequence matching) whenever
+  // its label never occurs childless in the collection. Value and '*'
+  // leaves stay in the leaf-refinement phase.
+  auto extend_mask = [&](const EffectiveTwig& t) {
+    std::vector<bool> mask(t.num_nodes(), index->extended());
+    if (!index->extended()) {
+      for (uint32_t e = 0; e < t.num_nodes(); ++e) {
+        mask[e] = t.node(e).children.empty() && !t.is_star(e) &&
+                  !t.node(e).is_value &&
+                  !index->LabelOccursChildless(t.node(e).label);
+      }
+    }
+    return mask;
+  };
+
+  const EffectiveTwig* filter_twig = &twig;
+  EffectiveTwig spine;
+  std::vector<bool> mask = extend_mask(twig);
+  if (generalized &&
+      options.wildcard_filter == QueryOptions::WildcardFilter::kSound &&
+      HasBranchCoincidenceRisk(twig, mask)) {
+    std::vector<uint32_t> path = ChooseSpine(twig, index->extended());
+    if (path.size() < 2) {
+      // Degenerate spine (e.g. lone '*' tail on an extended index): every
+      // document is a candidate; verification does the filtering.
+      for (DocId d = 0; d < index->num_docs(); ++d) candidates->push_back(d);
+      return Status::OK();
+    }
+    spine = twig.ExtractPath(path);
+    filter_twig = &spine;
+    mask = extend_mask(spine);
+  }
+  std::vector<bool>* rp_mask = index->extended() ? nullptr : &mask;
+  PRIX_ASSIGN_OR_RETURN(
+      QuerySequence qseq,
+      BuildQuerySequence(*filter_twig, index->extended(), rp_mask));
+  SubsequenceMatcher matcher(index, options.use_maxgap, generalized);
+  auto emit = [&](const std::vector<DocId>& docs,
+                  const std::vector<uint32_t>& positions) -> Status {
+    for (DocId doc : docs) {
+      PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
+                            LoadDoc(index, doc, stats));
+      if (!RefineCandidate(*rdoc, qseq, positions, generalized,
+                           &stats->refine)) {
+        continue;
+      }
+      if (generalized) {
+        candidates->push_back(doc);
+      } else {
+        matches->push_back(TwigMatch{
+            doc, ExtractImage(*rdoc, qseq, positions, twig.num_nodes())});
+      }
+    }
+    return Status::OK();
+  };
+  return matcher.FindAll(qseq, emit, &stats->matcher);
+}
+
+Status QueryProcessor::ScanSingleNode(PrixIndex* index,
+                                      const EffectiveTwig& twig,
+                                      std::vector<TwigMatch>* matches,
+                                      QueryStats* stats) {
+  stats->used_scan = true;
+  const EffectiveTwig::Node& qn = twig.node(twig.root());
+  EdgeSpec anchor = twig.root_anchor();
+  bool is_star = twig.is_star(twig.root());
+  for (DocId doc = 0; doc < index->num_docs(); ++doc) {
+    PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc, LoadDoc(index, doc, stats));
+    std::vector<uint32_t> parent;
+    std::vector<LabelId> label;
+    uint32_t n = 0;
+    BuildOriginalArrays(*rdoc, index->extended(), &parent, &label, &n);
+    // Depths for anchor tests.
+    std::vector<uint32_t> depth(n + 1, 0);
+    for (uint32_t v = n > 0 ? n - 1 : 0; v >= 1; --v) {
+      depth[v] = depth[parent[v]] + 1;
+      if (v == 1) break;
+    }
+    for (uint32_t v = 1; v <= n; ++v) {
+      if (!is_star && label[v] != qn.label) continue;
+      bool anchor_ok = anchor.exact ? depth[v] == anchor.min_edges
+                                    : depth[v] >= anchor.min_edges;
+      if (!anchor_ok) continue;
+      matches->push_back(TwigMatch{doc, {v}});
+    }
+  }
+  return Status::OK();
+}
+
+Result<const RefinableDoc*> QueryProcessor::LoadDoc(PrixIndex* index,
+                                                    DocId doc,
+                                                    QueryStats* stats) {
+  auto it = doc_cache_.find(doc);
+  if (it != doc_cache_.end()) return &it->second;
+  if (doc_cache_.size() >= kDocCacheCap) doc_cache_.clear();
+  PRIX_ASSIGN_OR_RETURN(StoredDoc stored, index->docs().Load(doc));
+  ++stats->docs_loaded;
+  auto [pos, inserted] =
+      doc_cache_.emplace(doc, RefinableDoc::Make(std::move(stored),
+                                                 index->extended()));
+  return &pos->second;
+}
+
+}  // namespace prix

@@ -1,0 +1,108 @@
+#ifndef PRIX_PRIX_QUERY_PROCESSOR_H_
+#define PRIX_PRIX_QUERY_PROCESSOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "naive/naive_matcher.h"
+#include "prix/prix_index.h"
+#include "prix/refinement.h"
+#include "prix/subsequence_matcher.h"
+#include "query/twig_pattern.h"
+#include "query/twig_prufer.h"
+
+namespace prix {
+
+/// Per-query execution knobs.
+struct QueryOptions {
+  /// kOrdered (Sec. 4) or kUnorderedInjective (Sec. 5.7, arrangement
+  /// enumeration). kStandard is not a PRIX semantics and is rejected.
+  MatchSemantics semantics = MatchSemantics::kOrdered;
+
+  enum class IndexChoice { kAuto, kRegular, kExtended };
+  /// kAuto picks the EPIndex for queries with values when one exists
+  /// (Sec. 5.6), the RPIndex otherwise.
+  IndexChoice index = IndexChoice::kAuto;
+
+  /// Apply the MaxGap upper-bounding metric during subsequence matching
+  /// (Sec. 5.4). Off only for the ablation bench.
+  bool use_maxgap = true;
+
+  /// Filtering strategy for wildcard twigs at branch-coincidence risk (see
+  /// DESIGN.md): kSound falls back to a root-to-leaf spine filter and never
+  /// misses a document; kFullTwig filters with the whole twig sequence (the
+  /// paper's strategy) — cheaper, but a document whose only embeddings nest
+  /// two multi-node '//' branches inside one child subtree is missed.
+  enum class WildcardFilter { kSound, kFullTwig };
+  WildcardFilter wildcard_filter = WildcardFilter::kSound;
+
+  /// Cap on raw branch permutations for unordered matching.
+  size_t arrangement_limit = 40320;
+};
+
+/// Execution counters, aggregated across arrangements.
+struct QueryStats {
+  MatcherStats matcher;
+  RefineStats refine;
+  uint64_t docs_loaded = 0;
+  uint64_t docs_verified = 0;
+  uint64_t arrangements = 0;
+  bool used_extended_index = false;
+  bool used_scan = false;  ///< single-node query answered by doc-store scan
+};
+
+/// Query answer: all twig matches (images over effective-twig nodes, as
+/// ORIGINAL postorder numbers) and the distinct matching documents.
+struct QueryResult {
+  std::vector<TwigMatch> matches;  // sorted, deduplicated
+  std::vector<DocId> docs;         // sorted, distinct
+  QueryStats stats;
+};
+
+/// PRIX query execution (Fig. 3, right side): twig -> Prüfer sequence ->
+/// filtering by subsequence matching -> refinement phases -> matches.
+/// Queries needing generalized matching ('//', '*', exact anchors) use the
+/// sequence machinery as the I/O-bound filter and a direct embedding check
+/// on each surviving document as the final phase (see DESIGN.md Sec. 5).
+class QueryProcessor {
+ public:
+  /// `ep` may be null; both indexes must be built over the same collection.
+  QueryProcessor(PrixIndex* rp, PrixIndex* ep) : rp_(rp), ep_(ep) {}
+
+  Result<QueryResult> Execute(const TwigPattern& pattern,
+                              const QueryOptions& options = {});
+
+  /// Parses `xpath` against `dict` and executes it.
+  Result<QueryResult> ExecuteXPath(std::string_view xpath,
+                                   TagDictionary* dict,
+                                   const QueryOptions& options = {});
+
+ private:
+  PrixIndex* ChooseIndex(const EffectiveTwig& twig,
+                         const QueryOptions& options) const;
+
+  /// Runs one arrangement through filter + refine. Exact queries append
+  /// matches directly; generalized queries record candidate documents into
+  /// `candidates` for later verification.
+  Status RunArrangement(PrixIndex* index, const EffectiveTwig& twig,
+                        const QueryOptions& options, bool generalized,
+                        std::vector<TwigMatch>* matches,
+                        std::vector<DocId>* candidates, QueryStats* stats);
+
+  /// Single-node queries: scan the document store (see DESIGN.md).
+  Status ScanSingleNode(PrixIndex* index, const EffectiveTwig& twig,
+                        std::vector<TwigMatch>* matches, QueryStats* stats);
+
+  Result<const RefinableDoc*> LoadDoc(PrixIndex* index, DocId doc,
+                                      QueryStats* stats);
+
+  PrixIndex* rp_;
+  PrixIndex* ep_;
+  // Per-Execute cache of loaded documents.
+  std::unordered_map<DocId, RefinableDoc> doc_cache_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_PRIX_QUERY_PROCESSOR_H_

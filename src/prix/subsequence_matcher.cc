@@ -1,0 +1,86 @@
+#include "prix/subsequence_matcher.h"
+
+#include "common/macros.h"
+
+namespace prix {
+
+Status SubsequenceMatcher::FindAll(const QuerySequence& q, const EmitFn& emit,
+                                   MatcherStats* stats) {
+  if (q.lps.empty()) {
+    return Status::InvalidArgument(
+        "subsequence matching needs a non-empty query sequence");
+  }
+  std::vector<uint32_t> positions;
+  positions.reserve(q.lps.size());
+  RangeLabel root = index_->root_range();
+  return Descend(q, 0, root.left, root.right, positions, emit, stats);
+}
+
+Status SubsequenceMatcher::Descend(const QuerySequence& q, size_t i,
+                                   uint64_t ql, uint64_t qr,
+                                   std::vector<uint32_t>& positions,
+                                   const EmitFn& emit, MatcherStats* stats) {
+  // Range query on the Trie-Symbol index: all trie nodes labeled q.lps[i]
+  // whose LeftPos lies in (ql, qr] — i.e. descendants of the current node.
+  LabelId label = q.lps[i];
+  ++stats->range_queries;
+  // Exact queries scan the open interval (ql, qr]; generalized queries
+  // include ql itself so a slot may repeat its predecessor's position.
+  uint64_t start = generalized_ && i > 0 ? ql : ql + 1;
+  PRIX_ASSIGN_OR_RETURN(
+      auto it, index_->symbol_index().Seek(SymbolKey{label, 0, start}));
+  for (; it.Valid(); ) {
+    const SymbolKey key = it.key();
+    if (key.label != label || key.left > qr) break;
+    ++stats->nodes_scanned;
+    const TrieNodeValue node = it.value();
+    PRIX_RETURN_NOT_OK(it.Next());
+    // Optimized subsequence matching (Sec. 5.4): gap between adjacent
+    // matched levels bounded by the MaxGap of the previous label.
+    if (use_maxgap_ && i > 0 && q.prune[i].kind != GapPruneRule::kNone &&
+        !(generalized_ && node.level == positions.back())) {
+      uint32_t gap = node.level - positions.back();
+      uint32_t bound = index_->maxgap().Get(q.prune[i].label);
+      bool prune = false;
+      switch (q.prune[i].kind) {
+        case GapPruneRule::kSameParent:
+          prune = gap > bound;
+          break;
+        case GapPruneRule::kChildEdge:
+          prune = gap > bound + 1;
+          break;
+        case GapPruneRule::kAncestor:
+          prune = gap >= bound;
+          break;
+        case GapPruneRule::kNone:
+          break;
+      }
+      if (prune) {
+        ++stats->pruned_by_maxgap;
+        continue;
+      }
+    }
+    positions.push_back(node.level);
+    if (i + 1 == q.lps.size()) {
+      // Terminal: fetch all documents whose LPS ends in [left, right].
+      std::vector<DocId> docs;
+      PRIX_ASSIGN_OR_RETURN(
+          auto dit, index_->docid_index().Seek(DocKey{key.left, 0, 0}));
+      while (dit.Valid() && dit.key().left <= node.right) {
+        docs.push_back(dit.value());
+        PRIX_RETURN_NOT_OK(dit.Next());
+      }
+      if (!docs.empty()) {
+        ++stats->occurrences;
+        PRIX_RETURN_NOT_OK(emit(docs, positions));
+      }
+    } else {
+      PRIX_RETURN_NOT_OK(
+          Descend(q, i + 1, key.left, node.right, positions, emit, stats));
+    }
+    positions.pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace prix

@@ -1,0 +1,58 @@
+#ifndef PRIX_PRIX_SUBSEQUENCE_MATCHER_H_
+#define PRIX_PRIX_SUBSEQUENCE_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "prix/prix_index.h"
+#include "query/twig_prufer.h"
+
+namespace prix {
+
+/// Counters for the filtering phase.
+struct MatcherStats {
+  uint64_t range_queries = 0;   ///< B+-tree range descents issued
+  uint64_t nodes_scanned = 0;   ///< trie nodes touched across all scans
+  uint64_t pruned_by_maxgap = 0;
+  uint64_t occurrences = 0;     ///< subsequence occurrences emitted
+};
+
+/// Algorithm 1 (Sec. 5.3): finds every occurrence of a query LPS as a
+/// subsequence of indexed LPS's by recursive range descent over the virtual
+/// trie, optionally pruned with the MaxGap metric of Theorem 4 (Sec. 5.4).
+class SubsequenceMatcher {
+ public:
+  /// `emit(docs, positions)` is called once per occurrence: `docs` holds the
+  /// ids of all documents whose LPS passes through the matched path (the
+  /// Docid-index range [r_l, r_r]); `positions` are the 1-based LPS
+  /// positions (trie levels) of the matched labels.
+  using EmitFn =
+      std::function<Status(const std::vector<DocId>&,
+                           const std::vector<uint32_t>&)>;
+
+  /// `generalized` (wildcard queries): descend with CLOSED scopes so that
+  /// two query slots may match the same trie position — the witness for two
+  /// single-node '//' branches whose connecting paths enter the same child
+  /// subtree (see DESIGN.md on branch coincidence) — and suppress zero-gap
+  /// MaxGap pruning accordingly.
+  SubsequenceMatcher(PrixIndex* index, bool use_maxgap, bool generalized)
+      : index_(index), use_maxgap_(use_maxgap), generalized_(generalized) {}
+
+  /// Runs the search for `q` (q.lps must be non-empty).
+  Status FindAll(const QuerySequence& q, const EmitFn& emit,
+                 MatcherStats* stats);
+
+ private:
+  Status Descend(const QuerySequence& q, size_t i, uint64_t ql, uint64_t qr,
+                 std::vector<uint32_t>& positions, const EmitFn& emit,
+                 MatcherStats* stats);
+
+  PrixIndex* index_;
+  bool use_maxgap_;
+  bool generalized_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_PRIX_SUBSEQUENCE_MATCHER_H_

@@ -1,0 +1,275 @@
+#include "prufer/prufer.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace prix {
+
+PruferSequences BuildPruferSequences(const Document& doc) {
+  PruferSequences out;
+  const size_t n = doc.num_nodes();
+  out.num_nodes = static_cast<uint32_t>(n);
+  if (n == 0) return out;
+  std::vector<uint32_t> number = doc.ComputePostorder();
+  std::vector<NodeId> node_of = doc.ComputePostorderInverse();
+  out.root_label = doc.label(doc.root());
+  out.lps.resize(n - 1);
+  out.nps.resize(n - 1);
+  // Lemma 1: the i-th deleted node is node i, so entry i-1 records node i's
+  // parent.
+  for (uint32_t i = 1; i < n; ++i) {
+    NodeId v = node_of[i];
+    NodeId p = doc.parent(v);
+    out.lps[i - 1] = doc.label(p);
+    out.nps[i - 1] = number[p];
+  }
+  return out;
+}
+
+PruferSequences BuildPruferSequencesBySimulation(const Document& doc) {
+  PruferSequences out;
+  const size_t n = doc.num_nodes();
+  out.num_nodes = static_cast<uint32_t>(n);
+  if (n == 0) return out;
+  out.root_label = doc.label(doc.root());
+  std::vector<uint32_t> number = doc.ComputePostorder();
+  std::vector<NodeId> node_of = doc.ComputePostorderInverse();
+
+  std::vector<uint32_t> live_children(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    live_children[number[v]] = static_cast<uint32_t>(doc.children(v).size());
+  }
+  // Min-heap of the postorder numbers of current leaves.
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> leaves;
+  for (uint32_t k = 1; k <= n; ++k) {
+    if (live_children[k] == 0) leaves.push(k);
+  }
+  out.lps.reserve(n - 1);
+  out.nps.reserve(n - 1);
+  for (size_t step = 0; step + 1 < n; ++step) {
+    uint32_t k = leaves.top();
+    leaves.pop();
+    NodeId v = node_of[k];
+    NodeId p = doc.parent(v);
+    uint32_t pk = number[p];
+    out.lps.push_back(doc.label(p));
+    out.nps.push_back(pk);
+    if (--live_children[pk] == 0) leaves.push(pk);
+  }
+  return out;
+}
+
+std::vector<LeafEntry> CollectLeaves(const Document& doc) {
+  std::vector<uint32_t> number = doc.ComputePostorder();
+  std::vector<LeafEntry> leaves;
+  for (NodeId v = 0; v < doc.num_nodes(); ++v) {
+    if (doc.is_leaf(v)) leaves.push_back(LeafEntry{doc.label(v), number[v]});
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const LeafEntry& a, const LeafEntry& b) {
+              return a.postorder < b.postorder;
+            });
+  return leaves;
+}
+
+Document ExtendWithDummyLeaves(const Document& doc, LabelId dummy_label) {
+  Document ext(doc.doc_id());
+  if (doc.empty()) return ext;
+  // Copy preserving document order; attach a dummy child under each leaf.
+  struct Frame {
+    NodeId src;
+    NodeId dst_parent;
+  };
+  std::vector<Frame> stack;
+  NodeId root = ext.AddRoot(doc.label(doc.root()), doc.kind(doc.root()));
+  if (doc.is_leaf(doc.root())) {
+    ext.AddChild(root, dummy_label);
+    return ext;
+  }
+  // Push children in reverse so they are popped in document order.
+  const auto& root_kids = doc.children(doc.root());
+  for (auto it = root_kids.rbegin(); it != root_kids.rend(); ++it) {
+    stack.push_back(Frame{*it, root});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    NodeId copied = ext.AddChild(f.dst_parent, doc.label(f.src),
+                                 doc.kind(f.src));
+    if (doc.is_leaf(f.src)) {
+      ext.AddChild(copied, dummy_label);
+    } else {
+      const auto& kids = doc.children(f.src);
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(Frame{*it, copied});
+      }
+    }
+  }
+  return ext;
+}
+
+std::vector<uint32_t> ExtendedToOriginalPostorder(const PruferSequences& ext) {
+  const uint32_t n = ext.num_nodes;
+  // Leaves of the extended tree are exactly the dummy nodes: a number that
+  // never occurs as an NPS value has no children.
+  std::vector<bool> has_children(n + 1, false);
+  for (uint32_t p : ext.nps) has_children[p] = true;
+  std::vector<uint32_t> orig(n + 1, 0);
+  uint32_t rank = 0;
+  for (uint32_t v = 1; v <= n; ++v) {
+    if (has_children[v]) {
+      orig[v] = ++rank;
+    }
+  }
+  return orig;
+}
+
+Result<Document> ReconstructTree(const PruferSequences& seq,
+                                 const std::vector<LeafEntry>& leaves) {
+  const uint32_t n = seq.num_nodes;
+  if (n == 0) return Document();
+  if (seq.lps.size() != n - 1 || seq.nps.size() != n - 1) {
+    return Status::InvalidArgument("sequence length must be num_nodes - 1");
+  }
+  // Recover labels: internal nodes from the LPS, leaves from the leaf list.
+  std::vector<LabelId> label_of(n + 1, kInvalidLabel);
+  label_of[n] = seq.root_label;
+  std::vector<std::vector<uint32_t>> children(n + 1);
+  for (uint32_t i = 1; i < n; ++i) {
+    uint32_t p = seq.nps[i - 1];
+    if (p <= i || p > n) {
+      return Status::Corruption("NPS is not a valid postorder parent array");
+    }
+    label_of[p] = seq.lps[i - 1];
+    children[p].push_back(i);  // ascending i => document order of siblings
+  }
+  for (const LeafEntry& leaf : leaves) {
+    if (leaf.postorder == 0 || leaf.postorder > n) {
+      return Status::Corruption("leaf postorder out of range");
+    }
+    label_of[leaf.postorder] = leaf.label;
+  }
+  for (uint32_t v = 1; v <= n; ++v) {
+    if (label_of[v] == kInvalidLabel) {
+      return Status::Corruption("node " + std::to_string(v) +
+                                " has no recoverable label");
+    }
+  }
+  // Create nodes in preorder so every parent exists before its children;
+  // children[v] is ascending, which is sibling document order.
+  Document doc;
+  std::vector<NodeId> built(n + 1, kInvalidNode);
+  built[n] = doc.AddRoot(label_of[n]);
+  std::vector<std::pair<uint32_t, size_t>> frames = {{n, 0}};
+  while (!frames.empty()) {
+    auto& [v, idx] = frames.back();
+    if (idx < children[v].size()) {
+      uint32_t c = children[v][idx++];
+      built[c] = doc.AddChild(built[v], label_of[c]);
+      frames.emplace_back(c, 0);
+    } else {
+      frames.pop_back();
+    }
+  }
+  return doc;
+}
+
+std::vector<uint32_t> ClassicPruferEncode(
+    const Document& doc, const std::vector<uint32_t>& number) {
+  // The classic algorithm works on the undirected view of the tree.
+  const size_t n = doc.num_nodes();
+  PRIX_CHECK(n >= 2);
+  PRIX_CHECK(number.size() == n);
+  std::vector<std::vector<uint32_t>> adj(n + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    PRIX_CHECK(number[v] >= 1 && number[v] <= n);
+    if (doc.parent(v) != kInvalidNode) {
+      adj[number[v]].push_back(number[doc.parent(v)]);
+      adj[number[doc.parent(v)]].push_back(number[v]);
+    }
+  }
+  std::vector<uint32_t> degree(n + 1, 0);
+  for (uint32_t k = 1; k <= n; ++k) {
+    degree[k] = static_cast<uint32_t>(adj[k].size());
+  }
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> leaves;
+  for (uint32_t k = 1; k <= n; ++k) {
+    if (degree[k] == 1) leaves.push(k);
+  }
+  std::vector<bool> deleted(n + 1, false);
+  std::vector<uint32_t> seq;
+  seq.reserve(n - 2);
+  for (size_t step = 0; step + 2 < n; ++step) {
+    uint32_t k = leaves.top();
+    leaves.pop();
+    deleted[k] = true;
+    uint32_t neighbor = 0;
+    for (uint32_t m : adj[k]) {
+      if (!deleted[m]) {
+        neighbor = m;
+        break;
+      }
+    }
+    PRIX_CHECK(neighbor != 0);
+    seq.push_back(neighbor);
+    if (--degree[neighbor] == 1) leaves.push(neighbor);
+  }
+  return seq;
+}
+
+Result<std::vector<uint32_t>> ClassicPruferDecode(
+    const std::vector<uint32_t>& seq) {
+  const uint32_t n = static_cast<uint32_t>(seq.size()) + 2;
+  std::vector<uint32_t> degree(n + 1, 1);
+  for (uint32_t a : seq) {
+    if (a < 1 || a > n) {
+      return Status::InvalidArgument("sequence value out of range");
+    }
+    ++degree[a];
+  }
+  // adjacency built from the classic decode; then orient away from root n.
+  std::vector<std::vector<uint32_t>> adj(n + 1);
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> leaves;
+  for (uint32_t k = 1; k <= n; ++k) {
+    if (degree[k] == 1) leaves.push(k);
+  }
+  for (uint32_t a : seq) {
+    uint32_t b = leaves.top();
+    leaves.pop();
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    --degree[b];
+    if (--degree[a] == 1) leaves.push(a);
+  }
+  uint32_t u = leaves.top();
+  leaves.pop();
+  if (leaves.empty()) return Status::Corruption("decode ended with one leaf");
+  uint32_t v = leaves.top();
+  adj[u].push_back(v);
+  adj[v].push_back(u);
+  // Orient from root n by BFS.
+  std::vector<uint32_t> parent(n + 1, 0);
+  std::vector<bool> seen(n + 1, false);
+  std::queue<uint32_t> bfs;
+  bfs.push(n);
+  seen[n] = true;
+  uint32_t visited = 0;
+  while (!bfs.empty()) {
+    uint32_t x = bfs.front();
+    bfs.pop();
+    ++visited;
+    for (uint32_t y : adj[x]) {
+      if (!seen[y]) {
+        seen[y] = true;
+        parent[y] = x;
+        bfs.push(y);
+      }
+    }
+  }
+  if (visited != n) return Status::Corruption("decoded graph is not a tree");
+  return parent;
+}
+
+}  // namespace prix

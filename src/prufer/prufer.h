@@ -1,0 +1,89 @@
+#ifndef PRIX_PRUFER_PRUFER_H_
+#define PRIX_PRUFER_PRUFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace prix {
+
+/// A leaf of the original tree: its label and 1-based postorder number.
+/// The paper stores these alongside LPS/NPS because Regular-Prüfer sequences
+/// contain only non-leaf labels (Sec. 4.3).
+struct LeafEntry {
+  LabelId label;
+  uint32_t postorder;
+
+  bool operator==(const LeafEntry&) const = default;
+};
+
+/// The Prüfer transform of one tree, per the paper's modified construction
+/// (Sec. 3.1): nodes are numbered 1..n in postorder and deleted smallest-
+/// number-first until ONE node remains, so the sequence has length n-1.
+///
+/// By Lemma 1 the i-th deleted node is the node numbered i, hence
+///   nps[i-1] = postorder number of the parent of node i, and
+///   lps[i-1] = label of the parent of node i.
+/// In other words, `nps` doubles as the parent array of the tree, which is
+/// what makes O(1) parent lookups possible during refinement.
+struct PruferSequences {
+  std::vector<LabelId> lps;   ///< Labeled Prüfer sequence, length n-1.
+  std::vector<uint32_t> nps;  ///< Numbered Prüfer sequence, length n-1.
+  uint32_t num_nodes = 0;     ///< n: node count of the transformed tree.
+  LabelId root_label = kInvalidLabel;  ///< Label of node n (never deleted).
+
+  /// Parent postorder number of node `v` (1 <= v < num_nodes).
+  uint32_t Parent(uint32_t v) const { return nps[v - 1]; }
+
+  bool operator==(const PruferSequences&) const = default;
+};
+
+/// Builds LPS/NPS for `doc` in O(n) using Lemma 1 (no simulated deletions).
+PruferSequences BuildPruferSequences(const Document& doc);
+
+/// Builds LPS/NPS by literally simulating the node-removal process of
+/// Sec. 3.1 (delete the smallest-numbered leaf, record its parent, repeat
+/// until one node is left). O(n log n); used to property-test the O(n) path.
+PruferSequences BuildPruferSequencesBySimulation(const Document& doc);
+
+/// Leaf entries (label, postorder) of `doc`, ordered by postorder number.
+std::vector<LeafEntry> CollectLeaves(const Document& doc);
+
+/// Returns a copy of `doc` with a dummy child attached to every leaf — the
+/// Extended-Prüfer transformation of Sec. 5.6. The extended tree's LPS
+/// contains the labels of ALL original nodes. `dummy_label` is the label for
+/// dummy nodes (it never appears in any sequence because dummies are leaves).
+Document ExtendWithDummyLeaves(const Document& doc, LabelId dummy_label);
+
+/// For the extended tree's numbering: dummy nodes are exactly the leaves of
+/// the extended tree. Returns, for each extended postorder number v in
+/// [1, num_nodes], the corresponding ORIGINAL postorder number, or 0 if v is
+/// a dummy. Derived purely from the extended NPS.
+std::vector<uint32_t> ExtendedToOriginalPostorder(const PruferSequences& ext);
+
+/// Rebuilds the tree encoded by `seq`. Internal-node labels are recovered
+/// from the LPS (label of node v = lps[k] for any k with nps[k] == v); leaf
+/// labels come from `leaves`. Children are attached in postorder-number order,
+/// which reproduces the original document order. Fails on malformed input.
+Result<Document> ReconstructTree(const PruferSequences& seq,
+                                 const std::vector<LeafEntry>& leaves);
+
+/// Classic Prüfer encoding (1918): for a tree on n >= 2 nodes labeled by the
+/// arbitrary numbering `number[node]` in [1, n], repeatedly delete the
+/// smallest-numbered leaf and record its parent's number; stops when two
+/// nodes remain, yielding the classic length n-2 sequence.
+std::vector<uint32_t> ClassicPruferEncode(const Document& doc,
+                                          const std::vector<uint32_t>& number);
+
+/// Classic Prüfer decoding: rebuilds the unique labeled tree on n = seq.size()
+/// + 2 nodes whose classic Prüfer sequence is `seq`. Returns the parent array
+/// indexed by node number (1-based; parent[root] = 0). Proves the one-to-one
+/// correspondence the paper's correctness rests on.
+Result<std::vector<uint32_t>> ClassicPruferDecode(
+    const std::vector<uint32_t>& seq);
+
+}  // namespace prix
+
+#endif  // PRIX_PRUFER_PRUFER_H_

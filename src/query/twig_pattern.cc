@@ -1,0 +1,239 @@
+#include "query/twig_pattern.h"
+
+namespace prix {
+
+uint32_t TwigPattern::AddRoot(LabelId label, Axis axis, bool is_star) {
+  PRIX_CHECK(nodes_.empty());
+  Node n;
+  n.label = label;
+  n.is_star = is_star;
+  n.axis = axis;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+uint32_t TwigPattern::AddChild(uint32_t parent, LabelId label, Axis axis,
+                               bool is_star, bool is_value) {
+  PRIX_CHECK(parent < nodes_.size());
+  PRIX_CHECK(!(is_star && is_value));
+  Node n;
+  n.label = label;
+  n.is_star = is_star;
+  n.is_value = is_value;
+  n.axis = axis;
+  n.parent = parent;
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+bool TwigPattern::HasWildcard() const {
+  if (!nodes_.empty() && nodes_[0].axis == Axis::kChild) return true;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_star) return true;
+    if (i > 0 && nodes_[i].axis == Axis::kDescendant) return true;
+  }
+  return false;
+}
+
+bool TwigPattern::HasValue() const {
+  for (const Node& n : nodes_) {
+    if (n.is_value) return true;
+  }
+  return false;
+}
+
+size_t TwigPattern::CountLeaves() const {
+  size_t count = 0;
+  for (const Node& n : nodes_) count += n.children.empty();
+  return count;
+}
+
+EffectiveTwig EffectiveTwig::Build(const TwigPattern& pattern) {
+  EffectiveTwig out;
+  PRIX_CHECK(!pattern.empty());
+
+  // Walk the pattern; '*' nodes with children are folded into their
+  // children's edges, '*' leaves become label-wildcard effective nodes.
+  struct Frame {
+    uint32_t pattern_node;
+    uint32_t eff_parent;  // kNoParent for (potential) root
+    EdgeSpec pending;     // accumulated edge from eff_parent
+  };
+
+  auto axis_spec = [](Axis axis) {
+    return axis == Axis::kChild ? EdgeSpec{1, true} : EdgeSpec{1, false};
+  };
+  auto combine = [](EdgeSpec a, EdgeSpec b) {
+    return EdgeSpec{a.min_edges + b.min_edges, a.exact && b.exact};
+  };
+
+  const TwigPattern::Node& proot = pattern.node(pattern.root());
+  // Anchor below the document root: '/a' pins the root, '//a' floats.
+  EdgeSpec anchor =
+      proot.axis == Axis::kChild ? EdgeSpec{0, true} : EdgeSpec{0, false};
+
+  std::vector<Frame> stack;
+  if (proot.is_star && !proot.children.empty()) {
+    // Fold a non-leaf star root into the anchor of its (sole) child.
+    PRIX_CHECK(proot.children.size() == 1 &&
+               "a branching '*' root cannot be folded; unsupported");
+    uint32_t child = proot.children[0];
+    EdgeSpec hop = axis_spec(pattern.node(child).axis);
+    out.root_anchor_ =
+        EdgeSpec{anchor.min_edges + hop.min_edges, anchor.exact && hop.exact};
+    stack.push_back(Frame{child, TwigPattern::kNoParent, EdgeSpec{0, true}});
+  } else {
+    out.root_anchor_ = anchor;
+    stack.push_back(
+        Frame{pattern.root(), TwigPattern::kNoParent, EdgeSpec{0, true}});
+  }
+
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const TwigPattern::Node& pn = pattern.node(f.pattern_node);
+
+    if (pn.is_star && !pn.children.empty()) {
+      if (f.eff_parent == TwigPattern::kNoParent) {
+        // Chain of stars above the first named node: extend the anchor.
+        PRIX_CHECK(pn.children.size() == 1 &&
+                   "a branching '*' root cannot be folded; unsupported");
+        uint32_t child = pn.children[0];
+        EdgeSpec hop = axis_spec(pattern.node(child).axis);
+        out.root_anchor_ = EdgeSpec{out.root_anchor_.min_edges + hop.min_edges,
+                                    out.root_anchor_.exact && hop.exact};
+        stack.push_back(
+            Frame{child, TwigPattern::kNoParent, EdgeSpec{0, true}});
+        continue;
+      }
+      // Fold: children connect to f.eff_parent through one more hop.
+      for (auto it = pn.children.rbegin(); it != pn.children.rend(); ++it) {
+        EdgeSpec hop = axis_spec(pattern.node(*it).axis);
+        stack.push_back(Frame{*it, f.eff_parent, combine(f.pending, hop)});
+      }
+      continue;
+    }
+
+    Node en;
+    en.label = pn.label;
+    en.is_value = pn.is_value;
+    en.parent = f.eff_parent;
+    en.edge = f.pending;
+    uint32_t id = static_cast<uint32_t>(out.nodes_.size());
+    out.nodes_.push_back(std::move(en));
+    out.star_flags_.push_back(pn.is_star);
+    if (f.eff_parent != TwigPattern::kNoParent) {
+      out.nodes_[f.eff_parent].children.push_back(id);
+    }
+    for (auto it = pn.children.rbegin(); it != pn.children.rend(); ++it) {
+      stack.push_back(Frame{*it, id, axis_spec(pattern.node(*it).axis)});
+    }
+  }
+
+  // LIFO processing visits siblings in order but records children via
+  // push-order; reverse-push above already preserves syntactic order.
+  return out;
+}
+
+bool EffectiveTwig::NeedsGeneralizedMatching() const {
+  if (root_anchor_.exact || root_anchor_.min_edges > 0) return true;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (star_flags_[i]) return true;
+    if (i > 0 && nodes_[i].edge != EdgeSpec{1, true}) return true;
+  }
+  return false;
+}
+
+bool EffectiveTwig::HasValue() const {
+  for (const Node& n : nodes_) {
+    if (n.is_value) return true;
+  }
+  return false;
+}
+
+void EffectiveTwig::PermuteChildren(uint32_t id,
+                                    const std::vector<uint32_t>& new_order) {
+  PRIX_CHECK(id < nodes_.size());
+  std::vector<uint32_t>& kids = nodes_[id].children;
+  PRIX_CHECK(new_order.size() == kids.size());
+  kids = new_order;
+}
+
+EffectiveTwig EffectiveTwig::ExtractPath(
+    const std::vector<uint32_t>& path) const {
+  PRIX_CHECK(!path.empty());
+  PRIX_CHECK(path[0] == root());
+  EffectiveTwig out;
+  out.root_anchor_ = root_anchor_;
+  for (size_t i = 0; i < path.size(); ++i) {
+    const Node& src = nodes_[path[i]];
+    if (i > 0) PRIX_CHECK(src.parent == path[i - 1]);
+    Node n;
+    n.label = src.label;
+    n.is_value = src.is_value;
+    n.edge = src.edge;
+    n.parent = i == 0 ? TwigPattern::kNoParent
+                      : static_cast<uint32_t>(i - 1);
+    if (i > 0) out.nodes_[i - 1].children.push_back(static_cast<uint32_t>(i));
+    out.nodes_.push_back(std::move(n));
+    out.star_flags_.push_back(star_flags_[path[i]]);
+  }
+  return out;
+}
+
+std::vector<uint32_t> EffectiveTwig::ComputePostorder() const {
+  std::vector<uint32_t> number(nodes_.size(), 0);
+  if (nodes_.empty()) return number;
+  uint32_t counter = 0;
+  std::vector<std::pair<uint32_t, size_t>> stack = {{root(), 0}};
+  while (!stack.empty()) {
+    auto& [v, idx] = stack.back();
+    if (idx < nodes_[v].children.size()) {
+      stack.emplace_back(nodes_[v].children[idx++], 0);
+    } else {
+      number[v] = ++counter;
+      stack.pop_back();
+    }
+  }
+  return number;
+}
+
+std::vector<uint32_t> EffectiveTwig::PostorderInverse() const {
+  std::vector<uint32_t> number = ComputePostorder();
+  std::vector<uint32_t> inverse(nodes_.size() + 1, TwigPattern::kNoParent);
+  for (uint32_t v = 0; v < nodes_.size(); ++v) inverse[number[v]] = v;
+  return inverse;
+}
+
+namespace {
+
+void AppendNode(const TwigPattern& twig, const TagDictionary& dict,
+                uint32_t id, std::string& out) {
+  const TwigPattern::Node& n = twig.node(id);
+  out += n.axis == Axis::kChild ? "/" : "//";
+  if (n.is_star) {
+    out += '*';
+  } else if (n.is_value) {
+    out += "=\"" + dict.Name(n.label) + "\"";
+  } else {
+    out += dict.Name(n.label);
+  }
+  for (uint32_t c : n.children) {
+    out += '[';
+    AppendNode(twig, dict, c, out);
+    out += ']';
+  }
+}
+
+}  // namespace
+
+std::string TwigToString(const TwigPattern& twig, const TagDictionary& dict) {
+  std::string out;
+  if (twig.empty()) return out;
+  AppendNode(twig, dict, twig.root(), out);
+  return out;
+}
+
+}  // namespace prix

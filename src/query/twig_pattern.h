@@ -1,0 +1,149 @@
+#ifndef PRIX_QUERY_TWIG_PATTERN_H_
+#define PRIX_QUERY_TWIG_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "xml/tag_dictionary.h"
+
+namespace prix {
+
+/// XPath axis connecting a twig node to its parent.
+enum class Axis : uint8_t {
+  kChild,       ///< '/'
+  kDescendant,  ///< '//'
+};
+
+/// A twig (tree) pattern: the query model of the paper (Sec. 4). Nodes carry
+/// either an element label test, a '*' wildcard, or a value (equality
+/// predicate on character data). Children are in syntactic order, which is
+/// the order used for ordered twig matching.
+class TwigPattern {
+ public:
+  struct Node {
+    LabelId label = kInvalidLabel;  ///< kInvalidLabel iff is_star
+    bool is_star = false;           ///< '*' name test
+    bool is_value = false;          ///< value equality (text()="..." etc.)
+    Axis axis = Axis::kChild;       ///< axis from parent (root: anchor axis)
+    uint32_t parent = kNoParent;
+    std::vector<uint32_t> children;
+  };
+  static constexpr uint32_t kNoParent = 0xffffffffu;
+
+  TwigPattern() = default;
+
+  /// Adds the root. `axis` is the anchor: kChild = must match the document
+  /// root; kDescendant = may match anywhere (leading '//').
+  uint32_t AddRoot(LabelId label, Axis axis, bool is_star = false);
+
+  /// Adds a child of `parent` in syntactic order.
+  uint32_t AddChild(uint32_t parent, LabelId label, Axis axis,
+                    bool is_star = false, bool is_value = false);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  uint32_t root() const { return 0; }
+  const Node& node(uint32_t id) const {
+    PRIX_DCHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+
+  /// True if any node is '*' or any non-root edge is kDescendant, or the
+  /// query has a kChild anchor (all of which need the generalized
+  /// connectedness / verification path of Sec. 4.5).
+  bool HasWildcard() const;
+
+  /// True if any node is a value test (drives the RPIndex/EPIndex choice of
+  /// Sec. 5.6).
+  bool HasValue() const;
+
+  /// Number of leaf-branches (leaves of the pattern).
+  size_t CountLeaves() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Constraint on the path a query edge may map to in the data:
+/// child '/'          -> {1, exact}
+/// descendant '//'    -> {1, unbounded}
+/// through k stars    -> {k+1, exact};  '//' anywhere in the chain makes it
+/// unbounded with min_edges = (#named/star hops).
+struct EdgeSpec {
+  uint32_t min_edges = 1;
+  bool exact = true;
+
+  bool operator==(const EdgeSpec&) const = default;
+};
+
+/// The twig with '*' nodes folded into the edges of their nearest named (or
+/// value) descendants — the form the Prüfer machinery operates on
+/// ("transformed to its Prüfer sequences by ignoring the wildcards",
+/// Sec. 4.5). Node 0 is the root; children preserve syntactic order.
+class EffectiveTwig {
+ public:
+  struct Node {
+    LabelId label = kInvalidLabel;
+    bool is_value = false;
+    EdgeSpec edge;  ///< constraint on the path to the effective parent
+    uint32_t parent = TwigPattern::kNoParent;
+    std::vector<uint32_t> children;
+  };
+
+  /// Builds the effective twig from `pattern`. Fails if a '*' node is a leaf
+  /// of the pattern in a position that cannot be folded (a trailing '*' is
+  /// kept as an anonymous node matched by label-wildcard; see notes).
+  static EffectiveTwig Build(const TwigPattern& pattern);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  uint32_t root() const { return 0; }
+  const Node& node(uint32_t id) const {
+    PRIX_DCHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Anchor of the root relative to the document root: min_edges below it,
+  /// exact or unbounded. ("//a" -> {0, unbounded}; "/a" -> {0, exact}.)
+  EdgeSpec root_anchor() const { return root_anchor_; }
+
+  /// True if the root anchors exactly ("/a"), any node is a trailing star,
+  /// or any edge is not a plain child edge.
+  bool NeedsGeneralizedMatching() const;
+
+  bool HasValue() const;
+
+  /// True if node `id` is a trailing '*' (label wildcard kept as a node).
+  bool is_star(uint32_t id) const { return star_flags_[id]; }
+
+  /// Reorders node `id`'s children to `new_order` (a permutation of the
+  /// current list). Used to enumerate arrangements for unordered matching.
+  void PermuteChildren(uint32_t id, const std::vector<uint32_t>& new_order);
+
+  /// Returns the chain twig consisting of `path` (node ids from the root
+  /// downward, each the parent of the next), preserving labels and edge
+  /// specs. Every document matching this twig is matched by any twig that
+  /// contains the path, which makes it a sound filter (see DESIGN.md on
+  /// branch coincidence under wildcards).
+  EffectiveTwig ExtractPath(const std::vector<uint32_t>& path) const;
+
+  /// 1-based postorder numbers over the effective twig.
+  std::vector<uint32_t> ComputePostorder() const;
+
+  /// Per postorder number k in [1, num_nodes]: the effective node id.
+  std::vector<uint32_t> PostorderInverse() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<bool> star_flags_;
+  EdgeSpec root_anchor_{0, false};
+};
+
+/// Human-readable rendering for diagnostics ("a[b][.//c="v"]").
+std::string TwigToString(const TwigPattern& twig, const TagDictionary& dict);
+
+}  // namespace prix
+
+#endif  // PRIX_QUERY_TWIG_PATTERN_H_

@@ -1,0 +1,132 @@
+#include "query/xpath_parser.h"
+
+#include <cctype>
+
+#include "common/macros.h"
+
+namespace prix {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, TagDictionary* dict)
+      : text_(text), dict_(dict) {}
+
+  Result<TwigPattern> Run() {
+    PRIX_ASSIGN_OR_RETURN(Axis axis, ParseAxis());
+    PRIX_RETURN_NOT_OK(ParseStep(TwigPattern::kNoParent, axis));
+    while (!AtEnd()) {
+      PRIX_ASSIGN_OR_RETURN(Axis next, ParseAxis());
+      PRIX_RETURN_NOT_OK(ParseStep(current_, next));
+    }
+    return std::move(twig_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  Status Error(std::string msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_) +
+                              " in XPath '" + std::string(text_) + "'");
+  }
+
+  Result<Axis> ParseAxis() {
+    if (Consume("//")) return Axis::kDescendant;
+    if (Consume("/")) return Axis::kChild;
+    return Error("expected '/' or '//'");
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    if (!AtEnd() && Peek() == '@') ++pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected a name test");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseString() {
+    if (AtEnd() || Peek() != '"') return Error("expected '\"'");
+    ++pos_;
+    size_t end = text_.find('"', pos_);
+    if (end == std::string_view::npos) return Error("unterminated string");
+    std::string value(text_.substr(pos_, end - pos_));
+    pos_ = end + 1;
+    return value;
+  }
+
+  /// Parses one step and its predicates; sets current_ to the step's node.
+  Status ParseStep(uint32_t parent, Axis axis) {
+    uint32_t node;
+    if (Consume("*")) {
+      node = parent == TwigPattern::kNoParent
+                 ? twig_.AddRoot(kInvalidLabel, axis, /*is_star=*/true)
+                 : twig_.AddChild(parent, kInvalidLabel, axis,
+                                  /*is_star=*/true);
+    } else {
+      PRIX_ASSIGN_OR_RETURN(std::string name, ParseName());
+      LabelId label = dict_->Intern(name);
+      node = parent == TwigPattern::kNoParent
+                 ? twig_.AddRoot(label, axis)
+                 : twig_.AddChild(parent, label, axis);
+    }
+    while (!AtEnd() && Peek() == '[') {
+      ++pos_;
+      PRIX_RETURN_NOT_OK(ParsePredicate(node));
+      if (!Consume("]")) return Error("expected ']'");
+    }
+    current_ = node;
+    return Status::OK();
+  }
+
+  Status ParsePredicate(uint32_t context) {
+    if (Consume("text()")) {
+      if (!Consume("=")) return Error("expected '=' after text()");
+      PRIX_ASSIGN_OR_RETURN(std::string value, ParseString());
+      twig_.AddChild(context, dict_->Intern(value), Axis::kChild,
+                     /*is_star=*/false, /*is_value=*/true);
+      return Status::OK();
+    }
+    if (!Consume(".")) return Error("expected '.' or 'text()' in predicate");
+    uint32_t saved = current_;
+    uint32_t tip = context;
+    while (!AtEnd() && Peek() == '/') {
+      PRIX_ASSIGN_OR_RETURN(Axis axis, ParseAxis());
+      PRIX_RETURN_NOT_OK(ParseStep(tip, axis));
+      tip = current_;
+    }
+    if (Consume("=")) {
+      PRIX_ASSIGN_OR_RETURN(std::string value, ParseString());
+      twig_.AddChild(tip, dict_->Intern(value), Axis::kChild,
+                     /*is_star=*/false, /*is_value=*/true);
+    }
+    current_ = saved;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  TagDictionary* dict_;
+  TwigPattern twig_;
+  size_t pos_ = 0;
+  uint32_t current_ = TwigPattern::kNoParent;
+};
+
+}  // namespace
+
+Result<TwigPattern> ParseXPath(std::string_view xpath, TagDictionary* dict) {
+  Parser parser(xpath, dict);
+  return parser.Run();
+}
+
+}  // namespace prix

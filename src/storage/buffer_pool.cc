@@ -1,0 +1,141 @@
+#include "storage/buffer_pool.h"
+
+#include "common/macros.h"
+
+namespace prix {
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_pages) : disk_(disk) {
+  PRIX_CHECK(pool_pages > 0);
+  frames_.reserve(pool_pages);
+  for (size_t i = 0; i < pool_pages; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_pages - 1 - i);  // pop_back yields frame 0 first
+  }
+  lru_pos_.assign(pool_pages, lru_.end());
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors at teardown are not recoverable anyway.
+  (void)FlushAll();
+}
+
+Result<Page*> BufferPool::FetchPage(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    size_t frame = it->second;
+    Page* page = frames_[frame].get();
+    ++page->pin_count_;
+    Touch(frame);
+    return page;
+  }
+  ++stats_.misses;
+  PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  PRIX_RETURN_NOT_OK(disk_->ReadPage(id, page->data_));
+  ++stats_.physical_reads;
+  page->page_id_ = id;
+  page->pin_count_ = 1;
+  page->dirty_ = false;
+  table_[id] = frame;
+  Touch(frame);
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  PRIX_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  std::memset(page->data_, 0, kPageSize);
+  page->page_id_ = id;
+  page->pin_count_ = 1;
+  page->dirty_ = true;
+  table_[id] = frame;
+  Touch(frame);
+  return page;
+}
+
+void BufferPool::UnpinPage(PageId id, bool dirty) {
+  auto it = table_.find(id);
+  PRIX_CHECK(it != table_.end());
+  Page* page = frames_[it->second].get();
+  PRIX_CHECK(page->pin_count_ > 0);
+  --page->pin_count_;
+  if (dirty) page->dirty_ = true;
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : table_) {
+    Page* page = frames_[frame].get();
+    if (page->dirty_) {
+      PRIX_RETURN_NOT_OK(disk_->WritePage(id, page->data_));
+      ++stats_.physical_writes;
+      page->dirty_ = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Clear() {
+  for (auto& frame : frames_) {
+    if (frame->page_id_ != kInvalidPage && frame->pin_count_ > 0) {
+      return Status::InvalidArgument("Clear() with pinned page " +
+                                     std::to_string(frame->page_id_));
+    }
+  }
+  PRIX_RETURN_NOT_OK(FlushAll());
+  table_.clear();
+  lru_.clear();
+  size_t pool_pages = frames_.size();
+  free_frames_.clear();
+  for (size_t i = 0; i < pool_pages; ++i) {
+    frames_[i]->Reset();
+    free_frames_.push_back(pool_pages - 1 - i);
+    lru_pos_[i] = lru_.end();
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // LRU scan from the back (least recent) for an unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    size_t frame = *it;
+    if (frames_[frame]->pin_count_ == 0) {
+      PRIX_RETURN_NOT_OK(EvictFrame(frame));
+      return frame;
+    }
+  }
+  return Status::ResourceExhausted("all buffer pool pages are pinned");
+}
+
+Status BufferPool::EvictFrame(size_t frame) {
+  Page* page = frames_[frame].get();
+  PRIX_DCHECK(page->pin_count_ == 0);
+  if (page->dirty_) {
+    PRIX_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
+    ++stats_.physical_writes;
+  }
+  ++stats_.evictions;
+  table_.erase(page->page_id_);
+  if (lru_pos_[frame] != lru_.end()) {
+    lru_.erase(lru_pos_[frame]);
+    lru_pos_[frame] = lru_.end();
+  }
+  page->Reset();
+  return Status::OK();
+}
+
+void BufferPool::Touch(size_t frame) {
+  if (lru_pos_[frame] != lru_.end()) {
+    lru_.erase(lru_pos_[frame]);
+  }
+  lru_.push_front(frame);
+  lru_pos_[frame] = lru_.begin();
+}
+
+}  // namespace prix

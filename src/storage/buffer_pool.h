@@ -1,0 +1,119 @@
+#ifndef PRIX_STORAGE_BUFFER_POOL_H_
+#define PRIX_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace prix {
+
+/// Counters the benchmarks report. `physical_reads` is the paper's
+/// "Disk IO (pages)" metric.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t evictions = 0;
+};
+
+/// Fixed-capacity page cache with LRU replacement and pin counting, mirroring
+/// the paper's 2000-page buffer pool (Sec. 6.1). Clearing the pool before a
+/// query emulates the paper's direct-I/O cold-cache measurement.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t pool_pages);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Fetches page `id`, reading from disk on a miss. The page is pinned;
+  /// callers must UnpinPage (or use PageGuard).
+  Result<Page*> FetchPage(PageId id);
+
+  /// Allocates a fresh page on disk and pins an empty frame for it.
+  Result<Page*> NewPage();
+
+  /// Drops a pin. `dirty` marks the frame for write-back on eviction/flush.
+  void UnpinPage(PageId id, bool dirty);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  /// Flushes then evicts every frame — the cold-cache reset used before each
+  /// benchmarked query. Requires no pinned pages.
+  Status Clear();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  size_t capacity() const { return frames_.size(); }
+  size_t pages_cached() const { return table_.size(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  using LruList = std::list<size_t>;  // frame indexes, front = most recent
+
+  /// Finds a frame to (re)use: a free frame or the LRU unpinned victim.
+  Result<size_t> GetVictimFrame();
+  void Touch(size_t frame);
+  Status EvictFrame(size_t frame);
+
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
+  LruList lru_;
+  std::vector<LruList::iterator> lru_pos_;  // per-frame position (or end)
+  BufferPoolStats stats_;
+};
+
+/// RAII pin holder. Unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,98 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prix {
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DiskManager::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::InvalidArgument("disk manager already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  path_ = path;
+  num_pages_ = 0;
+  return Status::OK();
+}
+
+Status DiskManager::OpenExisting(const std::string& path) {
+  if (fd_ >= 0) return Status::InvalidArgument("disk manager already open");
+  fd_ = ::open(path.c_str(), O_RDWR);
+  if (fd_ < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  path_ = path;
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0 || size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Corruption(path + " is not page-aligned");
+  }
+  num_pages_ = static_cast<uint32_t>(size / static_cast<off_t>(kPageSize));
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (fd_ < 0) return Status::OK();
+  if (::close(fd_) != 0) {
+    return Status::IoError("close: " + std::string(std::strerror(errno)));
+  }
+  fd_ = -1;
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (fd_ < 0) return Status::InvalidArgument("disk manager not open");
+  PageId id = num_pages_++;
+  // Extend the file eagerly so reads of never-written pages see zeros.
+  char zeros[kPageSize] = {};
+  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  if (::pwrite(fd_, zeros, kPageSize, offset) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite(extend): " +
+                           std::string(std::strerror(errno)));
+  }
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("disk manager not open");
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  ssize_t n = ::pread(fd_, buf, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pread page " + std::to_string(id) + ": " +
+                           std::strerror(errno));
+  }
+  ++read_count_;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("disk manager not open");
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  ssize_t n = ::pwrite(fd_, buf, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("pwrite page " + std::to_string(id) + ": " +
+                           std::strerror(errno));
+  }
+  ++write_count_;
+  return Status::OK();
+}
+
+}  // namespace prix

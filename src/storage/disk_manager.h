@@ -1,0 +1,54 @@
+#ifndef PRIX_STORAGE_DISK_MANAGER_H_
+#define PRIX_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace prix {
+
+/// Raw page I/O over one database file. Pages are allocated append-only.
+/// Counts physical reads/writes; the benchmarks report the read counter as
+/// the paper's "Disk IO (pages)" column.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Creates (truncating if present) the database file at `path`.
+  Status Open(const std::string& path);
+
+  /// Opens an existing database file; page count is taken from its size.
+  Status OpenExisting(const std::string& path);
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Allocates a fresh page at the end of the file.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  Status ReadPage(PageId id, char* buf);
+
+  /// Writes `buf` (kPageSize bytes) to page `id`.
+  Status WritePage(PageId id, const char* buf);
+
+  uint32_t num_pages() const { return num_pages_; }
+  uint64_t read_count() const { return read_count_; }
+  uint64_t write_count() const { return write_count_; }
+  void ResetCounters() { read_count_ = write_count_ = 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t num_pages_ = 0;
+  uint64_t read_count_ = 0;
+  uint64_t write_count_ = 0;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_STORAGE_DISK_MANAGER_H_

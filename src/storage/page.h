@@ -1,0 +1,48 @@
+#ifndef PRIX_STORAGE_PAGE_H_
+#define PRIX_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace prix {
+
+/// Identifier of an 8 KB page within a database file.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+/// Page size used throughout, matching the paper's experimental setup
+/// (Sec. 6.1: "The page size of 8K was used").
+inline constexpr size_t kPageSize = 8192;
+
+/// An in-memory frame holding one disk page. Access to `data()` is valid
+/// while the page is pinned in the buffer pool.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return dirty_; }
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPage;
+    pin_count_ = 0;
+    dirty_ = false;
+  }
+
+ private:
+  friend class BufferPool;
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPage;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_STORAGE_PAGE_H_

@@ -1,0 +1,173 @@
+#include "storage/record_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace prix {
+
+void PutU32(std::vector<char>* buf, uint32_t v) {
+  char tmp[4];
+  std::memcpy(tmp, &v, 4);
+  buf->insert(buf->end(), tmp, tmp + 4);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void PutU64(std::vector<char>* buf, uint64_t v) {
+  char tmp[8];
+  std::memcpy(tmp, &v, 8);
+  buf->insert(buf->end(), tmp, tmp + 8);
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data) {
+  // Page layout: [next PageId u32][chunk len u32][payload].
+  constexpr size_t kPayload = kPageSize - 8;
+  size_t num_pages = std::max<size_t>(1, (data.size() + kPayload - 1) / kPayload);
+  std::vector<PageId> ids(num_pages);
+  for (size_t i = 0; i < num_pages; ++i) {
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool->NewPage());
+    ids[i] = page->page_id();
+    pool->UnpinPage(ids[i], /*dirty=*/true);
+  }
+  for (size_t i = 0; i < num_pages; ++i) {
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(ids[i]));
+    PageId next = i + 1 < num_pages ? ids[i + 1] : kInvalidPage;
+    size_t offset = i * kPayload;
+    uint32_t chunk =
+        static_cast<uint32_t>(std::min(kPayload, data.size() - offset));
+    std::memcpy(page->data(), &next, 4);
+    std::memcpy(page->data() + 4, &chunk, 4);
+    if (chunk > 0) std::memcpy(page->data() + 8, data.data() + offset, chunk);
+    pool->UnpinPage(ids[i], /*dirty=*/true);
+  }
+  return ids[0];
+}
+
+Status ReadBlob(BufferPool* pool, PageId first, std::vector<char>* out) {
+  out->clear();
+  PageId cur = first;
+  while (cur != kInvalidPage) {
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(cur));
+    PageId next;
+    uint32_t chunk;
+    std::memcpy(&next, page->data(), 4);
+    std::memcpy(&chunk, page->data() + 4, 4);
+    if (chunk > kPageSize - 8) {
+      pool->UnpinPage(cur, false);
+      return Status::Corruption("blob chunk length out of range");
+    }
+    out->insert(out->end(), page->data() + 8, page->data() + 8 + chunk);
+    pool->UnpinPage(cur, false);
+    cur = next;
+  }
+  return Status::OK();
+}
+
+void RecordStore::SerializeTo(std::vector<char>* out) const {
+  PutU64(out, next_offset_);
+  PutU32(out, static_cast<uint32_t>(pages_.size()));
+  for (PageId id : pages_) PutU32(out, id);
+  PutU32(out, static_cast<uint32_t>(catalog_.size()));
+  for (const Extent& e : catalog_) {
+    PutU64(out, e.offset);
+    PutU32(out, e.length);
+  }
+}
+
+Result<RecordStore> RecordStore::Deserialize(BufferPool* pool, const char** p,
+                                             const char* end) {
+  auto need = [&](size_t bytes) -> Status {
+    if (*p + bytes > end) return Status::Corruption("truncated store catalog");
+    return Status::OK();
+  };
+  RecordStore store(pool);
+  PRIX_RETURN_NOT_OK(need(12));
+  store.next_offset_ = GetU64(*p);
+  *p += 8;
+  uint32_t num_pages = GetU32(*p);
+  *p += 4;
+  PRIX_RETURN_NOT_OK(need(4ull * num_pages + 4));
+  store.pages_.resize(num_pages);
+  for (uint32_t i = 0; i < num_pages; ++i, *p += 4) {
+    store.pages_[i] = GetU32(*p);
+  }
+  uint32_t num_records = GetU32(*p);
+  *p += 4;
+  PRIX_RETURN_NOT_OK(need(12ull * num_records));
+  store.catalog_.resize(num_records);
+  for (uint32_t i = 0; i < num_records; ++i) {
+    store.catalog_[i].offset = GetU64(*p);
+    *p += 8;
+    store.catalog_[i].length = GetU32(*p);
+    *p += 4;
+  }
+  return store;
+}
+
+Result<uint32_t> RecordStore::Append(const char* data, size_t len) {
+  Extent extent{next_offset_, static_cast<uint32_t>(len)};
+  PRIX_RETURN_NOT_OK(AppendBytes(data, len));
+  uint32_t id = static_cast<uint32_t>(catalog_.size());
+  catalog_.push_back(extent);
+  return id;
+}
+
+Status RecordStore::Load(uint32_t id, std::vector<char>* out) const {
+  if (id >= catalog_.size()) {
+    return Status::NotFound("record " + std::to_string(id) + " not in store");
+  }
+  const Extent& e = catalog_[id];
+  out->resize(e.length);
+  return ReadBytes(e.offset, out->data(), e.length);
+}
+
+Status RecordStore::AppendBytes(const char* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    size_t page_index = static_cast<size_t>(next_offset_ / kPageSize);
+    size_t page_off = static_cast<size_t>(next_offset_ % kPageSize);
+    if (page_index == pages_.size()) {
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
+      pages_.push_back(page->page_id());
+      pool_->UnpinPage(page->page_id(), /*dirty=*/true);
+    }
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_index]));
+    size_t chunk = std::min(len - written, kPageSize - page_off);
+    std::memcpy(page->data() + page_off, data + written, chunk);
+    pool_->UnpinPage(pages_[page_index], /*dirty=*/true);
+    written += chunk;
+    next_offset_ += chunk;
+  }
+  return Status::OK();
+}
+
+Status RecordStore::ReadBytes(uint64_t offset, char* out, size_t len) const {
+  size_t done = 0;
+  while (done < len) {
+    size_t page_index = static_cast<size_t>((offset + done) / kPageSize);
+    size_t page_off = static_cast<size_t>((offset + done) % kPageSize);
+    if (page_index >= pages_.size()) {
+      return Status::OutOfRange("RecordStore read past end");
+    }
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_index]));
+    size_t chunk = std::min(len - done, kPageSize - page_off);
+    std::memcpy(out + done, page->data() + page_off, chunk);
+    pool_->UnpinPage(pages_[page_index], /*dirty=*/false);
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace prix

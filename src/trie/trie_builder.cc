@@ -1,0 +1,50 @@
+#include "trie/trie_builder.h"
+
+#include <algorithm>
+
+namespace prix {
+
+SequenceTrie::SequenceTrie() {
+  nodes_.push_back(Node{});  // root, depth 0
+}
+
+void SequenceTrie::Insert(const std::vector<LabelId>& seq, DocId doc) {
+  uint32_t cur = root();
+  ++nodes_[cur].seqs_through;
+  for (LabelId label : seq) {
+    auto it = nodes_[cur].children.find(label);
+    uint32_t next;
+    if (it == nodes_[cur].children.end()) {
+      next = static_cast<uint32_t>(nodes_.size());
+      Node n;
+      n.label = label;
+      n.parent = cur;
+      n.depth = nodes_[cur].depth + 1;
+      nodes_.push_back(std::move(n));
+      nodes_[cur].children.emplace(label, next);
+    } else {
+      next = it->second;
+    }
+    cur = next;
+    ++nodes_[cur].seqs_through;
+  }
+  nodes_[cur].end_docs.push_back(doc);
+}
+
+std::vector<uint32_t> SequenceTrie::SortedChildren(uint32_t id) const {
+  std::vector<uint32_t> kids;
+  kids.reserve(nodes_[id].children.size());
+  for (const auto& [label, child] : nodes_[id].children) kids.push_back(child);
+  std::sort(kids.begin(), kids.end(), [this](uint32_t a, uint32_t b) {
+    return nodes_[a].label < nodes_[b].label;
+  });
+  return kids;
+}
+
+uint32_t SequenceTrie::MaxDepth() const {
+  uint32_t max_depth = 0;
+  for (const Node& n : nodes_) max_depth = std::max(max_depth, n.depth);
+  return max_depth;
+}
+
+}  // namespace prix

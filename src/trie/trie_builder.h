@@ -1,0 +1,52 @@
+#ifndef PRIX_TRIE_TRIE_BUILDER_H_
+#define PRIX_TRIE_TRIE_BUILDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace prix {
+
+/// A trie over label sequences (the LPS's of a collection, Sec. 5.2.1).
+/// "Similarity in documents" shows up as shared root-to-leaf paths: the
+/// paper reports one DBLP path shared by 31,864 sequences. The trie itself
+/// is a build-time structure; queries only ever touch the B+-trees
+/// materialized from it.
+class SequenceTrie {
+ public:
+  static constexpr uint32_t kNoNode = 0xffffffffu;
+
+  struct Node {
+    LabelId label = kInvalidLabel;
+    uint32_t parent = kNoNode;
+    uint32_t depth = 0;  ///< level: position of this label in the sequence
+    uint64_t seqs_through = 0;  ///< sequences whose prefix reaches this node
+    std::vector<DocId> end_docs;  ///< documents whose LPS ends here
+    std::unordered_map<LabelId, uint32_t> children;
+  };
+
+  SequenceTrie();
+
+  /// Inserts one sequence ending at a node that records `doc`.
+  void Insert(const std::vector<LabelId>& seq, DocId doc);
+
+  uint32_t root() const { return 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(uint32_t id) const { return nodes_[id]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Children of `id` ordered by label id (deterministic iteration order).
+  std::vector<uint32_t> SortedChildren(uint32_t id) const;
+
+  /// Longest root-to-leaf path length.
+  uint32_t MaxDepth() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_TRIE_TRIE_BUILDER_H_

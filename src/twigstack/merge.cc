@@ -1,0 +1,97 @@
+#include "twigstack/merge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace prix {
+
+namespace {
+
+/// Partial twig assignment: node -> element begin key (0 = unassigned),
+/// plus the postorder image for reporting.
+struct Partial {
+  std::vector<uint64_t> key;    // per twig node, BeginKey or 0
+  std::vector<uint32_t> image;  // per twig node, postorder number
+  DocId doc = 0;
+};
+
+}  // namespace
+
+std::vector<TwigMatch> MergePathSolutions(
+    const EffectiveTwig& twig, const std::vector<PathSolutionSet>& paths,
+    uint64_t* join_rows_examined) {
+  std::vector<TwigMatch> out;
+  if (paths.empty()) return out;
+  for (const PathSolutionSet& p : paths) {
+    if (p.solutions.empty()) return out;  // some leaf never matched
+  }
+  uint64_t rows = 0;
+  const size_t n = twig.num_nodes();
+
+  std::vector<Partial> acc;
+  std::vector<bool> assigned(n, false);
+  // Seed with the first path's solutions.
+  for (const auto& sol : paths[0].solutions) {
+    Partial partial;
+    partial.key.assign(n, 0);
+    partial.image.assign(n, 0);
+    for (size_t i = 0; i < paths[0].path.size(); ++i) {
+      partial.key[paths[0].path[i]] = sol[i].BeginKey();
+      partial.image[paths[0].path[i]] = sol[i].post;
+    }
+    partial.doc = sol[0].doc;
+    acc.push_back(std::move(partial));
+    ++rows;
+  }
+  for (uint32_t node : paths[0].path) assigned[node] = true;
+
+  for (size_t pi = 1; pi < paths.size(); ++pi) {
+    const PathSolutionSet& p = paths[pi];
+    // Shared nodes: the already-assigned prefix of this path.
+    std::vector<size_t> shared_idx;
+    std::vector<size_t> fresh_idx;
+    for (size_t i = 0; i < p.path.size(); ++i) {
+      (assigned[p.path[i]] ? shared_idx : fresh_idx).push_back(i);
+    }
+    // Hash the accumulated tuples by their projection on the shared nodes.
+    std::map<std::vector<uint64_t>, std::vector<size_t>> table;
+    for (size_t a = 0; a < acc.size(); ++a) {
+      std::vector<uint64_t> proj;
+      proj.reserve(shared_idx.size());
+      for (size_t i : shared_idx) proj.push_back(acc[a].key[p.path[i]]);
+      table[std::move(proj)].push_back(a);
+    }
+    std::vector<Partial> next;
+    for (const auto& sol : p.solutions) {
+      ++rows;
+      std::vector<uint64_t> proj;
+      proj.reserve(shared_idx.size());
+      for (size_t i : shared_idx) proj.push_back(sol[i].BeginKey());
+      auto it = table.find(proj);
+      if (it == table.end()) continue;
+      for (size_t a : it->second) {
+        Partial merged = acc[a];
+        for (size_t i : fresh_idx) {
+          merged.key[p.path[i]] = sol[i].BeginKey();
+          merged.image[p.path[i]] = sol[i].post;
+        }
+        next.push_back(std::move(merged));
+      }
+    }
+    acc = std::move(next);
+    for (uint32_t node : p.path) assigned[node] = true;
+    if (acc.empty()) break;
+  }
+
+  out.reserve(acc.size());
+  for (Partial& partial : acc) {
+    out.push_back(TwigMatch{partial.doc, std::move(partial.image)});
+  }
+  std::sort(out.begin(), out.end());
+  if (join_rows_examined != nullptr) *join_rows_examined += rows;
+  return out;
+}
+
+}  // namespace prix

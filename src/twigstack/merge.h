@@ -1,0 +1,31 @@
+#ifndef PRIX_TWIGSTACK_MERGE_H_
+#define PRIX_TWIGSTACK_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "naive/naive_matcher.h"
+#include "query/twig_pattern.h"
+#include "twigstack/position_stream.h"
+
+namespace prix {
+
+/// Solutions of one root-to-leaf query path: `path` lists effective-twig
+/// node ids from the root down; each solution assigns an element to every
+/// path node.
+struct PathSolutionSet {
+  std::vector<uint32_t> path;
+  std::vector<std::vector<ElementPos>> solutions;
+};
+
+/// The merge post-processing step of TwigStack (Sec. 2): equi-joins the
+/// per-path solution lists on their shared query nodes, producing complete
+/// twig tuples under standard twig-join semantics. Images are reported as
+/// postorder numbers. `join_rows_examined` (optional) counts the work.
+std::vector<TwigMatch> MergePathSolutions(
+    const EffectiveTwig& twig, const std::vector<PathSolutionSet>& paths,
+    uint64_t* join_rows_examined = nullptr);
+
+}  // namespace prix
+
+#endif  // PRIX_TWIGSTACK_MERGE_H_

@@ -1,0 +1,131 @@
+#include "twigstack/path_stack.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace prix {
+
+namespace {
+
+bool EdgeOk(const EdgeSpec& edge, const ElementPos& anc,
+            const ElementPos& desc) {
+  if (!(anc.doc == desc.doc && anc.left < desc.left &&
+        desc.right < anc.right)) {
+    return false;
+  }
+  uint32_t dist = desc.level - anc.level;
+  return edge.exact ? dist == edge.min_edges : dist >= edge.min_edges;
+}
+
+struct StackEntry {
+  ElementPos elem;
+  int parent_top;
+};
+
+}  // namespace
+
+Result<PathStackResult> PathStackEngine::Execute(const TwigPattern& pattern) {
+  if (pattern.empty()) return Status::InvalidArgument("empty twig pattern");
+  EffectiveTwig twig = EffectiveTwig::Build(pattern);
+  const size_t n = twig.num_nodes();
+  std::vector<uint32_t> path;  // root .. leaf
+  for (uint32_t q = 0; q < n; ++q) {
+    if (twig.is_star(q)) {
+      return Status::NotImplemented("PathStack does not stream '*' tests");
+    }
+    if (twig.node(q).children.size() > 1) {
+      return Status::InvalidArgument("PathStack accepts only path queries");
+    }
+  }
+  uint32_t cur = twig.root();
+  while (true) {
+    path.push_back(cur);
+    if (twig.node(cur).children.empty()) break;
+    cur = twig.node(cur).children[0];
+  }
+
+  std::vector<SimpleStreamCursor> cursors;
+  cursors.reserve(n);
+  for (uint32_t q : path) {
+    cursors.emplace_back(store_, store_->Find(twig.node(q).label));
+  }
+  for (auto& c : cursors) PRIX_RETURN_NOT_OK(c.Init());
+
+  std::vector<std::vector<StackEntry>> stacks(path.size());
+  PathSolutionSet set;
+  set.path = path;
+  PathStackResult result;
+
+  const size_t leaf = path.size() - 1;
+  while (!cursors[leaf].Eof()) {
+    // qmin: the non-eof stream with the smallest next begin key.
+    size_t qmin = leaf;
+    uint64_t lmin = cursors[leaf].NextL();
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (cursors[i].NextL() < lmin) {
+        lmin = cursors[i].NextL();
+        qmin = i;
+      }
+    }
+    const ElementPos elem = cursors[qmin].Current();
+    ++result.stats.elements_processed;
+    for (size_t i = 0; i < path.size(); ++i) {
+      auto& stack = stacks[i];
+      while (!stack.empty() && stack.back().elem.EndKey() < lmin) {
+        stack.pop_back();
+      }
+    }
+    if (qmin == leaf) {
+      // Expand solutions: choose one stack entry per ancestor level, bound
+      // by the chained parent_top pointers.
+      std::vector<ElementPos> partial(path.size());
+      partial[leaf] = elem;
+      struct Frame {
+        int idx;
+        int bound;
+      };
+      // Recursive expansion via explicit lambda recursion.
+      auto expand = [&](auto&& self, int idx, int bound) -> void {
+        if (idx < 0) {
+          uint32_t depth = partial[0].level - 1;
+          EdgeSpec anchor = twig.root_anchor();
+          bool anchor_ok = anchor.exact ? depth == anchor.min_edges
+                                        : depth >= anchor.min_edges;
+          if (!anchor_ok) return;
+          set.solutions.push_back(partial);
+          ++result.stats.solutions;
+          return;
+        }
+        const EdgeSpec edge = twig.node(path[idx + 1]).edge;
+        for (int j = 0; j <= bound; ++j) {
+          const StackEntry& entry = stacks[idx][j];
+          if (!EdgeOk(edge, entry.elem, partial[idx + 1])) continue;
+          partial[idx] = entry.elem;
+          self(self, idx - 1, entry.parent_top);
+        }
+      };
+      if (path.size() == 1) {
+        expand(expand, -1, -1);
+      } else {
+        expand(expand, static_cast<int>(leaf) - 1,
+               static_cast<int>(stacks[leaf - 1].size()) - 1);
+      }
+    } else {
+      int parent_top =
+          qmin == 0 ? -1 : static_cast<int>(stacks[qmin - 1].size()) - 1;
+      stacks[qmin].push_back(StackEntry{elem, parent_top});
+    }
+    PRIX_RETURN_NOT_OK(cursors[qmin].Advance());
+  }
+
+  uint64_t rows = 0;
+  result.matches = MergePathSolutions(twig, {set}, &rows);
+  for (const TwigMatch& m : result.matches) result.docs.push_back(m.doc);
+  std::sort(result.docs.begin(), result.docs.end());
+  result.docs.erase(std::unique(result.docs.begin(), result.docs.end()),
+                    result.docs.end());
+  return result;
+}
+
+}  // namespace prix

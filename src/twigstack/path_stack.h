@@ -1,0 +1,41 @@
+#ifndef PRIX_TWIGSTACK_PATH_STACK_H_
+#define PRIX_TWIGSTACK_PATH_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "naive/naive_matcher.h"
+#include "query/twig_pattern.h"
+#include "twigstack/merge.h"
+#include "twigstack/position_stream.h"
+
+namespace prix {
+
+struct PathStackStats {
+  uint64_t elements_processed = 0;
+  uint64_t solutions = 0;
+};
+
+struct PathStackResult {
+  std::vector<TwigMatch> matches;  ///< standard semantics
+  std::vector<DocId> docs;
+  PathStackStats stats;
+};
+
+/// PathStack of Bruno et al. [5]: the linear-path special case of the
+/// holistic join. Accepts only path-shaped twigs (every node has at most
+/// one child and no '*' name test).
+class PathStackEngine {
+ public:
+  explicit PathStackEngine(const StreamStore* store) : store_(store) {}
+
+  Result<PathStackResult> Execute(const TwigPattern& pattern);
+
+ private:
+  const StreamStore* store_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_TWIGSTACK_PATH_STACK_H_

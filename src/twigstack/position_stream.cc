@@ -1,0 +1,118 @@
+#include "twigstack/position_stream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/macros.h"
+
+namespace prix {
+
+std::vector<ElementPos> ComputeRegions(const Document& doc) {
+  std::vector<ElementPos> out(doc.num_nodes());
+  if (doc.empty()) return out;
+  std::vector<uint32_t> post = doc.ComputePostorder();
+  uint32_t counter = 0;
+  // Iterative DFS assigning left on entry, right on exit.
+  struct Frame {
+    NodeId node;
+    size_t child = 0;
+  };
+  std::vector<Frame> stack = {{doc.root(), 0}};
+  std::vector<uint32_t> depth(doc.num_nodes(), 1);
+  out[doc.root()].left = ++counter;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = doc.children(f.node);
+    if (f.child < kids.size()) {
+      NodeId c = kids[f.child++];
+      depth[c] = depth[f.node] + 1;
+      out[c].left = ++counter;
+      stack.push_back(Frame{c, 0});
+    } else {
+      out[f.node].right = ++counter;
+      stack.pop_back();
+    }
+  }
+  for (NodeId v = 0; v < doc.num_nodes(); ++v) {
+    out[v].doc = doc.doc_id();
+    out[v].level = depth[v];
+    out[v].post = post[v];
+  }
+  return out;
+}
+
+Result<std::unique_ptr<StreamStore>> StreamStore::Build(
+    const std::vector<Document>& documents, BufferPool* pool) {
+  auto store = std::unique_ptr<StreamStore>(new StreamStore(pool));
+  // Gather entries per label. Documents are processed in DocId order and
+  // nodes in preorder, so each label's list is already (doc, left)-sorted.
+  std::map<LabelId, std::vector<ElementPos>> by_label;
+  for (const Document& doc : documents) {
+    std::vector<ElementPos> regions = ComputeRegions(doc);
+    for (NodeId v = 0; v < doc.num_nodes(); ++v) {
+      by_label[doc.label(v)].push_back(regions[v]);
+    }
+  }
+  for (auto& [label, entries] : by_label) {
+    // Documents arrive in DocId order but nodes in arena order, which need
+    // not be preorder; sort each stream by (doc, left).
+    std::sort(entries.begin(), entries.end(),
+              [](const ElementPos& a, const ElementPos& b) {
+                return a.BeginKey() < b.BeginKey();
+              });
+    StreamInfo info;
+    info.count = static_cast<uint32_t>(entries.size());
+    size_t i = 0;
+    while (i < entries.size()) {
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool->NewPage());
+      size_t chunk = std::min(kEntriesPerPage, entries.size() - i);
+      std::memcpy(page->data(), entries.data() + i,
+                  chunk * sizeof(ElementPos));
+      info.pages.push_back(page->page_id());
+      pool->UnpinPage(page->page_id(), /*dirty=*/true);
+      i += chunk;
+    }
+    store->total_entries_ += info.count;
+    store->total_pages_ += info.pages.size();
+    store->streams_.emplace(label, std::move(info));
+  }
+  PRIX_RETURN_NOT_OK(pool->FlushAll());
+  return store;
+}
+
+Result<ElementPos> StreamStore::ReadEntry(const StreamInfo& info,
+                                          uint32_t index) const {
+  if (index >= info.count) {
+    return Status::OutOfRange("stream entry out of range");
+  }
+  uint32_t page_idx = index / kEntriesPerPage;
+  uint32_t offset = index % kEntriesPerPage;
+  PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(info.pages[page_idx]));
+  ElementPos out;
+  std::memcpy(&out, page->data() + offset * sizeof(ElementPos),
+              sizeof(ElementPos));
+  pool_->UnpinPage(info.pages[page_idx], /*dirty=*/false);
+  return out;
+}
+
+Status SimpleStreamCursor::LoadCurrent() {
+  if (Eof()) return Status::OK();
+  uint32_t page_idx = index_ / StreamStore::kEntriesPerPage;
+  if (page_idx != buffer_page_) {
+    PRIX_ASSIGN_OR_RETURN(
+        Page * page, store_->pool()->FetchPage(info_->pages[page_idx]));
+    uint32_t remaining = std::min<uint32_t>(
+        StreamStore::kEntriesPerPage,
+        info_->count - page_idx * StreamStore::kEntriesPerPage);
+    buffer_.resize(remaining);
+    std::memcpy(buffer_.data(), page->data(),
+                remaining * sizeof(ElementPos));
+    store_->pool()->UnpinPage(info_->pages[page_idx], /*dirty=*/false);
+    buffer_page_ = page_idx;
+  }
+  current_ = buffer_[index_ % StreamStore::kEntriesPerPage];
+  return Status::OK();
+}
+
+}  // namespace prix

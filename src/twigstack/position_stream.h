@@ -1,0 +1,124 @@
+#ifndef PRIX_TWIGSTACK_POSITION_STREAM_H_
+#define PRIX_TWIGSTACK_POSITION_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "xml/document.h"
+
+namespace prix {
+
+/// Positional representation of one element instance: the region encoding
+/// (DocId, LeftPos:RightPos, LevelNum) of Bruno et al., plus the node's
+/// postorder number so reported matches are comparable with PRIX's.
+struct ElementPos {
+  DocId doc;
+  uint32_t left;
+  uint32_t right;
+  uint32_t level;
+  uint32_t post;
+
+  /// Global order key of the element's start position.
+  uint64_t BeginKey() const {
+    return (static_cast<uint64_t>(doc) << 32) | left;
+  }
+  /// Global order key of the element's end position.
+  uint64_t EndKey() const {
+    return (static_cast<uint64_t>(doc) << 32) | right;
+  }
+};
+
+inline constexpr uint64_t kInfiniteKey = ~uint64_t{0};
+
+/// Per-tag sorted streams of element positions, stored on 8 KB pages.
+/// TwigStack consumes them through SimpleStreamCursor; TwigStackXB through
+/// the XB-tree (xb_tree.h).
+class StreamStore {
+ public:
+  struct StreamInfo {
+    std::vector<PageId> pages;
+    uint32_t count = 0;
+  };
+
+  static constexpr size_t kEntriesPerPage = kPageSize / sizeof(ElementPos);
+
+  /// Builds streams for every label in the collection. Every node of every
+  /// document (elements and values alike) contributes one entry to its
+  /// label's stream; streams are sorted by (doc, left).
+  static Result<std::unique_ptr<StreamStore>> Build(
+      const std::vector<Document>& documents, BufferPool* pool);
+
+  bool HasStream(LabelId label) const {
+    return streams_.find(label) != streams_.end();
+  }
+  /// Null when the label never occurs (an always-empty stream).
+  const StreamInfo* Find(LabelId label) const {
+    auto it = streams_.find(label);
+    return it == streams_.end() ? nullptr : &it->second;
+  }
+  BufferPool* pool() const { return pool_; }
+  uint64_t total_entries() const { return total_entries_; }
+  uint64_t total_pages() const { return total_pages_; }
+
+  /// Reads entry `index` of `info` (page fetch counted by the pool).
+  Result<ElementPos> ReadEntry(const StreamInfo& info, uint32_t index) const;
+
+ private:
+  explicit StreamStore(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool_;
+  std::unordered_map<LabelId, StreamInfo> streams_;
+  uint64_t total_entries_ = 0;
+  uint64_t total_pages_ = 0;
+};
+
+/// Sequential cursor over one tag stream with page-granular buffering: each
+/// page is fetched once (through the buffer pool) when first entered.
+class SimpleStreamCursor {
+ public:
+  /// `info` may be null (empty stream).
+  SimpleStreamCursor(const StreamStore* store,
+                     const StreamStore::StreamInfo* info)
+      : store_(store), info_(info) {}
+
+  bool Eof() const {
+    return info_ == nullptr || index_ >= info_->count;
+  }
+  /// Begin key of the current element, or kInfiniteKey at eof.
+  uint64_t NextL() const {
+    return Eof() ? kInfiniteKey : current_.BeginKey();
+  }
+  uint64_t NextR() const { return Eof() ? kInfiniteKey : current_.EndKey(); }
+  const ElementPos& Current() const { return current_; }
+
+  /// Loads the first element; call once before use.
+  Status Init() { return LoadCurrent(); }
+  Status Advance() {
+    ++index_;
+    return LoadCurrent();
+  }
+
+ private:
+  Status LoadCurrent();
+
+  const StreamStore* store_;
+  const StreamStore::StreamInfo* info_;
+  uint32_t index_ = 0;
+  ElementPos current_{};
+  // One-page read-ahead buffer.
+  std::vector<ElementPos> buffer_;
+  uint32_t buffer_page_ = 0xffffffffu;
+};
+
+/// Computes the region encoding of `doc`: out[node] = its ElementPos. Left
+/// positions are assigned by a preorder counter, right after the subtree
+/// (extended-preorder containment), level is the depth (root = 1).
+std::vector<ElementPos> ComputeRegions(const Document& doc);
+
+}  // namespace prix
+
+#endif  // PRIX_TWIGSTACK_POSITION_STREAM_H_

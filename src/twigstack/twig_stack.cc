@@ -1,0 +1,279 @@
+#include "twigstack/twig_stack.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace prix {
+
+Result<std::unique_ptr<XbForest>> XbForest::Build(const StreamStore* store,
+                                                  const TagDictionary& dict) {
+  auto forest = std::make_unique<XbForest>();
+  for (LabelId label = 0; label < dict.size(); ++label) {
+    const StreamStore::StreamInfo* info = store->Find(label);
+    if (info == nullptr) continue;
+    PRIX_ASSIGN_OR_RETURN(std::unique_ptr<XbTree> tree,
+                          XbTree::Build(store, info));
+    forest->internal_pages_ += tree->internal_pages();
+    forest->trees_.emplace(label, std::move(tree));
+  }
+  return forest;
+}
+
+namespace {
+
+bool EdgeOk(const EdgeSpec& edge, const ElementPos& anc,
+            const ElementPos& desc) {
+  if (!(anc.doc == desc.doc && anc.left < desc.left &&
+        desc.right < anc.right)) {
+    return false;
+  }
+  uint32_t dist = desc.level - anc.level;
+  return edge.exact ? dist == edge.min_edges : dist >= edge.min_edges;
+}
+
+bool AnchorOk(const EdgeSpec& anchor, const ElementPos& root_elem) {
+  uint32_t depth = root_elem.level - 1;
+  return anchor.exact ? depth == anchor.min_edges
+                      : depth >= anchor.min_edges;
+}
+
+}  // namespace
+
+/// Per-execution state of the holistic twig join.
+class TwigStackEngine::Run {
+ public:
+  Run(const StreamStore* store, const XbForest* forest,
+      const EffectiveTwig& twig)
+      : store_(store), forest_(forest), twig_(twig) {}
+
+  Status Init() {
+    const size_t n = twig_.num_nodes();
+    cursors_.resize(n);
+    simple_.resize(n);
+    xb_.resize(n);
+    stacks_.resize(n);
+    for (uint32_t q = 0; q < n; ++q) {
+      const StreamStore::StreamInfo* info =
+          twig_.node(q).label == kInvalidLabel
+              ? nullptr
+              : store_->Find(twig_.node(q).label);
+      if (forest_ != nullptr) {
+        const XbTree* tree =
+            twig_.node(q).label == kInvalidLabel
+                ? nullptr
+                : forest_->Find(twig_.node(q).label);
+        xb_[q] = std::make_unique<XbCursor>(
+            tree != nullptr ? tree : &empty_tree());
+        PRIX_RETURN_NOT_OK(xb_[q]->Init());
+        cursors_[q] = xb_[q].get();
+      } else {
+        simple_[q] = std::make_unique<SimpleTagCursor>(store_, info);
+        PRIX_RETURN_NOT_OK(simple_[q]->Init());
+        cursors_[q] = simple_[q].get();
+      }
+    }
+    // Root-to-leaf paths in syntactic order.
+    std::vector<uint32_t> chain;
+    CollectPaths(twig_.root(), chain);
+    return Status::OK();
+  }
+
+  Status Execute(TwigStackResult* result) {
+    while (!SubtreeEnded(twig_.root())) {
+      PRIX_ASSIGN_OR_RETURN(uint32_t q, GetNext(twig_.root()));
+      TagCursor* cur = cursors_[q];
+      if (cur->Eof()) break;  // defensive; GetNext avoids eof nodes
+      if (forest_ != nullptr && q != twig_.root()) {
+        // XB skip: if the parent stack is empty and every remaining parent
+        // element starts after this (possibly whole-subtree) entry ends,
+        // nothing under the entry can gain an ancestor — skip it without
+        // drilling to the leaves (Sec. 6.4.2's "skipping data").
+        uint32_t parent = twig_.node(q).parent;
+        if (stacks_[parent].empty() &&
+            cursors_[parent]->NextL() > cur->NextR()) {
+          ++stats_.advances;
+          PRIX_RETURN_NOT_OK(cur->Advance());
+          continue;
+        }
+      }
+      PRIX_RETURN_NOT_OK(cur->EnsureElement());
+      const ElementPos elem = cur->Current();
+      ++stats_.elements_processed;
+      uint32_t parent = twig_.node(q).parent;
+      if (q != twig_.root()) CleanStack(parent, elem.BeginKey());
+      if (q == twig_.root() || !stacks_[parent].empty()) {
+        CleanStack(q, elem.BeginKey());
+        if (!twig_.node(q).children.empty()) {
+          int parent_top = q == twig_.root()
+                               ? -1
+                               : static_cast<int>(stacks_[parent].size()) - 1;
+          stacks_[q].push_back(StackEntry{elem, parent_top});
+        } else {
+          ExpandPathSolutions(q, elem);
+        }
+      }
+      ++stats_.advances;
+      PRIX_RETURN_NOT_OK(cur->Advance());
+    }
+    // Merge post-processing.
+    std::vector<PathSolutionSet> sets;
+    sets.reserve(paths_.size());
+    for (auto& [leaf, set] : paths_) sets.push_back(std::move(set));
+    result->matches = MergePathSolutions(twig_, sets, &stats_.join_rows);
+    for (const TwigMatch& m : result->matches) result->docs.push_back(m.doc);
+    std::sort(result->docs.begin(), result->docs.end());
+    result->docs.erase(
+        std::unique(result->docs.begin(), result->docs.end()),
+        result->docs.end());
+    if (forest_ != nullptr) {
+      for (const auto& xb : xb_) {
+        if (xb != nullptr) stats_.drilldowns += xb->drilldowns();
+      }
+    }
+    result->stats = stats_;
+    return Status::OK();
+  }
+
+ private:
+  static const XbTree& empty_tree() {
+    static const XbTree* kEmpty = [] {
+      auto tree = XbTree::Build(nullptr, nullptr);
+      PRIX_CHECK(tree.ok());
+      return tree.ValueOrDie().release();
+    }();
+    return *kEmpty;
+  }
+
+  void CollectPaths(uint32_t q, std::vector<uint32_t>& chain) {
+    chain.push_back(q);
+    if (twig_.node(q).children.empty()) {
+      paths_.emplace_back(q, PathSolutionSet{chain, {}});
+    } else {
+      for (uint32_t c : twig_.node(q).children) CollectPaths(c, chain);
+    }
+    chain.pop_back();
+  }
+
+  bool IsLeaf(uint32_t q) const { return twig_.node(q).children.empty(); }
+
+  bool SubtreeEnded(uint32_t q) const {
+    if (IsLeaf(q)) return cursors_[q]->Eof();
+    for (uint32_t c : twig_.node(q).children) {
+      if (!SubtreeEnded(c)) return false;
+    }
+    return true;
+  }
+
+  /// getNext of Bruno et al., with exhausted subtrees excluded so a live
+  /// branch can still extend previously collected path solutions.
+  Result<uint32_t> GetNext(uint32_t q) {
+    if (IsLeaf(q)) return q;
+    uint32_t nmin = q, nmax = q;
+    uint64_t lmin = kInfiniteKey, lmax = 0;
+    bool any_live = false;
+    for (uint32_t c : twig_.node(q).children) {
+      if (SubtreeEnded(c)) continue;
+      PRIX_ASSIGN_OR_RETURN(uint32_t nc, GetNext(c));
+      if (nc != c) return nc;
+      any_live = true;
+      uint64_t l = cursors_[c]->NextL();
+      if (l < lmin) {
+        lmin = l;
+        nmin = c;
+      }
+      if (l >= lmax) {
+        lmax = l;
+        nmax = c;
+      }
+    }
+    if (!any_live) return q;
+    while (!cursors_[q]->Eof() &&
+           cursors_[q]->NextR() < cursors_[nmax]->NextL()) {
+      ++stats_.advances;
+      PRIX_RETURN_NOT_OK(cursors_[q]->Advance());
+    }
+    if (cursors_[q]->NextL() < cursors_[nmin]->NextL()) return q;
+    return nmin;
+  }
+
+  void CleanStack(uint32_t q, uint64_t begin_key) {
+    auto& stack = stacks_[q];
+    while (!stack.empty() && stack.back().elem.EndKey() < begin_key) {
+      stack.pop_back();
+    }
+  }
+
+  void ExpandPathSolutions(uint32_t leaf, const ElementPos& elem) {
+    PathSolutionSet* set = nullptr;
+    for (auto& [l, s] : paths_) {
+      if (l == leaf) {
+        set = &s;
+        break;
+      }
+    }
+    PRIX_CHECK(set != nullptr);
+    const std::vector<uint32_t>& path = set->path;
+    std::vector<ElementPos> partial(path.size());
+    partial.back() = elem;
+    uint32_t parent = twig_.node(leaf).parent;
+    int bound = parent == TwigPattern::kNoParent
+                    ? -1
+                    : static_cast<int>(stacks_[parent].size()) - 1;
+    if (path.size() == 1) {
+      // Single-node query path: the leaf is the root.
+      if (AnchorOk(twig_.root_anchor(), elem)) {
+        set->solutions.push_back(partial);
+        ++stats_.path_solutions;
+      }
+      return;
+    }
+    Expand(path, static_cast<int>(path.size()) - 2, bound, partial, set);
+  }
+
+  void Expand(const std::vector<uint32_t>& path, int idx, int bound,
+              std::vector<ElementPos>& partial, PathSolutionSet* set) {
+    if (idx < 0) {
+      if (!AnchorOk(twig_.root_anchor(), partial[0])) return;
+      set->solutions.push_back(partial);
+      ++stats_.path_solutions;
+      return;
+    }
+    uint32_t node = path[idx];
+    const EdgeSpec edge = twig_.node(path[idx + 1]).edge;
+    for (int j = 0; j <= bound; ++j) {
+      const StackEntry& entry = stacks_[node][j];
+      if (!EdgeOk(edge, entry.elem, partial[idx + 1])) continue;
+      partial[idx] = entry.elem;
+      Expand(path, idx - 1, entry.parent_top, partial, set);
+    }
+  }
+
+  const StreamStore* store_;
+  const XbForest* forest_;
+  const EffectiveTwig& twig_;
+  std::vector<TagCursor*> cursors_;
+  std::vector<std::unique_ptr<SimpleTagCursor>> simple_;
+  std::vector<std::unique_ptr<XbCursor>> xb_;
+  std::vector<std::vector<StackEntry>> stacks_;
+  std::vector<std::pair<uint32_t, PathSolutionSet>> paths_;
+  TwigStackStats stats_;
+};
+
+Result<TwigStackResult> TwigStackEngine::Execute(const TwigPattern& pattern) {
+  if (pattern.empty()) return Status::InvalidArgument("empty twig pattern");
+  EffectiveTwig twig = EffectiveTwig::Build(pattern);
+  for (uint32_t q = 0; q < twig.num_nodes(); ++q) {
+    if (twig.is_star(q)) {
+      return Status::NotImplemented(
+          "TwigStack baseline does not stream '*' name tests");
+    }
+  }
+  Run run(store_, forest_, twig);
+  PRIX_RETURN_NOT_OK(run.Init());
+  TwigStackResult result;
+  PRIX_RETURN_NOT_OK(run.Execute(&result));
+  return result;
+}
+
+}  // namespace prix

@@ -1,0 +1,175 @@
+#include "twigstack/xb_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace prix {
+
+namespace {
+
+struct RawEntry {
+  uint64_t begin;
+  uint64_t max_end;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<XbTree>> XbTree::Build(
+    const StreamStore* store, const StreamStore::StreamInfo* info) {
+  auto tree = std::unique_ptr<XbTree>(new XbTree(store, info));
+  if (info == nullptr || info->count == 0) return tree;
+
+  // Summaries of the current level, starting with the stream pages.
+  std::vector<RawEntry> summaries;
+  summaries.reserve(info->pages.size());
+  for (size_t p = 0; p < info->pages.size(); ++p) {
+    uint32_t first = static_cast<uint32_t>(p * StreamStore::kEntriesPerPage);
+    uint32_t last = std::min<uint32_t>(
+        first + StreamStore::kEntriesPerPage, info->count);
+    PRIX_ASSIGN_OR_RETURN(ElementPos first_elem,
+                          store->ReadEntry(*info, first));
+    uint64_t max_end = 0;
+    for (uint32_t i = first; i < last; ++i) {
+      PRIX_ASSIGN_OR_RETURN(ElementPos e, store->ReadEntry(*info, i));
+      max_end = std::max(max_end, e.EndKey());
+    }
+    summaries.push_back(RawEntry{first_elem.BeginKey(), max_end});
+  }
+
+  // Stack levels until one page holds everything.
+  while (summaries.size() > 1) {
+    Level level;
+    level.entry_count = static_cast<uint32_t>(summaries.size());
+    std::vector<RawEntry> next;
+    for (size_t i = 0; i < summaries.size(); i += kFanout) {
+      size_t chunk = std::min(kFanout, summaries.size() - i);
+      PRIX_ASSIGN_OR_RETURN(Page * page, store->pool()->NewPage());
+      std::memcpy(page->data(), summaries.data() + i,
+                  chunk * sizeof(RawEntry));
+      level.pages.push_back(page->page_id());
+      store->pool()->UnpinPage(page->page_id(), /*dirty=*/true);
+      uint64_t max_end = 0;
+      for (size_t j = i; j < i + chunk; ++j) {
+        max_end = std::max(max_end, summaries[j].max_end);
+      }
+      next.push_back(RawEntry{summaries[i].begin, max_end});
+    }
+    tree->internal_pages_ += level.pages.size();
+    tree->levels_.push_back(std::move(level));
+    summaries = std::move(next);
+  }
+  PRIX_RETURN_NOT_OK(store->pool()->FlushAll());
+  return tree;
+}
+
+XbCursor::XbCursor(const XbTree* tree) : tree_(tree) {}
+
+Status XbCursor::Init() {
+  if (tree_->empty()) {
+    eof_ = true;
+    return Status::OK();
+  }
+  // Start at the root: the highest internal level, or the stream itself
+  // when it fits logical roots of one node.
+  level_ = static_cast<int>(tree_->levels().size());
+  node_ = 0;
+  entry_ = 0;
+  return LoadEntry();
+}
+
+uint32_t XbCursor::LevelEntryTotal(int level) const {
+  if (level == 0) return tree_->stream()->count;
+  return tree_->levels()[level - 1].entry_count;
+}
+
+uint32_t XbCursor::NodeEntryCount(int level, uint32_t node) const {
+  uint32_t per_node = level == 0
+                          ? static_cast<uint32_t>(StreamStore::kEntriesPerPage)
+                          : static_cast<uint32_t>(XbTree::kFanout);
+  uint32_t total = LevelEntryTotal(level);
+  uint32_t first = node * per_node;
+  PRIX_DCHECK(first < total);
+  return std::min(per_node, total - first);
+}
+
+uint64_t XbCursor::NextL() const {
+  if (eof_) return kInfiniteKey;
+  return level_ == 0 ? element_.BeginKey() : begin_;
+}
+
+uint64_t XbCursor::NextR() const {
+  if (eof_) return kInfiniteKey;
+  return level_ == 0 ? element_.EndKey() : max_end_;
+}
+
+Status XbCursor::Advance() {
+  if (eof_) return Status::OK();
+  while (true) {
+    if (entry_ + 1 < NodeEntryCount(level_, node_)) {
+      ++entry_;
+      return LoadEntry();
+    }
+    // Last entry of this node: ascend (Bruno et al.: "advance moves up").
+    if (level_ == static_cast<int>(tree_->levels().size())) {
+      eof_ = true;
+      return Status::OK();
+    }
+    uint32_t per_parent = static_cast<uint32_t>(
+        level_ + 1 == 0 ? StreamStore::kEntriesPerPage : XbTree::kFanout);
+    entry_ = node_ % per_parent;
+    node_ = node_ / per_parent;
+    ++level_;
+    // Continue the loop to advance within the parent.
+  }
+}
+
+Status XbCursor::DrillDown() {
+  if (eof_ || level_ == 0) return Status::OK();
+  ++drilldowns_;
+  uint32_t per_node = level_ - 1 == 0
+                          ? static_cast<uint32_t>(StreamStore::kEntriesPerPage)
+                          : static_cast<uint32_t>(XbTree::kFanout);
+  // Child node index at level_-1: this node's first child is node_*fanout,
+  // plus entry_ — children are contiguous by construction.
+  uint32_t child = node_ * static_cast<uint32_t>(XbTree::kFanout) + entry_;
+  (void)per_node;
+  --level_;
+  node_ = child;
+  entry_ = 0;
+  return LoadEntry();
+}
+
+Status XbCursor::EnsureElement() {
+  while (!eof_ && level_ > 0) {
+    PRIX_RETURN_NOT_OK(DrillDown());
+  }
+  return Status::OK();
+}
+
+Status XbCursor::LoadEntry() {
+  PageId page_id = level_ == 0
+                       ? tree_->stream()->pages[node_]
+                       : tree_->levels()[level_ - 1].pages[node_];
+  if (buffered_level_ != level_ || buffered_node_ != node_) {
+    PRIX_ASSIGN_OR_RETURN(Page * page, tree_->store()->pool()->FetchPage(page_id));
+    buffer_.assign(page->data(), page->data() + kPageSize);
+    tree_->store()->pool()->UnpinPage(page_id, /*dirty=*/false);
+    buffered_level_ = level_;
+    buffered_node_ = node_;
+  }
+  if (level_ == 0) {
+    std::memcpy(&element_, buffer_.data() + entry_ * sizeof(ElementPos),
+                sizeof(ElementPos));
+  } else {
+    RawEntry raw;
+    std::memcpy(&raw, buffer_.data() + entry_ * sizeof(RawEntry),
+                sizeof(RawEntry));
+    begin_ = raw.begin;
+    max_end_ = raw.max_end;
+  }
+  return Status::OK();
+}
+
+}  // namespace prix

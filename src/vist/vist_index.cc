@@ -1,0 +1,195 @@
+#include "vist/vist_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace prix {
+
+namespace {
+
+/// Build-time trie over structure-encoded sequences, keyed by the packed
+/// (symbol, prefix) pair.
+struct VistTrie {
+  struct Node {
+    LabelId symbol = kInvalidLabel;
+    PrefixId prefix = 0;
+    uint32_t parent = 0;
+    uint32_t depth = 0;
+    std::unordered_map<uint64_t, uint32_t> children;
+    std::vector<DocId> end_docs;
+  };
+  std::vector<Node> nodes;
+
+  VistTrie() { nodes.emplace_back(); }
+
+  static uint64_t Pack(const VistItem& item) {
+    return (static_cast<uint64_t>(item.symbol) << 32) | item.prefix;
+  }
+
+  void Insert(const std::vector<VistItem>& seq, DocId doc) {
+    uint32_t cur = 0;
+    for (const VistItem& item : seq) {
+      uint64_t key = Pack(item);
+      auto it = nodes[cur].children.find(key);
+      uint32_t next;
+      if (it == nodes[cur].children.end()) {
+        next = static_cast<uint32_t>(nodes.size());
+        Node n;
+        n.symbol = item.symbol;
+        n.prefix = item.prefix;
+        n.parent = cur;
+        n.depth = nodes[cur].depth + 1;
+        nodes.push_back(std::move(n));
+        nodes[cur].children.emplace(key, next);
+      } else {
+        next = it->second;
+      }
+      cur = next;
+    }
+    nodes[cur].end_docs.push_back(doc);
+  }
+
+  /// Exact two-pass range labeling (left = preorder rank).
+  std::vector<RangeLabel> Label() const {
+    std::vector<RangeLabel> labels(nodes.size());
+    uint64_t counter = 0;
+    struct Frame {
+      uint32_t node;
+      std::vector<uint32_t> kids;
+      size_t next = 0;
+    };
+    auto sorted_children = [this](uint32_t id) {
+      std::vector<uint32_t> kids;
+      kids.reserve(nodes[id].children.size());
+      for (const auto& [key, child] : nodes[id].children) {
+        kids.push_back(child);
+      }
+      std::sort(kids.begin(), kids.end());
+      return kids;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{0, sorted_children(0), 0});
+    labels[0].left = ++counter;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < f.kids.size()) {
+        uint32_t child = f.kids[f.next++];
+        labels[child].left = ++counter;
+        stack.push_back(Frame{child, sorted_children(child), 0});
+      } else {
+        labels[f.node].right = counter;
+        stack.pop_back();
+      }
+    }
+    return labels;
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<VistIndex>> VistIndex::Build(
+    const std::vector<Document>& documents, BufferPool* pool,
+    VistIndexBuildStats* stats) {
+  auto index = std::unique_ptr<VistIndex>(new VistIndex());
+  PRIX_ASSIGN_OR_RETURN(DAncestorTree dtree, DAncestorTree::Create(pool));
+  index->dancestor_ = std::make_unique<DAncestorTree>(std::move(dtree));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Create(pool));
+  index->docid_ = std::make_unique<DocTree>(std::move(doct));
+  index->seq_store_ = std::make_unique<RecordStore>(pool);
+
+  VistIndexBuildStats local;
+  if (stats == nullptr) stats = &local;
+
+  VistTrie trie;
+  for (DocId d = 0; d < documents.size(); ++d) {
+    PRIX_CHECK(documents[d].doc_id() == d);
+    std::vector<VistItem> seq =
+        BuildVistSequence(documents[d], &index->prefixes_);
+    trie.Insert(seq, d);
+    // Persist the raw sequence for post-verification.
+    std::vector<char> buf;
+    PutU32(&buf, static_cast<uint32_t>(seq.size()));
+    for (const VistItem& item : seq) {
+      PutU32(&buf, item.symbol);
+      PutU32(&buf, item.prefix);
+    }
+    PRIX_ASSIGN_OR_RETURN(uint32_t id,
+                          index->seq_store_->Append(buf.data(), buf.size()));
+    PRIX_DCHECK(id == d);
+    (void)id;
+  }
+  stats->trie_nodes = trie.nodes.size();
+  stats->distinct_prefixes = index->prefixes_.size();
+  stats->prefix_labels = index->prefixes_.total_labels();
+
+  std::vector<RangeLabel> labels = trie.Label();
+  index->root_range_ = labels[0];
+  uint32_t doc_seq = 0;
+  std::unordered_map<LabelId, std::unordered_set<PrefixId>> key_sets;
+  for (uint32_t v = 1; v < trie.nodes.size(); ++v) {
+    const auto& node = trie.nodes[v];
+    PRIX_RETURN_NOT_OK(index->dancestor_->Insert(
+        VistKey{node.symbol, 0, labels[v].left},
+        VistNodeValue{labels[v].right, node.depth, node.prefix}));
+    ++stats->dancestor_entries;
+    key_sets[node.symbol].insert(node.prefix);
+  }
+  for (auto& [symbol, prefixes] : key_sets) {
+    index->symbol_prefixes_[symbol] =
+        std::vector<PrefixId>(prefixes.begin(), prefixes.end());
+  }
+  for (uint32_t v = 0; v < trie.nodes.size(); ++v) {
+    for (DocId d : trie.nodes[v].end_docs) {
+      PRIX_RETURN_NOT_OK(index->docid_->Insert(
+          VistDocKey{labels[v].left, doc_seq++, 0}, d));
+    }
+  }
+  stats->pages_after_build = pool->disk()->num_pages();
+  PRIX_RETURN_NOT_OK(pool->FlushAll());
+  return index;
+}
+
+Result<Document> VistIndex::LoadDocument(DocId doc) const {
+  std::vector<char> buf;
+  PRIX_RETURN_NOT_OK(seq_store_->Load(doc, &buf));
+  if (buf.size() < 4) return Status::Corruption("truncated ViST record");
+  const char* p = buf.data();
+  uint32_t n = GetU32(p);
+  p += 4;
+  if (buf.size() < 4 + 8ull * n) {
+    return Status::Corruption("truncated ViST record");
+  }
+  Document out(doc);
+  // Preorder reconstruction: a node's depth is its prefix path length.
+  std::vector<NodeId> stack_by_depth;
+  for (uint32_t i = 0; i < n; ++i) {
+    LabelId symbol = GetU32(p);
+    p += 4;
+    PrefixId prefix = GetU32(p);
+    p += 4;
+    size_t depth = prefixes_.Path(prefix).size();
+    NodeId node;
+    if (depth == 0) {
+      node = out.AddRoot(symbol);
+    } else {
+      if (depth > stack_by_depth.size()) {
+        return Status::Corruption("bad prefix depth in ViST record");
+      }
+      node = out.AddChild(stack_by_depth[depth - 1], symbol);
+    }
+    stack_by_depth.resize(depth);
+    stack_by_depth.push_back(node);
+  }
+  return out;
+}
+
+const std::vector<PrefixId>& VistIndex::SymbolPrefixes(LabelId symbol) const {
+  static const std::vector<PrefixId> kEmpty;
+  auto it = symbol_prefixes_.find(symbol);
+  return it == symbol_prefixes_.end() ? kEmpty : it->second;
+}
+
+}  // namespace prix

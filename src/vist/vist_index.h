@@ -1,0 +1,101 @@
+#ifndef PRIX_VIST_VIST_INDEX_H_
+#define PRIX_VIST_VIST_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "storage/record_store.h"
+#include "trie/range_labeler.h"
+#include "vist/vist_sequence.h"
+
+namespace prix {
+
+/// Key of the D-Ancestorship index over the virtual trie built from the
+/// structure-encoded sequences (ViST; Sec. 2 and 6 of the PRIX paper).
+/// Scoped descent scans all trie nodes of a symbol within a range and
+/// filters them by their (symbol, prefix) key — every key with the symbol
+/// is examined when the query prefix carries wildcards, which is the
+/// behaviour the paper measures on TREEBANK.
+struct VistKey {
+  LabelId symbol;
+  uint32_t pad = 0;
+  uint64_t left;
+
+  friend bool operator<(const VistKey& a, const VistKey& b) {
+    if (a.symbol != b.symbol) return a.symbol < b.symbol;
+    return a.left < b.left;
+  }
+};
+
+/// Value: the trie node's RightPos, level, and interned prefix.
+struct VistNodeValue {
+  uint64_t right;
+  uint32_t level;
+  PrefixId prefix;
+};
+
+/// Key of ViST's Docid index.
+struct VistDocKey {
+  uint64_t left;
+  uint32_t seq;
+  uint32_t pad = 0;
+
+  friend bool operator<(const VistDocKey& a, const VistDocKey& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.seq < b.seq;
+  }
+};
+
+/// Build-time statistics (Sec. 2's storage argument shows up in
+/// prefix_labels: O(n^2) for unary trees).
+struct VistIndexBuildStats {
+  uint64_t trie_nodes = 0;
+  uint64_t dancestor_entries = 0;
+  uint64_t distinct_prefixes = 0;
+  uint64_t prefix_labels = 0;  ///< total labels across interned prefixes
+  uint64_t pages_after_build = 0;
+};
+
+/// The ViST baseline index: a virtual trie over structure-encoded sequences
+/// materialized into the D-Ancestorship B+-tree, a Docid B+-tree, and a
+/// paged store of the raw sequences (used to verify candidate documents,
+/// since ViST admits false alarms — Fig. 1(b)).
+class VistIndex {
+ public:
+  using DAncestorTree = BPlusTree<VistKey, VistNodeValue>;
+  using DocTree = BPlusTree<VistDocKey, DocId>;
+
+  static Result<std::unique_ptr<VistIndex>> Build(
+      const std::vector<Document>& documents, BufferPool* pool,
+      VistIndexBuildStats* stats = nullptr);
+
+  DAncestorTree& dancestor() { return *dancestor_; }
+  DocTree& docid_index() { return *docid_; }
+  const PrefixDictionary& prefixes() const { return prefixes_; }
+  /// Distinct prefixes occurring with `symbol` — the unique (symbol,
+  /// prefix) D-Ancestorship keys of that symbol.
+  const std::vector<PrefixId>& SymbolPrefixes(LabelId symbol) const;
+  RangeLabel root_range() const { return root_range_; }
+  size_t num_docs() const { return seq_store_->num_records(); }
+
+  /// Reloads document `doc` as a tree (rebuilt from its structure-encoded
+  /// sequence) for post-verification. I/O goes through the buffer pool.
+  Result<Document> LoadDocument(DocId doc) const;
+
+ private:
+  VistIndex() = default;
+
+  std::unique_ptr<DAncestorTree> dancestor_;
+  std::unique_ptr<DocTree> docid_;
+  std::unique_ptr<RecordStore> seq_store_;
+  PrefixDictionary prefixes_;
+  std::unordered_map<LabelId, std::vector<PrefixId>> symbol_prefixes_;
+  RangeLabel root_range_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_VIST_VIST_INDEX_H_

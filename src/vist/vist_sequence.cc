@@ -1,0 +1,132 @@
+#include "vist/vist_sequence.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace prix {
+
+PrefixId PrefixDictionary::Intern(const std::vector<LabelId>& path) {
+  auto it = index_.find(path);
+  if (it != index_.end()) return it->second;
+  PrefixId id = static_cast<PrefixId>(paths_.size());
+  paths_.push_back(path);
+  index_.emplace(path, id);
+  total_labels_ += path.size();
+  return id;
+}
+
+PrefixId PrefixDictionary::Find(const std::vector<LabelId>& path) const {
+  auto it = index_.find(path);
+  return it == index_.end() ? kInvalidPrefix : it->second;
+}
+
+std::vector<VistItem> BuildVistSequence(const Document& doc,
+                                        PrefixDictionary* prefixes) {
+  std::vector<VistItem> out;
+  if (doc.empty()) return out;
+  out.reserve(doc.num_nodes());
+  // Preorder walk carrying the root-to-parent label path.
+  struct Frame {
+    NodeId node;
+    size_t depth;  // length of the path to this node's parent
+  };
+  std::vector<LabelId> path;
+  std::vector<Frame> stack = {{doc.root(), 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    path.resize(f.depth);
+    out.push_back(VistItem{doc.label(f.node), prefixes->Intern(path)});
+    path.push_back(doc.label(f.node));
+    const auto& kids = doc.children(f.node);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Frame{*it, f.depth + 1});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void BuildPatternTo(const TwigPattern& twig, uint32_t node,
+                    std::vector<PatternItem>* out) {
+  // Pattern for the path from the document root to the matched node's
+  // PARENT, plus a trailing gap when `node` attaches via '//'.
+  std::vector<uint32_t> chain;  // parent(node) .. root
+  uint32_t cur = twig.node(node).parent;
+  while (cur != TwigPattern::kNoParent) {
+    chain.push_back(cur);
+    cur = twig.node(cur).parent;
+  }
+  if (twig.node(twig.root()).axis == Axis::kDescendant) {
+    out->push_back(PatternItem{true, kInvalidLabel});
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const TwigPattern::Node& a = twig.node(*it);
+    if (*it != twig.root() && a.axis == Axis::kDescendant) {
+      out->push_back(PatternItem{true, kInvalidLabel});
+    }
+    out->push_back(PatternItem{false, a.is_star ? kInvalidLabel : a.label});
+  }
+  if (node != twig.root() && twig.node(node).axis == Axis::kDescendant) {
+    out->push_back(PatternItem{true, kInvalidLabel});
+  }
+}
+
+}  // namespace
+
+std::vector<VistQueryItem> BuildVistQuery(const TwigPattern& twig) {
+  std::vector<VistQueryItem> out;
+  std::vector<uint32_t> stack = {twig.root()};
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    VistQueryItem item;
+    const TwigPattern::Node& n = twig.node(node);
+    item.symbol = n.is_star ? kInvalidLabel : n.label;
+    item.star = n.is_star;
+    item.twig_node = node;
+    BuildPatternTo(twig, node, &item.pattern);
+    out.push_back(std::move(item));
+    const auto& kids = n.children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+bool PatternMatchesPath(const std::vector<PatternItem>& pattern,
+                        const std::vector<LabelId>& path) {
+  const size_t p = pattern.size(), n = path.size();
+  // dp[j]: the pattern prefix processed so far can match path[0..j).
+  std::vector<char> dp(n + 1, 0), next(n + 1, 0);
+  dp[0] = 1;
+  for (size_t i = 0; i < p; ++i) {
+    std::fill(next.begin(), next.end(), 0);
+    const PatternItem& item = pattern[i];
+    if (item.gap) {
+      // A gap absorbs zero or more labels: next[j] = OR of dp[0..j].
+      char seen = 0;
+      for (size_t j = 0; j <= n; ++j) {
+        seen |= dp[j];
+        next[j] = seen;
+      }
+    } else {
+      for (size_t j = 1; j <= n; ++j) {
+        bool label_ok =
+            item.label == kInvalidLabel || item.label == path[j - 1];
+        next[j] = dp[j - 1] && label_ok;
+      }
+    }
+    std::swap(dp, next);
+  }
+  // Accept if the pattern consumed any prefix of the path.
+  for (size_t j = 0; j <= n; ++j) {
+    if (dp[j]) return true;
+  }
+  return false;
+}
+
+}  // namespace prix

@@ -1,0 +1,26 @@
+#include "xml/tag_dictionary.h"
+
+#include "common/macros.h"
+
+namespace prix {
+
+LabelId TagDictionary::Intern(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(label);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId TagDictionary::Find(std::string_view label) const {
+  auto it = index_.find(std::string(label));
+  return it == index_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& TagDictionary::Name(LabelId id) const {
+  PRIX_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace prix

@@ -1,0 +1,47 @@
+#ifndef PRIX_XML_TAG_DICTIONARY_H_
+#define PRIX_XML_TAG_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace prix {
+
+/// Identifier of an interned label (an element tag or a value string).
+using LabelId = uint32_t;
+
+/// Sentinel returned by Find() when the label is unknown.
+inline constexpr LabelId kInvalidLabel = 0xffffffffu;
+
+/// Interns element tags and value strings into dense LabelIds shared by all
+/// documents of a collection. Prüfer sequences, query twigs, and every index
+/// operate on LabelIds, never on raw strings.
+class TagDictionary {
+ public:
+  TagDictionary() = default;
+  TagDictionary(const TagDictionary&) = delete;
+  TagDictionary& operator=(const TagDictionary&) = delete;
+  TagDictionary(TagDictionary&&) = default;
+  TagDictionary& operator=(TagDictionary&&) = default;
+
+  /// Returns the id of `label`, interning it if new.
+  LabelId Intern(std::string_view label);
+
+  /// Returns the id of `label` or kInvalidLabel if never interned.
+  LabelId Find(std::string_view label) const;
+
+  /// Returns the string for `id`. Requires id < size().
+  const std::string& Name(LabelId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, LabelId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_XML_TAG_DICTIONARY_H_

@@ -1,0 +1,120 @@
+#include "xml/xml_writer.h"
+
+#include "common/string_util.h"
+
+namespace prix {
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True if `id` is an attribute subelement (@name with one value child).
+bool IsAttributeNode(const Document& doc, const TagDictionary& dict,
+                     NodeId id) {
+  if (doc.kind(id) != NodeKind::kElement) return false;
+  const std::string& name = dict.Name(doc.label(id));
+  if (name.empty() || name[0] != '@') return false;
+  const auto& kids = doc.children(id);
+  return kids.size() == 1 && doc.kind(kids[0]) == NodeKind::kValue;
+}
+
+void WriteNode(const Document& doc, const TagDictionary& dict,
+               const XmlWriteOptions& options, NodeId id, int depth,
+               std::string& out) {
+  std::string pad =
+      options.indent ? std::string(depth * options.indent_width, ' ') : "";
+  const std::string& name = dict.Name(doc.label(id));
+  out += pad;
+  out += '<';
+  out += name;
+
+  // Emit leading attribute subelements as real attributes.
+  std::vector<NodeId> content_children;
+  for (NodeId child : doc.children(id)) {
+    if (IsAttributeNode(doc, dict, child)) {
+      const std::string& attr = dict.Name(doc.label(child));
+      const std::string& value =
+          dict.Name(doc.label(doc.children(child)[0]));
+      out += ' ';
+      out += attr.substr(1);
+      out += "=\"";
+      out += EscapeXml(value);
+      out += '"';
+    } else {
+      content_children.push_back(child);
+    }
+  }
+
+  if (content_children.empty()) {
+    out += "/>";
+    if (options.indent) out += '\n';
+    return;
+  }
+  out += '>';
+
+  // A single value child is written inline: <a>text</a>.
+  if (content_children.size() == 1 &&
+      doc.kind(content_children[0]) == NodeKind::kValue) {
+    out += EscapeXml(dict.Name(doc.label(content_children[0])));
+    out += "</";
+    out += name;
+    out += '>';
+    if (options.indent) out += '\n';
+    return;
+  }
+
+  if (options.indent) out += '\n';
+  for (NodeId child : content_children) {
+    if (doc.kind(child) == NodeKind::kValue) {
+      if (options.indent) {
+        out += std::string((depth + 1) * options.indent_width, ' ');
+      }
+      out += EscapeXml(dict.Name(doc.label(child)));
+      if (options.indent) out += '\n';
+    } else {
+      WriteNode(doc, dict, options, child, depth + 1, out);
+    }
+  }
+  out += pad;
+  out += "</";
+  out += name;
+  out += '>';
+  if (options.indent) out += '\n';
+}
+
+}  // namespace
+
+std::string WriteXml(const Document& doc, const TagDictionary& dict,
+                     XmlWriteOptions options) {
+  std::string out;
+  if (doc.empty()) return out;
+  WriteNode(doc, dict, options, doc.root(), 0, out);
+  return out;
+}
+
+}  // namespace prix

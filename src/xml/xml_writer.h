@@ -1,0 +1,27 @@
+#ifndef PRIX_XML_XML_WRITER_H_
+#define PRIX_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace prix {
+
+/// Options controlling document-to-XML serialization.
+struct XmlWriteOptions {
+  bool indent = true;
+  int indent_width = 2;
+};
+
+/// Serializes `doc` to XML text. Value nodes become character data with the
+/// five predefined entities escaped; "@name" subelements are emitted back as
+/// attributes when they carry exactly one value child.
+std::string WriteXml(const Document& doc, const TagDictionary& dict,
+                     XmlWriteOptions options = {});
+
+/// Escapes &, <, >, ", ' for inclusion in XML character data.
+std::string EscapeXml(std::string_view text);
+
+}  // namespace prix
+
+#endif  // PRIX_XML_XML_WRITER_H_

@@ -1,0 +1,211 @@
+// Focused unit tests for the PRIX core pieces not covered by their own
+// files: the document store, the MaxGap table, and Algorithm 1's occurrence
+// enumeration on the paper's running example.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "prix/doc_store.h"
+#include "prix/maxgap.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "prix/subsequence_matcher.h"
+#include "query/xpath_parser.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+
+class CoreUnitsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_core_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
+    pool_ = std::make_unique<BufferPool>(&disk_, 512);
+  }
+  void TearDown() override {
+    pool_.reset();
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+TEST_F(CoreUnitsTest, DocStoreRoundTripManyDocs) {
+  TagDictionary dict;
+  Random rng(3);
+  DocStore store(pool_.get());
+  std::vector<PruferSequences> seqs;
+  std::vector<std::vector<LeafEntry>> leaves;
+  for (DocId d = 0; d < 300; ++d) {
+    Document doc = testutil::RandomDocument(rng, d, &dict);
+    seqs.push_back(BuildPruferSequences(doc));
+    leaves.push_back(CollectLeaves(doc));
+    ASSERT_TRUE(store.Append(d, seqs.back(), leaves.back()).ok());
+  }
+  for (DocId d = 0; d < 300; ++d) {
+    auto loaded = store.Load(d);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->seq, seqs[d]);
+    EXPECT_EQ(loaded->leaves, leaves[d]);
+  }
+  EXPECT_TRUE(store.Load(300).status().IsNotFound());
+}
+
+TEST_F(CoreUnitsTest, DocStoreRejectsOutOfOrderAppend) {
+  DocStore store(pool_.get());
+  PruferSequences seq;
+  seq.num_nodes = 1;
+  seq.root_label = 0;
+  ASSERT_TRUE(store.Append(0, seq, {}).ok());
+  EXPECT_FALSE(store.Append(2, seq, {}).ok());
+}
+
+TEST_F(CoreUnitsTest, MaxGapDefinition5) {
+  // Figure 5 of the paper: in tree P the children of label A span 14-8=6;
+  // in tree Q they span 3-1=2; MaxGap(A, {P,Q}) = 6.
+  TagDictionary dict;
+  MaxGapTable table;
+  // P: A(root) with children at postorders 8 and 14 — model with a chain
+  // of C's below the first child to push the numbers apart.
+  Document p = DocFromSexp(
+      "(A (C (C (C (D) (D)) (C (D) (D))) (B)) (B (D) (D) (D) (D) (D)))", 0,
+      &dict);
+  table.AddDocument(p);
+  Document q = DocFromSexp("(A (C) (C) (C))", 1, &dict);
+  table.AddDocument(q);
+  // In p: A's children are the C subtree (postorder 8) and B (postorder 14).
+  auto post = p.ComputePostorder();
+  NodeId c_top = p.children(p.root())[0];
+  NodeId b = p.children(p.root())[1];
+  uint32_t expected = post[b] - post[c_top];
+  EXPECT_EQ(table.Get(dict.Find("A")), expected);
+  // Labels with only single-child (or leaf) occurrences report 0.
+  EXPECT_EQ(table.Get(dict.Find("D")), 0u);
+  EXPECT_EQ(table.Get(dict.Find("nonexistent-label")), 0u);
+}
+
+TEST_F(CoreUnitsTest, Algorithm1EnumeratesAllOccurrences) {
+  // Figure 2: LPS(Q) = B A E D A has exactly two occurrences in LPS(T)
+  // that survive nothing yet (raw subsequence enumeration finds more).
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp(
+      "(A (H) (B (C (D)) (C (D) (E))) (C (G)) (D (E (G) (F) (F))))", 0,
+      &dict));
+  auto index = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  ASSERT_TRUE(index.ok());
+
+  auto pattern = ParseXPath("//A[./B[./C]]/D[./E[./F]]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto qseq = BuildQuerySequence(twig, /*extended=*/false);
+  ASSERT_TRUE(qseq.ok());
+
+  // Without MaxGap: every raw subsequence occurrence of B A E D A.
+  SubsequenceMatcher matcher(index->get(), /*use_maxgap=*/false,
+                             /*generalized=*/false);
+  std::set<std::vector<uint32_t>> occurrences;
+  MatcherStats stats;
+  auto emit = [&](const std::vector<DocId>& doc_ids,
+                  const std::vector<uint32_t>& positions) -> Status {
+    EXPECT_EQ(doc_ids, std::vector<DocId>{0});
+    occurrences.insert(positions);
+    return Status::OK();
+  };
+  ASSERT_TRUE(matcher.FindAll(*qseq, emit, &stats).ok());
+  // LPS(T) = A C B C C B A C A E E E D A. B at {3,6}, then A at {7,9,14},
+  // E at {10,11,12}, D at {13}, final A at {14}: B in {3,6} x A in {7,9}
+  // x E in {10,11,12} x D=13 x A=14 = 12 raw occurrences.
+  EXPECT_EQ(occurrences.size(), 12u);
+  EXPECT_TRUE(occurrences.count({3, 7, 11, 13, 14}) > 0);  // Example 6's
+  EXPECT_TRUE(occurrences.count({6, 7, 11, 13, 14}) > 0);  // Example 2's
+  EXPECT_EQ(stats.occurrences, 12u);
+
+  // With MaxGap the B->A child-edge bound (MaxGap(B)+1 = 5) prunes the
+  // B=3, A=9 pairings and the A-E ancestor bound trims further.
+  SubsequenceMatcher pruned(index->get(), /*use_maxgap=*/true,
+                            /*generalized=*/false);
+  occurrences.clear();
+  MatcherStats pruned_stats;
+  ASSERT_TRUE(pruned.FindAll(*qseq, emit, &pruned_stats).ok());
+  EXPECT_LT(occurrences.size(), 12u);
+  EXPECT_TRUE(occurrences.count({3, 7, 11, 13, 14}) > 0);
+  EXPECT_TRUE(occurrences.count({6, 7, 11, 13, 14}) > 0);
+  EXPECT_GT(pruned_stats.pruned_by_maxgap, 0u);
+}
+
+TEST_F(CoreUnitsTest, EmptyCollectionQueries) {
+  std::vector<Document> docs;
+  auto rp = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  ASSERT_TRUE(rp.ok());
+  PrixIndexOptions ep_opts;
+  ep_opts.extended = true;
+  auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+  ASSERT_TRUE(ep.ok());
+  TagDictionary dict;
+  QueryProcessor qp(rp->get(), ep->get());
+  auto result = qp.ExecuteXPath("//anything[./below]", &dict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->matches.empty());
+  auto single = qp.ExecuteXPath("//anything", &dict);
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single->matches.empty());
+}
+
+TEST_F(CoreUnitsTest, SingleNodeDocuments) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  Document lone(0);
+  lone.AddRoot(dict.Intern("solo"));
+  docs.push_back(std::move(lone));
+  docs.push_back(DocFromSexp("(solo (child))", 1, &dict));
+  auto rp = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  ASSERT_TRUE(rp.ok());
+  QueryProcessor qp(rp->get(), nullptr);
+  // The single-node query finds the label in both documents (the
+  // empty-sequence doc is served by the scan path).
+  auto result = qp.ExecuteXPath("//solo", &dict);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->docs, (std::vector<DocId>{0, 1}));
+  // A two-node query can only match the second document.
+  auto two = qp.ExecuteXPath("//solo/child", &dict);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->docs, (std::vector<DocId>{1}));
+}
+
+TEST_F(CoreUnitsTest, UnorderedWithIdenticalBranches) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (b) (b) (b))", 0, &dict));
+  auto rp = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  PrixIndexOptions ep_opts;
+  ep_opts.extended = true;
+  auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+  ASSERT_TRUE(rp.ok() && ep.ok());
+  QueryProcessor qp(rp->get(), ep->get());
+  auto pattern = ParseXPath("//a[./b][./b]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  QueryOptions unordered;
+  unordered.semantics = MatchSemantics::kUnorderedInjective;
+  auto result = qp.Execute(*pattern, unordered);
+  ASSERT_TRUE(result.ok());
+  // The two branches are indistinguishable, so swapping them is a twig
+  // automorphism: Sec. 5.7's arrangement enumeration constructs identical
+  // sequences for both orders and identifies the mirrored assignments.
+  // Matches are therefore the C(3,2) = 3 unordered pairs of distinct b's,
+  // found by a single executed arrangement.
+  EXPECT_EQ(result->matches.size(), 3u);
+  EXPECT_EQ(result->stats.arrangements, 1u);
+}
+
+}  // namespace
+}  // namespace prix

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/swissprot_gen.h"
+#include "datagen/treebank_gen.h"
+#include "naive/naive_matcher.h"
+#include "query/xpath_parser.h"
+
+namespace prix {
+namespace {
+
+using datagen::DblpConfig;
+using datagen::GenerateDblp;
+using datagen::GenerateSwissprot;
+using datagen::GenerateTreebank;
+using datagen::SwissprotConfig;
+using datagen::TreebankConfig;
+
+size_t CountMatches(DocumentCollection& coll, const std::string& xpath,
+                    MatchSemantics semantics = MatchSemantics::kOrdered) {
+  auto pattern = ParseXPath(xpath, &coll.dictionary);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  return NaiveMatchCollection(coll.documents, twig, semantics).size();
+}
+
+class DatagenTest : public ::testing::Test {
+ protected:
+  // Small-scale configs keep the oracle fast; planted counts are absolute
+  // and must hold at any scale.
+  DblpConfig dblp_config() {
+    DblpConfig c;
+    c.num_records = 2500;
+    return c;
+  }
+  SwissprotConfig swissprot_config() {
+    SwissprotConfig c;
+    c.num_entries = 1200;
+    c.piro_decoys = 80;
+    return c;
+  }
+  TreebankConfig treebank_config() {
+    TreebankConfig c;
+    c.num_sentences = 800;
+    c.q8_decoys = 60;
+    return c;
+  }
+};
+
+TEST_F(DatagenTest, DblpPlantedCountsMatchTable3) {
+  DocumentCollection coll = GenerateDblp(dblp_config());
+  EXPECT_EQ(coll.documents.size(), 2500u);
+  EXPECT_EQ(CountMatches(
+                coll,
+                R"(//inproceedings[./author="Jim Gray"][./year="1990"])"),
+            6u);
+  EXPECT_EQ(CountMatches(coll, "//www[./editor]/url"), 21u);
+  EXPECT_EQ(CountMatches(coll,
+                         R"(//title[text()="Semantic Analysis Patterns"])"),
+            1u);
+}
+
+TEST_F(DatagenTest, DblpIsDeterministic) {
+  DocumentCollection a = GenerateDblp(dblp_config());
+  DocumentCollection b = GenerateDblp(dblp_config());
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.documents.size(); ++i) {
+    ASSERT_EQ(a.documents[i].num_nodes(), b.documents[i].num_nodes());
+    for (NodeId v = 0; v < a.documents[i].num_nodes(); ++v) {
+      ASSERT_EQ(a.dictionary.Name(a.documents[i].label(v)),
+                b.dictionary.Name(b.documents[i].label(v)));
+    }
+  }
+}
+
+TEST_F(DatagenTest, DblpShapeIsShallowAndSimilar) {
+  DocumentCollection coll = GenerateDblp(dblp_config());
+  uint32_t max_depth = 0;
+  for (const Document& doc : coll.documents) {
+    max_depth = std::max(max_depth, doc.MaxDepth());
+  }
+  EXPECT_LE(max_depth, 4u);  // record-rooted; the paper counts from dblp root
+  // "Jim Gray" decoys exist: author matches exceed Q1's 6.
+  EXPECT_GT(CountMatches(coll, R"(//inproceedings[./author="Jim Gray"])"),
+            20u);
+}
+
+TEST_F(DatagenTest, SwissprotPlantedCountsMatchTable3) {
+  DocumentCollection coll = GenerateSwissprot(swissprot_config());
+  EXPECT_EQ(CountMatches(coll, R"(//Entry[./Keyword="Rhizomelic"])"), 3u);
+  EXPECT_EQ(
+      CountMatches(
+          coll, R"(//Entry/Ref[./Author="Mueller P"][./Author="Keller M"])"),
+      5u);
+  EXPECT_EQ(CountMatches(
+                coll, R"(//Entry[./Org="Piroplasmida"][.//Author]//from)"),
+            158u);
+}
+
+TEST_F(DatagenTest, SwissprotIsBushy) {
+  DocumentCollection coll = GenerateSwissprot(swissprot_config());
+  // Average fanout of entry roots is high (bushy) while depth stays small.
+  size_t total_children = 0;
+  uint32_t max_depth = 0;
+  for (const Document& doc : coll.documents) {
+    total_children += doc.children(doc.root()).size();
+    max_depth = std::max(max_depth, doc.MaxDepth());
+  }
+  EXPECT_GT(total_children / coll.documents.size(), 4u);
+  EXPECT_LE(max_depth, 5u);
+}
+
+TEST_F(DatagenTest, TreebankPlantedCountsMatchTable3) {
+  DocumentCollection coll = GenerateTreebank(treebank_config());
+  EXPECT_EQ(CountMatches(coll, "//S//NP/SYM"), 9u);
+  EXPECT_EQ(CountMatches(coll, "//NP[./RBR_OR_JJR]/PP"), 1u);
+  EXPECT_EQ(CountMatches(coll, "//NP/PP/NP[./NNS_OR_NN][./NN]"), 6u);
+}
+
+TEST_F(DatagenTest, TreebankIsDeepAndRecursive) {
+  DocumentCollection coll = GenerateTreebank(treebank_config());
+  uint32_t max_depth = 0;
+  size_t deep_docs = 0;
+  for (const Document& doc : coll.documents) {
+    uint32_t d = doc.MaxDepth();
+    max_depth = std::max(max_depth, d);
+    deep_docs += d >= 15;
+  }
+  EXPECT_GE(max_depth, 25u);
+  EXPECT_GT(deep_docs, coll.documents.size() / 10);
+  // Tag S recurs at multiple levels in single documents.
+  LabelId s = coll.dictionary.Find("S");
+  ASSERT_NE(s, kInvalidLabel);
+  bool recursive_s = false;
+  for (const Document& doc : coll.documents) {
+    auto depths = doc.ComputeDepths();
+    std::set<uint32_t> s_depths;
+    for (NodeId v = 0; v < doc.num_nodes(); ++v) {
+      if (doc.label(v) == s) s_depths.insert(depths[v]);
+    }
+    if (s_depths.size() >= 3) {
+      recursive_s = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(recursive_s);
+}
+
+TEST_F(DatagenTest, TreebankDecoysHaveAncestorNotParentShape) {
+  DocumentCollection coll = GenerateTreebank(treebank_config());
+  // Decoys: NP ancestor (not parent) of both RBR_OR_JJR and PP.
+  size_t ad_matches =
+      CountMatches(coll, "//NP[.//RBR_OR_JJR][.//PP]",
+                   MatchSemantics::kUnorderedInjective);
+  EXPECT_GT(ad_matches, 30u);
+  EXPECT_EQ(CountMatches(coll, "//NP[./RBR_OR_JJR]/PP"), 1u);
+}
+
+}  // namespace
+}  // namespace prix

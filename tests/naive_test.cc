@@ -1,0 +1,165 @@
+#include "naive/naive_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "query/xpath_parser.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+
+EffectiveTwig Twig(const std::string& xpath, TagDictionary* dict) {
+  auto pattern = ParseXPath(xpath, dict);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return EffectiveTwig::Build(*pattern);
+}
+
+TEST(NaiveMatcherTest, SimpleChildMatch) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b) (c (b)))", 0, &dict);
+  auto matches =
+      NaiveMatch(doc, Twig("//a/b", &dict), MatchSemantics::kOrdered);
+  // a/b matches only the direct child b (postorder: b=1, b=2, c=3, a=4).
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].image, (std::vector<uint32_t>{4, 1}));
+}
+
+TEST(NaiveMatcherTest, DescendantMatchesBoth) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b) (c (b)))", 0, &dict);
+  auto matches =
+      NaiveMatch(doc, Twig("//a//b", &dict), MatchSemantics::kOrdered);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(NaiveMatcherTest, StarSkipsOneLevel) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b (d)) (c (d)))", 0, &dict);
+  auto matches =
+      NaiveMatch(doc, Twig("//a/*/d", &dict), MatchSemantics::kOrdered);
+  EXPECT_EQ(matches.size(), 2u);
+  auto direct =
+      NaiveMatch(doc, Twig("//a/d", &dict), MatchSemantics::kOrdered);
+  EXPECT_EQ(direct.size(), 0u);
+}
+
+TEST(NaiveMatcherTest, ExactAnchor) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (a (b)))", 0, &dict);
+  auto anchored =
+      NaiveMatch(doc, Twig("/a/a", &dict), MatchSemantics::kOrdered);
+  ASSERT_EQ(anchored.size(), 1u);
+  // Root must be the document root (postorder 3).
+  EXPECT_EQ(anchored[0].image[0], 3u);
+  auto floating =
+      NaiveMatch(doc, Twig("//a", &dict), MatchSemantics::kOrdered);
+  EXPECT_EQ(floating.size(), 2u);
+}
+
+TEST(NaiveMatcherTest, ValueNodesMatchByLabel) {
+  TagDictionary dict;
+  Document doc =
+      DocFromSexp("(book (author (=Jim)) (author (=Ann)))", 0, &dict);
+  auto matches = NaiveMatch(doc, Twig("//book[./author=\"Jim\"]", &dict),
+                            MatchSemantics::kOrdered);
+  EXPECT_EQ(matches.size(), 1u);
+  auto none = NaiveMatch(doc, Twig("//book[./author=\"Bob\"]", &dict),
+                         MatchSemantics::kOrdered);
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(NaiveMatcherTest, OrderedSemanticsRespectsBranchOrder) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (c) (b))", 0, &dict);
+  // Document order is c then b; the ordered query [b][c] cannot match...
+  auto wrong_order = NaiveMatch(doc, Twig("//a[./b][./c]", &dict),
+                                MatchSemantics::kOrdered);
+  EXPECT_EQ(wrong_order.size(), 0u);
+  // ...but the unordered semantics finds it.
+  auto unordered = NaiveMatch(doc, Twig("//a[./b][./c]", &dict),
+                              MatchSemantics::kUnorderedInjective);
+  EXPECT_EQ(unordered.size(), 1u);
+}
+
+TEST(NaiveMatcherTest, InjectivityDistinguishesSemantics) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b))", 0, &dict);
+  // Two b-branches but only one b child: standard semantics maps both query
+  // nodes to the same data node; injective semantics cannot.
+  auto standard = NaiveMatch(doc, Twig("//a[./b][./b]", &dict),
+                             MatchSemantics::kStandard);
+  EXPECT_EQ(standard.size(), 1u);
+  auto injective = NaiveMatch(doc, Twig("//a[./b][./b]", &dict),
+                              MatchSemantics::kUnorderedInjective);
+  EXPECT_EQ(injective.size(), 0u);
+}
+
+TEST(NaiveMatcherTest, MultipleEmbeddingsEnumerated) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b) (b) (b))", 0, &dict);
+  auto matches =
+      NaiveMatch(doc, Twig("//a/b", &dict), MatchSemantics::kOrdered);
+  EXPECT_EQ(matches.size(), 3u);
+  auto pairs = NaiveMatch(doc, Twig("//a[./b][./b]", &dict),
+                          MatchSemantics::kOrdered);
+  EXPECT_EQ(pairs.size(), 3u);  // C(3,2) ordered pairs
+}
+
+TEST(NaiveMatcherTest, PaperFigure2QueryMatchesTwice) {
+  // Figure 2: Q = A[B[C]]/D[E[F]] has two ordered matches in T (the C leaf
+  // of Q can map to data node 3 or node 6; Examples 2 and 6 use both).
+  TagDictionary dict;
+  Document t = DocFromSexp(
+      "(A (H) (B (C (D)) (C (D) (E))) (C (G)) (D (E (G) (F) (F))))", 0,
+      &dict);
+  auto twig = Twig("//A[./B[./C]]/D[./E[./F]]", &dict);
+  auto matches = NaiveMatch(t, twig, MatchSemantics::kOrdered);
+  ASSERT_EQ(matches.size(), 4u);
+  // All images share B=7, D=14, E=13, A=15; C in {3,6}, F in {11,12}.
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.image[0], 15u);  // A
+    EXPECT_EQ(m.image[1], 7u);   // B
+    EXPECT_TRUE(m.image[2] == 3u || m.image[2] == 6u);   // C
+    EXPECT_EQ(m.image[3], 14u);  // D
+    EXPECT_EQ(m.image[4], 13u);  // E
+    EXPECT_TRUE(m.image[5] == 11u || m.image[5] == 12u);  // F
+  }
+}
+
+TEST(NaiveMatcherTest, WildcardFalseAlarmScenarioFromVistFigure) {
+  // Figure 1(b)'s intuition: P(Q, R) as children-of-common-ancestor but not
+  // children-of-P must NOT match P[/Q][/R].
+  TagDictionary dict;
+  Document doc1 = DocFromSexp("(P (Q) (R))", 0, &dict);
+  Document doc2 = DocFromSexp("(P (x (Q)) (y (R)))", 1, &dict);
+  auto twig = Twig("//P[./Q][./R]", &dict);
+  EXPECT_EQ(NaiveMatch(doc1, twig, MatchSemantics::kOrdered).size(), 1u);
+  EXPECT_EQ(NaiveMatch(doc2, twig, MatchSemantics::kOrdered).size(), 0u);
+}
+
+TEST(NaiveMatcherTest, CollectionAggregates) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (b))", 0, &dict));
+  docs.push_back(DocFromSexp("(a (c))", 1, &dict));
+  docs.push_back(DocFromSexp("(a (b) (b))", 2, &dict));
+  auto matches = NaiveMatchCollection(docs, Twig("//a/b", &dict),
+                                      MatchSemantics::kOrdered);
+  EXPECT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].doc, 0u);
+  EXPECT_EQ(matches[1].doc, 2u);
+}
+
+TEST(NaiveMatcherTest, MinEdgesUnboundedEdge) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b) (x (b)) (x (x (b))))", 0, &dict);
+  // a//*//b requires >= 2 edges: the depth-2 and depth-3 b's match.
+  auto matches =
+      NaiveMatch(doc, Twig("//a//*//b", &dict), MatchSemantics::kOrdered);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace prix

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "naive/naive_matcher.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "query/xpath_parser.h"
+#include "storage/record_store.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::RandomCollection;
+using testutil::RandomTwig;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_persist_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string Path() { return dir_ + "/db"; }
+  std::string dir_;
+};
+
+TEST_F(PersistenceTest, BlobRoundTrip) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path()).ok());
+  BufferPool pool(&disk, 64);
+  // Multi-page blob (3 pages worth), empty blob, and a tiny one.
+  std::vector<char> big(3 * kPageSize - 100);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i * 7);
+  for (const std::vector<char>& blob :
+       {big, std::vector<char>{}, std::vector<char>{'x'}}) {
+    auto first = WriteBlob(&pool, blob);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    std::vector<char> back;
+    ASSERT_TRUE(ReadBlob(&pool, *first, &back).ok());
+    EXPECT_EQ(back, blob);
+  }
+}
+
+TEST_F(PersistenceTest, RecordStoreCatalogRoundTrip) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path()).ok());
+  BufferPool pool(&disk, 256);
+  RecordStore store(&pool);
+  Random rng(5);
+  std::vector<std::vector<char>> records;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<char> rec(1 + rng.Uniform(500));
+    for (auto& c : rec) c = static_cast<char>(rng.Next());
+    auto id = store.Append(rec.data(), rec.size());
+    ASSERT_TRUE(id.ok());
+    records.push_back(std::move(rec));
+  }
+  std::vector<char> catalog;
+  store.SerializeTo(&catalog);
+  const char* p = catalog.data();
+  auto reopened =
+      RecordStore::Deserialize(&pool, &p, catalog.data() + catalog.size());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(p, catalog.data() + catalog.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::vector<char> back;
+    ASSERT_TRUE(reopened->Load(static_cast<uint32_t>(i), &back).ok());
+    EXPECT_EQ(back, records[i]);
+  }
+}
+
+TEST_F(PersistenceTest, IndexSurvivesProcessRestart) {
+  TagDictionary dict;
+  Random rng(77);
+  std::vector<Document> docs = RandomCollection(rng, 50, &dict);
+  PageId rp_catalog, ep_catalog;
+  std::vector<TwigPattern> patterns;
+  std::vector<std::vector<TwigMatch>> expected;
+  for (int i = 0; i < 10; ++i) {
+    TwigPattern pattern = RandomTwig(rng, docs[rng.Uniform(docs.size())],
+                                     &dict);
+    if (pattern.num_nodes() < 2) continue;
+    EffectiveTwig twig = EffectiveTwig::Build(pattern);
+    auto matches = NaiveMatchCollection(docs, twig, MatchSemantics::kOrdered);
+    std::sort(matches.begin(), matches.end());
+    patterns.push_back(std::move(pattern));
+    expected.push_back(std::move(matches));
+  }
+  ASSERT_GE(patterns.size(), 3u);
+
+  // Phase 1: build, save, tear everything down (simulated shutdown).
+  {
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(Path()).ok());
+    BufferPool pool(&disk, 2000);
+    auto rp = PrixIndex::Build(docs, &pool, PrixIndexOptions{});
+    PrixIndexOptions ep_opts;
+    ep_opts.extended = true;
+    auto ep = PrixIndex::Build(docs, &pool, ep_opts);
+    ASSERT_TRUE(rp.ok() && ep.ok());
+    auto rp_page = (*rp)->Save(&pool);
+    auto ep_page = (*ep)->Save(&pool);
+    ASSERT_TRUE(rp_page.ok() && ep_page.ok());
+    rp_catalog = *rp_page;
+    ep_catalog = *ep_page;
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(disk.Close().ok());
+  }
+
+  // Phase 2: reopen the database file and the indexes; answers must match.
+  {
+    DiskManager disk;
+    ASSERT_TRUE(disk.OpenExisting(Path()).ok());
+    BufferPool pool(&disk, 2000);
+    auto rp = PrixIndex::Open(&pool, rp_catalog);
+    auto ep = PrixIndex::Open(&pool, ep_catalog);
+    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+    ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+    EXPECT_FALSE((*rp)->extended());
+    EXPECT_TRUE((*ep)->extended());
+    EXPECT_EQ((*rp)->num_docs(), docs.size());
+    QueryProcessor qp(rp->get(), ep->get());
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      auto result = qp.Execute(patterns[i]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      auto got = result->matches;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected[i]) << "pattern " << i << " after reopen";
+    }
+  }
+}
+
+TEST_F(PersistenceTest, OpenRejectsGarbageCatalog) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path()).ok());
+  BufferPool pool(&disk, 64);
+  std::vector<char> junk(100, 'z');
+  auto page = WriteBlob(&pool, junk);
+  ASSERT_TRUE(page.ok());
+  EXPECT_FALSE(PrixIndex::Open(&pool, *page).ok());
+}
+
+TEST_F(PersistenceTest, OpenExistingChecksAlignment) {
+  // A non-page-aligned file is rejected.
+  std::string path = Path();
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("not a database", f);
+  fclose(f);
+  DiskManager disk;
+  EXPECT_FALSE(disk.OpenExisting(path).ok());
+}
+
+}  // namespace
+}  // namespace prix

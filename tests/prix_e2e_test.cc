@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "naive/naive_matcher.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "query/xpath_parser.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+using testutil::RandomCollection;
+using testutil::RandomDocOptions;
+using testutil::RandomTwig;
+using testutil::RandomTwigOptions;
+
+std::vector<TwigMatch> SortedMatches(std::vector<TwigMatch> m) {
+  std::sort(m.begin(), m.end());
+  return m;
+}
+
+/// Oracle: union over arrangements of ordered matches == unordered
+/// semantics for PRIX (see DESIGN.md); for direct comparison we use the
+/// appropriate MatchSemantics per options.
+std::vector<TwigMatch> Oracle(const std::vector<Document>& docs,
+                              const TwigPattern& pattern,
+                              MatchSemantics semantics) {
+  EffectiveTwig twig = EffectiveTwig::Build(pattern);
+  if (semantics == MatchSemantics::kOrdered) {
+    return SortedMatches(NaiveMatchCollection(docs, twig, semantics));
+  }
+  // Unordered-injective via arrangement union, mirroring Sec. 5.7.
+  auto arrangements = EnumerateArrangements(twig, 1u << 20);
+  EXPECT_TRUE(arrangements.ok());
+  std::set<TwigMatch> all;
+  for (const auto& arr : *arrangements) {
+    for (auto& m :
+         NaiveMatchCollection(docs, arr, MatchSemantics::kOrdered)) {
+      all.insert(std::move(m));
+    }
+  }
+  return {all.begin(), all.end()};
+}
+
+class PrixE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_e2e_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
+    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
+  }
+  void TearDown() override {
+    rp_.reset();
+    ep_.reset();
+    pool_.reset();
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  void BuildIndexes(const std::vector<Document>& docs,
+                    PrixIndexOptions::Labeling labeling =
+                        PrixIndexOptions::Labeling::kExact) {
+    PrixIndexOptions rp_opts;
+    rp_opts.labeling = labeling;
+    auto rp = PrixIndex::Build(docs, pool_.get(), rp_opts);
+    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+    rp_ = std::move(*rp);
+    PrixIndexOptions ep_opts;
+    ep_opts.extended = true;
+    ep_opts.labeling = labeling;
+    auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+    ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+    ep_ = std::move(*ep);
+  }
+
+  /// Asserts PRIX(results) == oracle for the given pattern under every
+  /// combination of index choice and MaxGap setting.
+  void ExpectAgreesWithOracle(const std::vector<Document>& docs,
+                              const TwigPattern& pattern,
+                              MatchSemantics semantics,
+                              const TagDictionary& dict) {
+    auto expected = Oracle(docs, pattern, semantics);
+    QueryProcessor qp(rp_.get(), ep_.get());
+    // EP sequences cannot express a trailing '*' (Sec. 5.6 limitation).
+    EffectiveTwig eff = EffectiveTwig::Build(pattern);
+    bool trailing_star = false;
+    for (uint32_t e = 0; e < eff.num_nodes(); ++e) {
+      trailing_star |= eff.is_star(e);
+    }
+    std::vector<QueryOptions::IndexChoice> choices = {
+        QueryOptions::IndexChoice::kRegular};
+    if (!trailing_star) choices.push_back(QueryOptions::IndexChoice::kExtended);
+    for (auto index_choice : choices) {
+      for (bool maxgap : {true, false}) {
+        QueryOptions options;
+        options.semantics = semantics;
+        options.index = index_choice;
+        options.use_maxgap = maxgap;
+        auto result = qp.Execute(pattern, options);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_EQ(SortedMatches(result->matches), expected)
+            << "query " << TwigToString(pattern, dict) << " index "
+            << static_cast<int>(index_choice) << " maxgap " << maxgap
+            << ": got " << result->matches.size() << " expected "
+            << expected.size();
+      }
+    }
+  }
+
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<PrixIndex> rp_;
+  std::unique_ptr<PrixIndex> ep_;
+};
+
+TEST_F(PrixE2eTest, PaperFigure2EndToEnd) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp(
+      "(A (H) (B (C (D)) (C (D) (E))) (C (G)) (D (E (G) (F) (F))))", 0,
+      &dict));
+  BuildIndexes(docs);
+  auto pattern = ParseXPath("//A[./B[./C]]/D[./E[./F]]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  ExpectAgreesWithOracle(docs, *pattern, MatchSemantics::kOrdered, dict);
+  // Known result: 4 ordered embeddings (C in {3,6} x F in {11,12}).
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->matches.size(), 4u);
+  EXPECT_EQ(result->docs, (std::vector<DocId>{0}));
+}
+
+TEST_F(PrixE2eTest, ValueQueryUsesExtendedIndexByDefault) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(
+      DocFromSexp("(book (author (=Jim)) (year (=1990)))", 0, &dict));
+  docs.push_back(
+      DocFromSexp("(book (author (=Ann)) (year (=1990)))", 1, &dict));
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto pattern =
+      ParseXPath("//book[./author=\"Jim\"][./year=\"1990\"]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.used_extended_index);
+  EXPECT_EQ(result->docs, (std::vector<DocId>{0}));
+  ExpectAgreesWithOracle(docs, *pattern, MatchSemantics::kOrdered, dict);
+}
+
+TEST_F(PrixE2eTest, NoFalseAlarmsOnVistFigure1Scenario) {
+  // The ViST false-alarm case (Fig. 1(b)): Doc2 embeds Q's labels in the
+  // right preorder but not the right structure; PRIX must return only Doc1.
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(P (Q) (R))", 0, &dict));
+  docs.push_back(DocFromSexp("(P (x (Q)) (y (R)))", 1, &dict));
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto pattern = ParseXPath("//P[./Q][./R]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->docs, (std::vector<DocId>{0}));
+}
+
+TEST_F(PrixE2eTest, SingleNodeQueryViaScan) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (b) (b (a)))", 0, &dict));
+  docs.push_back(DocFromSexp("(c (d))", 1, &dict));
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto pattern = ParseXPath("//a", &dict);
+  ASSERT_TRUE(pattern.ok());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.used_scan);
+  EXPECT_EQ(result->matches.size(), 2u);
+  EXPECT_EQ(result->docs, (std::vector<DocId>{0}));
+  // A leaf-only label is still found (b at depth 1 and internal b).
+  auto pb = ParseXPath("//b", &dict);
+  auto rb = qp.Execute(*pb);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->matches.size(), 2u);
+}
+
+TEST_F(PrixE2eTest, UnorderedFindsSwappedBranches) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (c) (b))", 0, &dict));
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto pattern = ParseXPath("//a[./b][./c]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  QueryOptions ordered;
+  auto r1 = qp.Execute(*pattern, ordered);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->matches.empty());
+  QueryOptions unordered;
+  unordered.semantics = MatchSemantics::kUnorderedInjective;
+  auto r2 = qp.Execute(*pattern, unordered);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->matches.size(), 1u);
+  ExpectAgreesWithOracle(docs, *pattern, MatchSemantics::kUnorderedInjective,
+                         dict);
+}
+
+TEST_F(PrixE2eTest, WildcardQueriesOnPaperTree) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp(
+      "(A (H) (B (C (D)) (C (D) (E))) (C (G)) (D (E (G) (F) (F))))", 0,
+      &dict));
+  BuildIndexes(docs);
+  for (const char* xpath :
+       {"//A//C", "//A//F", "//B/*", "//A/*/C", "//A//E/F", "//D//G",
+        "/A/B//D", "//A/*/*"}) {
+    SCOPED_TRACE(xpath);
+    auto pattern = ParseXPath(xpath, &dict);
+    ASSERT_TRUE(pattern.ok());
+    ExpectAgreesWithOracle(docs, *pattern, MatchSemantics::kOrdered, dict);
+  }
+}
+
+TEST_F(PrixE2eTest, RandomizedAgreementExactQueries) {
+  TagDictionary dict;
+  Random rng(1001);
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 30;
+  std::vector<Document> docs = RandomCollection(rng, 60, &dict, doc_opts);
+  BuildIndexes(docs);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Document& doc = docs[rng.Uniform(docs.size())];
+    RandomTwigOptions twig_opts;
+    TwigPattern pattern = RandomTwig(rng, doc, &dict, twig_opts);
+    if (pattern.num_nodes() < 2) continue;
+    ++checked;
+    SCOPED_TRACE(TwigToString(pattern, dict));
+    ExpectAgreesWithOracle(docs, pattern, MatchSemantics::kOrdered, dict);
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(PrixE2eTest, RandomizedAgreementWildcardQueries) {
+  TagDictionary dict;
+  Random rng(2002);
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 25;
+  doc_opts.alphabet = 5;
+  std::vector<Document> docs = RandomCollection(rng, 40, &dict, doc_opts);
+  BuildIndexes(docs);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Document& doc = docs[rng.Uniform(docs.size())];
+    RandomTwigOptions twig_opts;
+    twig_opts.descendant_prob = 0.5;
+    twig_opts.star_prob = 0.15;
+    TwigPattern pattern = RandomTwig(rng, doc, &dict, twig_opts);
+    if (pattern.num_nodes() < 2) continue;
+    EffectiveTwig twig = EffectiveTwig::Build(pattern);
+    if (twig.num_nodes() < 2) continue;
+    ++checked;
+    SCOPED_TRACE(TwigToString(pattern, dict));
+    ExpectAgreesWithOracle(docs, pattern, MatchSemantics::kOrdered, dict);
+  }
+  EXPECT_GT(checked, 15);
+}
+
+TEST_F(PrixE2eTest, RandomizedAgreementUnordered) {
+  TagDictionary dict;
+  Random rng(3003);
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 20;
+  std::vector<Document> docs = RandomCollection(rng, 30, &dict, doc_opts);
+  BuildIndexes(docs);
+  int checked = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Document& doc = docs[rng.Uniform(docs.size())];
+    RandomTwigOptions twig_opts;
+    twig_opts.max_nodes = 5;
+    TwigPattern pattern = RandomTwig(rng, doc, &dict, twig_opts);
+    if (pattern.num_nodes() < 2 || pattern.num_nodes() > 5) continue;
+    ++checked;
+    SCOPED_TRACE(TwigToString(pattern, dict));
+    ExpectAgreesWithOracle(docs, pattern,
+                           MatchSemantics::kUnorderedInjective, dict);
+  }
+  EXPECT_GT(checked, 8);
+}
+
+TEST_F(PrixE2eTest, DynamicLabelingGivesSameAnswers) {
+  TagDictionary dict;
+  Random rng(4004);
+  std::vector<Document> docs = RandomCollection(rng, 40, &dict);
+  BuildIndexes(docs, PrixIndexOptions::Labeling::kDynamic);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Document& doc = docs[rng.Uniform(docs.size())];
+    TwigPattern pattern = RandomTwig(rng, doc, &dict);
+    if (pattern.num_nodes() < 2) continue;
+    SCOPED_TRACE(TwigToString(pattern, dict));
+    ExpectAgreesWithOracle(docs, pattern, MatchSemantics::kOrdered, dict);
+  }
+}
+
+TEST_F(PrixE2eTest, QueryWithUnknownLabelMatchesNothing) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (b))", 0, &dict));
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto pattern = ParseXPath("//a/zzz", &dict);
+  ASSERT_TRUE(pattern.ok());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matches.empty());
+}
+
+TEST_F(PrixE2eTest, StandardSemanticsRejected) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (b))", 0, &dict));
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto pattern = ParseXPath("//a/b", &dict);
+  QueryOptions options;
+  options.semantics = MatchSemantics::kStandard;
+  EXPECT_FALSE(qp.Execute(*pattern, options).ok());
+}
+
+TEST_F(PrixE2eTest, SoundWildcardFilterCatchesSameSubtreeNesting) {
+  // Two multi-node '//' branches whose only embedding nests inside ONE
+  // child subtree of the common parent: the paper-style full-twig filter
+  // misses it (no monotone subsequence witness); the sound spine filter
+  // does not (DESIGN.md Sec. 5).
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (z (b (c)) (d (e))))", 0, &dict));
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  auto pattern = ParseXPath("//a[.//b/c][.//d/e]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  QueryOptions sound;
+  auto r1 = qp.Execute(*pattern, sound);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->matches.size(), 1u);
+  QueryOptions paper;
+  paper.wildcard_filter = QueryOptions::WildcardFilter::kFullTwig;
+  auto r2 = qp.Execute(*pattern, paper);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->matches.empty())
+      << "full-twig filtering unexpectedly found the nested embedding; "
+         "update DESIGN.md if the matcher became complete";
+}
+
+TEST_F(PrixE2eTest, MaxGapPruningOnlyRemovesWork) {
+  TagDictionary dict;
+  Random rng(5005);
+  std::vector<Document> docs = RandomCollection(rng, 50, &dict);
+  BuildIndexes(docs);
+  QueryProcessor qp(rp_.get(), ep_.get());
+  for (int trial = 0; trial < 15; ++trial) {
+    TwigPattern pattern =
+        RandomTwig(rng, docs[rng.Uniform(docs.size())], &dict);
+    if (pattern.num_nodes() < 2) continue;
+    QueryOptions with, without;
+    without.use_maxgap = false;
+    auto r1 = qp.Execute(pattern, with);
+    auto r2 = qp.Execute(pattern, without);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_EQ(SortedMatches(r1->matches), SortedMatches(r2->matches));
+    EXPECT_LE(r1->stats.matcher.nodes_scanned + r1->stats.refine.candidates,
+              r2->stats.matcher.nodes_scanned + r2->stats.refine.candidates);
+  }
+}
+
+}  // namespace
+}  // namespace prix

@@ -1,0 +1,314 @@
+// Parameterized property sweeps across modules: each suite runs one
+// invariant over a grid of seeds / shapes (gtest TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "naive/naive_matcher.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "prufer/prufer.h"
+#include "query/twig_prufer.h"
+#include "testutil/tree_gen.h"
+#include "trie/range_labeler.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace prix {
+namespace {
+
+using testutil::RandomCollection;
+using testutil::RandomDocOptions;
+using testutil::RandomDocument;
+using testutil::RandomTwig;
+using testutil::RandomTwigOptions;
+
+// ---------------------------------------------------------------- Prüfer
+
+struct TreeShape {
+  uint64_t seed;
+  size_t max_nodes;
+  double deep_bias;  // 1.0 = chains, 0.0 = stars
+};
+
+class PruferPropertyTest : public ::testing::TestWithParam<TreeShape> {};
+
+TEST_P(PruferPropertyTest, SimulationMatchesLemma1) {
+  TagDictionary dict;
+  Random rng(GetParam().seed);
+  RandomDocOptions opts;
+  opts.max_nodes = GetParam().max_nodes;
+  opts.deep_bias = GetParam().deep_bias;
+  for (int trial = 0; trial < 40; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict, opts);
+    EXPECT_EQ(BuildPruferSequences(doc), BuildPruferSequencesBySimulation(doc));
+  }
+}
+
+TEST_P(PruferPropertyTest, ReconstructionIsInverse) {
+  TagDictionary dict;
+  Random rng(GetParam().seed ^ 0xabcdef);
+  RandomDocOptions opts;
+  opts.max_nodes = GetParam().max_nodes;
+  opts.deep_bias = GetParam().deep_bias;
+  for (int trial = 0; trial < 40; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict, opts);
+    PruferSequences seq = BuildPruferSequences(doc);
+    auto leaves = CollectLeaves(doc);
+    auto rebuilt = ReconstructTree(seq, leaves);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(BuildPruferSequences(*rebuilt), seq);
+  }
+}
+
+TEST_P(PruferPropertyTest, ExtendedSequencesContainEveryLabelOccurrence) {
+  TagDictionary dict;
+  Random rng(GetParam().seed ^ 0x1234);
+  RandomDocOptions opts;
+  opts.max_nodes = GetParam().max_nodes;
+  opts.deep_bias = GetParam().deep_bias;
+  for (int trial = 0; trial < 20; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict, opts);
+    Document ext = ExtendWithDummyLeaves(doc, kDummyLabel);
+    PruferSequences seq = BuildPruferSequences(ext);
+    // Multiset equality: every non-root original node contributes its
+    // parent's label once; extended sequences additionally record every
+    // original node's own label exactly once (via its first deletion).
+    std::multiset<LabelId> in_seq(seq.lps.begin(), seq.lps.end());
+    std::multiset<LabelId> expected;
+    for (NodeId v = 0; v < doc.num_nodes(); ++v) {
+      size_t copies = doc.children(v).size() + (doc.is_leaf(v) ? 1 : 0);
+      for (size_t i = 0; i < copies; ++i) expected.insert(doc.label(v));
+    }
+    EXPECT_EQ(in_seq, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PruferPropertyTest,
+    ::testing::Values(TreeShape{1, 8, 0.5}, TreeShape{2, 40, 0.5},
+                      TreeShape{3, 40, 0.95}, TreeShape{4, 40, 0.05},
+                      TreeShape{5, 200, 0.5}, TreeShape{6, 200, 0.9}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.max_nodes) + "_bias" +
+             std::to_string(static_cast<int>(info.param.deep_bias * 100));
+    });
+
+// ---------------------------------------------------------------- XML
+
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// XML cannot represent two ADJACENT text children distinctly — they merge
+/// into one character-data region on reparse. Canonicalize by concatenating
+/// runs of adjacent value children (matching an unindented writer).
+Document MergeAdjacentValues(const Document& doc, TagDictionary* dict) {
+  Document out(doc.doc_id());
+  struct Frame {
+    NodeId src;
+    NodeId dst;
+    size_t child = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(
+      Frame{doc.root(), out.AddRoot(doc.label(doc.root()), doc.kind(doc.root()))});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = doc.children(f.src);
+    if (f.child >= kids.size()) {
+      stack.pop_back();
+      continue;
+    }
+    NodeId c = kids[f.child];
+    if (doc.kind(c) == NodeKind::kValue) {
+      std::string text = dict->Name(doc.label(c));
+      ++f.child;
+      while (f.child < kids.size() &&
+             doc.kind(kids[f.child]) == NodeKind::kValue) {
+        text += dict->Name(doc.label(kids[f.child]));
+        ++f.child;
+      }
+      out.AddChild(f.dst, dict->Intern(text), NodeKind::kValue);
+    } else {
+      NodeId copied = out.AddChild(f.dst, doc.label(c), doc.kind(c));
+      ++f.child;
+      stack.push_back(Frame{c, copied});
+    }
+  }
+  return out;
+}
+
+TEST_P(XmlRoundTripTest, WriteParseRoundTrip) {
+  TagDictionary dict;
+  Random rng(GetParam());
+  RandomDocOptions opts;
+  opts.max_nodes = 60;
+  for (int trial = 0; trial < 25; ++trial) {
+    Document doc = RandomDocument(rng, 7, &dict, opts);
+    XmlWriteOptions write_opts;
+    write_opts.indent = false;
+    std::string xml = WriteXml(doc, dict, write_opts);
+    auto reparsed = ParseXml(xml, &dict);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << xml;
+    Document expected = MergeAdjacentValues(doc, &dict);
+    // Compare as Prüfer sequences + leaves (stable under arena renumbering).
+    EXPECT_EQ(BuildPruferSequences(*reparsed), BuildPruferSequences(expected))
+        << xml;
+    EXPECT_EQ(CollectLeaves(*reparsed), CollectLeaves(expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------------- labeling
+
+struct LabelerParam {
+  uint64_t seed;
+  uint32_t alpha;
+  size_t alphabet;
+};
+
+class LabelerPropertyTest : public ::testing::TestWithParam<LabelerParam> {};
+
+TEST_P(LabelerPropertyTest, DynamicLabelsSatisfyContainment) {
+  Random rng(GetParam().seed);
+  SequenceTrie trie;
+  std::vector<std::vector<LabelId>> seqs;
+  for (DocId d = 0; d < 400; ++d) {
+    std::vector<LabelId> seq;
+    size_t len = 1 + rng.Uniform(20);
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<LabelId>(rng.Uniform(GetParam().alphabet)));
+    }
+    trie.Insert(seq, d);
+    seqs.push_back(std::move(seq));
+  }
+  LabelerStats stats;
+  auto labels = LabelTrieDynamic(trie, seqs, GetParam().alpha, &stats);
+  EXPECT_TRUE(ValidateContainment(trie, labels));
+  EXPECT_TRUE(ValidateContainment(trie, LabelTrieExact(trie)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, LabelerPropertyTest,
+    ::testing::Values(LabelerParam{1, 0, 4}, LabelerParam{1, 2, 4},
+                      LabelerParam{2, 0, 64}, LabelerParam{2, 1, 64},
+                      LabelerParam{3, 3, 512}, LabelerParam{4, 2, 2048}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_alpha" +
+             std::to_string(info.param.alpha) + "_sigma" +
+             std::to_string(info.param.alphabet);
+    });
+
+// ------------------------------------------------------ end-to-end PRIX
+
+struct E2eParam {
+  uint64_t seed;
+  double descendant_prob;
+  double star_prob;
+  bool dynamic_labeling;
+};
+
+class PrixAgreementTest : public ::testing::TestWithParam<E2eParam> {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_prop_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
+    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
+  }
+  void TearDown() override {
+    rp_.reset();
+    ep_.reset();
+    pool_.reset();
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<PrixIndex> rp_;
+  std::unique_ptr<PrixIndex> ep_;
+};
+
+TEST_P(PrixAgreementTest, MatchesOracleUnderAllConfigurations) {
+  const E2eParam& param = GetParam();
+  TagDictionary dict;
+  Random rng(param.seed);
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 24;
+  doc_opts.alphabet = 5;
+  std::vector<Document> docs = RandomCollection(rng, 35, &dict, doc_opts);
+
+  PrixIndexOptions rp_opts;
+  PrixIndexOptions ep_opts;
+  ep_opts.extended = true;
+  if (param.dynamic_labeling) {
+    rp_opts.labeling = PrixIndexOptions::Labeling::kDynamic;
+    ep_opts.labeling = PrixIndexOptions::Labeling::kDynamic;
+  }
+  auto rp = PrixIndex::Build(docs, pool_.get(), rp_opts);
+  auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+  ASSERT_TRUE(rp.ok() && ep.ok());
+  rp_ = std::move(*rp);
+  ep_ = std::move(*ep);
+  QueryProcessor qp(rp_.get(), ep_.get());
+
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomTwigOptions twig_opts;
+    twig_opts.descendant_prob = param.descendant_prob;
+    twig_opts.star_prob = param.star_prob;
+    TwigPattern pattern =
+        RandomTwig(rng, docs[rng.Uniform(docs.size())], &dict, twig_opts);
+    if (pattern.num_nodes() < 2) continue;
+    ++checked;
+    SCOPED_TRACE(TwigToString(pattern, dict));
+    EffectiveTwig twig = EffectiveTwig::Build(pattern);
+    auto expected = NaiveMatchCollection(docs, twig, MatchSemantics::kOrdered);
+    std::sort(expected.begin(), expected.end());
+    bool trailing_star = false;
+    for (uint32_t e = 0; e < twig.num_nodes(); ++e) {
+      trailing_star |= twig.is_star(e);
+    }
+    for (auto choice : {QueryOptions::IndexChoice::kAuto,
+                        QueryOptions::IndexChoice::kRegular,
+                        QueryOptions::IndexChoice::kExtended}) {
+      if (trailing_star && choice == QueryOptions::IndexChoice::kExtended) {
+        continue;
+      }
+      QueryOptions options;
+      options.index = choice;
+      auto result = qp.Execute(pattern, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      auto got = result->matches;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "index choice "
+                               << static_cast<int>(choice);
+    }
+  }
+  EXPECT_GT(checked, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PrixAgreementTest,
+    ::testing::Values(E2eParam{101, 0.0, 0.0, false},
+                      E2eParam{102, 0.0, 0.0, true},
+                      E2eParam{103, 0.4, 0.0, false},
+                      E2eParam{104, 0.4, 0.2, false},
+                      E2eParam{105, 0.8, 0.1, false},
+                      E2eParam{106, 0.4, 0.2, true}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_desc" +
+             std::to_string(static_cast<int>(info.param.descendant_prob *
+                                             100)) +
+             "_star" +
+             std::to_string(static_cast<int>(info.param.star_prob * 100)) +
+             (info.param.dynamic_labeling ? "_dyn" : "_exact");
+    });
+
+}  // namespace
+}  // namespace prix

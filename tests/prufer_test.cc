@@ -1,0 +1,290 @@
+#include "prufer/prufer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "testutil/tree_gen.h"
+#include "xml/tag_dictionary.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+using testutil::RandomDocOptions;
+using testutil::RandomDocument;
+
+/// The running example of the paper: Figure 2(a).
+/// Postorder: H=1 D=2 C=3 D=4 E=5 C=6 B=7 G=8 C=9 G=10 F=11 F=12 E=13 D=14
+/// A=15 (the figure's (D,2),(D,4),(E,5),(G,10),(F,11),(F,12) leaves plus
+/// two unlabeled-in-text leaves we call H and G).
+Document Figure2Tree(TagDictionary* dict) {
+  return DocFromSexp(
+      "(A (H) (B (C (D)) (C (D) (E))) (C (G)) (D (E (G) (F) (F))))", 0, dict);
+}
+
+std::vector<std::string> Names(const TagDictionary& dict,
+                               const std::vector<LabelId>& seq) {
+  std::vector<std::string> out;
+  for (LabelId l : seq) out.push_back(dict.Name(l));
+  return out;
+}
+
+TEST(PruferTest, PaperExample1LpsAndNps) {
+  TagDictionary dict;
+  Document t = Figure2Tree(&dict);
+  ASSERT_EQ(t.num_nodes(), 15u);
+  PruferSequences seq = BuildPruferSequences(t);
+  EXPECT_EQ(seq.num_nodes, 15u);
+  std::vector<std::string> expected_lps = {"A", "C", "B", "C", "C", "B", "A",
+                                           "C", "A", "E", "E", "E", "D", "A"};
+  EXPECT_EQ(Names(dict, seq.lps), expected_lps);
+  std::vector<uint32_t> expected_nps = {15, 3, 7, 6,  6,  7,  15,
+                                        9,  15, 13, 13, 13, 14, 15};
+  EXPECT_EQ(seq.nps, expected_nps);
+  EXPECT_EQ(dict.Name(seq.root_label), "A");
+}
+
+TEST(PruferTest, PaperExample2QueryTwig) {
+  // Q of Figure 2(b): B(C) and A(B, E(F), D) — LPS(Q) = B A E D A,
+  // NPS(Q) = 2 6 4 5 6.
+  TagDictionary dict;
+  Document q = DocFromSexp("(A (B (C)) (D (E (F))))", 0, &dict);
+  PruferSequences seq = BuildPruferSequences(q);
+  std::vector<std::string> expected_lps = {"B", "A", "E", "D", "A"};
+  EXPECT_EQ(Names(dict, seq.lps), expected_lps);
+  std::vector<uint32_t> expected_nps = {2, 6, 4, 5, 6};
+  EXPECT_EQ(seq.nps, expected_nps);
+}
+
+TEST(PruferTest, SimulationAgreesWithLemma1Construction) {
+  TagDictionary dict;
+  Random rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict);
+    EXPECT_EQ(BuildPruferSequences(doc), BuildPruferSequencesBySimulation(doc))
+        << "trial " << trial;
+  }
+}
+
+TEST(PruferTest, NpsIsParentArray) {
+  TagDictionary dict;
+  Random rng(7);
+  Document doc = RandomDocument(rng, 0, &dict);
+  PruferSequences seq = BuildPruferSequences(doc);
+  auto number = doc.ComputePostorder();
+  auto node_of = doc.ComputePostorderInverse();
+  for (uint32_t k = 1; k < seq.num_nodes; ++k) {
+    EXPECT_EQ(seq.Parent(k), number[doc.parent(node_of[k])]);
+  }
+}
+
+TEST(PruferTest, ReconstructRoundTrip) {
+  TagDictionary dict;
+  Random rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict);
+    PruferSequences seq = BuildPruferSequences(doc);
+    auto leaves = CollectLeaves(doc);
+    auto rebuilt = ReconstructTree(seq, leaves);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ASSERT_EQ(rebuilt->num_nodes(), doc.num_nodes());
+    // Node ids may differ (the rebuilt arena is in preorder); the labeled
+    // ordered tree must be identical, which the Prüfer bijection certifies.
+    EXPECT_EQ(BuildPruferSequences(*rebuilt), seq);
+    EXPECT_EQ(CollectLeaves(*rebuilt), leaves);
+  }
+}
+
+TEST(PruferTest, ReconstructRejectsCorruptNps) {
+  PruferSequences seq;
+  seq.num_nodes = 3;
+  seq.root_label = 0;
+  seq.lps = {1, 1};
+  seq.nps = {2, 1};  // nps[1] = 1 <= node 2: not a postorder parent array
+  EXPECT_FALSE(ReconstructTree(seq, {}).ok());
+}
+
+TEST(PruferTest, ClassicPrefixProperty) {
+  // The paper's length-(n-1) construction extends the classic length-(n-2)
+  // sequence by one final element.
+  TagDictionary dict;
+  Random rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict);
+    if (doc.num_nodes() < 3) continue;
+    PruferSequences seq = BuildPruferSequences(doc);
+    std::vector<uint32_t> classic =
+        ClassicPruferEncode(doc, doc.ComputePostorder());
+    ASSERT_EQ(classic.size(), seq.nps.size() - 1);
+    for (size_t i = 0; i < classic.size(); ++i) {
+      EXPECT_EQ(classic[i], seq.nps[i]);
+    }
+  }
+}
+
+TEST(PruferTest, ClassicEncodeDecodeBijection) {
+  TagDictionary dict;
+  Random rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict);
+    size_t n = doc.num_nodes();
+    if (n < 3) continue;
+    // Random (non-postorder) numbering exercises the general 1918 theorem.
+    std::vector<uint32_t> numbering(n);
+    std::iota(numbering.begin(), numbering.end(), 1);
+    for (size_t i = n - 1; i > 0; --i) {
+      std::swap(numbering[i], numbering[rng.Uniform(i + 1)]);
+    }
+    std::vector<uint32_t> seq = ClassicPruferEncode(doc, numbering);
+    auto decoded = ClassicPruferDecode(seq);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    // Decoded parent array must describe the same undirected edge set.
+    std::multiset<std::pair<uint32_t, uint32_t>> original, rebuilt;
+    for (NodeId v = 0; v < n; ++v) {
+      if (doc.parent(v) == kInvalidNode) continue;
+      uint32_t a = numbering[v], b = numbering[doc.parent(v)];
+      original.insert({std::min(a, b), std::max(a, b)});
+    }
+    const auto& parent = *decoded;
+    for (uint32_t k = 1; k <= n; ++k) {
+      if (parent[k] == 0) continue;
+      rebuilt.insert({std::min(k, parent[k]), std::max(k, parent[k])});
+    }
+    EXPECT_EQ(original, rebuilt) << "trial " << trial;
+  }
+}
+
+TEST(PruferTest, ClassicDecodeRejectsBadValues) {
+  EXPECT_FALSE(ClassicPruferDecode({0}).ok());
+  EXPECT_FALSE(ClassicPruferDecode({9}).ok());  // n = 3, value > n
+}
+
+TEST(PruferTest, CollectLeavesSortedByPostorder) {
+  TagDictionary dict;
+  Document t = Figure2Tree(&dict);
+  auto leaves = CollectLeaves(t);
+  ASSERT_EQ(leaves.size(), 8u);
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    EXPECT_LT(leaves[i - 1].postorder, leaves[i].postorder);
+  }
+  // The six leaves named in Example 6 plus (H,1), (G,8).
+  EXPECT_EQ(leaves[1].postorder, 2u);
+  EXPECT_EQ(dict.Name(leaves[1].label), "D");
+  EXPECT_EQ(leaves[7].postorder, 12u);
+  EXPECT_EQ(dict.Name(leaves[7].label), "F");
+}
+
+TEST(ExtendedPruferTest, DummiesAttachToEveryLeaf) {
+  TagDictionary dict;
+  Document t = Figure2Tree(&dict);
+  Document ext = ExtendWithDummyLeaves(t, 9999);
+  EXPECT_EQ(ext.num_nodes(), t.num_nodes() + CollectLeaves(t).size());
+  // Every original leaf label is now internal, so it appears in the LPS.
+  PruferSequences ext_seq = BuildPruferSequences(ext);
+  std::multiset<LabelId> lps_labels(ext_seq.lps.begin(), ext_seq.lps.end());
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    if (v == t.root()) continue;
+    EXPECT_TRUE(lps_labels.count(t.label(v)) > 0)
+        << "label " << dict.Name(t.label(v)) << " missing from extended LPS";
+  }
+}
+
+TEST(ExtendedPruferTest, ExtendedToOriginalPostorderMapping) {
+  TagDictionary dict;
+  Random rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    Document doc = RandomDocument(rng, 0, &dict);
+    Document ext = ExtendWithDummyLeaves(doc, 9999);
+    PruferSequences ext_seq = BuildPruferSequences(ext);
+    std::vector<uint32_t> mapping = ExtendedToOriginalPostorder(ext_seq);
+    // Ground truth: walk both postorders; dummies are label 9999.
+    auto ext_inv = ext.ComputePostorderInverse();
+    uint32_t expected_rank = 0;
+    for (uint32_t k = 1; k <= ext.num_nodes(); ++k) {
+      NodeId v = ext_inv[k];
+      if (ext.label(v) == 9999) {
+        EXPECT_EQ(mapping[k], 0u);
+      } else {
+        EXPECT_EQ(mapping[k], ++expected_rank);
+      }
+    }
+    EXPECT_EQ(expected_rank, doc.num_nodes());
+  }
+}
+
+TEST(ExtendedPruferTest, ExtensionPreservesOriginalOrderAmongNonDummies) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b (c)) (d))", 0, &dict);
+  Document ext = ExtendWithDummyLeaves(doc, 9999);
+  // Original: c=1 b=2 d=3 a=4. Extended: dummy=1 c=2 b=3 dummy=4 d=5 a=6.
+  PruferSequences ext_seq = BuildPruferSequences(ext);
+  auto mapping = ExtendedToOriginalPostorder(ext_seq);
+  EXPECT_EQ(mapping[2], 1u);  // c
+  EXPECT_EQ(mapping[3], 2u);  // b
+  EXPECT_EQ(mapping[5], 3u);  // d
+  EXPECT_EQ(mapping[6], 4u);  // a
+  EXPECT_EQ(mapping[1], 0u);
+  EXPECT_EQ(mapping[4], 0u);
+}
+
+/// Theorem 1: if Q is a (order-preserving) subgraph of T, LPS(Q) is a
+/// subsequence of LPS(T).
+bool IsSubsequence(const std::vector<LabelId>& small,
+                   const std::vector<LabelId>& big) {
+  size_t i = 0;
+  for (size_t j = 0; j < big.size() && i < small.size(); ++j) {
+    if (big[j] == small[i]) ++i;
+  }
+  return i == small.size();
+}
+
+void SampleSubgraph(Random& rng, const Document& src, NodeId v,
+                    Document* dst, NodeId dst_parent) {
+  NodeId copied = dst_parent == kInvalidNode
+                      ? dst->AddRoot(src.label(v), src.kind(v))
+                      : dst->AddChild(dst_parent, src.label(v), src.kind(v));
+  for (NodeId c : src.children(v)) {
+    if (rng.Bernoulli(0.6)) SampleSubgraph(rng, src, c, dst, copied);
+  }
+}
+
+TEST(PruferTest, Theorem1SubgraphGivesSubsequence) {
+  TagDictionary dict;
+  Random rng(31);
+  int nontrivial = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomDocOptions opts;
+    opts.min_nodes = 5;
+    opts.max_nodes = 60;
+    Document t = RandomDocument(rng, 0, &dict, opts);
+    NodeId start = static_cast<NodeId>(rng.Uniform(t.num_nodes()));
+    Document q(1);
+    SampleSubgraph(rng, t, start, &q, kInvalidNode);
+    if (q.num_nodes() < 2) continue;
+    ++nontrivial;
+    PruferSequences qt = BuildPruferSequences(q);
+    PruferSequences tt = BuildPruferSequences(t);
+    EXPECT_TRUE(IsSubsequence(qt.lps, tt.lps)) << "trial " << trial;
+  }
+  EXPECT_GT(nontrivial, 50);
+}
+
+TEST(PruferTest, SingleNodeAndEmptyTrees) {
+  TagDictionary dict;
+  Document single(0);
+  single.AddRoot(dict.Intern("x"));
+  PruferSequences seq = BuildPruferSequences(single);
+  EXPECT_EQ(seq.num_nodes, 1u);
+  EXPECT_TRUE(seq.lps.empty());
+  EXPECT_TRUE(seq.nps.empty());
+  Document empty(1);
+  PruferSequences eseq = BuildPruferSequences(empty);
+  EXPECT_EQ(eseq.num_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace prix

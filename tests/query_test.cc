@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "query/twig_pattern.h"
+#include "query/twig_prufer.h"
+#include "query/xpath_parser.h"
+#include "xml/tag_dictionary.h"
+
+namespace prix {
+namespace {
+
+TEST(XPathParserTest, SimplePath) {
+  TagDictionary dict;
+  auto twig = ParseXPath("//a/b/c", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  ASSERT_EQ(twig->num_nodes(), 3u);
+  EXPECT_EQ(dict.Name(twig->node(0).label), "a");
+  EXPECT_EQ(twig->node(0).axis, Axis::kDescendant);
+  EXPECT_EQ(twig->node(1).axis, Axis::kChild);
+  EXPECT_EQ(twig->node(1).parent, 0u);
+  EXPECT_EQ(twig->node(2).parent, 1u);
+}
+
+TEST(XPathParserTest, PaperQ1) {
+  TagDictionary dict;
+  auto twig = ParseXPath(
+      R"(//inproceedings[./author="Jim Gray"][./year="1990"])", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  // inproceedings, author, "Jim Gray", year, "1990"
+  ASSERT_EQ(twig->num_nodes(), 5u);
+  const auto& root = twig->node(0);
+  ASSERT_EQ(root.children.size(), 2u);
+  const auto& author = twig->node(root.children[0]);
+  EXPECT_EQ(dict.Name(author.label), "author");
+  ASSERT_EQ(author.children.size(), 1u);
+  const auto& gray = twig->node(author.children[0]);
+  EXPECT_TRUE(gray.is_value);
+  EXPECT_EQ(dict.Name(gray.label), "Jim Gray");
+  EXPECT_TRUE(twig->HasValue());
+  EXPECT_FALSE(twig->HasWildcard());
+}
+
+TEST(XPathParserTest, PaperQ3TextPredicate) {
+  TagDictionary dict;
+  auto twig = ParseXPath(R"(//title[text()="Semantic Analysis Patterns"])",
+                         &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  ASSERT_EQ(twig->num_nodes(), 2u);
+  EXPECT_TRUE(twig->node(1).is_value);
+  EXPECT_EQ(dict.Name(twig->node(1).label), "Semantic Analysis Patterns");
+}
+
+TEST(XPathParserTest, PaperQ6MixedAxes) {
+  TagDictionary dict;
+  auto twig = ParseXPath(
+      R"(//Entry[./Org="Piroplasmida"][.//Author]//from)", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  ASSERT_EQ(twig->num_nodes(), 5u);
+  const auto& root = twig->node(0);
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(twig->node(root.children[1]).axis, Axis::kDescendant);
+  EXPECT_EQ(dict.Name(twig->node(root.children[1]).label), "Author");
+  EXPECT_EQ(dict.Name(twig->node(root.children[2]).label), "from");
+  EXPECT_EQ(twig->node(root.children[2]).axis, Axis::kDescendant);
+  EXPECT_TRUE(twig->HasWildcard());
+}
+
+TEST(XPathParserTest, PaperQ7DoubleDescendant) {
+  TagDictionary dict;
+  auto twig = ParseXPath("//S//NP/SYM", &dict);
+  ASSERT_TRUE(twig.ok());
+  ASSERT_EQ(twig->num_nodes(), 3u);
+  EXPECT_EQ(twig->node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(twig->node(2).axis, Axis::kChild);
+}
+
+TEST(XPathParserTest, StarAndRootAnchor) {
+  TagDictionary dict;
+  auto twig = ParseXPath("/dblp/*/title", &dict);
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(twig->node(0).axis, Axis::kChild);  // exact anchor
+  EXPECT_TRUE(twig->node(1).is_star);
+  EXPECT_TRUE(twig->HasWildcard());
+}
+
+TEST(XPathParserTest, AttributeNameTest) {
+  TagDictionary dict;
+  auto twig = ParseXPath(R"(//www[./@href="x"])", &dict);
+  ASSERT_TRUE(twig.ok());
+  EXPECT_EQ(dict.Name(twig->node(1).label), "@href");
+}
+
+TEST(XPathParserTest, Errors) {
+  TagDictionary dict;
+  EXPECT_FALSE(ParseXPath("", &dict).ok());
+  EXPECT_FALSE(ParseXPath("a/b", &dict).ok());      // missing leading axis
+  EXPECT_FALSE(ParseXPath("//a[", &dict).ok());     // unterminated predicate
+  EXPECT_FALSE(ParseXPath("//a[./b=\"x]", &dict).ok());  // bad string
+  EXPECT_FALSE(ParseXPath("//a[b]", &dict).ok());   // predicate must start .
+}
+
+TEST(EffectiveTwigTest, PlainChildQueryIsExact) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a/b[./c]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  EXPECT_EQ(twig.num_nodes(), 3u);
+  EXPECT_FALSE(twig.NeedsGeneralizedMatching());
+  EXPECT_EQ(twig.root_anchor(), (EdgeSpec{0, false}));
+}
+
+TEST(EffectiveTwigTest, StarFoldsIntoEdge) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a/*/c", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  // a and c remain; the edge requires exactly 2 hops.
+  ASSERT_EQ(twig.num_nodes(), 2u);
+  EXPECT_EQ(dict.Name(twig.node(1).label), "c");
+  EXPECT_EQ(twig.node(1).edge, (EdgeSpec{2, true}));
+  EXPECT_TRUE(twig.NeedsGeneralizedMatching());
+}
+
+TEST(EffectiveTwigTest, DescendantStarCombination) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a//*/c", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  ASSERT_EQ(twig.num_nodes(), 2u);
+  EXPECT_EQ(twig.node(1).edge, (EdgeSpec{2, false}));
+}
+
+TEST(EffectiveTwigTest, TrailingStarKeptAsNode) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a/*", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  ASSERT_EQ(twig.num_nodes(), 2u);
+  EXPECT_TRUE(twig.is_star(1));
+}
+
+TEST(EffectiveTwigTest, ExactAnchorDetected) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("/dblp/article", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  EXPECT_EQ(twig.root_anchor(), (EdgeSpec{0, true}));
+  EXPECT_TRUE(twig.NeedsGeneralizedMatching());
+}
+
+TEST(EffectiveTwigTest, PostorderOverBranches) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a[./b][./c]/d", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto post = twig.ComputePostorder();
+  // children order: b, c, d; postorder: b=1 c=2 d=3 a=4.
+  EXPECT_EQ(post[twig.root()], 4u);
+  auto inv = twig.PostorderInverse();
+  EXPECT_EQ(dict.Name(twig.node(inv[1]).label), "b");
+  EXPECT_EQ(dict.Name(twig.node(inv[3]).label), "d");
+}
+
+TEST(QuerySequenceTest, MatchesPaperExample2) {
+  // Q of Figure 2(b): A with branches B(C) and D(E(F)).
+  TagDictionary dict;
+  auto pattern = ParseXPath("//A[./B[./C]]/D[./E[./F]]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto qseq = BuildQuerySequence(twig, /*extended=*/false);
+  ASSERT_TRUE(qseq.ok()) << qseq.status().ToString();
+  std::vector<std::string> lps;
+  for (LabelId l : qseq->lps) lps.push_back(dict.Name(l));
+  EXPECT_EQ(lps, (std::vector<std::string>{"B", "A", "E", "D", "A"}));
+  EXPECT_EQ(qseq->nps, (std::vector<uint32_t>{2, 6, 4, 5, 6}));
+  // RP leaves: C (pos 1) and F (pos 3), as listed in Example 6.
+  ASSERT_EQ(qseq->rp_leaves.size(), 2u);
+  EXPECT_EQ(qseq->rp_leaves[0].position, 1u);
+  EXPECT_EQ(dict.Name(qseq->rp_leaves[0].label), "C");
+  EXPECT_EQ(qseq->rp_leaves[1].position, 3u);
+  EXPECT_EQ(dict.Name(qseq->rp_leaves[1].label), "F");
+}
+
+TEST(QuerySequenceTest, ExtendedSequenceCoversAllLabels) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a/b[./c]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto qseq = BuildQuerySequence(twig, /*extended=*/true);
+  ASSERT_TRUE(qseq.ok());
+  // Extended tree: a(b(c(dummy))): 4 nodes, LPS = c b a.
+  EXPECT_EQ(qseq->num_nodes, 4u);
+  std::vector<std::string> lps;
+  for (LabelId l : qseq->lps) lps.push_back(dict.Name(l));
+  EXPECT_EQ(lps, (std::vector<std::string>{"c", "b", "a"}));
+  EXPECT_TRUE(qseq->rp_leaves.empty());
+}
+
+TEST(QuerySequenceTest, ExtendedRejectsTrailingStar) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a/*", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  EXPECT_FALSE(BuildQuerySequence(twig, /*extended=*/true).ok());
+}
+
+TEST(QuerySequenceTest, PruneRulesForBranchingQuery) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a[./b][./c]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto qseq = BuildQuerySequence(twig, false);
+  ASSERT_TRUE(qseq.ok());
+  // LPS = a a; positions 1,2 share the parent a.
+  ASSERT_EQ(qseq->prune.size(), 2u);
+  EXPECT_EQ(qseq->prune[1].kind, GapPruneRule::kSameParent);
+  EXPECT_EQ(dict.Name(qseq->prune[1].label), "a");
+}
+
+TEST(QuerySequenceTest, PruneRuleChildEdge) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a/b/c", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto qseq = BuildQuerySequence(twig, false);
+  ASSERT_TRUE(qseq.ok());
+  // LPS = b a: deletion 2 is node b itself -> child-edge rule on label b.
+  ASSERT_EQ(qseq->prune.size(), 2u);
+  EXPECT_EQ(qseq->prune[1].kind, GapPruneRule::kChildEdge);
+  EXPECT_EQ(dict.Name(qseq->prune[1].label), "b");
+}
+
+TEST(QuerySequenceTest, NoChildEdgeRuleThroughDescendant) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a//b/c", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto qseq = BuildQuerySequence(twig, false);
+  ASSERT_TRUE(qseq.ok());
+  EXPECT_EQ(qseq->prune[1].kind, GapPruneRule::kNone);
+}
+
+TEST(ArrangementsTest, TwoBranchesGiveTwoArrangements) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a[./b][./c]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto arr = EnumerateArrangements(twig, 100);
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr->size(), 2u);
+}
+
+TEST(ArrangementsTest, IdenticalBranchesDeduplicated) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a[./b][./b]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto arr = EnumerateArrangements(twig, 100);
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr->size(), 1u);
+}
+
+TEST(ArrangementsTest, LimitEnforced) {
+  TagDictionary dict;
+  // 8 distinct branches -> 8! = 40320 permutations.
+  auto pattern = ParseXPath(
+      "//a[./b][./c][./d][./e][./f][./g][./h][./i]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  EXPECT_FALSE(EnumerateArrangements(twig, 1000).ok());
+  auto arr = EnumerateArrangements(twig, 50000);
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr->size(), 40320u);
+}
+
+TEST(ArrangementsTest, NodeIdsStableAcrossArrangements) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a[./b][./c]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto arr = EnumerateArrangements(twig, 100);
+  ASSERT_TRUE(arr.ok());
+  for (const EffectiveTwig& a : *arr) {
+    EXPECT_EQ(a.node(1).label, twig.node(1).label);
+    EXPECT_EQ(a.node(2).label, twig.node(2).label);
+  }
+}
+
+TEST(TwigToStringTest, Renders) {
+  TagDictionary dict;
+  auto pattern = ParseXPath("//a[./b=\"x\"]//c", &dict);
+  ASSERT_TRUE(pattern.ok());
+  std::string s = TwigToString(*pattern, dict);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prix

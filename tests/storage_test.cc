@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace prix {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_storage_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+  std::string dir_;
+};
+
+TEST_F(StorageTest, DiskManagerReadBackWrite) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  auto p0 = disk.AllocatePage();
+  auto p1 = disk.AllocatePage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+  char buf[kPageSize];
+  std::memset(buf, 0xab, kPageSize);
+  ASSERT_TRUE(disk.WritePage(*p1, buf).ok());
+  char readback[kPageSize] = {};
+  ASSERT_TRUE(disk.ReadPage(*p1, readback).ok());
+  EXPECT_EQ(std::memcmp(buf, readback, kPageSize), 0);
+  // Unwritten pages read back as zeros.
+  ASSERT_TRUE(disk.ReadPage(*p0, readback).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(readback[i], 0);
+}
+
+TEST_F(StorageTest, DiskManagerRejectsUnallocatedPage) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  char buf[kPageSize];
+  EXPECT_FALSE(disk.ReadPage(5, buf).ok());
+  EXPECT_FALSE(disk.WritePage(5, buf).ok());
+}
+
+TEST_F(StorageTest, DiskManagerCountsIo) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  auto p = disk.AllocatePage();
+  ASSERT_TRUE(p.ok());
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(disk.WritePage(*p, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(*p, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(*p, buf).ok());
+  EXPECT_EQ(disk.write_count(), 1u);
+  EXPECT_EQ(disk.read_count(), 2u);
+  disk.ResetCounters();
+  EXPECT_EQ(disk.read_count(), 0u);
+}
+
+TEST_F(StorageTest, BufferPoolCachesPages) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 4);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = (*page)->page_id();
+  std::strcpy((*page)->data(), "hello");
+  pool.UnpinPage(id, /*dirty=*/true);
+  // Re-fetch hits the cache: no physical read.
+  auto again = pool.FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_STREQ((*again)->data(), "hello");
+  pool.UnpinPage(id, false);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST_F(StorageTest, BufferPoolEvictsLruAndWritesBack) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 2);
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    ids[i] = (*page)->page_id();
+    (*page)->data()[0] = static_cast<char>('a' + i);
+    pool.UnpinPage(ids[i], /*dirty=*/true);
+  }
+  // Pool of 2: creating the third evicted the LRU (ids[0]) with write-back.
+  EXPECT_GE(pool.stats().evictions, 1u);
+  EXPECT_GE(pool.stats().physical_writes, 1u);
+  auto back = pool.FetchPage(ids[0]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->data()[0], 'a');
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  pool.UnpinPage(ids[0], false);
+}
+
+TEST_F(StorageTest, BufferPoolRefusesToEvictPinned) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 2);
+  auto p0 = pool.NewPage();
+  auto p1 = pool.NewPage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  // Both pinned; a third page cannot get a frame.
+  auto p2 = pool.NewPage();
+  EXPECT_FALSE(p2.ok());
+  EXPECT_EQ(p2.status().code(), StatusCode::kResourceExhausted);
+  pool.UnpinPage((*p0)->page_id(), false);
+  auto p3 = pool.NewPage();
+  EXPECT_TRUE(p3.ok());
+  pool.UnpinPage((*p1)->page_id(), false);
+  pool.UnpinPage((*p3)->page_id(), false);
+}
+
+TEST_F(StorageTest, LruOrderRespectsAccessRecency) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 2);
+  auto p0 = pool.NewPage();
+  PageId id0 = (*p0)->page_id();
+  pool.UnpinPage(id0, true);
+  auto p1 = pool.NewPage();
+  PageId id1 = (*p1)->page_id();
+  pool.UnpinPage(id1, true);
+  // Touch id0 so id1 becomes LRU.
+  auto r = pool.FetchPage(id0);
+  ASSERT_TRUE(r.ok());
+  pool.UnpinPage(id0, false);
+  auto p2 = pool.NewPage();
+  pool.UnpinPage((*p2)->page_id(), true);
+  // id0 must still be cached (no read), id1 must have been evicted.
+  pool.ResetStats();
+  auto r0 = pool.FetchPage(id0);
+  ASSERT_TRUE(r0.ok());
+  pool.UnpinPage(id0, false);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  auto r1 = pool.FetchPage(id1);
+  ASSERT_TRUE(r1.ok());
+  pool.UnpinPage(id1, false);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST_F(StorageTest, ClearDropsEverythingAndFlushes) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 4);
+  auto page = pool.NewPage();
+  PageId id = (*page)->page_id();
+  (*page)->data()[7] = 42;
+  pool.UnpinPage(id, true);
+  ASSERT_TRUE(pool.Clear().ok());
+  EXPECT_EQ(pool.pages_cached(), 0u);
+  // Data survived via flush; refetch is a physical read (cold cache).
+  pool.ResetStats();
+  auto back = pool.FetchPage(id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->data()[7], 42);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  pool.UnpinPage(id, false);
+}
+
+TEST_F(StorageTest, ClearFailsWithPinnedPages) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 4);
+  auto page = pool.NewPage();
+  EXPECT_FALSE(pool.Clear().ok());
+  pool.UnpinPage((*page)->page_id(), false);
+  EXPECT_TRUE(pool.Clear().ok());
+}
+
+TEST_F(StorageTest, PageGuardUnpinsAutomatically) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 4);
+  PageId id;
+  {
+    auto page = pool.NewPage();
+    id = (*page)->page_id();
+    PageGuard guard(&pool, *page);
+    guard.MarkDirty();
+    EXPECT_EQ((*page)->pin_count(), 1);
+  }
+  // Guard released the pin; Clear must now succeed.
+  EXPECT_TRUE(pool.Clear().ok());
+  (void)id;
+}
+
+TEST_F(StorageTest, PageGuardMoveTransfersOwnership) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  BufferPool pool(&disk, 4);
+  auto page = pool.NewPage();
+  PageGuard a(&pool, *page);
+  PageGuard b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b.Release();
+  EXPECT_TRUE(pool.Clear().ok());
+}
+
+}  // namespace
+}  // namespace prix

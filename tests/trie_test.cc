@@ -1,0 +1,147 @@
+#include "trie/trie_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "trie/range_labeler.h"
+
+namespace prix {
+namespace {
+
+std::vector<std::vector<LabelId>> SampleSequences() {
+  return {
+      {1, 2, 3},
+      {1, 2, 4},
+      {1, 2, 3},  // duplicate path, second doc
+      {1, 5},
+      {6},
+  };
+}
+
+SequenceTrie BuildSample() {
+  SequenceTrie trie;
+  auto seqs = SampleSequences();
+  for (DocId d = 0; d < seqs.size(); ++d) trie.Insert(seqs[d], d);
+  return trie;
+}
+
+TEST(SequenceTrieTest, SharedPrefixesShareNodes) {
+  SequenceTrie trie = BuildSample();
+  // root + {1,2,3,4,5,6} = 7 nodes.
+  EXPECT_EQ(trie.num_nodes(), 7u);
+  EXPECT_EQ(trie.MaxDepth(), 3u);
+}
+
+TEST(SequenceTrieTest, CountsAndEndDocs) {
+  SequenceTrie trie = BuildSample();
+  // Node for label 1 at depth 1 has 4 sequences through it.
+  uint32_t n1 = trie.node(trie.root()).children.at(1);
+  EXPECT_EQ(trie.node(n1).seqs_through, 4u);
+  uint32_t n2 = trie.node(n1).children.at(2);
+  uint32_t n3 = trie.node(n2).children.at(3);
+  ASSERT_EQ(trie.node(n3).end_docs.size(), 2u);
+  EXPECT_EQ(trie.node(n3).end_docs[0], 0u);
+  EXPECT_EQ(trie.node(n3).end_docs[1], 2u);
+}
+
+TEST(SequenceTrieTest, SortedChildrenOrderedByLabel) {
+  SequenceTrie trie = BuildSample();
+  auto kids = trie.SortedChildren(trie.root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(trie.node(kids[0]).label, 1u);
+  EXPECT_EQ(trie.node(kids[1]).label, 6u);
+}
+
+TEST(SequenceTrieTest, DepthEqualsSequencePosition) {
+  SequenceTrie trie = BuildSample();
+  uint32_t n1 = trie.node(trie.root()).children.at(1);
+  uint32_t n2 = trie.node(n1).children.at(2);
+  uint32_t n4 = trie.node(n2).children.at(4);
+  EXPECT_EQ(trie.node(n1).depth, 1u);
+  EXPECT_EQ(trie.node(n2).depth, 2u);
+  EXPECT_EQ(trie.node(n4).depth, 3u);
+}
+
+TEST(RangeLabelerTest, ExactLabelingSatisfiesContainment) {
+  SequenceTrie trie = BuildSample();
+  auto labels = LabelTrieExact(trie);
+  EXPECT_TRUE(ValidateContainment(trie, labels));
+  // Root covers every node.
+  EXPECT_EQ(labels[trie.root()].left, 1u);
+  EXPECT_EQ(labels[trie.root()].right, trie.num_nodes());
+}
+
+TEST(RangeLabelerTest, ExactLabelingOnRandomTries) {
+  Random rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    SequenceTrie trie;
+    std::vector<std::vector<LabelId>> seqs;
+    size_t num_seqs = 1 + rng.Uniform(200);
+    for (DocId d = 0; d < num_seqs; ++d) {
+      std::vector<LabelId> seq;
+      size_t len = 1 + rng.Uniform(12);
+      for (size_t i = 0; i < len; ++i) {
+        seq.push_back(static_cast<LabelId>(rng.Uniform(5)));
+      }
+      trie.Insert(seq, d);
+      seqs.push_back(std::move(seq));
+    }
+    EXPECT_TRUE(ValidateContainment(trie, LabelTrieExact(trie)));
+  }
+}
+
+TEST(RangeLabelerTest, DynamicLabelingSatisfiesContainment) {
+  Random rng(17);
+  for (uint32_t alpha : {0u, 1u, 2u, 3u}) {
+    SequenceTrie trie;
+    std::vector<std::vector<LabelId>> seqs;
+    for (DocId d = 0; d < 300; ++d) {
+      std::vector<LabelId> seq;
+      size_t len = 1 + rng.Uniform(15);
+      for (size_t i = 0; i < len; ++i) {
+        seq.push_back(static_cast<LabelId>(rng.Uniform(8)));
+      }
+      trie.Insert(seq, d);
+      seqs.push_back(std::move(seq));
+    }
+    LabelerStats stats;
+    auto labels = LabelTrieDynamic(trie, seqs, alpha, &stats);
+    EXPECT_TRUE(ValidateContainment(trie, labels)) << "alpha " << alpha;
+  }
+}
+
+TEST(RangeLabelerTest, HighFanoutForcesUnderflowWithoutPrealloc) {
+  // A root with hundreds of distinct children exhausts halving allocation
+  // (each child takes half the remaining scope) and must trigger underflow
+  // relabels — the failure mode the paper's alpha-prefix prealloc targets.
+  SequenceTrie trie;
+  std::vector<std::vector<LabelId>> seqs;
+  for (DocId d = 0; d < 300; ++d) {
+    std::vector<LabelId> seq = {static_cast<LabelId>(d), 1, 2};
+    trie.Insert(seq, d);
+    seqs.push_back(std::move(seq));
+  }
+  LabelerStats no_prealloc;
+  auto labels0 = LabelTrieDynamic(trie, seqs, 0, &no_prealloc);
+  EXPECT_TRUE(ValidateContainment(trie, labels0));
+  EXPECT_GT(no_prealloc.underflows, 0u);
+
+  LabelerStats with_prealloc;
+  auto labels1 = LabelTrieDynamic(trie, seqs, 1, &with_prealloc);
+  EXPECT_TRUE(ValidateContainment(trie, labels1));
+  EXPECT_LT(with_prealloc.underflows, no_prealloc.underflows);
+}
+
+TEST(RangeLabelerTest, ValidateRejectsBrokenLabels) {
+  SequenceTrie trie = BuildSample();
+  auto labels = LabelTrieExact(trie);
+  auto broken = labels;
+  broken[1].right = broken[0].right + 100;  // escapes the parent range
+  EXPECT_FALSE(ValidateContainment(trie, broken));
+  auto swapped = labels;
+  std::swap(swapped[1].left, swapped[2].left);  // breaks sibling disjointness
+  EXPECT_FALSE(ValidateContainment(trie, swapped));
+}
+
+}  // namespace
+}  // namespace prix

@@ -1,0 +1,201 @@
+#include "vist/vist_query.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "query/xpath_parser.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+using testutil::RandomCollection;
+using testutil::RandomTwig;
+using testutil::RandomTwigOptions;
+
+TEST(VistSequenceTest, PreorderPairs) {
+  TagDictionary dict;
+  Document doc = DocFromSexp("(a (b (c)) (d))", 0, &dict);
+  PrefixDictionary prefixes;
+  auto seq = BuildVistSequence(doc, &prefixes);
+  ASSERT_EQ(seq.size(), 4u);
+  LabelId a = dict.Find("a"), b = dict.Find("b");
+  EXPECT_EQ(seq[0].symbol, a);
+  EXPECT_TRUE(prefixes.Path(seq[0].prefix).empty());
+  EXPECT_EQ(seq[1].symbol, b);
+  EXPECT_EQ(prefixes.Path(seq[1].prefix), std::vector<LabelId>{a});
+  EXPECT_EQ(seq[2].symbol, dict.Find("c"));
+  EXPECT_EQ(prefixes.Path(seq[2].prefix), (std::vector<LabelId>{a, b}));
+  EXPECT_EQ(seq[3].symbol, dict.Find("d"));
+  EXPECT_EQ(prefixes.Path(seq[3].prefix), std::vector<LabelId>{a});
+}
+
+TEST(VistSequenceTest, UnaryTreePrefixBlowupIsQuadratic) {
+  // The PRIX paper's Sec. 2 argument: a unary tree of n nodes interns
+  // prefixes totalling n(n-1)/2 labels.
+  TagDictionary dict;
+  Document doc(0);
+  NodeId cur = doc.AddRoot(dict.Intern("x0"));
+  const size_t n = 50;
+  for (size_t i = 1; i < n; ++i) {
+    cur = doc.AddChild(cur, dict.Intern("x" + std::to_string(i)));
+  }
+  PrefixDictionary prefixes;
+  BuildVistSequence(doc, &prefixes);
+  EXPECT_EQ(prefixes.total_labels(), n * (n - 1) / 2);
+}
+
+TEST(VistSequenceTest, PatternMatching) {
+  // labels: 1 2 3; pattern items: gap/g, label/l.
+  auto gap = [] { return PatternItem{true, kInvalidLabel}; };
+  auto lab = [](LabelId l) { return PatternItem{false, l}; };
+  auto any = [] { return PatternItem{false, kInvalidLabel}; };
+  // D-Ancestorship semantics: the pattern matches a PREFIX of the path.
+  EXPECT_TRUE(PatternMatchesPath({lab(1), lab(2)}, {1, 2}));
+  EXPECT_FALSE(PatternMatchesPath({lab(1), lab(2)}, {1, 3}));
+  EXPECT_TRUE(PatternMatchesPath({lab(1)}, {1, 2}));  // descendant of path 1
+  EXPECT_FALSE(PatternMatchesPath({lab(1)}, {2, 1}));
+  EXPECT_TRUE(PatternMatchesPath({gap(), lab(2)}, {1, 7, 2}));
+  EXPECT_TRUE(PatternMatchesPath({gap(), lab(2)}, {2}));  // gap absorbs zero
+  EXPECT_TRUE(PatternMatchesPath({lab(1), gap(), lab(3)}, {1, 3}));
+  EXPECT_TRUE(PatternMatchesPath({lab(1), gap(), lab(3)}, {1, 9, 9, 3}));
+  EXPECT_FALSE(PatternMatchesPath({lab(1), gap(), lab(3)}, {2, 3}));
+  EXPECT_TRUE(PatternMatchesPath({lab(1), any(), lab(3)}, {1, 8, 3}));
+  EXPECT_FALSE(PatternMatchesPath({lab(1), any(), lab(3)}, {1, 3}));
+  EXPECT_TRUE(PatternMatchesPath({}, {}));
+  EXPECT_TRUE(PatternMatchesPath({gap()}, {}));
+  EXPECT_TRUE(PatternMatchesPath({}, {1}));  // every node is below the root
+}
+
+class VistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_vist_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
+    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
+  }
+  void TearDown() override {
+    index_.reset();
+    pool_.reset();
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  void Build(const std::vector<Document>& docs) {
+    auto index = VistIndex::Build(docs, pool_.get(), &stats_);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::move(*index);
+  }
+
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<VistIndex> index_;
+  VistIndexBuildStats stats_;
+};
+
+TEST_F(VistTest, DocumentRoundTrip) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(a (b (c) (d)) (e))", 0, &dict));
+  Build(docs);
+  auto loaded = index_->LoadDocument(0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_nodes(), docs[0].num_nodes());
+  for (NodeId v = 0; v < docs[0].num_nodes(); ++v) {
+    EXPECT_EQ(loaded->label(v), docs[0].label(v));
+    EXPECT_EQ(loaded->parent(v), docs[0].parent(v));
+  }
+}
+
+TEST_F(VistTest, Figure1FalseAlarmIsCaughtByVerification) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(P (Q) (R))", 0, &dict));
+  docs.push_back(DocFromSexp("(P (x (Q)) (y (R)))", 1, &dict));
+  Build(docs);
+  VistQueryProcessor qp(index_.get());
+  auto pattern = ParseXPath("//P[./Q][./R]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->docs, (std::vector<DocId>{0}));
+  // Doc2 surfaced as a candidate (the false alarm) and was rejected.
+  EXPECT_EQ(result->stats.candidate_docs, 2u);
+  EXPECT_EQ(result->stats.false_alarms, 1u);
+}
+
+TEST_F(VistTest, AgreesWithOracleOnExactQueries) {
+  TagDictionary dict;
+  Random rng(91);
+  std::vector<Document> docs = RandomCollection(rng, 50, &dict);
+  Build(docs);
+  VistQueryProcessor qp(index_.get());
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    TwigPattern pattern =
+        RandomTwig(rng, docs[rng.Uniform(docs.size())], &dict);
+    if (pattern.num_nodes() < 2) continue;
+    ++checked;
+    SCOPED_TRACE(TwigToString(pattern, dict));
+    auto result = qp.Execute(pattern);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EffectiveTwig twig = EffectiveTwig::Build(pattern);
+    auto expected =
+        NaiveMatchCollection(docs, twig, MatchSemantics::kOrdered);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(result->matches, expected);
+  }
+  EXPECT_GT(checked, 15);
+}
+
+TEST_F(VistTest, WildcardQueryMatchesManyKeys) {
+  // Deep recursion of one tag: a '//' query item must touch many distinct
+  // (symbol, prefix) keys — the TREEBANK behaviour of Sec. 6.4.1.
+  TagDictionary dict;
+  std::vector<Document> docs;
+  for (DocId d = 0; d < 8; ++d) {
+    Document doc(d);
+    NodeId cur = doc.AddRoot(dict.Intern("S"));
+    for (int i = 0; i < 6; ++i) {
+      cur = doc.AddChild(cur, dict.Intern(i % 2 == 0 ? "NP" : "S"));
+    }
+    doc.AddChild(cur, dict.Intern("SYM"));
+    docs.push_back(std::move(doc));
+  }
+  Build(docs);
+  VistQueryProcessor qp(index_.get());
+  auto pattern = ParseXPath("//S//NP", &dict);
+  ASSERT_TRUE(pattern.ok());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.matched_prefixes, 4u);
+  // Verified against the oracle.
+  EffectiveTwig twig = EffectiveTwig::Build(*pattern);
+  auto expected = NaiveMatchCollection(docs, twig, MatchSemantics::kOrdered);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result->matches, expected);
+}
+
+TEST_F(VistTest, ValueQueries) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(book (author (=Jim)) (year (=1990)))", 0,
+                             &dict));
+  docs.push_back(DocFromSexp("(book (author (=Ann)) (year (=1990)))", 1,
+                             &dict));
+  Build(docs);
+  VistQueryProcessor qp(index_.get());
+  auto pattern =
+      ParseXPath("//book[./author=\"Jim\"][./year=\"1990\"]", &dict);
+  ASSERT_TRUE(pattern.ok());
+  auto result = qp.Execute(*pattern);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->docs, (std::vector<DocId>{0}));
+}
+
+}  // namespace
+}  // namespace prix

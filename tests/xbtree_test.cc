@@ -1,0 +1,148 @@
+#include "twigstack/xb_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::RandomCollection;
+using testutil::RandomDocOptions;
+
+class XbTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_xb_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
+    pool_ = std::make_unique<BufferPool>(&disk_, 512);
+  }
+  void TearDown() override {
+    store_.reset();
+    pool_.reset();
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  /// Builds streams over a collection big enough for multi-level XB-trees.
+  LabelId BuildBigStream(size_t num_docs) {
+    TagDictionary dict;
+    Random rng(8);
+    RandomDocOptions opts;
+    opts.max_nodes = 30;
+    opts.alphabet = 3;  // few labels -> long streams
+    std::vector<Document> docs = RandomCollection(rng, num_docs, &dict, opts);
+    auto store = StreamStore::Build(docs, pool_.get());
+    EXPECT_TRUE(store.ok());
+    store_ = std::move(*store);
+    return dict.Find("tag0");
+  }
+
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<StreamStore> store_;
+};
+
+TEST_F(XbTreeTest, FullDrilldownScanEqualsStream) {
+  LabelId label = BuildBigStream(2000);
+  const auto* info = store_->Find(label);
+  ASSERT_NE(info, nullptr);
+  ASSERT_GT(info->count, StreamStore::kEntriesPerPage);  // multi-page
+  auto tree = XbTree::Build(store_.get(), info);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE((*tree)->levels().size(), 1u);
+
+  // Walking with EnsureElement+Advance must enumerate exactly the stream.
+  XbCursor cursor(tree->get());
+  ASSERT_TRUE(cursor.Init().ok());
+  SimpleStreamCursor plain(store_.get(), info);
+  ASSERT_TRUE(plain.Init().ok());
+  size_t count = 0;
+  while (!cursor.Eof()) {
+    ASSERT_TRUE(cursor.EnsureElement().ok());
+    ASSERT_FALSE(plain.Eof());
+    EXPECT_EQ(cursor.Current().BeginKey(), plain.Current().BeginKey());
+    EXPECT_EQ(cursor.Current().EndKey(), plain.Current().EndKey());
+    ++count;
+    ASSERT_TRUE(cursor.Advance().ok());
+    ASSERT_TRUE(plain.Advance().ok());
+  }
+  EXPECT_TRUE(plain.Eof());
+  EXPECT_EQ(count, info->count);
+}
+
+TEST_F(XbTreeTest, InternalEntriesBoundTheirSubtrees) {
+  LabelId label = BuildBigStream(2000);
+  const auto* info = store_->Find(label);
+  auto tree = XbTree::Build(store_.get(), info);
+  ASSERT_TRUE(tree.ok());
+  // At the root level, L is the subtree minimum begin and R the maximum
+  // end: stepping down via DrillDown must never leave [L, R].
+  XbCursor cursor(tree->get());
+  ASSERT_TRUE(cursor.Init().ok());
+  while (!cursor.Eof() && !cursor.AtLeafLevel()) {
+    uint64_t l = cursor.NextL();
+    uint64_t r = cursor.NextR();
+    ASSERT_TRUE(cursor.DrillDown().ok());
+    EXPECT_GE(cursor.NextL(), l);
+    EXPECT_LE(cursor.NextR(), r);
+    EXPECT_EQ(cursor.NextL(), l)  // first child shares the begin key
+        << "drilldown must preserve the next begin position";
+  }
+}
+
+TEST_F(XbTreeTest, AdvanceAtInternalLevelSkipsWholeSubtrees) {
+  LabelId label = BuildBigStream(2000);
+  const auto* info = store_->Find(label);
+  auto tree = XbTree::Build(store_.get(), info);
+  ASSERT_TRUE(tree.ok());
+  XbCursor cursor(tree->get());
+  ASSERT_TRUE(cursor.Init().ok());
+  ASSERT_FALSE(cursor.AtLeafLevel());
+  uint64_t first_l = cursor.NextL();
+  ASSERT_TRUE(cursor.Advance().ok());
+  if (!cursor.Eof()) {
+    // The next internal entry starts at least a full page of entries later.
+    EXPECT_GT(cursor.NextL(), first_l);
+  }
+}
+
+TEST_F(XbTreeTest, EmptyStream) {
+  auto tree = XbTree::Build(nullptr, nullptr);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->empty());
+  XbCursor cursor(tree->get());
+  ASSERT_TRUE(cursor.Init().ok());
+  EXPECT_TRUE(cursor.Eof());
+  EXPECT_EQ(cursor.NextL(), kInfiniteKey);
+}
+
+TEST_F(XbTreeTest, SinglePageStreamHasNoInternalLevels) {
+  TagDictionary dict;
+  std::vector<Document> docs;
+  Document doc(0);
+  doc.AddRoot(dict.Intern("only"));
+  docs.push_back(std::move(doc));
+  auto store = StreamStore::Build(docs, pool_.get());
+  ASSERT_TRUE(store.ok());
+  store_ = std::move(*store);
+  const auto* info = store_->Find(dict.Find("only"));
+  ASSERT_NE(info, nullptr);
+  auto tree = XbTree::Build(store_.get(), info);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE((*tree)->levels().empty());
+  XbCursor cursor(tree->get());
+  ASSERT_TRUE(cursor.Init().ok());
+  EXPECT_TRUE(cursor.AtLeafLevel());
+  EXPECT_FALSE(cursor.Eof());
+  ASSERT_TRUE(cursor.Advance().ok());
+  EXPECT_TRUE(cursor.Eof());
+}
+
+}  // namespace
+}  // namespace prix

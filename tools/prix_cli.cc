@@ -1,0 +1,224 @@
+// prix — command-line front end to the PRIX index.
+//
+//   prix index  <db-path> <xml-file>...   build RP+EP indexes over the
+//                                         record children of each file's
+//                                         root element and persist them
+//   prix query  <db-path> <xpath>...      run twig queries against a
+//                                         previously built database
+//   prix stats  <db-path>                 print index statistics
+//
+// The database directory holds the page file plus a small manifest with
+// the catalog page ids and the tag dictionary.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "storage/record_store.h"
+#include "xml/xml_parser.h"
+
+namespace prix {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "prix: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Manifest: catalog page ids + interned dictionary, stored next to the
+/// page file (plain text; the dictionary must survive restarts for queries
+/// to resolve tag names).
+Status WriteManifest(const std::string& dir, PageId rp, PageId ep,
+                     const TagDictionary& dict) {
+  std::ofstream out(dir + "/manifest", std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write manifest");
+  out << rp << " " << ep << " " << dict.size() << "\n";
+  for (LabelId id = 0; id < dict.size(); ++id) {
+    const std::string& name = dict.Name(id);
+    out << name.size() << ":" << name;
+  }
+  out << "\n";
+  return out.good() ? Status::OK() : Status::IoError("manifest write failed");
+}
+
+Status ReadManifest(const std::string& dir, PageId* rp, PageId* ep,
+                    TagDictionary* dict) {
+  std::ifstream in(dir + "/manifest", std::ios::binary);
+  if (!in) return Status::IoError("cannot read manifest (did you run "
+                                  "'prix index' first?)");
+  size_t labels = 0;
+  in >> *rp >> *ep >> labels;
+  in.get();  // newline
+  for (size_t i = 0; i < labels; ++i) {
+    size_t len = 0;
+    in >> len;
+    if (in.get() != ':') return Status::Corruption("bad manifest");
+    std::string name(len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(len));
+    if (!in) return Status::Corruption("bad manifest");
+    LabelId id = dict->Intern(name);
+    if (id != i) return Status::Corruption("manifest label order");
+  }
+  return Status::OK();
+}
+
+int CmdIndex(const std::string& dir, int argc, char** argv) {
+  std::string mkdir = "mkdir -p " + dir;
+  if (std::system(mkdir.c_str()) != 0) return Fail("cannot create " + dir);
+
+  DocumentCollection coll;
+  for (int i = 0; i < argc; ++i) {
+    auto text = ReadFile(argv[i]);
+    if (!text.ok()) return Fail(text.status().ToString());
+    auto doc = ParseXml(*text, &coll.dictionary);
+    if (!doc.ok()) {
+      return Fail(std::string(argv[i]) + ": " + doc.status().ToString());
+    }
+    // Each child of the file's root element becomes one document — how the
+    // paper turns the monolithic DBLP file into its collection.
+    std::vector<Document> records = SplitIntoRecords(*doc);
+    if (records.empty()) {
+      doc->set_doc_id(static_cast<DocId>(coll.documents.size()));
+      coll.documents.push_back(std::move(*doc));
+      continue;
+    }
+    for (Document& record : records) {
+      record.set_doc_id(static_cast<DocId>(coll.documents.size()));
+      coll.documents.push_back(std::move(record));
+    }
+  }
+  std::printf("Parsed %zu documents (%zu nodes, %zu distinct labels).\n",
+              coll.documents.size(), coll.TotalNodes(),
+              coll.dictionary.size());
+
+  DiskManager disk;
+  if (auto s = disk.Open(dir + "/pages"); !s.ok()) return Fail(s.ToString());
+  BufferPool pool(&disk, 2000);
+  PrixIndexBuildStats rp_stats, ep_stats;
+  auto rp = PrixIndex::Build(coll.documents, &pool, PrixIndexOptions{},
+                             &rp_stats);
+  if (!rp.ok()) return Fail(rp.status().ToString());
+  PrixIndexOptions ep_opts;
+  ep_opts.extended = true;
+  auto ep = PrixIndex::Build(coll.documents, &pool, ep_opts, &ep_stats);
+  if (!ep.ok()) return Fail(ep.status().ToString());
+  auto rp_page = (*rp)->Save(&pool);
+  auto ep_page = (*ep)->Save(&pool);
+  if (!rp_page.ok() || !ep_page.ok()) return Fail("saving catalogs failed");
+  if (auto s = WriteManifest(dir, *rp_page, *ep_page, coll.dictionary);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  if (auto s = pool.FlushAll(); !s.ok()) return Fail(s.ToString());
+  std::printf(
+      "Indexed: RP trie %llu nodes (%llu B+-tree entries), EP trie %llu "
+      "nodes; database %s (%u pages).\n",
+      (unsigned long long)rp_stats.trie_nodes,
+      (unsigned long long)rp_stats.symbol_entries,
+      (unsigned long long)ep_stats.trie_nodes, dir.c_str(),
+      disk.num_pages());
+  return 0;
+}
+
+int CmdQuery(const std::string& dir, int argc, char** argv) {
+  DiskManager disk;
+  if (auto s = disk.OpenExisting(dir + "/pages"); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  BufferPool pool(&disk, 2000);
+  TagDictionary dict;
+  PageId rp_page, ep_page;
+  if (auto s = ReadManifest(dir, &rp_page, &ep_page, &dict); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  auto rp = PrixIndex::Open(&pool, rp_page);
+  auto ep = PrixIndex::Open(&pool, ep_page);
+  if (!rp.ok() || !ep.ok()) return Fail("opening indexes failed");
+  QueryProcessor qp(rp->get(), ep->get());
+  for (int i = 0; i < argc; ++i) {
+    pool.ResetStats();
+    auto result = qp.ExecuteXPath(argv[i], &dict);
+    if (!result.ok()) {
+      std::printf("%s\n  error: %s\n", argv[i],
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n  %zu match(es) in %zu document(s), %llu pages read",
+                argv[i], result->matches.size(), result->docs.size(),
+                (unsigned long long)pool.stats().physical_reads);
+    size_t shown = 0;
+    for (DocId d : result->docs) {
+      if (shown++ == 10) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf("%s doc%u", shown == 1 ? ":" : "", d);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdStats(const std::string& dir) {
+  DiskManager disk;
+  if (auto s = disk.OpenExisting(dir + "/pages"); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  BufferPool pool(&disk, 256);
+  TagDictionary dict;
+  PageId rp_page, ep_page;
+  if (auto s = ReadManifest(dir, &rp_page, &ep_page, &dict); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  auto rp = PrixIndex::Open(&pool, rp_page);
+  auto ep = PrixIndex::Open(&pool, ep_page);
+  if (!rp.ok() || !ep.ok()) return Fail("opening indexes failed");
+  std::printf("database:        %s\n", dir.c_str());
+  std::printf("pages:           %u (%u KB)\n", disk.num_pages(),
+              disk.num_pages() * 8);
+  std::printf("documents:       %zu\n", (*rp)->num_docs());
+  std::printf("labels:          %zu\n", dict.size());
+  std::printf("RP symbol tree:  %llu entries, height %u\n",
+              (unsigned long long)(*rp)->symbol_index().num_entries(),
+              (*rp)->symbol_index().height());
+  std::printf("EP symbol tree:  %llu entries, height %u\n",
+              (unsigned long long)(*ep)->symbol_index().num_entries(),
+              (*ep)->symbol_index().height());
+  std::printf("doc store:       %llu pages (RP), %llu pages (EP)\n",
+              (unsigned long long)(*rp)->docs().num_pages(),
+              (unsigned long long)(*ep)->docs().num_pages());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: prix index <db> <xml>...\n"
+                 "       prix query <db> <xpath>...\n"
+                 "       prix stats <db>\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  std::string dir = argv[2];
+  if (cmd == "index" && argc > 3) return CmdIndex(dir, argc - 3, argv + 3);
+  if (cmd == "query" && argc > 3) return CmdQuery(dir, argc - 3, argv + 3);
+  if (cmd == "stats") return CmdStats(dir);
+  return Fail("unknown command or missing arguments: " + cmd);
+}
+
+}  // namespace
+}  // namespace prix
+
+int main(int argc, char** argv) { return prix::Main(argc, argv); }
