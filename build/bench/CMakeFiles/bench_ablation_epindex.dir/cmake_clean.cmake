@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_epindex.dir/bench_ablation_epindex.cc.o"
+  "CMakeFiles/bench_ablation_epindex.dir/bench_ablation_epindex.cc.o.d"
+  "bench_ablation_epindex"
+  "bench_ablation_epindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_epindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

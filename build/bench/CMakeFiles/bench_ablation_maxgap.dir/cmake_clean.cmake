@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_maxgap.dir/bench_ablation_maxgap.cc.o"
+  "CMakeFiles/bench_ablation_maxgap.dir/bench_ablation_maxgap.cc.o.d"
+  "bench_ablation_maxgap"
+  "bench_ablation_maxgap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maxgap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prealloc.dir/bench_ablation_prealloc.cc.o"
+  "CMakeFiles/bench_ablation_prealloc.dir/bench_ablation_prealloc.cc.o.d"
+  "bench_ablation_prealloc"
+  "bench_ablation_prealloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prealloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

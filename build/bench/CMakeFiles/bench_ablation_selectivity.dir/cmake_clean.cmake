@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selectivity.dir/bench_ablation_selectivity.cc.o"
+  "CMakeFiles/bench_ablation_selectivity.dir/bench_ablation_selectivity.cc.o.d"
+  "bench_ablation_selectivity"
+  "bench_ablation_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wildcard.dir/bench_ablation_wildcard.cc.o"
+  "CMakeFiles/bench_ablation_wildcard.dir/bench_ablation_wildcard.cc.o.d"
+  "bench_ablation_wildcard"
+  "bench_ablation_wildcard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wildcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_elapsed.dir/bench_figure6_elapsed.cc.o"
+  "CMakeFiles/bench_figure6_elapsed.dir/bench_figure6_elapsed.cc.o.d"
+  "bench_figure6_elapsed"
+  "bench_figure6_elapsed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_elapsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_queries.dir/bench_table3_queries.cc.o"
+  "CMakeFiles/bench_table3_queries.dir/bench_table3_queries.cc.o.d"
+  "bench_table3_queries"
+  "bench_table3_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

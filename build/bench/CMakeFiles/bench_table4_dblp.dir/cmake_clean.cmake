@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_dblp.dir/bench_table4_dblp.cc.o"
+  "CMakeFiles/bench_table4_dblp.dir/bench_table4_dblp.cc.o.d"
+  "bench_table4_dblp"
+  "bench_table4_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_swissprot.dir/bench_table5_swissprot.cc.o"
+  "CMakeFiles/bench_table5_swissprot.dir/bench_table5_swissprot.cc.o.d"
+  "bench_table5_swissprot"
+  "bench_table5_swissprot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_swissprot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

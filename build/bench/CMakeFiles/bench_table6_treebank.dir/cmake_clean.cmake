@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_treebank.dir/bench_table6_treebank.cc.o"
+  "CMakeFiles/bench_table6_treebank.dir/bench_table6_treebank.cc.o.d"
+  "bench_table6_treebank"
+  "bench_table6_treebank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_treebank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_twigstack.dir/bench_table7_twigstack.cc.o"
+  "CMakeFiles/bench_table7_twigstack.dir/bench_table7_twigstack.cc.o.d"
+  "bench_table7_twigstack"
+  "bench_table7_twigstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_twigstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_clustered.dir/bench_table8_clustered.cc.o"
+  "CMakeFiles/bench_table8_clustered.dir/bench_table8_clustered.cc.o.d"
+  "bench_table8_clustered"
+  "bench_table8_clustered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_clustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_scattered.dir/bench_table9_scattered.cc.o"
+  "CMakeFiles/bench_table9_scattered.dir/bench_table9_scattered.cc.o.d"
+  "bench_table9_scattered"
+  "bench_table9_scattered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_scattered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/prix_bench_common.dir/bench_common.cc.o.d"
+  "libprix_bench_common.a"
+  "libprix_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprix_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_bibliography.dir/dblp_bibliography.cpp.o"
+  "CMakeFiles/dblp_bibliography.dir/dblp_bibliography.cpp.o.d"
+  "dblp_bibliography"
+  "dblp_bibliography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_bibliography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_search.dir/protein_search.cpp.o"
+  "CMakeFiles/protein_search.dir/protein_search.cpp.o.d"
+  "protein_search"
+  "protein_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prufer_toolkit.dir/prufer_toolkit.cpp.o"
+  "CMakeFiles/prufer_toolkit.dir/prufer_toolkit.cpp.o.d"
+  "prufer_toolkit"
+  "prufer_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prufer_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prufer_toolkit.
+# This may be replaced when dependencies are built.

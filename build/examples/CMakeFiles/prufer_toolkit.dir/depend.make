@@ -1,0 +1,2 @@
+# Empty dependencies file for prufer_toolkit.
+# This may be replaced when dependencies are built.

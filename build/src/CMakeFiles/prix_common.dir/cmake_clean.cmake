@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_common.dir/common/status.cc.o"
+  "CMakeFiles/prix_common.dir/common/status.cc.o.d"
+  "CMakeFiles/prix_common.dir/common/string_util.cc.o"
+  "CMakeFiles/prix_common.dir/common/string_util.cc.o.d"
+  "libprix_common.a"
+  "libprix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prix/doc_store.cc" "src/CMakeFiles/prix_core.dir/prix/doc_store.cc.o" "gcc" "src/CMakeFiles/prix_core.dir/prix/doc_store.cc.o.d"
+  "/root/repo/src/prix/maxgap.cc" "src/CMakeFiles/prix_core.dir/prix/maxgap.cc.o" "gcc" "src/CMakeFiles/prix_core.dir/prix/maxgap.cc.o.d"
+  "/root/repo/src/prix/prix_index.cc" "src/CMakeFiles/prix_core.dir/prix/prix_index.cc.o" "gcc" "src/CMakeFiles/prix_core.dir/prix/prix_index.cc.o.d"
+  "/root/repo/src/prix/query_processor.cc" "src/CMakeFiles/prix_core.dir/prix/query_processor.cc.o" "gcc" "src/CMakeFiles/prix_core.dir/prix/query_processor.cc.o.d"
+  "/root/repo/src/prix/refinement.cc" "src/CMakeFiles/prix_core.dir/prix/refinement.cc.o" "gcc" "src/CMakeFiles/prix_core.dir/prix/refinement.cc.o.d"
+  "/root/repo/src/prix/subsequence_matcher.cc" "src/CMakeFiles/prix_core.dir/prix/subsequence_matcher.cc.o" "gcc" "src/CMakeFiles/prix_core.dir/prix/subsequence_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prix_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_naive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_prufer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_core.dir/prix/doc_store.cc.o"
+  "CMakeFiles/prix_core.dir/prix/doc_store.cc.o.d"
+  "CMakeFiles/prix_core.dir/prix/maxgap.cc.o"
+  "CMakeFiles/prix_core.dir/prix/maxgap.cc.o.d"
+  "CMakeFiles/prix_core.dir/prix/prix_index.cc.o"
+  "CMakeFiles/prix_core.dir/prix/prix_index.cc.o.d"
+  "CMakeFiles/prix_core.dir/prix/query_processor.cc.o"
+  "CMakeFiles/prix_core.dir/prix/query_processor.cc.o.d"
+  "CMakeFiles/prix_core.dir/prix/refinement.cc.o"
+  "CMakeFiles/prix_core.dir/prix/refinement.cc.o.d"
+  "CMakeFiles/prix_core.dir/prix/subsequence_matcher.cc.o"
+  "CMakeFiles/prix_core.dir/prix/subsequence_matcher.cc.o.d"
+  "libprix_core.a"
+  "libprix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_datagen.dir/datagen/dblp_gen.cc.o"
+  "CMakeFiles/prix_datagen.dir/datagen/dblp_gen.cc.o.d"
+  "CMakeFiles/prix_datagen.dir/datagen/name_pools.cc.o"
+  "CMakeFiles/prix_datagen.dir/datagen/name_pools.cc.o.d"
+  "CMakeFiles/prix_datagen.dir/datagen/swissprot_gen.cc.o"
+  "CMakeFiles/prix_datagen.dir/datagen/swissprot_gen.cc.o.d"
+  "CMakeFiles/prix_datagen.dir/datagen/treebank_gen.cc.o"
+  "CMakeFiles/prix_datagen.dir/datagen/treebank_gen.cc.o.d"
+  "libprix_datagen.a"
+  "libprix_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

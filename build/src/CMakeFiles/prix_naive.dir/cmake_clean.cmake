@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_naive.dir/naive/naive_matcher.cc.o"
+  "CMakeFiles/prix_naive.dir/naive/naive_matcher.cc.o.d"
+  "libprix_naive.a"
+  "libprix_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_prufer.dir/prufer/prufer.cc.o"
+  "CMakeFiles/prix_prufer.dir/prufer/prufer.cc.o.d"
+  "libprix_prufer.a"
+  "libprix_prufer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_prufer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_query.dir/query/twig_pattern.cc.o"
+  "CMakeFiles/prix_query.dir/query/twig_pattern.cc.o.d"
+  "CMakeFiles/prix_query.dir/query/twig_prufer.cc.o"
+  "CMakeFiles/prix_query.dir/query/twig_prufer.cc.o.d"
+  "CMakeFiles/prix_query.dir/query/xpath_parser.cc.o"
+  "CMakeFiles/prix_query.dir/query/xpath_parser.cc.o.d"
+  "libprix_query.a"
+  "libprix_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

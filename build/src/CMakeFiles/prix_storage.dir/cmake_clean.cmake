@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/prix_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/prix_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/prix_storage.dir/storage/disk_manager.cc.o.d"
+  "CMakeFiles/prix_storage.dir/storage/record_store.cc.o"
+  "CMakeFiles/prix_storage.dir/storage/record_store.cc.o.d"
+  "libprix_storage.a"
+  "libprix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

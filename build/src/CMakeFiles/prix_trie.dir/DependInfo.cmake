@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/range_labeler.cc" "src/CMakeFiles/prix_trie.dir/trie/range_labeler.cc.o" "gcc" "src/CMakeFiles/prix_trie.dir/trie/range_labeler.cc.o.d"
+  "/root/repo/src/trie/trie_builder.cc" "src/CMakeFiles/prix_trie.dir/trie/trie_builder.cc.o" "gcc" "src/CMakeFiles/prix_trie.dir/trie/trie_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prix_prufer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_trie.dir/trie/range_labeler.cc.o"
+  "CMakeFiles/prix_trie.dir/trie/range_labeler.cc.o.d"
+  "CMakeFiles/prix_trie.dir/trie/trie_builder.cc.o"
+  "CMakeFiles/prix_trie.dir/trie/trie_builder.cc.o.d"
+  "libprix_trie.a"
+  "libprix_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twigstack/merge.cc" "src/CMakeFiles/prix_twigstack.dir/twigstack/merge.cc.o" "gcc" "src/CMakeFiles/prix_twigstack.dir/twigstack/merge.cc.o.d"
+  "/root/repo/src/twigstack/path_stack.cc" "src/CMakeFiles/prix_twigstack.dir/twigstack/path_stack.cc.o" "gcc" "src/CMakeFiles/prix_twigstack.dir/twigstack/path_stack.cc.o.d"
+  "/root/repo/src/twigstack/position_stream.cc" "src/CMakeFiles/prix_twigstack.dir/twigstack/position_stream.cc.o" "gcc" "src/CMakeFiles/prix_twigstack.dir/twigstack/position_stream.cc.o.d"
+  "/root/repo/src/twigstack/twig_stack.cc" "src/CMakeFiles/prix_twigstack.dir/twigstack/twig_stack.cc.o" "gcc" "src/CMakeFiles/prix_twigstack.dir/twigstack/twig_stack.cc.o.d"
+  "/root/repo/src/twigstack/xb_tree.cc" "src/CMakeFiles/prix_twigstack.dir/twigstack/xb_tree.cc.o" "gcc" "src/CMakeFiles/prix_twigstack.dir/twigstack/xb_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_naive.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_prufer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_twigstack.dir/twigstack/merge.cc.o"
+  "CMakeFiles/prix_twigstack.dir/twigstack/merge.cc.o.d"
+  "CMakeFiles/prix_twigstack.dir/twigstack/path_stack.cc.o"
+  "CMakeFiles/prix_twigstack.dir/twigstack/path_stack.cc.o.d"
+  "CMakeFiles/prix_twigstack.dir/twigstack/position_stream.cc.o"
+  "CMakeFiles/prix_twigstack.dir/twigstack/position_stream.cc.o.d"
+  "CMakeFiles/prix_twigstack.dir/twigstack/twig_stack.cc.o"
+  "CMakeFiles/prix_twigstack.dir/twigstack/twig_stack.cc.o.d"
+  "CMakeFiles/prix_twigstack.dir/twigstack/xb_tree.cc.o"
+  "CMakeFiles/prix_twigstack.dir/twigstack/xb_tree.cc.o.d"
+  "libprix_twigstack.a"
+  "libprix_twigstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_twigstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prix_twigstack.
+# This may be replaced when dependencies are built.

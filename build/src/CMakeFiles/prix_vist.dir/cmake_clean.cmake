@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_vist.dir/vist/vist_index.cc.o"
+  "CMakeFiles/prix_vist.dir/vist/vist_index.cc.o.d"
+  "CMakeFiles/prix_vist.dir/vist/vist_query.cc.o"
+  "CMakeFiles/prix_vist.dir/vist/vist_query.cc.o.d"
+  "CMakeFiles/prix_vist.dir/vist/vist_sequence.cc.o"
+  "CMakeFiles/prix_vist.dir/vist/vist_sequence.cc.o.d"
+  "libprix_vist.a"
+  "libprix_vist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_vist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

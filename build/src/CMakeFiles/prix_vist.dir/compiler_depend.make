@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prix_vist.
+# This may be replaced when dependencies are built.

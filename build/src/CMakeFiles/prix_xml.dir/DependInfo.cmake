@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/prix_xml.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/prix_xml.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/tag_dictionary.cc" "src/CMakeFiles/prix_xml.dir/xml/tag_dictionary.cc.o" "gcc" "src/CMakeFiles/prix_xml.dir/xml/tag_dictionary.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/prix_xml.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/prix_xml.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/CMakeFiles/prix_xml.dir/xml/xml_writer.cc.o" "gcc" "src/CMakeFiles/prix_xml.dir/xml/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

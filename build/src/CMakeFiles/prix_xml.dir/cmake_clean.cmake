@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_xml.dir/xml/document.cc.o"
+  "CMakeFiles/prix_xml.dir/xml/document.cc.o.d"
+  "CMakeFiles/prix_xml.dir/xml/tag_dictionary.cc.o"
+  "CMakeFiles/prix_xml.dir/xml/tag_dictionary.cc.o.d"
+  "CMakeFiles/prix_xml.dir/xml/xml_parser.cc.o"
+  "CMakeFiles/prix_xml.dir/xml/xml_parser.cc.o.d"
+  "CMakeFiles/prix_xml.dir/xml/xml_writer.cc.o"
+  "CMakeFiles/prix_xml.dir/xml/xml_writer.cc.o.d"
+  "libprix_xml.a"
+  "libprix_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_units_test.dir/core_units_test.cc.o"
+  "CMakeFiles/core_units_test.dir/core_units_test.cc.o.d"
+  "core_units_test"
+  "core_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

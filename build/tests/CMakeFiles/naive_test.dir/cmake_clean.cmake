@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_test.dir/naive_test.cc.o"
+  "CMakeFiles/naive_test.dir/naive_test.cc.o.d"
+  "naive_test"
+  "naive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

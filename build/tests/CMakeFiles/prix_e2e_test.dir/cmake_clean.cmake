@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_e2e_test.dir/prix_e2e_test.cc.o"
+  "CMakeFiles/prix_e2e_test.dir/prix_e2e_test.cc.o.d"
+  "prix_e2e_test"
+  "prix_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_testutil.dir/testutil/tree_gen.cc.o"
+  "CMakeFiles/prix_testutil.dir/testutil/tree_gen.cc.o.d"
+  "libprix_testutil.a"
+  "libprix_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

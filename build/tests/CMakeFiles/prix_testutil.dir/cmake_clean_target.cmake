@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprix_testutil.a"
+)

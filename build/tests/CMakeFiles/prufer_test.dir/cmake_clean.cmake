@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prufer_test.dir/prufer_test.cc.o"
+  "CMakeFiles/prufer_test.dir/prufer_test.cc.o.d"
+  "prufer_test"
+  "prufer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prufer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_test.dir/refinement_test.cc.o"
+  "CMakeFiles/refinement_test.dir/refinement_test.cc.o.d"
+  "refinement_test"
+  "refinement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_test.dir/trie_test.cc.o"
+  "CMakeFiles/trie_test.dir/trie_test.cc.o.d"
+  "trie_test"
+  "trie_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

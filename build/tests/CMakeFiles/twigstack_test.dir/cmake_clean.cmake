@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twigstack_test.dir/twigstack_test.cc.o"
+  "CMakeFiles/twigstack_test.dir/twigstack_test.cc.o.d"
+  "twigstack_test"
+  "twigstack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twigstack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vist_test.dir/vist_test.cc.o"
+  "CMakeFiles/vist_test.dir/vist_test.cc.o.d"
+  "vist_test"
+  "vist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

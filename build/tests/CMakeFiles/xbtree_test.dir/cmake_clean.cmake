@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbtree_test.dir/xbtree_test.cc.o"
+  "CMakeFiles/xbtree_test.dir/xbtree_test.cc.o.d"
+  "xbtree_test"
+  "xbtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prix_cli.dir/prix_cli.cc.o"
+  "CMakeFiles/prix_cli.dir/prix_cli.cc.o.d"
+  "prix"
+  "prix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prix_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
