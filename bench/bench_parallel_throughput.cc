@@ -1,0 +1,215 @@
+// Parallel twig-query throughput: sweeps 1/2/4/8 worker threads over the
+// Table-3 query mix per dataset with a WARM buffer pool (the concurrent-
+// traffic regime of ROADMAP.md, as opposed to the paper's cold-cache
+// single-query measurements) and reports queries/second plus buffer-pool
+// hit rates. Also re-measures the standard single-thread cold-cache numbers
+// so regressions against the serial path are visible in the same run.
+// Emits BENCH_parallel.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "prix/query_driver.h"
+#include "query/xpath_parser.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+/// Each sweep point runs the dataset's query mix this many times.
+constexpr size_t kBatchRepeats = 24;
+
+struct SweepPoint {
+  size_t threads = 0;
+  double seconds = 0;
+  double qps = 0;
+  double hit_rate = 0;
+  size_t queries = 0;
+};
+
+struct DatasetReport {
+  std::string name;
+  std::vector<const QuerySpec*> specs;
+  std::vector<RunResult> cold_single;  // per-spec cold-cache serial runs
+  std::vector<SweepPoint> sweep;
+  bool results_consistent = true;
+};
+
+double HitRate(const BufferPoolStats& stats) {
+  uint64_t logical = stats.hits + stats.misses;
+  return logical == 0 ? 0.0 : static_cast<double>(stats.hits) / logical;
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv();
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "Parallel twig-query throughput, warm cache (scale %.2f, %u hardware "
+      "threads)\n",
+      scale, hw);
+
+  std::vector<DatasetReport> reports;
+  for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
+    EngineSet set(dataset, scale, /*engines=*/"prix");
+    if (!set.Build().ok()) return 1;
+    DatasetReport report;
+    report.name = dataset;
+
+    std::vector<TwigPattern> mix;
+    for (const QuerySpec& spec : AllQueries()) {
+      if (std::strcmp(spec.dataset, dataset) != 0) continue;
+      report.specs.push_back(&spec);
+      auto pattern = ParseXPath(spec.xpath, &set.collection().dictionary);
+      if (!pattern.ok()) {
+        std::fprintf(stderr, "parse %s: %s\n", spec.id,
+                     pattern.status().ToString().c_str());
+        return 1;
+      }
+      mix.push_back(std::move(*pattern));
+    }
+
+    // Cold-cache serial reference (the paper's measurement; must stay
+    // unchanged by the concurrency work within noise).
+    for (const QuerySpec* spec : report.specs) {
+      auto run = set.RunPrix(spec->xpath);
+      if (!run.ok()) {
+        std::fprintf(stderr, "query %s failed: %s\n", spec->id,
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      report.cold_single.push_back(*run);
+    }
+
+    // Warm the pool once (serial), then sweep thread counts on the same
+    // warm pool. The batch replicates the mix so every worker has work.
+    std::vector<TwigPattern> batch;
+    batch.reserve(mix.size() * kBatchRepeats);
+    for (size_t r = 0; r < kBatchRepeats; ++r) {
+      for (const TwigPattern& pattern : mix) batch.push_back(pattern);
+    }
+    QueryProcessor warmup(set.rp(), set.ep());
+    std::vector<size_t> expected_matches;
+    for (const TwigPattern& pattern : mix) {
+      auto r = warmup.Execute(pattern);
+      if (!r.ok()) return 1;
+      expected_matches.push_back(r->matches.size());
+    }
+
+    for (size_t threads : kThreadSweep) {
+      QueryDriver driver(set.rp(), set.ep(), threads);
+      set.pool()->ResetStats();
+      auto t0 = std::chrono::steady_clock::now();
+      auto result = driver.ExecuteBatch(batch);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!result.ok()) {
+        std::fprintf(stderr, "batch on %s at %zu threads: %s\n", dataset,
+                     threads, result.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t i = 0; i < result->results.size(); ++i) {
+        report.results_consistent &=
+            result->results[i].matches.size() ==
+            expected_matches[i % expected_matches.size()];
+      }
+      SweepPoint point;
+      point.threads = threads;
+      point.queries = batch.size();
+      point.seconds = std::chrono::duration<double>(t1 - t0).count();
+      point.qps = batch.size() / point.seconds;
+      point.hit_rate = HitRate(set.pool()->stats());
+      report.sweep.push_back(point);
+    }
+
+    std::printf("\n[%s] %zu-query mix x%zu repeats\n", dataset, mix.size(),
+                kBatchRepeats);
+    std::printf("  %-8s %12s %12s %10s %10s\n", "threads", "secs", "qps",
+                "speedup", "hit-rate");
+    for (const SweepPoint& point : report.sweep) {
+      std::printf("  %-8zu %12.3f %12.1f %9.2fx %9.1f%%\n", point.threads,
+                  point.seconds, point.qps,
+                  point.qps / report.sweep.front().qps,
+                  100.0 * point.hit_rate);
+    }
+    if (!report.results_consistent) {
+      std::printf("  WARNING: parallel results diverged from serial!\n");
+    }
+    reports.push_back(std::move(report));
+  }
+
+  // Overall throughput per thread count (sum of queries / sum of time).
+  std::printf("\nOverall (all datasets)\n");
+  std::printf("  %-8s %12s %10s\n", "threads", "qps", "speedup");
+  std::vector<double> overall_qps;
+  for (size_t i = 0; i < std::size(kThreadSweep); ++i) {
+    double queries = 0, seconds = 0;
+    for (const DatasetReport& report : reports) {
+      queries += report.sweep[i].queries;
+      seconds += report.sweep[i].seconds;
+    }
+    overall_qps.push_back(queries / seconds);
+    std::printf("  %-8zu %12.1f %9.2fx\n", kThreadSweep[i], overall_qps[i],
+                overall_qps[i] / overall_qps[0]);
+  }
+
+  FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"parallel_throughput\",\n");
+  std::fprintf(json, "  \"scale\": %.3f,\n", scale);
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(json, "  \"batch_repeats\": %zu,\n", kBatchRepeats);
+  std::fprintf(json, "  \"datasets\": [\n");
+  for (size_t d = 0; d < reports.size(); ++d) {
+    const DatasetReport& report = reports[d];
+    std::fprintf(json, "    {\n      \"name\": \"%s\",\n",
+                 report.name.c_str());
+    std::fprintf(json, "      \"results_consistent\": %s,\n",
+                 report.results_consistent ? "true" : "false");
+    std::fprintf(json, "      \"cold_single_thread\": [\n");
+    for (size_t i = 0; i < report.specs.size(); ++i) {
+      const RunResult& run = report.cold_single[i];
+      std::fprintf(json,
+                   "        {\"id\": \"%s\", \"seconds\": %.6f, \"pages\": "
+                   "%llu, \"matches\": %zu}%s\n",
+                   report.specs[i]->id, run.seconds,
+                   static_cast<unsigned long long>(run.pages), run.matches,
+                   i + 1 < report.specs.size() ? "," : "");
+    }
+    std::fprintf(json, "      ],\n      \"warm_sweep\": [\n");
+    for (size_t i = 0; i < report.sweep.size(); ++i) {
+      const SweepPoint& point = report.sweep[i];
+      std::fprintf(json,
+                   "        {\"threads\": %zu, \"queries\": %zu, \"seconds\": "
+                   "%.6f, \"qps\": %.2f, \"speedup\": %.3f, \"hit_rate\": "
+                   "%.4f}%s\n",
+                   point.threads, point.queries, point.seconds, point.qps,
+                   point.qps / report.sweep.front().qps, point.hit_rate,
+                   i + 1 < report.sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "      ]\n    }%s\n",
+                 d + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"overall\": [\n");
+  for (size_t i = 0; i < overall_qps.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"qps\": %.2f, \"speedup\": %.3f}%s\n",
+                 kThreadSweep[i], overall_qps[i],
+                 overall_qps[i] / overall_qps[0],
+                 i + 1 < overall_qps.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_parallel.json\n");
+  return 0;
+}

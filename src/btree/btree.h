@@ -23,6 +23,15 @@ namespace prix {
 /// - Supported operations: Insert, Get, Delete (lazy, no rebalancing),
 ///   ordered iteration via Iterator with Seek/Next.
 ///
+/// Concurrency (single-writer rule, see DESIGN.md): the read paths — Get,
+/// Seek, SeekToFirst, and Iterator traversal — are safe from any number of
+/// threads over a thread-safe BufferPool. They hold page pins frame by
+/// frame via PageGuard, keep no shared mutable state (the cached `meta_` is
+/// written only by Create/Open/Insert/Delete), and never write page
+/// payloads. Insert/Delete/Create are NOT safe against any concurrent
+/// access to the same tree; index builds must finish, single-threaded,
+/// before readers start.
+///
 /// Page layout (8 KB pages):
 ///   byte 0      : is_leaf flag
 ///   byte 1      : unused
@@ -107,7 +116,7 @@ class BPlusTree {
   }
 
   /// Point lookup. Returns NotFound if absent.
-  Result<Value> Get(const Key& key) {
+  Result<Value> Get(const Key& key) const {
     PageId node = meta_.root;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
@@ -175,7 +184,7 @@ class BPlusTree {
 
    private:
     friend class BPlusTree;
-    Iterator(BPlusTree* tree, PageGuard guard, int index)
+    Iterator(const BPlusTree* tree, PageGuard guard, int index)
         : tree_(tree), guard_(std::move(guard)), index_(index) {}
 
     /// Positions on (leaf_, index_), hopping to the next leaf as needed.
@@ -195,7 +204,7 @@ class BPlusTree {
       return Status::OK();
     }
 
-    BPlusTree* tree_ = nullptr;
+    const BPlusTree* tree_ = nullptr;
     PageGuard guard_;
     int index_ = 0;
     Key key_{};
@@ -203,7 +212,7 @@ class BPlusTree {
   };
 
   /// Iterator positioned at the first entry with key >= `key`.
-  Result<Iterator> Seek(const Key& key) {
+  Result<Iterator> Seek(const Key& key) const {
     PageId node = meta_.root;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
@@ -219,7 +228,7 @@ class BPlusTree {
   }
 
   /// Iterator positioned at the smallest entry.
-  Result<Iterator> SeekToFirst() {
+  Result<Iterator> SeekToFirst() const {
     PageId node = meta_.root;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));

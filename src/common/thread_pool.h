@@ -1,0 +1,54 @@
+#ifndef PRIX_COMMON_THREAD_POOL_H_
+#define PRIX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prix {
+
+/// Fixed-size pool of worker threads draining one FIFO work queue. Tasks
+/// return Status; Submit hands back a future that propagates it, so callers
+/// keep the library-wide error model across thread boundaries (no exceptions
+/// cross the API). Destruction drains nothing: pending tasks still run, then
+/// workers join.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueues `fn`; the future resolves to its returned Status. Safe from
+  /// any thread, including pool workers (the queue never blocks submitters),
+  /// but a task must not wait on a future of a task submitted after it —
+  /// with every worker busy that cycle deadlocks.
+  std::future<Status> Submit(std::function<Status()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: work or stop
+  std::condition_variable idle_cv_;   // signals WaitIdle: all quiet
+  std::deque<std::packaged_task<Status()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_COMMON_THREAD_POOL_H_

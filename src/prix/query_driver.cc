@@ -1,0 +1,45 @@
+#include "prix/query_driver.h"
+
+#include "common/macros.h"
+#include "query/xpath_parser.h"
+
+namespace prix {
+
+Result<BatchResult> QueryDriver::ExecuteBatch(
+    const std::vector<TwigPattern>& patterns, const QueryOptions& options) {
+  BatchResult batch;
+  batch.results.resize(patterns.size());
+  std::vector<Status> statuses(patterns.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    // Workers write disjoint slots; the future join publishes them.
+    futures.push_back(pool_.Submit([this, &patterns, &batch, i, options] {
+      PRIX_ASSIGN_OR_RETURN(batch.results[i],
+                            processor_.Execute(patterns[i], options));
+      return Status::OK();
+    }));
+  }
+  Status first_error;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Status st = futures[i].get();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  PRIX_RETURN_NOT_OK(first_error);
+  for (const QueryResult& r : batch.results) batch.total.MergeFrom(r.stats);
+  return batch;
+}
+
+Result<BatchResult> QueryDriver::ExecuteXPathBatch(
+    const std::vector<std::string>& xpaths, TagDictionary* dict,
+    const QueryOptions& options) {
+  std::vector<TwigPattern> patterns;
+  patterns.reserve(xpaths.size());
+  for (const std::string& xpath : xpaths) {
+    PRIX_ASSIGN_OR_RETURN(TwigPattern pattern, ParseXPath(xpath, dict));
+    patterns.push_back(std::move(pattern));
+  }
+  return ExecuteBatch(patterns, options);
+}
+
+}  // namespace prix

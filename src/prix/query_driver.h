@@ -1,0 +1,53 @@
+#ifndef PRIX_PRIX_QUERY_DRIVER_H_
+#define PRIX_PRIX_QUERY_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "prix/query_processor.h"
+
+namespace prix {
+
+/// Result of a batch run: per-query results in submission order plus the
+/// batch-wide stats aggregate (QueryStats::MergeFrom over all queries).
+struct BatchResult {
+  std::vector<QueryResult> results;
+  QueryStats total;
+};
+
+/// Multi-threaded query driver: N workers execute a batch of parsed twig
+/// queries against shared read-only PrixIndexes over the thread-safe buffer
+/// pool. Each worker task runs one query through its own stack-local
+/// execution state (QueryProcessor is stateless), so the only cross-thread
+/// coordination is the buffer pool's shard latches and the work queue.
+///
+/// The driver owns its thread pool; one driver can serve many batches.
+/// Indexes must be fully built (and any TagDictionary interning done)
+/// before the first batch — the single-writer rule of DESIGN.md.
+class QueryDriver {
+ public:
+  QueryDriver(PrixIndex* rp, PrixIndex* ep, size_t num_threads)
+      : processor_(rp, ep), pool_(num_threads) {}
+
+  /// Executes `patterns[i]` into `results[i]`. All queries run to
+  /// completion; the first error in submission order wins, if any.
+  Result<BatchResult> ExecuteBatch(const std::vector<TwigPattern>& patterns,
+                                   const QueryOptions& options = {});
+
+  /// Parses every XPath serially on the calling thread (TagDictionary
+  /// interning is not synchronized), then fans the parsed batch out.
+  Result<BatchResult> ExecuteXPathBatch(const std::vector<std::string>& xpaths,
+                                        TagDictionary* dict,
+                                        const QueryOptions& options = {});
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  QueryProcessor processor_;
+  ThreadPool pool_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_PRIX_QUERY_DRIVER_H_

@@ -21,9 +21,9 @@ void SortUnique(std::vector<DocId>* docs) {
 
 }  // namespace
 
-Result<QueryResult> QueryProcessor::ExecuteXPath(std::string_view xpath,
-                                                 TagDictionary* dict,
-                                                 const QueryOptions& options) {
+Result<QueryResult> QueryProcessor::ExecuteXPath(
+    std::string_view xpath, TagDictionary* dict,
+    const QueryOptions& options) const {
   PRIX_ASSIGN_OR_RETURN(TwigPattern pattern, ParseXPath(xpath, dict));
   return Execute(pattern, options);
 }
@@ -56,7 +56,7 @@ PrixIndex* QueryProcessor::ChooseIndex(const EffectiveTwig& twig,
 }
 
 Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
-                                            const QueryOptions& options) {
+                                            const QueryOptions& options) const {
   if (options.semantics == MatchSemantics::kStandard) {
     return Status::InvalidArgument(
         "PRIX answers ordered or unordered-injective semantics");
@@ -64,7 +64,7 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   if (pattern.empty()) return Status::InvalidArgument("empty twig pattern");
 
   QueryResult result;
-  doc_cache_.clear();
+  ExecContext ctx;
 
   EffectiveTwig base = EffectiveTwig::Build(pattern);
   PrixIndex* index = ChooseIndex(base, options);
@@ -86,15 +86,15 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
 
   if (base.num_nodes() == 1) {
     PRIX_RETURN_NOT_OK(
-        ScanSingleNode(index, base, &result.matches, &result.stats));
+        ScanSingleNode(index, base, &ctx, &result.matches, &result.stats));
   } else {
     std::set<TwigMatch> match_set;
     for (const EffectiveTwig& arrangement : arrangements) {
       std::vector<TwigMatch> matches;
       std::vector<DocId> candidates;
       PRIX_RETURN_NOT_OK(RunArrangement(index, arrangement, options,
-                                        generalized, &matches, &candidates,
-                                        &result.stats));
+                                        generalized, &ctx, &matches,
+                                        &candidates, &result.stats));
       for (auto& m : matches) match_set.insert(std::move(m));
       if (generalized) {
         SortUnique(&candidates);
@@ -102,7 +102,7 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
         // the reconstructed tree (parent array is the NPS, Lemma 1).
         for (DocId doc : candidates) {
           PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
-                                LoadDoc(index, doc, &result.stats));
+                                LoadDoc(index, doc, &ctx, &result.stats));
           std::vector<uint32_t> parent;
           std::vector<LabelId> label;
           uint32_t n = 0;
@@ -122,7 +122,6 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   result.docs.reserve(result.matches.size());
   for (const TwigMatch& m : result.matches) result.docs.push_back(m.doc);
   SortUnique(&result.docs);
-  doc_cache_.clear();
   return result;
 }
 
@@ -201,13 +200,10 @@ std::vector<uint32_t> ChooseSpine(const EffectiveTwig& twig, bool extended) {
 
 }  // namespace
 
-Status QueryProcessor::RunArrangement(PrixIndex* index,
-                                      const EffectiveTwig& twig,
-                                      const QueryOptions& options,
-                                      bool generalized,
-                                      std::vector<TwigMatch>* matches,
-                                      std::vector<DocId>* candidates,
-                                      QueryStats* stats) {
+Status QueryProcessor::RunArrangement(
+    PrixIndex* index, const EffectiveTwig& twig, const QueryOptions& options,
+    bool generalized, ExecContext* ctx, std::vector<TwigMatch>* matches,
+    std::vector<DocId>* candidates, QueryStats* stats) const {
   // Sec. 4.4 leaf treatment on regular indexes: give a query element leaf a
   // dummy (so its label is checked during subsequence matching) whenever
   // its label never occurs childless in the collection. Value and '*'
@@ -250,7 +246,7 @@ Status QueryProcessor::RunArrangement(PrixIndex* index,
                   const std::vector<uint32_t>& positions) -> Status {
     for (DocId doc : docs) {
       PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
-                            LoadDoc(index, doc, stats));
+                            LoadDoc(index, doc, ctx, stats));
       if (!RefineCandidate(*rdoc, qseq, positions, generalized,
                            &stats->refine)) {
         continue;
@@ -269,14 +265,16 @@ Status QueryProcessor::RunArrangement(PrixIndex* index,
 
 Status QueryProcessor::ScanSingleNode(PrixIndex* index,
                                       const EffectiveTwig& twig,
+                                      ExecContext* ctx,
                                       std::vector<TwigMatch>* matches,
-                                      QueryStats* stats) {
+                                      QueryStats* stats) const {
   stats->used_scan = true;
   const EffectiveTwig::Node& qn = twig.node(twig.root());
   EdgeSpec anchor = twig.root_anchor();
   bool is_star = twig.is_star(twig.root());
   for (DocId doc = 0; doc < index->num_docs(); ++doc) {
-    PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc, LoadDoc(index, doc, stats));
+    PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
+                          LoadDoc(index, doc, ctx, stats));
     std::vector<uint32_t> parent;
     std::vector<LabelId> label;
     uint32_t n = 0;
@@ -300,15 +298,16 @@ Status QueryProcessor::ScanSingleNode(PrixIndex* index,
 
 Result<const RefinableDoc*> QueryProcessor::LoadDoc(PrixIndex* index,
                                                     DocId doc,
+                                                    ExecContext* ctx,
                                                     QueryStats* stats) {
-  auto it = doc_cache_.find(doc);
-  if (it != doc_cache_.end()) return &it->second;
-  if (doc_cache_.size() >= kDocCacheCap) doc_cache_.clear();
+  auto& cache = ctx->doc_cache;
+  auto it = cache.find(doc);
+  if (it != cache.end()) return &it->second;
+  if (cache.size() >= kDocCacheCap) cache.clear();
   PRIX_ASSIGN_OR_RETURN(StoredDoc stored, index->docs().Load(doc));
   ++stats->docs_loaded;
-  auto [pos, inserted] =
-      doc_cache_.emplace(doc, RefinableDoc::Make(std::move(stored),
-                                                 index->extended()));
+  auto [pos, inserted] = cache.emplace(
+      doc, RefinableDoc::Make(std::move(stored), index->extended()));
   return &pos->second;
 }
 

@@ -41,7 +41,9 @@ struct QueryOptions {
   size_t arrangement_limit = 40320;
 };
 
-/// Execution counters, aggregated across arrangements.
+/// Execution counters, aggregated across arrangements. MergeFrom folds the
+/// stats of one query into a batch-wide aggregate (QueryDriver uses it; the
+/// booleans OR together).
 struct QueryStats {
   MatcherStats matcher;
   RefineStats refine;
@@ -50,6 +52,16 @@ struct QueryStats {
   uint64_t arrangements = 0;
   bool used_extended_index = false;
   bool used_scan = false;  ///< single-node query answered by doc-store scan
+
+  void MergeFrom(const QueryStats& other) {
+    matcher.MergeFrom(other.matcher);
+    refine.MergeFrom(other.refine);
+    docs_loaded += other.docs_loaded;
+    docs_verified += other.docs_verified;
+    arrangements += other.arrangements;
+    used_extended_index |= other.used_extended_index;
+    used_scan |= other.used_scan;
+  }
 };
 
 /// Query answer: all twig matches (images over effective-twig nodes, as
@@ -65,20 +77,33 @@ struct QueryResult {
 /// Queries needing generalized matching ('//', '*', exact anchors) use the
 /// sequence machinery as the I/O-bound filter and a direct embedding check
 /// on each surviving document as the final phase (see DESIGN.md Sec. 5).
+///
+/// Thread safety: a QueryProcessor holds only pointers to read-only indexes;
+/// all per-query scratch (the loaded-document cache) lives on the Execute
+/// stack. Concurrent Execute calls on one shared instance are safe over
+/// fully built indexes. ExecuteXPath is the exception: XPath parsing interns
+/// tags into the caller's TagDictionary, which is not synchronized — parse
+/// up front (or via QueryDriver) when fanning out across threads.
 class QueryProcessor {
  public:
   /// `ep` may be null; both indexes must be built over the same collection.
   QueryProcessor(PrixIndex* rp, PrixIndex* ep) : rp_(rp), ep_(ep) {}
 
   Result<QueryResult> Execute(const TwigPattern& pattern,
-                              const QueryOptions& options = {});
+                              const QueryOptions& options = {}) const;
 
   /// Parses `xpath` against `dict` and executes it.
   Result<QueryResult> ExecuteXPath(std::string_view xpath,
                                    TagDictionary* dict,
-                                   const QueryOptions& options = {});
+                                   const QueryOptions& options = {}) const;
 
  private:
+  /// Per-Execute scratch: the cache of documents loaded for refinement.
+  /// Stack-owned by Execute, so the processor itself stays stateless.
+  struct ExecContext {
+    std::unordered_map<DocId, RefinableDoc> doc_cache;
+  };
+
   PrixIndex* ChooseIndex(const EffectiveTwig& twig,
                          const QueryOptions& options) const;
 
@@ -87,20 +112,21 @@ class QueryProcessor {
   /// `candidates` for later verification.
   Status RunArrangement(PrixIndex* index, const EffectiveTwig& twig,
                         const QueryOptions& options, bool generalized,
-                        std::vector<TwigMatch>* matches,
-                        std::vector<DocId>* candidates, QueryStats* stats);
+                        ExecContext* ctx, std::vector<TwigMatch>* matches,
+                        std::vector<DocId>* candidates,
+                        QueryStats* stats) const;
 
   /// Single-node queries: scan the document store (see DESIGN.md).
   Status ScanSingleNode(PrixIndex* index, const EffectiveTwig& twig,
-                        std::vector<TwigMatch>* matches, QueryStats* stats);
+                        ExecContext* ctx, std::vector<TwigMatch>* matches,
+                        QueryStats* stats) const;
 
-  Result<const RefinableDoc*> LoadDoc(PrixIndex* index, DocId doc,
-                                      QueryStats* stats);
+  static Result<const RefinableDoc*> LoadDoc(PrixIndex* index, DocId doc,
+                                             ExecContext* ctx,
+                                             QueryStats* stats);
 
   PrixIndex* rp_;
   PrixIndex* ep_;
-  // Per-Execute cache of loaded documents.
-  std::unordered_map<DocId, RefinableDoc> doc_cache_;
 };
 
 }  // namespace prix

@@ -10,17 +10,31 @@
 
 namespace prix {
 
-/// Counters for the filtering phase.
+/// Counters for the filtering phase. Workers keep a private instance and
+/// fold it into an aggregate with MergeFrom (no shared counters on the
+/// parallel query path).
 struct MatcherStats {
   uint64_t range_queries = 0;   ///< B+-tree range descents issued
   uint64_t nodes_scanned = 0;   ///< trie nodes touched across all scans
   uint64_t pruned_by_maxgap = 0;
   uint64_t occurrences = 0;     ///< subsequence occurrences emitted
+
+  void MergeFrom(const MatcherStats& other) {
+    range_queries += other.range_queries;
+    nodes_scanned += other.nodes_scanned;
+    pruned_by_maxgap += other.pruned_by_maxgap;
+    occurrences += other.occurrences;
+  }
 };
 
 /// Algorithm 1 (Sec. 5.3): finds every occurrence of a query LPS as a
 /// subsequence of indexed LPS's by recursive range descent over the virtual
 /// trie, optionally pruned with the MaxGap metric of Theorem 4 (Sec. 5.4).
+///
+/// A matcher holds no mutable state of its own — all scratch lives on the
+/// FindAll stack and counters go to the caller-owned MatcherStats — so one
+/// instance per thread (or even a shared one) is safe over a read-only
+/// index.
 class SubsequenceMatcher {
  public:
   /// `emit(docs, positions)` is called once per occurrence: `docs` holds the

@@ -4,14 +4,41 @@
 
 namespace prix {
 
+namespace {
+
+constexpr size_t kMaxShards = 16;
+/// Below this many frames per shard, sharding would turn capacity pressure
+/// into spurious per-shard exhaustion; shrink the shard count instead.
+constexpr size_t kMinFramesPerShard = 16;
+
+size_t PickShardCount(size_t pool_pages) {
+  size_t shards = 1;
+  while (shards * 2 <= kMaxShards &&
+         pool_pages / (shards * 2) >= kMinFramesPerShard) {
+    shards *= 2;
+  }
+  return shards;
+}
+
+}  // namespace
+
 BufferPool::BufferPool(DiskManager* disk, size_t pool_pages) : disk_(disk) {
   PRIX_CHECK(pool_pages > 0);
-  frames_.reserve(pool_pages);
-  for (size_t i = 0; i < pool_pages; ++i) {
-    frames_.push_back(std::make_unique<Page>());
-    free_frames_.push_back(pool_pages - 1 - i);  // pop_back yields frame 0 first
+  capacity_ = pool_pages;
+  size_t num_shards = PickShardCount(pool_pages);
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    size_t frames = pool_pages / num_shards + (s < pool_pages % num_shards);
+    shard->frames.reserve(frames);
+    for (size_t i = 0; i < frames; ++i) {
+      shard->frames.push_back(std::make_unique<Page>());
+      shard->free_frames.push_back(frames - 1 - i);  // pop_back yields frame 0
+    }
+    shard->lru_pos.assign(frames, shard->lru.end());
+    shards_.push_back(std::move(shard));
   }
-  lru_pos_.assign(pool_pages, lru_.end());
 }
 
 BufferPool::~BufferPool() {
@@ -20,56 +47,72 @@ BufferPool::~BufferPool() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  if (it != shard.table.end()) {
+    shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
     size_t frame = it->second;
-    Page* page = frames_[frame].get();
-    ++page->pin_count_;
-    Touch(frame);
+    Page* page = shard.frames[frame].get();
+    page->pin_count_.fetch_add(1, std::memory_order_acq_rel);
+    Touch(shard, frame);
     return page;
   }
-  ++stats_.misses;
-  PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
-  Page* page = frames_[frame].get();
+  shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
+  PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
+  Page* page = shard.frames[frame].get();
   PRIX_RETURN_NOT_OK(disk_->ReadPage(id, page->data_));
-  ++stats_.physical_reads;
+  shard.stats.physical_reads.fetch_add(1, std::memory_order_relaxed);
   page->page_id_ = id;
-  page->pin_count_ = 1;
+  page->pin_count_.store(1, std::memory_order_release);
   page->dirty_ = false;
-  table_[id] = frame;
-  Touch(frame);
+  shard.table[id] = frame;
+  Touch(shard, frame);
   return page;
 }
 
 Result<Page*> BufferPool::NewPage() {
+  // Disk allocation is internally synchronized; no shard latch is held
+  // across it, so concurrent NewPage calls interleave freely.
   PRIX_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
-  PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
-  Page* page = frames_[frame].get();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
+  Page* page = shard.frames[frame].get();
   std::memset(page->data_, 0, kPageSize);
   page->page_id_ = id;
-  page->pin_count_ = 1;
+  page->pin_count_.store(1, std::memory_order_release);
   page->dirty_ = true;
-  table_[id] = frame;
-  Touch(frame);
+  shard.table[id] = frame;
+  Touch(shard, frame);
   return page;
 }
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
-  auto it = table_.find(id);
-  PRIX_CHECK(it != table_.end());
-  Page* page = frames_[it->second].get();
-  PRIX_CHECK(page->pin_count_ > 0);
-  --page->pin_count_;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(id);
+  PRIX_CHECK(it != shard.table.end());
+  Page* page = shard.frames[it->second].get();
   if (dirty) page->dirty_ = true;
+  int prev = page->pin_count_.fetch_sub(1, std::memory_order_acq_rel);
+  PRIX_CHECK(prev > 0);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, frame] : table_) {
-    Page* page = frames_[frame].get();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    PRIX_RETURN_NOT_OK(FlushShard(*shard));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushShard(Shard& shard) {
+  for (auto& [id, frame] : shard.table) {
+    Page* page = shard.frames[frame].get();
     if (page->dirty_) {
       PRIX_RETURN_NOT_OK(disk_->WritePage(id, page->data_));
-      ++stats_.physical_writes;
+      shard.stats.physical_writes.fetch_add(1, std::memory_order_relaxed);
       page->dirty_ = false;
     }
   }
@@ -77,65 +120,108 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Clear() {
-  for (auto& frame : frames_) {
-    if (frame->page_id_ != kInvalidPage && frame->pin_count_ > 0) {
-      return Status::InvalidArgument("Clear() with pinned page " +
-                                     std::to_string(frame->page_id_));
+  // Latch ordering: ascending shard index, all held for the full reset.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  for (auto& shard : shards_) {
+    for (auto& frame : shard->frames) {
+      if (frame->page_id_ != kInvalidPage && frame->pin_count() > 0) {
+        return Status::InvalidArgument("Clear() with pinned page " +
+                                       std::to_string(frame->page_id_));
+      }
     }
   }
-  PRIX_RETURN_NOT_OK(FlushAll());
-  table_.clear();
-  lru_.clear();
-  size_t pool_pages = frames_.size();
-  free_frames_.clear();
-  for (size_t i = 0; i < pool_pages; ++i) {
-    frames_[i]->Reset();
-    free_frames_.push_back(pool_pages - 1 - i);
-    lru_pos_[i] = lru_.end();
+  for (auto& shard : shards_) {
+    PRIX_RETURN_NOT_OK(FlushShard(*shard));
+    shard->table.clear();
+    shard->lru.clear();
+    size_t frames = shard->frames.size();
+    shard->free_frames.clear();
+    for (size_t i = 0; i < frames; ++i) {
+      shard->frames[i]->Reset();
+      shard->free_frames.push_back(frames - 1 - i);
+      shard->lru_pos[i] = shard->lru.end();
+    }
   }
   return Status::OK();
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    size_t frame = free_frames_.back();
-    free_frames_.pop_back();
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats out;
+  for (const auto& shard : shards_) {
+    out.hits += shard->stats.hits.load(std::memory_order_relaxed);
+    out.misses += shard->stats.misses.load(std::memory_order_relaxed);
+    out.physical_reads +=
+        shard->stats.physical_reads.load(std::memory_order_relaxed);
+    out.physical_writes +=
+        shard->stats.physical_writes.load(std::memory_order_relaxed);
+    out.evictions += shard->stats.evictions.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void BufferPool::ResetStats() {
+  for (auto& shard : shards_) {
+    shard->stats.hits.store(0, std::memory_order_relaxed);
+    shard->stats.misses.store(0, std::memory_order_relaxed);
+    shard->stats.physical_reads.store(0, std::memory_order_relaxed);
+    shard->stats.physical_writes.store(0, std::memory_order_relaxed);
+    shard->stats.evictions.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t BufferPool::pages_cached() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->table.size();
+  }
+  return total;
+}
+
+Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    size_t frame = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return frame;
   }
-  // LRU scan from the back (least recent) for an unpinned frame.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  // LRU scan from the back (least recent) for an unpinned frame. A pin
+  // count read under the shard latch cannot go 0 -> 1 concurrently (pinning
+  // requires this latch), so an unpinned victim stays evictable.
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
     size_t frame = *it;
-    if (frames_[frame]->pin_count_ == 0) {
-      PRIX_RETURN_NOT_OK(EvictFrame(frame));
+    if (shard.frames[frame]->pin_count() == 0) {
+      PRIX_RETURN_NOT_OK(EvictFrame(shard, frame));
       return frame;
     }
   }
-  return Status::ResourceExhausted("all buffer pool pages are pinned");
+  return Status::ResourceExhausted("all buffer pool pages in shard pinned");
 }
 
-Status BufferPool::EvictFrame(size_t frame) {
-  Page* page = frames_[frame].get();
-  PRIX_DCHECK(page->pin_count_ == 0);
+Status BufferPool::EvictFrame(Shard& shard, size_t frame) {
+  Page* page = shard.frames[frame].get();
+  PRIX_DCHECK(page->pin_count() == 0);
   if (page->dirty_) {
     PRIX_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
-    ++stats_.physical_writes;
+    shard.stats.physical_writes.fetch_add(1, std::memory_order_relaxed);
   }
-  ++stats_.evictions;
-  table_.erase(page->page_id_);
-  if (lru_pos_[frame] != lru_.end()) {
-    lru_.erase(lru_pos_[frame]);
-    lru_pos_[frame] = lru_.end();
+  shard.stats.evictions.fetch_add(1, std::memory_order_relaxed);
+  shard.table.erase(page->page_id_);
+  if (shard.lru_pos[frame] != shard.lru.end()) {
+    shard.lru.erase(shard.lru_pos[frame]);
+    shard.lru_pos[frame] = shard.lru.end();
   }
   page->Reset();
   return Status::OK();
 }
 
-void BufferPool::Touch(size_t frame) {
-  if (lru_pos_[frame] != lru_.end()) {
-    lru_.erase(lru_pos_[frame]);
+void BufferPool::Touch(Shard& shard, size_t frame) {
+  if (shard.lru_pos[frame] != shard.lru.end()) {
+    shard.lru.erase(shard.lru_pos[frame]);
   }
-  lru_.push_front(frame);
-  lru_pos_[frame] = lru_.begin();
+  shard.lru.push_front(frame);
+  shard.lru_pos[frame] = shard.lru.begin();
 }
 
 }  // namespace prix

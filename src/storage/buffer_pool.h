@@ -1,9 +1,11 @@
 #ifndef PRIX_STORAGE_BUFFER_POOL_H_
 #define PRIX_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +28,17 @@ struct BufferPoolStats {
 /// Fixed-capacity page cache with LRU replacement and pin counting, mirroring
 /// the paper's 2000-page buffer pool (Sec. 6.1). Clearing the pool before a
 /// query emulates the paper's direct-I/O cold-cache measurement.
+///
+/// Thread safety: the pool is sharded by PageId. Each shard owns a disjoint
+/// subset of the frames plus its own latch, hash table, LRU list, and stat
+/// counters, so fetches of pages in different shards proceed fully in
+/// parallel. FetchPage / NewPage / UnpinPage / FlushAll may be called from
+/// any thread. Clear() takes every shard latch (in ascending shard order —
+/// the pool-wide latch ordering) and must not race with in-flight fetches
+/// that hold pins. Large pools use up to 16 shards; small pools (fewer than
+/// 32 frames) collapse to one shard and behave exactly like a global-LRU
+/// pool, which also preserves the eviction order single-threaded callers and
+/// tests rely on.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t pool_pages);
@@ -50,28 +63,55 @@ class BufferPool {
   /// benchmarked query. Requires no pinned pages.
   Status Clear();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Snapshot of the counters, merged across shards. Relaxed reads: exact
+  /// when no fetch is in flight, approximate otherwise.
+  BufferPoolStats stats() const;
+  void ResetStats();
 
-  size_t capacity() const { return frames_.size(); }
-  size_t pages_cached() const { return table_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t pages_cached() const;
+  size_t num_shards() const { return shards_.size(); }
   DiskManager* disk() const { return disk_; }
 
  private:
   using LruList = std::list<size_t>;  // frame indexes, front = most recent
 
+  /// Relaxed per-shard counters; merged by stats().
+  struct ShardStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> physical_reads{0};
+    std::atomic<uint64_t> physical_writes{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  /// One latch-protected slice of the pool. Frames never migrate between
+  /// shards; a page always lives in the shard its id hashes to.
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Page>> frames;
+    std::vector<size_t> free_frames;
+    std::unordered_map<PageId, size_t> table;  // page id -> frame index
+    LruList lru;
+    std::vector<LruList::iterator> lru_pos;  // per-frame position (or end)
+    ShardStats stats;
+  };
+
+  Shard& ShardFor(PageId id) {
+    return *shards_[static_cast<size_t>(id) & shard_mask_];
+  }
+
   /// Finds a frame to (re)use: a free frame or the LRU unpinned victim.
-  Result<size_t> GetVictimFrame();
-  void Touch(size_t frame);
-  Status EvictFrame(size_t frame);
+  /// Caller holds the shard latch.
+  Result<size_t> GetVictimFrame(Shard& shard);
+  void Touch(Shard& shard, size_t frame);
+  Status EvictFrame(Shard& shard, size_t frame);
+  Status FlushShard(Shard& shard);
 
   DiskManager* disk_;
-  std::vector<std::unique_ptr<Page>> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> table_;  // page id -> frame index
-  LruList lru_;
-  std::vector<LruList::iterator> lru_pos_;  // per-frame position (or end)
-  BufferPoolStats stats_;
+  size_t capacity_ = 0;
+  size_t shard_mask_ = 0;  // shard count is a power of two
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// RAII pin holder. Unpins on destruction.
@@ -87,6 +127,7 @@ class PageGuard {
     dirty_ = other.dirty_;
     other.pool_ = nullptr;
     other.page_ = nullptr;
+    other.dirty_ = false;
     return *this;
   }
   PageGuard(const PageGuard&) = delete;

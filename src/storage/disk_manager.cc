@@ -51,8 +51,11 @@ Status DiskManager::Close() {
 
 Result<PageId> DiskManager::AllocatePage() {
   if (fd_ < 0) return Status::InvalidArgument("disk manager not open");
-  PageId id = num_pages_++;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  PageId id = num_pages_.load(std::memory_order_relaxed);
   // Extend the file eagerly so reads of never-written pages see zeros.
+  // The counter is published only after the extension succeeds, so a
+  // concurrent ReadPage never sees an allocated-but-unextended page.
   char zeros[kPageSize] = {};
   off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
   if (::pwrite(fd_, zeros, kPageSize, offset) !=
@@ -60,6 +63,7 @@ Result<PageId> DiskManager::AllocatePage() {
     return Status::IoError("pwrite(extend): " +
                            std::string(std::strerror(errno)));
   }
+  num_pages_.store(id + 1, std::memory_order_release);
   return id;
 }
 

@@ -1,7 +1,9 @@
 #ifndef PRIX_STORAGE_DISK_MANAGER_H_
 #define PRIX_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -12,6 +14,11 @@ namespace prix {
 /// Raw page I/O over one database file. Pages are allocated append-only.
 /// Counts physical reads/writes; the benchmarks report the read counter as
 /// the paper's "Disk IO (pages)" column.
+///
+/// Thread safety: ReadPage/WritePage use pread/pwrite on a shared fd and may
+/// run concurrently; AllocatePage serializes under an internal mutex so the
+/// append-only page counter and the eager file extension stay consistent.
+/// Open/OpenExisting/Close must not race with I/O.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -36,17 +43,27 @@ class DiskManager {
   /// Writes `buf` (kPageSize bytes) to page `id`.
   Status WritePage(PageId id, const char* buf);
 
-  uint32_t num_pages() const { return num_pages_; }
-  uint64_t read_count() const { return read_count_; }
-  uint64_t write_count() const { return write_count_; }
-  void ResetCounters() { read_count_ = write_count_ = 0; }
+  uint32_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
+  uint64_t read_count() const {
+    return read_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_count() const {
+    return write_count_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    read_count_.store(0, std::memory_order_relaxed);
+    write_count_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   int fd_ = -1;
   std::string path_;
-  uint32_t num_pages_ = 0;
-  uint64_t read_count_ = 0;
-  uint64_t write_count_ = 0;
+  std::mutex alloc_mu_;
+  std::atomic<uint32_t> num_pages_{0};
+  std::atomic<uint64_t> read_count_{0};
+  std::atomic<uint64_t> write_count_{0};
 };
 
 }  // namespace prix

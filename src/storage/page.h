@@ -1,6 +1,7 @@
 #ifndef PRIX_STORAGE_PAGE_H_
 #define PRIX_STORAGE_PAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -17,6 +18,12 @@ inline constexpr size_t kPageSize = 8192;
 
 /// An in-memory frame holding one disk page. Access to `data()` is valid
 /// while the page is pinned in the buffer pool.
+///
+/// Concurrency: the pin count is atomic so it can be read without the
+/// owning shard's latch (see BufferPool); `page_id_` and `dirty_` are
+/// only touched under that latch. Page payloads carry no internal
+/// synchronization — concurrent readers are safe, but any writer must be
+/// the only thread touching the page (the single-writer rule, DESIGN.md).
 class Page {
  public:
   Page() { Reset(); }
@@ -25,13 +32,13 @@ class Page {
   const char* data() const { return data_; }
 
   PageId page_id() const { return page_id_; }
-  int pin_count() const { return pin_count_; }
+  int pin_count() const { return pin_count_.load(std::memory_order_acquire); }
   bool is_dirty() const { return dirty_; }
 
   void Reset() {
     std::memset(data_, 0, kPageSize);
     page_id_ = kInvalidPage;
-    pin_count_ = 0;
+    pin_count_.store(0, std::memory_order_release);
     dirty_ = false;
   }
 
@@ -39,7 +46,7 @@ class Page {
   friend class BufferPool;
   char data_[kPageSize];
   PageId page_id_ = kInvalidPage;
-  int pin_count_ = 0;
+  std::atomic<int> pin_count_{0};
   bool dirty_ = false;
 };
 

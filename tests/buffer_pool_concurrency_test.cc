@@ -1,0 +1,241 @@
+// Concurrency tests for the sharded BufferPool: N threads fetch/unpin
+// overlapping page sets under capacity pressure. Verified invariants:
+//  - no lost pins (Clear() succeeds after all guards drop; pin counts drain)
+//  - eviction accounting: misses == evictions + resident pages
+//  - logical reads (hits + misses) equal the single-thread baseline's
+//  - page payloads stay intact under concurrent readers and evictions
+// Run under ThreadSanitizer via tools/check_tsan.sh.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace prix {
+namespace {
+
+constexpr size_t kNumThreads = 8;
+constexpr size_t kDiskPages = 512;
+constexpr size_t kPoolPages = 256;  // half the working set -> evictions
+constexpr size_t kFetchesPerThread = 4000;
+
+class BufferPoolConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_bp_conc_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  /// Seeds kDiskPages pages whose payload is a function of their id, so any
+  /// torn read / wrong-frame bug shows up as a pattern mismatch.
+  void SeedPages(BufferPool* pool) {
+    for (size_t i = 0; i < kDiskPages; ++i) {
+      auto page = pool->NewPage();
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+      FillPattern((*page)->data(), (*page)->page_id());
+      pool->UnpinPage((*page)->page_id(), /*dirty=*/true);
+    }
+    ASSERT_TRUE(pool->Clear().ok());
+    pool->ResetStats();
+  }
+
+  static void FillPattern(char* data, PageId id) {
+    uint32_t v = id * 2654435761u;
+    for (size_t i = 0; i + 4 <= kPageSize; i += 4) {
+      std::memcpy(data + i, &v, 4);
+    }
+  }
+
+  static bool CheckPattern(const char* data, PageId id) {
+    uint32_t expect = id * 2654435761u;
+    for (size_t i : {size_t{0}, kPageSize / 2, kPageSize - 4}) {
+      uint32_t got;
+      std::memcpy(&got, data + i, 4);
+      if (got != expect) return false;
+    }
+    return true;
+  }
+
+  std::string dir_;
+  DiskManager disk_;
+};
+
+TEST_F(BufferPoolConcurrencyTest, OverlappingFetchesKeepEveryInvariant) {
+  BufferPool pool(&disk_, kPoolPages);
+  SeedPages(&pool);
+
+  std::atomic<uint64_t> logical_fetches{0};
+  std::atomic<uint64_t> pattern_errors{0};
+  std::atomic<uint64_t> exhausted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kNumThreads);
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(1234 + t);
+      // Each thread walks an overlapping slice biased toward a shared hot
+      // set, holding up to 4 pins at once for pin pressure.
+      std::deque<PageGuard> held;
+      for (size_t i = 0; i < kFetchesPerThread; ++i) {
+        PageId id = rng() % 3 == 0 ? rng() % 64  // hot set, all threads
+                                   : rng() % kDiskPages;
+        auto page = pool.FetchPage(id);
+        if (!page.ok()) {
+          // Transient per-shard exhaustion under extreme pin skew: drop
+          // every held pin and move on (also exercises this error path).
+          held.clear();
+          exhausted.fetch_add(1);
+          continue;
+        }
+        logical_fetches.fetch_add(1);
+        if (!CheckPattern((*page)->data(), id)) pattern_errors.fetch_add(1);
+        held.emplace_back(&pool, *page);
+        if (held.size() > 4) held.pop_front();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(pattern_errors.load(), 0u);
+  BufferPoolStats stats = pool.stats();
+  // Every successful fetch was a hit or a miss, nothing double-counted.
+  EXPECT_EQ(stats.hits + stats.misses, logical_fetches.load());
+  // Every miss did exactly one physical read.
+  EXPECT_EQ(stats.physical_reads, stats.misses);
+  // Eviction accounting: each miss installs a page that either got evicted
+  // later or is still resident now.
+  EXPECT_EQ(stats.misses, stats.evictions + pool.pages_cached());
+  EXPECT_LE(pool.pages_cached(), pool.capacity());
+  // No lost pins: all guards are gone, so every page drains to pin 0 and
+  // Clear() (which refuses pinned pages) must succeed.
+  for (PageId id = 0; id < 8; ++id) {
+    auto page = pool.FetchPage(id);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->pin_count(), 1);
+    pool.UnpinPage(id, false);
+  }
+  EXPECT_TRUE(pool.Clear().ok());
+}
+
+TEST_F(BufferPoolConcurrencyTest, LogicalReadsMatchSingleThreadBaseline) {
+  // The same multiset of fetches must produce identical logical-read totals
+  // (hits + misses) no matter how they interleave; hit/miss split may shift
+  // with eviction timing, the sum may not.
+  BufferPool pool(&disk_, kPoolPages);
+  SeedPages(&pool);
+
+  std::vector<std::vector<PageId>> per_thread(kNumThreads);
+  std::mt19937 rng(99);
+  for (auto& ids : per_thread) {
+    ids.resize(2000);
+    for (PageId& id : ids) id = rng() % kDiskPages;
+  }
+
+  auto run = [&](size_t num_threads) -> uint64_t {
+    EXPECT_TRUE(pool.Clear().ok());
+    pool.ResetStats();
+    std::vector<std::thread> threads;
+    size_t slices_per_thread = kNumThreads / num_threads;
+    for (size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t s = 0; s < slices_per_thread; ++s) {
+          for (PageId id : per_thread[t * slices_per_thread + s]) {
+            auto page = pool.FetchPage(id);
+            ASSERT_TRUE(page.ok());
+            pool.UnpinPage(id, false);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    BufferPoolStats stats = pool.stats();
+    EXPECT_EQ(stats.physical_reads, stats.misses);
+    return stats.hits + stats.misses;
+  };
+
+  uint64_t baseline = run(1);
+  EXPECT_EQ(baseline, uint64_t{kNumThreads} * 2000);
+  EXPECT_EQ(run(4), baseline);
+  EXPECT_EQ(run(8), baseline);
+}
+
+TEST_F(BufferPoolConcurrencyTest, ConcurrentNewPagesAllocateDistinctIds) {
+  BufferPool pool(&disk_, kPoolPages);
+  constexpr size_t kPerThread = 64;
+  std::vector<std::vector<PageId>> ids(kNumThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        auto page = pool.NewPage();
+        ASSERT_TRUE(page.ok()) << page.status().ToString();
+        ids[t].push_back((*page)->page_id());
+        FillPattern((*page)->data(), (*page)->page_id());
+        pool.UnpinPage((*page)->page_id(), /*dirty=*/true);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<PageId> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), kNumThreads * kPerThread);
+  EXPECT_EQ(disk_.num_pages(), kNumThreads * kPerThread);
+  // Round-trip through Clear: every page's payload survived write-back.
+  ASSERT_TRUE(pool.Clear().ok());
+  for (PageId id : all) {
+    auto page = pool.FetchPage(id);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(CheckPattern((*page)->data(), id));
+    pool.UnpinPage(id, false);
+  }
+}
+
+TEST_F(BufferPoolConcurrencyTest, ConcurrentReadersAndFlusher) {
+  // Readers race FlushAll and stats() snapshots; TSan validates the latches.
+  BufferPool pool(&disk_, kPoolPages);
+  SeedPages(&pool);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        PageId id = rng() % kDiskPages;
+        auto page = pool.FetchPage(id);
+        if (page.ok()) {
+          EXPECT_TRUE(CheckPattern((*page)->data(), id));
+          pool.UnpinPage(id, false);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.FlushAll().ok());
+    // Within a shard a miss is counted before its physical read, so any
+    // snapshot observes reads <= misses.
+    BufferPoolStats stats = pool.stats();
+    EXPECT_LE(stats.physical_reads, stats.misses);
+  }
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+}
+
+}  // namespace
+}  // namespace prix

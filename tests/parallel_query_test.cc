@@ -1,0 +1,207 @@
+// ThreadPool and QueryDriver tests: Status propagation through futures,
+// and N-thread batch execution returning bit-identical results to the
+// serial QueryProcessor over the same indexes. Run under ThreadSanitizer
+// via tools/check_tsan.sh.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "naive/naive_matcher.h"
+#include "prix/prix_index.h"
+#include "prix/query_driver.h"
+#include "query/xpath_parser.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::RandomCollection;
+using testutil::RandomDocOptions;
+using testutil::RandomTwig;
+using testutil::RandomTwigOptions;
+
+TEST(ThreadPoolTest, RunsTasksAndPropagatesStatus) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&counter, i]() -> Status {
+      counter.fetch_add(1);
+      if (i == 13) return Status::InvalidArgument("task 13 fails");
+      return Status::OK();
+    }));
+  }
+  int failures = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Status st = futures[i].get();
+    if (!st.ok()) {
+      ++failures;
+      EXPECT_EQ(i, 13u);
+      EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    }
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitIdleDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&done]() -> Status {
+      done.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, DestructorRunsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&done]() -> Status {
+        done.fetch_add(1);
+        return Status::OK();
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+class ParallelQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_parallel_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
+    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
+
+    Random rng(4242);
+    RandomDocOptions doc_opts;
+    docs_ = RandomCollection(rng, /*num_docs=*/60, &dict_, doc_opts);
+    PrixIndexOptions rp_opts;
+    auto rp = PrixIndex::Build(docs_, pool_.get(), rp_opts);
+    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+    rp_ = std::move(*rp);
+    PrixIndexOptions ep_opts;
+    ep_opts.extended = true;
+    auto ep = PrixIndex::Build(docs_, pool_.get(), ep_opts);
+    ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+    ep_ = std::move(*ep);
+  }
+  void TearDown() override {
+    rp_.reset();
+    ep_.reset();
+    pool_.reset();
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  /// A mixed batch: random exact/wildcard twigs over collection documents.
+  std::vector<TwigPattern> MakeBatch(size_t n) {
+    Random rng(777);
+    RandomTwigOptions twig_opts;
+    twig_opts.descendant_prob = 0.25;  // mix in generalized ('//') queries
+    twig_opts.star_prob = 0.05;
+    std::vector<TwigPattern> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(
+          RandomTwig(rng, docs_[i % docs_.size()], &dict_, twig_opts));
+    }
+    return batch;
+  }
+
+  std::string dir_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  TagDictionary dict_;
+  std::vector<Document> docs_;
+  std::unique_ptr<PrixIndex> rp_;
+  std::unique_ptr<PrixIndex> ep_;
+};
+
+TEST_F(ParallelQueryTest, BatchMatchesSerialExecution) {
+  std::vector<TwigPattern> batch = MakeBatch(48);
+
+  // Serial ground truth over the same indexes.
+  QueryProcessor serial(rp_.get(), ep_.get());
+  std::vector<QueryResult> expected;
+  for (const TwigPattern& pattern : batch) {
+    auto r = serial.Execute(pattern);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(std::move(*r));
+  }
+
+  for (size_t threads : {1u, 4u, 8u}) {
+    QueryDriver driver(rp_.get(), ep_.get(), threads);
+    auto batch_result = driver.ExecuteBatch(batch);
+    ASSERT_TRUE(batch_result.ok()) << batch_result.status().ToString();
+    ASSERT_EQ(batch_result->results.size(), batch.size());
+    uint64_t merged_loads = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch_result->results[i].matches, expected[i].matches)
+          << "query " << i << " at " << threads << " threads";
+      EXPECT_EQ(batch_result->results[i].docs, expected[i].docs);
+      merged_loads += batch_result->results[i].stats.docs_loaded;
+    }
+    // The batch aggregate is the MergeFrom-fold of the per-query stats.
+    EXPECT_EQ(batch_result->total.docs_loaded, merged_loads);
+  }
+}
+
+TEST_F(ParallelQueryTest, SharedProcessorIsSafeAcrossThreads) {
+  // One QueryProcessor instance, many threads: guards the "no hidden
+  // shared mutable state" contract directly.
+  std::vector<TwigPattern> batch = MakeBatch(24);
+  QueryProcessor shared(rp_.get(), ep_.get());
+  std::vector<QueryResult> expected;
+  for (const TwigPattern& pattern : batch) {
+    auto r = shared.Execute(pattern);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(std::move(*r));
+  }
+  ThreadPool workers(8);
+  std::vector<QueryResult> got(batch.size());
+  std::vector<std::future<Status>> futures;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    futures.push_back(workers.Submit([&, i]() -> Status {
+      PRIX_ASSIGN_OR_RETURN(got[i], shared.Execute(batch[i]));
+      return Status::OK();
+    }));
+  }
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got[i].matches, expected[i].matches) << "query " << i;
+  }
+}
+
+TEST_F(ParallelQueryTest, XPathBatchParsesSeriallyThenFansOut) {
+  std::vector<std::string> xpaths = {
+      "//tag0//tag1", "//tag0[./tag1]/tag2", "//tag2", "//tag1/tag0",
+      "//tag0[.//tag2]//tag1"};
+  QueryDriver driver(rp_.get(), ep_.get(), 4);
+  auto batch = driver.ExecuteXPathBatch(xpaths, &dict_);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), xpaths.size());
+  QueryProcessor serial(rp_.get(), ep_.get());
+  for (size_t i = 0; i < xpaths.size(); ++i) {
+    auto expected = serial.ExecuteXPath(xpaths[i], &dict_);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(batch->results[i].matches, expected->matches) << xpaths[i];
+  }
+}
+
+}  // namespace
+}  // namespace prix
