@@ -24,7 +24,7 @@ int main() {
     if (!set.Build().ok()) return 1;
     for (const QuerySpec& spec : AllQueries()) {
       if (std::strcmp(spec.dataset, dataset) != 0) continue;
-      QueryProcessor qp(set.rp(), set.ep());
+      QueryProcessor qp(set.db(), set.rp(), set.ep());
       QueryOptions sound;
       QueryOptions paper;
       paper.wildcard_filter = QueryOptions::WildcardFilter::kFullTwig;

@@ -62,7 +62,7 @@ EngineSet::~EngineSet() {
   vist_.reset();
   streams_.reset();
   forest_.reset();
-  pool_.reset();
+  db_.reset();
   if (!dir_.empty()) {
     std::string cmd = "rm -rf " + dir_;
     if (std::system(cmd.c_str()) != 0) {
@@ -75,26 +75,25 @@ Status EngineSet::Build() {
   char tmpl[] = "/tmp/prix_bench_XXXXXX";
   if (mkdtemp(tmpl) == nullptr) return Status::IoError("mkdtemp failed");
   dir_ = tmpl;
-  PRIX_RETURN_NOT_OK(disk_.Open(dir_ + "/db"));
-  pool_ = std::make_unique<BufferPool>(&disk_, 2000);
+  PRIX_ASSIGN_OR_RETURN(db_, Database::Create(dir_ + "/bench.prix"));
 
   auto t0 = std::chrono::steady_clock::now();
   if (engines_.find("prix") != std::string::npos) {
     PrixIndexOptions rp_opts;
-    PRIX_ASSIGN_OR_RETURN(rp_, PrixIndex::Build(coll_.documents, pool_.get(),
+    PRIX_ASSIGN_OR_RETURN(rp_, PrixIndex::Build(coll_.documents, db_->pool(),
                                                 rp_opts, &rp_stats_));
     PrixIndexOptions ep_opts;
     ep_opts.extended = true;
-    PRIX_ASSIGN_OR_RETURN(ep_, PrixIndex::Build(coll_.documents, pool_.get(),
+    PRIX_ASSIGN_OR_RETURN(ep_, PrixIndex::Build(coll_.documents, db_->pool(),
                                                 ep_opts, &ep_stats_));
   }
   if (engines_.find("vist") != std::string::npos) {
     PRIX_ASSIGN_OR_RETURN(
-        vist_, VistIndex::Build(coll_.documents, pool_.get(), &vist_stats_));
+        vist_, VistIndex::Build(coll_.documents, db_->pool(), &vist_stats_));
   }
   if (engines_.find("twigstack") != std::string::npos) {
     PRIX_ASSIGN_OR_RETURN(streams_,
-                          StreamStore::Build(coll_.documents, pool_.get()));
+                          StreamStore::Build(coll_.documents, db_->pool()));
     PRIX_ASSIGN_OR_RETURN(forest_,
                           XbForest::Build(streams_.get(), coll_.dictionary));
   }
@@ -107,17 +106,13 @@ Status EngineSet::Build() {
   return Status::OK();
 }
 
-Status EngineSet::ColdStart() {
-  PRIX_RETURN_NOT_OK(pool_->Clear());
-  pool_->ResetStats();
-  return Status::OK();
-}
+Status EngineSet::ColdStart() { return db_->ColdStart(); }
 
 Result<RunResult> EngineSet::RunPrix(const std::string& xpath,
                                      bool use_maxgap,
                                      QueryOptions::IndexChoice index) {
   PRIX_CHECK(rp_ != nullptr);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(*db_, rp_.get(), ep_.get());
   QueryOptions options;
   options.use_maxgap = use_maxgap;
   options.index = index;
@@ -132,7 +127,7 @@ Result<RunResult> EngineSet::RunPrix(const std::string& xpath,
                           qp.ExecuteXPath(xpath, &coll_.dictionary, options));
     auto t1 = std::chrono::steady_clock::now();
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    out.pages = pool_->stats().physical_reads;
+    out.pages = db_->pool()->stats().physical_reads;
     out.matches = qr.matches.size();
     out.docs = qr.docs.size();
     out.prix_stats = qr.stats;
@@ -152,7 +147,7 @@ Result<RunResult> EngineSet::RunVist(const std::string& xpath) {
     PRIX_ASSIGN_OR_RETURN(VistQueryResult qr, qp.Execute(pattern));
     auto t1 = std::chrono::steady_clock::now();
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    out.pages = pool_->stats().physical_reads;
+    out.pages = db_->pool()->stats().physical_reads;
     out.matches = qr.matches.size();
     out.docs = qr.docs.size();
     out.vist_stats = qr.stats;
@@ -173,7 +168,7 @@ Result<RunResult> EngineSet::RunTwigStack(const std::string& xpath,
     PRIX_ASSIGN_OR_RETURN(TwigStackResult qr, engine.Execute(pattern));
     auto t1 = std::chrono::steady_clock::now();
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    out.pages = pool_->stats().physical_reads;
+    out.pages = db_->pool()->stats().physical_reads;
     out.matches = qr.matches.size();
     out.docs = qr.docs.size();
     out.twig_stats = qr.stats;

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "datagen/dblp_gen.h"
+#include "db/database.h"
 #include "datagen/swissprot_gen.h"
 #include "datagen/treebank_gen.h"
 #include "prix/prix_index.h"
@@ -57,9 +58,9 @@ struct RunResult {
   TwigStackStats twig_stats;
 };
 
-/// One dataset with every engine built over a shared disk + 2000-page pool
-/// (Sec. 6.1 setup). Queries run against a cleared pool, emulating the
-/// paper's direct-I/O cold-cache measurements.
+/// One dataset with every engine built inside one Database (Sec. 6.1 setup:
+/// a shared paged file behind a 2000-page pool). Queries run against a
+/// cleared pool, emulating the paper's direct-I/O cold-cache measurements.
 class EngineSet {
  public:
   /// `engines` is a subset of "prix,vist,twigstack"; building only what a
@@ -80,7 +81,8 @@ class EngineSet {
 
   DocumentCollection& collection() { return coll_; }
   const std::string& name() const { return name_; }
-  BufferPool* pool() { return pool_.get(); }
+  Database& db() { return *db_; }
+  BufferPool* pool() { return db_->pool(); }
   const PrixIndexBuildStats& rp_stats() const { return rp_stats_; }
   const PrixIndexBuildStats& ep_stats() const { return ep_stats_; }
   const VistIndexBuildStats& vist_stats() const { return vist_stats_; }
@@ -94,8 +96,7 @@ class EngineSet {
   std::string engines_;
   DocumentCollection coll_;
   std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Database> db_;
   std::unique_ptr<PrixIndex> rp_;
   std::unique_ptr<PrixIndex> ep_;
   std::unique_ptr<VistIndex> vist_;

@@ -8,6 +8,7 @@
 #include "btree/btree.h"
 #include "common/random.h"
 #include "datagen/treebank_gen.h"
+#include "db/database.h"
 #include "prufer/prufer.h"
 #include "storage/buffer_pool.h"
 
@@ -63,18 +64,21 @@ BENCHMARK(BM_PruferReconstruct)->Arg(1000)->Arg(10000);
 
 struct BtreeFixtureState {
   std::string dir;
-  DiskManager disk;
-  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<Database> db;
+  BufferPool* pool;
 
-  BtreeFixtureState() {
+  explicit BtreeFixtureState(size_t pool_pages = 4096) {
     char tmpl[] = "/tmp/prix_microbench_XXXXXX";
     PRIX_CHECK(mkdtemp(tmpl) != nullptr);
     dir = tmpl;
-    PRIX_CHECK(disk.Open(dir + "/db").ok());
-    pool = std::make_unique<BufferPool>(&disk, 4096);
+    auto opened =
+        Database::Create(dir + "/db.prix", {.pool_pages = pool_pages});
+    PRIX_CHECK(opened.ok());
+    db = std::move(*opened);
+    pool = db->pool();
   }
   ~BtreeFixtureState() {
-    pool.reset();
+    db.reset();
     std::string cmd = "rm -rf " + dir;
     if (std::system(cmd.c_str()) != 0) {
     }
@@ -85,7 +89,7 @@ void BM_BtreeInsert(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     BtreeFixtureState fx;
-    auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool.get());
+    auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool);
     PRIX_CHECK(tree.ok());
     Random rng(3);
     state.ResumeTiming();
@@ -99,7 +103,7 @@ BENCHMARK(BM_BtreeInsert)->Arg(10000)->Arg(100000);
 
 void BM_BtreeGet(benchmark::State& state) {
   BtreeFixtureState fx;
-  auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool.get());
+  auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool);
   PRIX_CHECK(tree.ok());
   Random rng(3);
   std::vector<uint64_t> keys;
@@ -118,7 +122,7 @@ BENCHMARK(BM_BtreeGet)->Arg(100000);
 
 void BM_BtreeScan(benchmark::State& state) {
   BtreeFixtureState fx;
-  auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool.get());
+  auto tree = BPlusTree<uint64_t, uint64_t>::Create(fx.pool);
   PRIX_CHECK(tree.ok());
   for (uint64_t k = 0; k < 100000; ++k) {
     PRIX_CHECK(tree->Insert(k, k).ok());
@@ -156,30 +160,22 @@ BENCHMARK(BM_BufferPoolHit);
 
 void BM_BufferPoolMissEvict(benchmark::State& state) {
   // Working set twice the pool size: every fetch misses and evicts.
-  char tmpl[] = "/tmp/prix_microbench_XXXXXX";
-  PRIX_CHECK(mkdtemp(tmpl) != nullptr);
-  std::string dir = tmpl;
-  DiskManager disk;
-  PRIX_CHECK(disk.Open(dir + "/db").ok());
-  BufferPool pool(&disk, 64);
+  BtreeFixtureState fx(/*pool_pages=*/64);
   std::vector<PageId> ids;
   for (int i = 0; i < 128; ++i) {
-    auto page = pool.NewPage();
+    auto page = fx.pool->NewPage();
     PRIX_CHECK(page.ok());
     ids.push_back((*page)->page_id());
-    pool.UnpinPage(ids.back(), true);
+    fx.pool->UnpinPage(ids.back(), true);
   }
   size_t i = 0;
   for (auto _ : state) {
     PageId id = ids[(i += 65) % ids.size()];
-    auto p = pool.FetchPage(id);
+    auto p = fx.pool->FetchPage(id);
     benchmark::DoNotOptimize(p);
-    pool.UnpinPage(id, false);
+    fx.pool->UnpinPage(id, false);
   }
   state.SetItemsProcessed(state.iterations());
-  std::string cmd = "rm -rf " + dir;
-  if (std::system(cmd.c_str()) != 0) {
-  }
 }
 BENCHMARK(BM_BufferPoolMissEvict);
 

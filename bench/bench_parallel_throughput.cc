@@ -96,7 +96,7 @@ int main() {
     for (size_t r = 0; r < kBatchRepeats; ++r) {
       for (const TwigPattern& pattern : mix) batch.push_back(pattern);
     }
-    QueryProcessor warmup(set.rp(), set.ep());
+    QueryProcessor warmup(set.db(), set.rp(), set.ep());
     std::vector<size_t> expected_matches;
     for (const TwigPattern& pattern : mix) {
       auto r = warmup.Execute(pattern);
@@ -105,7 +105,7 @@ int main() {
     }
 
     for (size_t threads : kThreadSweep) {
-      QueryDriver driver(set.rp(), set.ep(), threads);
+      QueryDriver driver(set.db(), set.rp(), set.ep(), threads);
       set.pool()->ResetStats();
       auto t0 = std::chrono::steady_clock::now();
       auto result = driver.ExecuteBatch(batch);

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "datagen/dblp_gen.h"
+#include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 
@@ -22,16 +23,16 @@ int main() {
 
   char dir[] = "/tmp/prix_dblp_example_XXXXXX";
   if (mkdtemp(dir) == nullptr) return 1;
-  DiskManager disk;
-  if (!disk.Open(std::string(dir) + "/db").ok()) return 1;
-  BufferPool pool(&disk, 2000);
+  auto db = Database::Create(std::string(dir) + "/dblp.prix");
+  if (!db.ok()) return 1;
 
   PrixIndexBuildStats rp_stats, ep_stats;
-  auto rp = PrixIndex::Build(coll.documents, &pool, PrixIndexOptions{},
-                             &rp_stats);
+  auto rp = PrixIndex::Build(coll.documents, (*db)->pool(),
+                             PrixIndexOptions{}, &rp_stats);
   PrixIndexOptions ep_options;
   ep_options.extended = true;
-  auto ep = PrixIndex::Build(coll.documents, &pool, ep_options, &ep_stats);
+  auto ep =
+      PrixIndex::Build(coll.documents, (*db)->pool(), ep_options, &ep_stats);
   if (!rp.ok() || !ep.ok()) return 1;
   std::printf(
       "RPIndex: %llu trie nodes (best path shared by %llu sequences)\n"
@@ -40,7 +41,7 @@ int main() {
       (unsigned long long)rp_stats.max_path_sharing,
       (unsigned long long)ep_stats.trie_nodes);
 
-  QueryProcessor qp(rp->get(), ep->get());
+  QueryProcessor qp(**db, rp->get(), ep->get());
 
   struct Demo {
     const char* label;
@@ -57,8 +58,7 @@ int main() {
       {"Descendant axis", "//article//year"},
   };
   for (const Demo& demo : demos) {
-    if (!pool.Clear().ok()) return 1;
-    pool.ResetStats();
+    if (!(*db)->ColdStart().ok()) return 1;
     auto result = qp.ExecuteXPath(demo.xpath, &coll.dictionary);
     if (!result.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", demo.label,
@@ -74,7 +74,7 @@ int main() {
         (unsigned long long)result->stats.matcher.range_queries,
         (unsigned long long)result->stats.matcher.nodes_scanned,
         (unsigned long long)result->stats.refine.candidates,
-        (unsigned long long)pool.stats().physical_reads);
+        (unsigned long long)result->stats.pages_read);
   }
 
   // Ordered vs unordered twig semantics (Sec. 5.7): the year branch written

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "datagen/swissprot_gen.h"
+#include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 #include "query/xpath_parser.h"
@@ -26,9 +27,9 @@ int main() {
 
   char dir[] = "/tmp/prix_protein_example_XXXXXX";
   if (mkdtemp(dir) == nullptr) return 1;
-  DiskManager disk;
-  if (!disk.Open(std::string(dir) + "/db").ok()) return 1;
-  BufferPool pool(&disk, 2000);
+  auto db = Database::Create(std::string(dir) + "/protein.prix");
+  if (!db.ok()) return 1;
+  BufferPool& pool = *(*db)->pool();
 
   auto rp = PrixIndex::Build(coll.documents, &pool, PrixIndexOptions{});
   PrixIndexOptions ep_options;
@@ -40,7 +41,7 @@ int main() {
   auto forest = XbForest::Build(streams->get(), coll.dictionary);
   if (!forest.ok()) return 1;
 
-  QueryProcessor prix_qp(rp->get(), ep->get());
+  QueryProcessor prix_qp(**db, rp->get(), ep->get());
   VistQueryProcessor vist_qp(vist->get());
   TwigStackEngine xb_engine(streams->get(), forest->get());
 
@@ -54,8 +55,7 @@ int main() {
               "ViST IO", "TwigStackXB");
   for (const char* xpath : queries) {
     auto run_cold = [&]() {
-      if (!pool.Clear().ok()) std::abort();
-      pool.ResetStats();
+      if (!(*db)->ColdStart().ok()) std::abort();
     };
     run_cold();
     auto prix_run = prix_qp.ExecuteXPath(xpath, &coll.dictionary);

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 #include "xml/xml_parser.h"
@@ -35,25 +36,44 @@ int main() {
     coll.documents.push_back(std::move(*doc));
   }
 
-  // 2. Set up paged storage (8 KB pages, 2000-page buffer pool) and build
-  //    the regular and extended Prüfer indexes.
+  // 2. Create a database file (8 KB pages, 2000-page buffer pool), build
+  //    the regular and extended Prüfer indexes, and register them in the
+  //    catalog under names.
   char dir[] = "/tmp/prix_quickstart_XXXXXX";
   if (mkdtemp(dir) == nullptr) return 1;
-  DiskManager disk;
-  if (!disk.Open(std::string(dir) + "/db").ok()) return 1;
-  BufferPool pool(&disk, 2000);
+  std::string path = std::string(dir) + "/quickstart.prix";
+  {
+    auto db = Database::Create(path);
+    if (!db.ok()) return 1;
 
-  auto rp = PrixIndex::Build(coll.documents, &pool, PrixIndexOptions{});
-  PrixIndexOptions ep_options;
-  ep_options.extended = true;
-  auto ep = PrixIndex::Build(coll.documents, &pool, ep_options);
-  if (!rp.ok() || !ep.ok()) {
-    std::fprintf(stderr, "index build failed\n");
-    return 1;
+    auto rp =
+        PrixIndex::Build(coll.documents, (*db)->pool(), PrixIndexOptions{});
+    PrixIndexOptions ep_options;
+    ep_options.extended = true;
+    auto ep = PrixIndex::Build(coll.documents, (*db)->pool(), ep_options);
+    if (!rp.ok() || !ep.ok()) {
+      std::fprintf(stderr, "index build failed\n");
+      return 1;
+    }
+    if (!(*rp)->Save(db->get(), "books-rp").ok() ||
+        !(*ep)->Save(db->get(), "books-ep").ok()) {
+      return 1;
+    }
+    // Database commits the catalog on Close (end of scope) — the file now
+    // reopens across process restarts.
   }
 
-  // 3. Run twig queries straight from XPath.
-  QueryProcessor qp(rp->get(), ep->get());
+  // 3. Reopen the database, resolve the indexes by name, and run twig
+  //    queries straight from XPath.
+  auto db = Database::Open(path);
+  if (!db.ok()) return 1;
+  auto rp = PrixIndex::Open(db->get(), "books-rp");
+  auto ep = PrixIndex::Open(db->get(), "books-ep");
+  if (!rp.ok() || !ep.ok()) {
+    std::fprintf(stderr, "index open failed\n");
+    return 1;
+  }
+  QueryProcessor qp(**db, rp->get(), ep->get());
   for (const char* xpath :
        {R"(//book[./author="Jim Gray"])", "//book/year", "//author"}) {
     auto result = qp.ExecuteXPath(xpath, &coll.dictionary);

@@ -1,0 +1,240 @@
+#include "db/database.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/macros.h"
+#include "storage/record_store.h"
+
+namespace prix {
+
+namespace {
+
+constexpr uint32_t kDbMagic = 0x50524442;  // "PRDB"
+constexpr uint32_t kDbVersion = 1;
+constexpr PageId kHeaderSlots[2] = {0, 1};
+/// magic + version + generation + payload_len + checksum.
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
+constexpr size_t kPayloadCapacity = kPageSize - kHeaderBytes;
+
+/// FNV-1a over the payload and the generation, so a slot whose payload and
+/// generation were torn independently cannot validate.
+uint32_t CatalogChecksum(const char* payload, size_t len, uint64_t gen) {
+  uint32_t h = 2166136261u;
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 16777619u;
+  };
+  for (size_t i = 0; i < len; ++i) mix(static_cast<uint8_t>(payload[i]));
+  for (int i = 0; i < 8; ++i) mix(static_cast<uint8_t>(gen >> (8 * i)));
+  return h;
+}
+
+}  // namespace
+
+Database::~Database() {
+  Status st = Close();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Database::Close during destruction: %s\n",
+                 st.ToString().c_str());
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Create(const std::string& path,
+                                                   const Options& options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->path_ = path;
+  PRIX_RETURN_NOT_OK(db->disk_.Open(path));
+  // Reserve the two catalog header slots as the first two pages.
+  for (PageId slot : kHeaderSlots) {
+    PRIX_ASSIGN_OR_RETURN(PageId got, db->disk_.AllocatePage());
+    PRIX_CHECK(got == slot);
+  }
+  db->pool_ = std::make_unique<BufferPool>(&db->disk_, options.pool_pages);
+  std::lock_guard<std::mutex> lock(db->mu_);
+  PRIX_RETURN_NOT_OK(db->CommitLocked());
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 const Options& options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->path_ = path;
+  PRIX_RETURN_NOT_OK(db->disk_.OpenExisting(path));
+  if (db->disk_.num_pages() < 2) {
+    return Status::Corruption(path + " has no catalog header pages");
+  }
+  // Read both header slots and adopt the newest one that validates; a torn
+  // commit leaves exactly one valid slot (the previous generation).
+  bool any_valid = false;
+  char page[kPageSize];
+  for (PageId slot : kHeaderSlots) {
+    PRIX_RETURN_NOT_OK(db->disk_.ReadPage(slot, page));
+    uint64_t gen = 0;
+    std::map<std::string, IndexEntry> entries;
+    if (!ParseHeader(page, &gen, &entries)) continue;
+    if (!any_valid || gen > db->generation_) {
+      db->generation_ = gen;
+      db->catalog_ = std::move(entries);
+    }
+    any_valid = true;
+  }
+  if (!any_valid) {
+    return Status::Corruption(path + ": no valid catalog header slot");
+  }
+  db->pool_ = std::make_unique<BufferPool>(&db->disk_, options.pool_pages);
+  return db;
+}
+
+Status Database::Close() {
+  if (!disk_.is_open()) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PRIX_RETURN_NOT_OK(CommitLocked());
+  }
+  pool_.reset();
+  return disk_.Close();
+}
+
+bool Database::ParseHeader(const char* page, uint64_t* generation,
+                           std::map<std::string, IndexEntry>* entries) {
+  const char* p = page;
+  if (GetU32(p) != kDbMagic) return false;
+  p += 4;
+  if (GetU32(p) != kDbVersion) return false;
+  p += 4;
+  uint64_t gen = GetU64(p);
+  p += 8;
+  uint32_t payload_len = GetU32(p);
+  p += 4;
+  uint32_t checksum = GetU32(p);
+  p += 4;
+  if (payload_len > kPayloadCapacity) return false;
+  if (CatalogChecksum(p, payload_len, gen) != checksum) return false;
+
+  const char* end = p + payload_len;
+  auto have = [&](size_t n) { return static_cast<size_t>(end - p) >= n; };
+  if (!have(4)) return false;
+  uint32_t count = GetU32(p);
+  p += 4;
+  std::map<std::string, IndexEntry> out;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!have(4)) return false;
+    uint32_t name_len = GetU32(p);
+    p += 4;
+    if (!have(name_len)) return false;
+    IndexEntry entry;
+    entry.name.assign(p, name_len);
+    p += name_len;
+    if (!have(12)) return false;
+    entry.kind = static_cast<IndexKind>(GetU32(p));
+    p += 4;
+    entry.root = GetU32(p);
+    p += 4;
+    uint32_t opt_len = GetU32(p);
+    p += 4;
+    if (!have(opt_len)) return false;
+    entry.options.assign(p, p + opt_len);
+    p += opt_len;
+    out.emplace(entry.name, std::move(entry));
+  }
+  *generation = gen;
+  *entries = std::move(out);
+  return true;
+}
+
+void Database::SerializePayload(std::vector<char>* out) const {
+  PutU32(out, static_cast<uint32_t>(catalog_.size()));
+  for (const auto& [name, entry] : catalog_) {
+    PutU32(out, static_cast<uint32_t>(name.size()));
+    out->insert(out->end(), name.begin(), name.end());
+    PutU32(out, static_cast<uint32_t>(entry.kind));
+    PutU32(out, entry.root);
+    PutU32(out, static_cast<uint32_t>(entry.options.size()));
+    out->insert(out->end(), entry.options.begin(), entry.options.end());
+  }
+}
+
+Status Database::CommitLocked() {
+  std::vector<char> payload;
+  SerializePayload(&payload);
+  if (payload.size() > kPayloadCapacity) {
+    return Status::ResourceExhausted(
+        "catalog payload exceeds one header page (" +
+        std::to_string(payload.size()) + " bytes)");
+  }
+  // Durability order: index pages first, then the catalog that names them.
+  if (pool_ != nullptr) PRIX_RETURN_NOT_OK(pool_->FlushAll());
+  uint64_t gen = generation_ + 1;
+  char page[kPageSize] = {};
+  std::vector<char> header;
+  header.reserve(kHeaderBytes);
+  PutU32(&header, kDbMagic);
+  PutU32(&header, kDbVersion);
+  PutU64(&header, gen);
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, CatalogChecksum(payload.data(), payload.size(), gen));
+  PRIX_CHECK(header.size() == kHeaderBytes);
+  std::memcpy(page, header.data(), header.size());
+  std::memcpy(page + kHeaderBytes, payload.data(), payload.size());
+  // Alternate slots by generation parity: the slot holding the current
+  // generation is never overwritten, so a torn write of the new slot still
+  // leaves the old catalog recoverable.
+  PageId slot = kHeaderSlots[gen % 2];
+  PRIX_RETURN_NOT_OK(disk_.WritePage(slot, page));
+  generation_ = gen;
+  return Status::OK();
+}
+
+Status Database::PutIndex(const IndexEntry& entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("catalog entry needs a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  catalog_[entry.name] = entry;
+  return CommitLocked();
+}
+
+Result<Database::IndexEntry> Database::GetIndex(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no index named '" + name + "' in " + path_);
+  }
+  return it->second;
+}
+
+bool Database::HasIndex(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.find(name) != catalog_.end();
+}
+
+std::vector<Database::IndexEntry> Database::ListIndexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexEntry> out;
+  out.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) out.push_back(entry);
+  return out;
+}
+
+Status Database::DropIndex(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (catalog_.erase(name) == 0) {
+    return Status::NotFound("no index named '" + name + "' in " + path_);
+  }
+  return CommitLocked();
+}
+
+uint64_t Database::catalog_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+Status Database::ColdStart() {
+  PRIX_RETURN_NOT_OK(pool_->Clear());
+  pool_->ResetStats();
+  return Status::OK();
+}
+
+}  // namespace prix

@@ -1,0 +1,141 @@
+#ifndef PRIX_DB_DATABASE_H_
+#define PRIX_DB_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace prix {
+
+/// The storage environment every engine runs in (the paper's Sec. 6.1 setup:
+/// one paged file behind a shared buffer pool). A Database owns the
+/// DiskManager and the sharded BufferPool and exposes a persistent catalog
+/// of named indexes, so PRIX, ViST, and TwigStack indexes built over one
+/// collection live in one file and reopen across process restarts without
+/// callers tracking loose page ids.
+///
+/// Catalog layout and commit protocol (see DESIGN.md §5d): pages 0 and 1 of
+/// the file are two header slots. Each commit serializes the whole catalog
+/// into the slot NOT holding the current generation, stamped with
+/// generation + checksum, after flushing the buffer pool — so index pages
+/// are durable before the catalog that references them. A torn or corrupt
+/// header slot fails its checksum at open and the other slot's (previous)
+/// generation is recovered instead; a commit is atomic at page granularity.
+///
+/// Thread safety: catalog mutations (PutIndex/DropIndex/Commit) serialize
+/// under an internal mutex and must not race with Close. Reads of the pool
+/// and disk follow those classes' own contracts.
+class Database {
+ public:
+  struct Options {
+    /// Buffer-pool capacity; the default mirrors the paper's 2000-page pool.
+    size_t pool_pages = 2000;
+  };
+
+  /// What a catalog entry points at. kBlob is an uninterpreted page chain
+  /// (e.g. the CLI's tag dictionary); the engine kinds are validated by the
+  /// respective Open functions.
+  enum class IndexKind : uint32_t {
+    kBlob = 0,
+    kPrixRegular = 1,
+    kPrixExtended = 2,
+    kVist = 3,
+    kTwigStreams = 4,
+    kXbForest = 5,
+  };
+
+  /// One named catalog entry: kind tag, root/first page of the index's own
+  /// catalog blob, and a small engine-specific options blob (must fit the
+  /// in-header catalog; keep it to a few dozen bytes).
+  struct IndexEntry {
+    std::string name;
+    IndexKind kind = IndexKind::kBlob;
+    PageId root = kInvalidPage;
+    std::vector<char> options;
+  };
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a new database file at `path` (truncating any existing file)
+  /// with an empty committed catalog.
+  static Result<std::unique_ptr<Database>> Create(const std::string& path,
+                                                  const Options& options);
+  static Result<std::unique_ptr<Database>> Create(const std::string& path) {
+    return Create(path, Options());
+  }
+
+  /// Opens an existing database file, recovering the newest valid catalog
+  /// generation (falling back across a torn header write).
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                const Options& options);
+  static Result<std::unique_ptr<Database>> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  /// Flushes the pool, commits the catalog, and closes the file. Called by
+  /// the destructor if not called explicitly (errors then only logged).
+  Status Close();
+
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return &disk_; }
+  const std::string& path() const { return path_; }
+
+  /// Upserts `entry` and commits the catalog crash-safely.
+  Status PutIndex(const IndexEntry& entry);
+
+  /// Looks up a named entry; NotFound if absent.
+  Result<IndexEntry> GetIndex(const std::string& name) const;
+
+  bool HasIndex(const std::string& name) const;
+
+  /// All entries, sorted by name.
+  std::vector<IndexEntry> ListIndexes() const;
+
+  /// Removes a named entry and commits. NotFound if absent. The index's
+  /// pages are not reclaimed (allocation is append-only).
+  Status DropIndex(const std::string& name);
+
+  /// Generation of the committed catalog; grows by one per commit. After a
+  /// torn write the recovered generation is the previous one.
+  uint64_t catalog_generation() const;
+
+  /// Cold-cache reset used before each benchmarked query (the paper's
+  /// direct-I/O emulation): drops every cached frame and zeroes the pool
+  /// counters. Requires no pinned pages.
+  Status ColdStart();
+
+ private:
+  Database() = default;
+
+  /// Serializes the catalog map into `out` (header fields excluded).
+  void SerializePayload(std::vector<char>* out) const;
+
+  /// Flushes the pool, then writes generation+1 into the alternate header
+  /// slot. Caller holds mu_.
+  Status CommitLocked();
+
+  /// Parses one header slot's page image; false if invalid/torn.
+  static bool ParseHeader(const char* page, uint64_t* generation,
+                          std::map<std::string, IndexEntry>* entries);
+
+  std::string path_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, IndexEntry> catalog_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_DB_DATABASE_H_

@@ -96,7 +96,8 @@ constexpr uint32_t kCatalogMagic = 0x50524958;  // "PRIX"
 constexpr uint32_t kCatalogVersion = 1;
 }  // namespace
 
-Result<PageId> PrixIndex::Save(BufferPool* pool) const {
+Status PrixIndex::Save(Database* db, const std::string& name) const {
+  BufferPool* pool = db->pool();
   std::vector<char> blob;
   PutU32(&blob, kCatalogMagic);
   PutU32(&blob, kCatalogVersion);
@@ -112,14 +113,27 @@ Result<PageId> PrixIndex::Save(BufferPool* pool) const {
   PutU32(&blob, static_cast<uint32_t>(childless_labels_.size()));
   for (LabelId l : childless_labels_) PutU32(&blob, l);
   PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(pool, blob));
-  PRIX_RETURN_NOT_OK(pool->FlushAll());
-  return first;
+  Database::IndexEntry entry;
+  entry.name = name;
+  entry.kind = options_.extended ? Database::IndexKind::kPrixExtended
+                                 : Database::IndexKind::kPrixRegular;
+  entry.root = first;
+  // PutIndex flushes the pool before the catalog commit, so the blob and
+  // every tree page it references are durable before they become reachable.
+  return db->PutIndex(entry);
 }
 
-Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(BufferPool* pool,
-                                                   PageId catalog_page) {
+Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(Database* db,
+                                                   const std::string& name) {
+  PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  if (entry.kind != Database::IndexKind::kPrixRegular &&
+      entry.kind != Database::IndexKind::kPrixExtended) {
+    return Status::InvalidArgument("catalog entry '" + name +
+                                   "' is not a PRIX index");
+  }
+  BufferPool* pool = db->pool();
   std::vector<char> blob;
-  PRIX_RETURN_NOT_OK(ReadBlob(pool, catalog_page, &blob));
+  PRIX_RETURN_NOT_OK(ReadBlob(pool, entry.root, &blob));
   const char* p = blob.data();
   const char* end = blob.data() + blob.size();
   auto need = [&](size_t bytes) -> Status {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "db/database.h"
 #include "prix/doc_store.h"
 #include "prix/maxgap.h"
 #include "trie/range_labeler.h"
@@ -92,15 +93,15 @@ class PrixIndex {
       const std::vector<Document>& documents, BufferPool* pool,
       PrixIndexOptions options, PrixIndexBuildStats* stats = nullptr);
 
-  /// Persists the index catalog (tree roots, doc-store extents, MaxGap
-  /// table, childless labels) and returns the catalog's first page id.
-  /// Together with DiskManager::OpenExisting this makes indexes reopenable
-  /// across process restarts.
-  Result<PageId> Save(BufferPool* pool) const;
+  /// Persists the index (tree roots, doc-store extents, MaxGap table,
+  /// childless labels) into `db` and registers it in the database catalog
+  /// under `name` (kind kPrixRegular/kPrixExtended), committing the catalog
+  /// crash-safely. Overwrites any previous entry of that name.
+  Status Save(Database* db, const std::string& name) const;
 
-  /// Reopens an index saved by Save() over the same database file.
-  static Result<std::unique_ptr<PrixIndex>> Open(BufferPool* pool,
-                                                 PageId catalog_page);
+  /// Reopens the index registered under `name` in `db`'s catalog.
+  static Result<std::unique_ptr<PrixIndex>> Open(Database* db,
+                                                 const std::string& name);
 
   SymbolTree& symbol_index() { return *symbol_index_; }
   DocTree& docid_index() { return *docid_index_; }

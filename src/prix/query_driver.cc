@@ -33,13 +33,29 @@ Result<BatchResult> QueryDriver::ExecuteBatch(
 Result<BatchResult> QueryDriver::ExecuteXPathBatch(
     const std::vector<std::string>& xpaths, TagDictionary* dict,
     const QueryOptions& options) {
-  std::vector<TwigPattern> patterns;
-  patterns.reserve(xpaths.size());
-  for (const std::string& xpath : xpaths) {
-    PRIX_ASSIGN_OR_RETURN(TwigPattern pattern, ParseXPath(xpath, dict));
-    patterns.push_back(std::move(pattern));
+  BatchResult batch;
+  batch.results.resize(xpaths.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(xpaths.size());
+  for (size_t i = 0; i < xpaths.size(); ++i) {
+    // Parse inside the worker: TagDictionary::Intern is thread-safe, and
+    // workers write disjoint result slots; the future join publishes them.
+    futures.push_back(pool_.Submit([this, &xpaths, dict, &batch, i, options] {
+      PRIX_ASSIGN_OR_RETURN(TwigPattern pattern,
+                            ParseXPath(xpaths[i], dict));
+      PRIX_ASSIGN_OR_RETURN(batch.results[i],
+                            processor_.Execute(pattern, options));
+      return Status::OK();
+    }));
   }
-  return ExecuteBatch(patterns, options);
+  Status first_error;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Status st = futures[i].get();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  PRIX_RETURN_NOT_OK(first_error);
+  for (const QueryResult& r : batch.results) batch.total.MergeFrom(r.stats);
+  return batch;
 }
 
 }  // namespace prix

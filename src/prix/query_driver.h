@@ -23,20 +23,21 @@ struct BatchResult {
 /// coordination is the buffer pool's shard latches and the work queue.
 ///
 /// The driver owns its thread pool; one driver can serve many batches.
-/// Indexes must be fully built (and any TagDictionary interning done)
-/// before the first batch — the single-writer rule of DESIGN.md.
+/// Indexes must be fully built before the first batch — the single-writer
+/// rule of DESIGN.md. XPath batches parse inside the workers (Intern is
+/// thread-safe), so submission is O(1) in query count.
 class QueryDriver {
  public:
-  QueryDriver(PrixIndex* rp, PrixIndex* ep, size_t num_threads)
-      : processor_(rp, ep), pool_(num_threads) {}
+  QueryDriver(Database& db, PrixIndex* rp, PrixIndex* ep, size_t num_threads)
+      : processor_(db, rp, ep), pool_(num_threads) {}
 
   /// Executes `patterns[i]` into `results[i]`. All queries run to
   /// completion; the first error in submission order wins, if any.
   Result<BatchResult> ExecuteBatch(const std::vector<TwigPattern>& patterns,
                                    const QueryOptions& options = {});
 
-  /// Parses every XPath serially on the calling thread (TagDictionary
-  /// interning is not synchronized), then fans the parsed batch out.
+  /// Fans the XPath batch out directly: each worker parses its query
+  /// (interning into `dict` concurrently) and executes it.
   Result<BatchResult> ExecuteXPathBatch(const std::vector<std::string>& xpaths,
                                         TagDictionary* dict,
                                         const QueryOptions& options = {});

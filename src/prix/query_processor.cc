@@ -63,6 +63,10 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   }
   if (pattern.empty()) return Status::InvalidArgument("empty twig pattern");
 
+  // Per-query I/O accounting: the pool-wide physical-read delta spanning
+  // this execution (see QueryStats::pages_read for the concurrency caveat).
+  const uint64_t reads_before = db_->pool()->stats().physical_reads;
+
   QueryResult result;
   ExecContext ctx;
 
@@ -122,6 +126,8 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   result.docs.reserve(result.matches.size());
   for (const TwigMatch& m : result.matches) result.docs.push_back(m.doc);
   SortUnique(&result.docs);
+  result.stats.pages_read =
+      db_->pool()->stats().physical_reads - reads_before;
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "db/database.h"
 #include "naive/naive_matcher.h"
 #include "prix/prix_index.h"
 #include "prix/refinement.h"
@@ -50,6 +51,11 @@ struct QueryStats {
   uint64_t docs_loaded = 0;
   uint64_t docs_verified = 0;
   uint64_t arrangements = 0;
+  /// Buffer-pool physical reads observed across this query (the paper's
+  /// "Disk IO" column), taken as a pool-stat delta through the Database.
+  /// Exact when the query runs alone; an overestimate when other queries
+  /// fault pages concurrently (the counters are pool-wide).
+  uint64_t pages_read = 0;
   bool used_extended_index = false;
   bool used_scan = false;  ///< single-node query answered by doc-store scan
 
@@ -59,6 +65,7 @@ struct QueryStats {
     docs_loaded += other.docs_loaded;
     docs_verified += other.docs_verified;
     arrangements += other.arrangements;
+    pages_read += other.pages_read;
     used_extended_index |= other.used_extended_index;
     used_scan |= other.used_scan;
   }
@@ -78,16 +85,17 @@ struct QueryResult {
 /// sequence machinery as the I/O-bound filter and a direct embedding check
 /// on each surviving document as the final phase (see DESIGN.md Sec. 5).
 ///
-/// Thread safety: a QueryProcessor holds only pointers to read-only indexes;
-/// all per-query scratch (the loaded-document cache) lives on the Execute
-/// stack. Concurrent Execute calls on one shared instance are safe over
-/// fully built indexes. ExecuteXPath is the exception: XPath parsing interns
-/// tags into the caller's TagDictionary, which is not synchronized — parse
-/// up front (or via QueryDriver) when fanning out across threads.
+/// Thread safety: a QueryProcessor holds only pointers to read-only indexes
+/// plus the Database they live in; all per-query scratch (the loaded-document
+/// cache) lives on the Execute stack. Concurrent Execute calls on one shared
+/// instance are safe over fully built indexes, and ExecuteXPath is too:
+/// TagDictionary::Intern is internally synchronized.
 class QueryProcessor {
  public:
-  /// `ep` may be null; both indexes must be built over the same collection.
-  QueryProcessor(PrixIndex* rp, PrixIndex* ep) : rp_(rp), ep_(ep) {}
+  /// `ep` may be null; both indexes must be built over the same collection
+  /// and backed by `db`'s buffer pool (per-query I/O deltas come from it).
+  QueryProcessor(Database& db, PrixIndex* rp, PrixIndex* ep)
+      : db_(&db), rp_(rp), ep_(ep) {}
 
   Result<QueryResult> Execute(const TwigPattern& pattern,
                               const QueryOptions& options = {}) const;
@@ -125,6 +133,7 @@ class QueryProcessor {
                                              ExecContext* ctx,
                                              QueryStats* stats);
 
+  Database* db_;
   PrixIndex* rp_;
   PrixIndex* ep_;
 };

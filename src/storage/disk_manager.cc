@@ -27,14 +27,30 @@ Status DiskManager::OpenExisting(const std::string& path) {
   if (fd_ >= 0) return Status::InvalidArgument("disk manager already open");
   fd_ = ::open(path.c_str(), O_RDWR);
   if (fd_ < 0) {
+    // A missing file is the common operator error ("did you build the
+    // database?"); keep it distinguishable from I/O and corruption cases.
+    if (errno == ENOENT) {
+      return Status::NotFound("no database file at " + path);
+    }
     return Status::IoError("open(" + path + "): " + std::strerror(errno));
   }
   path_ = path;
   off_t size = ::lseek(fd_, 0, SEEK_END);
-  if (size < 0 || size % static_cast<off_t>(kPageSize) != 0) {
+  if (size < 0) {
+    Status st = Status::IoError("lseek(" + path +
+                                "): " + std::strerror(errno));
     ::close(fd_);
     fd_ = -1;
-    return Status::Corruption(path + " is not page-aligned");
+    return st;
+  }
+  if (size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Corruption(
+        path + " is not page-aligned: " + std::to_string(size) +
+        " bytes is " + std::to_string(size % static_cast<off_t>(kPageSize)) +
+        " bytes past a " + std::to_string(kPageSize) +
+        "-byte page boundary (short or torn final write?)");
   }
   num_pages_ = static_cast<uint32_t>(size / static_cast<off_t>(kPageSize));
   return Status::OK();

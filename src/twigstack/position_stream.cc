@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "storage/record_store.h"
 
 namespace prix {
 
@@ -78,6 +79,80 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Build(
     store->streams_.emplace(label, std::move(info));
   }
   PRIX_RETURN_NOT_OK(pool->FlushAll());
+  return store;
+}
+
+namespace {
+constexpr uint32_t kStreamCatalogMagic = 0x54574753;  // "TWGS"
+constexpr uint32_t kStreamCatalogVersion = 1;
+}  // namespace
+
+Status StreamStore::Save(Database* db, const std::string& name) const {
+  std::vector<char> blob;
+  PutU32(&blob, kStreamCatalogMagic);
+  PutU32(&blob, kStreamCatalogVersion);
+  PutU32(&blob, static_cast<uint32_t>(streams_.size()));
+  for (const auto& [label, info] : streams_) {
+    PutU32(&blob, label);
+    PutU32(&blob, info.count);
+    PutU32(&blob, static_cast<uint32_t>(info.pages.size()));
+    for (PageId page : info.pages) PutU32(&blob, page);
+  }
+  PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(db->pool(), blob));
+  Database::IndexEntry entry;
+  entry.name = name;
+  entry.kind = Database::IndexKind::kTwigStreams;
+  entry.root = first;
+  return db->PutIndex(entry);
+}
+
+Result<std::unique_ptr<StreamStore>> StreamStore::Open(
+    Database* db, const std::string& name) {
+  PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  if (entry.kind != Database::IndexKind::kTwigStreams) {
+    return Status::InvalidArgument("catalog entry '" + name +
+                                   "' is not a stream store");
+  }
+  std::vector<char> blob;
+  PRIX_RETURN_NOT_OK(ReadBlob(db->pool(), entry.root, &blob));
+  const char* p = blob.data();
+  const char* end = blob.data() + blob.size();
+  auto need = [&](size_t bytes) -> Status {
+    if (p + bytes > end) {
+      return Status::Corruption("truncated stream-store catalog");
+    }
+    return Status::OK();
+  };
+  PRIX_RETURN_NOT_OK(need(12));
+  if (GetU32(p) != kStreamCatalogMagic) {
+    return Status::Corruption("not a stream-store catalog");
+  }
+  p += 4;
+  if (GetU32(p) != kStreamCatalogVersion) {
+    return Status::Corruption("unsupported stream-store catalog version");
+  }
+  p += 4;
+  uint32_t num_streams = GetU32(p);
+  p += 4;
+  auto store = std::unique_ptr<StreamStore>(new StreamStore(db->pool()));
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    PRIX_RETURN_NOT_OK(need(12));
+    LabelId label = GetU32(p);
+    p += 4;
+    StreamInfo info;
+    info.count = GetU32(p);
+    p += 4;
+    uint32_t num_pages = GetU32(p);
+    p += 4;
+    PRIX_RETURN_NOT_OK(need(4ull * num_pages));
+    info.pages.reserve(num_pages);
+    for (uint32_t j = 0; j < num_pages; ++j, p += 4) {
+      info.pages.push_back(GetU32(p));
+    }
+    store->total_entries_ += info.count;
+    store->total_pages_ += info.pages.size();
+    store->streams_.emplace(label, std::move(info));
+  }
   return store;
 }
 

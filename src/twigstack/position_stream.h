@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "db/database.h"
 #include "storage/buffer_pool.h"
 #include "xml/document.h"
 
@@ -51,6 +52,14 @@ class StreamStore {
   /// label's stream; streams are sorted by (doc, left).
   static Result<std::unique_ptr<StreamStore>> Build(
       const std::vector<Document>& documents, BufferPool* pool);
+
+  /// Registers the stream directory (per-label page lists) in `db`'s
+  /// catalog under `name` (kind kTwigStreams).
+  Status Save(Database* db, const std::string& name) const;
+
+  /// Reopens streams registered under `name` in `db`'s catalog.
+  static Result<std::unique_ptr<StreamStore>> Open(Database* db,
+                                                   const std::string& name);
 
   bool HasStream(LabelId label) const {
     return streams_.find(label) != streams_.end();

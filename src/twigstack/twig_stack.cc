@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "storage/record_store.h"
 
 namespace prix {
 
@@ -14,6 +15,93 @@ Result<std::unique_ptr<XbForest>> XbForest::Build(const StreamStore* store,
     if (info == nullptr) continue;
     PRIX_ASSIGN_OR_RETURN(std::unique_ptr<XbTree> tree,
                           XbTree::Build(store, info));
+    forest->internal_pages_ += tree->internal_pages();
+    forest->trees_.emplace(label, std::move(tree));
+  }
+  return forest;
+}
+
+namespace {
+constexpr uint32_t kForestCatalogMagic = 0x58424652;  // "XBFR"
+constexpr uint32_t kForestCatalogVersion = 1;
+}  // namespace
+
+Status XbForest::Save(Database* db, const std::string& name) const {
+  std::vector<char> blob;
+  PutU32(&blob, kForestCatalogMagic);
+  PutU32(&blob, kForestCatalogVersion);
+  PutU32(&blob, static_cast<uint32_t>(trees_.size()));
+  for (const auto& [label, tree] : trees_) {
+    PutU32(&blob, label);
+    PutU32(&blob, static_cast<uint32_t>(tree->levels().size()));
+    for (const XbTree::Level& level : tree->levels()) {
+      PutU32(&blob, level.entry_count);
+      PutU32(&blob, static_cast<uint32_t>(level.pages.size()));
+      for (PageId page : level.pages) PutU32(&blob, page);
+    }
+  }
+  PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(db->pool(), blob));
+  Database::IndexEntry entry;
+  entry.name = name;
+  entry.kind = Database::IndexKind::kXbForest;
+  entry.root = first;
+  return db->PutIndex(entry);
+}
+
+Result<std::unique_ptr<XbForest>> XbForest::Open(Database* db,
+                                                 const std::string& name,
+                                                 const StreamStore* store) {
+  PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  if (entry.kind != Database::IndexKind::kXbForest) {
+    return Status::InvalidArgument("catalog entry '" + name +
+                                   "' is not an XB-forest");
+  }
+  std::vector<char> blob;
+  PRIX_RETURN_NOT_OK(ReadBlob(db->pool(), entry.root, &blob));
+  const char* p = blob.data();
+  const char* end = blob.data() + blob.size();
+  auto need = [&](size_t bytes) -> Status {
+    if (p + bytes > end) return Status::Corruption("truncated XB-forest");
+    return Status::OK();
+  };
+  PRIX_RETURN_NOT_OK(need(12));
+  if (GetU32(p) != kForestCatalogMagic) {
+    return Status::Corruption("not an XB-forest catalog");
+  }
+  p += 4;
+  if (GetU32(p) != kForestCatalogVersion) {
+    return Status::Corruption("unsupported XB-forest catalog version");
+  }
+  p += 4;
+  uint32_t num_trees = GetU32(p);
+  p += 4;
+  auto forest = std::make_unique<XbForest>();
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    PRIX_RETURN_NOT_OK(need(8));
+    LabelId label = GetU32(p);
+    p += 4;
+    uint32_t num_levels = GetU32(p);
+    p += 4;
+    std::vector<XbTree::Level> levels(num_levels);
+    for (XbTree::Level& level : levels) {
+      PRIX_RETURN_NOT_OK(need(8));
+      level.entry_count = GetU32(p);
+      p += 4;
+      uint32_t num_pages = GetU32(p);
+      p += 4;
+      PRIX_RETURN_NOT_OK(need(4ull * num_pages));
+      level.pages.reserve(num_pages);
+      for (uint32_t j = 0; j < num_pages; ++j, p += 4) {
+        level.pages.push_back(GetU32(p));
+      }
+    }
+    const StreamStore::StreamInfo* info = store->Find(label);
+    if (info == nullptr) {
+      return Status::Corruption("XB-forest references unknown stream label " +
+                                std::to_string(label));
+    }
+    std::unique_ptr<XbTree> tree =
+        XbTree::FromLevels(store, info, std::move(levels));
     forest->internal_pages_ += tree->internal_pages();
     forest->trees_.emplace(label, std::move(tree));
   }

@@ -20,6 +20,17 @@ class XbForest {
  public:
   static Result<std::unique_ptr<XbForest>> Build(const StreamStore* store,
                                                  const TagDictionary& dict);
+
+  /// Registers the forest's level directory in `db`'s catalog under `name`
+  /// (kind kXbForest). The internal pages were written at Build time.
+  Status Save(Database* db, const std::string& name) const;
+
+  /// Reopens a saved forest over `store` (which must be the stream store
+  /// the forest was built from, reopened from the same database).
+  static Result<std::unique_ptr<XbForest>> Open(Database* db,
+                                                const std::string& name,
+                                                const StreamStore* store);
+
   /// Null when the label has no stream.
   const XbTree* Find(LabelId label) const {
     auto it = trees_.find(label);

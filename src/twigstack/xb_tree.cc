@@ -64,6 +64,17 @@ Result<std::unique_ptr<XbTree>> XbTree::Build(
   return tree;
 }
 
+std::unique_ptr<XbTree> XbTree::FromLevels(
+    const StreamStore* store, const StreamStore::StreamInfo* info,
+    std::vector<Level> levels) {
+  auto tree = std::unique_ptr<XbTree>(new XbTree(store, info));
+  for (const Level& level : levels) {
+    tree->internal_pages_ += level.pages.size();
+  }
+  tree->levels_ = std::move(levels);
+  return tree;
+}
+
 XbCursor::XbCursor(const XbTree* tree) : tree_(tree) {}
 
 Status XbCursor::Init() {

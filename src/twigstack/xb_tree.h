@@ -66,6 +66,12 @@ class XbTree {
   static Result<std::unique_ptr<XbTree>> Build(
       const StreamStore* store, const StreamStore::StreamInfo* info);
 
+  /// Re-creates a tree over already-persisted internal pages (XbForest
+  /// persistence); no pages are read or allocated.
+  static std::unique_ptr<XbTree> FromLevels(
+      const StreamStore* store, const StreamStore::StreamInfo* info,
+      std::vector<Level> levels);
+
   const StreamStore* store() const { return store_; }
   const StreamStore::StreamInfo* stream() const { return stream_; }
   /// Internal levels, index 0 = directly above the stream pages.

@@ -152,6 +152,98 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Build(
   return index;
 }
 
+namespace {
+constexpr uint32_t kVistCatalogMagic = 0x56495354;  // "VIST"
+constexpr uint32_t kVistCatalogVersion = 1;
+}  // namespace
+
+Status VistIndex::Save(Database* db, const std::string& name) const {
+  std::vector<char> blob;
+  PutU32(&blob, kVistCatalogMagic);
+  PutU32(&blob, kVistCatalogVersion);
+  PutU64(&blob, root_range_.left);
+  PutU64(&blob, root_range_.right);
+  PutU32(&blob, dancestor_->meta_page_id());
+  PutU32(&blob, docid_->meta_page_id());
+  seq_store_->SerializeTo(&blob);
+  prefixes_.SerializeTo(&blob);
+  PutU32(&blob, static_cast<uint32_t>(symbol_prefixes_.size()));
+  for (const auto& [symbol, prefixes] : symbol_prefixes_) {
+    PutU32(&blob, symbol);
+    PutU32(&blob, static_cast<uint32_t>(prefixes.size()));
+    for (PrefixId p : prefixes) PutU32(&blob, p);
+  }
+  PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(db->pool(), blob));
+  Database::IndexEntry entry;
+  entry.name = name;
+  entry.kind = Database::IndexKind::kVist;
+  entry.root = first;
+  return db->PutIndex(entry);
+}
+
+Result<std::unique_ptr<VistIndex>> VistIndex::Open(Database* db,
+                                                   const std::string& name) {
+  PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  if (entry.kind != Database::IndexKind::kVist) {
+    return Status::InvalidArgument("catalog entry '" + name +
+                                   "' is not a ViST index");
+  }
+  BufferPool* pool = db->pool();
+  std::vector<char> blob;
+  PRIX_RETURN_NOT_OK(ReadBlob(pool, entry.root, &blob));
+  const char* p = blob.data();
+  const char* end = blob.data() + blob.size();
+  auto need = [&](size_t bytes) -> Status {
+    if (p + bytes > end) return Status::Corruption("truncated ViST catalog");
+    return Status::OK();
+  };
+  PRIX_RETURN_NOT_OK(need(32));
+  if (GetU32(p) != kVistCatalogMagic) {
+    return Status::Corruption("not a ViST index catalog");
+  }
+  p += 4;
+  if (GetU32(p) != kVistCatalogVersion) {
+    return Status::Corruption("unsupported ViST catalog version");
+  }
+  p += 4;
+  auto index = std::unique_ptr<VistIndex>(new VistIndex());
+  index->root_range_.left = GetU64(p);
+  p += 8;
+  index->root_range_.right = GetU64(p);
+  p += 8;
+  PageId dancestor_meta = GetU32(p);
+  p += 4;
+  PageId docid_meta = GetU32(p);
+  p += 4;
+  PRIX_ASSIGN_OR_RETURN(DAncestorTree dtree,
+                        DAncestorTree::Open(pool, dancestor_meta));
+  index->dancestor_ = std::make_unique<DAncestorTree>(std::move(dtree));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Open(pool, docid_meta));
+  index->docid_ = std::make_unique<DocTree>(std::move(doct));
+  PRIX_ASSIGN_OR_RETURN(RecordStore seqs,
+                        RecordStore::Deserialize(pool, &p, end));
+  index->seq_store_ = std::make_unique<RecordStore>(std::move(seqs));
+  PRIX_ASSIGN_OR_RETURN(index->prefixes_,
+                        PrefixDictionary::Deserialize(&p, end));
+  PRIX_RETURN_NOT_OK(need(4));
+  uint32_t symbols = GetU32(p);
+  p += 4;
+  for (uint32_t i = 0; i < symbols; ++i) {
+    PRIX_RETURN_NOT_OK(need(8));
+    LabelId symbol = GetU32(p);
+    p += 4;
+    uint32_t count = GetU32(p);
+    p += 4;
+    PRIX_RETURN_NOT_OK(need(4ull * count));
+    std::vector<PrefixId>& prefixes = index->symbol_prefixes_[symbol];
+    prefixes.reserve(count);
+    for (uint32_t j = 0; j < count; ++j, p += 4) {
+      prefixes.push_back(GetU32(p));
+    }
+  }
+  return index;
+}
+
 Result<Document> VistIndex::LoadDocument(DocId doc) const {
   std::vector<char> buf;
   PRIX_RETURN_NOT_OK(seq_store_->Load(doc, &buf));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "db/database.h"
 #include "storage/record_store.h"
 #include "trie/range_labeler.h"
 #include "vist/vist_sequence.h"
@@ -71,6 +72,15 @@ class VistIndex {
   static Result<std::unique_ptr<VistIndex>> Build(
       const std::vector<Document>& documents, BufferPool* pool,
       VistIndexBuildStats* stats = nullptr);
+
+  /// Persists the index (tree roots, sequence-store extents, prefix
+  /// dictionary) into `db` and registers it in the catalog under `name`
+  /// (kind kVist). Save/Open parity with PrixIndex.
+  Status Save(Database* db, const std::string& name) const;
+
+  /// Reopens the index registered under `name` in `db`'s catalog.
+  static Result<std::unique_ptr<VistIndex>> Open(Database* db,
+                                                 const std::string& name);
 
   DAncestorTree& dancestor() { return *dancestor_; }
   DocTree& docid_index() { return *docid_; }

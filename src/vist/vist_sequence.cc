@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "storage/record_store.h"
 
 namespace prix {
 
@@ -19,6 +20,43 @@ PrefixId PrefixDictionary::Intern(const std::vector<LabelId>& path) {
 PrefixId PrefixDictionary::Find(const std::vector<LabelId>& path) const {
   auto it = index_.find(path);
   return it == index_.end() ? kInvalidPrefix : it->second;
+}
+
+void PrefixDictionary::SerializeTo(std::vector<char>* out) const {
+  PutU32(out, static_cast<uint32_t>(paths_.size()));
+  for (const std::vector<LabelId>& path : paths_) {
+    PutU32(out, static_cast<uint32_t>(path.size()));
+    for (LabelId l : path) PutU32(out, l);
+  }
+}
+
+Result<PrefixDictionary> PrefixDictionary::Deserialize(const char** p,
+                                                       const char* end) {
+  auto need = [&](size_t bytes) -> Status {
+    if (*p + bytes > end) {
+      return Status::Corruption("truncated prefix dictionary");
+    }
+    return Status::OK();
+  };
+  PRIX_RETURN_NOT_OK(need(4));
+  uint32_t count = GetU32(*p);
+  *p += 4;
+  PrefixDictionary dict;
+  std::vector<LabelId> path;
+  for (uint32_t i = 0; i < count; ++i) {
+    PRIX_RETURN_NOT_OK(need(4));
+    uint32_t len = GetU32(*p);
+    *p += 4;
+    PRIX_RETURN_NOT_OK(need(4ull * len));
+    path.clear();
+    path.reserve(len);
+    for (uint32_t j = 0; j < len; ++j, *p += 4) path.push_back(GetU32(*p));
+    // Paths were serialized in id order, so re-interning preserves ids.
+    if (dict.Intern(path) != i) {
+      return Status::Corruption("duplicate path in prefix dictionary");
+    }
+  }
+  return dict;
 }
 
 std::vector<VistItem> BuildVistSequence(const Document& doc,

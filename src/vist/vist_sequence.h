@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/result.h"
 #include "query/twig_pattern.h"
 #include "xml/document.h"
 
@@ -27,6 +28,14 @@ class PrefixDictionary {
   size_t size() const { return paths_.size(); }
   /// Total number of labels across all interned paths.
   uint64_t total_labels() const { return total_labels_; }
+
+  /// Serializes all interned paths in id order (for index persistence).
+  void SerializeTo(std::vector<char>* out) const;
+
+  /// Rebuilds a dictionary (ids preserved) from SerializeTo output. `p` is
+  /// advanced past the consumed bytes.
+  static Result<PrefixDictionary> Deserialize(const char** p,
+                                              const char* end);
 
  private:
   std::map<std::vector<LabelId>, PrefixId> index_;

@@ -1,24 +1,53 @@
 #include "xml/tag_dictionary.h"
 
+#include <mutex>
+
 #include "common/macros.h"
 
 namespace prix {
 
+TagDictionary::TagDictionary(TagDictionary&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  index_ = std::move(other.index_);
+  names_ = std::move(other.names_);
+  other.index_.clear();
+  other.names_.clear();
+}
+
+TagDictionary& TagDictionary::operator=(TagDictionary&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  index_ = std::move(other.index_);
+  names_ = std::move(other.names_);
+  other.index_.clear();
+  other.names_.clear();
+  return *this;
+}
+
 LabelId TagDictionary::Intern(std::string_view label) {
-  auto it = index_.find(std::string(label));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(label);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check: another thread may have interned it between the locks.
+  auto it = index_.find(label);
   if (it != index_.end()) return it->second;
   LabelId id = static_cast<LabelId>(names_.size());
   names_.emplace_back(label);
-  index_.emplace(names_.back(), id);
+  index_.emplace(std::string_view(names_.back()), id);
   return id;
 }
 
 LabelId TagDictionary::Find(std::string_view label) const {
-  auto it = index_.find(std::string(label));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(label);
   return it == index_.end() ? kInvalidLabel : it->second;
 }
 
 const std::string& TagDictionary::Name(LabelId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   PRIX_CHECK(id < names_.size());
   return names_[id];
 }

@@ -2,10 +2,11 @@
 #define PRIX_XML_TAG_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace prix {
 
@@ -18,13 +19,20 @@ inline constexpr LabelId kInvalidLabel = 0xffffffffu;
 /// Interns element tags and value strings into dense LabelIds shared by all
 /// documents of a collection. Prüfer sequences, query twigs, and every index
 /// operate on LabelIds, never on raw strings.
+///
+/// Thread safety: all operations are safe from any thread. Intern takes a
+/// shared lock on the hit path and upgrades to exclusive only for a new
+/// label, so concurrent XPath parsing (which mostly re-interns known tags)
+/// stays read-mostly. Names live in a deque, whose elements never move, so
+/// the references returned by Name() and the string_view keys of the index
+/// stay valid across concurrent growth.
 class TagDictionary {
  public:
   TagDictionary() = default;
   TagDictionary(const TagDictionary&) = delete;
   TagDictionary& operator=(const TagDictionary&) = delete;
-  TagDictionary(TagDictionary&&) = default;
-  TagDictionary& operator=(TagDictionary&&) = default;
+  TagDictionary(TagDictionary&& other) noexcept;
+  TagDictionary& operator=(TagDictionary&& other) noexcept;
 
   /// Returns the id of `label`, interning it if new.
   LabelId Intern(std::string_view label);
@@ -35,11 +43,16 @@ class TagDictionary {
   /// Returns the string for `id`. Requires id < size().
   const std::string& Name(LabelId id) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_.size();
+  }
 
  private:
-  std::unordered_map<std::string, LabelId> index_;
-  std::vector<std::string> names_;
+  mutable std::shared_mutex mu_;
+  // Keys are views into names_ elements (stable under deque growth).
+  std::unordered_map<std::string_view, LabelId> index_;
+  std::deque<std::string> names_;
 };
 
 }  // namespace prix

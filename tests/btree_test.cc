@@ -7,33 +7,22 @@
 #include <string>
 
 #include "common/random.h"
+#include "testutil/temp_db.h"
 
 namespace prix {
 namespace {
 
 class BTreeTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_btree_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 64);
-  }
-  void TearDown() override {
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  BTreeTest() : db_(Database::Options{.pool_pages = 64}) {}
+  BufferPool* pool() { return db_.pool(); }
+  testutil::TempDb db_;
 };
 
 using IntTree = BPlusTree<uint64_t, uint64_t>;
 
 TEST_F(BTreeTest, InsertAndGet) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   ASSERT_TRUE(tree->Insert(10, 100).ok());
   ASSERT_TRUE(tree->Insert(5, 50).ok());
@@ -46,7 +35,7 @@ TEST_F(BTreeTest, InsertAndGet) {
 }
 
 TEST_F(BTreeTest, DuplicateKeyRejected) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   ASSERT_TRUE(tree->Insert(1, 1).ok());
   EXPECT_EQ(tree->Insert(1, 2).code(), StatusCode::kAlreadyExists);
@@ -54,7 +43,7 @@ TEST_F(BTreeTest, DuplicateKeyRejected) {
 }
 
 TEST_F(BTreeTest, ModelCheckRandomInsertions) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   std::map<uint64_t, uint64_t> model;
   Random rng(42);
@@ -90,7 +79,7 @@ TEST_F(BTreeTest, ModelCheckRandomInsertions) {
 
 TEST_F(BTreeTest, SequentialAscendingAndDescendingInsert) {
   for (bool ascending : {true, false}) {
-    auto tree = IntTree::Create(pool_.get());
+    auto tree = IntTree::Create(pool());
     ASSERT_TRUE(tree.ok());
     const int n = 5000;
     for (int i = 0; i < n; ++i) {
@@ -106,7 +95,7 @@ TEST_F(BTreeTest, SequentialAscendingAndDescendingInsert) {
 }
 
 TEST_F(BTreeTest, SeekPositionsAtLowerBound) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   for (uint64_t k = 0; k < 100; k += 10) {
     ASSERT_TRUE(tree->Insert(k, k).ok());
@@ -124,7 +113,7 @@ TEST_F(BTreeTest, SeekPositionsAtLowerBound) {
 }
 
 TEST_F(BTreeTest, RangeScanAcrossLeaves) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   const uint64_t n = 10000;
   for (uint64_t k = 0; k < n; ++k) {
@@ -144,7 +133,7 @@ TEST_F(BTreeTest, RangeScanAcrossLeaves) {
 }
 
 TEST_F(BTreeTest, DeleteRemovesKeys) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   for (uint64_t k = 0; k < 1000; ++k) {
     ASSERT_TRUE(tree->Insert(k, k).ok());
@@ -171,16 +160,16 @@ TEST_F(BTreeTest, DeleteRemovesKeys) {
 TEST_F(BTreeTest, ReopenFromMetaPage) {
   PageId meta;
   {
-    auto tree = IntTree::Create(pool_.get());
+    auto tree = IntTree::Create(pool());
     ASSERT_TRUE(tree.ok());
     meta = tree->meta_page_id();
     for (uint64_t k = 0; k < 3000; ++k) {
       ASSERT_TRUE(tree->Insert(k, k + 7).ok());
     }
-    ASSERT_TRUE(pool_->FlushAll().ok());
+    ASSERT_TRUE(pool()->FlushAll().ok());
   }
-  ASSERT_TRUE(pool_->Clear().ok());
-  auto reopened = IntTree::Open(pool_.get(), meta);
+  ASSERT_TRUE(pool()->Clear().ok());
+  auto reopened = IntTree::Open(pool(), meta);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(reopened->num_entries(), 3000u);
   auto v = reopened->Get(1234);
@@ -202,7 +191,7 @@ struct WideKey {
 TEST_F(BTreeTest, CompositeWideKeysForceDeepTree) {
   // 64-byte keys shrink fanout and force height > 2 quickly.
   using WideTree = BPlusTree<WideKey, uint64_t>;
-  auto tree = WideTree::Create(pool_.get());
+  auto tree = WideTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   Random rng(9);
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> model;
@@ -237,7 +226,7 @@ TEST_F(BTreeTest, CompositeWideKeysForceDeepTree) {
 }
 
 TEST_F(BTreeTest, IteratorOnEmptyTree) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   auto it = tree->SeekToFirst();
   ASSERT_TRUE(it.ok());
@@ -248,7 +237,7 @@ TEST_F(BTreeTest, IteratorOnEmptyTree) {
 }
 
 TEST_F(BTreeTest, NoPinLeaks) {
-  auto tree = IntTree::Create(pool_.get());
+  auto tree = IntTree::Create(pool());
   ASSERT_TRUE(tree.ok());
   for (uint64_t k = 0; k < 5000; ++k) {
     ASSERT_TRUE(tree->Insert(k, k).ok());
@@ -261,7 +250,7 @@ TEST_F(BTreeTest, NoPinLeaks) {
     }
   }  // iterator dropped mid-scan
   // All pins must be released: Clear() succeeds only with zero pins.
-  EXPECT_TRUE(pool_->Clear().ok());
+  EXPECT_TRUE(pool()->Clear().ok());
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "prix/query_processor.h"
 #include "prix/subsequence_matcher.h"
 #include "query/xpath_parser.h"
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 
 namespace prix {
@@ -22,27 +23,15 @@ using testutil::DocFromSexp;
 
 class CoreUnitsTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_core_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 512);
-  }
-  void TearDown() override {
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  CoreUnitsTest() : db_(Database::Options{.pool_pages = 512}) {}
+  BufferPool* pool() { return db_.pool(); }
+  testutil::TempDb db_;
 };
 
 TEST_F(CoreUnitsTest, DocStoreRoundTripManyDocs) {
   TagDictionary dict;
   Random rng(3);
-  DocStore store(pool_.get());
+  DocStore store(pool());
   std::vector<PruferSequences> seqs;
   std::vector<std::vector<LeafEntry>> leaves;
   for (DocId d = 0; d < 300; ++d) {
@@ -61,7 +50,7 @@ TEST_F(CoreUnitsTest, DocStoreRoundTripManyDocs) {
 }
 
 TEST_F(CoreUnitsTest, DocStoreRejectsOutOfOrderAppend) {
-  DocStore store(pool_.get());
+  DocStore store(pool());
   PruferSequences seq;
   seq.num_nodes = 1;
   seq.root_label = 0;
@@ -101,7 +90,7 @@ TEST_F(CoreUnitsTest, Algorithm1EnumeratesAllOccurrences) {
   docs.push_back(DocFromSexp(
       "(A (H) (B (C (D)) (C (D) (E))) (C (G)) (D (E (G) (F) (F))))", 0,
       &dict));
-  auto index = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  auto index = PrixIndex::Build(docs, pool(), PrixIndexOptions{});
   ASSERT_TRUE(index.ok());
 
   auto pattern = ParseXPath("//A[./B[./C]]/D[./E[./F]]", &dict);
@@ -145,14 +134,14 @@ TEST_F(CoreUnitsTest, Algorithm1EnumeratesAllOccurrences) {
 
 TEST_F(CoreUnitsTest, EmptyCollectionQueries) {
   std::vector<Document> docs;
-  auto rp = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  auto rp = PrixIndex::Build(docs, pool(), PrixIndexOptions{});
   ASSERT_TRUE(rp.ok());
   PrixIndexOptions ep_opts;
   ep_opts.extended = true;
-  auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+  auto ep = PrixIndex::Build(docs, pool(), ep_opts);
   ASSERT_TRUE(ep.ok());
   TagDictionary dict;
-  QueryProcessor qp(rp->get(), ep->get());
+  QueryProcessor qp(db_.db(), rp->get(), ep->get());
   auto result = qp.ExecuteXPath("//anything[./below]", &dict);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->matches.empty());
@@ -168,9 +157,9 @@ TEST_F(CoreUnitsTest, SingleNodeDocuments) {
   lone.AddRoot(dict.Intern("solo"));
   docs.push_back(std::move(lone));
   docs.push_back(DocFromSexp("(solo (child))", 1, &dict));
-  auto rp = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  auto rp = PrixIndex::Build(docs, pool(), PrixIndexOptions{});
   ASSERT_TRUE(rp.ok());
-  QueryProcessor qp(rp->get(), nullptr);
+  QueryProcessor qp(db_.db(), rp->get(), nullptr);
   // The single-node query finds the label in both documents (the
   // empty-sequence doc is served by the scan path).
   auto result = qp.ExecuteXPath("//solo", &dict);
@@ -186,12 +175,12 @@ TEST_F(CoreUnitsTest, UnorderedWithIdenticalBranches) {
   TagDictionary dict;
   std::vector<Document> docs;
   docs.push_back(DocFromSexp("(a (b) (b) (b))", 0, &dict));
-  auto rp = PrixIndex::Build(docs, pool_.get(), PrixIndexOptions{});
+  auto rp = PrixIndex::Build(docs, pool(), PrixIndexOptions{});
   PrixIndexOptions ep_opts;
   ep_opts.extended = true;
-  auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+  auto ep = PrixIndex::Build(docs, pool(), ep_opts);
   ASSERT_TRUE(rp.ok() && ep.ok());
-  QueryProcessor qp(rp->get(), ep->get());
+  QueryProcessor qp(db_.db(), rp->get(), ep->get());
   auto pattern = ParseXPath("//a[./b][./b]", &dict);
   ASSERT_TRUE(pattern.ok());
   QueryOptions unordered;

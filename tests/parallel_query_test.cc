@@ -16,6 +16,7 @@
 #include "prix/prix_index.h"
 #include "prix/query_driver.h"
 #include "query/xpath_parser.h"
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 
 namespace prix {
@@ -81,31 +82,18 @@ TEST(ThreadPoolTest, DestructorRunsPendingTasks) {
 class ParallelQueryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    char tmpl[] = "/tmp/prix_parallel_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
-
     Random rng(4242);
     RandomDocOptions doc_opts;
     docs_ = RandomCollection(rng, /*num_docs=*/60, &dict_, doc_opts);
     PrixIndexOptions rp_opts;
-    auto rp = PrixIndex::Build(docs_, pool_.get(), rp_opts);
+    auto rp = PrixIndex::Build(docs_, db_.pool(), rp_opts);
     ASSERT_TRUE(rp.ok()) << rp.status().ToString();
     rp_ = std::move(*rp);
     PrixIndexOptions ep_opts;
     ep_opts.extended = true;
-    auto ep = PrixIndex::Build(docs_, pool_.get(), ep_opts);
+    auto ep = PrixIndex::Build(docs_, db_.pool(), ep_opts);
     ASSERT_TRUE(ep.ok()) << ep.status().ToString();
     ep_ = std::move(*ep);
-  }
-  void TearDown() override {
-    rp_.reset();
-    ep_.reset();
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
   }
 
   /// A mixed batch: random exact/wildcard twigs over collection documents.
@@ -123,9 +111,7 @@ class ParallelQueryTest : public ::testing::Test {
     return batch;
   }
 
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  testutil::TempDb db_;
   TagDictionary dict_;
   std::vector<Document> docs_;
   std::unique_ptr<PrixIndex> rp_;
@@ -136,7 +122,7 @@ TEST_F(ParallelQueryTest, BatchMatchesSerialExecution) {
   std::vector<TwigPattern> batch = MakeBatch(48);
 
   // Serial ground truth over the same indexes.
-  QueryProcessor serial(rp_.get(), ep_.get());
+  QueryProcessor serial(db_.db(), rp_.get(), ep_.get());
   std::vector<QueryResult> expected;
   for (const TwigPattern& pattern : batch) {
     auto r = serial.Execute(pattern);
@@ -145,7 +131,7 @@ TEST_F(ParallelQueryTest, BatchMatchesSerialExecution) {
   }
 
   for (size_t threads : {1u, 4u, 8u}) {
-    QueryDriver driver(rp_.get(), ep_.get(), threads);
+    QueryDriver driver(db_.db(), rp_.get(), ep_.get(), threads);
     auto batch_result = driver.ExecuteBatch(batch);
     ASSERT_TRUE(batch_result.ok()) << batch_result.status().ToString();
     ASSERT_EQ(batch_result->results.size(), batch.size());
@@ -165,7 +151,7 @@ TEST_F(ParallelQueryTest, SharedProcessorIsSafeAcrossThreads) {
   // One QueryProcessor instance, many threads: guards the "no hidden
   // shared mutable state" contract directly.
   std::vector<TwigPattern> batch = MakeBatch(24);
-  QueryProcessor shared(rp_.get(), ep_.get());
+  QueryProcessor shared(db_.db(), rp_.get(), ep_.get());
   std::vector<QueryResult> expected;
   for (const TwigPattern& pattern : batch) {
     auto r = shared.Execute(pattern);
@@ -187,19 +173,31 @@ TEST_F(ParallelQueryTest, SharedProcessorIsSafeAcrossThreads) {
   }
 }
 
-TEST_F(ParallelQueryTest, XPathBatchParsesSeriallyThenFansOut) {
+TEST_F(ParallelQueryTest, XPathBatchParsesInsideWorkers) {
+  // Workers parse their XPath concurrently, interning into one shared
+  // dictionary (thread-safe Intern). Unknown tags force fresh interning
+  // from several threads at once; under TSan this guards the
+  // TagDictionary synchronization directly.
   std::vector<std::string> xpaths = {
       "//tag0//tag1", "//tag0[./tag1]/tag2", "//tag2", "//tag1/tag0",
       "//tag0[.//tag2]//tag1"};
-  QueryDriver driver(rp_.get(), ep_.get(), 4);
+  for (int i = 0; i < 24; ++i) {
+    xpaths.push_back("//tag0/fresh" + std::to_string(i % 6) +
+                     "//batchonly" + std::to_string(i));
+  }
+  QueryDriver driver(db_.db(), rp_.get(), ep_.get(), 8);
   auto batch = driver.ExecuteXPathBatch(xpaths, &dict_);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   ASSERT_EQ(batch->results.size(), xpaths.size());
-  QueryProcessor serial(rp_.get(), ep_.get());
+  QueryProcessor serial(db_.db(), rp_.get(), ep_.get());
   for (size_t i = 0; i < xpaths.size(); ++i) {
     auto expected = serial.ExecuteXPath(xpaths[i], &dict_);
     ASSERT_TRUE(expected.ok());
     EXPECT_EQ(batch->results[i].matches, expected->matches) << xpaths[i];
+  }
+  // All duplicated fresh tags interned to one id apiece.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(dict_.Find("fresh" + std::to_string(i)), kInvalidLabel);
   }
 }
 

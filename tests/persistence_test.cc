@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "naive/naive_matcher.h"
@@ -7,51 +8,36 @@
 #include "prix/query_processor.h"
 #include "query/xpath_parser.h"
 #include "storage/record_store.h"
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
+#include "vist/vist_index.h"
+#include "vist/vist_query.h"
 
 namespace prix {
 namespace {
 
 using testutil::RandomCollection;
 using testutil::RandomTwig;
+using testutil::TempDb;
 
-class PersistenceTest : public ::testing::Test {
- protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_persist_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-  }
-  void TearDown() override {
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
-  std::string Path() { return dir_ + "/db"; }
-  std::string dir_;
-};
-
-TEST_F(PersistenceTest, BlobRoundTrip) {
-  DiskManager disk;
-  ASSERT_TRUE(disk.Open(Path()).ok());
-  BufferPool pool(&disk, 64);
+TEST(PersistenceTest, BlobRoundTrip) {
+  TempDb db(Database::Options{.pool_pages = 64});
   // Multi-page blob (3 pages worth), empty blob, and a tiny one.
   std::vector<char> big(3 * kPageSize - 100);
   for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i * 7);
   for (const std::vector<char>& blob :
        {big, std::vector<char>{}, std::vector<char>{'x'}}) {
-    auto first = WriteBlob(&pool, blob);
+    auto first = WriteBlob(db.pool(), blob);
     ASSERT_TRUE(first.ok()) << first.status().ToString();
     std::vector<char> back;
-    ASSERT_TRUE(ReadBlob(&pool, *first, &back).ok());
+    ASSERT_TRUE(ReadBlob(db.pool(), *first, &back).ok());
     EXPECT_EQ(back, blob);
   }
 }
 
-TEST_F(PersistenceTest, RecordStoreCatalogRoundTrip) {
-  DiskManager disk;
-  ASSERT_TRUE(disk.Open(Path()).ok());
-  BufferPool pool(&disk, 256);
-  RecordStore store(&pool);
+TEST(PersistenceTest, RecordStoreCatalogRoundTrip) {
+  TempDb db(Database::Options{.pool_pages = 256});
+  RecordStore store(db.pool());
   Random rng(5);
   std::vector<std::vector<char>> records;
   for (int i = 0; i < 200; ++i) {
@@ -64,8 +50,8 @@ TEST_F(PersistenceTest, RecordStoreCatalogRoundTrip) {
   std::vector<char> catalog;
   store.SerializeTo(&catalog);
   const char* p = catalog.data();
-  auto reopened =
-      RecordStore::Deserialize(&pool, &p, catalog.data() + catalog.size());
+  auto reopened = RecordStore::Deserialize(db.pool(), &p,
+                                           catalog.data() + catalog.size());
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(p, catalog.data() + catalog.size());
   for (size_t i = 0; i < records.size(); ++i) {
@@ -75,11 +61,10 @@ TEST_F(PersistenceTest, RecordStoreCatalogRoundTrip) {
   }
 }
 
-TEST_F(PersistenceTest, IndexSurvivesProcessRestart) {
+TEST(PersistenceTest, IndexSurvivesProcessRestart) {
   TagDictionary dict;
   Random rng(77);
   std::vector<Document> docs = RandomCollection(rng, 50, &dict);
-  PageId rp_catalog, ep_catalog;
   std::vector<TwigPattern> patterns;
   std::vector<std::vector<TwigMatch>> expected;
   for (int i = 0; i < 10; ++i) {
@@ -94,67 +79,93 @@ TEST_F(PersistenceTest, IndexSurvivesProcessRestart) {
   }
   ASSERT_GE(patterns.size(), 3u);
 
-  // Phase 1: build, save, tear everything down (simulated shutdown).
+  TempDb db;
+  // Phase 1: build, save under catalog names, simulate a shutdown.
   {
-    DiskManager disk;
-    ASSERT_TRUE(disk.Open(Path()).ok());
-    BufferPool pool(&disk, 2000);
-    auto rp = PrixIndex::Build(docs, &pool, PrixIndexOptions{});
+    auto rp = PrixIndex::Build(docs, db.pool(), PrixIndexOptions{});
     PrixIndexOptions ep_opts;
     ep_opts.extended = true;
-    auto ep = PrixIndex::Build(docs, &pool, ep_opts);
+    auto ep = PrixIndex::Build(docs, db.pool(), ep_opts);
     ASSERT_TRUE(rp.ok() && ep.ok());
-    auto rp_page = (*rp)->Save(&pool);
-    auto ep_page = (*ep)->Save(&pool);
-    ASSERT_TRUE(rp_page.ok() && ep_page.ok());
-    rp_catalog = *rp_page;
-    ep_catalog = *ep_page;
-    ASSERT_TRUE(pool.FlushAll().ok());
-    ASSERT_TRUE(disk.Close().ok());
+    ASSERT_TRUE((*rp)->Save(&db.db(), "rp").ok());
+    ASSERT_TRUE((*ep)->Save(&db.db(), "ep").ok());
   }
+  ASSERT_TRUE(db.Reopen().ok());
 
-  // Phase 2: reopen the database file and the indexes; answers must match.
+  // Phase 2: the reopened catalog resolves both indexes by name and the
+  // answers must match the pre-shutdown ground truth.
+  EXPECT_TRUE(db->HasIndex("rp"));
+  EXPECT_TRUE(db->HasIndex("ep"));
+  auto rp = PrixIndex::Open(&db.db(), "rp");
+  auto ep = PrixIndex::Open(&db.db(), "ep");
+  ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  EXPECT_FALSE((*rp)->extended());
+  EXPECT_TRUE((*ep)->extended());
+  EXPECT_EQ((*rp)->num_docs(), docs.size());
+  QueryProcessor qp(db.db(), rp->get(), ep->get());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    auto result = qp.Execute(patterns[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto got = result->matches;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected[i]) << "pattern " << i << " after reopen";
+  }
+}
+
+TEST(PersistenceTest, VistIndexSurvivesProcessRestart) {
+  TagDictionary dict;
+  Random rng(31);
+  std::vector<Document> docs = RandomCollection(rng, 40, &dict);
+  std::vector<TwigPattern> patterns;
+  std::vector<std::vector<TwigMatch>> expected;
+  for (int i = 0; i < 12 && patterns.size() < 6; ++i) {
+    TwigPattern pattern = RandomTwig(rng, docs[rng.Uniform(docs.size())],
+                                     &dict);
+    if (pattern.num_nodes() < 2) continue;
+    EffectiveTwig twig = EffectiveTwig::Build(pattern);
+    auto matches = NaiveMatchCollection(docs, twig, MatchSemantics::kOrdered);
+    std::sort(matches.begin(), matches.end());
+    patterns.push_back(std::move(pattern));
+    expected.push_back(std::move(matches));
+  }
+  ASSERT_GE(patterns.size(), 3u);
+
+  TempDb db;
   {
-    DiskManager disk;
-    ASSERT_TRUE(disk.OpenExisting(Path()).ok());
-    BufferPool pool(&disk, 2000);
-    auto rp = PrixIndex::Open(&pool, rp_catalog);
-    auto ep = PrixIndex::Open(&pool, ep_catalog);
-    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
-    ASSERT_TRUE(ep.ok()) << ep.status().ToString();
-    EXPECT_FALSE((*rp)->extended());
-    EXPECT_TRUE((*ep)->extended());
-    EXPECT_EQ((*rp)->num_docs(), docs.size());
-    QueryProcessor qp(rp->get(), ep->get());
-    for (size_t i = 0; i < patterns.size(); ++i) {
-      auto result = qp.Execute(patterns[i]);
-      ASSERT_TRUE(result.ok()) << result.status().ToString();
-      auto got = result->matches;
-      std::sort(got.begin(), got.end());
-      EXPECT_EQ(got, expected[i]) << "pattern " << i << " after reopen";
-    }
+    auto vist = VistIndex::Build(docs, db.pool());
+    ASSERT_TRUE(vist.ok()) << vist.status().ToString();
+    ASSERT_TRUE((*vist)->Save(&db.db(), "vist").ok());
+  }
+  ASSERT_TRUE(db.Reopen().ok());
+
+  auto vist = VistIndex::Open(&db.db(), "vist");
+  ASSERT_TRUE(vist.ok()) << vist.status().ToString();
+  VistQueryProcessor vqp(vist->get());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    auto result = vqp.Execute(patterns[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto got = result->matches;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected[i]) << "pattern " << i << " after reopen";
   }
 }
 
-TEST_F(PersistenceTest, OpenRejectsGarbageCatalog) {
-  DiskManager disk;
-  ASSERT_TRUE(disk.Open(Path()).ok());
-  BufferPool pool(&disk, 64);
+TEST(PersistenceTest, OpenRejectsGarbageCatalog) {
+  TempDb db(Database::Options{.pool_pages = 64});
   std::vector<char> junk(100, 'z');
-  auto page = WriteBlob(&pool, junk);
+  auto page = WriteBlob(db.pool(), junk);
   ASSERT_TRUE(page.ok());
-  EXPECT_FALSE(PrixIndex::Open(&pool, *page).ok());
-}
-
-TEST_F(PersistenceTest, OpenExistingChecksAlignment) {
-  // A non-page-aligned file is rejected.
-  std::string path = Path();
-  FILE* f = fopen(path.c_str(), "w");
-  ASSERT_NE(f, nullptr);
-  fputs("not a database", f);
-  fclose(f);
-  DiskManager disk;
-  EXPECT_FALSE(disk.OpenExisting(path).ok());
+  Database::IndexEntry entry;
+  entry.name = "bogus";
+  entry.kind = Database::IndexKind::kPrixRegular;
+  entry.root = *page;
+  ASSERT_TRUE(db->PutIndex(entry).ok());
+  // The catalog entry resolves, but the blob it points at is not a PRIX
+  // index catalog.
+  EXPECT_FALSE(PrixIndex::Open(&db.db(), "bogus").ok());
+  // Kind mismatches are rejected before any page is read.
+  EXPECT_FALSE(VistIndex::Open(&db.db(), "bogus").ok());
 }
 
 }  // namespace

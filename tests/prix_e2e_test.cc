@@ -8,6 +8,7 @@
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 #include "query/xpath_parser.h"
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 
 namespace prix {
@@ -49,33 +50,18 @@ std::vector<TwigMatch> Oracle(const std::vector<Document>& docs,
 
 class PrixE2eTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_e2e_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
-  }
-  void TearDown() override {
-    rp_.reset();
-    ep_.reset();
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
-
   void BuildIndexes(const std::vector<Document>& docs,
                     PrixIndexOptions::Labeling labeling =
                         PrixIndexOptions::Labeling::kExact) {
     PrixIndexOptions rp_opts;
     rp_opts.labeling = labeling;
-    auto rp = PrixIndex::Build(docs, pool_.get(), rp_opts);
+    auto rp = PrixIndex::Build(docs, db_.pool(), rp_opts);
     ASSERT_TRUE(rp.ok()) << rp.status().ToString();
     rp_ = std::move(*rp);
     PrixIndexOptions ep_opts;
     ep_opts.extended = true;
     ep_opts.labeling = labeling;
-    auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+    auto ep = PrixIndex::Build(docs, db_.pool(), ep_opts);
     ASSERT_TRUE(ep.ok()) << ep.status().ToString();
     ep_ = std::move(*ep);
   }
@@ -87,7 +73,7 @@ class PrixE2eTest : public ::testing::Test {
                               MatchSemantics semantics,
                               const TagDictionary& dict) {
     auto expected = Oracle(docs, pattern, semantics);
-    QueryProcessor qp(rp_.get(), ep_.get());
+    QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
     // EP sequences cannot express a trailing '*' (Sec. 5.6 limitation).
     EffectiveTwig eff = EffectiveTwig::Build(pattern);
     bool trailing_star = false;
@@ -114,9 +100,7 @@ class PrixE2eTest : public ::testing::Test {
     }
   }
 
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  testutil::TempDb db_;
   std::unique_ptr<PrixIndex> rp_;
   std::unique_ptr<PrixIndex> ep_;
 };
@@ -132,7 +116,7 @@ TEST_F(PrixE2eTest, PaperFigure2EndToEnd) {
   ASSERT_TRUE(pattern.ok());
   ExpectAgreesWithOracle(docs, *pattern, MatchSemantics::kOrdered, dict);
   // Known result: 4 ordered embeddings (C in {3,6} x F in {11,12}).
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto result = qp.Execute(*pattern);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->matches.size(), 4u);
@@ -147,7 +131,7 @@ TEST_F(PrixE2eTest, ValueQueryUsesExtendedIndexByDefault) {
   docs.push_back(
       DocFromSexp("(book (author (=Ann)) (year (=1990)))", 1, &dict));
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto pattern =
       ParseXPath("//book[./author=\"Jim\"][./year=\"1990\"]", &dict);
   ASSERT_TRUE(pattern.ok());
@@ -166,7 +150,7 @@ TEST_F(PrixE2eTest, NoFalseAlarmsOnVistFigure1Scenario) {
   docs.push_back(DocFromSexp("(P (Q) (R))", 0, &dict));
   docs.push_back(DocFromSexp("(P (x (Q)) (y (R)))", 1, &dict));
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto pattern = ParseXPath("//P[./Q][./R]", &dict);
   ASSERT_TRUE(pattern.ok());
   auto result = qp.Execute(*pattern);
@@ -180,7 +164,7 @@ TEST_F(PrixE2eTest, SingleNodeQueryViaScan) {
   docs.push_back(DocFromSexp("(a (b) (b (a)))", 0, &dict));
   docs.push_back(DocFromSexp("(c (d))", 1, &dict));
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto pattern = ParseXPath("//a", &dict);
   ASSERT_TRUE(pattern.ok());
   auto result = qp.Execute(*pattern);
@@ -200,7 +184,7 @@ TEST_F(PrixE2eTest, UnorderedFindsSwappedBranches) {
   std::vector<Document> docs;
   docs.push_back(DocFromSexp("(a (c) (b))", 0, &dict));
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto pattern = ParseXPath("//a[./b][./c]", &dict);
   ASSERT_TRUE(pattern.ok());
   QueryOptions ordered;
@@ -319,7 +303,7 @@ TEST_F(PrixE2eTest, QueryWithUnknownLabelMatchesNothing) {
   std::vector<Document> docs;
   docs.push_back(DocFromSexp("(a (b))", 0, &dict));
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto pattern = ParseXPath("//a/zzz", &dict);
   ASSERT_TRUE(pattern.ok());
   auto result = qp.Execute(*pattern);
@@ -332,7 +316,7 @@ TEST_F(PrixE2eTest, StandardSemanticsRejected) {
   std::vector<Document> docs;
   docs.push_back(DocFromSexp("(a (b))", 0, &dict));
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto pattern = ParseXPath("//a/b", &dict);
   QueryOptions options;
   options.semantics = MatchSemantics::kStandard;
@@ -348,7 +332,7 @@ TEST_F(PrixE2eTest, SoundWildcardFilterCatchesSameSubtreeNesting) {
   std::vector<Document> docs;
   docs.push_back(DocFromSexp("(a (z (b (c)) (d (e))))", 0, &dict));
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   auto pattern = ParseXPath("//a[.//b/c][.//d/e]", &dict);
   ASSERT_TRUE(pattern.ok());
   QueryOptions sound;
@@ -369,7 +353,7 @@ TEST_F(PrixE2eTest, MaxGapPruningOnlyRemovesWork) {
   Random rng(5005);
   std::vector<Document> docs = RandomCollection(rng, 50, &dict);
   BuildIndexes(docs);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
   for (int trial = 0; trial < 15; ++trial) {
     TwigPattern pattern =
         RandomTwig(rng, docs[rng.Uniform(docs.size())], &dict);

@@ -10,6 +10,7 @@
 #include "prix/query_processor.h"
 #include "prufer/prufer.h"
 #include "query/twig_prufer.h"
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 #include "trie/range_labeler.h"
 #include "xml/xml_parser.h"
@@ -213,23 +214,7 @@ struct E2eParam {
 
 class PrixAgreementTest : public ::testing::TestWithParam<E2eParam> {
  protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_prop_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
-  }
-  void TearDown() override {
-    rp_.reset();
-    ep_.reset();
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  testutil::TempDb db_;
   std::unique_ptr<PrixIndex> rp_;
   std::unique_ptr<PrixIndex> ep_;
 };
@@ -250,12 +235,12 @@ TEST_P(PrixAgreementTest, MatchesOracleUnderAllConfigurations) {
     rp_opts.labeling = PrixIndexOptions::Labeling::kDynamic;
     ep_opts.labeling = PrixIndexOptions::Labeling::kDynamic;
   }
-  auto rp = PrixIndex::Build(docs, pool_.get(), rp_opts);
-  auto ep = PrixIndex::Build(docs, pool_.get(), ep_opts);
+  auto rp = PrixIndex::Build(docs, db_.pool(), rp_opts);
+  auto ep = PrixIndex::Build(docs, db_.pool(), ep_opts);
   ASSERT_TRUE(rp.ok() && ep.ok());
   rp_ = std::move(*rp);
   ep_ = std::move(*ep);
-  QueryProcessor qp(rp_.get(), ep_.get());
+  QueryProcessor qp(db_.db(), rp_.get(), ep_.get());
 
   int checked = 0;
   for (int trial = 0; trial < 60; ++trial) {

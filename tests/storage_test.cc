@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -65,6 +67,55 @@ TEST_F(StorageTest, DiskManagerCountsIo) {
   EXPECT_EQ(disk.read_count(), 2u);
   disk.ResetCounters();
   EXPECT_EQ(disk.read_count(), 0u);
+}
+
+TEST_F(StorageTest, OpenExistingReportsMissingFileAsNotFound) {
+  DiskManager disk;
+  Status s = disk.OpenExisting(Path("nonexistent"));
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  EXPECT_NE(s.ToString().find("no database file"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find(Path("nonexistent")), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(StorageTest, OpenExistingReportsShortFileAsCorruption) {
+  // A file whose size is not a page multiple is a short or torn final
+  // write; the error must say so, not just refuse.
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  auto p = disk.AllocatePage();
+  ASSERT_TRUE(p.ok());
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(disk.WritePage(*p, buf).ok());
+  ASSERT_TRUE(disk.Close().ok());
+  ASSERT_EQ(truncate(Path("db").c_str(), kPageSize - 100), 0);
+
+  DiskManager reopened;
+  Status s = reopened.OpenExisting(Path("db"));
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+  EXPECT_NE(s.ToString().find("not page-aligned"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.ToString().find("torn"), std::string::npos) << s.ToString();
+}
+
+TEST_F(StorageTest, OpenExistingAcceptsPageAlignedFile) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  auto p0 = disk.AllocatePage();
+  auto p1 = disk.AllocatePage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  char buf[kPageSize];
+  std::memset(buf, 0x5c, kPageSize);
+  ASSERT_TRUE(disk.WritePage(*p1, buf).ok());
+  ASSERT_TRUE(disk.Close().ok());
+
+  DiskManager reopened;
+  ASSERT_TRUE(reopened.OpenExisting(Path("db")).ok());
+  EXPECT_EQ(reopened.num_pages(), 2u);
+  char readback[kPageSize] = {};
+  ASSERT_TRUE(reopened.ReadPage(*p1, readback).ok());
+  EXPECT_EQ(std::memcmp(buf, readback, kPageSize), 0);
 }
 
 TEST_F(StorageTest, BufferPoolCachesPages) {

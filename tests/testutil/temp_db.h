@@ -1,0 +1,76 @@
+#ifndef PRIX_TESTS_TESTUTIL_TEMP_DB_H_
+#define PRIX_TESTS_TESTUTIL_TEMP_DB_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "common/macros.h"
+#include "db/database.h"
+
+namespace prix {
+namespace testutil {
+
+/// A Database in a fresh temp directory, torn down (file and all) with the
+/// fixture. Tests build indexes against db().pool() and register them in the
+/// catalog; Reopen() round-trips the whole environment through disk.
+class TempDb {
+ public:
+  explicit TempDb(Database::Options options = {}) : options_(options) {
+    char tmpl[] = "/tmp/prix_test_XXXXXX";
+    PRIX_CHECK(mkdtemp(tmpl) != nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/test.prix";
+    auto db = Database::Create(path_, options_);
+    PRIX_CHECK(db.ok());
+    db_ = std::move(*db);
+  }
+
+  ~TempDb() {
+    db_.reset();  // close before unlink
+    ::unlink(path_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  TempDb(const TempDb&) = delete;
+  TempDb& operator=(const TempDb&) = delete;
+
+  Database& db() { return *db_; }
+  Database* operator->() { return db_.get(); }
+  BufferPool* pool() { return db_->pool(); }
+  const std::string& path() const { return path_; }
+
+  /// Closes and reopens the database file, as a process restart would.
+  Status Reopen() {
+    if (db_ != nullptr) {
+      PRIX_RETURN_NOT_OK(db_->Close());
+      db_.reset();
+    }
+    PRIX_ASSIGN_OR_RETURN(db_, Database::Open(path_, options_));
+    return Status::OK();
+  }
+
+  /// Releases the open handle without deleting the file (for tests that
+  /// corrupt the file on disk and reopen it by hand).
+  Status CloseHandle() {
+    if (db_ == nullptr) return Status::OK();
+    PRIX_RETURN_NOT_OK(db_->Close());
+    db_.reset();
+    return Status::OK();
+  }
+
+  /// Adopts an externally opened handle (pairs with CloseHandle()).
+  void Adopt(std::unique_ptr<Database> db) { db_ = std::move(db); }
+
+ private:
+  Database::Options options_;
+  std::string dir_;
+  std::string path_;
+  std::unique_ptr<Database> db_;
+};
+
+}  // namespace testutil
+}  // namespace prix
+
+#endif  // PRIX_TESTS_TESTUTIL_TEMP_DB_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "query/xpath_parser.h"
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 #include "twigstack/path_stack.h"
 
@@ -39,22 +40,8 @@ TEST(RegionsTest, ContainmentAndLevels) {
 
 class TwigStackTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_ts_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
-  }
-  void TearDown() override {
-    forest_.reset();
-    store_.reset();
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
   void Build(const std::vector<Document>& docs, const TagDictionary& dict) {
-    auto store = StreamStore::Build(docs, pool_.get());
+    auto store = StreamStore::Build(docs, db_.pool());
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     store_ = std::move(*store);
     auto forest = XbForest::Build(store_.get(), dict);
@@ -80,9 +67,7 @@ class TwigStackTest : public ::testing::Test {
     }
   }
 
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  testutil::TempDb db_;
   std::unique_ptr<StreamStore> store_;
   std::unique_ptr<XbForest> forest_;
 };

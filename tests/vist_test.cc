@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "query/xpath_parser.h"
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 
 namespace prix {
@@ -71,28 +72,13 @@ TEST(VistSequenceTest, PatternMatching) {
 
 class VistTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_vist_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 2000);
-  }
-  void TearDown() override {
-    index_.reset();
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
   void Build(const std::vector<Document>& docs) {
-    auto index = VistIndex::Build(docs, pool_.get(), &stats_);
+    auto index = VistIndex::Build(docs, db_.pool(), &stats_);
     ASSERT_TRUE(index.ok()) << index.status().ToString();
     index_ = std::move(*index);
   }
 
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  testutil::TempDb db_;
   std::unique_ptr<VistIndex> index_;
   VistIndexBuildStats stats_;
 };

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 
 namespace prix {
@@ -14,19 +15,7 @@ using testutil::RandomDocOptions;
 
 class XbTreeTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    char tmpl[] = "/tmp/prix_xb_XXXXXX";
-    ASSERT_NE(mkdtemp(tmpl), nullptr);
-    dir_ = tmpl;
-    ASSERT_TRUE(disk_.Open(dir_ + "/db").ok());
-    pool_ = std::make_unique<BufferPool>(&disk_, 512);
-  }
-  void TearDown() override {
-    store_.reset();
-    pool_.reset();
-    std::string cmd = "rm -rf " + dir_;
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
+  XbTreeTest() : db_(Database::Options{.pool_pages = 512}) {}
 
   /// Builds streams over a collection big enough for multi-level XB-trees.
   LabelId BuildBigStream(size_t num_docs) {
@@ -36,15 +25,13 @@ class XbTreeTest : public ::testing::Test {
     opts.max_nodes = 30;
     opts.alphabet = 3;  // few labels -> long streams
     std::vector<Document> docs = RandomCollection(rng, num_docs, &dict, opts);
-    auto store = StreamStore::Build(docs, pool_.get());
+    auto store = StreamStore::Build(docs, db_.pool());
     EXPECT_TRUE(store.ok());
     store_ = std::move(*store);
     return dict.Find("tag0");
   }
 
-  std::string dir_;
-  DiskManager disk_;
-  std::unique_ptr<BufferPool> pool_;
+  testutil::TempDb db_;
   std::unique_ptr<StreamStore> store_;
 };
 
@@ -128,7 +115,7 @@ TEST_F(XbTreeTest, SinglePageStreamHasNoInternalLevels) {
   Document doc(0);
   doc.AddRoot(dict.Intern("only"));
   docs.push_back(std::move(doc));
-  auto store = StreamStore::Build(docs, pool_.get());
+  auto store = StreamStore::Build(docs, db_.pool());
   ASSERT_TRUE(store.ok());
   store_ = std::move(*store);
   const auto* info = store_->Find(dict.Find("only"));

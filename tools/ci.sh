@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full gate: plain build + tests, then the ASan/UBSan suite, then the
+# TSan concurrency suite. Each stage uses its own build tree, so rerunning
+# after a fix is incremental.
+#
+# Usage: tools/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==== 1/3 build + ctest ===="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==== 2/3 AddressSanitizer + UBSan ===="
+tools/check_asan.sh build-asan
+
+echo "==== 3/3 ThreadSanitizer ===="
+tools/check_tsan.sh build-tsan
+
+echo "==== CI: all stages green ===="

@@ -1,14 +1,15 @@
 // prix — command-line front end to the PRIX index.
 //
-//   prix index  <db-path> <xml-file>...   build RP+EP indexes over the
+//   prix index  <db-file> <xml-file>...   build RP+EP indexes over the
 //                                         record children of each file's
 //                                         root element and persist them
-//   prix query  <db-path> <xpath>...      run twig queries against a
+//   prix query  <db-file> <xpath>...      run twig queries against a
 //                                         previously built database
-//   prix stats  <db-path>                 print index statistics
+//   prix stats  <db-file>                 print index statistics
 //
-// The database directory holds the page file plus a small manifest with
-// the catalog page ids and the tag dictionary.
+// Everything lives in one database file: the RP and EP indexes are catalog
+// entries named "rp" and "ep", and the tag dictionary (which must survive
+// restarts for queries to resolve tag names) is a blob entry named "tags".
 
 #include <cstdio>
 #include <cstring>
@@ -16,6 +17,7 @@
 #include <sstream>
 #include <string>
 
+#include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 #include "storage/record_store.h"
@@ -23,6 +25,8 @@
 
 namespace prix {
 namespace {
+
+constexpr uint32_t kTagsBlobMagic = 0x54414753;  // "TAGS"
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "prix: %s\n", message.c_str());
@@ -37,47 +41,56 @@ Result<std::string> ReadFile(const std::string& path) {
   return buf.str();
 }
 
-/// Manifest: catalog page ids + interned dictionary, stored next to the
-/// page file (plain text; the dictionary must survive restarts for queries
-/// to resolve tag names).
-Status WriteManifest(const std::string& dir, PageId rp, PageId ep,
-                     const TagDictionary& dict) {
-  std::ofstream out(dir + "/manifest", std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot write manifest");
-  out << rp << " " << ep << " " << dict.size() << "\n";
+Status SaveDictionary(Database* db, const TagDictionary& dict) {
+  std::vector<char> blob;
+  PutU32(&blob, kTagsBlobMagic);
+  PutU32(&blob, static_cast<uint32_t>(dict.size()));
   for (LabelId id = 0; id < dict.size(); ++id) {
     const std::string& name = dict.Name(id);
-    out << name.size() << ":" << name;
+    PutU32(&blob, static_cast<uint32_t>(name.size()));
+    blob.insert(blob.end(), name.begin(), name.end());
   }
-  out << "\n";
-  return out.good() ? Status::OK() : Status::IoError("manifest write failed");
+  PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(db->pool(), blob));
+  Database::IndexEntry entry;
+  entry.name = "tags";
+  entry.kind = Database::IndexKind::kBlob;
+  entry.root = first;
+  return db->PutIndex(entry);
 }
 
-Status ReadManifest(const std::string& dir, PageId* rp, PageId* ep,
-                    TagDictionary* dict) {
-  std::ifstream in(dir + "/manifest", std::ios::binary);
-  if (!in) return Status::IoError("cannot read manifest (did you run "
-                                  "'prix index' first?)");
-  size_t labels = 0;
-  in >> *rp >> *ep >> labels;
-  in.get();  // newline
-  for (size_t i = 0; i < labels; ++i) {
-    size_t len = 0;
-    in >> len;
-    if (in.get() != ':') return Status::Corruption("bad manifest");
-    std::string name(len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(len));
-    if (!in) return Status::Corruption("bad manifest");
-    LabelId id = dict->Intern(name);
-    if (id != i) return Status::Corruption("manifest label order");
+Status LoadDictionary(Database* db, TagDictionary* dict) {
+  PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex("tags"));
+  if (entry.kind != Database::IndexKind::kBlob) {
+    return Status::Corruption("'tags' catalog entry is not a blob");
+  }
+  std::vector<char> blob;
+  PRIX_RETURN_NOT_OK(ReadBlob(db->pool(), entry.root, &blob));
+  size_t off = 0;
+  auto need = [&](size_t bytes) -> Status {
+    if (blob.size() - off < bytes) {
+      return Status::Corruption("tag dictionary blob truncated");
+    }
+    return Status::OK();
+  };
+  PRIX_RETURN_NOT_OK(need(8));
+  if (GetU32(blob.data()) != kTagsBlobMagic) {
+    return Status::Corruption("bad tag dictionary magic");
+  }
+  uint32_t labels = GetU32(blob.data() + 4);
+  off = 8;
+  for (uint32_t i = 0; i < labels; ++i) {
+    PRIX_RETURN_NOT_OK(need(4));
+    uint32_t len = GetU32(blob.data() + off);
+    off += 4;
+    PRIX_RETURN_NOT_OK(need(len));
+    LabelId id = dict->Intern(std::string(blob.data() + off, len));
+    off += len;
+    if (id != i) return Status::Corruption("tag dictionary label order");
   }
   return Status::OK();
 }
 
-int CmdIndex(const std::string& dir, int argc, char** argv) {
-  std::string mkdir = "mkdir -p " + dir;
-  if (std::system(mkdir.c_str()) != 0) return Fail("cannot create " + dir);
-
+int CmdIndex(const std::string& path, int argc, char** argv) {
   DocumentCollection coll;
   for (int i = 0; i < argc; ++i) {
     auto text = ReadFile(argv[i]);
@@ -103,52 +116,48 @@ int CmdIndex(const std::string& dir, int argc, char** argv) {
               coll.documents.size(), coll.TotalNodes(),
               coll.dictionary.size());
 
-  DiskManager disk;
-  if (auto s = disk.Open(dir + "/pages"); !s.ok()) return Fail(s.ToString());
-  BufferPool pool(&disk, 2000);
+  auto db = Database::Create(path);
+  if (!db.ok()) return Fail(db.status().ToString());
   PrixIndexBuildStats rp_stats, ep_stats;
-  auto rp = PrixIndex::Build(coll.documents, &pool, PrixIndexOptions{},
-                             &rp_stats);
+  auto rp = PrixIndex::Build(coll.documents, (*db)->pool(),
+                             PrixIndexOptions{}, &rp_stats);
   if (!rp.ok()) return Fail(rp.status().ToString());
   PrixIndexOptions ep_opts;
   ep_opts.extended = true;
-  auto ep = PrixIndex::Build(coll.documents, &pool, ep_opts, &ep_stats);
+  auto ep =
+      PrixIndex::Build(coll.documents, (*db)->pool(), ep_opts, &ep_stats);
   if (!ep.ok()) return Fail(ep.status().ToString());
-  auto rp_page = (*rp)->Save(&pool);
-  auto ep_page = (*ep)->Save(&pool);
-  if (!rp_page.ok() || !ep_page.ok()) return Fail("saving catalogs failed");
-  if (auto s = WriteManifest(dir, *rp_page, *ep_page, coll.dictionary);
-      !s.ok()) {
+  if (auto s = (*rp)->Save(db->get(), "rp"); !s.ok()) {
     return Fail(s.ToString());
   }
-  if (auto s = pool.FlushAll(); !s.ok()) return Fail(s.ToString());
+  if (auto s = (*ep)->Save(db->get(), "ep"); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  if (auto s = SaveDictionary(db->get(), coll.dictionary); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  if (auto s = (*db)->Close(); !s.ok()) return Fail(s.ToString());
   std::printf(
       "Indexed: RP trie %llu nodes (%llu B+-tree entries), EP trie %llu "
-      "nodes; database %s (%u pages).\n",
+      "nodes; database %s.\n",
       (unsigned long long)rp_stats.trie_nodes,
       (unsigned long long)rp_stats.symbol_entries,
-      (unsigned long long)ep_stats.trie_nodes, dir.c_str(),
-      disk.num_pages());
+      (unsigned long long)ep_stats.trie_nodes, path.c_str());
   return 0;
 }
 
-int CmdQuery(const std::string& dir, int argc, char** argv) {
-  DiskManager disk;
-  if (auto s = disk.OpenExisting(dir + "/pages"); !s.ok()) {
-    return Fail(s.ToString());
-  }
-  BufferPool pool(&disk, 2000);
+int CmdQuery(const std::string& path, int argc, char** argv) {
+  auto db = Database::Open(path);
+  if (!db.ok()) return Fail(db.status().ToString());
   TagDictionary dict;
-  PageId rp_page, ep_page;
-  if (auto s = ReadManifest(dir, &rp_page, &ep_page, &dict); !s.ok()) {
+  if (auto s = LoadDictionary(db->get(), &dict); !s.ok()) {
     return Fail(s.ToString());
   }
-  auto rp = PrixIndex::Open(&pool, rp_page);
-  auto ep = PrixIndex::Open(&pool, ep_page);
+  auto rp = PrixIndex::Open(db->get(), "rp");
+  auto ep = PrixIndex::Open(db->get(), "ep");
   if (!rp.ok() || !ep.ok()) return Fail("opening indexes failed");
-  QueryProcessor qp(rp->get(), ep->get());
+  QueryProcessor qp(**db, rp->get(), ep->get());
   for (int i = 0; i < argc; ++i) {
-    pool.ResetStats();
     auto result = qp.ExecuteXPath(argv[i], &dict);
     if (!result.ok()) {
       std::printf("%s\n  error: %s\n", argv[i],
@@ -157,7 +166,7 @@ int CmdQuery(const std::string& dir, int argc, char** argv) {
     }
     std::printf("%s\n  %zu match(es) in %zu document(s), %llu pages read",
                 argv[i], result->matches.size(), result->docs.size(),
-                (unsigned long long)pool.stats().physical_reads);
+                (unsigned long long)result->stats.pages_read);
     size_t shown = 0;
     for (DocId d : result->docs) {
       if (shown++ == 10) {
@@ -171,23 +180,25 @@ int CmdQuery(const std::string& dir, int argc, char** argv) {
   return 0;
 }
 
-int CmdStats(const std::string& dir) {
-  DiskManager disk;
-  if (auto s = disk.OpenExisting(dir + "/pages"); !s.ok()) {
-    return Fail(s.ToString());
-  }
-  BufferPool pool(&disk, 256);
+int CmdStats(const std::string& path) {
+  auto db = Database::Open(path, Database::Options{.pool_pages = 256});
+  if (!db.ok()) return Fail(db.status().ToString());
   TagDictionary dict;
-  PageId rp_page, ep_page;
-  if (auto s = ReadManifest(dir, &rp_page, &ep_page, &dict); !s.ok()) {
+  if (auto s = LoadDictionary(db->get(), &dict); !s.ok()) {
     return Fail(s.ToString());
   }
-  auto rp = PrixIndex::Open(&pool, rp_page);
-  auto ep = PrixIndex::Open(&pool, ep_page);
+  auto rp = PrixIndex::Open(db->get(), "rp");
+  auto ep = PrixIndex::Open(db->get(), "ep");
   if (!rp.ok() || !ep.ok()) return Fail("opening indexes failed");
-  std::printf("database:        %s\n", dir.c_str());
-  std::printf("pages:           %u (%u KB)\n", disk.num_pages(),
-              disk.num_pages() * 8);
+  std::printf("database:        %s\n", path.c_str());
+  std::printf("pages:           %u (%u KB)\n", (*db)->disk()->num_pages(),
+              (*db)->disk()->num_pages() * 8);
+  std::printf("catalog:         generation %llu,",
+              (unsigned long long)(*db)->catalog_generation());
+  for (const auto& entry : (*db)->ListIndexes()) {
+    std::printf(" %s", entry.name.c_str());
+  }
+  std::printf("\n");
   std::printf("documents:       %zu\n", (*rp)->num_docs());
   std::printf("labels:          %zu\n", dict.size());
   std::printf("RP symbol tree:  %llu entries, height %u\n",
@@ -211,10 +222,10 @@ int Main(int argc, char** argv) {
     return 2;
   }
   std::string cmd = argv[1];
-  std::string dir = argv[2];
-  if (cmd == "index" && argc > 3) return CmdIndex(dir, argc - 3, argv + 3);
-  if (cmd == "query" && argc > 3) return CmdQuery(dir, argc - 3, argv + 3);
-  if (cmd == "stats") return CmdStats(dir);
+  std::string path = argv[2];
+  if (cmd == "index" && argc > 3) return CmdIndex(path, argc - 3, argv + 3);
+  if (cmd == "query" && argc > 3) return CmdQuery(path, argc - 3, argv + 3);
+  if (cmd == "stats") return CmdStats(path);
   return Fail("unknown command or missing arguments: " + cmd);
 }
 
