@@ -84,8 +84,10 @@ class BPlusTree {
     tree.cmp_ = cmp;
     tree.meta_page_id_ = meta_page_id;
     PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool->FetchPage(meta_page_id));
-    std::memcpy(&tree.meta_, meta_page->data(), sizeof(Meta));
-    pool->UnpinPage(meta_page_id, /*dirty=*/false);
+    {
+      PageGuard guard(pool, meta_page);
+      std::memcpy(&tree.meta_, meta_page->data(), sizeof(Meta));
+    }
     if (tree.meta_.root == kInvalidPage) {
       return Status::Corruption("B+-tree meta page has no root");
     }
@@ -216,14 +218,13 @@ class BPlusTree {
     PageId node = meta_.root;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      PageGuard guard(pool_, page);  // no error return may leak this pin
       if (IsLeaf(page)) {
-        Iterator it(this, PageGuard(pool_, page), LeafLowerBound(page, key));
+        Iterator it(this, std::move(guard), LeafLowerBound(page, key));
         PRIX_RETURN_NOT_OK(it.LoadCurrent());
         return it;
       }
-      PageId child = ChildForKey(page, key);
-      pool_->UnpinPage(node, /*dirty=*/false);
-      node = child;
+      node = ChildForKey(page, key);
     }
   }
 
@@ -232,14 +233,13 @@ class BPlusTree {
     PageId node = meta_.root;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      PageGuard guard(pool_, page);  // no error return may leak this pin
       if (IsLeaf(page)) {
-        Iterator it(this, PageGuard(pool_, page), 0);
+        Iterator it(this, std::move(guard), 0);
         PRIX_RETURN_NOT_OK(it.LoadCurrent());
         return it;
       }
-      PageId child = Extra(page);  // leftmost child
-      pool_->UnpinPage(node, /*dirty=*/false);
-      node = child;
+      node = Extra(page);  // leftmost child
     }
   }
 
@@ -356,8 +356,9 @@ class BPlusTree {
 
   Status SaveMeta() {
     PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool_->FetchPage(meta_page_id_));
+    PageGuard guard(pool_, meta_page);
     std::memcpy(meta_page->data(), &meta_, sizeof(Meta));
-    pool_->UnpinPage(meta_page_id_, /*dirty=*/true);
+    guard.MarkDirty();
     return Status::OK();
   }
 

@@ -43,6 +43,14 @@ Status& Status::operator=(const Status& other) {
   return *this;
 }
 
+Status Status::Annotate(std::string_view context) const {
+  if (ok()) return Status::OK();
+  std::string msg(context);
+  msg += ": ";
+  msg += state_->msg;
+  return Status(state_->code, std::move(msg));
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeName(state_->code));

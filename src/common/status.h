@@ -86,6 +86,12 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Returns this status with "`context`: " prefixed to the message (code
+  /// preserved; OK stays OK). Error paths that cross a subsystem boundary
+  /// use this so an injected or real I/O fault names the operation it
+  /// failed, not just the syscall.
+  Status Annotate(std::string_view context) const;
+
  private:
   struct State {
     StatusCode code;

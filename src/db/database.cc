@@ -44,15 +44,32 @@ Result<std::unique_ptr<Database>> Database::Create(const std::string& path,
                                                    const Options& options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->path_ = path;
+  if (options.fault_injector != nullptr) {
+    db->disk_.set_fault_injector(options.fault_injector);
+  }
   PRIX_RETURN_NOT_OK(db->disk_.Open(path));
-  // Reserve the two catalog header slots as the first two pages.
+  // From here on, failures abandon the half-built handle so the destructor
+  // does not retry a commit against a file (or simulated device) that just
+  // refused one.
   for (PageId slot : kHeaderSlots) {
-    PRIX_ASSIGN_OR_RETURN(PageId got, db->disk_.AllocatePage());
-    PRIX_CHECK(got == slot);
+    // Reserve the two catalog header slots as the first two pages.
+    auto got = db->disk_.AllocatePage();
+    if (!got.ok()) {
+      db->Abandon();
+      return got.status();
+    }
+    PRIX_CHECK(*got == slot);
   }
   db->pool_ = std::make_unique<BufferPool>(&db->disk_, options.pool_pages);
-  std::lock_guard<std::mutex> lock(db->mu_);
-  PRIX_RETURN_NOT_OK(db->CommitLocked());
+  Status commit_st;
+  {
+    std::lock_guard<std::mutex> lock(db->mu_);
+    commit_st = db->CommitLocked();
+  }
+  if (!commit_st.ok()) {
+    db->Abandon();
+    return commit_st;
+  }
   return db;
 }
 
@@ -60,16 +77,33 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
                                                  const Options& options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->path_ = path;
-  PRIX_RETURN_NOT_OK(db->disk_.OpenExisting(path));
+  if (options.fault_injector != nullptr) {
+    db->disk_.set_fault_injector(options.fault_injector);
+  }
+  // A crash can tear a file extension mid-page; committed catalog state is
+  // always page-aligned (commit syncs before publishing), so a ragged tail
+  // is provably uncommitted and safe to drop.
+  DiskManager::OpenOptions open_options;
+  open_options.recover_trailing_partial_page = true;
+  PRIX_RETURN_NOT_OK(db->disk_.OpenExisting(path, open_options));
+  // Any failure past this point must Abandon the half-built handle: the
+  // destructor would otherwise COMMIT an empty catalog onto the very file
+  // this Open just refused to trust.
   if (db->disk_.num_pages() < 2) {
-    return Status::Corruption(path + " has no catalog header pages");
+    Status st = Status::Corruption(path + " has no catalog header pages");
+    db->Abandon();
+    return st;
   }
   // Read both header slots and adopt the newest one that validates; a torn
   // commit leaves exactly one valid slot (the previous generation).
   bool any_valid = false;
   char page[kPageSize];
   for (PageId slot : kHeaderSlots) {
-    PRIX_RETURN_NOT_OK(db->disk_.ReadPage(slot, page));
+    Status read_st = db->disk_.ReadPage(slot, page);
+    if (!read_st.ok()) {
+      db->Abandon();
+      return read_st;
+    }
     uint64_t gen = 0;
     std::map<std::string, IndexEntry> entries;
     if (!ParseHeader(page, &gen, &entries)) continue;
@@ -80,7 +114,9 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
     any_valid = true;
   }
   if (!any_valid) {
-    return Status::Corruption(path + ": no valid catalog header slot");
+    Status st = Status::Corruption(path + ": no valid catalog header slot");
+    db->Abandon();
+    return st;
   }
   db->pool_ = std::make_unique<BufferPool>(&db->disk_, options.pool_pages);
   return db;
@@ -163,8 +199,15 @@ Status Database::CommitLocked() {
         "catalog payload exceeds one header page (" +
         std::to_string(payload.size()) + " bytes)");
   }
-  // Durability order: index pages first, then the catalog that names them.
+  // Durability order (DESIGN.md §5e): (1) flush every dirty index page,
+  // (2) fdatasync so those pages are on the platter, (3) write the header
+  // slot that names them, (4) fdatasync again so the commit point itself is
+  // durable. Without the first sync a crash could persist the new catalog
+  // while losing index pages it references; without the second the commit
+  // may silently roll back. The crash-simulation matrix
+  // (tests/crash_recovery_test.cc) fails if either sync is removed.
   if (pool_ != nullptr) PRIX_RETURN_NOT_OK(pool_->FlushAll());
+  PRIX_RETURN_NOT_OK(disk_.Sync());
   uint64_t gen = generation_ + 1;
   char page[kPageSize] = {};
   std::vector<char> header;
@@ -182,8 +225,19 @@ Status Database::CommitLocked() {
   // leaves the old catalog recoverable.
   PageId slot = kHeaderSlots[gen % 2];
   PRIX_RETURN_NOT_OK(disk_.WritePage(slot, page));
+  PRIX_RETURN_NOT_OK(disk_.Sync());
   generation_ = gen;
   return Status::OK();
+}
+
+void Database::Abandon() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ != nullptr) {
+    pool_->DiscardAll();  // nothing may be written after a simulated crash
+    pool_.reset();
+  }
+  (void)disk_.Close();
+  catalog_.clear();
 }
 
 Status Database::PutIndex(const IndexEntry& entry) {

@@ -21,13 +21,16 @@ namespace prix {
 /// collection live in one file and reopen across process restarts without
 /// callers tracking loose page ids.
 ///
-/// Catalog layout and commit protocol (see DESIGN.md §5d): pages 0 and 1 of
-/// the file are two header slots. Each commit serializes the whole catalog
-/// into the slot NOT holding the current generation, stamped with
-/// generation + checksum, after flushing the buffer pool — so index pages
-/// are durable before the catalog that references them. A torn or corrupt
+/// Catalog layout and commit protocol (see DESIGN.md §5d/§5e): pages 0 and
+/// 1 of the file are two header slots. Each commit serializes the whole
+/// catalog into the slot NOT holding the current generation, stamped with
+/// generation + checksum, in fsync-ordered steps: flush pool -> fdatasync
+/// -> write header slot -> fdatasync. Index pages are therefore durable
+/// before the catalog that references them, and the commit point itself is
+/// durable when PutIndex/DropIndex/Close return OK. A torn or corrupt
 /// header slot fails its checksum at open and the other slot's (previous)
-/// generation is recovered instead; a commit is atomic at page granularity.
+/// generation is recovered instead; a commit is atomic at page granularity
+/// and a crash loses at most the commit in flight.
 ///
 /// Thread safety: catalog mutations (PutIndex/DropIndex/Commit) serialize
 /// under an internal mutex and must not race with Close. Reads of the pool
@@ -37,6 +40,11 @@ class Database {
   struct Options {
     /// Buffer-pool capacity; the default mirrors the paper's 2000-page pool.
     size_t pool_pages = 2000;
+
+    /// Test-only: installed on the DiskManager before the first page touches
+    /// disk, so fault schedules and crash points cover Create/Open's own
+    /// I/O. Must outlive the Database.
+    FaultInjector* fault_injector = nullptr;
   };
 
   /// What a catalog entry points at. kBlob is an uninterpreted page chain
@@ -84,6 +92,12 @@ class Database {
   /// Flushes the pool, commits the catalog, and closes the file. Called by
   /// the destructor if not called explicitly (errors then only logged).
   Status Close();
+
+  /// Drops the handle without flushing or committing anything — the
+  /// crash-simulation teardown (and a last resort after an unrecoverable
+  /// I/O failure). The file keeps whatever the last durable commit left;
+  /// un-committed work is lost by design. No pins may be outstanding.
+  void Abandon();
 
   BufferPool* pool() { return pool_.get(); }
   DiskManager* disk() { return &disk_; }

@@ -112,7 +112,11 @@ Status PrixIndex::Save(Database* db, const std::string& name) const {
   maxgap_.SerializeTo(&blob);
   PutU32(&blob, static_cast<uint32_t>(childless_labels_.size()));
   for (LabelId l : childless_labels_) PutU32(&blob, l);
-  PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(pool, blob));
+  auto first_result = WriteBlob(pool, blob);
+  if (!first_result.ok()) {
+    return first_result.status().Annotate("saving PRIX index '" + name + "'");
+  }
+  PageId first = *first_result;
   Database::IndexEntry entry;
   entry.name = name;
   entry.kind = options_.extended ? Database::IndexKind::kPrixExtended
@@ -133,7 +137,10 @@ Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(Database* db,
   }
   BufferPool* pool = db->pool();
   std::vector<char> blob;
-  PRIX_RETURN_NOT_OK(ReadBlob(pool, entry.root, &blob));
+  Status blob_st = ReadBlob(pool, entry.root, &blob);
+  if (!blob_st.ok()) {
+    return blob_st.Annotate("opening PRIX index '" + name + "'");
+  }
   const char* p = blob.data();
   const char* end = blob.data() + blob.size();
   auto need = [&](size_t bytes) -> Status {

@@ -25,7 +25,13 @@ Result<QueryResult> QueryProcessor::ExecuteXPath(
     std::string_view xpath, TagDictionary* dict,
     const QueryOptions& options) const {
   PRIX_ASSIGN_OR_RETURN(TwigPattern pattern, ParseXPath(xpath, dict));
-  return Execute(pattern, options);
+  Result<QueryResult> result = Execute(pattern, options);
+  if (!result.ok()) {
+    // An I/O fault deep in a B+-tree descent should name the query it
+    // failed, not just the page.
+    return result.status().Annotate("executing '" + std::string(xpath) + "'");
+  }
+  return result;
 }
 
 PrixIndex* QueryProcessor::ChooseIndex(const EffectiveTwig& twig,

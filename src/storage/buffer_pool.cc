@@ -61,7 +61,16 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
   PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
   Page* page = shard.frames[frame].get();
-  PRIX_RETURN_NOT_OK(disk_->ReadPage(id, page->data_));
+  Status read_st = disk_->ReadPage(id, page->data_);
+  if (!read_st.ok()) {
+    // The frame came off the free list or was just evicted; hand it back
+    // before surfacing the error, or it would be unreachable (in neither
+    // table, lru, nor free list) and every failed read would permanently
+    // shrink the pool by one frame.
+    page->Reset();
+    shard.free_frames.push_back(frame);
+    return read_st;
+  }
   shard.stats.physical_reads.fetch_add(1, std::memory_order_relaxed);
   page->page_id_ = id;
   page->pin_count_.store(1, std::memory_order_release);
@@ -147,6 +156,24 @@ Status BufferPool::Clear() {
   return Status::OK();
 }
 
+void BufferPool::DiscardAll() {
+  // Latch ordering: ascending shard index, as in Clear().
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) locks.emplace_back(shard->mu);
+  for (auto& shard : shards_) {
+    shard->table.clear();
+    shard->lru.clear();
+    size_t frames = shard->frames.size();
+    shard->free_frames.clear();
+    for (size_t i = 0; i < frames; ++i) {
+      shard->frames[i]->Reset();
+      shard->free_frames.push_back(frames - 1 - i);
+      shard->lru_pos[i] = shard->lru.end();
+    }
+  }
+}
+
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats out;
   for (const auto& shard : shards_) {
@@ -203,6 +230,10 @@ Status BufferPool::EvictFrame(Shard& shard, size_t frame) {
   Page* page = shard.frames[frame].get();
   PRIX_DCHECK(page->pin_count() == 0);
   if (page->dirty_) {
+    // Write-back failure ordering matters: the victim is unregistered only
+    // after its flush succeeds. On error it stays in table/lru, still
+    // dirty, so no data is lost and a later fetch/flush can retry; the
+    // error propagates to the FetchPage/NewPage caller.
     PRIX_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
     shard.stats.physical_writes.fetch_add(1, std::memory_order_relaxed);
   }

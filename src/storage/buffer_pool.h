@@ -63,6 +63,11 @@ class BufferPool {
   /// benchmarked query. Requires no pinned pages.
   Status Clear();
 
+  /// Drops every frame WITHOUT writing anything back — the crash-simulation
+  /// teardown (Database::Abandon). Dirty data is lost by design and any
+  /// outstanding pin becomes dangling; callers must hold none.
+  void DiscardAll();
+
   /// Snapshot of the counters, merged across shards. Relaxed reads: exact
   /// when no fetch is in flight, approximate otherwise.
   BufferPoolStats stats() const;

@@ -3,13 +3,45 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/macros.h"
+
 namespace prix {
 
+namespace {
+
+const char* OpName(FaultInjector::Op op) {
+  switch (op) {
+    case FaultInjector::Op::kRead: return "pread";
+    case FaultInjector::Op::kWrite: return "pwrite";
+    case FaultInjector::Op::kExtend: return "pwrite(extend)";
+    case FaultInjector::Op::kSync: return "fdatasync";
+  }
+  return "io";
+}
+
+/// Transient failures worth a bounded retry. ENODEV (the injector's
+/// post-crash answer, and a genuinely departed device) is deliberately
+/// absent: retrying a gone device only burns the backoff budget.
+bool IsTransientErrno(int err) { return err == EIO || err == EAGAIN; }
+
+}  // namespace
+
 DiskManager::~DiskManager() {
+  if (injector_ != nullptr) injector_->DetachFile();
   if (fd_ >= 0) ::close(fd_);
+}
+
+void DiskManager::set_fault_injector(FaultInjector* injector) {
+  if (injector_ != nullptr && injector == nullptr) injector_->DetachFile();
+  injector_ = injector;
+  if (injector_ != nullptr && fd_ >= 0) {
+    injector_->AttachFile(fd_,
+                          static_cast<uint64_t>(num_pages()) * kPageSize);
+  }
 }
 
 Status DiskManager::Open(const std::string& path) {
@@ -20,10 +52,13 @@ Status DiskManager::Open(const std::string& path) {
   }
   path_ = path;
   num_pages_ = 0;
+  trailing_bytes_recovered_ = 0;
+  if (injector_ != nullptr) injector_->AttachFile(fd_, 0);
   return Status::OK();
 }
 
-Status DiskManager::OpenExisting(const std::string& path) {
+Status DiskManager::OpenExisting(const std::string& path,
+                                 const OpenOptions& options) {
   if (fd_ >= 0) return Status::InvalidArgument("disk manager already open");
   fd_ = ::open(path.c_str(), O_RDWR);
   if (fd_ < 0) {
@@ -43,26 +78,123 @@ Status DiskManager::OpenExisting(const std::string& path) {
     fd_ = -1;
     return st;
   }
-  if (size % static_cast<off_t>(kPageSize) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    return Status::Corruption(
-        path + " is not page-aligned: " + std::to_string(size) +
-        " bytes is " + std::to_string(size % static_cast<off_t>(kPageSize)) +
-        " bytes past a " + std::to_string(kPageSize) +
-        "-byte page boundary (short or torn final write?)");
+  trailing_bytes_recovered_ = 0;
+  off_t tail = size % static_cast<off_t>(kPageSize);
+  if (tail != 0) {
+    if (!options.recover_trailing_partial_page) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::Corruption(
+          path + " is not page-aligned: " + std::to_string(size) +
+          " bytes is " + std::to_string(tail) + " bytes past a " +
+          std::to_string(kPageSize) +
+          "-byte page boundary (short or torn final write?)");
+    }
+    // A torn file extension from a crash: the ragged tail is beyond every
+    // page a page-aligned commit protocol can reference, so drop it.
+    if (::ftruncate(fd_, size - tail) != 0) {
+      Status st = Status::IoError("ftruncate(" + path + ") recovering a " +
+                                  std::to_string(tail) +
+                                  "-byte torn tail: " + std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return st;
+    }
+    trailing_bytes_recovered_ = static_cast<uint64_t>(tail);
+    size -= tail;
   }
   num_pages_ = static_cast<uint32_t>(size / static_cast<off_t>(kPageSize));
+  if (injector_ != nullptr) {
+    injector_->AttachFile(fd_, static_cast<uint64_t>(size));
+  }
   return Status::OK();
 }
 
 Status DiskManager::Close() {
   if (fd_ < 0) return Status::OK();
+  if (injector_ != nullptr) injector_->DetachFile();
   if (::close(fd_) != 0) {
+    fd_ = -1;
     return Status::IoError("close: " + std::string(std::strerror(errno)));
   }
   fd_ = -1;
   return Status::OK();
+}
+
+Status DiskManager::TransferOnce(FaultInjector::Op op, PageId id,
+                                 char* read_buf, const char* write_buf,
+                                 int attempt, bool* retryable) {
+  *retryable = false;
+  off_t base = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  size_t done = 0;
+  int icall = attempt;
+  while (done < kPageSize) {
+    FaultInjector::Action act;
+    if (injector_ != nullptr) {
+      act = injector_->OnAttempt(op, static_cast<uint64_t>(base) + done,
+                                 icall);
+    }
+    ++icall;
+    if (act.kind == FaultInjector::Action::Kind::kCrash) {
+      return injector_->ExecuteCrash(static_cast<uint64_t>(base), write_buf,
+                                     write_buf != nullptr ? kPageSize : 0);
+    }
+    ssize_t n;
+    if (act.kind == FaultInjector::Action::Kind::kError) {
+      errno = act.err;
+      n = -1;
+    } else {
+      size_t want = kPageSize - done;
+      if (act.kind == FaultInjector::Action::Kind::kShortIo) {
+        want = std::min(act.bytes, want);
+      }
+      if (want == 0) {
+        n = 0;  // injected EOF-shaped transfer
+      } else if (op == FaultInjector::Op::kRead) {
+        n = ::pread(fd_, read_buf + done, want, base + done);
+      } else {
+        n = ::pwrite(fd_, write_buf + done, want, base + done);
+      }
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted: resume immediately
+      *retryable = IsTransientErrno(errno);
+      return Status::IoError(std::string(OpName(op)) + " page " +
+                             std::to_string(id) + ": " +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      // Zero-byte progress: EOF on read, a pathological pwrite otherwise.
+      // errno is meaningless here — report the transfer arithmetic, not a
+      // stale strerror.
+      const char* what = op == FaultInjector::Op::kRead ? "short read"
+                                                        : "short write";
+      return Status::IoError(std::string(OpName(op)) + " page " +
+                             std::to_string(id) + ": " + what + ": got " +
+                             std::to_string(done) + " of " +
+                             std::to_string(kPageSize) + " bytes");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::TransferPage(FaultInjector::Op op, PageId id,
+                                 char* read_buf, const char* write_buf) {
+  Status st;
+  for (int attempt = 0; attempt < std::max(retry_.max_attempts, 1);
+       ++attempt) {
+    if (attempt > 0 && retry_.backoff_us > 0) {
+      ::usleep(static_cast<useconds_t>(retry_.backoff_us) *
+               static_cast<useconds_t>(attempt));
+    }
+    bool retryable = false;
+    st = TransferOnce(op, id, read_buf, write_buf, attempt, &retryable);
+    if (st.ok() || !retryable) return st;
+  }
+  return Status::IoError(std::string(st.message()) + " (gave up after " +
+                         std::to_string(std::max(retry_.max_attempts, 1)) +
+                         " attempts)");
 }
 
 Result<PageId> DiskManager::AllocatePage() {
@@ -73,13 +205,21 @@ Result<PageId> DiskManager::AllocatePage() {
   // The counter is published only after the extension succeeds, so a
   // concurrent ReadPage never sees an allocated-but-unextended page.
   char zeros[kPageSize] = {};
-  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
-  if (::pwrite(fd_, zeros, kPageSize, offset) !=
-      static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pwrite(extend): " +
-                           std::string(std::strerror(errno)));
+  Status st = TransferPage(FaultInjector::Op::kExtend, id, nullptr, zeros);
+  if (!st.ok()) {
+    // A failed extension may have left a ragged tail; drop it so the file
+    // stays page-aligned for the next attempt or a clean reopen. A crash
+    // keeps its deliberately torn shape.
+    if (injector_ == nullptr || !injector_->crashed()) {
+      (void)::ftruncate(fd_,
+                        static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+    }
+    return st;
   }
   num_pages_.store(id + 1, std::memory_order_release);
+  if (injector_ != nullptr) {
+    injector_->OnFileGrown(static_cast<uint64_t>(id + 1) * kPageSize);
+  }
   return id;
 }
 
@@ -89,12 +229,7 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
   }
-  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
-  ssize_t n = ::pread(fd_, buf, kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pread page " + std::to_string(id) + ": " +
-                           std::strerror(errno));
-  }
+  PRIX_RETURN_NOT_OK(TransferPage(FaultInjector::Op::kRead, id, buf, nullptr));
   ++read_count_;
   return Status::OK();
 }
@@ -105,14 +240,74 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
   }
-  off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
-  ssize_t n = ::pwrite(fd_, buf, kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError("pwrite page " + std::to_string(id) + ": " +
-                           std::strerror(errno));
+  if (injector_ != nullptr && injector_->tracking()) {
+    // Crash simulation is armed: capture this page's durable pre-image so
+    // the injector can roll an un-synced write back at the crash point.
+    char old[kPageSize];
+    off_t base = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+    size_t got = 0;
+    while (got < kPageSize) {
+      ssize_t n = ::pread(fd_, old + got, kPageSize - got, base + got);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;
+      got += static_cast<size_t>(n);
+    }
+    injector_->RecordPreImage(static_cast<uint64_t>(base), old, got,
+                              kPageSize);
   }
+  PRIX_RETURN_NOT_OK(TransferPage(FaultInjector::Op::kWrite, id, nullptr,
+                                  buf));
   ++write_count_;
   return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (fd_ < 0) return Status::InvalidArgument("disk manager not open");
+  Status st;
+  int icall = 0;
+  for (int attempt = 0; attempt < std::max(retry_.max_attempts, 1);
+       ++attempt) {
+    if (attempt > 0 && retry_.backoff_us > 0) {
+      ::usleep(static_cast<useconds_t>(retry_.backoff_us) *
+               static_cast<useconds_t>(attempt));
+    }
+    while (true) {
+      FaultInjector::Action act;
+      if (injector_ != nullptr) {
+        act = injector_->OnAttempt(FaultInjector::Op::kSync, 0, icall);
+      }
+      ++icall;
+      if (act.kind == FaultInjector::Action::Kind::kCrash) {
+        return injector_->ExecuteCrash(0, nullptr, 0);
+      }
+      int rc;
+      if (act.kind == FaultInjector::Action::Kind::kError) {
+        errno = act.err;
+        rc = -1;
+      } else {
+        rc = ::fdatasync(fd_);
+      }
+      if (rc == 0) {
+        ++sync_count_;
+        if (injector_ != nullptr) {
+          injector_->OnSyncSucceeded(static_cast<uint64_t>(num_pages()) *
+                                     kPageSize);
+        }
+        return Status::OK();
+      }
+      if (errno == EINTR) continue;  // interrupted: resume immediately
+      st = Status::IoError("fdatasync(" + path_ +
+                           "): " + std::strerror(errno));
+      if (!IsTransientErrno(errno)) return st;
+      break;  // transient: consume one bounded retry attempt
+    }
+  }
+  return Status::IoError(std::string(st.message()) + " (gave up after " +
+                         std::to_string(std::max(retry_.max_attempts, 1)) +
+                         " attempts)");
 }
 
 }  // namespace prix

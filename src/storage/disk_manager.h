@@ -7,20 +7,50 @@
 #include <string>
 
 #include "common/result.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 
 namespace prix {
+
+/// Bounded retry for transient I/O errors (EIO/EAGAIN — the class a flaky
+/// device or an injected transient fault produces). EINTR is not governed
+/// here: interrupted syscalls are always resumed immediately and do not
+/// consume attempts.
+struct RetryPolicy {
+  int max_attempts = 4;  ///< total attempts per page operation (>= 1)
+  int backoff_us = 100;  ///< sleep between attempts, multiplied by attempt #
+};
 
 /// Raw page I/O over one database file. Pages are allocated append-only.
 /// Counts physical reads/writes; the benchmarks report the read counter as
 /// the paper's "Disk IO (pages)" column.
 ///
+/// Failure model (DESIGN.md §5e): every operation moves exactly kPageSize
+/// bytes or returns a non-OK Status. Short transfers are resumed in a loop,
+/// EINTR is retried unconditionally, transient errors (EIO/EAGAIN) are
+/// retried under the RetryPolicy, and a short count with errno == 0 is
+/// reported as what it is ("short read: got N of 8192 bytes") rather than a
+/// stale strerror. Durability is explicit: nothing is guaranteed on the
+/// platter until Sync() returns OK.
+///
+/// A FaultInjector may be installed (tests only); it then intercepts every
+/// syscall attempt. With no injector the hot path pays one null check.
+///
 /// Thread safety: ReadPage/WritePage use pread/pwrite on a shared fd and may
 /// run concurrently; AllocatePage serializes under an internal mutex so the
 /// append-only page counter and the eager file extension stay consistent.
-/// Open/OpenExisting/Close must not race with I/O.
+/// Open/OpenExisting/Close/set_fault_injector must not race with I/O.
 class DiskManager {
  public:
+  /// Crash-recovery knobs for OpenExisting.
+  struct OpenOptions {
+    /// A real crash can leave a ragged, non-page-aligned tail (a torn file
+    /// extension). When set, the tail is truncated back to the last full
+    /// page instead of failing the open; callers whose commit protocol
+    /// guarantees committed data is page-aligned (Database) enable this.
+    bool recover_trailing_partial_page = false;
+  };
+
   DiskManager() = default;
   ~DiskManager();
   DiskManager(const DiskManager&) = delete;
@@ -30,7 +60,10 @@ class DiskManager {
   Status Open(const std::string& path);
 
   /// Opens an existing database file; page count is taken from its size.
-  Status OpenExisting(const std::string& path);
+  Status OpenExisting(const std::string& path, const OpenOptions& options);
+  Status OpenExisting(const std::string& path) {
+    return OpenExisting(path, OpenOptions{});
+  }
   Status Close();
   bool is_open() const { return fd_ >= 0; }
 
@@ -43,6 +76,18 @@ class DiskManager {
   /// Writes `buf` (kPageSize bytes) to page `id`.
   Status WritePage(PageId id, const char* buf);
 
+  /// Makes every completed write durable (fdatasync). Until this returns
+  /// OK, a crash may lose or tear any write since the previous Sync.
+  Status Sync();
+
+  /// Installs (or removes, with nullptr) a fault injector. Test-only; the
+  /// injector must outlive its installation.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   uint32_t num_pages() const {
     return num_pages_.load(std::memory_order_acquire);
   }
@@ -52,18 +97,42 @@ class DiskManager {
   uint64_t write_count() const {
     return write_count_.load(std::memory_order_relaxed);
   }
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
+  /// Bytes discarded by the last OpenExisting trailing-partial-page
+  /// recovery (0 when the file was clean).
+  uint64_t trailing_bytes_recovered() const {
+    return trailing_bytes_recovered_;
+  }
   void ResetCounters() {
     read_count_.store(0, std::memory_order_relaxed);
     write_count_.store(0, std::memory_order_relaxed);
+    sync_count_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  /// One full-transfer pass over a page (resumes short transfers, retries
+  /// EINTR). `attempt` seeds the injector's attempt numbering so outer
+  /// retries do not re-consume scheduled one-shot faults. Sets *retryable
+  /// when the failure is transient under the RetryPolicy.
+  Status TransferOnce(FaultInjector::Op op, PageId id, char* read_buf,
+                      const char* write_buf, int attempt, bool* retryable);
+
+  /// Retry wrapper around TransferOnce.
+  Status TransferPage(FaultInjector::Op op, PageId id, char* read_buf,
+                      const char* write_buf);
+
   int fd_ = -1;
   std::string path_;
   std::mutex alloc_mu_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
+  uint64_t trailing_bytes_recovered_ = 0;
   std::atomic<uint32_t> num_pages_{0};
   std::atomic<uint64_t> read_count_{0};
   std::atomic<uint64_t> write_count_{0};
+  std::atomic<uint64_t> sync_count_{0};
 };
 
 }  // namespace prix

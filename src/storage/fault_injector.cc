@@ -1,0 +1,266 @@
+#include "storage/fault_injector.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace prix {
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::FailNth(Op op, uint64_t nth, int err, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.op = op;
+  rule.nth = counts_[static_cast<int>(op)] + nth;
+  rule.times = times;
+  rule.kind = Action::Kind::kError;
+  rule.err = err;
+  rules_.push_back(rule);
+}
+
+void FaultInjector::ShortReadNth(uint64_t nth, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.op = Op::kRead;
+  rule.nth = counts_[static_cast<int>(Op::kRead)] + nth;
+  rule.times = 1;
+  rule.kind = Action::Kind::kShortIo;
+  rule.bytes = bytes;
+  rules_.push_back(rule);
+}
+
+void FaultInjector::TornWriteNth(uint64_t nth, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.op = Op::kWrite;
+  rule.nth = counts_[static_cast<int>(Op::kWrite)] + nth;
+  rule.times = 1;
+  rule.kind = Action::Kind::kShortIo;
+  rule.bytes = bytes;
+  rules_.push_back(rule);
+}
+
+void FaultInjector::CrashAtWrite(uint64_t k, WriteFate fate,
+                                 size_t torn_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = true;
+  crash_op_ = Op::kWrite;
+  // Writes and extends share the crash clock: both move bytes a power cut
+  // can interrupt, so "crash at the k-th write" covers file extension too.
+  crash_at_ = counts_[static_cast<int>(Op::kWrite)] +
+              counts_[static_cast<int>(Op::kExtend)] + k;
+  crash_fate_ = fate;
+  crash_torn_bytes_ = torn_bytes;
+}
+
+void FaultInjector::CrashAtSync(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = true;
+  crash_op_ = Op::kSync;
+  crash_at_ = counts_[static_cast<int>(Op::kSync)] + k;
+  crash_fate_ = WriteFate::kSeeded;
+  crash_torn_bytes_ = 0;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  crash_armed_ = false;
+  crashed_ = false;
+  preimages_.clear();
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool FaultInjector::tracking() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_armed_ && !crashed_;
+}
+
+uint64_t FaultInjector::op_count(Op op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(op)];
+}
+
+uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+FaultInjector::Action FaultInjector::OnAttempt(Op op, uint64_t offset,
+                                               int attempt) {
+  (void)offset;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) {
+    // The device is gone. ENODEV is deliberately not in the DiskManager's
+    // retryable set, so post-crash errors surface immediately.
+    ++faults_;
+    return Action{Action::Kind::kError, ENODEV, 0};
+  }
+  if (attempt == 0) ++counts_[static_cast<int>(op)];
+  uint64_t idx = counts_[static_cast<int>(op)];
+
+  if (crash_armed_) {
+    uint64_t clock = (crash_op_ == Op::kSync)
+                         ? counts_[static_cast<int>(Op::kSync)]
+                         : counts_[static_cast<int>(Op::kWrite)] +
+                               counts_[static_cast<int>(Op::kExtend)];
+    bool on_clock = (crash_op_ == Op::kSync)
+                        ? (op == Op::kSync)
+                        : (op == Op::kWrite || op == Op::kExtend);
+    if (on_clock && clock >= crash_at_) {
+      ++faults_;
+      return Action{Action::Kind::kCrash, 0, 0};
+    }
+  }
+
+  for (const Rule& rule : rules_) {
+    if (rule.op != op) continue;
+    bool fires = rule.times < 0
+                     ? idx >= rule.nth
+                     : (idx == rule.nth && attempt < rule.times);
+    if (!fires) continue;
+    ++faults_;
+    return Action{rule.kind, rule.err, rule.bytes};
+  }
+  return Action{};
+}
+
+void FaultInjector::RecordPreImage(uint64_t offset, const char* data,
+                                   size_t len, size_t page_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crash_armed_ || crashed_) return;
+  // Keep only the oldest pre-image per page: that is the durable content
+  // from before the first un-synced write, the state a total rollback of
+  // this page must restore.
+  if (preimages_.count(offset) != 0) return;
+  PreImage pre;
+  pre.data.assign(page_size, 0);
+  std::memcpy(pre.data.data(), data, std::min(len, page_size));
+  pre.valid = std::min(len, page_size);
+  preimages_.emplace(offset, std::move(pre));
+}
+
+void FaultInjector::OnSyncSucceeded(uint64_t file_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  preimages_.clear();
+  synced_size_ = std::max(synced_size_, file_size);
+  current_size_ = std::max(current_size_, file_size);
+}
+
+void FaultInjector::OnFileGrown(uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_size_ = std::max(current_size_, new_size);
+}
+
+void FaultInjector::AttachFile(int fd, uint64_t file_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fd_ = fd;
+  synced_size_ = file_size;
+  current_size_ = file_size;
+  preimages_.clear();
+}
+
+void FaultInjector::DetachFile() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fd_ = -1;
+}
+
+FaultInjector::WriteFate FaultInjector::SeedFate(uint64_t salt) {
+  // rng_ state advances deterministically; salt keeps distinct pages from
+  // sharing one draw when the map iteration order is fixed anyway.
+  uint64_t r = rng_.Next() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  switch (r % 3) {
+    case 0: return WriteFate::kComplete;
+    case 1: return WriteFate::kTorn;
+    default: return WriteFate::kDropped;
+  }
+}
+
+Status FaultInjector::RestorePage(uint64_t offset, const PreImage& pre,
+                                  WriteFate fate, size_t torn_bytes,
+                                  uint64_t crash_len) {
+  if (fate == WriteFate::kComplete) return Status::OK();
+  size_t page_size = pre.data.size();
+  size_t start = (fate == WriteFate::kDropped) ? 0 : torn_bytes;
+  if (start >= page_size) return Status::OK();
+  uint64_t end = std::min<uint64_t>(offset + page_size, crash_len);
+  if (offset + start >= end) return Status::OK();
+  size_t len = static_cast<size_t>(end - offset - start);
+  ssize_t n = ::pwrite(fd_, pre.data.data() + start, len,
+                       static_cast<off_t>(offset + start));
+  if (n != static_cast<ssize_t>(len)) {
+    return Status::Internal("fault injector could not apply crash rollback");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::ExecuteCrash(uint64_t offset, const char* buf,
+                                   size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+  crash_armed_ = false;
+  Status surgery = Status::OK();
+  if (fd_ >= 0) {
+    // 1. Fate of the triggering write (nothing of it has hit the file yet).
+    if (buf != nullptr && len > 0) {
+      WriteFate fate = crash_fate_ == WriteFate::kSeeded
+                           ? SeedFate(offset)
+                           : crash_fate_;
+      size_t put = 0;
+      if (fate == WriteFate::kComplete) {
+        put = len;
+      } else if (fate == WriteFate::kTorn) {
+        put = crash_torn_bytes_ != 0
+                  ? std::min(crash_torn_bytes_, len - 1)
+                  : 1 + rng_.Uniform(len - 1);
+      }
+      if (put > 0) {
+        if (::pwrite(fd_, buf, put, static_cast<off_t>(offset)) !=
+            static_cast<ssize_t>(put)) {
+          surgery = Status::Internal(
+              "fault injector could not apply triggering-write fate");
+        }
+        current_size_ = std::max(current_size_, offset + put);
+      }
+    }
+    // 2. Pick the crash file length: everything synced survives, anything
+    // beyond that may or may not have reached the platter — including a
+    // ragged, non-page-aligned tail.
+    uint64_t crash_len = current_size_;
+    if (current_size_ > synced_size_) {
+      switch (rng_.Uniform(3)) {
+        case 0: crash_len = current_size_; break;
+        case 1: crash_len = synced_size_; break;
+        default:
+          crash_len =
+              synced_size_ + rng_.Uniform(current_size_ - synced_size_ + 1);
+      }
+      if (::ftruncate(fd_, static_cast<off_t>(crash_len)) != 0) {
+        surgery = Status::Internal(
+            "fault injector could not truncate to the crash length");
+      }
+    }
+    // 3. Seeded per-page fate for every other un-synced write.
+    for (const auto& [pre_off, pre] : preimages_) {
+      if (pre_off == offset && buf != nullptr) continue;  // handled above
+      if (pre_off >= crash_len) continue;                 // truncated away
+      WriteFate fate = SeedFate(pre_off);
+      size_t tear = 1 + rng_.Uniform(pre.data.size() - 1);
+      Status st = RestorePage(pre_off, pre, fate, tear, crash_len);
+      if (!st.ok()) surgery = st;
+    }
+  }
+  preimages_.clear();
+  if (!surgery.ok()) return surgery;
+  return Status::IoError(
+      "injected crash: device refuses all I/O until the injector is reset");
+}
+
+}  // namespace prix

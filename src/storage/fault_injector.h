@@ -1,0 +1,188 @@
+#ifndef PRIX_STORAGE_FAULT_INJECTOR_H_
+#define PRIX_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace prix {
+
+/// Deterministic storage fault injector, in the spirit of RocksDB's
+/// FaultInjectionTestFS and SQLite's crash-test VFS. A DiskManager with an
+/// injector installed consults it before every syscall attempt; the injector
+/// answers with an Action (proceed, fail with an errno, transfer fewer bytes,
+/// or crash). All decisions are driven by an explicit schedule plus a seeded
+/// PRNG, so every failure a test provokes is reproducible from (schedule,
+/// seed).
+///
+/// Two layers of realism:
+///
+/// 1. **Single-fault schedules** — "the nth read fails with EIO", "the next
+///    write transfers only 100 bytes", "every sync fails". These exercise the
+///    DiskManager's EINTR/short-transfer loops and its bounded RetryPolicy,
+///    and the Status paths of everything above it.
+///
+/// 2. **Crash simulation** — `CrashAtWrite(k)` arms a crash on the k-th
+///    write. The injector models the kernel page cache: it records a
+///    pre-image of every page written since the last successful sync, and at
+///    the crash point it (a) gives the triggering write a fate (completes,
+///    torn at a byte offset, or dropped entirely), (b) rolls every un-synced
+///    page back to its pre-image, a torn mix, or leaves it — seeded per page,
+///    exactly the set of states a real power cut admits — and (c) refuses all
+///    subsequent I/O with ENODEV until the schedule is Reset. Writes that
+///    were followed by a successful Sync() are never touched: fsynced data is
+///    durable, un-fsynced data is fair game. This is what makes a commit
+///    protocol's flush -> sync -> header -> sync ordering testable: omit a
+///    sync and the crash matrix will produce a catalog naming rolled-back
+///    pages.
+///
+/// Thread safety: all entry points lock an internal mutex; an injector may be
+/// installed on a DiskManager shared by concurrent readers.
+class FaultInjector {
+ public:
+  /// The DiskManager call sites that can be intercepted.
+  enum class Op { kRead = 0, kWrite = 1, kExtend = 2, kSync = 3 };
+  static constexpr int kNumOps = 4;
+
+  /// What the intercepted syscall attempt should do.
+  struct Action {
+    enum class Kind {
+      kProceed,   ///< perform the real syscall
+      kError,     ///< fail with `err` without touching the file
+      kShortIo,   ///< transfer only `bytes` (short read / torn write start)
+      kCrash,     ///< crash now; DiskManager calls ExecuteCrash()
+    };
+    Kind kind = Kind::kProceed;
+    int err = 0;
+    size_t bytes = 0;
+  };
+
+  /// Fate of the crash-triggering write and of each un-synced page.
+  enum class WriteFate {
+    kSeeded,    ///< pick per page from the seed (the default)
+    kComplete,  ///< the new bytes all reach the platter
+    kTorn,      ///< a prefix of the new bytes lands, the old suffix remains
+    kDropped,   ///< none of the new bytes land (pre-image restored)
+  };
+
+  explicit FaultInjector(uint64_t seed = 0);
+
+  // ---- schedule construction (test-facing) ----------------------------
+
+  /// Fails the `nth` (1-based, counted from now) op of type `op` with
+  /// `err`, `times` consecutive attempts long. times < 0 means permanent.
+  void FailNth(Op op, uint64_t nth, int err, int times = 1);
+
+  /// Every attempt of `op` fails with `err` until Reset.
+  void FailAlways(Op op, int err) { FailNth(op, 1, err, -1); }
+
+  /// The `nth` read attempt transfers only `bytes` (0 = EOF-shaped).
+  void ShortReadNth(uint64_t nth, size_t bytes);
+
+  /// The `nth` write attempt transfers only `bytes` of the page.
+  void TornWriteNth(uint64_t nth, size_t bytes);
+
+  /// Arms a crash on the k-th write (1-based, counted from now). `fate`
+  /// controls the triggering write; un-synced earlier writes always get
+  /// seeded fates. `torn_bytes` pins the tear point for kTorn (otherwise
+  /// seeded).
+  void CrashAtWrite(uint64_t k, WriteFate fate = WriteFate::kSeeded,
+                    size_t torn_bytes = 0);
+
+  /// Arms a crash on the k-th sync instead (the commit-point crash).
+  void CrashAtSync(uint64_t k);
+
+  /// Clears the schedule, the crashed flag, and the pre-image log (but not
+  /// the op counters, which tests read to build schedules).
+  void Reset();
+
+  // ---- observability ---------------------------------------------------
+
+  bool crashed() const;
+  uint64_t op_count(Op op) const;
+  /// Total injected faults (errors + short transfers + crashes) so far.
+  uint64_t faults_injected() const;
+
+  // ---- DiskManager-facing hooks ---------------------------------------
+  // Nothing below is meant for tests to call directly.
+
+  /// Consults the schedule for one syscall attempt. `attempt` is 0-based
+  /// within the DiskManager's retry loop; only attempt 0 advances the op
+  /// counter, so a retried op does not consume later scheduled faults.
+  Action OnAttempt(Op op, uint64_t offset, int attempt);
+
+  /// Records the pre-image of a page about to be overwritten (crash
+  /// tracking only; DiskManager calls this before the first write attempt
+  /// while a crash is armed). `len` may be short if the page was never
+  /// fully written before.
+  void RecordPreImage(uint64_t offset, const char* data, size_t len,
+                      size_t page_size);
+
+  /// A successful fdatasync: everything written so far is durable. Clears
+  /// the pre-image log and advances the synced file size.
+  void OnSyncSucceeded(uint64_t file_size);
+
+  /// A successful file extension grew the (un-synced) file to `new_size`.
+  void OnFileGrown(uint64_t new_size);
+
+  /// Called on Open/OpenExisting so crash surgery can reach the file, and
+  /// so the synced size starts at the on-disk size.
+  void AttachFile(int fd, uint64_t file_size);
+  void DetachFile();
+
+  /// Performs the crash: applies the triggering write's fate, rolls back
+  /// un-synced pages per seeded fate, picks a crash file length between the
+  /// synced and current sizes (possibly mid-page), and marks the injector
+  /// crashed. `offset`/`buf`/`len` describe the write (or sync: len == 0)
+  /// that tripped the crash. Returns the error the caller must surface.
+  Status ExecuteCrash(uint64_t offset, const char* buf, size_t len);
+
+  /// True while a crash is armed — DiskManager then records pre-images.
+  bool tracking() const;
+
+ private:
+  struct Rule {
+    Op op;
+    uint64_t nth;       // 1-based op index at which the rule fires
+    int times;          // consecutive attempts to fail; < 0 == permanent
+    Action::Kind kind;
+    int err = 0;
+    size_t bytes = 0;
+  };
+
+  struct PreImage {
+    std::vector<char> data;  // old content, zero-padded to page_size
+    size_t valid = 0;        // bytes that existed before (rest was EOF)
+  };
+
+  WriteFate SeedFate(uint64_t salt);
+  Status RestorePage(uint64_t offset, const PreImage& pre, WriteFate fate,
+                     size_t torn_bytes, uint64_t crash_len);
+
+  mutable std::mutex mu_;
+  Random rng_;
+  std::vector<Rule> rules_;
+  uint64_t counts_[kNumOps] = {0, 0, 0, 0};
+  uint64_t faults_ = 0;
+
+  // Crash state.
+  bool crash_armed_ = false;
+  Op crash_op_ = Op::kWrite;
+  uint64_t crash_at_ = 0;       // absolute op index that trips the crash
+  WriteFate crash_fate_ = WriteFate::kSeeded;
+  size_t crash_torn_bytes_ = 0;
+  bool crashed_ = false;
+
+  int fd_ = -1;
+  uint64_t synced_size_ = 0;    // file size at the last successful sync
+  uint64_t current_size_ = 0;   // file size including un-synced extends
+  std::map<uint64_t, PreImage> preimages_;  // offset -> pre-image
+};
+
+}  // namespace prix
+
+#endif  // PRIX_STORAGE_FAULT_INJECTOR_H_

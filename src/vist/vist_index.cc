@@ -173,7 +173,11 @@ Status VistIndex::Save(Database* db, const std::string& name) const {
     PutU32(&blob, static_cast<uint32_t>(prefixes.size()));
     for (PrefixId p : prefixes) PutU32(&blob, p);
   }
-  PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(db->pool(), blob));
+  auto first_result = WriteBlob(db->pool(), blob);
+  if (!first_result.ok()) {
+    return first_result.status().Annotate("saving ViST index '" + name + "'");
+  }
+  PageId first = *first_result;
   Database::IndexEntry entry;
   entry.name = name;
   entry.kind = Database::IndexKind::kVist;
@@ -190,7 +194,10 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Open(Database* db,
   }
   BufferPool* pool = db->pool();
   std::vector<char> blob;
-  PRIX_RETURN_NOT_OK(ReadBlob(pool, entry.root, &blob));
+  Status blob_st = ReadBlob(pool, entry.root, &blob);
+  if (!blob_st.ok()) {
+    return blob_st.Annotate("opening ViST index '" + name + "'");
+  }
   const char* p = blob.data();
   const char* end = blob.data() + blob.size();
   auto need = [&](size_t bytes) -> Status {

@@ -1,0 +1,309 @@
+// Crash-at-every-write-point simulation. A reference run counts the writes
+// and syncs a full build-save-close workload performs; then, for every k,
+// the workload reruns against a fresh file with the injector crashing on
+// the k-th write (un-synced pages roll back with seeded per-page fates, the
+// file may truncate to any length a real power cut admits, and all further
+// I/O is refused). The file is then reopened WITHOUT the injector and two
+// invariants are asserted:
+//
+//   1. The catalog recovers to the last committed generation, or — when the
+//      crash hit the commit-point header write itself and the write landed
+//      whole — the generation that was in flight. Never anything else, and
+//      never a corrupt open (only a database that never committed at all
+//      may fail to open).
+//   2. Every index the recovered catalog names answers the PRIX + ViST
+//      query mix identically to the clean reference run, including from a
+//      cold cache. This is the assertion that would catch a missing or
+//      misordered fdatasync in Database::CommitLocked: without the
+//      flush-sync-header-sync order, some k produces a catalog referencing
+//      rolled-back pages.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "query/xpath_parser.h"
+#include "storage/fault_injector.h"
+#include "testutil/tree_gen.h"
+#include "vist/vist_index.h"
+#include "vist/vist_query.h"
+#include "xml/tag_dictionary.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+
+constexpr const char* kQueries[] = {
+    "//book[./author]/title",
+    "//author/name",
+    "//article[./editor]",
+    "//book[./author[./name]][./year]",
+};
+
+struct Answer {
+  size_t prix_matches = 0;
+  size_t vist_matches = 0;
+  std::vector<DocId> docs;
+  bool operator==(const Answer& other) const {
+    return prix_matches == other.prix_matches &&
+           vist_matches == other.vist_matches && docs == other.docs;
+  }
+};
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_crash_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    DocId id = 0;
+    for (const char* sexp : {"(book (author (name)) (title) (year))",
+                             "(book (author (name) (name)) (title))",
+                             "(article (author (name)) (journal) (year))",
+                             "(book (editor (name)) (title) (year))",
+                             "(article (editor (name)) (journal))"}) {
+      docs_.push_back(DocFromSexp(sexp, id++, &dict_));
+    }
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  static Database::Options PoolOptions(FaultInjector* inj) {
+    Database::Options opts;
+    opts.pool_pages = 64;
+    opts.fault_injector = inj;
+    return opts;
+  }
+
+  // Runs the workload (create, build+save "rp", build+save "vist", close)
+  // tolerating injected failures. Returns the generation of the last commit
+  // that returned OK; a crash mid-run abandons the handle without touching
+  // the (simulated-dead) device further.
+  uint64_t RunUntilCrash(const std::string& path, FaultInjector* inj) {
+    auto db = Database::Create(path, PoolOptions(inj));
+    if (!db.ok()) return 0;
+    uint64_t last_ok_gen = (*db)->catalog_generation();
+
+    auto rp = PrixIndex::Build(docs_, (*db)->pool(), PrixIndexOptions{});
+    Status st = rp.ok() ? (*rp)->Save(db->get(), "rp") : rp.status();
+    if (!st.ok()) {
+      (*db)->Abandon();
+      return last_ok_gen;
+    }
+    last_ok_gen = (*db)->catalog_generation();
+
+    auto vist = VistIndex::Build(docs_, (*db)->pool());
+    st = vist.ok() ? (*vist)->Save(db->get(), "vist") : vist.status();
+    if (!st.ok()) {
+      (*db)->Abandon();
+      return last_ok_gen;
+    }
+    last_ok_gen = (*db)->catalog_generation();
+
+    st = (*db)->Close();
+    if (!st.ok()) {
+      (*db)->Abandon();
+      return last_ok_gen;
+    }
+    return last_ok_gen + 1;  // Close commits once more on success
+  }
+
+  // Opens every index the recovered catalog names and answers the query mix
+  // with both engines. Any present index MUST answer — its pages were
+  // committed before the catalog named it.
+  void CheckRecoveredAnswers(Database* db) {
+    if (db->HasIndex("rp")) {
+      auto rp = PrixIndex::Open(db, "rp");
+      ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+      QueryProcessor qp(*db, rp->get(), nullptr);
+      for (size_t q = 0; q < std::size(kQueries); ++q) {
+        auto result = qp.ExecuteXPath(kQueries[q], &dict_);
+        ASSERT_TRUE(result.ok()) << kQueries[q] << ": "
+                                 << result.status().ToString();
+        EXPECT_EQ(result->matches.size(), baseline_[q].prix_matches)
+            << kQueries[q];
+        EXPECT_EQ(result->docs, baseline_[q].docs) << kQueries[q];
+      }
+      // Once more from a cold cache, so every page is re-read from the
+      // crashed-and-recovered file rather than the pool.
+      ASSERT_TRUE(db->ColdStart().ok());
+      auto cold = qp.ExecuteXPath(kQueries[0], &dict_);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      EXPECT_EQ(cold->docs, baseline_[0].docs);
+    }
+    if (db->HasIndex("vist")) {
+      auto vist = VistIndex::Open(db, "vist");
+      ASSERT_TRUE(vist.ok()) << vist.status().ToString();
+      VistQueryProcessor vqp(vist->get());
+      for (size_t q = 0; q < std::size(kQueries); ++q) {
+        auto pattern = ParseXPath(kQueries[q], &dict_);
+        ASSERT_TRUE(pattern.ok());
+        auto vr = vqp.Execute(*pattern);
+        ASSERT_TRUE(vr.ok()) << kQueries[q] << ": " << vr.status().ToString();
+        EXPECT_EQ(vr->matches.size(), baseline_[q].vist_matches)
+            << kQueries[q];
+      }
+    }
+  }
+
+  // One crash point: run to the crash, reopen cleanly, assert the catalog
+  // generation and the answers of every surviving index.
+  void RunCrashPoint(const std::string& label, FaultInjector* inj) {
+    SCOPED_TRACE(label);
+    const std::string path = dir_ + "/" + label + ".prix";
+    uint64_t last_ok_gen = RunUntilCrash(path, inj);
+
+    auto reopened = Database::Open(path, PoolOptions(nullptr));
+    if (!reopened.ok()) {
+      // Only a database that never completed its first commit may be
+      // unrecoverable; after any OK commit, some valid header must survive.
+      EXPECT_EQ(last_ok_gen, 0u)
+          << "committed generation " << last_ok_gen
+          << " lost: " << reopened.status().ToString();
+      return;
+    }
+    uint64_t gen = (*reopened)->catalog_generation();
+    EXPECT_TRUE(gen == last_ok_gen || gen == last_ok_gen + 1)
+        << "recovered generation " << gen << ", last committed "
+        << last_ok_gen;
+    ASSERT_NO_FATAL_FAILURE(CheckRecoveredAnswers(reopened->get()));
+    ASSERT_TRUE((*reopened)->Close().ok());
+  }
+
+  // Reference pass: counts ops and records the clean answers.
+  void BuildReference(uint64_t* total_writes, uint64_t* total_syncs) {
+    FaultInjector inj;
+    const std::string path = dir_ + "/reference.prix";
+    uint64_t gen = RunUntilCrash(path, &inj);
+    ASSERT_GT(gen, 0u);
+    ASSERT_FALSE(inj.crashed());
+    *total_writes = inj.op_count(FaultInjector::Op::kWrite) +
+                    inj.op_count(FaultInjector::Op::kExtend);
+    *total_syncs = inj.op_count(FaultInjector::Op::kSync);
+
+    auto db = Database::Open(path, PoolOptions(nullptr));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto rp = PrixIndex::Open(db->get(), "rp");
+    auto vist = VistIndex::Open(db->get(), "vist");
+    ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+    ASSERT_TRUE(vist.ok()) << vist.status().ToString();
+    QueryProcessor qp(**db, rp->get(), nullptr);
+    VistQueryProcessor vqp(vist->get());
+    for (const char* xpath : kQueries) {
+      Answer answer;
+      auto result = qp.ExecuteXPath(xpath, &dict_);
+      ASSERT_TRUE(result.ok()) << xpath << ": " << result.status().ToString();
+      answer.prix_matches = result->matches.size();
+      answer.docs = result->docs;
+      auto pattern = ParseXPath(xpath, &dict_);
+      ASSERT_TRUE(pattern.ok());
+      auto vr = vqp.Execute(*pattern);
+      ASSERT_TRUE(vr.ok()) << xpath << ": " << vr.status().ToString();
+      answer.vist_matches = vr->matches.size();
+      baseline_.push_back(answer);
+    }
+    // The mix must exercise non-trivial answers or the matrix proves little.
+    ASSERT_GT(baseline_[0].prix_matches, 0u);
+    ASSERT_GT(baseline_[1].prix_matches, 0u);
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+
+  TagDictionary dict_;
+  std::vector<Document> docs_;
+  std::string dir_;
+  std::vector<Answer> baseline_;
+};
+
+TEST_F(CrashRecoveryTest, CrashAtEveryWritePointRecoversACommittedCatalog) {
+  uint64_t total_writes = 0, total_syncs = 0;
+  ASSERT_NO_FATAL_FAILURE(BuildReference(&total_writes, &total_syncs));
+  ASSERT_GT(total_writes, 10u);  // the sweep must have real coverage
+
+  for (uint64_t k = 1; k <= total_writes; ++k) {
+    // A distinct seed per crash point varies the per-page rollback fates
+    // and the crash file length across the sweep.
+    FaultInjector inj(0x9e3779b9u + k);
+    inj.CrashAtWrite(k);
+    ASSERT_NO_FATAL_FAILURE(
+        RunCrashPoint("write_" + std::to_string(k), &inj));
+    ASSERT_TRUE(inj.crashed()) << "crash point " << k << " never fired";
+  }
+}
+
+TEST_F(CrashRecoveryTest, CrashAtEverySyncPointRecoversACommittedCatalog) {
+  uint64_t total_writes = 0, total_syncs = 0;
+  ASSERT_NO_FATAL_FAILURE(BuildReference(&total_writes, &total_syncs));
+  ASSERT_GE(total_syncs, 4u);  // two commits plus close
+
+  for (uint64_t k = 1; k <= total_syncs; ++k) {
+    FaultInjector inj(0x85ebca6bu + k);
+    inj.CrashAtSync(k);
+    ASSERT_NO_FATAL_FAILURE(
+        RunCrashPoint("sync_" + std::to_string(k), &inj));
+    ASSERT_TRUE(inj.crashed()) << "crash point " << k << " never fired";
+  }
+}
+
+// Pinned triggering-write fates at the commit point itself: the header-slot
+// write of a commit either lands whole (the commit is durable), tears (the
+// slot fails its checksum and recovery falls back), or vanishes. With a
+// clean pool the commit's only write IS the header, so the fates map
+// exactly onto generation outcomes.
+TEST_F(CrashRecoveryTest, HeaderWriteFateDeterminesCommitOutcome) {
+  struct Case {
+    FaultInjector::WriteFate fate;
+    size_t torn_bytes;
+    bool commit_survives;
+  };
+  const Case cases[] = {
+      {FaultInjector::WriteFate::kComplete, 0, true},
+      {FaultInjector::WriteFate::kTorn, 12, false},
+      {FaultInjector::WriteFate::kDropped, 0, false},
+  };
+  int i = 0;
+  for (const Case& c : cases) {
+    SCOPED_TRACE(i);
+    FaultInjector inj(42 + i);
+    const std::string path = dir_ + "/fate_" + std::to_string(i++) + ".prix";
+    auto db = Database::Create(path, PoolOptions(&inj));
+    ASSERT_TRUE(db.ok());
+    Database::IndexEntry entry;
+    entry.name = "marker";
+    entry.kind = Database::IndexKind::kBlob;
+    entry.root = 2;
+    ASSERT_TRUE((*db)->PutIndex(entry).ok());
+    uint64_t gen = (*db)->catalog_generation();
+
+    // Nothing is dirty, so the next commit's first write is the header.
+    entry.name = "in_flight";
+    inj.CrashAtWrite(1, c.fate, c.torn_bytes);
+    Status st = (*db)->PutIndex(entry);
+    ASSERT_FALSE(st.ok());
+    ASSERT_TRUE(inj.crashed());
+    (*db)->Abandon();
+
+    auto reopened = Database::Open(path, PoolOptions(nullptr));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    if (c.commit_survives) {
+      EXPECT_EQ((*reopened)->catalog_generation(), gen + 1);
+      EXPECT_TRUE((*reopened)->HasIndex("in_flight"));
+    } else {
+      EXPECT_EQ((*reopened)->catalog_generation(), gen);
+      EXPECT_FALSE((*reopened)->HasIndex("in_flight"));
+    }
+    EXPECT_TRUE((*reopened)->HasIndex("marker"));
+    ASSERT_TRUE((*reopened)->Close().ok());
+  }
+}
+
+}  // namespace
+}  // namespace prix

@@ -13,6 +13,7 @@
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 #include "query/xpath_parser.h"
+#include "storage/fault_injector.h"
 #include "storage/record_store.h"
 #include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
@@ -183,6 +184,41 @@ TEST(DatabaseTest, CorruptNewestSlotFallsBackOneGeneration) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ((*reopened)->catalog_generation(), std::min(g0, g1));
   EXPECT_TRUE((*reopened)->HasIndex("survivor"));
+  db.Adopt(std::move(*reopened));
+}
+
+// The ScribbleSlot tests above corrupt a slot from outside, after the fact.
+// Here the tear happens where it really would: inside the commit's own
+// header pwrite, via the fault injector. The commit fails, and recovery
+// must come back with the PREVIOUS generation — the torn slot cannot
+// checksum-validate.
+TEST(DatabaseTest, InjectedTornHeaderWriteFallsBackOneGeneration) {
+  FaultInjector inj(7);
+  testutil::TempDb db(Database::Options{.pool_pages = 64});
+  db->disk()->set_fault_injector(&inj);
+  Database::IndexEntry entry;
+  entry.name = "survivor";
+  entry.kind = Database::IndexKind::kBlob;
+  entry.root = 3;
+  ASSERT_TRUE(db->PutIndex(entry).ok());
+  uint64_t gen = db->catalog_generation();
+
+  // Nothing is dirty, so the next commit's first (and only) write is its
+  // header slot; tear it 12 bytes in — mid-generation-field.
+  entry.name = "casualty";
+  inj.CrashAtWrite(1, FaultInjector::WriteFate::kTorn, /*torn_bytes=*/12);
+  Status st = db->PutIndex(entry);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_TRUE(inj.crashed());
+  db->Abandon();
+
+  auto reopened = Database::Open(db.path(),
+                                 Database::Options{.pool_pages = 64});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->catalog_generation(), gen);
+  EXPECT_TRUE((*reopened)->HasIndex("survivor"));
+  EXPECT_FALSE((*reopened)->HasIndex("casualty"));
   db.Adopt(std::move(*reopened));
 }
 

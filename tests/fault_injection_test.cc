@@ -1,0 +1,363 @@
+// Tests for the storage fault-injection harness: the DiskManager's
+// EINTR/short-transfer loops and bounded RetryPolicy, the BufferPool's
+// behavior when flush/read fails mid-operation, and Status propagation from
+// an injected syscall fault all the way to a query result. Every failure
+// here is driven by an explicit FaultInjector schedule, so the error paths
+// are exercised deterministically rather than hoped-for.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fault_injector.h"
+#include "testutil/temp_db.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_fault_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  // A one-page file with a recognizable pattern, injector installed.
+  void OpenWithInjector(DiskManager* disk, FaultInjector* inj) {
+    ASSERT_TRUE(disk->Open(Path("db")).ok());
+    disk->set_fault_injector(inj);
+    auto p = disk->AllocatePage();
+    ASSERT_TRUE(p.ok());
+    std::memset(pattern_, 0x5a, kPageSize);
+    ASSERT_TRUE(disk->WritePage(*p, pattern_).ok());
+  }
+
+  std::string dir_;
+  char pattern_[kPageSize];
+};
+
+TEST_F(FaultInjectionTest, TransientReadErrorIsRetriedToSuccess) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+
+  inj.FailNth(FaultInjector::Op::kRead, 1, EIO);  // one attempt, then clean
+  char buf[kPageSize] = {};
+  Status st = disk.ReadPage(0, buf);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(std::memcmp(buf, pattern_, kPageSize), 0);
+  EXPECT_EQ(inj.faults_injected(), 1u);
+}
+
+TEST_F(FaultInjectionTest, PermanentReadErrorExhaustsRetryBudget) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+
+  inj.FailAlways(FaultInjector::Op::kRead, EIO);
+  char buf[kPageSize] = {};
+  Status st = disk.ReadPage(0, buf);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.ToString().find("pread page 0"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("gave up after 4 attempts"), std::string::npos)
+      << st.ToString();
+  // Exactly max_attempts syscall attempts were made.
+  EXPECT_EQ(inj.faults_injected(), 4u);
+}
+
+TEST_F(FaultInjectionTest, EintrIsResumedWithoutConsumingRetryAttempts) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+  // Even a policy with NO retries must absorb interrupts: EINTR is resumed
+  // inside the transfer loop, not charged against the attempt budget.
+  disk.set_retry_policy(RetryPolicy{.max_attempts = 1, .backoff_us = 0});
+
+  inj.FailNth(FaultInjector::Op::kRead, 1, EINTR, /*times=*/3);
+  char buf[kPageSize] = {};
+  Status st = disk.ReadPage(0, buf);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(std::memcmp(buf, pattern_, kPageSize), 0);
+  EXPECT_EQ(inj.faults_injected(), 3u);
+}
+
+TEST_F(FaultInjectionTest, ShortReadIsResumedToFullPage) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+  disk.set_retry_policy(RetryPolicy{.max_attempts = 1, .backoff_us = 0});
+
+  // The kernel returns 100 bytes; the loop must pick up the remainder.
+  inj.ShortReadNth(1, 100);
+  char buf[kPageSize] = {};
+  Status st = disk.ReadPage(0, buf);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(std::memcmp(buf, pattern_, kPageSize), 0);
+}
+
+TEST_F(FaultInjectionTest, ZeroByteReadReportsTransferArithmetic) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+
+  // A zero-byte pread (unexpected EOF) carries no errno; the error must
+  // state the transfer arithmetic, not a stale strerror.
+  inj.ShortReadNth(1, 0);
+  char buf[kPageSize] = {};
+  Status st = disk.ReadPage(0, buf);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("short read: got 0 of " +
+                               std::to_string(kPageSize) + " bytes"),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(FaultInjectionTest, TornWriteIsResumedToFullPage) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+  disk.set_retry_policy(RetryPolicy{.max_attempts = 1, .backoff_us = 0});
+
+  char fresh[kPageSize];
+  std::memset(fresh, 0x17, kPageSize);
+  inj.TornWriteNth(1, 1000);  // first pwrite lands only 1000 bytes
+  Status st = disk.WritePage(0, fresh);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  EXPECT_EQ(std::memcmp(buf, fresh, kPageSize), 0);
+}
+
+TEST_F(FaultInjectionTest, SyncRetriesTransientAndReportsExhaustion) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+
+  inj.FailNth(FaultInjector::Op::kSync, 1, EIO);  // transient
+  Status st = disk.Sync();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(disk.sync_count(), 1u);
+
+  inj.FailNth(FaultInjector::Op::kSync, 1, EIO, /*times=*/-1);  // permanent
+  st = disk.Sync();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("fdatasync"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("gave up after 4 attempts"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(disk.sync_count(), 1u);
+}
+
+TEST_F(FaultInjectionTest, NonTransientErrorFailsWithoutRetry) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+
+  uint64_t before = inj.faults_injected();
+  inj.FailAlways(FaultInjector::Op::kRead, ENOSPC);
+  char buf[kPageSize] = {};
+  Status st = disk.ReadPage(0, buf);
+  ASSERT_FALSE(st.ok());
+  // ENOSPC is not transient: one attempt, no "gave up" suffix.
+  EXPECT_EQ(st.ToString().find("gave up"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(inj.faults_injected() - before, 1u);
+}
+
+TEST_F(FaultInjectionTest, FailedFetchDoesNotLeakBufferPoolFrames) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_NO_FATAL_FAILURE(OpenWithInjector(&disk, &inj));
+  disk.set_retry_policy(RetryPolicy{.max_attempts = 2, .backoff_us = 0});
+
+  BufferPool pool(&disk, 4);
+  inj.FailAlways(FaultInjector::Op::kRead, EIO);
+  // More failed fetches than the pool has frames: if a failed read did not
+  // hand its frame back, the pool would be empty (and exhausted) by now.
+  for (int i = 0; i < 10; ++i) {
+    auto page = pool.FetchPage(0);
+    ASSERT_FALSE(page.ok());
+    EXPECT_EQ(page.status().code(), StatusCode::kIoError) << i;
+  }
+  EXPECT_EQ(pool.pages_cached(), 0u);
+
+  inj.Reset();
+  auto page = pool.FetchPage(0);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(std::memcmp((*page)->data(), pattern_, kPageSize), 0);
+  pool.UnpinPage(0, false);
+  EXPECT_TRUE(pool.Clear().ok());
+}
+
+TEST_F(FaultInjectionTest, EvictionFlushFailureKeepsVictimDirtyAndCached) {
+  FaultInjector inj;
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  disk.set_fault_injector(&inj);
+  disk.set_retry_policy(RetryPolicy{.max_attempts = 2, .backoff_us = 0});
+
+  BufferPool pool(&disk, 2);
+  PageId ids[2];
+  for (int i = 0; i < 2; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    ids[i] = (*page)->page_id();
+    std::memset((*page)->data(), 'a' + i, 16);
+    pool.UnpinPage(ids[i], /*dirty=*/true);
+  }
+
+  // The third page needs a frame; evicting the LRU victim (ids[0]) requires
+  // a write-back, which fails. The error must reach this caller and the
+  // victim must survive, still cached and still dirty.
+  inj.FailAlways(FaultInjector::Op::kWrite, EIO);
+  auto page = pool.NewPage();
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIoError);
+  EXPECT_NE(page.status().ToString().find("pwrite"), std::string::npos)
+      << page.status().ToString();
+  EXPECT_EQ(pool.pages_cached(), 2u);
+
+  // Still cached: refetching is a hit, and the un-flushed data is intact.
+  inj.Reset();
+  pool.ResetStats();
+  auto back = pool.FetchPage(ids[0]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->data()[0], 'a');
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  pool.UnpinPage(ids[0], false);
+
+  // Still dirty: with the fault cleared the pool flushes it successfully
+  // and the bytes reach the file.
+  ASSERT_TRUE(pool.Clear().ok());
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(disk.ReadPage(ids[0], buf).ok());
+  EXPECT_EQ(buf[0], 'a');
+}
+
+TEST_F(FaultInjectionTest, CommitFailsWhenSyncFails) {
+  FaultInjector inj;
+  testutil::TempDb db(Database::Options{.pool_pages = 64});
+  db->disk()->set_fault_injector(&inj);
+  db->disk()->set_retry_policy(RetryPolicy{.max_attempts = 2,
+                                           .backoff_us = 0});
+
+  Database::IndexEntry entry;
+  entry.name = "e";
+  entry.kind = Database::IndexKind::kBlob;
+  entry.root = 2;
+  uint64_t gen = db->catalog_generation();
+
+  inj.FailAlways(FaultInjector::Op::kSync, EIO);
+  Status st = db->PutIndex(entry);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // The commit did not happen: the generation is unchanged.
+  EXPECT_EQ(db->catalog_generation(), gen);
+
+  inj.Reset();
+  EXPECT_TRUE(db->PutIndex(entry).ok());
+  EXPECT_EQ(db->catalog_generation(), gen + 1);
+  db->disk()->set_fault_injector(nullptr);
+}
+
+// An injected read fault deep in a B+-tree descent must surface through
+// QueryProcessor as a Status naming the query — no crash, no stuck pin —
+// and after Reset the same processor answers correctly again.
+TEST_F(FaultInjectionTest, ReadFaultPropagatesToQueryResultAndRecovers) {
+  FaultInjector inj;
+  TagDictionary dict;
+  testutil::TempDb db(Database::Options{.pool_pages = 64});
+  std::vector<Document> docs;
+  const char* sexps[] = {
+      "(book (author (name)) (title) (year))",
+      "(book (author (name) (name)) (title))",
+      "(article (author (name)) (journal))",
+  };
+  DocId id = 0;
+  for (const char* sexp : sexps) docs.push_back(DocFromSexp(sexp, id++, &dict));
+  auto rp = PrixIndex::Build(docs, db.pool(), PrixIndexOptions{});
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE((*rp)->Save(&db.db(), "rp").ok());
+
+  const char* kXPath = "//book[./author]/title";
+  QueryProcessor qp(db.db(), rp->get(), nullptr);
+  auto baseline = qp.ExecuteXPath(kXPath, &dict);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_GT(baseline->matches.size(), 0u);
+
+  // Cold cache, then every read fails: the query must fail cleanly.
+  ASSERT_TRUE(db->ColdStart().ok());
+  db->disk()->set_fault_injector(&inj);
+  db->disk()->set_retry_policy(RetryPolicy{.max_attempts = 2,
+                                           .backoff_us = 0});
+  inj.FailAlways(FaultInjector::Op::kRead, EIO);
+  auto failed = qp.ExecuteXPath(kXPath, &dict);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  // The annotation chain names the query, not just the syscall.
+  EXPECT_NE(failed.status().ToString().find(kXPath), std::string::npos)
+      << failed.status().ToString();
+  EXPECT_NE(failed.status().ToString().find("pread"), std::string::npos)
+      << failed.status().ToString();
+
+  // No pin leaked on the error path: ColdStart (Clear) succeeds, and with
+  // the fault gone the identical answer comes back.
+  inj.Reset();
+  ASSERT_TRUE(db->ColdStart().ok());
+  auto again = qp.ExecuteXPath(kXPath, &dict);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->matches.size(), baseline->matches.size());
+  EXPECT_EQ(again->docs, baseline->docs);
+  db->disk()->set_fault_injector(nullptr);
+}
+
+// Opening an index whose catalog blob is unreadable reports which index it
+// was (the Annotate chain), not just a raw page error.
+TEST_F(FaultInjectionTest, IndexOpenFailureNamesTheIndex) {
+  FaultInjector inj;
+  TagDictionary dict;
+  testutil::TempDb db(Database::Options{.pool_pages = 64});
+  std::vector<Document> docs;
+  docs.push_back(DocFromSexp("(book (title))", 0, &dict));
+  auto rp = PrixIndex::Build(docs, db.pool(), PrixIndexOptions{});
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE((*rp)->Save(&db.db(), "rp").ok());
+  ASSERT_TRUE(db->ColdStart().ok());
+
+  db->disk()->set_fault_injector(&inj);
+  db->disk()->set_retry_policy(RetryPolicy{.max_attempts = 2,
+                                           .backoff_us = 0});
+  inj.FailAlways(FaultInjector::Op::kRead, EIO);
+  auto reopened = PrixIndex::Open(&db.db(), "rp");
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().ToString().find("opening PRIX index 'rp'"),
+            std::string::npos)
+      << reopened.status().ToString();
+  inj.Reset();
+  ASSERT_TRUE(PrixIndex::Open(&db.db(), "rp").ok());
+  db->disk()->set_fault_injector(nullptr);
+}
+
+}  // namespace
+}  // namespace prix

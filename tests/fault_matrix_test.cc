@@ -1,0 +1,204 @@
+// The exhaustive single-fault matrix: a reference run counts every
+// DiskManager syscall the workload performs (reads, writes, extends,
+// syncs); then, for every op type and every 1-based index, a fresh
+// environment runs the identical workload with exactly that call site
+// failing. Each injected fault must surface as a non-OK Status at the
+// workload level — no crash, no PRIX_CHECK abort, no leaked pin — and
+// after Reset the same environment must work end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "db/database.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "storage/fault_injector.h"
+#include "testutil/tree_gen.h"
+#include "xml/tag_dictionary.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/prix_matrix_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    DocId id = 0;
+    for (const char* sexp : {"(book (author (name)) (title) (year))",
+                             "(article (author (name)) (journal))"}) {
+      docs_.push_back(DocFromSexp(sexp, id++, &dict_));
+    }
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  // The workload every matrix cell runs: build a PRIX index, commit it to
+  // the catalog, reopen it from the catalog, and answer a query against a
+  // cold cache. Touches every storage call site: extends (build), writes
+  // (flush + commit), syncs (commit), reads (open + query).
+  Status RunWorkload(Database* db) {
+    PRIX_ASSIGN_OR_RETURN(auto built,
+                          PrixIndex::Build(docs_, db->pool(),
+                                           PrixIndexOptions{}));
+    PRIX_RETURN_NOT_OK(built->Save(db, "rp"));
+    PRIX_ASSIGN_OR_RETURN(auto rp, PrixIndex::Open(db, "rp"));
+    PRIX_RETURN_NOT_OK(db->ColdStart());
+    QueryProcessor qp(*db, rp.get(), nullptr);
+    PRIX_ASSIGN_OR_RETURN(auto result,
+                          qp.ExecuteXPath("//book[./author]/title", &dict_));
+    if (result.matches.empty()) {
+      return Status::Internal("query returned no matches");
+    }
+    return Status::OK();
+  }
+
+  // One matrix cell: a fresh database whose injector arms `schedule` after
+  // Create, then the workload. The fault must surface as a Status; after
+  // Reset the pool must have no stuck pin and the workload must succeed.
+  template <typename Schedule>
+  void RunCell(const std::string& label, FaultInjector* inj,
+               Schedule schedule) {
+    SCOPED_TRACE(label);
+    Database::Options opts;
+    opts.pool_pages = 64;
+    opts.fault_injector = inj;
+    auto db = Database::Create(dir_ + "/" + label + ".prix", opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    (*db)->disk()->set_retry_policy(RetryPolicy{.max_attempts = 2,
+                                                .backoff_us = 0});
+    schedule();
+
+    Status st = RunWorkload(db->get());
+    EXPECT_FALSE(st.ok()) << "scheduled fault never surfaced";
+    EXPECT_GT(inj->faults_injected(), 0u);
+
+    // Recovery: clear the schedule; the pool must be fully reusable (Clear
+    // fails on any pin an error path leaked) and the same environment must
+    // complete the workload.
+    inj->Reset();
+    Status clear_st = (*db)->pool()->Clear();
+    ASSERT_TRUE(clear_st.ok()) << clear_st.ToString();
+    Status again = RunWorkload(db->get());
+    ASSERT_TRUE(again.ok()) << again.ToString();
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+
+  // Counts the ops one clean workload performs, from Create through Close.
+  void CountOps(uint64_t counts[FaultInjector::kNumOps]) {
+    FaultInjector inj;
+    Database::Options opts;
+    opts.pool_pages = 64;
+    opts.fault_injector = &inj;
+    auto db = Database::Create(dir_ + "/reference.prix", opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    uint64_t base[FaultInjector::kNumOps];
+    for (int op = 0; op < FaultInjector::kNumOps; ++op) {
+      base[op] = inj.op_count(static_cast<FaultInjector::Op>(op));
+    }
+    ASSERT_TRUE(RunWorkload(db->get()).ok());
+    for (int op = 0; op < FaultInjector::kNumOps; ++op) {
+      counts[op] =
+          inj.op_count(static_cast<FaultInjector::Op>(op)) - base[op];
+    }
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+
+  TagDictionary dict_;
+  std::vector<Document> docs_;
+  std::string dir_;
+};
+
+TEST_F(FaultMatrixTest, EveryCallSiteFailsOnceWithPermanentError) {
+  uint64_t counts[FaultInjector::kNumOps];
+  ASSERT_NO_FATAL_FAILURE(CountOps(counts));
+  uint64_t total = 0;
+  for (int op = 0; op < FaultInjector::kNumOps; ++op) {
+    ASSERT_GT(counts[op], 0u)
+        << "workload does not exercise op " << op
+        << "; the matrix would silently skip it";
+    total += counts[op];
+  }
+  SCOPED_TRACE("matrix size: " + std::to_string(total));
+
+  static const char* kOpNames[] = {"read", "write", "extend", "sync"};
+  for (int op = 0; op < FaultInjector::kNumOps; ++op) {
+    for (uint64_t i = 1; i <= counts[op]; ++i) {
+      FaultInjector inj;
+      auto schedule = [&inj, op, i] {
+        inj.FailNth(static_cast<FaultInjector::Op>(op), i, EIO,
+                    /*times=*/-1);
+      };
+      ASSERT_NO_FATAL_FAILURE(
+          RunCell(std::string(kOpNames[op]) + "_" + std::to_string(i), &inj,
+                  schedule));
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, EveryReadAndWriteFailsOnceWithZeroByteTransfer) {
+  uint64_t counts[FaultInjector::kNumOps];
+  ASSERT_NO_FATAL_FAILURE(CountOps(counts));
+
+  // EOF-shaped transfers (0 bytes moved, errno meaningless) take the short-
+  // transfer arithmetic path rather than the errno path; every read and
+  // write call site must surface those as Statuses too. A zero-byte
+  // transfer is not retryable, so a one-shot rule is enough to fail the
+  // workload's forward progress at that exact call.
+  const uint64_t reads = counts[static_cast<int>(FaultInjector::Op::kRead)];
+  for (uint64_t i = 1; i <= reads; ++i) {
+    FaultInjector inj;
+    ASSERT_NO_FATAL_FAILURE(RunCell(
+        "shortread_" + std::to_string(i), &inj,
+        [&inj, i] { inj.ShortReadNth(i, 0); }));
+  }
+  const uint64_t writes = counts[static_cast<int>(FaultInjector::Op::kWrite)];
+  for (uint64_t i = 1; i <= writes; ++i) {
+    FaultInjector inj;
+    ASSERT_NO_FATAL_FAILURE(RunCell(
+        "shortwrite_" + std::to_string(i), &inj,
+        [&inj, i] { inj.TornWriteNth(i, 0); }));
+  }
+}
+
+TEST_F(FaultMatrixTest, TransientFaultsAtSampledSitesAreInvisible) {
+  uint64_t counts[FaultInjector::kNumOps];
+  ASSERT_NO_FATAL_FAILURE(CountOps(counts));
+
+  // A single transient EIO at any site must be absorbed by the retry layer:
+  // the workload completes as if nothing happened. Sample first, middle,
+  // and last site of every op type.
+  for (int op = 0; op < FaultInjector::kNumOps; ++op) {
+    const uint64_t n = counts[op];
+    for (uint64_t i : {uint64_t{1}, (n + 1) / 2, n}) {
+      FaultInjector inj;
+      Database::Options opts;
+      opts.pool_pages = 64;
+      opts.fault_injector = &inj;
+      std::string label =
+          "transient_" + std::to_string(op) + "_" + std::to_string(i);
+      auto db = Database::Create(dir_ + "/" + label + ".prix", opts);
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      (*db)->disk()->set_retry_policy(RetryPolicy{.max_attempts = 4,
+                                                  .backoff_us = 0});
+      inj.FailNth(static_cast<FaultInjector::Op>(op), i, EIO, /*times=*/1);
+      Status st = RunWorkload(db->get());
+      EXPECT_TRUE(st.ok()) << label << ": " << st.ToString();
+      EXPECT_EQ(inj.faults_injected(), 1u) << label;
+      ASSERT_TRUE((*db)->Close().ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prix

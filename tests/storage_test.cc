@@ -99,6 +99,46 @@ TEST_F(StorageTest, OpenExistingReportsShortFileAsCorruption) {
   EXPECT_NE(s.ToString().find("torn"), std::string::npos) << s.ToString();
 }
 
+TEST_F(StorageTest, OpenExistingCanRecoverTrailingPartialPage) {
+  // A crash can tear the file extension itself, leaving a ragged tail. The
+  // strict open (above) refuses; a caller whose commit protocol keeps
+  // committed state page-aligned may opt into truncating the tail instead.
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  auto p0 = disk.AllocatePage();
+  auto p1 = disk.AllocatePage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  char buf[kPageSize];
+  std::memset(buf, 0x3e, kPageSize);
+  ASSERT_TRUE(disk.WritePage(*p0, buf).ok());
+  ASSERT_TRUE(disk.Close().ok());
+  ASSERT_EQ(truncate(Path("db").c_str(), kPageSize + 777), 0);
+
+  DiskManager reopened;
+  DiskManager::OpenOptions options;
+  options.recover_trailing_partial_page = true;
+  Status s = reopened.OpenExisting(Path("db"), options);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(reopened.num_pages(), 1u);
+  EXPECT_EQ(reopened.trailing_bytes_recovered(), 777u);
+  char readback[kPageSize] = {};
+  ASSERT_TRUE(reopened.ReadPage(*p0, readback).ok());
+  EXPECT_EQ(std::memcmp(buf, readback, kPageSize), 0);
+}
+
+TEST_F(StorageTest, SyncCountsAndSucceedsOnCleanFile) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(Path("db")).ok());
+  auto p = disk.AllocatePage();
+  ASSERT_TRUE(p.ok());
+  char buf[kPageSize] = {};
+  ASSERT_TRUE(disk.WritePage(*p, buf).ok());
+  EXPECT_EQ(disk.sync_count(), 0u);
+  ASSERT_TRUE(disk.Sync().ok());
+  ASSERT_TRUE(disk.Sync().ok());
+  EXPECT_EQ(disk.sync_count(), 2u);
+}
+
 TEST_F(StorageTest, OpenExistingAcceptsPageAlignedFile) {
   DiskManager disk;
   ASSERT_TRUE(disk.Open(Path("db")).ok());

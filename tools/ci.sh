@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
-# The full gate: plain build + tests, then the ASan/UBSan suite, then the
-# TSan concurrency suite. Each stage uses its own build tree, so rerunning
-# after a fix is incremental.
+# The full gate: plain build + tests (including the fault-injection and
+# crash-recovery suite), then the ASan/UBSan suite, then the fault suite
+# again under ASan (error paths are where pins leak), then the TSan
+# concurrency suite. Each stage uses its own build tree, so rerunning
+# after a fix is incremental; stage 3 reuses stage 2's tree.
 #
 # Usage: tools/ci.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== 1/3 build + ctest ===="
+echo "==== 1/4 build + ctest ===="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==== 2/3 AddressSanitizer + UBSan ===="
+echo "==== 2/4 AddressSanitizer + UBSan ===="
 tools/check_asan.sh build-asan
 
-echo "==== 3/3 ThreadSanitizer ===="
+echo "==== 3/4 fault injection + crash simulation under ASan ===="
+tools/check_faults.sh build-asan
+
+echo "==== 4/4 ThreadSanitizer ===="
 tools/check_tsan.sh build-tsan
 
 echo "==== CI: all stages green ===="
