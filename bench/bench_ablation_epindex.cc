@@ -16,6 +16,7 @@ int main() {
   std::printf("%-4s %-10s %6s | %12s %10s %10s | %12s %10s %10s\n", "Id",
               "Dataset", "value", "RP time", "RP scan", "RP IO", "EP time",
               "EP scan", "EP IO");
+  BenchReport report("ablation_epindex");
   for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
     EngineSet set(dataset, scale, "prix");
     if (!set.Build().ok()) return 1;
@@ -26,6 +27,8 @@ int main() {
       auto ep = set.RunPrix(spec.xpath, true,
                             QueryOptions::IndexChoice::kExtended);
       if (!rp.ok() || !ep.ok()) return 1;
+      report.AddRow("PRIX-RP", dataset, spec.id, spec.xpath, *rp);
+      report.AddRow("PRIX-EP", dataset, spec.id, spec.xpath, *ep);
       bool has_value = std::strchr(spec.xpath, '"') != nullptr;
       std::printf(
           "%-4s %-10s %6s | %12s %10llu %10llu | %12s %10llu %10llu\n",
@@ -41,6 +44,7 @@ int main() {
       }
     }
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\n(Expected: EP wins on value queries; RP is preferable without "
       "values — the paper's query-optimizer rule.)\n");

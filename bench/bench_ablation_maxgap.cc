@@ -16,6 +16,7 @@ int main() {
   std::printf("%-4s %-10s | %10s %10s %10s | %10s %10s %10s | %8s %8s\n",
               "Id", "Dataset", "scan+", "cand+", "IO+", "scan-", "cand-",
               "IO-", "pruned", "matches");
+  BenchReport report("ablation_maxgap");
   for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
     EngineSet set(dataset, scale, "prix");
     if (!set.Build().ok()) return 1;
@@ -24,6 +25,8 @@ int main() {
       auto on = set.RunPrix(spec.xpath, /*use_maxgap=*/true);
       auto off = set.RunPrix(spec.xpath, /*use_maxgap=*/false);
       if (!on.ok() || !off.ok()) return 1;
+      report.AddRow("PRIX+maxgap", dataset, spec.id, spec.xpath, *on);
+      report.AddRow("PRIX-maxgap", dataset, spec.id, spec.xpath, *off);
       std::printf(
           "%-4s %-10s | %10llu %10llu %10llu | %10llu %10llu %10llu | %8llu "
           "%8zu\n",
@@ -43,6 +46,7 @@ int main() {
       }
     }
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\n('+' columns: MaxGap enabled; '-' columns: disabled. The metric "
       "may only remove work, never results.)\n");

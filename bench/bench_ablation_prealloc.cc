@@ -9,12 +9,31 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_common.h"
 #include "common/random.h"
 #include "trie/range_labeler.h"
 
 using namespace prix;
+using prix::bench::BenchReport;
 
 namespace {
+
+std::string LabelerRow(const char* workload, size_t trie_nodes,
+                       size_t alphabet, const char* alpha,
+                       uint64_t underflows, uint64_t relabeled,
+                       double label_ms) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("workload").String(workload);
+  w.Key("trie_nodes").UInt(trie_nodes);
+  w.Key("alphabet").UInt(alphabet);
+  w.Key("alpha").String(alpha);
+  w.Key("underflows").UInt(underflows);
+  w.Key("relabeled_nodes").UInt(relabeled);
+  w.Key("label_ms").Double(label_ms);
+  w.EndObject();
+  return w.Take();
+}
 
 struct Workload {
   const char* name;
@@ -24,7 +43,7 @@ struct Workload {
   double head_skew;  // fraction of sequences sharing the head label
 };
 
-void RunWorkload(const Workload& w) {
+void RunWorkload(const Workload& w, BenchReport* report) {
   Random rng(99);
   SequenceTrie trie;
   std::vector<std::vector<LabelId>> seqs;
@@ -47,21 +66,28 @@ void RunWorkload(const Workload& w) {
     auto labels = LabelTrieDynamic(trie, seqs, alpha, &stats);
     auto t1 = std::chrono::steady_clock::now();
     bool valid = ValidateContainment(trie, labels);
+    double ms = std::chrono::duration<double>(t1 - t0).count() * 1e3;
     std::printf("%-18s %8zu %6zu %7u %12llu %16llu %10.1f %8s\n", w.name,
                 trie.num_nodes(), w.alphabet, alpha,
                 (unsigned long long)stats.underflows,
-                (unsigned long long)stats.relabeled_nodes,
-                std::chrono::duration<double>(t1 - t0).count() * 1e3,
+                (unsigned long long)stats.relabeled_nodes, ms,
                 valid ? "yes" : "NO");
     if (!valid) std::exit(1);
+    char alpha_str[8];
+    std::snprintf(alpha_str, sizeof(alpha_str), "%u", alpha);
+    report->AddRawRow(LabelerRow(w.name, trie.num_nodes(), w.alphabet,
+                                 alpha_str, stats.underflows,
+                                 stats.relabeled_nodes, ms));
   }
   auto t0 = std::chrono::steady_clock::now();
   auto exact = LabelTrieExact(trie);
   auto t1 = std::chrono::steady_clock::now();
+  double exact_ms = std::chrono::duration<double>(t1 - t0).count() * 1e3;
   std::printf("%-18s %8zu %6zu %7s %12d %16d %10.1f %8s\n", w.name,
-              trie.num_nodes(), w.alphabet, "exact", 0, 0,
-              std::chrono::duration<double>(t1 - t0).count() * 1e3,
+              trie.num_nodes(), w.alphabet, "exact", 0, 0, exact_ms,
               ValidateContainment(trie, exact) ? "yes" : "NO");
+  report->AddRawRow(LabelerRow(w.name, trie.num_nodes(), w.alphabet, "exact",
+                               0, 0, exact_ms));
 }
 
 }  // namespace
@@ -83,7 +109,9 @@ int main() {
       // Both at once, with a skewed head the alpha-prefix can exploit.
       {"wide/long/skewed", 2000, 1500, 40, 0.6},
   };
-  for (const Workload& w : workloads) RunWorkload(w);
+  BenchReport report("ablation_prealloc");
+  for (const Workload& w : workloads) RunWorkload(w, &report);
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\n(Underflows should fall as alpha grows on skewed workloads — the "
       "frequency-and-length pre-allocation of Sec. 5.2.1 — and the exact "

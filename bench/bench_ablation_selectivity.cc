@@ -20,6 +20,7 @@ int main() {
       "(//inproceedings[./author=\"<rank r author>\"])\n");
   std::printf("%6s %10s | %12s %10s | %12s %10s\n", "rank", "matches",
               "PRIX time", "PRIX IO", "TSXB time", "TSXB IO");
+  BenchReport report("ablation_selectivity");
   for (size_t rank : {0, 1, 3, 10, 50, 200, 1000, 5000}) {
     std::string xpath = "//inproceedings[./author=\"" +
                         datagen::AuthorName(rank) + "\"]";
@@ -34,7 +35,11 @@ int main() {
                 prix_run->matches, Secs(prix_run->seconds).c_str(),
                 (unsigned long long)prix_run->pages, Secs(xb->seconds).c_str(),
                 (unsigned long long)xb->pages);
+    std::string id = "rank" + std::to_string(rank);
+    report.AddRow("PRIX", "DBLP", id, xpath, *prix_run);
+    report.AddRow("TwigStackXB", "DBLP", id, xpath, *xb);
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\n(PRIX I/O tracks result cardinality across two orders of magnitude "
       "— the bottom-up transform starts at the queried author value, and "

@@ -19,6 +19,7 @@ int main() {
   std::printf("%-4s %-10s | %12s %10s %8s | %12s %10s %8s\n", "Id", "Dataset",
               "sound time", "sound IO", "matches", "paper time", "paper IO",
               "matches");
+  BenchReport report("ablation_wildcard");
   for (const char* dataset : {"SWISSPROT", "TREEBANK"}) {
     EngineSet set(dataset, scale, "prix");
     if (!set.Build().ok()) return 1;
@@ -34,7 +35,7 @@ int main() {
         // still starts from a cold buffer pool (see bench_common.cc).
         for (int pass = 0; pass < 2; ++pass) {
           if (!set.pool()->Clear().ok()) return Status::Internal("clear");
-          set.pool()->ResetStats();
+          MetricsContext mctx;
           auto t0 = std::chrono::steady_clock::now();
           PRIX_ASSIGN_OR_RETURN(
               QueryResult qr,
@@ -42,14 +43,19 @@ int main() {
                               options));
           auto t1 = std::chrono::steady_clock::now();
           out.seconds = std::chrono::duration<double>(t1 - t0).count();
-          out.pages = set.pool()->stats().physical_reads;
+          out.io = mctx.counters;
+          out.pages = qr.stats.pages_read;
           out.matches = qr.matches.size();
+          out.prix_stats = qr.stats;
         }
         return out;
       };
       auto sound_run = run(sound);
       auto paper_run = run(paper);
       if (!sound_run.ok() || !paper_run.ok()) return 1;
+      report.AddRow("PRIX-sound", dataset, spec.id, spec.xpath, *sound_run);
+      report.AddRow("PRIX-fulltwig", dataset, spec.id, spec.xpath,
+                    *paper_run);
       std::printf("%-4s %-10s | %12s %10llu %8zu | %12s %10llu %8zu%s\n",
                   spec.id, dataset, Secs(sound_run->seconds).c_str(),
                   (unsigned long long)sound_run->pages, sound_run->matches,
@@ -60,6 +66,7 @@ int main() {
                       : "");
     }
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\n(On these datasets both modes return identical results; the sound "
       "mode pays extra I/O only on queries at coincidence risk, e.g. Q6.)\n");

@@ -122,12 +122,16 @@ Result<RunResult> EngineSet::RunPrix(const std::string& xpath,
   RunResult out;
   for (int pass = 0; pass < 2; ++pass) {
     PRIX_RETURN_NOT_OK(ColdStart());
+    // The context captures this run's exact I/O (Execute's inner context
+    // folds into it on return), including parse-time dictionary work.
+    MetricsContext mctx;
     auto t0 = std::chrono::steady_clock::now();
     PRIX_ASSIGN_OR_RETURN(QueryResult qr,
                           qp.ExecuteXPath(xpath, &coll_.dictionary, options));
     auto t1 = std::chrono::steady_clock::now();
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    out.pages = db_->pool()->stats().physical_reads;
+    out.io = mctx.counters;
+    out.pages = qr.stats.pages_read;
     out.matches = qr.matches.size();
     out.docs = qr.docs.size();
     out.prix_stats = qr.stats;
@@ -143,11 +147,13 @@ Result<RunResult> EngineSet::RunVist(const std::string& xpath) {
   RunResult out;
   for (int pass = 0; pass < 2; ++pass) {
     PRIX_RETURN_NOT_OK(ColdStart());
+    MetricsContext mctx;
     auto t0 = std::chrono::steady_clock::now();
     PRIX_ASSIGN_OR_RETURN(VistQueryResult qr, qp.Execute(pattern));
     auto t1 = std::chrono::steady_clock::now();
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    out.pages = db_->pool()->stats().physical_reads;
+    out.io = mctx.counters;
+    out.pages = out.io.physical_reads;
     out.matches = qr.matches.size();
     out.docs = qr.docs.size();
     out.vist_stats = qr.stats;
@@ -164,11 +170,13 @@ Result<RunResult> EngineSet::RunTwigStack(const std::string& xpath,
   RunResult out;
   for (int pass = 0; pass < 2; ++pass) {
     PRIX_RETURN_NOT_OK(ColdStart());
+    MetricsContext mctx;
     auto t0 = std::chrono::steady_clock::now();
     PRIX_ASSIGN_OR_RETURN(TwigStackResult qr, engine.Execute(pattern));
     auto t1 = std::chrono::steady_clock::now();
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    out.pages = db_->pool()->stats().physical_reads;
+    out.io = mctx.counters;
+    out.pages = out.io.physical_reads;
     out.matches = qr.matches.size();
     out.docs = qr.docs.size();
     out.twig_stats = qr.stats;
@@ -196,6 +204,72 @@ std::string PagesStr(uint64_t pages) {
   std::snprintf(buf, sizeof(buf), "%llu pages",
                 static_cast<unsigned long long>(pages));
   return buf;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  MetricsRegistry::Global().set_enabled(true);
+  MetricsRegistry::Global().Reset();
+}
+
+void BenchReport::AddRow(std::string_view engine, std::string_view dataset,
+                         std::string_view query, std::string_view xpath,
+                         const RunResult& r) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("engine").String(engine);
+  w.Key("dataset").String(dataset);
+  w.Key("query").String(query);
+  w.Key("xpath").String(xpath);
+  w.Key("seconds").Double(r.seconds);
+  w.Key("matches").UInt(r.matches);
+  w.Key("docs").UInt(r.docs);
+  w.Key("pages_read").UInt(r.pages);
+  w.Key("io").BeginObject();
+  w.Key("pool_hits").UInt(r.io.pool_hits);
+  w.Key("pool_misses").UInt(r.io.pool_misses);
+  w.Key("physical_reads").UInt(r.io.physical_reads);
+  w.Key("physical_writes").UInt(r.io.physical_writes);
+  w.Key("btree_nodes").UInt(r.io.btree_nodes);
+  w.EndObject();
+  w.Key("phases_us").BeginObject();
+  w.Key("match").UInt(r.prix_stats.match_us);
+  w.Key("refine").UInt(r.prix_stats.refine_us);
+  w.Key("verify").UInt(r.prix_stats.verify_us);
+  w.Key("total").UInt(r.prix_stats.total_us);
+  w.EndObject();
+  w.EndObject();
+  rows_.push_back(w.Take());
+}
+
+void BenchReport::AddRawRow(std::string json_object) {
+  rows_.push_back(std::move(json_object));
+}
+
+Status BenchReport::Write() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(name_);
+  w.Key("scale").Double(ScaleFromEnv());
+  w.Key("rows").BeginArray();
+  for (const std::string& row : rows_) w.RawValue(row);
+  w.EndArray();
+  // Process-wide registry dump: includes the per-phase latency histograms
+  // (prix.query.*_us) accumulated since construction.
+  w.Key("metrics").RawValue(MetricsRegistry::Global().ToJson());
+  w.EndObject();
+  std::string doc = w.Take();
+  PRIX_RETURN_NOT_OK(ValidateJson(doc).Annotate("BENCH_" + name_ + ".json"));
+  std::string path = "BENCH_" + name_ + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  if (std::fputc('\n', f) == EOF || n != doc.size()) {
+    std::fclose(f);
+    return Status::IoError("short write to " + path);
+  }
+  if (std::fclose(f) != 0) return Status::IoError("close failed: " + path);
+  std::fprintf(stderr, "wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  return Status::OK();
 }
 
 }  // namespace prix::bench

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "datagen/dblp_gen.h"
 #include "db/database.h"
@@ -47,12 +49,15 @@ double ScaleFromEnv();
 
 DocumentCollection MakeDataset(const std::string& name, double scale);
 
-/// Outcome of one cold-cache query run.
+/// Outcome of one cold-cache query run. `pages` and `io` come from a
+/// thread-local MetricsContext opened around the measured pass, so they are
+/// exact for that run even if the process has other I/O in flight.
 struct RunResult {
   double seconds = 0;
   uint64_t pages = 0;  ///< physical page reads (the paper's "Disk IO")
   size_t matches = 0;
   size_t docs = 0;
+  MetricCounters io;              // exact hit/miss/read/write/node counts
   QueryStats prix_stats;          // engine-specific extras (when applicable)
   VistQueryStats vist_stats;
   TwigStackStats twig_stats;
@@ -110,6 +115,36 @@ class EngineSet {
 /// "0.123 secs" / "1234 pages" formatting used by the table benches.
 std::string Secs(double seconds);
 std::string PagesStr(uint64_t pages);
+
+/// Collects benchmark rows and writes them as `BENCH_<name>.json` in the
+/// working directory. Construction enables and resets the global
+/// MetricsRegistry, so the per-phase latency histograms the query layer
+/// records (prix.query.{match,refine,verify,total}_us) accumulate over the
+/// bench and land in the file's "metrics" section. All strings pass
+/// through JsonWriter's escaping, and Write() re-validates the full
+/// document before touching the file, so a bench can never leave behind
+/// malformed JSON.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Appends one result row. `query` is the short id ("Q1"); `xpath` may
+  /// contain quotes/backslashes — it is escaped on emission.
+  void AddRow(std::string_view engine, std::string_view dataset,
+              std::string_view query, std::string_view xpath,
+              const RunResult& r);
+
+  /// Appends a pre-serialized JSON object as a row (caller-validated).
+  void AddRawRow(std::string json_object);
+
+  /// Writes BENCH_<name>.json (rows + registry dump). Returns the result
+  /// of validation/IO; also logs the path on success.
+  Status Write();
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace prix::bench
 

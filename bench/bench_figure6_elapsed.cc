@@ -14,6 +14,7 @@ int main() {
   std::printf("Figure 6: Elapsed time for XPath queries (seconds)\n");
   std::printf("%-4s %-10s %12s %12s %12s %12s\n", "Id", "Dataset", "PRIX",
               "ViST", "TwigStack", "TwigStackXB");
+  BenchReport report("figure6_elapsed");
   for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
     EngineSet set(dataset, scale);
     if (!set.Build().ok()) return 1;
@@ -30,8 +31,13 @@ int main() {
       std::printf("%-4s %-10s %12.4f %12.4f %12.4f %12.4f\n", spec.id,
                   dataset, prix_run->seconds, vist_run->seconds, ts->seconds,
                   xb->seconds);
+      report.AddRow("PRIX", dataset, spec.id, spec.xpath, *prix_run);
+      report.AddRow("ViST", dataset, spec.id, spec.xpath, *vist_run);
+      report.AddRow("TwigStack", dataset, spec.id, spec.xpath, *ts);
+      report.AddRow("TwigStackXB", dataset, spec.id, spec.xpath, *xb);
     }
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\nExpected shape (paper Fig. 6, log scale): PRIX fastest or tied on "
       "every query; ViST slowest by 1-3 orders of magnitude except Q2; "

@@ -160,55 +160,66 @@ int main() {
                 overall_qps[i] / overall_qps[0]);
   }
 
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("parallel_throughput");
+  w.Key("scale").Double(scale);
+  w.Key("hardware_concurrency").UInt(hw);
+  w.Key("batch_repeats").UInt(kBatchRepeats);
+  w.Key("datasets").BeginArray();
+  for (const DatasetReport& report : reports) {
+    w.BeginObject();
+    w.Key("name").String(report.name);
+    w.Key("results_consistent").Bool(report.results_consistent);
+    w.Key("cold_single_thread").BeginArray();
+    for (size_t i = 0; i < report.specs.size(); ++i) {
+      const RunResult& run = report.cold_single[i];
+      w.BeginObject();
+      w.Key("id").String(report.specs[i]->id);
+      w.Key("seconds").Double(run.seconds);
+      w.Key("pages").UInt(run.pages);
+      w.Key("matches").UInt(run.matches);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("warm_sweep").BeginArray();
+    for (const SweepPoint& point : report.sweep) {
+      w.BeginObject();
+      w.Key("threads").UInt(point.threads);
+      w.Key("queries").UInt(point.queries);
+      w.Key("seconds").Double(point.seconds);
+      w.Key("qps").Double(point.qps);
+      w.Key("speedup").Double(point.qps / report.sweep.front().qps);
+      w.Key("hit_rate").Double(point.hit_rate);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("overall").BeginArray();
+  for (size_t i = 0; i < overall_qps.size(); ++i) {
+    w.BeginObject();
+    w.Key("threads").UInt(kThreadSweep[i]);
+    w.Key("qps").Double(overall_qps[i]);
+    w.Key("speedup").Double(overall_qps[i] / overall_qps[0]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  std::string doc = w.Take();
+  if (Status v = ValidateJson(doc); !v.ok()) {
+    std::fprintf(stderr, "BENCH_parallel.json would be invalid: %s\n",
+                 v.ToString().c_str());
+    return 1;
+  }
   FILE* json = std::fopen("BENCH_parallel.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_parallel.json\n");
     return 1;
   }
-  std::fprintf(json, "{\n  \"bench\": \"parallel_throughput\",\n");
-  std::fprintf(json, "  \"scale\": %.3f,\n", scale);
-  std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
-  std::fprintf(json, "  \"batch_repeats\": %zu,\n", kBatchRepeats);
-  std::fprintf(json, "  \"datasets\": [\n");
-  for (size_t d = 0; d < reports.size(); ++d) {
-    const DatasetReport& report = reports[d];
-    std::fprintf(json, "    {\n      \"name\": \"%s\",\n",
-                 report.name.c_str());
-    std::fprintf(json, "      \"results_consistent\": %s,\n",
-                 report.results_consistent ? "true" : "false");
-    std::fprintf(json, "      \"cold_single_thread\": [\n");
-    for (size_t i = 0; i < report.specs.size(); ++i) {
-      const RunResult& run = report.cold_single[i];
-      std::fprintf(json,
-                   "        {\"id\": \"%s\", \"seconds\": %.6f, \"pages\": "
-                   "%llu, \"matches\": %zu}%s\n",
-                   report.specs[i]->id, run.seconds,
-                   static_cast<unsigned long long>(run.pages), run.matches,
-                   i + 1 < report.specs.size() ? "," : "");
-    }
-    std::fprintf(json, "      ],\n      \"warm_sweep\": [\n");
-    for (size_t i = 0; i < report.sweep.size(); ++i) {
-      const SweepPoint& point = report.sweep[i];
-      std::fprintf(json,
-                   "        {\"threads\": %zu, \"queries\": %zu, \"seconds\": "
-                   "%.6f, \"qps\": %.2f, \"speedup\": %.3f, \"hit_rate\": "
-                   "%.4f}%s\n",
-                   point.threads, point.queries, point.seconds, point.qps,
-                   point.qps / report.sweep.front().qps, point.hit_rate,
-                   i + 1 < report.sweep.size() ? "," : "");
-    }
-    std::fprintf(json, "      ]\n    }%s\n",
-                 d + 1 < reports.size() ? "," : "");
-  }
-  std::fprintf(json, "  ],\n  \"overall\": [\n");
-  for (size_t i = 0; i < overall_qps.size(); ++i) {
-    std::fprintf(json,
-                 "    {\"threads\": %zu, \"qps\": %.2f, \"speedup\": %.3f}%s\n",
-                 kThreadSweep[i], overall_qps[i],
-                 overall_qps[i] / overall_qps[0],
-                 i + 1 < overall_qps.size() ? "," : "");
-  }
-  std::fprintf(json, "  ]\n}\n");
+  std::fwrite(doc.data(), 1, doc.size(), json);
+  std::fputc('\n', json);
   std::fclose(json);
   std::printf("\nwrote BENCH_parallel.json\n");
   return 0;

@@ -16,6 +16,7 @@ int main() {
   std::printf("%-4s %-58s %-10s %8s %8s %8s %8s %8s\n", "Id", "Query",
               "Dataset", "paper", "oracle", "PRIX", "ViST", "TwigStk");
   bool all_agree = true;
+  BenchReport report("table3_queries");
   for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
     EngineSet set(dataset, scale);
     if (!set.Build().ok()) return 1;
@@ -34,6 +35,10 @@ int main() {
       std::printf("%-4s %-58s %-10s %8zu %8zu %8zu %8zu %8zu\n", spec.id,
                   spec.xpath, spec.dataset, spec.paper_matches, oracle,
                   prix_run->matches, vist_run->matches, twig_run->matches);
+      report.AddRow("PRIX", dataset, spec.id, spec.xpath, *prix_run);
+      report.AddRow("ViST", dataset, spec.id, spec.xpath, *vist_run);
+      report.AddRow("TwigStack", dataset, spec.id, spec.xpath, *twig_run);
+      report.AddRow("TwigStackXB", dataset, spec.id, spec.xpath, *xb_run);
       all_agree &= prix_run->matches == oracle;
       all_agree &= vist_run->matches == oracle;
       all_agree &= twig_run->matches == oracle;
@@ -41,6 +46,7 @@ int main() {
       all_agree &= oracle == spec.paper_matches;
     }
   }
+  if (!report.Write().ok()) return 1;
   std::printf(all_agree
                   ? "\nAll engines agree with the oracle and the paper's "
                     "Table 3 counts.\n"

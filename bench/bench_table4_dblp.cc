@@ -16,6 +16,7 @@ int main() {
               "PRIX IO", "ViST time", "ViST IO");
   const char* ids[] = {"Q1", "Q2", "Q3"};
   const char* queries[] = {kQ1, kQ2, kQ3};
+  BenchReport report("table4_dblp");
   for (int i = 0; i < 3; ++i) {
     auto prix_run = set.RunPrix(queries[i]);
     auto vist_run = set.RunVist(queries[i]);
@@ -25,7 +26,10 @@ int main() {
                 PagesStr(prix_run->pages).c_str(),
                 Secs(vist_run->seconds).c_str(),
                 PagesStr(vist_run->pages).c_str());
+    report.AddRow("PRIX", "DBLP", ids[i], queries[i], *prix_run);
+    report.AddRow("ViST", "DBLP", ids[i], queries[i], *vist_run);
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\nPaper (Table 4): Q1 1.48s/185p vs 15.28s/3543p; Q2 0.05s/7p vs "
       "0.15s/15p; Q3 0.07s/9p vs 22.07s/2280p.\n");

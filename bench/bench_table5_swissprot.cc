@@ -15,6 +15,7 @@ int main() {
               "PRIX IO", "ViST time", "ViST IO");
   const char* ids[] = {"Q4", "Q5", "Q6"};
   const char* queries[] = {kQ4, kQ5, kQ6};
+  BenchReport report("table5_swissprot");
   for (int i = 0; i < 3; ++i) {
     auto prix_run = set.RunPrix(queries[i]);
     auto vist_run = set.RunVist(queries[i]);
@@ -24,7 +25,10 @@ int main() {
                 PagesStr(prix_run->pages).c_str(),
                 Secs(vist_run->seconds).c_str(),
                 PagesStr(vist_run->pages).c_str());
+    report.AddRow("PRIX", "SWISSPROT", ids[i], queries[i], *prix_run);
+    report.AddRow("ViST", "SWISSPROT", ids[i], queries[i], *vist_run);
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\nPaper (Table 5): Q4 0.29s/23p vs 9.52s/1757p; Q5 0.36s/49p vs "
       "131.67s/128150p; Q6 0.75s/86p vs 39.12s/6967p.\n");

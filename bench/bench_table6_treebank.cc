@@ -16,6 +16,7 @@ int main() {
               "PRIX IO", "ViST time", "ViST IO", "ViST keys matched");
   const char* ids[] = {"Q7", "Q8", "Q9"};
   const char* queries[] = {kQ7, kQ8, kQ9};
+  BenchReport report("table6_treebank");
   for (int i = 0; i < 3; ++i) {
     auto prix_run = set.RunPrix(queries[i]);
     auto vist_run = set.RunVist(queries[i]);
@@ -26,7 +27,10 @@ int main() {
                 Secs(vist_run->seconds).c_str(),
                 PagesStr(vist_run->pages).c_str(),
                 (unsigned long long)vist_run->vist_stats.matched_prefixes);
+    report.AddRow("PRIX", "TREEBANK", ids[i], queries[i], *prix_run);
+    report.AddRow("ViST", "TREEBANK", ids[i], queries[i], *vist_run);
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\nPaper (Table 6): Q7 0.42s/46p vs 198.40s/40827p; Q8 0.35s/35p vs "
       "672.20s/94505p; Q9 0.50s/55p vs 767.24s/121928p. The paper reports "

@@ -16,6 +16,7 @@ int main() {
               "TS IO", "TS elems", "TSXB time", "TSXB IO", "TSXB elems");
   const char* ids[] = {"Q1", "Q2", "Q3"};
   const char* queries[] = {kQ1, kQ2, kQ3};
+  BenchReport report("table7_twigstack");
   for (int i = 0; i < 3; ++i) {
     auto ts = set.RunTwigStack(queries[i], /*use_xb=*/false);
     auto xb = set.RunTwigStack(queries[i], /*use_xb=*/true);
@@ -25,7 +26,10 @@ int main() {
                 (unsigned long long)ts->twig_stats.elements_processed,
                 Secs(xb->seconds).c_str(), PagesStr(xb->pages).c_str(),
                 (unsigned long long)xb->twig_stats.elements_processed);
+    report.AddRow("TwigStack", "DBLP", ids[i], queries[i], *ts);
+    report.AddRow("TwigStackXB", "DBLP", ids[i], queries[i], *xb);
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\nPaper (Table 7): Q1 20.74s/8756p vs 1.28s/201p; Q2 7.25s/2310p vs "
       "0.49s/63p; Q3 6.17s/2271p vs 0.05s/8p.\n");

@@ -22,6 +22,7 @@ int main() {
   const Row rows[] = {
       {"Q1", kQ1, "DBLP"}, {"Q5", kQ5, "SWISSPROT"}, {"Q7", kQ7, "TREEBANK"}};
   double scale = ScaleFromEnv();
+  BenchReport report("table8_clustered");
   for (const Row& row : rows) {
     EngineSet set(row.dataset, scale, "prix,twigstack");
     if (!set.Build().ok()) return 1;
@@ -32,7 +33,10 @@ int main() {
                 Secs(prix_run->seconds).c_str(),
                 PagesStr(prix_run->pages).c_str(), Secs(xb->seconds).c_str(),
                 PagesStr(xb->pages).c_str());
+    report.AddRow("PRIX", row.dataset, row.id, row.xpath, *prix_run);
+    report.AddRow("TwigStackXB", row.dataset, row.id, row.xpath, *xb);
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\nPaper (Table 8): Q1 1.48s/185p vs 1.28s/201p; Q5 0.36s/49p vs "
       "0.33s/59p; Q7 0.42s/46p vs 0.47s/51p.\n");

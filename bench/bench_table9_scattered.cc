@@ -22,6 +22,7 @@ int main() {
   const Row rows[] = {
       {"Q2", kQ2, "DBLP"}, {"Q6", kQ6, "SWISSPROT"}, {"Q8", kQ8, "TREEBANK"}};
   double scale = ScaleFromEnv();
+  BenchReport report("table9_scattered");
   for (const Row& row : rows) {
     EngineSet set(row.dataset, scale, "prix,twigstack");
     if (!set.Build().ok()) return 1;
@@ -33,7 +34,10 @@ int main() {
                 PagesStr(prix_run->pages).c_str(), Secs(xb->seconds).c_str(),
                 PagesStr(xb->pages).c_str(),
                 (unsigned long long)xb->twig_stats.drilldowns);
+    report.AddRow("PRIX", row.dataset, row.id, row.xpath, *prix_run);
+    report.AddRow("TwigStackXB", row.dataset, row.id, row.xpath, *xb);
   }
+  if (!report.Write().ok()) return 1;
   std::printf(
       "\nPaper (Table 9): Q2 0.05s/7p vs 0.49s/63p; Q6 0.75s/86p vs "
       "3.10s/485p; Q8 0.35s/35p vs 1.93s/310p.\n");

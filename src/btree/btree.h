@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "storage/buffer_pool.h"
 
@@ -118,12 +119,17 @@ class BPlusTree {
   }
 
   /// Point lookup. Returns NotFound if absent.
+  /// Node-visit charges are batched per descent (one TLS access at the
+  /// leaf); a fetch error loses that descent's node count, never its I/O.
   Result<Value> Get(const Key& key) const {
     PageId node = meta_.root;
+    uint64_t visited = 0;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      ++visited;
       PageGuard guard(pool_, page);
       if (IsLeaf(page)) {
+        ChargeBtreeNodes(visited);
         int idx = LeafLowerBound(page, key);
         if (idx < Count(page)) {
           Key k;
@@ -200,6 +206,7 @@ class BPlusTree {
         guard_.Release();
         if (next == kInvalidPage) return Status::OK();  // end
         PRIX_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(next));
+        ChargeBtreeNode();
         guard_ = PageGuard(tree_->pool_, page);
         index_ = 0;
       }
@@ -216,10 +223,13 @@ class BPlusTree {
   /// Iterator positioned at the first entry with key >= `key`.
   Result<Iterator> Seek(const Key& key) const {
     PageId node = meta_.root;
+    uint64_t visited = 0;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      ++visited;
       PageGuard guard(pool_, page);  // no error return may leak this pin
       if (IsLeaf(page)) {
+        ChargeBtreeNodes(visited);
         Iterator it(this, std::move(guard), LeafLowerBound(page, key));
         PRIX_RETURN_NOT_OK(it.LoadCurrent());
         return it;
@@ -231,10 +241,13 @@ class BPlusTree {
   /// Iterator positioned at the smallest entry.
   Result<Iterator> SeekToFirst() const {
     PageId node = meta_.root;
+    uint64_t visited = 0;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+      ++visited;
       PageGuard guard(pool_, page);  // no error return may leak this pin
       if (IsLeaf(page)) {
+        ChargeBtreeNodes(visited);
         Iterator it(this, std::move(guard), 0);
         PRIX_RETURN_NOT_OK(it.LoadCurrent());
         return it;

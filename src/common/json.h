@@ -1,0 +1,71 @@
+#ifndef PRIX_COMMON_JSON_H_
+#define PRIX_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prix {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes): `"` and `\` are backslash-escaped, control characters become
+/// \b \f \n \r \t or \u00XX. Bytes >= 0x20 pass through untouched, so
+/// UTF-8 survives verbatim.
+std::string JsonEscape(std::string_view s);
+
+/// Streaming JSON builder that cannot emit syntactically invalid output
+/// for any input string (all strings go through JsonEscape; non-finite
+/// doubles become null — JSON has no NaN/Infinity). Usage:
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("query").String(xpath).Key("pages").UInt(n);
+///   w.Key("rows").BeginArray();
+///   for (...) w.BeginObject()...EndObject();
+///   w.EndArray().EndObject();
+///   std::string out = w.Take();
+///
+/// Commas and key/value colons are inserted automatically. Balancing of
+/// Begin/End calls is the caller's job (checked with assertions in debug
+/// builds, tested by the round-trip validator in tests/json_test.cc).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Appends a pre-serialized JSON value (e.g. another writer's Take()).
+  /// The caller vouches for its validity.
+  JsonWriter& RawValue(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  /// One frame per open container: true while the NEXT element needs a
+  /// leading comma.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Minimal RFC 8259 syntax validator (structure, strings, escapes,
+/// numbers; rejects trailing garbage). Returns ParseError with a byte
+/// offset on the first violation. Used by tests to round-trip every
+/// emitted BENCH_*.json, and cheap enough to run on full benchmark files.
+Status ValidateJson(std::string_view text);
+
+}  // namespace prix
+
+#endif  // PRIX_COMMON_JSON_H_

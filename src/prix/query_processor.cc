@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "query/xpath_parser.h"
 
 namespace prix {
@@ -19,12 +20,41 @@ void SortUnique(std::vector<DocId>* docs) {
   docs->erase(std::unique(docs->begin(), docs->end()), docs->end());
 }
 
+/// Folds one finished query into the process-wide registry (no-op unless a
+/// bench/test/CLI enabled it). The references are resolved once and reused.
+void RecordQueryInRegistry(const QueryStats& s) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  static MetricHistogram& match_us = reg.histogram("prix.query.match_us");
+  static MetricHistogram& refine_us = reg.histogram("prix.query.refine_us");
+  static MetricHistogram& verify_us = reg.histogram("prix.query.verify_us");
+  static MetricHistogram& total_us = reg.histogram("prix.query.total_us");
+  static MetricHistogram& pages = reg.histogram("prix.query.pages_read");
+  static MetricHistogram& nodes = reg.histogram("prix.query.btree_nodes");
+  static MetricCounter& queries = reg.counter("prix.query.count");
+  static MetricCounter& hits = reg.counter("prix.pool.hits");
+  static MetricCounter& misses = reg.counter("prix.pool.misses");
+  match_us.Record(s.match_us);
+  refine_us.Record(s.refine_us);
+  verify_us.Record(s.verify_us);
+  total_us.Record(s.total_us);
+  pages.Record(s.pages_read);
+  nodes.Record(s.btree_nodes);
+  queries.Add(1);
+  hits.Add(s.pool_hits);
+  misses.Add(s.pool_misses);
+}
+
 }  // namespace
 
 Result<QueryResult> QueryProcessor::ExecuteXPath(
     std::string_view xpath, TagDictionary* dict,
     const QueryOptions& options) const {
-  PRIX_ASSIGN_OR_RETURN(TwigPattern pattern, ParseXPath(xpath, dict));
+  TwigPattern pattern;
+  {
+    TraceSpan span("parse");
+    PRIX_ASSIGN_OR_RETURN(pattern, ParseXPath(xpath, dict));
+  }
   Result<QueryResult> result = Execute(pattern, options);
   if (!result.ok()) {
     // An I/O fault deep in a B+-tree descent should name the query it
@@ -69,9 +99,12 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   }
   if (pattern.empty()) return Status::InvalidArgument("empty twig pattern");
 
-  // Per-query I/O accounting: the pool-wide physical-read delta spanning
-  // this execution (see QueryStats::pages_read for the concurrency caveat).
-  const uint64_t reads_before = db_->pool()->stats().physical_reads;
+  // Per-query I/O accounting: every buffer-pool and disk charge made by
+  // this thread while the context is open lands in `mctx.counters`, so the
+  // numbers below are exact for this query regardless of what other
+  // threads fault concurrently.
+  MetricsContext mctx;
+  const uint64_t t_start = MetricsContext::NowMicros();
 
   QueryResult result;
   ExecContext ctx;
@@ -95,8 +128,11 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   result.stats.arrangements = arrangements.size();
 
   if (base.num_nodes() == 1) {
+    TraceSpan span("scan");
+    const uint64_t t0 = MetricsContext::NowMicros();
     PRIX_RETURN_NOT_OK(
         ScanSingleNode(index, base, &ctx, &result.matches, &result.stats));
+    result.stats.verify_us += MetricsContext::NowMicros() - t0;
   } else {
     std::set<TwigMatch> match_set;
     for (const EffectiveTwig& arrangement : arrangements) {
@@ -107,6 +143,8 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
                                         &candidates, &result.stats));
       for (auto& m : matches) match_set.insert(std::move(m));
       if (generalized) {
+        TraceSpan span("verify");
+        const uint64_t t0 = MetricsContext::NowMicros();
         SortUnique(&candidates);
         // Final phase for generalized queries: direct embedding check on
         // the reconstructed tree (parent array is the NPS, Lemma 1).
@@ -124,6 +162,7 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
             match_set.insert(TwigMatch{doc, std::move(image)});
           }
         }
+        result.stats.verify_us += MetricsContext::NowMicros() - t0;
       }
     }
     result.matches.assign(match_set.begin(), match_set.end());
@@ -132,8 +171,13 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   result.docs.reserve(result.matches.size());
   for (const TwigMatch& m : result.matches) result.docs.push_back(m.doc);
   SortUnique(&result.docs);
-  result.stats.pages_read =
-      db_->pool()->stats().physical_reads - reads_before;
+  result.stats.pages_read = mctx.counters.physical_reads;
+  result.stats.pages_written = mctx.counters.physical_writes;
+  result.stats.pool_hits = mctx.counters.pool_hits;
+  result.stats.pool_misses = mctx.counters.pool_misses;
+  result.stats.btree_nodes = mctx.counters.btree_nodes;
+  result.stats.total_us = MetricsContext::NowMicros() - t_start;
+  RecordQueryInRegistry(result.stats);
   return result;
 }
 
@@ -254,25 +298,40 @@ Status QueryProcessor::RunArrangement(
       QuerySequence qseq,
       BuildQuerySequence(*filter_twig, index->extended(), rp_mask));
   SubsequenceMatcher matcher(index, options.use_maxgap, generalized);
+  // Phase attribution: FindAll wall time is subsequence matching; the time
+  // spent inside the emit callback (doc loads + refinement) is refinement
+  // and is subtracted back out of the match phase.
+  uint64_t emit_us = 0;
   auto emit = [&](const std::vector<DocId>& docs,
                   const std::vector<uint32_t>& positions) -> Status {
-    for (DocId doc : docs) {
-      PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
-                            LoadDoc(index, doc, ctx, stats));
-      if (!RefineCandidate(*rdoc, qseq, positions, generalized,
-                           &stats->refine)) {
-        continue;
+    const uint64_t t0 = MetricsContext::NowMicros();
+    Status st = [&]() -> Status {
+      for (DocId doc : docs) {
+        PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
+                              LoadDoc(index, doc, ctx, stats));
+        if (!RefineCandidate(*rdoc, qseq, positions, generalized,
+                             &stats->refine)) {
+          continue;
+        }
+        if (generalized) {
+          candidates->push_back(doc);
+        } else {
+          matches->push_back(TwigMatch{
+              doc, ExtractImage(*rdoc, qseq, positions, twig.num_nodes())});
+        }
       }
-      if (generalized) {
-        candidates->push_back(doc);
-      } else {
-        matches->push_back(TwigMatch{
-            doc, ExtractImage(*rdoc, qseq, positions, twig.num_nodes())});
-      }
-    }
-    return Status::OK();
+      return Status::OK();
+    }();
+    emit_us += MetricsContext::NowMicros() - t0;
+    return st;
   };
-  return matcher.FindAll(qseq, emit, &stats->matcher);
+  TraceSpan span("match+refine");
+  const uint64_t t_find = MetricsContext::NowMicros();
+  Status st = matcher.FindAll(qseq, emit, &stats->matcher);
+  const uint64_t find_us = MetricsContext::NowMicros() - t_find;
+  stats->refine_us += emit_us;
+  stats->match_us += find_us > emit_us ? find_us - emit_us : 0;
+  return st;
 }
 
 Status QueryProcessor::ScanSingleNode(PrixIndex* index,

@@ -51,11 +51,26 @@ struct QueryStats {
   uint64_t docs_loaded = 0;
   uint64_t docs_verified = 0;
   uint64_t arrangements = 0;
-  /// Buffer-pool physical reads observed across this query (the paper's
-  /// "Disk IO" column), taken as a pool-stat delta through the Database.
-  /// Exact when the query runs alone; an overestimate when other queries
-  /// fault pages concurrently (the counters are pool-wide).
-  uint64_t pages_read = 0;
+  /// I/O attribution, read out of the thread-local MetricsContext that
+  /// Execute opens (common/metrics.h): the storage layer charges the
+  /// context on every pool hit/miss and physical transfer, so these are
+  /// EXACT for this query — its own I/O and nothing else — no matter how
+  /// many other queries fault pages concurrently. `pages_read` is the
+  /// paper's "Disk IO" column.
+  uint64_t pages_read = 0;     ///< physical page reads for this query
+  uint64_t pages_written = 0;  ///< physical page writes for this query
+  uint64_t pool_hits = 0;      ///< buffer-pool hits for this query
+  uint64_t pool_misses = 0;    ///< buffer-pool misses for this query
+  uint64_t btree_nodes = 0;    ///< B+-tree nodes visited for this query
+  /// Phase latencies (wall microseconds), mirroring the phases the paper
+  /// times (Sec. 6): subsequence matching, refinement, and — for
+  /// generalized queries — document verification. `total_us` spans the
+  /// whole Execute; the phases need not sum to it (setup, arrangement
+  /// enumeration, and result assembly are outside all three).
+  uint64_t match_us = 0;
+  uint64_t refine_us = 0;
+  uint64_t verify_us = 0;
+  uint64_t total_us = 0;
   bool used_extended_index = false;
   bool used_scan = false;  ///< single-node query answered by doc-store scan
 
@@ -66,6 +81,14 @@ struct QueryStats {
     docs_verified += other.docs_verified;
     arrangements += other.arrangements;
     pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    pool_hits += other.pool_hits;
+    pool_misses += other.pool_misses;
+    btree_nodes += other.btree_nodes;
+    match_us += other.match_us;
+    refine_us += other.refine_us;
+    verify_us += other.verify_us;
+    total_us += other.total_us;
     used_extended_index |= other.used_extended_index;
     used_scan |= other.used_scan;
   }
@@ -93,7 +116,9 @@ struct QueryResult {
 class QueryProcessor {
  public:
   /// `ep` may be null; both indexes must be built over the same collection
-  /// and backed by `db`'s buffer pool (per-query I/O deltas come from it).
+  /// and backed by `db`'s buffer pool. Execute opens a thread-local
+  /// MetricsContext around each query, so the I/O counters in QueryStats
+  /// are exact per query even under concurrent execution.
   QueryProcessor(Database& db, PrixIndex* rp, PrixIndex* ep)
       : db_(&db), rp_(rp), ep_(ep) {}
 

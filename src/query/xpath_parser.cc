@@ -14,9 +14,10 @@ class Parser {
       : text_(text), dict_(dict) {}
 
   Result<TwigPattern> Run() {
+    SkipSpace();
     PRIX_ASSIGN_OR_RETURN(Axis axis, ParseAxis());
     PRIX_RETURN_NOT_OK(ParseStep(TwigPattern::kNoParent, axis));
-    while (!AtEnd()) {
+    while (SkipSpace(), !AtEnd()) {
       PRIX_ASSIGN_OR_RETURN(Axis next, ParseAxis());
       PRIX_RETURN_NOT_OK(ParseStep(current_, next));
     }
@@ -32,8 +33,21 @@ class Parser {
     return true;
   }
 
-  Status Error(std::string msg) {
-    return Status::ParseError(msg + " at offset " + std::to_string(pos_) +
+  /// Whitespace is insignificant outside quoted strings (XPath 1.0
+  /// ExprWhitespace), so every token consumer may be preceded by it.
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(std::string msg) { return Error(std::move(msg), pos_); }
+
+  /// `at` is the offset of the offending character, which is not always
+  /// pos_ (e.g. an unterminated string is reported at its opening quote,
+  /// not at end-of-input).
+  Status Error(std::string msg, size_t at) {
+    return Status::ParseError(msg + " at offset " + std::to_string(at) +
                               " in XPath '" + std::string(text_) + "'");
   }
 
@@ -56,11 +70,21 @@ class Parser {
     return std::string(text_.substr(start, pos_ - start));
   }
 
+  /// Accepts either quote style ("..." or '...'); the literal runs to the
+  /// matching quote, so the other quote character and whitespace may appear
+  /// inside it unescaped.
   Result<std::string> ParseString() {
-    if (AtEnd() || Peek() != '"') return Error("expected '\"'");
+    SkipSpace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected a quoted string");
+    }
+    const char quote = Peek();
+    const size_t quote_pos = pos_;
     ++pos_;
-    size_t end = text_.find('"', pos_);
-    if (end == std::string_view::npos) return Error("unterminated string");
+    size_t end = text_.find(quote, pos_);
+    if (end == std::string_view::npos) {
+      return Error("unterminated string", quote_pos);
+    }
     std::string value(text_.substr(pos_, end - pos_));
     pos_ = end + 1;
     return value;
@@ -68,6 +92,7 @@ class Parser {
 
   /// Parses one step and its predicates; sets current_ to the step's node.
   Status ParseStep(uint32_t parent, Axis axis) {
+    SkipSpace();
     uint32_t node;
     if (Consume("*")) {
       node = parent == TwigPattern::kNoParent
@@ -81,9 +106,10 @@ class Parser {
                  ? twig_.AddRoot(label, axis)
                  : twig_.AddChild(parent, label, axis);
     }
-    while (!AtEnd() && Peek() == '[') {
+    while (SkipSpace(), !AtEnd() && Peek() == '[') {
       ++pos_;
       PRIX_RETURN_NOT_OK(ParsePredicate(node));
+      SkipSpace();
       if (!Consume("]")) return Error("expected ']'");
     }
     current_ = node;
@@ -91,7 +117,9 @@ class Parser {
   }
 
   Status ParsePredicate(uint32_t context) {
+    SkipSpace();
     if (Consume("text()")) {
+      SkipSpace();
       if (!Consume("=")) return Error("expected '=' after text()");
       PRIX_ASSIGN_OR_RETURN(std::string value, ParseString());
       twig_.AddChild(context, dict_->Intern(value), Axis::kChild,
@@ -101,7 +129,7 @@ class Parser {
     if (!Consume(".")) return Error("expected '.' or 'text()' in predicate");
     uint32_t saved = current_;
     uint32_t tip = context;
-    while (!AtEnd() && Peek() == '/') {
+    while (SkipSpace(), !AtEnd() && Peek() == '/') {
       PRIX_ASSIGN_OR_RETURN(Axis axis, ParseAxis());
       PRIX_RETURN_NOT_OK(ParseStep(tip, axis));
       tip = current_;

@@ -16,10 +16,15 @@ namespace prix {
 ///   predicate  := '[' predExpr ']'
 ///   predExpr   := '.' ( ('/'|'//') step )* ( '=' STRING )?
 ///               | 'text()' '=' STRING
-///   STRING     := '"' chars '"'
+///   STRING     := '"' chars '"' | "'" chars "'"
+///
+/// Whitespace between tokens is insignificant (XPath 1.0 ExprWhitespace);
+/// only quoted string literals preserve it. Parse errors carry the byte
+/// offset of the offending character.
 ///
 /// Examples: //inproceedings[./author="Jim Gray"][./year="1990"],
-/// //S//NP/SYM, //NP[./RBR_OR_JJR]/PP, //title[text()="Semantic..."].
+/// //inproceedings[ ./author = 'Jim Gray' ], //S//NP/SYM,
+/// //NP[./RBR_OR_JJR]/PP, //title[text()="Semantic..."].
 ///
 /// Labels are interned into `dict`; a value string never seen in the data
 /// interns a fresh id and simply matches nothing.

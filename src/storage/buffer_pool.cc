@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/macros.h"
+#include "common/metrics.h"
 
 namespace prix {
 
@@ -48,10 +49,11 @@ BufferPool::~BufferPool() {
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
   auto it = shard.table.find(id);
   if (it != shard.table.end()) {
     shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
+    ChargePoolHit();
     size_t frame = it->second;
     Page* page = shard.frames[frame].get();
     page->pin_count_.fetch_add(1, std::memory_order_acq_rel);
@@ -59,6 +61,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
     return page;
   }
   shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
+  ChargePoolMiss();
   PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
   Page* page = shard.frames[frame].get();
   Status read_st = disk_->ReadPage(id, page->data_);
@@ -85,7 +88,7 @@ Result<Page*> BufferPool::NewPage() {
   // across it, so concurrent NewPage calls interleave freely.
   PRIX_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
   PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
   Page* page = shard.frames[frame].get();
   std::memset(page->data_, 0, kPageSize);
@@ -99,7 +102,7 @@ Result<Page*> BufferPool::NewPage() {
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
   auto it = shard.table.find(id);
   PRIX_CHECK(it != shard.table.end());
   Page* page = shard.frames[it->second].get();
@@ -184,6 +187,7 @@ BufferPoolStats BufferPool::stats() const {
     out.physical_writes +=
         shard->stats.physical_writes.load(std::memory_order_relaxed);
     out.evictions += shard->stats.evictions.load(std::memory_order_relaxed);
+    out.lock_waits += shard->stats.lock_waits.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -195,6 +199,7 @@ void BufferPool::ResetStats() {
     shard->stats.physical_reads.store(0, std::memory_order_relaxed);
     shard->stats.physical_writes.store(0, std::memory_order_relaxed);
     shard->stats.evictions.store(0, std::memory_order_relaxed);
+    shard->stats.lock_waits.store(0, std::memory_order_relaxed);
   }
 }
 

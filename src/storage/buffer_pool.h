@@ -16,13 +16,16 @@
 namespace prix {
 
 /// Counters the benchmarks report. `physical_reads` is the paper's
-/// "Disk IO (pages)" metric.
+/// "Disk IO (pages)" metric. `lock_waits` counts shard-latch acquisitions
+/// that found the latch already held (a direct contention signal: it stays
+/// 0 single-threaded and grows with cross-thread collisions on one shard).
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t physical_reads = 0;
   uint64_t physical_writes = 0;
   uint64_t evictions = 0;
+  uint64_t lock_waits = 0;
 };
 
 /// Fixed-capacity page cache with LRU replacement and pin counting, mirroring
@@ -68,8 +71,25 @@ class BufferPool {
   /// outstanding pin becomes dangling; callers must hold none.
   void DiscardAll();
 
-  /// Snapshot of the counters, merged across shards. Relaxed reads: exact
-  /// when no fetch is in flight, approximate otherwise.
+  /// Snapshot of the counters, merged across shards — taken WITHOUT the
+  /// shard latches. Semantics:
+  ///
+  ///  - Each individual counter is a single relaxed 64-bit atomic load, so
+  ///    no counter value is ever torn, and because the per-shard counters
+  ///    only ever increase, every counter in the snapshot is monotonically
+  ///    non-decreasing across successive stats() calls.
+  ///  - The snapshot is NOT atomic across counters or shards: while fetches
+  ///    are in flight, one shard may be read before and another after a
+  ///    concurrent increment, so cross-counter invariants (e.g.
+  ///    hits + misses == total fetches) can be transiently off by the
+  ///    number of in-flight operations.
+  ///  - After all workers have joined (any happens-before edge such as
+  ///    thread join or ThreadPool::Wait), the snapshot is exact and
+  ///    sum-consistent. tests/buffer_pool_test.cc pins down both halves of
+  ///    this contract.
+  ///
+  /// For exact per-query attribution do not diff this (pool-wide) snapshot;
+  /// open a MetricsContext (common/metrics.h) around the operation instead.
   BufferPoolStats stats() const;
   void ResetStats();
 
@@ -88,6 +108,7 @@ class BufferPool {
     std::atomic<uint64_t> physical_reads{0};
     std::atomic<uint64_t> physical_writes{0};
     std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> lock_waits{0};
   };
 
   /// One latch-protected slice of the pool. Frames never migrate between
@@ -104,6 +125,18 @@ class BufferPool {
 
   Shard& ShardFor(PageId id) {
     return *shards_[static_cast<size_t>(id) & shard_mask_];
+  }
+
+  /// Acquires the shard latch, counting a lock_wait when it was contended.
+  /// Inline: this sits on the page-fetch hot path, and the uncontended case
+  /// must stay one try_lock (see tools/check_metrics_overhead.sh).
+  std::unique_lock<std::mutex> LockShard(Shard& shard) {
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      shard.stats.lock_waits.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    return lock;
   }
 
   /// Finds a frame to (re)use: a free frame or the LRU unpinned victim.

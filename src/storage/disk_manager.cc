@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 
 namespace prix {
 
@@ -231,6 +232,7 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
   }
   PRIX_RETURN_NOT_OK(TransferPage(FaultInjector::Op::kRead, id, buf, nullptr));
   ++read_count_;
+  ChargePhysicalRead();
   return Status::OK();
 }
 
@@ -261,6 +263,7 @@ Status DiskManager::WritePage(PageId id, const char* buf) {
   PRIX_RETURN_NOT_OK(TransferPage(FaultInjector::Op::kWrite, id, nullptr,
                                   buf));
   ++write_count_;
+  ChargePhysicalWrite();
   return Status::OK();
 }
 

@@ -207,6 +207,66 @@ TEST_F(BufferPoolConcurrencyTest, ConcurrentNewPagesAllocateDistinctIds) {
   }
 }
 
+TEST_F(BufferPoolConcurrencyTest, StatsSnapshotsAreMonotonicAndSumConsistent) {
+  // The stats() contract from buffer_pool.h: per-counter loads are never
+  // torn, every counter is monotonic non-decreasing across snapshots taken
+  // by one thread, and after a happens-before join the snapshot is exact.
+  BufferPool pool(&disk_, kPoolPages);
+  SeedPages(&pool);
+
+  // Single-threaded traffic never contends on a shard latch.
+  constexpr size_t kWarmFetches = 64;
+  for (PageId id = 0; id < kWarmFetches; ++id) {
+    auto page = pool.FetchPage(id);
+    ASSERT_TRUE(page.ok());
+    pool.UnpinPage(id, false);
+  }
+  EXPECT_EQ(pool.stats().lock_waits, 0u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> fetches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kNumThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(51 + t);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        PageId id = rng() % kDiskPages;
+        auto page = pool.FetchPage(id);
+        ASSERT_TRUE(page.ok());
+        pool.UnpinPage(id, false);
+        ++local;
+      }
+      fetches.fetch_add(local);
+    });
+  }
+
+  // Snapshot while the pool is under fire: each counter may lag the others
+  // (no cross-counter atomicity) but must never move backwards.
+  BufferPoolStats prev = pool.stats();
+  for (int i = 0; i < 200; ++i) {
+    BufferPoolStats now = pool.stats();
+    EXPECT_GE(now.hits, prev.hits);
+    EXPECT_GE(now.misses, prev.misses);
+    EXPECT_GE(now.physical_reads, prev.physical_reads);
+    EXPECT_GE(now.physical_writes, prev.physical_writes);
+    EXPECT_GE(now.evictions, prev.evictions);
+    EXPECT_GE(now.lock_waits, prev.lock_waits);
+    prev = now;
+  }
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+
+  // After the join (a happens-before edge with every worker) the snapshot
+  // is exact and sum-consistent with the work actually submitted.
+  BufferPoolStats final_stats = pool.stats();
+  EXPECT_EQ(final_stats.hits + final_stats.misses,
+            kWarmFetches + fetches.load());
+  EXPECT_EQ(final_stats.physical_reads, final_stats.misses);
+  EXPECT_EQ(final_stats.misses,
+            final_stats.evictions + pool.pages_cached());
+}
+
 TEST_F(BufferPoolConcurrencyTest, ConcurrentReadersAndFlusher) {
   // Readers race FlushAll and stats() snapshots; TSan validates the latches.
   BufferPool pool(&disk_, kPoolPages);

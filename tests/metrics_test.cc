@@ -1,0 +1,207 @@
+// MetricsContext / MetricsRegistry tests: RAII nesting and parent folds,
+// exact thread-local attribution under concurrent chargers, histogram
+// bucket math and percentiles, registry JSON export validity, and trace
+// span rendering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace prix {
+namespace {
+
+TEST(MetricsContextTest, NoContextMeansChargesGoNowhere) {
+  ASSERT_EQ(MetricsContext::Current(), nullptr);
+  // Must not crash; there is nowhere to charge.
+  ChargePoolHit();
+  ChargePhysicalRead();
+  ChargeBtreeNode();
+  EXPECT_EQ(MetricsContext::Current(), nullptr);
+}
+
+TEST(MetricsContextTest, ChargesLandInInnermostAndFoldToParent) {
+  MetricsContext outer;
+  ChargePoolHit();
+  ChargePoolHit();
+  {
+    MetricsContext inner;
+    EXPECT_EQ(MetricsContext::Current(), &inner);
+    ChargePoolHit();
+    ChargePoolMiss();
+    ChargePhysicalRead();
+    ChargePhysicalWrite();
+    ChargeBtreeNode();
+    // The inner scope sees only its own charges.
+    EXPECT_EQ(inner.counters.pool_hits, 1u);
+    EXPECT_EQ(inner.counters.pool_misses, 1u);
+    EXPECT_EQ(inner.counters.physical_reads, 1u);
+    EXPECT_EQ(inner.counters.physical_writes, 1u);
+    EXPECT_EQ(inner.counters.btree_nodes, 1u);
+    // The outer scope has not been touched yet.
+    EXPECT_EQ(outer.counters.pool_hits, 2u);
+    EXPECT_EQ(outer.counters.pool_misses, 0u);
+  }
+  // Closing the inner scope folded its counters into the outer scope.
+  EXPECT_EQ(MetricsContext::Current(), &outer);
+  EXPECT_EQ(outer.counters.pool_hits, 3u);
+  EXPECT_EQ(outer.counters.pool_misses, 1u);
+  EXPECT_EQ(outer.counters.physical_reads, 1u);
+  EXPECT_EQ(outer.counters.physical_writes, 1u);
+  EXPECT_EQ(outer.counters.btree_nodes, 1u);
+}
+
+TEST(MetricsContextTest, AttributionIsExactAcrossThreads) {
+  // N threads each open their own context and charge a distinct number of
+  // times; nobody sees anyone else's charges. This is the property that
+  // makes QueryStats::pages_read exact under concurrent queries.
+  constexpr size_t kThreads = 8;
+  std::vector<uint64_t> observed(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MetricsContext ctx;
+      const uint64_t mine = 1000 + 17 * t;
+      for (uint64_t i = 0; i < mine; ++i) ChargePhysicalRead();
+      observed[t] = ctx.counters.physical_reads;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(observed[t], 1000 + 17 * t) << "thread " << t;
+  }
+}
+
+TEST(MetricsContextTest, TraceSpansRecordOnlyWhenRequested) {
+  {
+    MetricsContext silent;  // tracing off
+    { TraceSpan span("ignored"); }
+    EXPECT_TRUE(silent.trace().empty());
+  }
+  MetricsContext traced(/*collect_trace=*/true);
+  {
+    TraceSpan scan("scan");
+    { TraceSpan verify("verify"); }
+  }
+  ASSERT_EQ(traced.trace().size(), 2u);
+  // Spans close inner-first; depth records the nesting.
+  EXPECT_STREQ(traced.trace()[0].name, "verify");
+  EXPECT_EQ(traced.trace()[0].depth, 1u);
+  EXPECT_STREQ(traced.trace()[1].name, "scan");
+  EXPECT_EQ(traced.trace()[1].depth, 0u);
+  std::string rendered = RenderTrace(traced.trace());
+  EXPECT_NE(rendered.find("scan"), std::string::npos);
+  EXPECT_NE(rendered.find("verify"), std::string::npos);
+}
+
+TEST(MetricsContextTest, SpansReachTracingContextThroughNonTracingInner) {
+  // The CLI scenario: `prix query --trace` opens a tracing context, then
+  // Execute opens its own plain context for I/O attribution. Phase spans
+  // created inside must still land in the outer tracing context.
+  MetricsContext traced(/*collect_trace=*/true);
+  {
+    MetricsContext inner;  // Execute's attribution context, not tracing
+    TraceSpan span("verify");
+  }
+  ASSERT_EQ(traced.trace().size(), 1u);
+  EXPECT_STREQ(traced.trace()[0].name, "verify");
+}
+
+TEST(MetricHistogramTest, BucketsPercentilesAndReset) {
+  MetricHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Power-of-two buckets make quantiles exact to within a factor of two.
+  uint64_t p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 25u);
+  EXPECT_LE(p50, 100u);
+  uint64_t p99 = h.Percentile(0.99);
+  EXPECT_GE(p99, 64u);
+  // Percentiles never exceed the observed maximum.
+  EXPECT_LE(p99, 100u);
+  EXPECT_LE(h.Percentile(1.0), 100u);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+}
+
+TEST(MetricHistogramTest, ZeroAndHugeValues) {
+  MetricHistogram h;
+  h.Record(0);
+  h.Record(uint64_t{1} << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), uint64_t{1} << 62);
+  EXPECT_LE(h.Percentile(1.0), uint64_t{1} << 62);
+}
+
+TEST(MetricHistogramTest, ConcurrentRecordsLoseNothing) {
+  MetricHistogram h;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) h.Record(t + 1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (size_t t = 0; t < kThreads; ++t) expected_sum += (t + 1) * kPerThread;
+  EXPECT_EQ(h.sum(), expected_sum);
+  EXPECT_EQ(h.max(), kThreads);
+}
+
+TEST(MetricsRegistryTest, NamedMetricsAndJsonExport) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.Reset();
+  // Same name, same object — references are stable for caching.
+  MetricCounter& c1 = reg.counter("test.counter");
+  MetricCounter& c2 = reg.counter("test.counter");
+  EXPECT_EQ(&c1, &c2);
+  c1.Add(41);
+  c2.Add(1);
+  EXPECT_EQ(c1.value(), 42u);
+
+  MetricHistogram& h = reg.histogram("test.latency_us");
+  h.Record(10);
+  h.Record(1000);
+
+  std::string json = reg.ToJson();
+  ASSERT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"test.counter\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("test.latency_us"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  reg.Reset();
+  EXPECT_EQ(c1.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, EnabledFlagGatesNothingButCallersHonorIt) {
+  // The registry itself always works; enabled() is the cheap gate callers
+  // (QueryProcessor, benches) check before recording.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  bool was = reg.enabled();
+  reg.set_enabled(false);
+  EXPECT_FALSE(reg.enabled());
+  reg.set_enabled(true);
+  EXPECT_TRUE(reg.enabled());
+  reg.set_enabled(was);
+}
+
+}  // namespace
+}  // namespace prix

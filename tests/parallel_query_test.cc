@@ -147,6 +147,85 @@ TEST_F(ParallelQueryTest, BatchMatchesSerialExecution) {
   }
 }
 
+TEST_F(ParallelQueryTest, ExactPerQueryIoAttribution) {
+  // Regression test for the pool-delta accounting bug: QueryStats counters
+  // now come from the thread-local MetricsContext that Execute opens, so
+  // they are exact per query no matter how many other queries run
+  // concurrently. The old scheme diffed pool-wide stats() around Execute
+  // and charged every concurrent query's reads to every query.
+  std::vector<TwigPattern> batch = MakeBatch(32);
+  BufferPool* pool = db_.pool();
+
+  // Serial cold ground truth: per-query logical fetches, node visits, and
+  // physical reads.
+  ASSERT_TRUE(pool->Clear().ok());
+  QueryProcessor serial(db_.db(), rp_.get(), ep_.get());
+  struct PerQuery {
+    uint64_t logical;  // pool_hits + pool_misses
+    uint64_t nodes;    // btree_nodes
+    uint64_t pages;    // pages_read (physical)
+  };
+  std::vector<PerQuery> expected;
+  const uint64_t serial_phys_before = pool->stats().physical_reads;
+  uint64_t serial_pages_sum = 0;
+  for (const TwigPattern& pattern : batch) {
+    auto r = serial.Execute(pattern);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const QueryStats& s = r->stats;
+    expected.push_back(
+        {s.pool_hits + s.pool_misses, s.btree_nodes, s.pages_read});
+    serial_pages_sum += s.pages_read;
+  }
+  // Conservation: every physical read belongs to exactly one query.
+  EXPECT_EQ(serial_pages_sum,
+            pool->stats().physical_reads - serial_phys_before);
+
+  for (size_t threads : {1u, 8u}) {
+    ASSERT_TRUE(pool->Clear().ok());
+    const uint64_t phys_before = pool->stats().physical_reads;
+    QueryDriver driver(db_.db(), rp_.get(), ep_.get(), threads);
+    auto result = driver.ExecuteBatch(batch);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    uint64_t pages_sum = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const QueryStats& s = result->results[i].stats;
+      // Logical page fetches and node visits are properties of the query
+      // plan: identical serial vs 8 threads, whatever the cache does.
+      EXPECT_EQ(s.pool_hits + s.pool_misses, expected[i].logical)
+          << "query " << i << " at " << threads << " threads";
+      EXPECT_EQ(s.btree_nodes, expected[i].nodes)
+          << "query " << i << " at " << threads << " threads";
+      // A query can never be charged more physical reads than it made
+      // page fetches. The pool-delta scheme broke exactly this.
+      EXPECT_LE(s.pages_read, expected[i].logical)
+          << "query " << i << " at " << threads << " threads";
+      if (threads == 1) {
+        // One worker replays the exact serial access pattern.
+        EXPECT_EQ(s.pages_read, expected[i].pages) << "query " << i;
+      }
+      pages_sum += s.pages_read;
+    }
+    // Conservation holds under concurrency: concurrent queries racing on a
+    // shared cold page charge the read to whichever thread performed it,
+    // never to both.
+    EXPECT_EQ(pages_sum, pool->stats().physical_reads - phys_before)
+        << threads << " threads";
+  }
+
+  // Warm regime: the working set is resident (2000-page pool), so exact
+  // attribution must report zero physical reads for EVERY query at 8
+  // threads — identical to a warm serial run.
+  QueryDriver warm_driver(db_.db(), rp_.get(), ep_.get(), 8);
+  auto warm = warm_driver.ExecuteBatch(batch);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const QueryStats& s = warm->results[i].stats;
+    EXPECT_EQ(s.pages_read, 0u) << "query " << i;
+    EXPECT_EQ(s.pool_misses, 0u) << "query " << i;
+    EXPECT_EQ(s.pool_hits, expected[i].logical) << "query " << i;
+  }
+}
+
 TEST_F(ParallelQueryTest, SharedProcessorIsSafeAcrossThreads) {
   // One QueryProcessor instance, many threads: guards the "no hidden
   // shared mutable state" contract directly.

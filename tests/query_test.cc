@@ -98,6 +98,82 @@ TEST(XPathParserTest, Errors) {
   EXPECT_FALSE(ParseXPath("//a[b]", &dict).ok());   // predicate must start .
 }
 
+TEST(XPathParserTest, WhitespaceInsidePredicates) {
+  TagDictionary dict;
+  auto spaced = ParseXPath(
+      R"(//inproceedings[ ./author = "Jim Gray" ][ ./year = "1990" ])", &dict);
+  ASSERT_TRUE(spaced.ok()) << spaced.status().ToString();
+  auto tight = ParseXPath(
+      R"(//inproceedings[./author="Jim Gray"][./year="1990"])", &dict);
+  ASSERT_TRUE(tight.ok());
+  // Whitespace must not change the parsed twig.
+  ASSERT_EQ(spaced->num_nodes(), tight->num_nodes());
+  for (uint32_t i = 0; i < spaced->num_nodes(); ++i) {
+    EXPECT_EQ(spaced->node(i).label, tight->node(i).label) << "node " << i;
+    EXPECT_EQ(spaced->node(i).axis, tight->node(i).axis) << "node " << i;
+    EXPECT_EQ(spaced->node(i).is_value, tight->node(i).is_value)
+        << "node " << i;
+  }
+  // Quoted values keep their whitespace verbatim.
+  bool saw_value = false;
+  for (uint32_t i = 0; i < spaced->num_nodes(); ++i) {
+    if (dict.Name(spaced->node(i).label) == "Jim Gray") saw_value = true;
+  }
+  EXPECT_TRUE(saw_value);
+}
+
+TEST(XPathParserTest, WhitespaceAroundStepsAndTextPredicate) {
+  TagDictionary dict;
+  auto twig = ParseXPath("  //a / b [ text() = \"v\" ]  ", &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  ASSERT_EQ(twig->num_nodes(), 3u);
+  EXPECT_EQ(dict.Name(twig->node(0).label), "a");
+  EXPECT_EQ(dict.Name(twig->node(1).label), "b");
+  EXPECT_TRUE(twig->node(2).is_value);
+  EXPECT_EQ(dict.Name(twig->node(2).label), "v");
+}
+
+TEST(XPathParserTest, SingleQuotedLiterals) {
+  TagDictionary dict;
+  auto twig = ParseXPath(R"(//inproceedings[./author='Jim "JG" Gray'])",
+                         &dict);
+  ASSERT_TRUE(twig.ok()) << twig.status().ToString();
+  ASSERT_EQ(twig->num_nodes(), 3u);
+  EXPECT_TRUE(twig->node(2).is_value);
+  // Double quotes inside a single-quoted literal are plain characters.
+  EXPECT_EQ(dict.Name(twig->node(2).label), "Jim \"JG\" Gray");
+
+  auto text_pred = ParseXPath("//title[text()='Semantic']", &dict);
+  ASSERT_TRUE(text_pred.ok()) << text_pred.status().ToString();
+  EXPECT_EQ(dict.Name(text_pred->node(1).label), "Semantic");
+}
+
+TEST(XPathParserTest, ErrorsReportOffendingOffset) {
+  TagDictionary dict;
+  // "b" at offset 4 starts a predicate without '.' or 'text()'.
+  auto no_dot = ParseXPath("//a[b]", &dict);
+  ASSERT_FALSE(no_dot.ok());
+  EXPECT_NE(no_dot.status().ToString().find("at offset 4"), std::string::npos)
+      << no_dot.status().ToString();
+  // The unterminated string is reported at its opening quote (offset 8),
+  // not at end-of-input.
+  auto unterminated = ParseXPath("//a[./b=\"x]", &dict);
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().ToString().find("unterminated string"),
+            std::string::npos);
+  EXPECT_NE(unterminated.status().ToString().find("at offset 8"),
+            std::string::npos)
+      << unterminated.status().ToString();
+  // Mismatched quote styles do not terminate each other.
+  EXPECT_FALSE(ParseXPath("//a[./b='x\"]", &dict).ok());
+  // After skipping leading whitespace, the axis error points at 'a'.
+  auto no_axis = ParseXPath("  a/b", &dict);
+  ASSERT_FALSE(no_axis.ok());
+  EXPECT_NE(no_axis.status().ToString().find("at offset 2"),
+            std::string::npos)
+      << no_axis.status().ToString();
+}
+
 TEST(EffectiveTwigTest, PlainChildQueryIsExact) {
   TagDictionary dict;
   auto pattern = ParseXPath("//a/b[./c]", &dict);

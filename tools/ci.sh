@@ -1,27 +1,38 @@
 #!/usr/bin/env bash
-# The full gate: plain build + tests (including the fault-injection and
-# crash-recovery suite), then the ASan/UBSan suite, then the fault suite
-# again under ASan (error paths are where pins leak), then the TSan
-# concurrency suite. Each stage uses its own build tree, so rerunning
-# after a fix is incremental; stage 3 reuses stage 2's tree.
+# The full gate, staged by ctest label (tests/CMakeLists.txt):
+#   1. plain build + tier1 (fast correctness tests)
+#   2. faults tier (fault-injection / crash-recovery matrices)
+#   3. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
+#   4. ASan/UBSan suite
+#   5. fault suite again under ASan (error paths are where pins leak)
+#   6. TSan concurrency suite
+# Each stage uses its own build tree, so rerunning after a fix is
+# incremental; stage 5 reuses stage 4's tree. Fast feedback first: a tier1
+# regression fails the gate before any slow matrix or sanitizer build runs.
 #
 # Usage: tools/ci.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== 1/4 build + ctest ===="
+echo "==== 1/6 build + tier1 tests ===="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 
-echo "==== 2/4 AddressSanitizer + UBSan ===="
+echo "==== 2/6 fault-injection tier ===="
+ctest --test-dir build -L faults --output-on-failure -j "$(nproc)"
+
+echo "==== 3/6 metrics overhead guard ===="
+tools/check_metrics_overhead.sh
+
+echo "==== 4/6 AddressSanitizer + UBSan ===="
 tools/check_asan.sh build-asan
 
-echo "==== 3/4 fault injection + crash simulation under ASan ===="
+echo "==== 5/6 fault injection + crash simulation under ASan ===="
 tools/check_faults.sh build-asan
 
-echo "==== 4/4 ThreadSanitizer ===="
+echo "==== 6/6 ThreadSanitizer ===="
 tools/check_tsan.sh build-tsan
 
 echo "==== CI: all stages green ===="

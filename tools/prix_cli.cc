@@ -3,8 +3,13 @@
 //   prix index  <db-file> <xml-file>...   build RP+EP indexes over the
 //                                         record children of each file's
 //                                         root element and persist them
-//   prix query  <db-file> <xpath>...      run twig queries against a
-//                                         previously built database
+//   prix query [--trace] [--metrics] <db-file> <xpath>...
+//                                         run twig queries against a
+//                                         previously built database;
+//                                         --trace prints each query's exact
+//                                         I/O counters and phase breakdown,
+//                                         --metrics dumps the process-wide
+//                                         MetricsRegistry as JSON afterward
 //   prix stats  <db-file>                 print index statistics
 //
 // Everything lives in one database file: the RP and EP indexes are catalog
@@ -17,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
@@ -146,7 +152,8 @@ int CmdIndex(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
-int CmdQuery(const std::string& path, int argc, char** argv) {
+int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
+             bool metrics) {
   auto db = Database::Open(path);
   if (!db.ok()) return Fail(db.status().ToString());
   TagDictionary dict;
@@ -156,8 +163,13 @@ int CmdQuery(const std::string& path, int argc, char** argv) {
   auto rp = PrixIndex::Open(db->get(), "rp");
   auto ep = PrixIndex::Open(db->get(), "ep");
   if (!rp.ok() || !ep.ok()) return Fail("opening indexes failed");
+  if (metrics) {
+    MetricsRegistry::Global().set_enabled(true);
+    MetricsRegistry::Global().Reset();
+  }
   QueryProcessor qp(**db, rp->get(), ep->get());
   for (int i = 0; i < argc; ++i) {
+    MetricsContext mctx(/*collect_trace=*/trace);
     auto result = qp.ExecuteXPath(argv[i], &dict);
     if (!result.ok()) {
       std::printf("%s\n  error: %s\n", argv[i],
@@ -176,6 +188,21 @@ int CmdQuery(const std::string& path, int argc, char** argv) {
       std::printf("%s doc%u", shown == 1 ? ":" : "", d);
     }
     std::printf("\n");
+    if (trace) {
+      const QueryStats& s = result->stats;
+      std::printf(
+          "  io: %llu pool hits, %llu misses, %llu reads, %llu writes, "
+          "%llu btree nodes\n",
+          (unsigned long long)s.pool_hits,
+          (unsigned long long)s.pool_misses,
+          (unsigned long long)s.pages_read,
+          (unsigned long long)s.pages_written,
+          (unsigned long long)s.btree_nodes);
+      std::printf("%s", RenderTrace(mctx.trace()).c_str());
+    }
+  }
+  if (metrics) {
+    std::printf("%s\n", MetricsRegistry::Global().ToJson().c_str());
   }
   return 0;
 }
@@ -217,14 +244,33 @@ int Main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: prix index <db> <xml>...\n"
-                 "       prix query <db> <xpath>...\n"
+                 "       prix query [--trace] [--metrics] <db> <xpath>...\n"
                  "       prix stats <db>\n");
     return 2;
   }
   std::string cmd = argv[1];
-  std::string path = argv[2];
-  if (cmd == "index" && argc > 3) return CmdIndex(path, argc - 3, argv + 3);
-  if (cmd == "query" && argc > 3) return CmdQuery(path, argc - 3, argv + 3);
+  // Flags sit between the command and the database path.
+  bool trace = false;
+  bool metrics = false;
+  int arg = 2;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strcmp(argv[arg], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[arg], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      return Fail(std::string("unknown flag: ") + argv[arg]);
+    }
+    ++arg;
+  }
+  if (arg >= argc) return Fail("missing database path");
+  std::string path = argv[arg++];
+  if (cmd == "index" && arg < argc) {
+    return CmdIndex(path, argc - arg, argv + arg);
+  }
+  if (cmd == "query" && arg < argc) {
+    return CmdQuery(path, argc - arg, argv + arg, trace, metrics);
+  }
   if (cmd == "stats") return CmdStats(path);
   return Fail("unknown command or missing arguments: " + cmd);
 }
