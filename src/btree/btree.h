@@ -3,15 +3,35 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <type_traits>
+#include <unordered_set>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "storage/buffer_pool.h"
+#include "storage/page_format.h"
 
 namespace prix {
+
+/// Counters from one WalkReachable scrub/salvage pass.
+struct BtreeScrubStats {
+  uint64_t nodes_visited = 0;
+  uint64_t entries_seen = 0;
+  uint64_t subtrees_skipped = 0;  ///< unreadable/invalid subtrees not walked
+};
+
+/// Counters from one index salvage pass (PrixIndex/VistIndex::Salvage):
+/// what made it into the rebuilt index versus what the corruption took.
+struct SalvageStats {
+  uint64_t entries_recovered = 0;  ///< B+-tree entries re-inserted
+  uint64_t entries_dropped = 0;    ///< duplicates a corrupt tree yielded
+  uint64_t subtrees_skipped = 0;   ///< poisoned subtrees not walked
+  uint64_t records_recovered = 0;  ///< document/sequence records copied
+  uint64_t records_lost = 0;       ///< records replaced by placeholders
+};
 
 /// Disk-based B+-tree over the buffer pool, templated on trivially copyable
 /// key/value types. This is the index structure behind PRIX's Trie-Symbol and
@@ -33,12 +53,24 @@ namespace prix {
 /// access to the same tree; index builds must finish, single-threaded,
 /// before readers start.
 ///
-/// Page layout (8 KB pages):
-///   byte 0      : is_leaf flag
-///   byte 1      : unused
-///   bytes 2..3  : entry count (uint16)
-///   bytes 4..7  : leaf: next-leaf PageId; internal: leftmost child PageId
-///   bytes 8..   : packed entries
+/// Corruption defense (DESIGN.md §5g): the page trailer CRC catches bytes
+/// the disk changed; the checks here catch bytes that are internally
+/// inconsistent anyway (a stale page a misdirected write put in the wrong
+/// place still has a valid CRC). Every node fetched is validated by
+/// CheckNode — magic, leaf/level coherence, entry count within capacity —
+/// and descents track the expected level, so a corrupt child pointer that
+/// jumps across levels (or into a cycle) fails in at most `height` steps.
+///
+/// Node layout (within the kPageUsable payload; the page trailer is the
+/// storage layer's):
+///   bytes 0..1  : node magic (0xb7e3)
+///   byte 2      : is_leaf flag
+///   byte 3      : level (leaves are 0, root is height-1)
+///   bytes 4..5  : entry count (uint16)
+///   bytes 6..7  : reserved
+///   bytes 8..11 : leaf: next-leaf PageId; internal: leftmost child PageId
+///   bytes 12..15: reserved
+///   bytes 16..  : packed entries
 /// Leaf entries are (Key, Value); internal entries are (Key, PageId child)
 /// where child holds keys >= Key.
 template <typename Key, typename Value, typename Compare = std::less<Key>>
@@ -47,8 +79,11 @@ class BPlusTree {
   static_assert(std::is_trivially_copyable_v<Value>);
 
  public:
+  static constexpr uint32_t kMetaMagic = 0xb7ee3e7au;
+
   /// Persistent tree metadata, kept in the tree's meta page.
   struct Meta {
+    uint32_t magic = kMetaMagic;
     PageId root = kInvalidPage;
     uint64_t num_entries = 0;
     uint32_t height = 0;
@@ -67,9 +102,10 @@ class BPlusTree {
     tree.cmp_ = cmp;
     PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool->NewPage());
     tree.meta_page_id_ = meta_page->page_id();
+    SetPageType(meta_page->data(), PageType::kBtreeMeta);
     pool->UnpinPage(tree.meta_page_id_, /*dirty=*/true);
     PRIX_ASSIGN_OR_RETURN(Page * root, pool->NewPage());
-    InitNode(root, /*is_leaf=*/true);
+    InitNode(root, /*is_leaf=*/true, /*level=*/0);
     tree.meta_.root = root->page_id();
     tree.meta_.height = 1;
     pool->UnpinPage(root->page_id(), /*dirty=*/true);
@@ -89,8 +125,14 @@ class BPlusTree {
       PageGuard guard(pool, meta_page);
       std::memcpy(&tree.meta_, meta_page->data(), sizeof(Meta));
     }
-    if (tree.meta_.root == kInvalidPage) {
-      return Status::Corruption("B+-tree meta page has no root");
+    if (tree.meta_.magic != kMetaMagic) {
+      return Status::Corruption("B+-tree meta page " +
+                                std::to_string(meta_page_id) +
+                                ": bad magic (not a B+-tree meta page)");
+    }
+    if (tree.meta_.root == kInvalidPage || tree.meta_.height == 0) {
+      return Status::Corruption("B+-tree meta page " +
+                                std::to_string(meta_page_id) + " has no root");
     }
     return tree;
   }
@@ -102,11 +144,13 @@ class BPlusTree {
   /// Inserts (key, value). Fails with AlreadyExists on duplicate key.
   Status Insert(const Key& key, const Value& value) {
     SplitResult split;
-    PRIX_RETURN_NOT_OK(InsertRecursive(meta_.root, key, value, &split));
+    PRIX_RETURN_NOT_OK(InsertRecursive(meta_.root,
+                                       static_cast<int>(meta_.height) - 1,
+                                       key, value, &split));
     if (split.happened) {
       // Grow a new root: children are the old root and the split sibling.
       PRIX_ASSIGN_OR_RETURN(Page * new_root, pool_->NewPage());
-      InitNode(new_root, /*is_leaf=*/false);
+      InitNode(new_root, /*is_leaf=*/false, /*level=*/meta_.height);
       SetExtra(new_root, meta_.root);
       SetCount(new_root, 1);
       WriteInternalEntry(new_root, 0, split.separator, split.right);
@@ -123,11 +167,13 @@ class BPlusTree {
   /// leaf); a fetch error loses that descent's node count, never its I/O.
   Result<Value> Get(const Key& key) const {
     PageId node = meta_.root;
+    int level = static_cast<int>(meta_.height) - 1;
     uint64_t visited = 0;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
       ++visited;
       PageGuard guard(pool_, page);
+      PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
         ChargeBtreeNodes(visited);
         int idx = LeafLowerBound(page, key);
@@ -140,6 +186,7 @@ class BPlusTree {
         return Status::NotFound("key not in tree");
       }
       node = ChildForKey(page, key);
+      --level;
     }
   }
 
@@ -148,9 +195,11 @@ class BPlusTree {
   /// Returns NotFound if absent.
   Status Delete(const Key& key) {
     PageId node = meta_.root;
+    int level = static_cast<int>(meta_.height) - 1;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
       PageGuard guard(pool_, page);
+      PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
         int idx = LeafLowerBound(page, key);
         int count = Count(page);
@@ -171,6 +220,7 @@ class BPlusTree {
         return SaveMeta();
       }
       node = ChildForKey(page, key);
+      --level;
     }
   }
 
@@ -205,9 +255,18 @@ class BPlusTree {
         PageId next = Extra(guard_.get());
         guard_.Release();
         if (next == kInvalidPage) return Status::OK();  // end
+        // A corrupt next-leaf pointer can form a cycle the per-node checks
+        // cannot see (every node in it is individually valid); bound the
+        // chain by the file size, which any acyclic chain satisfies.
+        if (++hops_ > tree_->pool_->disk()->num_pages()) {
+          return Status::Corruption(
+              "B+-tree leaf chain does not terminate (cycle via page " +
+              std::to_string(next) + ")");
+        }
         PRIX_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(next));
         ChargeBtreeNode();
         guard_ = PageGuard(tree_->pool_, page);
+        PRIX_RETURN_NOT_OK(CheckNode(page, next, /*expected_level=*/0));
         index_ = 0;
       }
       return Status::OK();
@@ -216,6 +275,7 @@ class BPlusTree {
     const BPlusTree* tree_ = nullptr;
     PageGuard guard_;
     int index_ = 0;
+    uint64_t hops_ = 0;
     Key key_{};
     Value value_{};
   };
@@ -223,11 +283,13 @@ class BPlusTree {
   /// Iterator positioned at the first entry with key >= `key`.
   Result<Iterator> Seek(const Key& key) const {
     PageId node = meta_.root;
+    int level = static_cast<int>(meta_.height) - 1;
     uint64_t visited = 0;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
       ++visited;
       PageGuard guard(pool_, page);  // no error return may leak this pin
+      PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
         ChargeBtreeNodes(visited);
         Iterator it(this, std::move(guard), LeafLowerBound(page, key));
@@ -235,17 +297,20 @@ class BPlusTree {
         return it;
       }
       node = ChildForKey(page, key);
+      --level;
     }
   }
 
   /// Iterator positioned at the smallest entry.
   Result<Iterator> SeekToFirst() const {
     PageId node = meta_.root;
+    int level = static_cast<int>(meta_.height) - 1;
     uint64_t visited = 0;
     while (true) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
       ++visited;
       PageGuard guard(pool_, page);  // no error return may leak this pin
+      PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
         ChargeBtreeNodes(visited);
         Iterator it(this, std::move(guard), 0);
@@ -253,7 +318,25 @@ class BPlusTree {
         return it;
       }
       node = Extra(page);  // leftmost child
+      --level;
     }
+  }
+
+  /// Structural scrub/salvage walk: visits every node reachable from the
+  /// root via internal child pointers (NOT the next-leaf chain, which
+  /// corruption can cycle), calling `emit(key, value) -> Status` for each
+  /// leaf entry in tree order and `issue(PageId, const Status&,
+  /// const std::string& path)` for every unreadable or structurally invalid
+  /// node, whose subtree is then skipped rather than aborting the walk. A
+  /// visited set makes re-converging (shared or cyclic) child pointers an
+  /// issue instead of an infinite walk. Only an `emit` failure (the salvage
+  /// destination broke) aborts with its non-OK Status.
+  template <typename EmitFn, typename IssueFn>
+  Status WalkReachable(EmitFn emit, IssueFn issue,
+                       BtreeScrubStats* stats) const {
+    std::unordered_set<PageId> visited;
+    return WalkNode(meta_.root, static_cast<int>(meta_.height) - 1, "root",
+                    &visited, emit, issue, stats);
   }
 
   // Exposed for tests.
@@ -261,13 +344,14 @@ class BPlusTree {
   static constexpr int InternalCapacity() { return kInternalCapacity; }
 
  private:
-  static constexpr size_t kHeaderSize = 8;
+  static constexpr uint16_t kNodeMagic = 0xb7e3;
+  static constexpr size_t kHeaderSize = 16;
   static constexpr size_t kLeafStride = sizeof(Key) + sizeof(Value);
   static constexpr size_t kInternalStride = sizeof(Key) + sizeof(PageId);
   static constexpr int kLeafCapacity =
-      static_cast<int>((kPageSize - kHeaderSize) / kLeafStride);
+      static_cast<int>((kPageUsable - kHeaderSize) / kLeafStride);
   static constexpr int kInternalCapacity =
-      static_cast<int>((kPageSize - kHeaderSize) / kInternalStride);
+      static_cast<int>((kPageUsable - kHeaderSize) / kInternalStride);
   static_assert(kLeafCapacity >= 4, "key/value too large for a page");
   static_assert(kInternalCapacity >= 4, "key too large for a page");
 
@@ -278,31 +362,79 @@ class BPlusTree {
   };
 
   // ---- node accessors (memcpy-based to sidestep alignment issues) ----
-  static void InitNode(Page* page, bool is_leaf) {
+  static void InitNode(Page* page, bool is_leaf, uint32_t level) {
     std::memset(page->data(), 0, kHeaderSize);
-    page->data()[0] = is_leaf ? 1 : 0;
+    uint16_t magic = kNodeMagic;
+    std::memcpy(page->data(), &magic, sizeof(magic));
+    page->data()[2] = is_leaf ? 1 : 0;
+    page->data()[3] = static_cast<char>(level);
     PageId invalid = kInvalidPage;
-    std::memcpy(page->data() + 4, &invalid, sizeof(PageId));
+    std::memcpy(page->data() + 8, &invalid, sizeof(PageId));
+    SetPageType(page->data(), PageType::kBtreeNode);
   }
-  static bool IsLeaf(const Page* page) { return page->data()[0] == 1; }
+  static bool IsLeaf(const Page* page) { return page->data()[2] == 1; }
+  static int Level(const Page* page) {
+    return static_cast<uint8_t>(page->data()[3]);
+  }
   static int Count(const Page* page) {
     uint16_t c;
-    std::memcpy(&c, page->data() + 2, sizeof(c));
+    std::memcpy(&c, page->data() + 4, sizeof(c));
     return c;
   }
   static void SetCount(Page* page, int count) {
     uint16_t c = static_cast<uint16_t>(count);
-    std::memcpy(page->data() + 2, &c, sizeof(c));
+    std::memcpy(page->data() + 4, &c, sizeof(c));
   }
   /// Leaf: next-leaf pointer. Internal: leftmost child.
   static PageId Extra(const Page* page) {
     PageId id;
-    std::memcpy(&id, page->data() + 4, sizeof(id));
+    std::memcpy(&id, page->data() + 8, sizeof(id));
     return id;
   }
   static void SetExtra(Page* page, PageId id) {
-    std::memcpy(page->data() + 4, &id, sizeof(id));
+    std::memcpy(page->data() + 8, &id, sizeof(id));
   }
+
+  /// Structural validation of a just-fetched node: magic, leaf/level
+  /// coherence, and an entry count within capacity — together these bound
+  /// every entry offset the accessors below will touch. `expected_level`
+  /// (from the descent counter; -1 skips the check) catches child pointers
+  /// that jump across levels or into a cycle: the counter strictly
+  /// decreases, so any descent ends within `height` steps.
+  static Status CheckNode(const Page* page, PageId id, int expected_level) {
+    uint16_t magic;
+    std::memcpy(&magic, page->data(), sizeof(magic));
+    const std::string where = "B+-tree node page " + std::to_string(id);
+    if (magic != kNodeMagic) {
+      return Status::Corruption(where + ": bad node magic");
+    }
+    uint8_t leaf_flag = static_cast<uint8_t>(page->data()[2]);
+    if (leaf_flag > 1) {
+      return Status::Corruption(where + ": bad leaf flag " +
+                                std::to_string(leaf_flag));
+    }
+    int level = Level(page);
+    if ((level == 0) != (leaf_flag == 1)) {
+      return Status::Corruption(where + ": leaf flag " +
+                                std::to_string(leaf_flag) +
+                                " contradicts level " + std::to_string(level));
+    }
+    if (expected_level >= 0 && level != expected_level) {
+      return Status::Corruption(
+          where + ": level " + std::to_string(level) + " where " +
+          std::to_string(expected_level) +
+          " was expected (corrupt child pointer?)");
+    }
+    int count = Count(page);
+    int capacity = leaf_flag == 1 ? kLeafCapacity : kInternalCapacity;
+    if (count > capacity) {
+      return Status::Corruption(where + ": entry count " +
+                                std::to_string(count) + " exceeds capacity " +
+                                std::to_string(capacity));
+    }
+    return Status::OK();
+  }
+
   static void ReadLeafEntry(const Page* page, int idx, Key* key, Value* val) {
     const char* base = page->data() + kHeaderSize + idx * kLeafStride;
     std::memcpy(key, base, sizeof(Key));
@@ -375,10 +507,71 @@ class BPlusTree {
     return Status::OK();
   }
 
-  Status InsertRecursive(PageId node, const Key& key, const Value& value,
-                         SplitResult* split) {
+  template <typename EmitFn, typename IssueFn>
+  Status WalkNode(PageId node, int level, const std::string& path,
+                  std::unordered_set<PageId>* visited, EmitFn& emit,
+                  IssueFn& issue, BtreeScrubStats* stats) const {
+    if (node == kInvalidPage || !visited->insert(node).second) {
+      issue(node,
+            Status::Corruption("child pointer revisits page " +
+                               std::to_string(node) +
+                               " (cycle or shared subtree)"),
+            path);
+      ++stats->subtrees_skipped;
+      return Status::OK();
+    }
+    Result<Page*> fetched = pool_->FetchPage(node);
+    if (!fetched.ok()) {
+      issue(node, fetched.status(), path);
+      ++stats->subtrees_skipped;
+      return Status::OK();
+    }
+    PageGuard guard(pool_, *fetched);
+    Page* page = *fetched;
+    Status st = CheckNode(page, node, level);
+    if (!st.ok()) {
+      issue(node, st, path);
+      ++stats->subtrees_skipped;
+      return Status::OK();
+    }
+    ++stats->nodes_visited;
+    int count = Count(page);
+    if (IsLeaf(page)) {
+      for (int i = 0; i < count; ++i) {
+        Key k;
+        Value v;
+        ReadLeafEntry(page, i, &k, &v);
+        ++stats->entries_seen;
+        PRIX_RETURN_NOT_OK(emit(k, v));
+      }
+      return Status::OK();
+    }
+    // Children: the leftmost child, then one per entry. Release the pin
+    // before descending (child ids are copied out first) so the walk holds
+    // one pin at a time, like a query descent.
+    std::vector<PageId> children;
+    children.reserve(static_cast<size_t>(count) + 1);
+    children.push_back(Extra(page));
+    for (int i = 0; i < count; ++i) {
+      Key k;
+      PageId c;
+      ReadInternalEntry(page, i, &k, &c);
+      children.push_back(c);
+    }
+    guard.Release();
+    for (size_t i = 0; i < children.size(); ++i) {
+      PRIX_RETURN_NOT_OK(WalkNode(children[i], level - 1,
+                                  path + ">" + std::to_string(children[i]),
+                                  visited, emit, issue, stats));
+    }
+    return Status::OK();
+  }
+
+  Status InsertRecursive(PageId node, int level, const Key& key,
+                         const Value& value, SplitResult* split) {
     PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
     PageGuard guard(pool_, page);
+    PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
     if (IsLeaf(page)) {
       return InsertIntoLeaf(page, &guard, key, value, split);
     }
@@ -388,7 +581,8 @@ class BPlusTree {
       // Release the parent pin during the recursive descent to keep the
       // pinned set small (depth is re-fetched only on split).
       guard.Release();
-      PRIX_RETURN_NOT_OK(InsertRecursive(child, key, value, &child_split));
+      PRIX_RETURN_NOT_OK(
+          InsertRecursive(child, level - 1, key, value, &child_split));
     }
     if (!child_split.happened) {
       split->happened = false;
@@ -424,7 +618,7 @@ class BPlusTree {
     // Split: left keeps the lower half, right gets the rest.
     PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
     PageGuard right_guard(pool_, right);
-    InitNode(right, /*is_leaf=*/true);
+    InitNode(right, /*is_leaf=*/true, /*level=*/0);
     int left_count = (count + 1) / 2;
     int right_count = count - left_count;
     std::memcpy(right->data() + kHeaderSize,
@@ -497,7 +691,7 @@ class BPlusTree {
     int mid = total / 2;  // entries[mid] moves up
     PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
     PageGuard right_guard(pool_, right);
-    InitNode(right, /*is_leaf=*/false);
+    InitNode(right, /*is_leaf=*/false, /*level=*/Level(page));
     // Left keeps entries [0, mid); right gets (mid, total) with leftmost
     // child = entries[mid].child.
     SetCount(page, mid);

@@ -1,0 +1,140 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PRIX_CRC32C_HAVE_X86 1
+#endif
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define PRIX_CRC32C_HAVE_ARM 1
+#include <arm_acle.h>
+#endif
+
+namespace prix {
+namespace {
+
+// ---- software fallback: slice-by-8 over generated tables -----------------
+
+struct SoftwareTables {
+  uint32_t t[8][256];
+
+  SoftwareTables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const SoftwareTables& Tables() {
+  static const SoftwareTables tables;
+  return tables;
+}
+
+uint32_t SoftwareExtend(uint32_t crc, const unsigned char* p, size_t n) {
+  const SoftwareTables& tb = Tables();
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    v ^= crc;
+    crc = tb.t[7][v & 0xff] ^ tb.t[6][(v >> 8) & 0xff] ^
+          tb.t[5][(v >> 16) & 0xff] ^ tb.t[4][(v >> 24) & 0xff] ^
+          tb.t[3][(v >> 32) & 0xff] ^ tb.t[2][(v >> 40) & 0xff] ^
+          tb.t[1][(v >> 48) & 0xff] ^ tb.t[0][(v >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc;
+}
+
+// ---- hardware paths ------------------------------------------------------
+
+#ifdef PRIX_CRC32C_HAVE_X86
+__attribute__((target("sse4.2"))) uint32_t HardwareExtend(
+    uint32_t crc, const unsigned char* p, size_t n) {
+#if defined(__x86_64__)
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __builtin_ia32_crc32di(c, v);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(c);
+#else
+  while (n >= 4) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    crc = __builtin_ia32_crc32si(crc, v);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return crc;
+}
+
+bool HardwareAvailable() { return __builtin_cpu_supports("sse4.2") != 0; }
+#elif defined(PRIX_CRC32C_HAVE_ARM)
+uint32_t HardwareExtend(uint32_t crc, const unsigned char* p, size_t n) {
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    crc = __crc32cd(crc, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return crc;
+}
+
+// __ARM_FEATURE_CRC32 implies the target was compiled for CPUs with the
+// instructions; no runtime probe needed.
+bool HardwareAvailable() { return true; }
+#else
+uint32_t HardwareExtend(uint32_t, const unsigned char*, size_t) { return 0; }
+bool HardwareAvailable() { return false; }
+#endif
+
+using ExtendFn = uint32_t (*)(uint32_t, const unsigned char*, size_t);
+
+ExtendFn Dispatch() {
+  return HardwareAvailable() ? &HardwareExtend : &SoftwareExtend;
+}
+
+ExtendFn Impl() {
+  // Thread-safe one-time dispatch (C++ static init).
+  static const ExtendFn impl = Dispatch();
+  return impl;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  // Standard pre/post conditioning so Crc32c("") == 0 and results match the
+  // iSCSI/RFC 3720 test vectors.
+  return Impl()(crc ^ 0xffffffffu,
+                static_cast<const unsigned char*>(data), n) ^
+         0xffffffffu;
+}
+
+bool Crc32cHardwareAccelerated() { return HardwareAvailable(); }
+
+}  // namespace prix

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "storage/page_format.h"
 #include "storage/record_store.h"
 
 namespace prix {
@@ -11,11 +12,14 @@ namespace prix {
 namespace {
 
 constexpr uint32_t kDbMagic = 0x50524442;  // "PRDB"
-constexpr uint32_t kDbVersion = 1;
+/// Format 2 added the per-page CRC trailer (storage/page.h); format-1 files
+/// carry no trailers and would drown in checksum mismatches, so they are
+/// rejected up front by version, with a rebuild hint.
+constexpr uint32_t kDbVersion = 2;
 constexpr PageId kHeaderSlots[2] = {0, 1};
 /// magic + version + generation + payload_len + checksum.
 constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
-constexpr size_t kPayloadCapacity = kPageSize - kHeaderBytes;
+constexpr size_t kPayloadCapacity = kPageUsable - kHeaderBytes;
 
 /// FNV-1a over the payload and the generation, so a slot whose payload and
 /// generation were torn independently cannot validate.
@@ -97,6 +101,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
   // Read both header slots and adopt the newest one that validates; a torn
   // commit leaves exactly one valid slot (the previous generation).
   bool any_valid = false;
+  int bad_magic_slots = 0;
+  uint32_t old_version = 0;
   char page[kPageSize];
   for (PageId slot : kHeaderSlots) {
     Status read_st = db->disk_.ReadPage(slot, page);
@@ -105,16 +111,43 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
       return read_st;
     }
     uint64_t gen = 0;
+    uint32_t version = 0;
     std::map<std::string, IndexEntry> entries;
-    if (!ParseHeader(page, &gen, &entries)) continue;
-    if (!any_valid || gen > db->generation_) {
-      db->generation_ = gen;
-      db->catalog_ = std::move(entries);
+    switch (ParseHeader(page, &gen, &version, &entries)) {
+      case SlotState::kValid:
+        if (!any_valid || gen > db->generation_) {
+          db->generation_ = gen;
+          db->catalog_ = std::move(entries);
+        }
+        any_valid = true;
+        break;
+      case SlotState::kBadMagic:
+        ++bad_magic_slots;
+        break;
+      case SlotState::kOldVersion:
+        old_version = version;
+        break;
+      case SlotState::kTorn:
+        break;
     }
-    any_valid = true;
   }
   if (!any_valid) {
-    Status st = Status::Corruption(path + ": no valid catalog header slot");
+    // Pick the most specific story the two slots tell. A version mismatch
+    // is an operator problem (rebuild), not corruption; a file where no
+    // slot even carries the magic was never a PRIX database.
+    Status st;
+    if (old_version != 0) {
+      st = Status::InvalidArgument(
+          path + ": format version " + std::to_string(old_version) +
+          " unsupported, rebuild index (this build reads format " +
+          std::to_string(kDbVersion) + ")");
+    } else if (bad_magic_slots == 2) {
+      st = Status::Corruption(
+          path + " is not a PRIX database (no superblock with magic "
+                 "\"PRDB\" in either header slot)");
+    } else {
+      st = Status::Corruption(path + ": no valid catalog header slot");
+    }
     db->Abandon();
     return st;
   }
@@ -132,12 +165,17 @@ Status Database::Close() {
   return disk_.Close();
 }
 
-bool Database::ParseHeader(const char* page, uint64_t* generation,
-                           std::map<std::string, IndexEntry>* entries) {
+Database::SlotState Database::ParseHeader(
+    const char* page, uint64_t* generation, uint32_t* version,
+    std::map<std::string, IndexEntry>* entries) {
   const char* p = page;
-  if (GetU32(p) != kDbMagic) return false;
+  if (GetU32(p) != kDbMagic) return SlotState::kBadMagic;
   p += 4;
-  if (GetU32(p) != kDbVersion) return false;
+  // Version is judged before the checksum: a format-1 slot has a valid
+  // magic but fails format-2 validation everywhere else, and "old format"
+  // is a far more useful answer than "torn slot".
+  *version = GetU32(p);
+  if (*version != kDbVersion) return SlotState::kOldVersion;
   p += 4;
   uint64_t gen = GetU64(p);
   p += 8;
@@ -145,38 +183,40 @@ bool Database::ParseHeader(const char* page, uint64_t* generation,
   p += 4;
   uint32_t checksum = GetU32(p);
   p += 4;
-  if (payload_len > kPayloadCapacity) return false;
-  if (CatalogChecksum(p, payload_len, gen) != checksum) return false;
+  if (payload_len > kPayloadCapacity) return SlotState::kTorn;
+  if (CatalogChecksum(p, payload_len, gen) != checksum) {
+    return SlotState::kTorn;
+  }
 
   const char* end = p + payload_len;
   auto have = [&](size_t n) { return static_cast<size_t>(end - p) >= n; };
-  if (!have(4)) return false;
+  if (!have(4)) return SlotState::kTorn;
   uint32_t count = GetU32(p);
   p += 4;
   std::map<std::string, IndexEntry> out;
   for (uint32_t i = 0; i < count; ++i) {
-    if (!have(4)) return false;
+    if (!have(4)) return SlotState::kTorn;
     uint32_t name_len = GetU32(p);
     p += 4;
-    if (!have(name_len)) return false;
+    if (!have(name_len)) return SlotState::kTorn;
     IndexEntry entry;
     entry.name.assign(p, name_len);
     p += name_len;
-    if (!have(12)) return false;
+    if (!have(12)) return SlotState::kTorn;
     entry.kind = static_cast<IndexKind>(GetU32(p));
     p += 4;
     entry.root = GetU32(p);
     p += 4;
     uint32_t opt_len = GetU32(p);
     p += 4;
-    if (!have(opt_len)) return false;
+    if (!have(opt_len)) return SlotState::kTorn;
     entry.options.assign(p, p + opt_len);
     p += opt_len;
     out.emplace(entry.name, std::move(entry));
   }
   *generation = gen;
   *entries = std::move(out);
-  return true;
+  return SlotState::kValid;
 }
 
 void Database::SerializePayload(std::vector<char>* out) const {
@@ -220,6 +260,11 @@ Status Database::CommitLocked() {
   PRIX_CHECK(header.size() == kHeaderBytes);
   std::memcpy(page, header.data(), header.size());
   std::memcpy(page + kHeaderBytes, payload.data(), payload.size());
+  // Header slots bypass the buffer pool, so this write stamps its own
+  // trailer; the catalog FNV checksum guards torn slots, the trailer CRC
+  // makes the page pass a whole-file scrub.
+  SetPageType(page, PageType::kCatalogHeader);
+  StampPageTrailer(page);
   // Alternate slots by generation parity: the slot holding the current
   // generation is never overwritten, so a torn write of the new slot still
   // leaves the old catalog recoverable.

@@ -137,9 +137,16 @@ class Database {
   /// slot. Caller holds mu_.
   Status CommitLocked();
 
-  /// Parses one header slot's page image; false if invalid/torn.
-  static bool ParseHeader(const char* page, uint64_t* generation,
-                          std::map<std::string, IndexEntry>* entries);
+  /// What one header slot's page image turned out to hold. The distinction
+  /// drives Open's error message: kTorn falls back to the other slot,
+  /// kOldVersion means "rebuild", two kBadMagic slots mean "not ours".
+  enum class SlotState { kValid, kTorn, kBadMagic, kOldVersion };
+
+  /// Parses one header slot's page image. On kValid fills generation and
+  /// entries; on kOldVersion fills only *version.
+  static SlotState ParseHeader(const char* page, uint64_t* generation,
+                               uint32_t* version,
+                               std::map<std::string, IndexEntry>* entries);
 
   std::string path_;
   DiskManager disk_;

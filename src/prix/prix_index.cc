@@ -189,4 +189,70 @@ Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(Database* db,
   return index;
 }
 
+namespace {
+
+/// Shared emit body for salvage walks: re-insert into the destination tree,
+/// tolerating duplicate keys (a corrupt source can present one entry twice
+/// through distinct leaves) and aborting only on destination failures.
+template <typename Tree, typename Key, typename Value>
+Status SalvageInsert(Tree* dst, const Key& key, const Value& value,
+                     SalvageStats* stats) {
+  Status st = dst->Insert(key, value);
+  if (st.ok()) {
+    ++stats->entries_recovered;
+    return st;
+  }
+  if (st.code() == StatusCode::kAlreadyExists) {
+    ++stats->entries_dropped;
+    return Status::OK();
+  }
+  return st;
+}
+
+}  // namespace
+
+Status PrixIndex::Salvage(Database* dst, const std::string& name,
+                          SalvageStats* stats) const {
+  SalvageStats local;
+  if (stats == nullptr) stats = &local;
+  auto out = std::unique_ptr<PrixIndex>(new PrixIndex());
+  out->options_ = options_;
+  out->root_range_ = root_range_;
+  out->maxgap_ = maxgap_;
+  out->childless_labels_ = childless_labels_;
+  out->docs_ = std::make_unique<DocStore>(dst->pool());
+  PRIX_ASSIGN_OR_RETURN(SymbolTree sym, SymbolTree::Create(dst->pool()));
+  out->symbol_index_ = std::make_unique<SymbolTree>(std::move(sym));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Create(dst->pool()));
+  out->docid_index_ = std::make_unique<DocTree>(std::move(doct));
+
+  auto skip_issue = [](PageId, const Status&, const std::string&) {};
+  BtreeScrubStats walk;
+  PRIX_RETURN_NOT_OK(symbol_index_->WalkReachable(
+      [&](const SymbolKey& k, const TrieNodeValue& v) {
+        return SalvageInsert(out->symbol_index_.get(), k, v, stats);
+      },
+      skip_issue, &walk));
+  PRIX_RETURN_NOT_OK(docid_index_->WalkReachable(
+      [&](const DocKey& k, const DocId& v) {
+        return SalvageInsert(out->docid_index_.get(), k, v, stats);
+      },
+      skip_issue, &walk));
+  stats->subtrees_skipped += walk.subtrees_skipped;
+
+  for (DocId d = 0; d < docs_->num_docs(); ++d) {
+    Result<StoredDoc> doc = docs_->Load(d);
+    if (doc.ok()) {
+      PRIX_RETURN_NOT_OK(out->docs_->Append(d, doc->seq, doc->leaves));
+      ++stats->records_recovered;
+    } else {
+      // An empty placeholder keeps later DocIds aligned with the surviving
+      // Docid-index entries; queries refine the lost document to no match.
+      PRIX_RETURN_NOT_OK(out->docs_->Append(d, PruferSequences{}, {}));
+      ++stats->records_lost;
+    }
+  }
+  return out->Save(dst, name);
+}
+
 }  // namespace prix

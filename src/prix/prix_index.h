@@ -103,6 +103,17 @@ class PrixIndex {
   static Result<std::unique_ptr<PrixIndex>> Open(Database* db,
                                                  const std::string& name);
 
+  /// Best-effort salvage into `dst` (a different, fresh database): walks
+  /// both B+-trees via WalkReachable, re-inserting every reachable entry
+  /// into new trees and skipping poisoned subtrees, and copies every
+  /// readable document record (unreadable ones become empty placeholders so
+  /// DocIds stay aligned with surviving Docid-index entries). The rebuilt
+  /// index is registered in `dst`'s catalog under `name`. Only a failure to
+  /// WRITE to `dst` returns non-OK; source corruption is counted in
+  /// `stats`, never fatal.
+  Status Salvage(Database* dst, const std::string& name,
+                 SalvageStats* stats) const;
+
   SymbolTree& symbol_index() { return *symbol_index_; }
   DocTree& docid_index() { return *docid_index_; }
   const DocStore& docs() const { return *docs_; }

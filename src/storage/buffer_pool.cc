@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "storage/page_format.h"
 
 namespace prix {
 
@@ -19,6 +20,18 @@ size_t PickShardCount(size_t pool_pages) {
     shards *= 2;
   }
   return shards;
+}
+
+/// Registry accounting for the verify-on-read path. Only physical reads
+/// (pool misses) pay this, so the warm-cache hot path is untouched; the
+/// enabled() check keeps the default cost to one relaxed load.
+void ChargeChecksumVerify(bool failed) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  static MetricCounter& verifies = reg.counter("checksum_verifies");
+  static MetricCounter& failures = reg.counter("checksum_failures");
+  verifies.Add(1);
+  if (failed) failures.Add(1);
 }
 
 }  // namespace
@@ -65,6 +78,15 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
   Page* page = shard.frames[frame].get();
   Status read_st = disk_->ReadPage(id, page->data_);
+  if (read_st.ok()) {
+    // Verify-on-read: every page entering the cache from disk must carry a
+    // valid trailer CRC (or be all-zero — allocated, never written). This
+    // is the line of defense against LYING I/O: pread returned "success"
+    // but the bytes are not what was written (bit rot, torn sector,
+    // misdirected write).
+    read_st = VerifyPageTrailer(id, page->data_);
+    ChargeChecksumVerify(!read_st.ok());
+  }
   if (!read_st.ok()) {
     // The frame came off the free list or was just evicted; hand it back
     // before surfacing the error, or it would be unreachable (in neither
@@ -123,6 +145,7 @@ Status BufferPool::FlushShard(Shard& shard) {
   for (auto& [id, frame] : shard.table) {
     Page* page = shard.frames[frame].get();
     if (page->dirty_) {
+      StampPageTrailer(page->data_);
       PRIX_RETURN_NOT_OK(disk_->WritePage(id, page->data_));
       shard.stats.physical_writes.fetch_add(1, std::memory_order_relaxed);
       page->dirty_ = false;
@@ -239,6 +262,7 @@ Status BufferPool::EvictFrame(Shard& shard, size_t frame) {
     // after its flush succeeds. On error it stays in table/lru, still
     // dirty, so no data is lost and a later fetch/flush can retry; the
     // error propagates to the FetchPage/NewPage caller.
+    StampPageTrailer(page->data_);
     PRIX_RETURN_NOT_OK(disk_->WritePage(page->page_id_, page->data_));
     shard.stats.physical_writes.fetch_add(1, std::memory_order_relaxed);
   }

@@ -104,6 +104,17 @@ Status DiskManager::OpenExisting(const std::string& path,
     trailing_bytes_recovered_ = static_cast<uint64_t>(tail);
     size -= tail;
   }
+  if (size == 0) {
+    // A zero-page file cannot hold even a superblock. This is what a
+    // truncated-at-birth crash or an accidental `touch` leaves behind;
+    // name what a real database would start with so the operator knows
+    // this is not a format mismatch.
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Corruption(
+        path + " is empty (0 pages): expected a superblock page with magic "
+               "\"PRDB\"");
+  }
   num_pages_ = static_cast<uint32_t>(size / static_cast<off_t>(kPageSize));
   if (injector_ != nullptr) {
     injector_->AttachFile(fd_, static_cast<uint64_t>(size));
@@ -231,6 +242,13 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
                               std::to_string(id));
   }
   PRIX_RETURN_NOT_OK(TransferPage(FaultInjector::Op::kRead, id, buf, nullptr));
+  if (injector_ != nullptr) {
+    // Lying-I/O injection point: the syscall "succeeded", now the injector
+    // may corrupt what it returned (bit flips, garbled pages).
+    injector_->MutateReadBuffer(
+        static_cast<uint64_t>(id) * static_cast<uint64_t>(kPageSize), buf,
+        kPageSize);
+  }
   ++read_count_;
   ChargePhysicalRead();
   return Status::OK();

@@ -43,6 +43,49 @@ void FaultInjector::TornWriteNth(uint64_t nth, size_t bytes) {
   rules_.push_back(rule);
 }
 
+void FaultInjector::FlipBitsInRead(uint64_t nth, int bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Mutation m;
+  m.kind = Mutation::Kind::kFlipBits;
+  m.nth = counts_[static_cast<int>(Op::kRead)] + nth;
+  m.bits = bits;
+  mutations_.push_back(m);
+}
+
+void FaultInjector::GarblePageAt(uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Mutation m;
+  m.kind = Mutation::Kind::kGarblePage;
+  m.offset = offset;
+  mutations_.push_back(m);
+}
+
+void FaultInjector::MutateReadBuffer(uint64_t offset, char* buf, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mutations_.empty() || len == 0) return;
+  uint64_t read_idx = counts_[static_cast<int>(Op::kRead)];
+  for (Mutation& m : mutations_) {
+    switch (m.kind) {
+      case Mutation::Kind::kFlipBits:
+        if (m.fired || read_idx != m.nth) continue;
+        m.fired = true;
+        for (int i = 0; i < m.bits; ++i) {
+          uint64_t bit = rng_.Uniform(static_cast<uint64_t>(len) * 8);
+          buf[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        }
+        ++faults_;
+        break;
+      case Mutation::Kind::kGarblePage:
+        if (m.offset != offset) continue;
+        for (size_t i = 0; i < len; ++i) {
+          buf[i] = static_cast<char>(rng_.Next());
+        }
+        ++faults_;
+        break;
+    }
+  }
+}
+
 void FaultInjector::CrashAtWrite(uint64_t k, WriteFate fate,
                                  size_t torn_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -68,6 +111,7 @@ void FaultInjector::CrashAtSync(uint64_t k) {
 void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   rules_.clear();
+  mutations_.clear();
   crash_armed_ = false;
   crashed_ = false;
   preimages_.clear();

@@ -86,6 +86,16 @@ class FaultInjector {
   /// The `nth` write attempt transfers only `bytes` of the page.
   void TornWriteNth(uint64_t nth, size_t bytes);
 
+  /// The `nth` (1-based, counted from now) successful read comes back with
+  /// `bits` seeded random bit flips — LYING I/O: pread reports success but
+  /// the buffer differs from what was written. One-shot.
+  void FlipBitsInRead(uint64_t nth, int bits = 1);
+
+  /// Every successful read of the page starting at byte `offset` comes back
+  /// overwritten with seeded random bytes — persistent media rot at one
+  /// location. Lasts until Reset.
+  void GarblePageAt(uint64_t offset);
+
   /// Arms a crash on the k-th write (1-based, counted from now). `fate`
   /// controls the triggering write; un-synced earlier writes always get
   /// seeded fates. `torn_bytes` pins the tear point for kTorn (otherwise
@@ -114,6 +124,13 @@ class FaultInjector {
   /// within the DiskManager's retry loop; only attempt 0 advances the op
   /// counter, so a retried op does not consume later scheduled faults.
   Action OnAttempt(Op op, uint64_t offset, int attempt);
+
+  /// Applies any scheduled read corruption (bit flips, garbled pages) to a
+  /// buffer a successful read just filled. DiskManager calls this after the
+  /// full-transfer loop completes; the injector's own pre-image reads use
+  /// raw pread and are never mutated. Counts as an injected fault when it
+  /// changes the buffer.
+  void MutateReadBuffer(uint64_t offset, char* buf, size_t len);
 
   /// Records the pre-image of a page about to be overwritten (crash
   /// tracking only; DiskManager calls this before the first write attempt
@@ -159,6 +176,17 @@ class FaultInjector {
     size_t valid = 0;        // bytes that existed before (rest was EOF)
   };
 
+  /// Read-corruption schedule entry (applied post-transfer, not per
+  /// syscall attempt like Rule).
+  struct Mutation {
+    enum class Kind { kFlipBits, kGarblePage };
+    Kind kind;
+    uint64_t nth = 0;     // kFlipBits: absolute read index that fires it
+    uint64_t offset = 0;  // kGarblePage: byte offset of the doomed page
+    int bits = 1;
+    bool fired = false;   // kFlipBits is one-shot
+  };
+
   WriteFate SeedFate(uint64_t salt);
   Status RestorePage(uint64_t offset, const PreImage& pre, WriteFate fate,
                      size_t torn_bytes, uint64_t crash_len);
@@ -166,6 +194,7 @@ class FaultInjector {
   mutable std::mutex mu_;
   Random rng_;
   std::vector<Rule> rules_;
+  std::vector<Mutation> mutations_;
   uint64_t counts_[kNumOps] = {0, 0, 0, 0};
   uint64_t faults_ = 0;
 

@@ -16,6 +16,41 @@ inline constexpr PageId kInvalidPage = 0xffffffffu;
 /// (Sec. 6.1: "The page size of 8K was used").
 inline constexpr size_t kPageSize = 8192;
 
+/// Page format v2 (DESIGN.md §5g): the last kPageTrailerSize bytes of every
+/// page belong to the storage layer —
+///
+///   bytes [kPageUsable + 0 .. +4) : CRC32C over bytes [0, kPageUsable)
+///                                   extended with the page-type byte
+///   byte  [kPageUsable + 4]       : PageType of the page's content
+///   bytes [kPageUsable + 5 .. +8) : reserved, zero
+///
+/// The BufferPool stamps the CRC on every flush and verifies it on every
+/// physical read, so media bit rot and torn sectors surface as
+/// Status::Corruption instead of silently wrong query results. Content
+/// layers (B+-tree, blob chains, record/stream stores) may only use bytes
+/// [0, kPageUsable) and should SetPageType when they format a fresh page.
+/// An all-zero page (allocated, never written) is considered valid.
+inline constexpr size_t kPageTrailerSize = 8;
+inline constexpr size_t kPageUsable = kPageSize - kPageTrailerSize;
+
+/// What a page holds, recorded in its trailer. Used by `prix verify` to
+/// drive structural checks and by readers to reject a catalog that points
+/// at the wrong kind of page. kUnknown (0) is what an unstamped or
+/// freshly-zeroed page reports.
+enum class PageType : uint8_t {
+  kUnknown = 0,
+  kCatalogHeader = 1,  ///< database superblock / catalog header slot
+  kBtreeMeta = 2,      ///< B+-tree meta page (btree.h Meta)
+  kBtreeNode = 3,      ///< B+-tree leaf or internal node
+  kBlob = 4,           ///< WriteBlob chain page (index catalogs)
+  kHeapData = 5,       ///< RecordStore data page
+  kStream = 6,         ///< StreamStore position page
+  kXbNode = 7,         ///< XB-tree internal page
+};
+
+/// Human-readable PageType name ("btree-node", ...), for reports.
+const char* PageTypeName(PageType type);
+
 /// An in-memory frame holding one disk page. Access to `data()` is valid
 /// while the page is pinned in the buffer pool.
 ///

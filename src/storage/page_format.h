@@ -1,0 +1,34 @@
+#ifndef PRIX_STORAGE_PAGE_FORMAT_H_
+#define PRIX_STORAGE_PAGE_FORMAT_H_
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace prix {
+
+/// Helpers for the v2 page trailer (see storage/page.h). All take a raw
+/// kPageSize buffer so they work both on pinned BufferPool frames and on
+/// scratch buffers used by the offline verifier.
+
+/// Records `type` in the trailer's page-type byte. Content layers call this
+/// when they format a fresh page; the CRC is stamped later, at flush.
+void SetPageType(char* page, PageType type);
+PageType GetPageType(const char* page);
+
+/// Computes the trailer CRC (payload + type byte) and writes it, along with
+/// zeroed reserved bytes. Called by the BufferPool on every flush and by
+/// anything that writes a page through DiskManager directly.
+void StampPageTrailer(char* page);
+
+/// True when all kPageSize bytes are zero — the state of an allocated but
+/// never-written page, which carries no trailer yet and must verify clean.
+bool IsZeroPage(const char* page);
+
+/// Verifies the trailer CRC of page `id`. OK for a matching CRC or an
+/// all-zero page; otherwise
+/// `Corruption("page 7: checksum mismatch (stored deadbeef, computed ...)")`.
+Status VerifyPageTrailer(PageId id, const char* page);
+
+}  // namespace prix
+
+#endif  // PRIX_STORAGE_PAGE_FORMAT_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "storage/page_format.h"
 
 namespace prix {
 
@@ -31,10 +32,13 @@ uint64_t GetU64(const char* p) {
   return v;
 }
 
+// Blob page layout: [next PageId u32][chunk len u32][payload], all within
+// the usable area (the trailer is the storage layer's).
+constexpr size_t kBlobPayload = kPageUsable - 8;
+
 Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data) {
-  // Page layout: [next PageId u32][chunk len u32][payload].
-  constexpr size_t kPayload = kPageSize - 8;
-  size_t num_pages = std::max<size_t>(1, (data.size() + kPayload - 1) / kPayload);
+  size_t num_pages =
+      std::max<size_t>(1, (data.size() + kBlobPayload - 1) / kBlobPayload);
   std::vector<PageId> ids(num_pages);
   for (size_t i = 0; i < num_pages; ++i) {
     PRIX_ASSIGN_OR_RETURN(Page * page, pool->NewPage());
@@ -44,12 +48,13 @@ Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data) {
   for (size_t i = 0; i < num_pages; ++i) {
     PRIX_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(ids[i]));
     PageId next = i + 1 < num_pages ? ids[i + 1] : kInvalidPage;
-    size_t offset = i * kPayload;
+    size_t offset = i * kBlobPayload;
     uint32_t chunk =
-        static_cast<uint32_t>(std::min(kPayload, data.size() - offset));
+        static_cast<uint32_t>(std::min(kBlobPayload, data.size() - offset));
     std::memcpy(page->data(), &next, 4);
     std::memcpy(page->data() + 4, &chunk, 4);
     if (chunk > 0) std::memcpy(page->data() + 8, data.data() + offset, chunk);
+    SetPageType(page->data(), PageType::kBlob);
     pool->UnpinPage(ids[i], /*dirty=*/true);
   }
   return ids[0];
@@ -58,15 +63,32 @@ Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data) {
 Status ReadBlob(BufferPool* pool, PageId first, std::vector<char>* out) {
   out->clear();
   PageId cur = first;
+  uint64_t hops = 0;
   while (cur != kInvalidPage) {
+    // A corrupt next pointer can close a cycle of individually valid
+    // pages; any legitimate chain has at most one link per file page.
+    if (++hops > pool->disk()->num_pages()) {
+      return Status::Corruption("blob chain does not terminate (cycle via "
+                                "page " +
+                                std::to_string(cur) + ")");
+    }
     PRIX_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(cur));
+    if (GetPageType(page->data()) != PageType::kBlob) {
+      Status st = Status::Corruption(
+          "page " + std::to_string(cur) + " is not a blob page (type " +
+          PageTypeName(GetPageType(page->data())) + ")");
+      pool->UnpinPage(cur, false);
+      return st;
+    }
     PageId next;
     uint32_t chunk;
     std::memcpy(&next, page->data(), 4);
     std::memcpy(&chunk, page->data() + 4, 4);
-    if (chunk > kPageSize - 8) {
+    if (chunk > kBlobPayload) {
       pool->UnpinPage(cur, false);
-      return Status::Corruption("blob chunk length out of range");
+      return Status::Corruption("blob page " + std::to_string(cur) +
+                                ": chunk length " + std::to_string(chunk) +
+                                " out of range");
     }
     out->insert(out->end(), page->data() + 8, page->data() + 8 + chunk);
     pool->UnpinPage(cur, false);
@@ -99,9 +121,24 @@ Result<RecordStore> RecordStore::Deserialize(BufferPool* pool, const char** p,
   uint32_t num_pages = GetU32(*p);
   *p += 4;
   PRIX_RETURN_NOT_OK(need(4ull * num_pages + 4));
+  // Every page the catalog references must exist in the file, and the
+  // logical size must fit the page list — arbitrary bytes here must fail
+  // now, not as a wild fetch during a later Load.
+  uint32_t file_pages = pool->disk()->num_pages();
   store.pages_.resize(num_pages);
   for (uint32_t i = 0; i < num_pages; ++i, *p += 4) {
     store.pages_[i] = GetU32(*p);
+    if (store.pages_[i] >= file_pages) {
+      return Status::Corruption("record store catalog references page " +
+                                std::to_string(store.pages_[i]) +
+                                " beyond the file (" +
+                                std::to_string(file_pages) + " pages)");
+    }
+  }
+  if (store.next_offset_ > static_cast<uint64_t>(num_pages) * kPageUsable) {
+    return Status::Corruption(
+        "record store logical size " + std::to_string(store.next_offset_) +
+        " exceeds its " + std::to_string(num_pages) + " data pages");
   }
   uint32_t num_records = GetU32(*p);
   *p += 4;
@@ -112,6 +149,11 @@ Result<RecordStore> RecordStore::Deserialize(BufferPool* pool, const char** p,
     *p += 8;
     store.catalog_[i].length = GetU32(*p);
     *p += 4;
+    if (store.catalog_[i].offset + store.catalog_[i].length >
+        store.next_offset_) {
+      return Status::Corruption("record " + std::to_string(i) +
+                                " extent exceeds the store's logical size");
+    }
   }
   return store;
 }
@@ -136,15 +178,16 @@ Status RecordStore::Load(uint32_t id, std::vector<char>* out) const {
 Status RecordStore::AppendBytes(const char* data, size_t len) {
   size_t written = 0;
   while (written < len) {
-    size_t page_index = static_cast<size_t>(next_offset_ / kPageSize);
-    size_t page_off = static_cast<size_t>(next_offset_ % kPageSize);
+    size_t page_index = static_cast<size_t>(next_offset_ / kPageUsable);
+    size_t page_off = static_cast<size_t>(next_offset_ % kPageUsable);
     if (page_index == pages_.size()) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
+      SetPageType(page->data(), PageType::kHeapData);
       pages_.push_back(page->page_id());
       pool_->UnpinPage(page->page_id(), /*dirty=*/true);
     }
     PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_index]));
-    size_t chunk = std::min(len - written, kPageSize - page_off);
+    size_t chunk = std::min(len - written, kPageUsable - page_off);
     std::memcpy(page->data() + page_off, data + written, chunk);
     pool_->UnpinPage(pages_[page_index], /*dirty=*/true);
     written += chunk;
@@ -156,13 +199,13 @@ Status RecordStore::AppendBytes(const char* data, size_t len) {
 Status RecordStore::ReadBytes(uint64_t offset, char* out, size_t len) const {
   size_t done = 0;
   while (done < len) {
-    size_t page_index = static_cast<size_t>((offset + done) / kPageSize);
-    size_t page_off = static_cast<size_t>((offset + done) % kPageSize);
+    size_t page_index = static_cast<size_t>((offset + done) / kPageUsable);
+    size_t page_off = static_cast<size_t>((offset + done) % kPageUsable);
     if (page_index >= pages_.size()) {
       return Status::OutOfRange("RecordStore read past end");
     }
     PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_index]));
-    size_t chunk = std::min(len - done, kPageSize - page_off);
+    size_t chunk = std::min(len - done, kPageUsable - page_off);
     std::memcpy(out + done, page->data() + page_off, chunk);
     pool_->UnpinPage(pages_[page_index], /*dirty=*/false);
     done += chunk;

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "storage/page_format.h"
 #include "storage/record_store.h"
 
 namespace prix {
@@ -70,6 +71,7 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Build(
       size_t chunk = std::min(kEntriesPerPage, entries.size() - i);
       std::memcpy(page->data(), entries.data() + i,
                   chunk * sizeof(ElementPos));
+      SetPageType(page->data(), PageType::kStream);
       info.pages.push_back(page->page_id());
       pool->UnpinPage(page->page_id(), /*dirty=*/true);
       i += chunk;
@@ -144,10 +146,28 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Open(
     p += 4;
     uint32_t num_pages = GetU32(p);
     p += 4;
+    // The entry count must fit the page list, or ReadEntry would index
+    // past it; every page must exist in the file.
+    uint64_t needed_pages =
+        (static_cast<uint64_t>(info.count) + kEntriesPerPage - 1) /
+        kEntriesPerPage;
+    if (needed_pages > num_pages) {
+      return Status::Corruption("stream-store catalog: stream with " +
+                                std::to_string(info.count) +
+                                " entries lists only " +
+                                std::to_string(num_pages) + " pages");
+    }
     PRIX_RETURN_NOT_OK(need(4ull * num_pages));
+    uint32_t file_pages = db->disk()->num_pages();
     info.pages.reserve(num_pages);
     for (uint32_t j = 0; j < num_pages; ++j, p += 4) {
       info.pages.push_back(GetU32(p));
+      if (info.pages.back() >= file_pages) {
+        return Status::Corruption(
+            "stream-store catalog references page " +
+            std::to_string(info.pages.back()) + " beyond the file (" +
+            std::to_string(file_pages) + " pages)");
+      }
     }
     store->total_entries_ += info.count;
     store->total_pages_ += info.pages.size();

@@ -45,7 +45,7 @@ class StreamStore {
     uint32_t count = 0;
   };
 
-  static constexpr size_t kEntriesPerPage = kPageSize / sizeof(ElementPos);
+  static constexpr size_t kEntriesPerPage = kPageUsable / sizeof(ElementPos);
 
   /// Builds streams for every label in the collection. Every node of every
   /// document (elements and values alike) contributes one entry to its
@@ -72,6 +72,10 @@ class StreamStore {
   BufferPool* pool() const { return pool_; }
   uint64_t total_entries() const { return total_entries_; }
   uint64_t total_pages() const { return total_pages_; }
+  /// All streams by label (the verifier's enumeration; queries use Find).
+  const std::unordered_map<LabelId, StreamInfo>& streams() const {
+    return streams_;
+  }
 
   /// Reads entry `index` of `info` (page fetch counted by the pool).
   Result<ElementPos> ReadEntry(const StreamInfo& info, uint32_t index) const;

@@ -89,10 +89,27 @@ Result<std::unique_ptr<XbForest>> XbForest::Open(Database* db,
       p += 4;
       uint32_t num_pages = GetU32(p);
       p += 4;
+      // The cursor turns entry indexes into page indexes by fanout; an
+      // entry count the page list cannot cover would walk off the vector.
+      uint64_t needed_pages =
+          (static_cast<uint64_t>(level.entry_count) + XbTree::kFanout - 1) /
+          XbTree::kFanout;
+      if (needed_pages > num_pages) {
+        return Status::Corruption(
+            "XB-forest level with " + std::to_string(level.entry_count) +
+            " entries lists only " + std::to_string(num_pages) + " pages");
+      }
       PRIX_RETURN_NOT_OK(need(4ull * num_pages));
+      uint32_t file_pages = db->disk()->num_pages();
       level.pages.reserve(num_pages);
       for (uint32_t j = 0; j < num_pages; ++j, p += 4) {
         level.pages.push_back(GetU32(p));
+        if (level.pages.back() >= file_pages) {
+          return Status::Corruption(
+              "XB-forest references page " +
+              std::to_string(level.pages.back()) + " beyond the file (" +
+              std::to_string(file_pages) + " pages)");
+        }
       }
     }
     const StreamStore::StreamInfo* info = store->Find(label);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "storage/page_format.h"
 
 namespace prix {
 
@@ -48,6 +49,7 @@ Result<std::unique_ptr<XbTree>> XbTree::Build(
       PRIX_ASSIGN_OR_RETURN(Page * page, store->pool()->NewPage());
       std::memcpy(page->data(), summaries.data() + i,
                   chunk * sizeof(RawEntry));
+      SetPageType(page->data(), PageType::kXbNode);
       level.pages.push_back(page->page_id());
       store->pool()->UnpinPage(page->page_id(), /*dirty=*/true);
       uint64_t max_end = 0;
@@ -165,7 +167,7 @@ Status XbCursor::LoadEntry() {
                        : tree_->levels()[level_ - 1].pages[node_];
   if (buffered_level_ != level_ || buffered_node_ != node_) {
     PRIX_ASSIGN_OR_RETURN(Page * page, tree_->store()->pool()->FetchPage(page_id));
-    buffer_.assign(page->data(), page->data() + kPageSize);
+    buffer_.assign(page->data(), page->data() + kPageUsable);
     tree_->store()->pool()->UnpinPage(page_id, /*dirty=*/false);
     buffered_level_ = level_;
     buffered_node_ = node_;

@@ -60,7 +60,7 @@ class XbTree {
   };
 
   /// Entries per internal page.
-  static constexpr size_t kFanout = kPageSize / (2 * sizeof(uint64_t));
+  static constexpr size_t kFanout = kPageUsable / (2 * sizeof(uint64_t));
 
   /// Builds the internal levels above `info`'s pages. `info` may be null.
   static Result<std::unique_ptr<XbTree>> Build(

@@ -251,6 +251,66 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Open(Database* db,
   return index;
 }
 
+Status VistIndex::Salvage(Database* dst, const std::string& name,
+                          SalvageStats* stats) const {
+  SalvageStats local;
+  if (stats == nullptr) stats = &local;
+  auto out = std::unique_ptr<VistIndex>(new VistIndex());
+  out->root_range_ = root_range_;
+  out->prefixes_ = prefixes_;
+  out->symbol_prefixes_ = symbol_prefixes_;
+  out->seq_store_ = std::make_unique<RecordStore>(dst->pool());
+  PRIX_ASSIGN_OR_RETURN(DAncestorTree dtree, DAncestorTree::Create(dst->pool()));
+  out->dancestor_ = std::make_unique<DAncestorTree>(std::move(dtree));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Create(dst->pool()));
+  out->docid_ = std::make_unique<DocTree>(std::move(doct));
+
+  auto skip_issue = [](PageId, const Status&, const std::string&) {};
+  auto insert = [&](auto* tree, const auto& k, const auto& v) -> Status {
+    Status st = tree->Insert(k, v);
+    if (st.ok()) {
+      ++stats->entries_recovered;
+      return st;
+    }
+    if (st.code() == StatusCode::kAlreadyExists) {
+      ++stats->entries_dropped;
+      return Status::OK();
+    }
+    return st;
+  };
+  BtreeScrubStats walk;
+  PRIX_RETURN_NOT_OK(dancestor_->WalkReachable(
+      [&](const VistKey& k, const VistNodeValue& v) {
+        return insert(out->dancestor_.get(), k, v);
+      },
+      skip_issue, &walk));
+  PRIX_RETURN_NOT_OK(docid_->WalkReachable(
+      [&](const VistDocKey& k, const DocId& v) {
+        return insert(out->docid_.get(), k, v);
+      },
+      skip_issue, &walk));
+  stats->subtrees_skipped += walk.subtrees_skipped;
+
+  std::vector<char> buf;
+  for (uint32_t id = 0; id < seq_store_->num_records(); ++id) {
+    Status st = seq_store_->Load(id, &buf);
+    if (st.ok()) {
+      PRIX_ASSIGN_OR_RETURN(uint32_t new_id,
+                            out->seq_store_->Append(buf.data(), buf.size()));
+      (void)new_id;
+      ++stats->records_recovered;
+    } else {
+      // Zero-length placeholder: LoadDocument on it reports Corruption
+      // rather than shifting every later DocId.
+      PRIX_ASSIGN_OR_RETURN(uint32_t new_id,
+                            out->seq_store_->Append(nullptr, 0));
+      (void)new_id;
+      ++stats->records_lost;
+    }
+  }
+  return out->Save(dst, name);
+}
+
 Result<Document> VistIndex::LoadDocument(DocId doc) const {
   std::vector<char> buf;
   PRIX_RETURN_NOT_OK(seq_store_->Load(doc, &buf));
@@ -269,9 +329,18 @@ Result<Document> VistIndex::LoadDocument(DocId doc) const {
     p += 4;
     PrefixId prefix = GetU32(p);
     p += 4;
+    if (prefix >= prefixes_.size()) {
+      return Status::Corruption("ViST record references prefix " +
+                                std::to_string(prefix) +
+                                " beyond the dictionary (" +
+                                std::to_string(prefixes_.size()) + ")");
+    }
     size_t depth = prefixes_.Path(prefix).size();
     NodeId node;
     if (depth == 0) {
+      if (!out.empty()) {
+        return Status::Corruption("ViST record has two root items");
+      }
       node = out.AddRoot(symbol);
     } else {
       if (depth > stack_by_depth.size()) {

@@ -82,6 +82,14 @@ class VistIndex {
   static Result<std::unique_ptr<VistIndex>> Open(Database* db,
                                                  const std::string& name);
 
+  /// Best-effort salvage into `dst` (Salvage parity with PrixIndex): walks
+  /// both B+-trees re-inserting reachable entries, copies readable sequence
+  /// records (unreadable ones become empty placeholders keeping DocIds
+  /// aligned), and registers the rebuilt index under `name`. Only a `dst`
+  /// write failure is fatal; source corruption lands in `stats`.
+  Status Salvage(Database* dst, const std::string& name,
+                 SalvageStats* stats) const;
+
   DAncestorTree& dancestor() { return *dancestor_; }
   DocTree& docid_index() { return *docid_; }
   const PrefixDictionary& prefixes() const { return prefixes_; }

@@ -54,16 +54,18 @@ class BufferPoolConcurrencyTest : public ::testing::Test {
     pool->ResetStats();
   }
 
+  // The pattern stays within kPageUsable: the trailer is the storage
+  // layer's, and flushes stamp a CRC over it.
   static void FillPattern(char* data, PageId id) {
     uint32_t v = id * 2654435761u;
-    for (size_t i = 0; i + 4 <= kPageSize; i += 4) {
+    for (size_t i = 0; i + 4 <= kPageUsable; i += 4) {
       std::memcpy(data + i, &v, 4);
     }
   }
 
   static bool CheckPattern(const char* data, PageId id) {
     uint32_t expect = id * 2654435761u;
-    for (size_t i : {size_t{0}, kPageSize / 2, kPageSize - 4}) {
+    for (size_t i : {size_t{0}, kPageUsable / 2, kPageUsable - 4}) {
       uint32_t got;
       std::memcpy(&got, data + i, 4);
       if (got != expect) return false;

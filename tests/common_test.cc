@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 
+#include "common/crc32c.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -156,6 +158,44 @@ TEST(StringUtilTest, HumanBytes) {
   EXPECT_EQ(HumanBytes(512), "512.0 B");
   EXPECT_EQ(HumanBytes(2048), "2.0 KB");
   EXPECT_EQ(HumanBytes(3u << 20), "3.0 MB");
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // The iSCSI / RFC 3720 check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  // Vector from the LevelDB/RocksDB crc32c test suite.
+  char zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const char* data = "The quick brown fox jumps over the lazy dog";
+  size_t n = std::strlen(data);
+  uint32_t whole = Crc32c(data, n);
+  // Any split point must give the same stream CRC, including splits that
+  // are not 8-byte aligned (exercises the head/tail paths of both the
+  // hardware and the slice-by-8 implementation).
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, n / 2, n}) {
+    uint32_t crc = Crc32cExtend(0, data, split);
+    crc = Crc32cExtend(crc, data + split, n - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryBit) {
+  char buf[64];
+  std::memset(buf, 0x5a, sizeof(buf));
+  uint32_t base = Crc32c(buf, sizeof(buf));
+  for (size_t byte : {size_t{0}, size_t{31}, size_t{63}}) {
+    for (int bit : {0, 7}) {
+      buf[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(buf, sizeof(buf)), base)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+  EXPECT_EQ(Crc32c(buf, sizeof(buf)), base);
 }
 
 }  // namespace

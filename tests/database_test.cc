@@ -222,15 +222,68 @@ TEST(DatabaseTest, InjectedTornHeaderWriteFallsBackOneGeneration) {
   db.Adopt(std::move(*reopened));
 }
 
-TEST(DatabaseTest, BothSlotsCorruptIsUnrecoverable) {
+TEST(DatabaseTest, BothSlotsScribbledIsNotAPrixDatabase) {
   testutil::TempDb db(Database::Options{.pool_pages = 64});
   ASSERT_TRUE(db.CloseHandle().ok());
   ScribbleSlot(db.path(), 0);
   ScribbleSlot(db.path(), 1);
+  // Scribbling destroys the magic too, so the file is indistinguishable
+  // from one that was never a PRIX database.
+  auto reopened = Database::Open(db.path());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(reopened.status().ToString().find("not a PRIX database"),
+            std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST(DatabaseTest, BothSlotsTornIsUnrecoverable) {
+  testutil::TempDb db(Database::Options{.pool_pages = 64});
+  ASSERT_TRUE(db.CloseHandle().ok());
+  // Corrupt only the catalog payloads: magic and version stay intact, so
+  // both slots parse as torn rather than foreign.
+  for (int slot = 0; slot < 2; ++slot) {
+    std::FILE* f = std::fopen(db.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    char junk[64];
+    std::memset(junk, 0xd7, sizeof(junk));
+    std::fseek(f, static_cast<long>(slot) * kPageSize + 24, SEEK_SET);
+    ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f), sizeof(junk));
+    std::fclose(f);
+  }
   auto reopened = Database::Open(db.path());
   ASSERT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
   EXPECT_NE(reopened.status().ToString().find("no valid catalog header"),
+            std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST(DatabaseTest, V1FormatFileIsRejectedWithMigrationHint) {
+  // Migration guard: a file written by the format-1 layout (no page
+  // trailers) must not be half-read; the error tells the operator to
+  // rebuild rather than reporting generic corruption. A v1 slot is
+  // simulated by patching the version field of both header slots — the
+  // magic survives, so version is judged before anything else.
+  testutil::TempDb db(Database::Options{.pool_pages = 64});
+  ASSERT_TRUE(db.CloseHandle().ok());
+  for (int slot = 0; slot < 2; ++slot) {
+    std::FILE* f = std::fopen(db.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    uint32_t v1 = 1;
+    std::fseek(f, static_cast<long>(slot) * kPageSize + 4, SEEK_SET);
+    ASSERT_EQ(std::fwrite(&v1, 1, sizeof(v1), f), sizeof(v1));
+    std::fclose(f);
+  }
+  auto reopened = Database::Open(db.path());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument)
+      << reopened.status().ToString();
+  EXPECT_NE(
+      reopened.status().ToString().find("format version 1 unsupported"),
+      std::string::npos)
+      << reopened.status().ToString();
+  EXPECT_NE(reopened.status().ToString().find("rebuild index"),
             std::string::npos)
       << reopened.status().ToString();
 }

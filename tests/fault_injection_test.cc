@@ -19,6 +19,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/fault_injector.h"
+#include "storage/page_format.h"
 #include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
 
@@ -47,6 +48,9 @@ class FaultInjectionTest : public ::testing::Test {
     auto p = disk->AllocatePage();
     ASSERT_TRUE(p.ok());
     std::memset(pattern_, 0x5a, kPageSize);
+    // Raw DiskManager writes bypass the pool's flush stamping; stamp here
+    // so fetches through a BufferPool pass the trailer CRC.
+    StampPageTrailer(pattern_);
     ASSERT_TRUE(disk->WritePage(*p, pattern_).ok());
   }
 

@@ -14,10 +14,10 @@ cmake -B "$BUILD_DIR" -S . -DPRIX_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
       fault_injection_test fault_matrix_test crash_recovery_test \
-      storage_test database_test
+      corruption_test storage_test database_test
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-      -R 'fault_injection_test|fault_matrix_test|crash_recovery_test|storage_test|database_test'
+      -R 'fault_injection_test|fault_matrix_test|crash_recovery_test|corruption_test|storage_test|database_test'
 echo "Fault suite: every injected fault and crash point passed under ASan/UBSan."

@@ -11,6 +11,14 @@
 //                                         --metrics dumps the process-wide
 //                                         MetricsRegistry as JSON afterward
 //   prix stats  <db-file>                 print index statistics
+//   prix verify [--salvage] <db-file> [<out-file>]
+//                                         scrub every page's CRC and walk
+//                                         every index structurally,
+//                                         reporting page id / index name /
+//                                         node path per fault; --salvage
+//                                         additionally rebuilds reachable
+//                                         index contents into <out-file>
+//                                         (default <db-file>.salvaged)
 //
 // Everything lives in one database file: the RP and EP indexes are catalog
 // entries named "rp" and "ep", and the tag dictionary (which must survive
@@ -27,6 +35,7 @@
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 #include "storage/record_store.h"
+#include "verify/verifier.h"
 #include "xml/xml_parser.h"
 
 namespace prix {
@@ -240,24 +249,81 @@ int CmdStats(const std::string& path) {
   return 0;
 }
 
+void PrintIssues(const VerifyReport& report) {
+  for (const VerifyIssue& issue : report.issues) {
+    std::string where;
+    if (!issue.index.empty()) where = "index '" + issue.index + "' ";
+    if (issue.page != kInvalidPage) {
+      where += "page " + std::to_string(issue.page) + " ";
+    }
+    std::printf("  FAULT %s(%s): %s\n", where.c_str(), issue.context.c_str(),
+                issue.message.c_str());
+  }
+}
+
+int CmdVerify(const std::string& path, bool salvage,
+              const std::string& salvage_out) {
+  VerifyReport scrub;
+  if (auto s = ScrubPages(path, &scrub); !s.ok()) return Fail(s.ToString());
+  std::printf("scrub: %llu pages scanned, %llu bad\n",
+              (unsigned long long)scrub.pages_scanned,
+              (unsigned long long)scrub.pages_bad);
+  PrintIssues(scrub);
+
+  VerifyReport walk;
+  if (auto s = VerifyDatabase(path, &walk); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("structure: %llu indexes checked, %llu with faults\n",
+              (unsigned long long)walk.indexes_checked,
+              (unsigned long long)walk.indexes_bad);
+  PrintIssues(walk);
+
+  bool clean = scrub.clean() && walk.clean();
+  std::printf("%s: %s\n", path.c_str(), clean ? "clean" : "CORRUPT");
+
+  if (salvage) {
+    SalvageReport sr;
+    if (auto s = SalvageDatabase(path, salvage_out, &sr); !s.ok()) {
+      return Fail(s.ToString());
+    }
+    std::printf(
+        "salvage: %llu index(es) rebuilt into %s; %llu entries recovered, "
+        "%llu subtrees skipped, %llu records recovered, %llu lost\n",
+        (unsigned long long)sr.indexes_salvaged, salvage_out.c_str(),
+        (unsigned long long)sr.stats.entries_recovered,
+        (unsigned long long)sr.stats.subtrees_skipped,
+        (unsigned long long)sr.stats.records_recovered,
+        (unsigned long long)sr.stats.records_lost);
+    for (const std::string& name : sr.dropped) {
+      std::printf("  dropped: %s\n", name.c_str());
+    }
+  }
+  return clean ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: prix index <db> <xml>...\n"
                  "       prix query [--trace] [--metrics] <db> <xpath>...\n"
-                 "       prix stats <db>\n");
+                 "       prix stats <db>\n"
+                 "       prix verify [--salvage] <db> [<out>]\n");
     return 2;
   }
   std::string cmd = argv[1];
   // Flags sit between the command and the database path.
   bool trace = false;
   bool metrics = false;
+  bool salvage = false;
   int arg = 2;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strcmp(argv[arg], "--trace") == 0) {
       trace = true;
     } else if (std::strcmp(argv[arg], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[arg], "--salvage") == 0) {
+      salvage = true;
     } else {
       return Fail(std::string("unknown flag: ") + argv[arg]);
     }
@@ -272,6 +338,10 @@ int Main(int argc, char** argv) {
     return CmdQuery(path, argc - arg, argv + arg, trace, metrics);
   }
   if (cmd == "stats") return CmdStats(path);
+  if (cmd == "verify") {
+    std::string out = arg < argc ? argv[arg] : path + ".salvaged";
+    return CmdVerify(path, salvage, out);
+  }
   return Fail("unknown command or missing arguments: " + cmd);
 }
 
