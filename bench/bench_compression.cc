@@ -1,0 +1,212 @@
+// Measures the v3 compressed formats (DESIGN.md §5h) against the v1
+// fixed-width formats on the DBLP workload: index build size, cold-cache
+// pages read, and latency for the Table 3 DBLP mix (Q1-Q3), with answer
+// equality asserted between the two encodings and the in-memory oracle.
+// Exits non-zero if the compressed index does not cut aggregate cold-cache
+// pages_read by at least 30%, so CI catches a regressed encoding.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "naive/naive_matcher.h"
+#include "query/xpath_parser.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+namespace {
+
+struct QueryRun {
+  RunResult run;
+  size_t matches = 0;
+};
+
+/// One full environment (database + RP/EP indexes) in the given encoding.
+struct Mode {
+  std::string dir;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<PrixIndex> rp;
+  std::unique_ptr<PrixIndex> ep;
+  double build_seconds = 0;
+  uint64_t file_pages = 0;
+  uint64_t file_bytes = 0;
+
+  ~Mode() {
+    rp.reset();
+    ep.reset();
+    db.reset();
+    if (!dir.empty()) {
+      std::string cmd = "rm -rf " + dir;
+      if (std::system(cmd.c_str()) != 0) {
+        std::fprintf(stderr, "warning: failed to remove %s\n", dir.c_str());
+      }
+    }
+  }
+};
+
+Status BuildMode(Mode* m, const DocumentCollection& coll, bool compress) {
+  char tmpl[] = "/tmp/prix_bench_XXXXXX";
+  if (mkdtemp(tmpl) == nullptr) return Status::IoError("mkdtemp failed");
+  m->dir = tmpl;
+  PRIX_ASSIGN_OR_RETURN(m->db, Database::Create(m->dir + "/bench.prix"));
+  auto t0 = std::chrono::steady_clock::now();
+  PrixIndexOptions rp_opts;
+  rp_opts.compress = compress;
+  PRIX_ASSIGN_OR_RETURN(
+      m->rp, PrixIndex::Build(coll.documents, m->db->pool(), rp_opts));
+  PrixIndexOptions ep_opts;
+  ep_opts.extended = true;
+  ep_opts.compress = compress;
+  PRIX_ASSIGN_OR_RETURN(
+      m->ep, PrixIndex::Build(coll.documents, m->db->pool(), ep_opts));
+  auto t1 = std::chrono::steady_clock::now();
+  m->build_seconds = std::chrono::duration<double>(t1 - t0).count();
+  PRIX_RETURN_NOT_OK(m->db->pool()->FlushAll());
+  m->file_pages = m->db->pool()->disk()->num_pages();
+  m->file_bytes = m->file_pages * kPageSize;
+  return Status::OK();
+}
+
+Result<QueryRun> RunQuery(Mode* m, const std::string& xpath,
+                          TagDictionary* dict) {
+  QueryProcessor qp(*m->db, m->rp.get(), m->ep.get());
+  QueryRun out;
+  // Two passes, as the table benches do: the first absorbs build writeback,
+  // the reported pass starts from a cold buffer pool.
+  for (int pass = 0; pass < 2; ++pass) {
+    PRIX_RETURN_NOT_OK(m->db->ColdStart());
+    MetricsContext mctx;
+    auto t0 = std::chrono::steady_clock::now();
+    PRIX_ASSIGN_OR_RETURN(QueryResult qr, qp.ExecuteXPath(xpath, dict));
+    auto t1 = std::chrono::steady_clock::now();
+    out.run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.run.io = mctx.counters;
+    out.run.pages = qr.stats.pages_read;
+    out.run.matches = qr.matches.size();
+    out.run.docs = qr.docs.size();
+    out.run.prix_stats = qr.stats;
+    out.matches = qr.matches.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv();
+  DocumentCollection coll = MakeDataset("DBLP", scale);
+  std::fprintf(stderr, "[DBLP] %zu docs, %zu nodes\n",
+               coll.documents.size(), coll.TotalNodes());
+
+  Mode plain, packed;
+  if (!BuildMode(&plain, coll, false).ok()) return 1;
+  if (!BuildMode(&packed, coll, true).ok()) return 1;
+  std::printf("Index build: uncompressed %llu pages (%.1f MB), "
+              "compressed %llu pages (%.1f MB), %.1fx smaller\n",
+              static_cast<unsigned long long>(plain.file_pages),
+              plain.file_bytes / 1048576.0,
+              static_cast<unsigned long long>(packed.file_pages),
+              packed.file_bytes / 1048576.0,
+              static_cast<double>(plain.file_pages) / packed.file_pages);
+
+  BenchReport report("compression");
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("row").String("build");
+    w.Key("dataset").String("DBLP");
+    w.Key("uncompressed_pages").UInt(plain.file_pages);
+    w.Key("uncompressed_bytes").UInt(plain.file_bytes);
+    w.Key("uncompressed_build_seconds").Double(plain.build_seconds);
+    w.Key("compressed_pages").UInt(packed.file_pages);
+    w.Key("compressed_bytes").UInt(packed.file_bytes);
+    w.Key("compressed_build_seconds").Double(packed.build_seconds);
+    w.EndObject();
+    report.AddRawRow(w.Take());
+  }
+
+  // The workload is the Table 3 DBLP mix (Q1-Q3, highly selective) plus
+  // three broad structural queries (B1-B3) of the kind compression is for:
+  // low-selectivity scans where leaf pages and document records dominate
+  // the I/O instead of fixed-size internal descents.
+  std::vector<QuerySpec> workload;
+  for (const QuerySpec& q : AllQueries()) {
+    if (std::string(q.dataset) == "DBLP") workload.push_back(q);
+  }
+  workload.push_back({"B1", "//inproceedings[./author]/title", "DBLP", 0});
+  workload.push_back({"B2", "//article[./author]/year", "DBLP", 0});
+  workload.push_back({"B3", "//www[./editor]", "DBLP", 0});
+
+  std::printf("%-6s | %14s %14s %8s | %14s %14s %8s\n", "Query",
+              "v1 time", "v1 IO", "v1 hits", "v3 time", "v3 IO", "v3 hits");
+  uint64_t total_plain_pages = 0, total_packed_pages = 0;
+  bool answers_ok = true;
+  for (const QuerySpec& q : workload) {
+    auto a = RunQuery(&plain, q.xpath, &coll.dictionary);
+    auto b = RunQuery(&packed, q.xpath, &coll.dictionary);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "query %s failed: %s / %s\n", q.id,
+                   a.status().ToString().c_str(),
+                   b.status().ToString().c_str());
+      return 1;
+    }
+    // Answer equality: both encodings agree with each other and with the
+    // in-memory oracle — compression must be invisible to query results.
+    auto pattern = ParseXPath(q.xpath, &coll.dictionary);
+    PRIX_CHECK(pattern.ok());
+    size_t oracle = NaiveMatchCollection(coll.documents,
+                                         EffectiveTwig::Build(*pattern),
+                                         MatchSemantics::kOrdered)
+                        .size();
+    if (a->matches != b->matches || a->matches != oracle) {
+      std::fprintf(stderr,
+                   "ANSWER MISMATCH %s: v1=%zu v3=%zu oracle=%zu\n", q.id,
+                   a->matches, b->matches, oracle);
+      answers_ok = false;
+    }
+    total_plain_pages += a->run.pages;
+    total_packed_pages += b->run.pages;
+    std::printf("%-6s | %14s %14s %8zu | %14s %14s %8zu\n", q.id,
+                Secs(a->run.seconds).c_str(), PagesStr(a->run.pages).c_str(),
+                a->matches, Secs(b->run.seconds).c_str(),
+                PagesStr(b->run.pages).c_str(), b->matches);
+    report.AddRow("prix-uncompressed", "DBLP", q.id, q.xpath, a->run);
+    report.AddRow("prix-compressed", "DBLP", q.id, q.xpath, b->run);
+  }
+
+  double reduction =
+      total_plain_pages == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(total_packed_pages) / total_plain_pages;
+  std::printf("\nCold-cache pages read: %llu uncompressed vs %llu "
+              "compressed (%.0f%% reduction)\n",
+              static_cast<unsigned long long>(total_plain_pages),
+              static_cast<unsigned long long>(total_packed_pages),
+              reduction * 100);
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("row").String("summary");
+    w.Key("total_pages_uncompressed").UInt(total_plain_pages);
+    w.Key("total_pages_compressed").UInt(total_packed_pages);
+    w.Key("pages_read_reduction").Double(reduction);
+    w.Key("answers_identical").Bool(answers_ok);
+    w.EndObject();
+    report.AddRawRow(w.Take());
+  }
+  if (!report.Write().ok()) return 1;
+  if (!answers_ok) return 1;
+  if (reduction < 0.30) {
+    std::fprintf(stderr,
+                 "FAIL: pages_read reduction %.1f%% is below the 30%% gate\n",
+                 reduction * 100);
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 // so regressions against the serial path are visible in the same run.
 // Emits BENCH_parallel.json.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -52,10 +54,16 @@ double HitRate(const BufferPoolStats& stats) {
 int main() {
   double scale = ScaleFromEnv();
   unsigned hw = std::thread::hardware_concurrency();
+  // hardware_concurrency may return 0 ("unknown"); the sysconf count of
+  // ONLINE processors is the authoritative host annotation (ROADMAP item:
+  // speedups are only meaningful when this is > 1).
+  long online = sysconf(_SC_NPROCESSORS_ONLN);
+  long host_cpus = online > 0 ? online : (hw > 0 ? long{hw} : 1);
   std::printf(
       "Parallel twig-query throughput, warm cache (scale %.2f, %u hardware "
-      "threads)\n",
-      scale, hw);
+      "threads, %ld online CPUs%s)\n",
+      scale, hw, host_cpus,
+      host_cpus > 1 ? "" : " - single-core host, expect flat speedup");
 
   std::vector<DatasetReport> reports;
   for (const char* dataset : {"DBLP", "SWISSPROT", "TREEBANK"}) {
@@ -165,6 +173,8 @@ int main() {
   w.Key("bench").String("parallel_throughput");
   w.Key("scale").Double(scale);
   w.Key("hardware_concurrency").UInt(hw);
+  w.Key("host_cpus").UInt(static_cast<uint64_t>(host_cpus));
+  w.Key("multicore").Bool(host_cpus > 1);
   w.Key("batch_repeats").UInt(kBatchRepeats);
   w.Key("datasets").BeginArray();
   for (const DatasetReport& report : reports) {

@@ -1,6 +1,7 @@
 #ifndef PRIX_BTREE_BTREE_H_
 #define PRIX_BTREE_BTREE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -11,6 +12,7 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/varint.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_format.h"
 
@@ -57,9 +59,12 @@ struct SalvageStats {
 /// the disk changed; the checks here catch bytes that are internally
 /// inconsistent anyway (a stale page a misdirected write put in the wrong
 /// place still has a valid CRC). Every node fetched is validated by
-/// CheckNode — magic, leaf/level coherence, entry count within capacity —
-/// and descents track the expected level, so a corrupt child pointer that
-/// jumps across levels (or into a cycle) fails in at most `height` steps.
+/// CheckNode — magic, leaf flag/format/level coherence, entry count and
+/// payload length within capacity — and descents track the expected level,
+/// so a corrupt child pointer that jumps across levels (or into a cycle)
+/// fails in at most `height` steps. Compressed-leaf varint decoding is
+/// bounds-checked against the recorded payload length and must consume it
+/// exactly; any mismatch is a Corruption status, never an overread.
 ///
 /// Node layout (within the kPageUsable payload; the page trailer is the
 /// storage layer's):
@@ -67,21 +72,55 @@ struct SalvageStats {
 ///   byte 2      : is_leaf flag
 ///   byte 3      : level (leaves are 0, root is height-1)
 ///   bytes 4..5  : entry count (uint16)
-///   bytes 6..7  : reserved
+///   byte 6      : leaf format: 0 = fixed-stride, 1 = compressed (v3).
+///                 Always 0 on internal nodes and on every pre-v3 page.
+///   byte 7      : reserved
 ///   bytes 8..11 : leaf: next-leaf PageId; internal: leftmost child PageId
-///   bytes 12..15: reserved
-///   bytes 16..  : packed entries
-/// Leaf entries are (Key, Value); internal entries are (Key, PageId child)
-/// where child holds keys >= Key.
+///   bytes 12..13: compressed leaf: encoded payload byte length (uint16);
+///                 reserved (zero) otherwise
+///   bytes 14..15: reserved
+///   bytes 16..  : entries
+///
+/// Leaf format 0 (fixed): packed (Key, Value) pairs at stride
+/// sizeof(Key)+sizeof(Value); capacity kLeafCapacity, binary-searchable in
+/// place. Internal entries are always fixed (Key, PageId child) pairs where
+/// child holds keys >= Key, so descents keep their in-page binary search.
+///
+/// Leaf format 1 (compressed, DESIGN.md §5h): entries are delta-coded
+/// against their predecessor. Each (Key, Value) is viewed as kEntryWords
+/// little-endian uint64 words (key words then value words, zero-padded);
+/// each word is stored as the zig-zag LEB128 varint of its delta versus the
+/// same word of the previous entry (the first entry deltas against zero, so
+/// its leading key words are effectively a shared-prefix code for the whole
+/// run). Sorted composite keys make these deltas tiny, so leaf fanout rises
+/// several-fold; the entry count is variable and bounded only by the encoded
+/// payload fitting the page. Mutations decode the whole leaf, edit, and
+/// re-encode; splits cut at the encoded-byte midpoint. Inserts re-encode
+/// only up to kCompressedInsertLimit — one max-size entry of headroom below
+/// the page capacity — because removing an entry can GROW the encoding (its
+/// successor re-deltas against a farther predecessor), and the headroom
+/// guarantees the delete path always has room to re-encode in place.
 template <typename Key, typename Value, typename Compare = std::less<Key>>
 class BPlusTree {
   static_assert(std::is_trivially_copyable_v<Key>);
   static_assert(std::is_trivially_copyable_v<Value>);
 
+  /// One decoded leaf entry (compressed leaves are materialized as runs of
+  /// these; declared up front so Iterator can hold a cache of them).
+  struct LeafEntryKV {
+    Key key;
+    Value value;
+  };
+
  public:
   static constexpr uint32_t kMetaMagic = 0xb7ee3e7au;
 
-  /// Persistent tree metadata, kept in the tree's meta page.
+  /// Persistent tree metadata, kept in the tree's meta page. The leaf
+  /// format is deliberately NOT stored here: pre-v3 meta pages carry
+  /// indeterminate bytes past the fields below, so a flag added to this
+  /// struct could not be trusted on old files. The format is a property of
+  /// the owning index, recorded in its catalog blob and passed to
+  /// Create/Open; the per-page format byte cross-checks it on every fetch.
   struct Meta {
     uint32_t magic = kMetaMagic;
     PageId root = kInvalidPage;
@@ -96,16 +135,21 @@ class BPlusTree {
   BPlusTree& operator=(BPlusTree&&) = default;
 
   /// Creates an empty tree: allocates a meta page and an empty root leaf.
-  static Result<BPlusTree> Create(BufferPool* pool, Compare cmp = Compare()) {
+  /// `compressed_leaves` selects the v3 delta-coded leaf format; it must be
+  /// passed identically to every later Open (the owning index's catalog
+  /// records it).
+  static Result<BPlusTree> Create(BufferPool* pool, Compare cmp = Compare(),
+                                  bool compressed_leaves = false) {
     BPlusTree tree;
     tree.pool_ = pool;
     tree.cmp_ = cmp;
+    tree.compressed_ = compressed_leaves;
     PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool->NewPage());
     tree.meta_page_id_ = meta_page->page_id();
     SetPageType(meta_page->data(), PageType::kBtreeMeta);
     pool->UnpinPage(tree.meta_page_id_, /*dirty=*/true);
     PRIX_ASSIGN_OR_RETURN(Page * root, pool->NewPage());
-    InitNode(root, /*is_leaf=*/true, /*level=*/0);
+    InitNode(root, /*is_leaf=*/true, /*level=*/0, tree.LeafFormatByte());
     tree.meta_.root = root->page_id();
     tree.meta_.height = 1;
     pool->UnpinPage(root->page_id(), /*dirty=*/true);
@@ -114,11 +158,16 @@ class BPlusTree {
   }
 
   /// Opens an existing tree whose meta page is `meta_page_id`.
+  /// `compressed_leaves` must match what the tree was created with; a
+  /// mismatch surfaces as Corruption at the first leaf fetch (the per-page
+  /// format byte disagrees), never as silently misread entries.
   static Result<BPlusTree> Open(BufferPool* pool, PageId meta_page_id,
-                                Compare cmp = Compare()) {
+                                Compare cmp = Compare(),
+                                bool compressed_leaves = false) {
     BPlusTree tree;
     tree.pool_ = pool;
     tree.cmp_ = cmp;
+    tree.compressed_ = compressed_leaves;
     tree.meta_page_id_ = meta_page_id;
     PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool->FetchPage(meta_page_id));
     {
@@ -140,6 +189,7 @@ class BPlusTree {
   PageId meta_page_id() const { return meta_page_id_; }
   uint64_t num_entries() const { return meta_.num_entries; }
   uint32_t height() const { return meta_.height; }
+  bool compressed_leaves() const { return compressed_; }
 
   /// Inserts (key, value). Fails with AlreadyExists on duplicate key.
   Status Insert(const Key& key, const Value& value) {
@@ -176,6 +226,13 @@ class BPlusTree {
       PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
         ChargeBtreeNodes(visited);
+        if (compressed_) {
+          std::vector<LeafEntryKV> entries;
+          PRIX_RETURN_NOT_OK(DecodeCompressedLeaf(page, node, &entries));
+          auto it = LowerBoundEntries(entries, key);
+          if (it != entries.end() && !cmp_(key, it->key)) return it->value;
+          return Status::NotFound("key not in tree");
+        }
         int idx = LeafLowerBound(page, key);
         if (idx < Count(page)) {
           Key k;
@@ -201,21 +258,25 @@ class BPlusTree {
       PageGuard guard(pool_, page);
       PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
-        int idx = LeafLowerBound(page, key);
-        int count = Count(page);
-        if (idx >= count) return Status::NotFound("key not in tree");
-        Key k;
-        Value v;
-        ReadLeafEntry(page, idx, &k, &v);
-        if (cmp_(key, k) || cmp_(k, key)) {
-          return Status::NotFound("key not in tree");
+        if (compressed_) {
+          PRIX_RETURN_NOT_OK(DeleteFromCompressedLeaf(page, &guard, key));
+        } else {
+          int idx = LeafLowerBound(page, key);
+          int count = Count(page);
+          if (idx >= count) return Status::NotFound("key not in tree");
+          Key k;
+          Value v;
+          ReadLeafEntry(page, idx, &k, &v);
+          if (cmp_(key, k) || cmp_(k, key)) {
+            return Status::NotFound("key not in tree");
+          }
+          // Shift the tail left by one entry.
+          char* base = page->data() + kHeaderSize + idx * kLeafStride;
+          std::memmove(base, base + kLeafStride,
+                       (count - idx - 1) * kLeafStride);
+          SetCount(page, count - 1);
+          guard.MarkDirty();
         }
-        // Shift the tail left by one entry.
-        char* base = page->data() + kHeaderSize + idx * kLeafStride;
-        std::memmove(base, base + kLeafStride,
-                     (count - idx - 1) * kLeafStride);
-        SetCount(page, count - 1);
-        guard.MarkDirty();
         --meta_.num_entries;
         return SaveMeta();
       }
@@ -225,11 +286,20 @@ class BPlusTree {
   }
 
   /// Forward iterator over (key, value) pairs in key order.
+  ///
+  /// Fixed-format leaves are read in place under a page pin. Compressed
+  /// leaves are decoded into an owned cache on arrival and the pin is
+  /// dropped immediately, so iteration never holds a pin across a
+  /// compressed leaf (decoding already copied everything out).
   class Iterator {
    public:
     Iterator() = default;
 
-    bool Valid() const { return static_cast<bool>(guard_); }
+    bool Valid() const {
+      if (tree_ == nullptr) return false;
+      if (tree_->compressed_) return index_ < static_cast<int>(cache_.size());
+      return static_cast<bool>(guard_);
+    }
     const Key& key() const { return key_; }
     const Value& value() const { return value_; }
 
@@ -242,22 +312,39 @@ class BPlusTree {
 
    private:
     friend class BPlusTree;
-    Iterator(const BPlusTree* tree, PageGuard guard, int index)
-        : tree_(tree), guard_(std::move(guard)), index_(index) {}
 
-    /// Positions on (leaf_, index_), hopping to the next leaf as needed.
+    /// Positions on the current entry, hopping to the next leaf as needed.
     Status LoadCurrent() {
-      while (guard_) {
-        if (index_ < Count(guard_.get())) {
-          ReadLeafEntry(guard_.get(), index_, &key_, &value_);
-          return Status::OK();
+      while (true) {
+        PageId next = kInvalidPage;
+        if (tree_->compressed_) {
+          if (index_ < static_cast<int>(cache_.size())) {
+            key_ = cache_[index_].key;
+            value_ = cache_[index_].value;
+            return Status::OK();
+          }
+          next = next_leaf_;
+          next_leaf_ = kInvalidPage;
+          if (next == kInvalidPage) {
+            cache_.clear();  // end
+            return Status::OK();
+          }
+        } else {
+          if (guard_) {
+            if (index_ < Count(guard_.get())) {
+              ReadLeafEntry(guard_.get(), index_, &key_, &value_);
+              return Status::OK();
+            }
+            next = Extra(guard_.get());
+            guard_.Release();
+          }
+          if (next == kInvalidPage) return Status::OK();  // end
         }
-        PageId next = Extra(guard_.get());
-        guard_.Release();
-        if (next == kInvalidPage) return Status::OK();  // end
         // A corrupt next-leaf pointer can form a cycle the per-node checks
         // cannot see (every node in it is individually valid); bound the
-        // chain by the file size, which any acyclic chain satisfies.
+        // chain by the file size, which any acyclic chain satisfies. The
+        // bound is in leaf *pages*, so it holds no matter how many entries
+        // a compressed leaf packs.
         if (++hops_ > tree_->pool_->disk()->num_pages()) {
           return Status::Corruption(
               "B+-tree leaf chain does not terminate (cycle via page " +
@@ -265,15 +352,22 @@ class BPlusTree {
         }
         PRIX_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(next));
         ChargeBtreeNode();
-        guard_ = PageGuard(tree_->pool_, page);
-        PRIX_RETURN_NOT_OK(CheckNode(page, next, /*expected_level=*/0));
+        PageGuard guard(tree_->pool_, page);
+        PRIX_RETURN_NOT_OK(tree_->CheckNode(page, next, /*expected_level=*/0));
+        if (tree_->compressed_) {
+          PRIX_RETURN_NOT_OK(tree_->DecodeCompressedLeaf(page, next, &cache_));
+          next_leaf_ = Extra(page);
+        } else {
+          guard_ = std::move(guard);
+        }
         index_ = 0;
       }
-      return Status::OK();
     }
 
     const BPlusTree* tree_ = nullptr;
-    PageGuard guard_;
+    PageGuard guard_;                           // fixed-format leaves only
+    std::vector<LeafEntryKV> cache_;            // compressed leaves only
+    PageId next_leaf_ = kInvalidPage;           // compressed leaves only
     int index_ = 0;
     uint64_t hops_ = 0;
     Key key_{};
@@ -292,9 +386,7 @@ class BPlusTree {
       PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
         ChargeBtreeNodes(visited);
-        Iterator it(this, std::move(guard), LeafLowerBound(page, key));
-        PRIX_RETURN_NOT_OK(it.LoadCurrent());
-        return it;
+        return MakeLeafIterator(std::move(guard), page, &key);
       }
       node = ChildForKey(page, key);
       --level;
@@ -313,9 +405,7 @@ class BPlusTree {
       PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
       if (IsLeaf(page)) {
         ChargeBtreeNodes(visited);
-        Iterator it(this, std::move(guard), 0);
-        PRIX_RETURN_NOT_OK(it.LoadCurrent());
-        return it;
+        return MakeLeafIterator(std::move(guard), page, /*seek_key=*/nullptr);
       }
       node = Extra(page);  // leftmost child
       --level;
@@ -330,7 +420,9 @@ class BPlusTree {
   /// node, whose subtree is then skipped rather than aborting the walk. A
   /// visited set makes re-converging (shared or cyclic) child pointers an
   /// issue instead of an infinite walk. Only an `emit` failure (the salvage
-  /// destination broke) aborts with its non-OK Status.
+  /// destination broke) aborts with its non-OK Status. A compressed leaf
+  /// whose payload fails to decode is issued and skipped like any other
+  /// invalid node.
   template <typename EmitFn, typename IssueFn>
   Status WalkReachable(EmitFn emit, IssueFn issue,
                        BtreeScrubStats* stats) const {
@@ -355,19 +447,44 @@ class BPlusTree {
   static_assert(kLeafCapacity >= 4, "key/value too large for a page");
   static_assert(kInternalCapacity >= 4, "key too large for a page");
 
+  // ---- compressed (v3) leaf format ----
+  static constexpr uint8_t kLeafFormatFixed = 0;
+  static constexpr uint8_t kLeafFormatCompressed = 1;
+  /// Bytes available to the encoded entry stream.
+  static constexpr size_t kLeafPayloadMax = kPageUsable - kHeaderSize;
+  static constexpr size_t kKeyWords = (sizeof(Key) + 7) / 8;
+  static constexpr size_t kValueWords = (sizeof(Value) + 7) / 8;
+  static constexpr size_t kEntryWords = kKeyWords + kValueWords;
+  /// Worst/best case encoded entry size: 10 / 1 byte(s) per word.
+  static constexpr size_t kMaxEntryEncoded = kEntryWords * kMaxVarint64Bytes;
+  static constexpr size_t kMinEntryEncoded = kEntryWords;
+  /// Insert-side fill limit: one max-size entry of headroom below the page
+  /// so the delete path (which can only grow the encoding by less than one
+  /// max-size entry) always re-encodes in place. See the class comment.
+  static constexpr size_t kCompressedInsertLimit =
+      kLeafPayloadMax - kMaxEntryEncoded;
+  static_assert(kCompressedInsertLimit >= 4 * kMaxEntryEncoded,
+                "key/value too large for a compressed leaf page");
+
   struct SplitResult {
     bool happened = false;
     Key separator{};
     PageId right = kInvalidPage;
   };
 
+  uint8_t LeafFormatByte() const {
+    return compressed_ ? kLeafFormatCompressed : kLeafFormatFixed;
+  }
+
   // ---- node accessors (memcpy-based to sidestep alignment issues) ----
-  static void InitNode(Page* page, bool is_leaf, uint32_t level) {
+  static void InitNode(Page* page, bool is_leaf, uint32_t level,
+                       uint8_t leaf_format = kLeafFormatFixed) {
     std::memset(page->data(), 0, kHeaderSize);
     uint16_t magic = kNodeMagic;
     std::memcpy(page->data(), &magic, sizeof(magic));
     page->data()[2] = is_leaf ? 1 : 0;
     page->data()[3] = static_cast<char>(level);
+    page->data()[6] = static_cast<char>(leaf_format);
     PageId invalid = kInvalidPage;
     std::memcpy(page->data() + 8, &invalid, sizeof(PageId));
     SetPageType(page->data(), PageType::kBtreeNode);
@@ -375,6 +492,9 @@ class BPlusTree {
   static bool IsLeaf(const Page* page) { return page->data()[2] == 1; }
   static int Level(const Page* page) {
     return static_cast<uint8_t>(page->data()[3]);
+  }
+  static uint8_t LeafFormat(const Page* page) {
+    return static_cast<uint8_t>(page->data()[6]);
   }
   static int Count(const Page* page) {
     uint16_t c;
@@ -394,14 +514,30 @@ class BPlusTree {
   static void SetExtra(Page* page, PageId id) {
     std::memcpy(page->data() + 8, &id, sizeof(id));
   }
+  /// Compressed leaf: byte length of the encoded entry stream.
+  static uint16_t PayloadLen(const Page* page) {
+    uint16_t n;
+    std::memcpy(&n, page->data() + 12, sizeof(n));
+    return n;
+  }
+  static void SetPayloadLen(Page* page, size_t n) {
+    uint16_t len = static_cast<uint16_t>(n);
+    std::memcpy(page->data() + 12, &len, sizeof(len));
+  }
 
-  /// Structural validation of a just-fetched node: magic, leaf/level
-  /// coherence, and an entry count within capacity — together these bound
-  /// every entry offset the accessors below will touch. `expected_level`
-  /// (from the descent counter; -1 skips the check) catches child pointers
-  /// that jump across levels or into a cycle: the counter strictly
-  /// decreases, so any descent ends within `height` steps.
-  static Status CheckNode(const Page* page, PageId id, int expected_level) {
+  /// Structural validation of a just-fetched node: magic, leaf flag/format,
+  /// level coherence, and an entry count within capacity — together these
+  /// bound every entry offset the accessors below will touch. For a
+  /// compressed leaf the capacity bound is payload-relative (count entries
+  /// need at least count * kMinEntryEncoded encoded bytes) and the recorded
+  /// payload length must fit the page, which bounds the decoder's cursor.
+  /// The per-page format byte must match the tree's mode, so opening a v3
+  /// index without its catalog flag (or vice versa) fails loudly here
+  /// instead of misreading entries. `expected_level` (from the descent
+  /// counter; -1 skips the check) catches child pointers that jump across
+  /// levels or into a cycle: the counter strictly decreases, so any descent
+  /// ends within `height` steps.
+  Status CheckNode(const Page* page, PageId id, int expected_level) const {
     uint16_t magic;
     std::memcpy(&magic, page->data(), sizeof(magic));
     const std::string where = "B+-tree node page " + std::to_string(id);
@@ -426,11 +562,48 @@ class BPlusTree {
           " was expected (corrupt child pointer?)");
     }
     int count = Count(page);
-    int capacity = leaf_flag == 1 ? kLeafCapacity : kInternalCapacity;
-    if (count > capacity) {
+    if (leaf_flag == 1) {
+      uint8_t format = LeafFormat(page);
+      if (format > kLeafFormatCompressed) {
+        return Status::Corruption(where + ": bad leaf format " +
+                                  std::to_string(format));
+      }
+      if (format != LeafFormatByte()) {
+        return Status::Corruption(
+            where + ": leaf format " + std::to_string(format) + " in a " +
+            (compressed_ ? "compressed" : "fixed-format") +
+            " tree (index format mismatch?)");
+      }
+      if (format == kLeafFormatCompressed) {
+        size_t plen = PayloadLen(page);
+        if (plen > kLeafPayloadMax) {
+          return Status::Corruption(
+              where + ": compressed payload length " + std::to_string(plen) +
+              " exceeds page capacity " + std::to_string(kLeafPayloadMax));
+        }
+        if (static_cast<size_t>(count) * kMinEntryEncoded > plen) {
+          return Status::Corruption(
+              where + ": entry count " + std::to_string(count) +
+              " cannot fit in " + std::to_string(plen) + " encoded bytes");
+        }
+        return Status::OK();
+      }
+      if (count > kLeafCapacity) {
+        return Status::Corruption(where + ": entry count " +
+                                  std::to_string(count) +
+                                  " exceeds capacity " +
+                                  std::to_string(kLeafCapacity));
+      }
+      return Status::OK();
+    }
+    if (LeafFormat(page) != kLeafFormatFixed) {
+      return Status::Corruption(where + ": internal node with leaf format " +
+                                std::to_string(LeafFormat(page)));
+    }
+    if (count > kInternalCapacity) {
       return Status::Corruption(where + ": entry count " +
                                 std::to_string(count) + " exceeds capacity " +
-                                std::to_string(capacity));
+                                std::to_string(kInternalCapacity));
     }
     return Status::OK();
   }
@@ -459,7 +632,116 @@ class BPlusTree {
     std::memcpy(base + sizeof(Key), &child, sizeof(PageId));
   }
 
-  /// First index whose key is >= `key` in a leaf.
+  // ---- compressed leaf codec ----
+  static void WordsFromEntry(const LeafEntryKV& e, uint64_t* words) {
+    char buf[kEntryWords * 8] = {};
+    std::memcpy(buf, &e.key, sizeof(Key));
+    std::memcpy(buf + kKeyWords * 8, &e.value, sizeof(Value));
+    std::memcpy(words, buf, kEntryWords * 8);
+  }
+  static LeafEntryKV EntryFromWords(const uint64_t* words) {
+    char buf[kEntryWords * 8];
+    std::memcpy(buf, words, kEntryWords * 8);
+    LeafEntryKV e;
+    std::memcpy(&e.key, buf, sizeof(Key));
+    std::memcpy(&e.value, buf + kKeyWords * 8, sizeof(Value));
+    return e;
+  }
+
+  /// Appends entry `e`'s delta code versus `prev` to `out` and rolls `prev`
+  /// forward. Returns the encoded byte count.
+  static size_t EncodeEntryDelta(const LeafEntryKV& e, uint64_t* prev,
+                                 std::vector<char>* out) {
+    uint64_t words[kEntryWords];
+    WordsFromEntry(e, words);
+    size_t before = out->size();
+    for (size_t w = 0; w < kEntryWords; ++w) {
+      PutVarint64(out, ZigzagEncode64(
+                           static_cast<int64_t>(words[w] - prev[w])));
+      prev[w] = words[w];
+    }
+    return out->size() - before;
+  }
+
+  /// Encodes the whole entry run. `sizes`, if non-null, receives each
+  /// entry's encoded byte count (used to pick byte-balanced split points).
+  static void EncodeCompressedLeaf(const std::vector<LeafEntryKV>& entries,
+                                   std::vector<char>* out,
+                                   std::vector<size_t>* sizes = nullptr) {
+    out->clear();
+    if (sizes != nullptr) {
+      sizes->clear();
+      sizes->reserve(entries.size());
+    }
+    uint64_t prev[kEntryWords] = {};
+    for (const LeafEntryKV& e : entries) {
+      size_t n = EncodeEntryDelta(e, prev, out);
+      if (sizes != nullptr) sizes->push_back(n);
+    }
+  }
+
+  /// Decodes a compressed leaf's payload into `out`. Every varint read is
+  /// bounds-checked against the recorded payload length, and the stream
+  /// must consume it exactly — corrupt counts or lengths surface as
+  /// Corruption, never an overread.
+  Status DecodeCompressedLeaf(const Page* page, PageId id,
+                              std::vector<LeafEntryKV>* out) const {
+    int count = Count(page);
+    size_t plen = PayloadLen(page);
+    const std::string where =
+        "B+-tree compressed leaf page " + std::to_string(id);
+    if (plen > kLeafPayloadMax) {
+      return Status::Corruption(where + ": payload length " +
+                                std::to_string(plen) + " exceeds capacity");
+    }
+    const char* p = page->data() + kHeaderSize;
+    const char* end = p + plen;
+    out->clear();
+    out->reserve(count);
+    uint64_t prev[kEntryWords] = {};
+    for (int i = 0; i < count; ++i) {
+      uint64_t words[kEntryWords];
+      for (size_t w = 0; w < kEntryWords; ++w) {
+        uint64_t enc;
+        if (!GetVarint64(&p, end, &enc)) {
+          return Status::Corruption(where + ": truncated or invalid varint in entry " +
+                                    std::to_string(i));
+        }
+        words[w] = prev[w] + static_cast<uint64_t>(ZigzagDecode64(enc));
+        prev[w] = words[w];
+      }
+      out->push_back(EntryFromWords(words));
+    }
+    if (p != end) {
+      return Status::Corruption(where + ": " +
+                                std::to_string(end - p) +
+                                " trailing bytes after the last entry");
+    }
+    return Status::OK();
+  }
+
+  /// Overwrites a compressed leaf's entry stream (header fields other than
+  /// count/payload-length are preserved).
+  static void WriteCompressedLeaf(Page* page,
+                                  const std::vector<char>& payload,
+                                  size_t count) {
+    PRIX_DCHECK(payload.size() <= kLeafPayloadMax);
+    SetCount(page, static_cast<int>(count));
+    SetPayloadLen(page, payload.size());
+    if (!payload.empty()) {
+      std::memcpy(page->data() + kHeaderSize, payload.data(), payload.size());
+    }
+  }
+
+  /// First decoded entry with key >= `key`.
+  typename std::vector<LeafEntryKV>::const_iterator LowerBoundEntries(
+      const std::vector<LeafEntryKV>& entries, const Key& key) const {
+    return std::lower_bound(
+        entries.begin(), entries.end(), key,
+        [this](const LeafEntryKV& e, const Key& k) { return cmp_(e.key, k); });
+  }
+
+  /// First index whose key is >= `key` in a fixed-format leaf.
   int LeafLowerBound(const Page* page, const Key& key) const {
     int lo = 0, hi = Count(page);
     while (lo < hi) {
@@ -474,6 +756,30 @@ class BPlusTree {
       }
     }
     return lo;
+  }
+
+  /// Builds an iterator positioned within the just-reached leaf: at the
+  /// lower bound of `*seek_key`, or at the first entry when null.
+  Result<Iterator> MakeLeafIterator(PageGuard guard, Page* page,
+                                    const Key* seek_key) const {
+    Iterator it;
+    it.tree_ = this;
+    if (compressed_) {
+      PRIX_RETURN_NOT_OK(
+          DecodeCompressedLeaf(page, page->page_id(), &it.cache_));
+      it.next_leaf_ = Extra(page);
+      guard.Release();
+      it.index_ =
+          seek_key == nullptr
+              ? 0
+              : static_cast<int>(LowerBoundEntries(it.cache_, *seek_key) -
+                                 it.cache_.begin());
+    } else {
+      it.index_ = seek_key == nullptr ? 0 : LeafLowerBound(page, *seek_key);
+      it.guard_ = std::move(guard);
+    }
+    PRIX_RETURN_NOT_OK(it.LoadCurrent());
+    return it;
   }
 
   /// Child page to descend into for `key`: entries hold keys >= separator,
@@ -537,6 +843,20 @@ class BPlusTree {
     ++stats->nodes_visited;
     int count = Count(page);
     if (IsLeaf(page)) {
+      if (compressed_) {
+        std::vector<LeafEntryKV> entries;
+        Status decode_st = DecodeCompressedLeaf(page, node, &entries);
+        if (!decode_st.ok()) {
+          issue(node, decode_st, path);
+          ++stats->subtrees_skipped;
+          return Status::OK();
+        }
+        for (const LeafEntryKV& e : entries) {
+          ++stats->entries_seen;
+          PRIX_RETURN_NOT_OK(emit(e.key, e.value));
+        }
+        return Status::OK();
+      }
       for (int i = 0; i < count; ++i) {
         Key k;
         Value v;
@@ -573,6 +893,9 @@ class BPlusTree {
     PageGuard guard(pool_, page);
     PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
     if (IsLeaf(page)) {
+      if (compressed_) {
+        return InsertIntoCompressedLeaf(page, &guard, key, value, split);
+      }
       return InsertIntoLeaf(page, &guard, key, value, split);
     }
     PageId child = ChildForKey(page, key);
@@ -648,6 +971,95 @@ class BPlusTree {
     return Status::OK();
   }
 
+  /// Compressed-leaf insert: decode, splice the new entry in, re-encode.
+  /// If the result exceeds the insert fill limit, split at the encoded-byte
+  /// midpoint so both halves land near half full regardless of how unevenly
+  /// the deltas compress.
+  Status InsertIntoCompressedLeaf(Page* page, PageGuard* guard,
+                                  const Key& key, const Value& value,
+                                  SplitResult* split) {
+    std::vector<LeafEntryKV> entries;
+    PRIX_RETURN_NOT_OK(DecodeCompressedLeaf(page, page->page_id(), &entries));
+    auto pos = LowerBoundEntries(entries, key);
+    if (pos != entries.end() && !cmp_(key, pos->key)) {
+      return Status::AlreadyExists("duplicate key in B+-tree");
+    }
+    entries.insert(pos, LeafEntryKV{key, value});
+    std::vector<char> payload;
+    std::vector<size_t> sizes;
+    EncodeCompressedLeaf(entries, &payload, &sizes);
+    if (payload.size() <= kCompressedInsertLimit) {
+      WriteCompressedLeaf(page, payload, entries.size());
+      guard->MarkDirty();
+      split->happened = false;
+      return Status::OK();
+    }
+    // Pick the split index whose byte prefix first reaches half the run.
+    size_t n = entries.size();
+    PRIX_DCHECK(n >= 2);
+    size_t half = payload.size() / 2;
+    size_t split_idx = 1, prefix = sizes[0];
+    while (split_idx < n - 1 && prefix < half) {
+      prefix += sizes[split_idx];
+      ++split_idx;
+    }
+    std::vector<LeafEntryKV> left_entries(entries.begin(),
+                                          entries.begin() + split_idx);
+    std::vector<LeafEntryKV> right_entries(entries.begin() + split_idx,
+                                           entries.end());
+    std::vector<char> left_payload, right_payload;
+    EncodeCompressedLeaf(left_entries, &left_payload);
+    EncodeCompressedLeaf(right_entries, &right_payload);
+    // Each half is about half the bytes plus one re-based first entry; a
+    // page is dozens of max-size entries wide, so this cannot trip unless
+    // the split math is broken.
+    if (left_payload.size() > kCompressedInsertLimit ||
+        right_payload.size() > kCompressedInsertLimit) {
+      return Status::Internal("compressed leaf split produced an oversized half");
+    }
+    PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
+    PageGuard right_guard(pool_, right);
+    InitNode(right, /*is_leaf=*/true, /*level=*/0, kLeafFormatCompressed);
+    WriteCompressedLeaf(right, right_payload, right_entries.size());
+    SetExtra(right, Extra(page));
+    WriteCompressedLeaf(page, left_payload, left_entries.size());
+    SetExtra(page, right->page_id());
+    guard->MarkDirty();
+    right_guard.MarkDirty();
+    split->happened = true;
+    split->separator = right_entries.front().key;
+    split->right = right->page_id();
+    return Status::OK();
+  }
+
+  /// Compressed-leaf delete: decode, drop the entry, re-encode in place.
+  /// Removal can grow the encoding (the successor re-deltas against a
+  /// farther predecessor) by strictly less than one max-size entry, which
+  /// the insert-side headroom (kCompressedInsertLimit) covers after any
+  /// insert. A chain of growing deletes could in principle exhaust it; that
+  /// is unreachable for sorted composite keys, and if it ever trips the
+  /// leaf is left untouched and an Internal status says to rebuild.
+  Status DeleteFromCompressedLeaf(Page* page, PageGuard* guard,
+                                  const Key& key) {
+    std::vector<LeafEntryKV> entries;
+    PRIX_RETURN_NOT_OK(DecodeCompressedLeaf(page, page->page_id(), &entries));
+    auto pos = LowerBoundEntries(entries, key);
+    if (pos == entries.end() || cmp_(key, pos->key)) {
+      return Status::NotFound("key not in tree");
+    }
+    entries.erase(pos);
+    std::vector<char> payload;
+    EncodeCompressedLeaf(entries, &payload);
+    if (payload.size() > kLeafPayloadMax) {
+      return Status::Internal(
+          "compressed leaf re-encode after delete exceeds the page; "
+          "rebuild the index to reclaim space");
+    }
+    WriteCompressedLeaf(page, payload, entries.size());
+    guard->MarkDirty();
+    return Status::OK();
+  }
+
   Status InsertIntoInternal(Page* page, PageGuard* guard, const Key& sep,
                             PageId new_child, SplitResult* split) {
     int count = Count(page);
@@ -716,6 +1128,7 @@ class BPlusTree {
   Compare cmp_{};
   PageId meta_page_id_ = kInvalidPage;
   Meta meta_;
+  bool compressed_ = false;
 };
 
 }  // namespace prix

@@ -1,8 +1,86 @@
 #include "prix/doc_store.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
+#include "common/varint.h"
 
 namespace prix {
+
+namespace {
+
+/// v3 array coding: 128-entry blocks, each a restart value plus zig-zag
+/// deltas, preceded by a directory of per-block byte lengths (skip
+/// offsets). See the DocStore class comment.
+constexpr uint32_t kDocBlockEntries = 128;
+
+void BlockEncodeU32(const uint32_t* v, size_t len, std::vector<char>* out) {
+  size_t num_blocks = (len + kDocBlockEntries - 1) / kDocBlockEntries;
+  std::vector<char> data;
+  std::vector<size_t> block_lens;
+  block_lens.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    size_t before = data.size();
+    size_t lo = b * kDocBlockEntries;
+    size_t hi = std::min(len, lo + kDocBlockEntries);
+    PutVarint32(&data, v[lo]);  // restart value
+    for (size_t i = lo + 1; i < hi; ++i) {
+      PutVarint64(&data, ZigzagEncode64(static_cast<int64_t>(v[i]) -
+                                        static_cast<int64_t>(v[i - 1])));
+    }
+    block_lens.push_back(data.size() - before);
+  }
+  for (size_t n : block_lens) PutVarint64(out, n);
+  out->insert(out->end(), data.begin(), data.end());
+}
+
+Status BlockDecodeU32(const char** p, const char* end, size_t len,
+                      uint32_t* dst) {
+  size_t num_blocks = (len + kDocBlockEntries - 1) / kDocBlockEntries;
+  std::vector<uint64_t> block_lens(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    if (!GetVarint64(p, end, &block_lens[b])) {
+      return Status::Corruption("doc record: truncated block directory");
+    }
+  }
+  for (size_t b = 0; b < num_blocks; ++b) {
+    if (block_lens[b] > static_cast<uint64_t>(end - *p)) {
+      return Status::Corruption("doc record: block length " +
+                                std::to_string(block_lens[b]) +
+                                " runs past the record");
+    }
+    // Each block's varints are bounded by its own directory entry, and the
+    // cursor must land exactly on the block end — a garbled delta cannot
+    // desynchronize the blocks after it.
+    const char* block_end = *p + block_lens[b];
+    size_t lo = b * kDocBlockEntries;
+    size_t hi = std::min(len, lo + kDocBlockEntries);
+    uint32_t restart;
+    if (!GetVarint32(p, block_end, &restart)) {
+      return Status::Corruption("doc record: bad block restart value");
+    }
+    dst[lo] = restart;
+    int64_t prev = restart;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      uint64_t enc;
+      if (!GetVarint64(p, block_end, &enc)) {
+        return Status::Corruption("doc record: truncated block delta");
+      }
+      int64_t value = prev + ZigzagDecode64(enc);
+      if (value < 0 || value > 0xffffffffll) {
+        return Status::Corruption("doc record: block delta out of range");
+      }
+      dst[i] = static_cast<uint32_t>(value);
+      prev = value;
+    }
+    if (*p != block_end) {
+      return Status::Corruption("doc record: trailing bytes in block");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status DocStore::Append(DocId doc, const PruferSequences& seq,
                         const std::vector<LeafEntry>& leaves) {
@@ -11,15 +89,31 @@ Status DocStore::Append(DocId doc, const PruferSequences& seq,
   }
   std::vector<char> buf;
   const uint32_t n = seq.num_nodes;
-  buf.reserve(16 + 8ull * (n > 0 ? n - 1 : 0) + 8ull * leaves.size());
-  PutU32(&buf, n);
-  PutU32(&buf, seq.root_label);
-  for (LabelId l : seq.lps) PutU32(&buf, l);
-  for (uint32_t p : seq.nps) PutU32(&buf, p);
-  PutU32(&buf, static_cast<uint32_t>(leaves.size()));
-  for (const LeafEntry& leaf : leaves) {
-    PutU32(&buf, leaf.label);
-    PutU32(&buf, leaf.postorder);
+  const uint32_t len = n > 0 ? n - 1 : 0;
+  if (!compressed_) {
+    buf.reserve(16 + 8ull * len + 8ull * leaves.size());
+    PutU32(&buf, n);
+    PutU32(&buf, seq.root_label);
+    for (LabelId l : seq.lps) PutU32(&buf, l);
+    for (uint32_t p : seq.nps) PutU32(&buf, p);
+    PutU32(&buf, static_cast<uint32_t>(leaves.size()));
+    for (const LeafEntry& leaf : leaves) {
+      PutU32(&buf, leaf.label);
+      PutU32(&buf, leaf.postorder);
+    }
+  } else {
+    PutVarint32(&buf, n);
+    PutVarint32(&buf, seq.root_label);
+    BlockEncodeU32(seq.lps.data(), len, &buf);
+    BlockEncodeU32(seq.nps.data(), len, &buf);
+    PutVarint64(&buf, leaves.size());
+    uint32_t prev_post = 0;
+    for (const LeafEntry& leaf : leaves) {
+      PutVarint32(&buf, leaf.label);
+      PutVarint64(&buf, ZigzagEncode64(static_cast<int64_t>(leaf.postorder) -
+                                       static_cast<int64_t>(prev_post)));
+      prev_post = leaf.postorder;
+    }
   }
   PRIX_ASSIGN_OR_RETURN(uint32_t id, store_.Append(buf.data(), buf.size()));
   PRIX_DCHECK(id == doc);
@@ -33,28 +127,75 @@ Result<StoredDoc> DocStore::Load(DocId doc) const {
   StoredDoc out;
   const char* p = buf.data();
   const char* end = buf.data() + buf.size();
-  auto need = [&](size_t bytes) -> Status {
-    if (p + bytes > end) return Status::Corruption("truncated doc record");
-    return Status::OK();
-  };
-  PRIX_RETURN_NOT_OK(need(8));
-  uint32_t n = GetU32(p);
-  p += 4;
+  if (!compressed_) {
+    auto need = [&](size_t bytes) -> Status {
+      if (p + bytes > end) return Status::Corruption("truncated doc record");
+      return Status::OK();
+    };
+    PRIX_RETURN_NOT_OK(need(8));
+    uint32_t n = GetU32(p);
+    p += 4;
+    out.seq.num_nodes = n;
+    out.seq.root_label = GetU32(p);
+    p += 4;
+    uint32_t len = n > 0 ? n - 1 : 0;
+    PRIX_RETURN_NOT_OK(need(8ull * len + 4));
+    out.seq.lps.resize(len);
+    for (uint32_t i = 0; i < len; ++i, p += 4) out.seq.lps[i] = GetU32(p);
+    out.seq.nps.resize(len);
+    for (uint32_t i = 0; i < len; ++i, p += 4) out.seq.nps[i] = GetU32(p);
+    uint32_t leaf_count = GetU32(p);
+    p += 4;
+    PRIX_RETURN_NOT_OK(need(8ull * leaf_count));
+    out.leaves.resize(leaf_count);
+    for (uint32_t i = 0; i < leaf_count; ++i, p += 8) {
+      out.leaves[i] = LeafEntry{GetU32(p), GetU32(p + 4)};
+    }
+    return out;
+  }
+  uint32_t n;
+  if (!GetVarint32(&p, end, &n) ||
+      !GetVarint32(&p, end, &out.seq.root_label)) {
+    return Status::Corruption("truncated doc record");
+  }
   out.seq.num_nodes = n;
-  out.seq.root_label = GetU32(p);
-  p += 4;
   uint32_t len = n > 0 ? n - 1 : 0;
-  PRIX_RETURN_NOT_OK(need(8ull * len + 4));
+  // Every encoded entry costs at least one byte, so a fabricated node count
+  // is caught before it can size an allocation.
+  if (len > static_cast<uint64_t>(end - p)) {
+    return Status::Corruption("doc record: node count " + std::to_string(n) +
+                              " exceeds the record size");
+  }
   out.seq.lps.resize(len);
-  for (uint32_t i = 0; i < len; ++i, p += 4) out.seq.lps[i] = GetU32(p);
   out.seq.nps.resize(len);
-  for (uint32_t i = 0; i < len; ++i, p += 4) out.seq.nps[i] = GetU32(p);
-  uint32_t leaf_count = GetU32(p);
-  p += 4;
-  PRIX_RETURN_NOT_OK(need(8ull * leaf_count));
+  PRIX_RETURN_NOT_OK(BlockDecodeU32(&p, end, len, out.seq.lps.data()));
+  PRIX_RETURN_NOT_OK(BlockDecodeU32(&p, end, len, out.seq.nps.data()));
+  uint64_t leaf_count;
+  if (!GetVarint64(&p, end, &leaf_count)) {
+    return Status::Corruption("truncated doc record (leaf count)");
+  }
+  if (leaf_count > static_cast<uint64_t>(end - p)) {
+    return Status::Corruption("doc record: leaf count " +
+                              std::to_string(leaf_count) +
+                              " exceeds the record size");
+  }
   out.leaves.resize(leaf_count);
-  for (uint32_t i = 0; i < leaf_count; ++i, p += 8) {
-    out.leaves[i] = LeafEntry{GetU32(p), GetU32(p + 4)};
+  int64_t prev_post = 0;
+  for (uint64_t i = 0; i < leaf_count; ++i) {
+    uint64_t enc;
+    if (!GetVarint32(&p, end, &out.leaves[i].label) ||
+        !GetVarint64(&p, end, &enc)) {
+      return Status::Corruption("truncated doc record (leaf list)");
+    }
+    int64_t post = prev_post + ZigzagDecode64(enc);
+    if (post < 0 || post > 0xffffffffll) {
+      return Status::Corruption("doc record: leaf postorder out of range");
+    }
+    out.leaves[i].postorder = static_cast<uint32_t>(post);
+    prev_post = post;
+  }
+  if (p != end) {
+    return Status::Corruption("doc record: trailing bytes after leaf list");
   }
   return out;
 }

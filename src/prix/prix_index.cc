@@ -1,20 +1,31 @@
 #include "prix/prix_index.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/macros.h"
 
 namespace prix {
+
+bool CompressFromEnv() {
+  static const bool value = [] {
+    const char* env = std::getenv("PRIX_COMPRESS");
+    return env != nullptr && env[0] == '1';
+  }();
+  return value;
+}
 
 Result<std::unique_ptr<PrixIndex>> PrixIndex::Build(
     const std::vector<Document>& documents, BufferPool* pool,
     PrixIndexOptions options, PrixIndexBuildStats* stats) {
   auto index = std::unique_ptr<PrixIndex>(new PrixIndex());
   index->options_ = options;
-  index->docs_ = std::make_unique<DocStore>(pool);
-  PRIX_ASSIGN_OR_RETURN(SymbolTree sym, SymbolTree::Create(pool));
+  index->docs_ = std::make_unique<DocStore>(pool, options.compress);
+  PRIX_ASSIGN_OR_RETURN(SymbolTree sym,
+                        SymbolTree::Create(pool, {}, options.compress));
   index->symbol_index_ = std::make_unique<SymbolTree>(std::move(sym));
-  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Create(pool));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct,
+                        DocTree::Create(pool, {}, options.compress));
   index->docid_index_ = std::make_unique<DocTree>(std::move(doct));
 
   PrixIndexBuildStats local_stats;
@@ -93,14 +104,21 @@ Result<std::unique_ptr<PrixIndex>> PrixIndex::Build(
 
 namespace {
 constexpr uint32_t kCatalogMagic = 0x50524958;  // "PRIX"
+/// Catalog version doubles as the format version: 1 = the original
+/// fixed-width formats, 2 = the v3 compressed formats (delta-coded B+-tree
+/// leaves, varint doc records, varint store catalog). Version-1 blobs are
+/// written byte-identically to pre-compression builds, so old databases
+/// keep working and new uncompressed databases stay readable by old code.
 constexpr uint32_t kCatalogVersion = 1;
+constexpr uint32_t kCatalogVersionCompressed = 2;
 }  // namespace
 
 Status PrixIndex::Save(Database* db, const std::string& name) const {
   BufferPool* pool = db->pool();
   std::vector<char> blob;
   PutU32(&blob, kCatalogMagic);
-  PutU32(&blob, kCatalogVersion);
+  PutU32(&blob, options_.compress ? kCatalogVersionCompressed
+                                  : kCatalogVersion);
   PutU32(&blob, options_.extended ? 1 : 0);
   PutU32(&blob, static_cast<uint32_t>(options_.labeling));
   PutU32(&blob, options_.alpha);
@@ -152,11 +170,15 @@ Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(Database* db,
     return Status::Corruption("not a PRIX index catalog");
   }
   p += 4;
-  if (GetU32(p) != kCatalogVersion) {
-    return Status::Corruption("unsupported index catalog version");
+  uint32_t version = GetU32(p);
+  if (version != kCatalogVersion && version != kCatalogVersionCompressed) {
+    return Status::Corruption("unsupported index catalog version " +
+                              std::to_string(version));
   }
+  bool compress = version == kCatalogVersionCompressed;
   p += 4;
   auto index = std::unique_ptr<PrixIndex>(new PrixIndex());
+  index->options_.compress = compress;
   index->options_.extended = GetU32(p) != 0;
   p += 4;
   index->options_.labeling =
@@ -172,11 +194,14 @@ Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(Database* db,
   p += 4;
   PageId docid_meta = GetU32(p);
   p += 4;
-  PRIX_ASSIGN_OR_RETURN(SymbolTree sym, SymbolTree::Open(pool, symbol_meta));
+  PRIX_ASSIGN_OR_RETURN(SymbolTree sym,
+                        SymbolTree::Open(pool, symbol_meta, {}, compress));
   index->symbol_index_ = std::make_unique<SymbolTree>(std::move(sym));
-  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Open(pool, docid_meta));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct,
+                        DocTree::Open(pool, docid_meta, {}, compress));
   index->docid_index_ = std::make_unique<DocTree>(std::move(doct));
-  PRIX_ASSIGN_OR_RETURN(DocStore docs, DocStore::Deserialize(pool, &p, end));
+  PRIX_ASSIGN_OR_RETURN(DocStore docs,
+                        DocStore::Deserialize(pool, &p, end, compress));
   index->docs_ = std::make_unique<DocStore>(std::move(docs));
   PRIX_ASSIGN_OR_RETURN(index->maxgap_, MaxGapTable::Deserialize(&p, end));
   PRIX_RETURN_NOT_OK(need(4));
@@ -220,10 +245,12 @@ Status PrixIndex::Salvage(Database* dst, const std::string& name,
   out->root_range_ = root_range_;
   out->maxgap_ = maxgap_;
   out->childless_labels_ = childless_labels_;
-  out->docs_ = std::make_unique<DocStore>(dst->pool());
-  PRIX_ASSIGN_OR_RETURN(SymbolTree sym, SymbolTree::Create(dst->pool()));
+  out->docs_ = std::make_unique<DocStore>(dst->pool(), options_.compress);
+  PRIX_ASSIGN_OR_RETURN(SymbolTree sym,
+                        SymbolTree::Create(dst->pool(), {}, options_.compress));
   out->symbol_index_ = std::make_unique<SymbolTree>(std::move(sym));
-  PRIX_ASSIGN_OR_RETURN(DocTree doct, DocTree::Create(dst->pool()));
+  PRIX_ASSIGN_OR_RETURN(DocTree doct,
+                        DocTree::Create(dst->pool(), {}, options_.compress));
   out->docid_index_ = std::make_unique<DocTree>(std::move(doct));
 
   auto skip_issue = [](PageId, const Status&, const std::string&) {};

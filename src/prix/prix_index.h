@@ -58,6 +58,12 @@ struct DocKey {
   }
 };
 
+/// True when the PRIX_COMPRESS environment variable is set to 1 (read once).
+/// The default for PrixIndexOptions::compress, so entire test/bench suites
+/// can run against compressed indexes without threading the flag through
+/// every construction site (tools/ci.sh uses this for its compressed tier).
+bool CompressFromEnv();
+
 /// Options controlling index construction.
 struct PrixIndexOptions {
   /// false: RPIndex (Regular-Prüfer); true: EPIndex (Extended-Prüfer,
@@ -67,6 +73,11 @@ struct PrixIndexOptions {
   Labeling labeling = Labeling::kExact;
   /// Pre-allocated prefix depth for dynamic labeling (Sec. 5.2.1).
   uint32_t alpha = 2;
+  /// v3 compressed on-disk formats (DESIGN.md §5h): delta-coded B+-tree
+  /// leaf pages and varint/block-coded document records. Recorded in the
+  /// index's catalog blob (version 2), so mixed-format databases reopen
+  /// correctly; query answers are identical either way.
+  bool compress = CompressFromEnv();
 };
 
 /// Construction statistics (reported by benches and EXPERIMENTS.md).

@@ -1,8 +1,190 @@
 #include "prix/subsequence_matcher.h"
 
+#include <cstring>
+
 #include "common/macros.h"
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PRIX_GAP_PRUNE_X86 1
+#endif
+
 namespace prix {
+
+namespace {
+
+/// Hoists the per-rule decision to a strict unsigned threshold: prune iff
+/// gap > threshold, or unconditionally (kAncestor with bound 0). All three
+/// rules reduce exactly (unsigned arithmetic throughout):
+///   kSameParent: gap > bound
+///   kChildEdge:  gap > bound + 1       (same wrap as the scalar expression)
+///   kAncestor:   gap >= bound  <=>  bound == 0 ? always : gap > bound - 1
+struct PruneThreshold {
+  uint32_t gt = 0;
+  bool always = false;
+};
+
+PruneThreshold HoistRule(GapPruneRule::Kind kind, uint32_t bound) {
+  PruneThreshold t;
+  switch (kind) {
+    case GapPruneRule::kSameParent:
+      t.gt = bound;
+      break;
+    case GapPruneRule::kChildEdge:
+      t.gt = bound + 1;
+      break;
+    case GapPruneRule::kAncestor:
+      if (bound == 0) {
+        t.always = true;
+      } else {
+        t.gt = bound - 1;
+      }
+      break;
+    case GapPruneRule::kNone:
+      break;
+  }
+  return t;
+}
+
+inline uint8_t KeepOneScalar(uint32_t level, uint32_t prev, PruneThreshold t,
+                             bool generalized) {
+  if (generalized && level == prev) return 1;
+  uint32_t gap = level - prev;
+  bool prune = t.always || gap > t.gt;
+  return prune ? 0 : 1;
+}
+
+}  // namespace
+
+void GapPruneMaskScalar(const uint32_t* levels, size_t n, uint32_t prev_level,
+                        uint32_t bound, GapPruneRule::Kind kind,
+                        bool generalized, uint8_t* keep) {
+  if (n == 0) return;  // empty batches may carry null data pointers
+  if (kind == GapPruneRule::kNone) {
+    std::memset(keep, 1, n);
+    return;
+  }
+  PruneThreshold t = HoistRule(kind, bound);
+  for (size_t j = 0; j < n; ++j) {
+    keep[j] = KeepOneScalar(levels[j], prev_level, t, generalized);
+  }
+}
+
+#ifdef PRIX_GAP_PRUNE_X86
+
+namespace {
+
+/// Vector body shared by both widths: unsigned gap > threshold via the
+/// sign-bias trick (x >u y  <=>  (x ^ 0x80000000) >s (y ^ 0x80000000)),
+/// keep = ~prune | (generalized & level == prev). Lane results become one
+/// byte each via movemask.
+__attribute__((target("avx2"))) void GapPruneMaskAvx2(
+    const uint32_t* levels, size_t n, uint32_t prev_level, uint32_t bound,
+    GapPruneRule::Kind kind, bool generalized, uint8_t* keep) {
+  if (n == 0) return;
+  if (kind == GapPruneRule::kNone) {
+    std::memset(keep, 1, n);
+    return;
+  }
+  PruneThreshold t = HoistRule(kind, bound);
+  const __m256i vprev = _mm256_set1_epi32(static_cast<int>(prev_level));
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i vthresh =
+      _mm256_set1_epi32(static_cast<int>(t.gt ^ 0x80000000u));
+  const __m256i ones = _mm256_set1_epi32(-1);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256i lv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(levels + j));
+    __m256i gap = _mm256_sub_epi32(lv, vprev);
+    __m256i prune =
+        t.always ? ones
+                 : _mm256_cmpgt_epi32(_mm256_xor_si256(gap, bias), vthresh);
+    __m256i keep_mask = _mm256_xor_si256(prune, ones);
+    if (generalized) {
+      keep_mask =
+          _mm256_or_si256(keep_mask, _mm256_cmpeq_epi32(lv, vprev));
+    }
+    int bits = _mm256_movemask_ps(_mm256_castsi256_ps(keep_mask));
+    for (int k = 0; k < 8; ++k) {
+      keep[j + k] = static_cast<uint8_t>((bits >> k) & 1);
+    }
+  }
+  for (; j < n; ++j) {
+    keep[j] = KeepOneScalar(levels[j], prev_level, t, generalized);
+  }
+}
+
+/// SSE2 is part of the x86-64 baseline, so this needs no target attribute
+/// or cpuid check — it is the floor when AVX2 is absent.
+void GapPruneMaskSse2(const uint32_t* levels, size_t n, uint32_t prev_level,
+                      uint32_t bound, GapPruneRule::Kind kind,
+                      bool generalized, uint8_t* keep) {
+  if (n == 0) return;
+  if (kind == GapPruneRule::kNone) {
+    std::memset(keep, 1, n);
+    return;
+  }
+  PruneThreshold t = HoistRule(kind, bound);
+  const __m128i vprev = _mm_set1_epi32(static_cast<int>(prev_level));
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i vthresh = _mm_set1_epi32(static_cast<int>(t.gt ^ 0x80000000u));
+  const __m128i ones = _mm_set1_epi32(-1);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m128i lv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(levels + j));
+    __m128i gap = _mm_sub_epi32(lv, vprev);
+    __m128i prune =
+        t.always ? ones : _mm_cmpgt_epi32(_mm_xor_si128(gap, bias), vthresh);
+    __m128i keep_mask = _mm_xor_si128(prune, ones);
+    if (generalized) {
+      keep_mask = _mm_or_si128(keep_mask, _mm_cmpeq_epi32(lv, vprev));
+    }
+    int bits = _mm_movemask_ps(_mm_castsi128_ps(keep_mask));
+    for (int k = 0; k < 4; ++k) {
+      keep[j + k] = static_cast<uint8_t>((bits >> k) & 1);
+    }
+  }
+  for (; j < n; ++j) {
+    keep[j] = KeepOneScalar(levels[j], prev_level, t, generalized);
+  }
+}
+
+}  // namespace
+
+#endif  // PRIX_GAP_PRUNE_X86
+
+namespace {
+
+using GapPruneFn = void (*)(const uint32_t*, size_t, uint32_t, uint32_t,
+                            GapPruneRule::Kind, bool, uint8_t*);
+
+GapPruneFn ChooseGapPrune() {
+#ifdef PRIX_GAP_PRUNE_X86
+  if (__builtin_cpu_supports("avx2")) return GapPruneMaskAvx2;
+  return GapPruneMaskSse2;
+#else
+  return GapPruneMaskScalar;
+#endif
+}
+
+/// One-time dispatch, same pattern as crc32c: the choice is made on first
+/// use and cached in a function-local static.
+GapPruneFn GapPruneImpl() {
+  static const GapPruneFn impl = ChooseGapPrune();
+  return impl;
+}
+
+}  // namespace
+
+void GapPruneMask(const uint32_t* levels, size_t n, uint32_t prev_level,
+                  uint32_t bound, GapPruneRule::Kind kind, bool generalized,
+                  uint8_t* keep) {
+  GapPruneImpl()(levels, n, prev_level, bound, kind, generalized, keep);
+}
+
+bool GapPruneUsingSimd() { return GapPruneImpl() != &GapPruneMaskScalar; }
 
 Status SubsequenceMatcher::FindAll(const QuerySequence& q, const EmitFn& emit,
                                    MatcherStats* stats) {
@@ -15,6 +197,14 @@ Status SubsequenceMatcher::FindAll(const QuerySequence& q, const EmitFn& emit,
   RangeLabel root = index_->root_range();
   return Descend(q, 0, root.left, root.right, positions, emit, stats);
 }
+
+namespace {
+/// Range-scan entries are gathered into structure-of-arrays batches of this
+/// many nodes, pruned with one GapPruneMask call, then recursed on. Large
+/// enough to amortize the kernel dispatch, small enough that the per-level
+/// scratch (~5 KB) stays cache-resident across the recursion.
+constexpr size_t kScanBatch = 256;
+}  // namespace
 
 Status SubsequenceMatcher::Descend(const QuerySequence& q, size_t i,
                                    uint64_t ql, uint64_t qr,
@@ -29,56 +219,74 @@ Status SubsequenceMatcher::Descend(const QuerySequence& q, size_t i,
   uint64_t start = generalized_ && i > 0 ? ql : ql + 1;
   PRIX_ASSIGN_OR_RETURN(
       auto it, index_->symbol_index().Seek(SymbolKey{label, 0, start}));
-  for (; it.Valid(); ) {
-    const SymbolKey key = it.key();
-    if (key.label != label || key.left > qr) break;
-    ++stats->nodes_scanned;
-    const TrieNodeValue node = it.value();
-    PRIX_RETURN_NOT_OK(it.Next());
-    // Optimized subsequence matching (Sec. 5.4): gap between adjacent
-    // matched levels bounded by the MaxGap of the previous label.
-    if (use_maxgap_ && i > 0 && q.prune[i].kind != GapPruneRule::kNone &&
-        !(generalized_ && node.level == positions.back())) {
-      uint32_t gap = node.level - positions.back();
-      uint32_t bound = index_->maxgap().Get(q.prune[i].label);
-      bool prune = false;
-      switch (q.prune[i].kind) {
-        case GapPruneRule::kSameParent:
-          prune = gap > bound;
-          break;
-        case GapPruneRule::kChildEdge:
-          prune = gap > bound + 1;
-          break;
-        case GapPruneRule::kAncestor:
-          prune = gap >= bound;
-          break;
-        case GapPruneRule::kNone:
-          break;
+  // Optimized subsequence matching (Sec. 5.4): gap between adjacent matched
+  // levels bounded by the MaxGap of the previous label. The rule and bound
+  // are fixed for the whole scan, so they are hoisted out and the per-node
+  // decisions batched through the (possibly SIMD) prune kernel.
+  const bool prune_active =
+      use_maxgap_ && i > 0 && q.prune[i].kind != GapPruneRule::kNone;
+  const uint32_t bound =
+      prune_active ? index_->maxgap().Get(q.prune[i].label) : 0;
+  std::vector<uint64_t> lefts;
+  std::vector<uint64_t> rights;
+  std::vector<uint32_t> levels;
+  std::vector<uint8_t> keep;
+  lefts.reserve(kScanBatch);
+  rights.reserve(kScanBatch);
+  levels.reserve(kScanBatch);
+  keep.reserve(kScanBatch);
+  bool exhausted = false;
+  while (!exhausted) {
+    lefts.clear();
+    rights.clear();
+    levels.clear();
+    while (lefts.size() < kScanBatch) {
+      if (!it.Valid()) {
+        exhausted = true;
+        break;
       }
-      if (prune) {
-        ++stats->pruned_by_maxgap;
-        continue;
+      const SymbolKey key = it.key();
+      if (key.label != label || key.left > qr) {
+        exhausted = true;
+        break;
+      }
+      const TrieNodeValue node = it.value();
+      lefts.push_back(key.left);
+      rights.push_back(node.right);
+      levels.push_back(node.level);
+      PRIX_RETURN_NOT_OK(it.Next());
+    }
+    stats->nodes_scanned += lefts.size();
+    keep.assign(lefts.size(), 1);
+    if (prune_active && !lefts.empty()) {
+      GapPruneMask(levels.data(), levels.size(), positions.back(), bound,
+                   q.prune[i].kind, generalized_, keep.data());
+      for (uint8_t k : keep) {
+        if (k == 0) ++stats->pruned_by_maxgap;
       }
     }
-    positions.push_back(node.level);
-    if (i + 1 == q.lps.size()) {
-      // Terminal: fetch all documents whose LPS ends in [left, right].
-      std::vector<DocId> docs;
-      PRIX_ASSIGN_OR_RETURN(
-          auto dit, index_->docid_index().Seek(DocKey{key.left, 0, 0}));
-      while (dit.Valid() && dit.key().left <= node.right) {
-        docs.push_back(dit.value());
-        PRIX_RETURN_NOT_OK(dit.Next());
+    for (size_t j = 0; j < lefts.size(); ++j) {
+      if (keep[j] == 0) continue;
+      positions.push_back(levels[j]);
+      if (i + 1 == q.lps.size()) {
+        // Terminal: fetch all documents whose LPS ends in [left, right].
+        std::vector<DocId> docs;
+        PRIX_ASSIGN_OR_RETURN(
+            auto dit, index_->docid_index().Seek(DocKey{lefts[j], 0, 0}));
+        while (dit.Valid() && dit.key().left <= rights[j]) {
+          docs.push_back(dit.value());
+          PRIX_RETURN_NOT_OK(dit.Next());
+        }
+        if (!docs.empty()) {
+          ++stats->occurrences;
+          PRIX_RETURN_NOT_OK(emit(docs, positions));
+        }
+      } else {
+        PRIX_RETURN_NOT_OK(
+            Descend(q, i + 1, lefts[j], rights[j], positions, emit, stats));
       }
-      if (!docs.empty()) {
-        ++stats->occurrences;
-        PRIX_RETURN_NOT_OK(emit(docs, positions));
-      }
-    } else {
-      PRIX_RETURN_NOT_OK(
-          Descend(q, i + 1, key.left, node.right, positions, emit, stats));
+      positions.pop_back();
     }
-    positions.pop_back();
   }
   return Status::OK();
 }

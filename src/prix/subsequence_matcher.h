@@ -27,6 +27,28 @@ struct MatcherStats {
   }
 };
 
+/// Batched MaxGap prune kernel (Sec. 5.4 / DESIGN.md §5h). For each scanned
+/// trie node level `levels[j]`, sets `keep[j]` to 1 unless the gap rule
+/// prunes it: gap = levels[j] - prev_level (uint32 arithmetic, exactly as
+/// the per-node code computed it), pruned when gap > bound (kSameParent),
+/// gap > bound + 1 (kChildEdge), or gap >= bound (kAncestor); a
+/// generalized-search node whose level equals prev_level is always kept
+/// (zero-gap suppression). kNone keeps everything.
+///
+/// GapPruneMask dispatches once, crc32c-style, to an AVX2/SSE2
+/// compare-and-mask implementation when the CPU has one, else to
+/// GapPruneMaskScalar. Both are exposed so tests can assert the dispatched
+/// and scalar paths are bit-identical over random inputs; the matcher's
+/// end-to-end answers are covered by the property/e2e suites either way.
+void GapPruneMaskScalar(const uint32_t* levels, size_t n, uint32_t prev_level,
+                        uint32_t bound, GapPruneRule::Kind kind,
+                        bool generalized, uint8_t* keep);
+void GapPruneMask(const uint32_t* levels, size_t n, uint32_t prev_level,
+                  uint32_t bound, GapPruneRule::Kind kind, bool generalized,
+                  uint8_t* keep);
+/// True when GapPruneMask resolved to a SIMD implementation on this host.
+bool GapPruneUsingSimd();
+
 /// Algorithm 1 (Sec. 5.3): finds every occurrence of a query LPS as a
 /// subsequence of indexed LPS's by recursive range descent over the virtual
 /// trie, optionally pruned with the MaxGap metric of Theorem 4 (Sec. 5.4).

@@ -30,13 +30,22 @@ class RecordStore {
   uint64_t num_pages() const { return pages_.size(); }
 
   /// Serializes the in-memory catalog (page list + extents) so the store
-  /// can be reopened after a restart.
-  void SerializeTo(std::vector<char>* out) const;
+  /// can be reopened after a restart. `compressed` selects the v3 catalog
+  /// encoding — varint fields, page ids and extent offsets as deltas (both
+  /// are near-monotonic, so deltas are tiny) — instead of the fixed-width
+  /// v1 layout. The caller owns format versioning (the index catalog blob
+  /// records which encoding was used) and must pass the same flag to
+  /// Deserialize.
+  void SerializeTo(std::vector<char>* out, bool compressed = false) const;
 
   /// Rebuilds a store over existing pages from SerializeTo output. `p` is
-  /// advanced past the consumed bytes.
+  /// advanced past the consumed bytes. All v3 varint reads are
+  /// bounds-checked against `end`; structural limits (pages within the
+  /// file, extents within the logical size) are enforced identically in
+  /// both formats.
   static Result<RecordStore> Deserialize(BufferPool* pool, const char** p,
-                                         const char* end);
+                                         const char* end,
+                                         bool compressed = false);
 
  private:
   struct Extent {

@@ -1,0 +1,449 @@
+// Tests for the v3 compressed on-disk formats (DESIGN.md §5h): varint
+// primitives, delta-coded B+-tree leaves, block-coded document records, the
+// varint record-store catalog, and the SIMD gap-prune kernel. The anchor is
+// the end-to-end equivalence test: the same collection indexed compressed
+// and uncompressed must answer every query identically (and match the naive
+// oracle), because compression changes the page encoding and nothing else.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/varint.h"
+#include "naive/naive_matcher.h"
+#include "prix/prix_index.h"
+#include "prix/query_processor.h"
+#include "prix/subsequence_matcher.h"
+#include "storage/record_store.h"
+#include "testutil/temp_db.h"
+#include "testutil/tree_gen.h"
+
+namespace prix {
+namespace {
+
+using testutil::RandomCollection;
+using testutil::RandomDocOptions;
+using testutil::RandomTwig;
+using testutil::TempDb;
+
+// --- varint primitives ----------------------------------------------------
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             (1ull << 63) - 1,
+                             1ull << 63,
+                             ~0ull};
+  for (uint64_t v : values) {
+    std::vector<char> buf;
+    PutVarint64(&buf, v);
+    EXPECT_LE(buf.size(), kMaxVarint64Bytes);
+    const char* p = buf.data();
+    uint64_t got = 1;
+    ASSERT_TRUE(GetVarint64(&p, buf.data() + buf.size(), &got)) << v;
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(p, buf.data() + buf.size()) << "decoder over/under-consumed";
+  }
+}
+
+TEST(VarintTest, ZigzagIsAnInvolutionAndKeepsSmallMagnitudesSmall) {
+  const int64_t values[] = {0, -1, 1, -2, 2, -64, 63, -65,
+                            INT64_MIN, INT64_MAX};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigzagDecode64(ZigzagEncode64(v)), v);
+  }
+  // Small absolute values map to small codes (the point of zig-zag).
+  EXPECT_EQ(ZigzagEncode64(0), 0u);
+  EXPECT_EQ(ZigzagEncode64(-1), 1u);
+  EXPECT_EQ(ZigzagEncode64(1), 2u);
+  EXPECT_LT(ZigzagEncode64(-64), 128u);
+}
+
+TEST(VarintTest, RejectsTruncatedInput) {
+  std::vector<char> buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const char* p = buf.data();
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&p, buf.data() + cut, &v)) << "cut " << cut;
+  }
+}
+
+TEST(VarintTest, RejectsOverlongAndOverflowingEncodings) {
+  // Eleven continuation bytes: more than any uint64 needs.
+  char overlong[11];
+  std::memset(overlong, 0x80, 10);
+  overlong[10] = 0x01;
+  const char* p = overlong;
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&p, overlong + sizeof(overlong), &v));
+  // Ten bytes whose final byte carries bits beyond the 64th.
+  char toobig[10];
+  std::memset(toobig, 0xff, 9);
+  toobig[9] = 0x02;
+  p = toobig;
+  EXPECT_FALSE(GetVarint64(&p, toobig + sizeof(toobig), &v));
+}
+
+TEST(VarintTest, Varint32RejectsValuesAbove32Bits) {
+  std::vector<char> buf;
+  PutVarint64(&buf, 1ull << 32);
+  const char* p = buf.data();
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&p, buf.data() + buf.size(), &v));
+}
+
+// --- gap-prune kernel: dispatched == scalar -------------------------------
+
+TEST(GapPruneKernelTest, DispatchedMatchesScalarOnRandomInputs) {
+  Random rng(77);
+  const GapPruneRule::Kind kinds[] = {
+      GapPruneRule::kNone, GapPruneRule::kSameParent, GapPruneRule::kChildEdge,
+      GapPruneRule::kAncestor};
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t n = rng.Uniform(70);  // covers empty, sub-vector-width, and tails
+    std::vector<uint32_t> levels(n);
+    uint32_t prev = static_cast<uint32_t>(rng.Next());
+    for (auto& l : levels) {
+      // Mix of near-prev levels (realistic) and arbitrary ones (wraparound).
+      l = rng.Uniform(4) == 0 ? static_cast<uint32_t>(rng.Next())
+                              : prev + static_cast<uint32_t>(rng.Uniform(9)) -
+                                    4;
+    }
+    uint32_t bound = static_cast<uint32_t>(rng.Uniform(6));
+    GapPruneRule::Kind kind = kinds[rng.Uniform(4)];
+    bool generalized = rng.Uniform(2) == 1;
+    std::vector<uint8_t> scalar(n, 0xee), dispatched(n, 0x11);
+    GapPruneMaskScalar(levels.data(), n, prev, bound, kind, generalized,
+                       scalar.data());
+    GapPruneMask(levels.data(), n, prev, bound, kind, generalized,
+                 dispatched.data());
+    ASSERT_EQ(scalar, dispatched)
+        << "iter " << iter << " kind " << static_cast<int>(kind) << " bound "
+        << bound << " gen " << generalized;
+  }
+}
+
+TEST(GapPruneKernelTest, RuleSemanticsMatchThePerNodeDefinitions) {
+  // One batch per rule with hand-computed expectations, including the
+  // unsigned-wrap case (level < prev) that must always prune.
+  uint32_t prev = 10;
+  std::vector<uint32_t> levels = {10, 11, 12, 13, 14, 9, 5, 100};
+  auto run = [&](GapPruneRule::Kind kind, uint32_t bound, bool gen) {
+    std::vector<uint8_t> keep(levels.size());
+    GapPruneMask(levels.data(), levels.size(), prev, bound, kind, gen,
+                 keep.data());
+    return keep;
+  };
+  // kSameParent, bound 2: keep gap <= 2 (levels 10..12); wraps prune.
+  EXPECT_EQ(run(GapPruneRule::kSameParent, 2, false),
+            (std::vector<uint8_t>{1, 1, 1, 0, 0, 0, 0, 0}));
+  // kChildEdge, bound 2: keep gap <= 3.
+  EXPECT_EQ(run(GapPruneRule::kChildEdge, 2, false),
+            (std::vector<uint8_t>{1, 1, 1, 1, 0, 0, 0, 0}));
+  // kAncestor, bound 3: prune gap >= 3, keep gap <= 2.
+  EXPECT_EQ(run(GapPruneRule::kAncestor, 3, false),
+            (std::vector<uint8_t>{1, 1, 1, 0, 0, 0, 0, 0}));
+  // kAncestor, bound 0: prunes everything...
+  EXPECT_EQ(run(GapPruneRule::kAncestor, 0, false),
+            (std::vector<uint8_t>{0, 0, 0, 0, 0, 0, 0, 0}));
+  // ...except zero-gap nodes under generalized search.
+  EXPECT_EQ(run(GapPruneRule::kAncestor, 0, true),
+            (std::vector<uint8_t>{1, 0, 0, 0, 0, 0, 0, 0}));
+  // kNone keeps all.
+  EXPECT_EQ(run(GapPruneRule::kNone, 0, false),
+            (std::vector<uint8_t>{1, 1, 1, 1, 1, 1, 1, 1}));
+}
+
+// --- compressed B+-tree ---------------------------------------------------
+
+class CompressedBtreeTest : public ::testing::Test {
+ protected:
+  CompressedBtreeTest() : db_(Database::Options{.pool_pages = 64}) {}
+  BufferPool* pool() { return db_.pool(); }
+  TempDb db_;
+};
+
+using IntTree = BPlusTree<uint64_t, uint64_t>;
+
+TEST_F(CompressedBtreeTest, ModelCheckInsertGetScanDelete) {
+  auto tree = IntTree::Create(pool(), {}, /*compressed_leaves=*/true);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->compressed_leaves());
+  std::map<uint64_t, uint64_t> model;
+  Random rng(321);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.Uniform(100000);
+    if (model.emplace(key, i).second) {
+      ASSERT_TRUE(tree->Insert(key, i).ok()) << "key " << key;
+    } else {
+      ASSERT_EQ(tree->Insert(key, i).code(), StatusCode::kAlreadyExists);
+    }
+  }
+  EXPECT_EQ(tree->num_entries(), model.size());
+  for (const auto& [k, v] : model) {
+    auto got = tree->Get(k);
+    ASSERT_TRUE(got.ok()) << "key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  // Delete every third key, then full ordered scan against the model.
+  size_t idx = 0;
+  for (auto it = model.begin(); it != model.end();) {
+    if (idx++ % 3 == 0) {
+      ASSERT_TRUE(tree->Delete(it->first).ok());
+      it = model.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(tree->num_entries(), model.size());
+  auto it = tree->SeekToFirst();
+  ASSERT_TRUE(it.ok());
+  auto mit = model.begin();
+  while (it->Valid()) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it->key(), mit->first);
+    EXPECT_EQ(it->value(), mit->second);
+    ++mit;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(mit, model.end());
+  EXPECT_TRUE(pool()->Clear().ok());
+}
+
+TEST_F(CompressedBtreeTest, DenseKeysRaiseLeafFanoutSeveralFold) {
+  // Sequential keys delta-code to ~2 bytes/entry vs 16 fixed: the same
+  // entry count must need far fewer pages.
+  auto fixed = IntTree::Create(pool(), {}, false);
+  auto packed = IntTree::Create(pool(), {}, true);
+  ASSERT_TRUE(fixed.ok());
+  ASSERT_TRUE(packed.ok());
+  const uint64_t n = 20000;
+  uint64_t pages_before = pool()->disk()->num_pages();
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(fixed->Insert(k, k).ok());
+  }
+  uint64_t fixed_pages = pool()->disk()->num_pages() - pages_before;
+  pages_before = pool()->disk()->num_pages();
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(packed->Insert(k, k).ok());
+  }
+  uint64_t packed_pages = pool()->disk()->num_pages() - pages_before;
+  EXPECT_LT(packed_pages * 3, fixed_pages)
+      << "compressed tree used " << packed_pages << " pages vs "
+      << fixed_pages;
+}
+
+TEST_F(CompressedBtreeTest, ReopenPreservesFormatAndContents) {
+  PageId meta;
+  {
+    auto tree = IntTree::Create(pool(), {}, true);
+    ASSERT_TRUE(tree.ok());
+    meta = tree->meta_page_id();
+    for (uint64_t k = 0; k < 3000; ++k) {
+      ASSERT_TRUE(tree->Insert(k * 7, k).ok());
+    }
+    ASSERT_TRUE(pool()->FlushAll().ok());
+  }
+  ASSERT_TRUE(pool()->Clear().ok());
+  auto reopened = IntTree::Open(pool(), meta, {}, true);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->num_entries(), 3000u);
+  auto v = reopened->Get(7 * 1234);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1234u);
+}
+
+TEST_F(CompressedBtreeTest, FormatMismatchIsCorruptionNotGarbage) {
+  // The leaf format byte is cross-checked on every page read, so opening a
+  // compressed tree as fixed (or vice versa — a catalog/page disagreement
+  // only corruption could produce) must error, never misdecode.
+  PageId packed_meta, fixed_meta;
+  {
+    auto packed = IntTree::Create(pool(), {}, true);
+    auto fixed = IntTree::Create(pool(), {}, false);
+    ASSERT_TRUE(packed.ok());
+    ASSERT_TRUE(fixed.ok());
+    packed_meta = packed->meta_page_id();
+    fixed_meta = fixed->meta_page_id();
+    for (uint64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE(packed->Insert(k, k).ok());
+      ASSERT_TRUE(fixed->Insert(k, k).ok());
+    }
+    ASSERT_TRUE(pool()->FlushAll().ok());
+  }
+  ASSERT_TRUE(pool()->Clear().ok());
+  auto as_fixed = IntTree::Open(pool(), packed_meta, {}, false);
+  ASSERT_TRUE(as_fixed.ok());  // the meta page carries no format bit
+  EXPECT_EQ(as_fixed->Get(5).status().code(), StatusCode::kCorruption);
+  auto as_packed = IntTree::Open(pool(), fixed_meta, {}, true);
+  ASSERT_TRUE(as_packed.ok());
+  EXPECT_EQ(as_packed->Get(5).status().code(), StatusCode::kCorruption);
+  EXPECT_TRUE(pool()->Clear().ok());
+}
+
+// --- record store v3 catalog ----------------------------------------------
+
+TEST_F(CompressedBtreeTest, RecordStoreCatalogRoundTripsInBothFormats) {
+  RecordStore store(pool());
+  Random rng(55);
+  std::vector<std::vector<char>> records;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<char> rec(rng.Uniform(300) + 1);
+    for (auto& c : rec) c = static_cast<char>(rng.Next());
+    auto id = store.Append(rec.data(), rec.size());
+    ASSERT_TRUE(id.ok());
+    ASSERT_EQ(*id, static_cast<uint32_t>(i));
+    records.push_back(std::move(rec));
+  }
+  for (bool compressed : {false, true}) {
+    std::vector<char> blob;
+    store.SerializeTo(&blob, compressed);
+    const char* p = blob.data();
+    auto reopened =
+        RecordStore::Deserialize(pool(), &p, blob.data() + blob.size(),
+                                 compressed);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(p, blob.data() + blob.size()) << "catalog not fully consumed";
+    ASSERT_EQ(reopened->num_records(), records.size());
+    EXPECT_EQ(reopened->total_bytes(), store.total_bytes());
+    for (size_t i = 0; i < records.size(); ++i) {
+      std::vector<char> out;
+      ASSERT_TRUE(reopened->Load(i, &out).ok());
+      EXPECT_EQ(out, records[i]) << "record " << i;
+    }
+  }
+  // The v3 catalog must actually be smaller (deltas + varints).
+  std::vector<char> v1, v3;
+  store.SerializeTo(&v1, false);
+  store.SerializeTo(&v3, true);
+  EXPECT_LT(v3.size(), v1.size());
+}
+
+TEST_F(CompressedBtreeTest, RecordStoreV3CatalogRejectsTruncation) {
+  RecordStore store(pool());
+  for (int i = 0; i < 50; ++i) {
+    char buf[40] = {};
+    ASSERT_TRUE(store.Append(buf, sizeof(buf)).ok());
+  }
+  std::vector<char> blob;
+  store.SerializeTo(&blob, true);
+  for (size_t cut = 0; cut < blob.size(); cut += 3) {
+    const char* p = blob.data();
+    auto r = RecordStore::Deserialize(pool(), &p, blob.data() + cut, true);
+    EXPECT_FALSE(r.ok()) << "cut " << cut << " decoded successfully";
+  }
+}
+
+// --- doc store v3 ---------------------------------------------------------
+
+TEST_F(CompressedBtreeTest, DocStoreV3RoundTripEqualsV1) {
+  Random rng(99);
+  TagDictionary dict;
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 200;  // several NPS blocks per record
+  std::vector<Document> docs = RandomCollection(rng, 25, &dict, doc_opts);
+  DocStore v1(pool(), false);
+  DocStore v3(pool(), true);
+  EXPECT_FALSE(v1.compressed());
+  EXPECT_TRUE(v3.compressed());
+  for (DocId d = 0; d < docs.size(); ++d) {
+    PruferSequences seq = BuildPruferSequences(docs[d]);
+    std::vector<LeafEntry> leaves = CollectLeaves(docs[d]);
+    ASSERT_TRUE(v1.Append(d, seq, leaves).ok());
+    ASSERT_TRUE(v3.Append(d, seq, leaves).ok());
+  }
+  EXPECT_LT(v3.total_bytes(), v1.total_bytes())
+      << "v3 records are not smaller";
+  for (DocId d = 0; d < docs.size(); ++d) {
+    auto a = v1.Load(d);
+    auto b = v3.Load(d);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->seq.lps, b->seq.lps);
+    EXPECT_EQ(a->seq.nps, b->seq.nps);
+    EXPECT_EQ(a->seq.num_nodes, b->seq.num_nodes);
+    EXPECT_EQ(a->seq.root_label, b->seq.root_label);
+    ASSERT_EQ(a->leaves.size(), b->leaves.size());
+    for (size_t i = 0; i < a->leaves.size(); ++i) {
+      EXPECT_EQ(a->leaves[i].label, b->leaves[i].label);
+      EXPECT_EQ(a->leaves[i].postorder, b->leaves[i].postorder);
+    }
+  }
+  // Empty placeholder records (the salvage path) round-trip too.
+  DocStore empties(pool(), true);
+  ASSERT_TRUE(empties.Append(0, PruferSequences{}, {}).ok());
+  auto loaded = empties.Load(0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->seq.lps.empty());
+  EXPECT_TRUE(loaded->leaves.empty());
+}
+
+// --- end to end: compressed answers == uncompressed answers == naive ------
+
+TEST_F(CompressedBtreeTest, CompressedIndexAnswersAreIdentical) {
+  Random rng(2026);
+  TagDictionary dict;
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 48;
+  std::vector<Document> docs = RandomCollection(rng, 40, &dict, doc_opts);
+
+  PrixIndexOptions plain_opts;
+  plain_opts.compress = false;  // force both modes regardless of PRIX_COMPRESS
+  PrixIndexOptions packed_opts;
+  packed_opts.compress = true;
+  auto plain = PrixIndex::Build(docs, pool(), plain_opts);
+  auto packed = PrixIndex::Build(docs, pool(), packed_opts);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  ASSERT_TRUE((*plain)->Save(&db_.db(), "plain").ok());
+  ASSERT_TRUE((*packed)->Save(&db_.db(), "packed").ok());
+
+  // Reopen both through the catalog: the format flag must come back from
+  // the catalog version, not from the environment.
+  ASSERT_TRUE(db_.Reopen().ok());
+  auto plain2 = PrixIndex::Open(&db_.db(), "plain");
+  auto packed2 = PrixIndex::Open(&db_.db(), "packed");
+  ASSERT_TRUE(plain2.ok()) << plain2.status().ToString();
+  ASSERT_TRUE(packed2.ok()) << packed2.status().ToString();
+  EXPECT_FALSE((*plain2)->options().compress);
+  EXPECT_TRUE((*packed2)->options().compress);
+
+  QueryProcessor qp_plain(db_.db(), plain2->get(), nullptr);
+  QueryProcessor qp_packed(db_.db(), packed2->get(), nullptr);
+  size_t tried = 0;
+  for (int i = 0; i < 30 && tried < 12; ++i) {
+    TwigPattern pattern =
+        RandomTwig(rng, docs[rng.Uniform(docs.size())], &dict);
+    if (pattern.num_nodes() < 2) continue;
+    ++tried;
+    EffectiveTwig twig = EffectiveTwig::Build(pattern);
+    auto oracle =
+        NaiveMatchCollection(docs, twig, MatchSemantics::kOrdered);
+    std::sort(oracle.begin(), oracle.end());
+    auto a = qp_plain.Execute(pattern);
+    auto b = qp_packed.Execute(pattern);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    auto am = a->matches;
+    auto bm = b->matches;
+    std::sort(am.begin(), am.end());
+    std::sort(bm.begin(), bm.end());
+    EXPECT_EQ(am, oracle) << "uncompressed diverges from naive, query " << i;
+    EXPECT_EQ(bm, oracle) << "compressed diverges from naive, query " << i;
+  }
+  EXPECT_GE(tried, 5u);
+}
+
+}  // namespace
+}  // namespace prix

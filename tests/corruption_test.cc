@@ -104,9 +104,12 @@ struct Workload {
 
   /// Builds the RP and ViST indexes into `db`, so the fuzz sweeps over
   /// every page type both index families use (B+-tree nodes, heap record
-  /// chunks, catalog blobs).
-  void BuildInto(TempDb* db) const {
-    auto rp = PrixIndex::Build(docs, db->pool(), PrixIndexOptions{});
+  /// chunks, catalog blobs). `compress` selects the v3 formats for the RP
+  /// index (defaulting from PRIX_COMPRESS like every other build site).
+  void BuildInto(TempDb* db, bool compress = CompressFromEnv()) const {
+    PrixIndexOptions rp_opts;
+    rp_opts.compress = compress;
+    auto rp = PrixIndex::Build(docs, db->pool(), rp_opts);
     ASSERT_TRUE(rp.ok()) << rp.status().ToString();
     ASSERT_TRUE((*rp)->Save(&db->db(), "rp").ok());
     auto vist = VistIndex::Build(docs, db->pool());
@@ -115,14 +118,17 @@ struct Workload {
   }
 };
 
-TEST(CorruptionFuzzTest, EverySinglePageGarbleFailsSafelyAndIsPinpointed) {
-  uint64_t seed = FuzzSeed();
+/// Body of the every-page garble sweep, shared by the default-format and
+/// explicitly-compressed (v3) variants: compression changes what a garbled
+/// payload decodes to, so the fail-safe contract needs independent coverage
+/// against delta-coded leaves and varint records.
+void RunGarbleSweep(uint64_t seed, bool compress) {
   SCOPED_TRACE("PRIX_CORRUPTION_SEED=" + std::to_string(seed));
   Workload load(seed);
   ASSERT_GE(load.patterns.size(), 3u);
 
   TempDb db(Database::Options{.pool_pages = 128});
-  load.BuildInto(&db);
+  load.BuildInto(&db, compress);
   ASSERT_TRUE(db.CloseHandle().ok());
 
   std::vector<char> pristine = Slurp(db.path());
@@ -197,6 +203,14 @@ TEST(CorruptionFuzzTest, EverySinglePageGarbleFailsSafelyAndIsPinpointed) {
   // The fuzz must have exercised both regimes, or it proves nothing.
   EXPECT_GT(opened, 0u) << "every open failed: fuzz never reached queries";
   EXPECT_GT(queried_ok, 0u) << "no query ever succeeded";
+}
+
+TEST(CorruptionFuzzTest, EverySinglePageGarbleFailsSafelyAndIsPinpointed) {
+  RunGarbleSweep(FuzzSeed(), CompressFromEnv());
+}
+
+TEST(CorruptionFuzzTest, CompressedPagesGarbleFailsSafelyToo) {
+  RunGarbleSweep(FuzzSeed() ^ 0xc0117e55ed, /*compress=*/true);
 }
 
 TEST(CorruptionFuzzTest, VerifyDatabaseWalksStructureAndNamesTheIndex) {

@@ -52,15 +52,18 @@ class PrixE2eTest : public ::testing::Test {
  protected:
   void BuildIndexes(const std::vector<Document>& docs,
                     PrixIndexOptions::Labeling labeling =
-                        PrixIndexOptions::Labeling::kExact) {
+                        PrixIndexOptions::Labeling::kExact,
+                    bool compress = CompressFromEnv()) {
     PrixIndexOptions rp_opts;
     rp_opts.labeling = labeling;
+    rp_opts.compress = compress;
     auto rp = PrixIndex::Build(docs, db_.pool(), rp_opts);
     ASSERT_TRUE(rp.ok()) << rp.status().ToString();
     rp_ = std::move(*rp);
     PrixIndexOptions ep_opts;
     ep_opts.extended = true;
     ep_opts.labeling = labeling;
+    ep_opts.compress = compress;
     auto ep = PrixIndex::Build(docs, db_.pool(), ep_opts);
     ASSERT_TRUE(ep.ok()) << ep.status().ToString();
     ep_ = std::move(*ep);
@@ -235,6 +238,29 @@ TEST_F(PrixE2eTest, RandomizedAgreementExactQueries) {
     ExpectAgreesWithOracle(docs, pattern, MatchSemantics::kOrdered, dict);
   }
   EXPECT_GT(checked, 20);
+}
+
+TEST_F(PrixE2eTest, RandomizedAgreementCompressedIndexes) {
+  // Same agreement property over v3 compressed indexes, forced on
+  // regardless of PRIX_COMPRESS: answers must be independent of the
+  // on-disk encoding (compression_test.cc additionally diffs the two
+  // encodings against each other through the catalog).
+  TagDictionary dict;
+  Random rng(7007);
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 30;
+  std::vector<Document> docs = RandomCollection(rng, 60, &dict, doc_opts);
+  BuildIndexes(docs, PrixIndexOptions::Labeling::kExact, /*compress=*/true);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Document& doc = docs[rng.Uniform(docs.size())];
+    TwigPattern pattern = RandomTwig(rng, doc, &dict);
+    if (pattern.num_nodes() < 2) continue;
+    ++checked;
+    SCOPED_TRACE(TwigToString(pattern, dict));
+    ExpectAgreesWithOracle(docs, pattern, MatchSemantics::kOrdered, dict);
+  }
+  EXPECT_GT(checked, 15);
 }
 
 TEST_F(PrixE2eTest, RandomizedAgreementWildcardQueries) {

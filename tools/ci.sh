@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # The full gate, staged by ctest label (tests/CMakeLists.txt):
 #   1. plain build + tier1 (fast correctness tests)
-#   2. faults tier (fault-injection / crash-recovery matrices)
-#   3. corruption tier (single-page garble fuzz, scrub, salvage)
-#   4. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
-#   5. ASan/UBSan suite
-#   6. fault suite again under ASan (error paths are where pins leak)
-#   7. corruption fuzz under ASan/UBSan, swept over fixed seeds — garbled
-#      pages must produce clean Status errors, never UB
-#   8. TSan concurrency suite
+#   2. tier1 again with PRIX_COMPRESS=1 — every index the suite builds uses
+#      the v3 compressed formats (DESIGN.md §5h); answers must not change
+#   3. faults tier (fault-injection / crash-recovery matrices)
+#   4. corruption tier (single-page garble fuzz, scrub, salvage)
+#   5. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
+#   6. ASan/UBSan suite
+#   7. fault suite again under ASan (error paths are where pins leak)
+#   8. corruption fuzz under ASan/UBSan, swept over fixed seeds and both
+#      formats — garbled pages must produce clean Status errors, never UB
+#   9. TSan concurrency suite
 # Each stage uses its own build tree, so rerunning after a fix is
-# incremental; stage 5 reuses stage 4's tree. Fast feedback first: a tier1
+# incremental; stage 7 reuses stage 6's tree. Fast feedback first: a tier1
 # regression fails the gate before any slow matrix or sanitizer build runs.
 #
 # Usage: tools/ci.sh
@@ -18,38 +20,47 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== 1/8 build + tier1 tests ===="
+echo "==== 1/9 build + tier1 tests ===="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 
-echo "==== 2/8 fault-injection tier ===="
+echo "==== 2/9 tier1 with compressed (v3) index formats ===="
+PRIX_COMPRESS=1 ctest --test-dir build -L tier1 --output-on-failure \
+  -j "$(nproc)"
+
+echo "==== 3/9 fault-injection tier ===="
 ctest --test-dir build -L faults --output-on-failure -j "$(nproc)"
 
-echo "==== 3/8 corruption tier ===="
+echo "==== 4/9 corruption tier ===="
 ctest --test-dir build -L corruption --output-on-failure -j "$(nproc)"
 
-echo "==== 4/8 metrics overhead guard ===="
+echo "==== 5/9 metrics overhead guard ===="
 tools/check_metrics_overhead.sh
 
-echo "==== 5/8 AddressSanitizer + UBSan ===="
+echo "==== 6/9 AddressSanitizer + UBSan ===="
 tools/check_asan.sh build-asan
 
-echo "==== 6/8 fault injection + crash simulation under ASan ===="
+echo "==== 7/9 fault injection + crash simulation under ASan ===="
 tools/check_faults.sh build-asan
 
-echo "==== 7/8 corruption fuzz under ASan, fixed seed sweep ===="
+echo "==== 8/9 corruption fuzz under ASan, fixed seed sweep ===="
 # Each seed garbles every page of a differently-shaped index file; the
 # sweep is deterministic so a failure reproduces with the printed seed.
+# PRIX_COMPRESS flips the default-format sweep to v3, so each seed covers
+# garbled fixed-width AND garbled delta/varint pages (the explicitly
+# compressed sweep inside corruption_test runs in both passes regardless).
 for seed in 1 42 20260806; do
-  echo "---- corruption fuzz: seed $seed ----"
-  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
-  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
-  PRIX_CORRUPTION_SEED="$seed" ctest --test-dir build-asan \
-    -R corruption_test --output-on-failure
+  for compress in 0 1; do
+    echo "---- corruption fuzz: seed $seed compress $compress ----"
+    ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    PRIX_CORRUPTION_SEED="$seed" PRIX_COMPRESS="$compress" \
+    ctest --test-dir build-asan -R corruption_test --output-on-failure
+  done
 done
 
-echo "==== 8/8 ThreadSanitizer ===="
+echo "==== 9/9 ThreadSanitizer ===="
 tools/check_tsan.sh build-tsan
 
 echo "==== CI: all stages green ===="

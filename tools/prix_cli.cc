@@ -1,8 +1,13 @@
 // prix — command-line front end to the PRIX index.
 //
-//   prix index  <db-file> <xml-file>...   build RP+EP indexes over the
+//   prix index [--compress] <db-file> <xml-file>...
+//                                         build RP+EP indexes over the
 //                                         record children of each file's
-//                                         root element and persist them
+//                                         root element and persist them;
+//                                         --compress stores the v3 formats
+//                                         (delta-coded B+-tree leaves,
+//                                         varint doc records); readers pick
+//                                         the format up from the catalog
 //   prix query [--trace] [--metrics] <db-file> <xpath>...
 //                                         run twig queries against a
 //                                         previously built database;
@@ -105,7 +110,7 @@ Status LoadDictionary(Database* db, TagDictionary* dict) {
   return Status::OK();
 }
 
-int CmdIndex(const std::string& path, int argc, char** argv) {
+int CmdIndex(const std::string& path, bool compress, int argc, char** argv) {
   DocumentCollection coll;
   for (int i = 0; i < argc; ++i) {
     auto text = ReadFile(argv[i]);
@@ -134,11 +139,14 @@ int CmdIndex(const std::string& path, int argc, char** argv) {
   auto db = Database::Create(path);
   if (!db.ok()) return Fail(db.status().ToString());
   PrixIndexBuildStats rp_stats, ep_stats;
-  auto rp = PrixIndex::Build(coll.documents, (*db)->pool(),
-                             PrixIndexOptions{}, &rp_stats);
+  PrixIndexOptions rp_opts;
+  rp_opts.compress = compress;
+  auto rp = PrixIndex::Build(coll.documents, (*db)->pool(), rp_opts,
+                             &rp_stats);
   if (!rp.ok()) return Fail(rp.status().ToString());
   PrixIndexOptions ep_opts;
   ep_opts.extended = true;
+  ep_opts.compress = compress;
   auto ep =
       PrixIndex::Build(coll.documents, (*db)->pool(), ep_opts, &ep_stats);
   if (!ep.ok()) return Fail(ep.status().ToString());
@@ -305,7 +313,7 @@ int CmdVerify(const std::string& path, bool salvage,
 int Main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: prix index <db> <xml>...\n"
+                 "usage: prix index [--compress] <db> <xml>...\n"
                  "       prix query [--trace] [--metrics] <db> <xpath>...\n"
                  "       prix stats <db>\n"
                  "       prix verify [--salvage] <db> [<out>]\n");
@@ -316,6 +324,7 @@ int Main(int argc, char** argv) {
   bool trace = false;
   bool metrics = false;
   bool salvage = false;
+  bool compress = false;
   int arg = 2;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strcmp(argv[arg], "--trace") == 0) {
@@ -324,6 +333,10 @@ int Main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[arg], "--salvage") == 0) {
       salvage = true;
+    } else if (std::strcmp(argv[arg], "--compress") == 0) {
+      // Build with the v3 compressed formats (DESIGN.md §5h). Reading needs
+      // no flag: the index catalog records its format version.
+      compress = true;
     } else {
       return Fail(std::string("unknown flag: ") + argv[arg]);
     }
@@ -332,7 +345,7 @@ int Main(int argc, char** argv) {
   if (arg >= argc) return Fail("missing database path");
   std::string path = argv[arg++];
   if (cmd == "index" && arg < argc) {
-    return CmdIndex(path, argc - arg, argv + arg);
+    return CmdIndex(path, compress, argc - arg, argv + arg);
   }
   if (cmd == "query" && arg < argc) {
     return CmdQuery(path, argc - arg, argv + arg, trace, metrics);
