@@ -1,0 +1,225 @@
+// Online-ingest benchmark (DESIGN.md §5i): insert throughput into a live
+// PRIX index, alone and under concurrent snapshot readers, plus the reader
+// latency those readers observe while the writer churns. Two phases over a
+// DBLP-analog collection:
+//
+//   1. solo ingest  - one writer inserts the second half of the collection
+//                     document by document, no readers. Reports docs/sec
+//                     and the per-insert latency distribution.
+//   2. contended    - the writer re-ingests at the same rate while reader
+//                     threads run the Table-3 DBLP query mix through
+//                     ExecuteXPathBatchSnapshot in a closed loop. Reports
+//                     both sides: insert throughput under readers and the
+//                     readers' per-batch p50/p95 — the number that shows
+//                     whether snapshot isolation keeps readers off the
+//                     writer's lock path.
+//
+// Emits BENCH_ingest.json. PRIX_COMPRESS selects the on-disk format;
+// PRIX_BENCH_SCALE scales the collection.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "prix/query_driver.h"
+
+using namespace prix;
+using namespace prix::bench;
+
+namespace {
+
+constexpr const char* kReaderQueries[] = {kQ1, kQ2, kQ3};
+constexpr size_t kReaderThreads = 2;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct IngestPhase {
+  size_t docs = 0;
+  double seconds = 0;
+  double docs_per_sec = 0;
+  uint64_t insert_p50_us = 0;
+  uint64_t insert_p95_us = 0;
+  uint64_t insert_max_us = 0;
+};
+
+// Inserts documents [begin, end) of `coll` one commit at a time.
+Status IngestRange(Database* db, const DocumentCollection& coll, size_t begin,
+                   size_t end, MetricHistogram* latency, IngestPhase* out) {
+  double t0 = Now();
+  for (size_t i = begin; i < end; ++i) {
+    double s = Now();
+    auto id = db->InsertDocument("rp", coll.documents[i]);
+    if (!id.ok()) return id.status();
+    latency->Record(static_cast<uint64_t>((Now() - s) * 1e6));
+  }
+  out->docs = end - begin;
+  out->seconds = Now() - t0;
+  out->docs_per_sec = out->docs / out->seconds;
+  out->insert_p50_us = latency->Percentile(0.5);
+  out->insert_p95_us = latency->Percentile(0.95);
+  out->insert_max_us = latency->max();
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  double scale = ScaleFromEnv();
+  DocumentCollection coll = MakeDataset("DBLP", scale);
+  const size_t total = coll.documents.size();
+  const size_t seed_count = total / 2;
+  std::printf("Online ingest bench: DBLP analog, %zu docs (%zu seed + %zu "
+              "ingested), compressed=%d\n",
+              total, seed_count, total - seed_count, CompressFromEnv());
+
+  char dir[] = "/tmp/prix_bench_ingest_XXXXXX";
+  if (mkdtemp(dir) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string path = std::string(dir) + "/ingest.prix";
+  auto db = Database::Create(path, Database::Options{.pool_pages = 2000});
+  if (!db.ok()) {
+    std::fprintf(stderr, "create: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Seed: bulk-build the first half with the dynamic labeler, the
+  // configuration online ingest is designed for.
+  std::vector<Document> seed(coll.documents.begin(),
+                             coll.documents.begin() + seed_count);
+  PrixIndexOptions options;
+  options.labeling = PrixIndexOptions::Labeling::kDynamic;
+  auto index = PrixIndex::Build(seed, (*db)->pool(), options);
+  if (!index.ok() || !(*index)->Save(db->get(), "rp").ok()) {
+    std::fprintf(stderr, "seed build failed\n");
+    return 1;
+  }
+
+  // Phase 1: solo ingest of the third quarter.
+  const size_t solo_end = seed_count + (total - seed_count) / 2;
+  MetricHistogram solo_latency;
+  IngestPhase solo;
+  if (Status st =
+          IngestRange(db->get(), coll, seed_count, solo_end, &solo_latency,
+                      &solo);
+      !st.ok()) {
+    std::fprintf(stderr, "solo ingest: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  solo ingest:      %6zu docs in %7.3fs = %8.1f docs/s "
+              "(p50 %lu us, p95 %lu us)\n",
+              solo.docs, solo.seconds, solo.docs_per_sec,
+              (unsigned long)solo.insert_p50_us,
+              (unsigned long)solo.insert_p95_us);
+
+  // Phase 2: ingest the final quarter under concurrent snapshot readers.
+  const std::vector<std::string> mix(kReaderQueries, kReaderQueries + 3);
+  MetricHistogram reader_latency;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<bool> reader_failed{false};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaderThreads; ++r) {
+    readers.emplace_back([&] {
+      QueryDriver driver(**db, nullptr, nullptr, 2);
+      while (!stop.load(std::memory_order_relaxed)) {
+        double s = Now();
+        auto batch = driver.ExecuteXPathBatchSnapshot("rp", "", mix,
+                                                      &coll.dictionary);
+        if (!batch.ok()) {
+          std::fprintf(stderr, "reader batch: %s\n",
+                       batch.status().ToString().c_str());
+          reader_failed.store(true);
+          return;
+        }
+        reader_latency.Record(static_cast<uint64_t>((Now() - s) * 1e6));
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  MetricHistogram contended_latency;
+  IngestPhase contended;
+  Status st = IngestRange(db->get(), coll, solo_end, total,
+                          &contended_latency, &contended);
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  if (!st.ok() || reader_failed.load()) {
+    std::fprintf(stderr, "contended ingest: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  contended ingest: %6zu docs in %7.3fs = %8.1f docs/s "
+              "(p50 %lu us, p95 %lu us)\n",
+              contended.docs, contended.seconds, contended.docs_per_sec,
+              (unsigned long)contended.insert_p50_us,
+              (unsigned long)contended.insert_p95_us);
+  std::printf("  readers:          %6lu batches of %zu queries, p50 %lu us, "
+              "p95 %lu us, max %lu us\n",
+              (unsigned long)batches.load(), mix.size(),
+              (unsigned long)reader_latency.Percentile(0.5),
+              (unsigned long)reader_latency.Percentile(0.95),
+              (unsigned long)reader_latency.max());
+
+  if (Status close = (*db)->Close(); !close.ok()) {
+    std::fprintf(stderr, "close: %s\n", close.ToString().c_str());
+    return 1;
+  }
+  std::remove(path.c_str());
+  ::rmdir(dir);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("ingest");
+  w.Key("scale").Double(scale);
+  w.Key("compressed").Bool(CompressFromEnv());
+  w.Key("total_docs").UInt(total);
+  w.Key("seed_docs").UInt(seed_count);
+  auto phase = [&](const char* name, const IngestPhase& p) {
+    w.Key(name).BeginObject();
+    w.Key("docs").UInt(p.docs);
+    w.Key("seconds").Double(p.seconds);
+    w.Key("docs_per_sec").Double(p.docs_per_sec);
+    w.Key("insert_p50_us").UInt(p.insert_p50_us);
+    w.Key("insert_p95_us").UInt(p.insert_p95_us);
+    w.Key("insert_max_us").UInt(p.insert_max_us);
+    w.EndObject();
+  };
+  phase("solo", solo);
+  phase("contended", contended);
+  w.Key("readers").BeginObject();
+  w.Key("threads").UInt(kReaderThreads);
+  w.Key("queries_per_batch").UInt(mix.size());
+  w.Key("batches").UInt(batches.load());
+  w.Key("batch_p50_us").UInt(reader_latency.Percentile(0.5));
+  w.Key("batch_p95_us").UInt(reader_latency.Percentile(0.95));
+  w.Key("batch_max_us").UInt(reader_latency.max());
+  w.EndObject();
+  w.EndObject();
+  std::string doc = w.Take();
+  if (Status v = ValidateJson(doc); !v.ok()) {
+    std::fprintf(stderr, "BENCH_ingest.json would be invalid: %s\n",
+                 v.ToString().c_str());
+    return 1;
+  }
+  FILE* json = std::fopen("BENCH_ingest.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_ingest.json\n");
+    return 1;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), json);
+  std::fputc('\n', json);
+  std::fclose(json);
+  std::printf("wrote BENCH_ingest.json\n");
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/varint.h"
 #include "storage/buffer_pool.h"
+#include "storage/cow.h"
 #include "storage/page_format.h"
 
 namespace prix {
@@ -43,17 +44,23 @@ struct SalvageStats {
 /// - Keys are unique; callers needing duplicates append a sequence number to
 ///   the key (all in-tree composite keys do this).
 /// - `Compare` is a strict weak order over Key.
-/// - Supported operations: Insert, Get, Delete (lazy, no rebalancing),
+/// - Supported operations: Insert, Get, Delete (with empty-node unlinking —
+///   freed pages are reported to the CowContext when one is installed),
 ///   ordered iteration via Iterator with Seek/Next.
 ///
-/// Concurrency (single-writer rule, see DESIGN.md): the read paths — Get,
-/// Seek, SeekToFirst, and Iterator traversal — are safe from any number of
+/// Concurrency (DESIGN.md §5c/§5i): the read paths — Get, Seek,
+/// SeekToFirst, and Iterator traversal — are safe from any number of
 /// threads over a thread-safe BufferPool. They hold page pins frame by
 /// frame via PageGuard, keep no shared mutable state (the cached `meta_` is
 /// written only by Create/Open/Insert/Delete), and never write page
-/// payloads. Insert/Delete/Create are NOT safe against any concurrent
-/// access to the same tree; index builds must finish, single-threaded,
-/// before readers start.
+/// payloads. Insert/Delete/Create are NOT safe against concurrent writers
+/// on the same tree (one writer at a time). Readers may run concurrently
+/// with a writer ONLY under the copy-on-write protocol: the writer
+/// installs a CowContext (SetCow) so every mutation lands on pages no
+/// committed generation can reach, while readers traverse from the root
+/// recorded in the generation their snapshot pins. Without a CowContext
+/// (bulk builds) the single-writer rule of old applies: the build must
+/// finish before readers start.
 ///
 /// Corruption defense (DESIGN.md §5g): the page trailer CRC catches bytes
 /// the disk changed; the checks here catch bytes that are internally
@@ -137,18 +144,21 @@ class BPlusTree {
   /// Creates an empty tree: allocates a meta page and an empty root leaf.
   /// `compressed_leaves` selects the v3 delta-coded leaf format; it must be
   /// passed identically to every later Open (the owning index's catalog
-  /// records it).
+  /// records it). A non-null `cow` registers the new pages as
+  /// transaction-fresh (trees created inside a write transaction).
   static Result<BPlusTree> Create(BufferPool* pool, Compare cmp = Compare(),
-                                  bool compressed_leaves = false) {
+                                  bool compressed_leaves = false,
+                                  CowContext* cow = nullptr) {
     BPlusTree tree;
     tree.pool_ = pool;
     tree.cmp_ = cmp;
     tree.compressed_ = compressed_leaves;
-    PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool->NewPage());
+    tree.cow_ = cow;
+    PRIX_ASSIGN_OR_RETURN(Page * meta_page, tree.AllocNode());
     tree.meta_page_id_ = meta_page->page_id();
     SetPageType(meta_page->data(), PageType::kBtreeMeta);
     pool->UnpinPage(tree.meta_page_id_, /*dirty=*/true);
-    PRIX_ASSIGN_OR_RETURN(Page * root, pool->NewPage());
+    PRIX_ASSIGN_OR_RETURN(Page * root, tree.AllocNode());
     InitNode(root, /*is_leaf=*/true, /*level=*/0, tree.LeafFormatByte());
     tree.meta_.root = root->page_id();
     tree.meta_.height = 1;
@@ -191,22 +201,30 @@ class BPlusTree {
   uint32_t height() const { return meta_.height; }
   bool compressed_leaves() const { return compressed_; }
 
+  /// Installs (or, with nullptr, removes) the copy-on-write context. With a
+  /// context set, every mutation copies committed pages aside first and the
+  /// meta page id CHANGES on the first SaveMeta of the transaction — the
+  /// caller must re-record meta_page_id() when it publishes new roots.
+  void SetCow(CowContext* cow) { cow_ = cow; }
+
   /// Inserts (key, value). Fails with AlreadyExists on duplicate key.
   Status Insert(const Key& key, const Value& value) {
     SplitResult split;
+    PageId new_root = meta_.root;
     PRIX_RETURN_NOT_OK(InsertRecursive(meta_.root,
                                        static_cast<int>(meta_.height) - 1,
-                                       key, value, &split));
+                                       key, value, &split, &new_root));
+    meta_.root = new_root;
     if (split.happened) {
       // Grow a new root: children are the old root and the split sibling.
-      PRIX_ASSIGN_OR_RETURN(Page * new_root, pool_->NewPage());
-      InitNode(new_root, /*is_leaf=*/false, /*level=*/meta_.height);
-      SetExtra(new_root, meta_.root);
-      SetCount(new_root, 1);
-      WriteInternalEntry(new_root, 0, split.separator, split.right);
-      meta_.root = new_root->page_id();
+      PRIX_ASSIGN_OR_RETURN(Page * new_root_page, AllocNode());
+      InitNode(new_root_page, /*is_leaf=*/false, /*level=*/meta_.height);
+      SetExtra(new_root_page, meta_.root);
+      SetCount(new_root_page, 1);
+      WriteInternalEntry(new_root_page, 0, split.separator, split.right);
+      meta_.root = new_root_page->page_id();
       ++meta_.height;
-      pool_->UnpinPage(new_root->page_id(), /*dirty=*/true);
+      pool_->UnpinPage(new_root_page->page_id(), /*dirty=*/true);
     }
     ++meta_.num_entries;
     return SaveMeta();
@@ -247,169 +265,162 @@ class BPlusTree {
     }
   }
 
-  /// Removes `key` from its leaf (no rebalancing — deletes are rare in every
-  /// workload this library serves, so space is reclaimed only by rebuild).
-  /// Returns NotFound if absent.
+  /// Removes `key`. Returns NotFound if absent — checked before any page is
+  /// mutated or copied, so a NotFound delete leaves no trace. A leaf that
+  /// becomes empty is unlinked from its parent and its page freed (into the
+  /// CowContext when one is installed), cascading up through internal nodes
+  /// that lose their last child; the root collapses when it is an internal
+  /// node with a single remaining child. An empty tree keeps one empty root
+  /// leaf, exactly as Create made it — iteration relies on no OTHER leaf
+  /// ever being empty.
   Status Delete(const Key& key) {
-    PageId node = meta_.root;
-    int level = static_cast<int>(meta_.height) - 1;
-    while (true) {
-      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
-      PageGuard guard(pool_, page);
-      PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
-      if (IsLeaf(page)) {
-        if (compressed_) {
-          PRIX_RETURN_NOT_OK(DeleteFromCompressedLeaf(page, &guard, key));
-        } else {
-          int idx = LeafLowerBound(page, key);
-          int count = Count(page);
-          if (idx >= count) return Status::NotFound("key not in tree");
-          Key k;
-          Value v;
-          ReadLeafEntry(page, idx, &k, &v);
-          if (cmp_(key, k) || cmp_(k, key)) {
-            return Status::NotFound("key not in tree");
-          }
-          // Shift the tail left by one entry.
-          char* base = page->data() + kHeaderSize + idx * kLeafStride;
-          std::memmove(base, base + kLeafStride,
-                       (count - idx - 1) * kLeafStride);
-          SetCount(page, count - 1);
-          guard.MarkDirty();
-        }
-        --meta_.num_entries;
-        return SaveMeta();
-      }
-      node = ChildForKey(page, key);
-      --level;
+    PageId new_root = meta_.root;
+    bool freed = false;
+    PRIX_RETURN_NOT_OK(DeleteRecursive(meta_.root,
+                                       static_cast<int>(meta_.height) - 1,
+                                       /*is_root=*/true, key, &new_root,
+                                       &freed));
+    meta_.root = new_root;
+    if (freed) {
+      // The whole tree emptied: recreate the empty root leaf.
+      PRIX_ASSIGN_OR_RETURN(Page * root, AllocNode());
+      InitNode(root, /*is_leaf=*/true, /*level=*/0, LeafFormatByte());
+      meta_.root = root->page_id();
+      meta_.height = 1;
+      pool_->UnpinPage(root->page_id(), /*dirty=*/true);
+    } else {
+      PRIX_RETURN_NOT_OK(CollapseRoot());
     }
+    --meta_.num_entries;
+    return SaveMeta();
   }
 
   /// Forward iterator over (key, value) pairs in key order.
   ///
-  /// Fixed-format leaves are read in place under a page pin. Compressed
-  /// leaves are decoded into an owned cache on arrival and the pin is
-  /// dropped immediately, so iteration never holds a pin across a
-  /// compressed leaf (decoding already copied everything out).
+  /// Each leaf is decoded/copied into an owned cache on arrival and its pin
+  /// dropped immediately, so iteration never holds a page pin across user
+  /// code. Advancing past a leaf does NOT follow the on-page next-leaf
+  /// chain: copy-on-write writers leave those pointers stale by design (a
+  /// superseded leaf's left neighbor still names the old page), so the
+  /// iterator instead remembers, from every internal node it descended
+  /// through, the child subtrees to the right of its path and jumps to the
+  /// nearest such subtree's leftmost leaf. Under the snapshot protocol all
+  /// of those page ids stay valid as long as the reader's snapshot is
+  /// pinned; no page a concurrent writer touches is ever reachable from
+  /// this iterator's root.
   class Iterator {
    public:
     Iterator() = default;
 
-    bool Valid() const {
-      if (tree_ == nullptr) return false;
-      if (tree_->compressed_) return index_ < static_cast<int>(cache_.size());
-      return static_cast<bool>(guard_);
-    }
-    const Key& key() const { return key_; }
-    const Value& value() const { return value_; }
+    bool Valid() const { return pos_ < cache_.size(); }
+    const Key& key() const { return cache_[pos_].key; }
+    const Value& value() const { return cache_[pos_].value; }
 
     /// Advances to the next entry; invalidates at the end.
     Status Next() {
       PRIX_DCHECK(Valid());
-      ++index_;
-      return LoadCurrent();
+      ++pos_;
+      if (pos_ < cache_.size()) return Status::OK();
+      if (pending_.empty()) {
+        cache_.clear();
+        pos_ = 0;
+        return Status::OK();  // end of tree
+      }
+      PendingSubtree next = pending_.back();
+      pending_.pop_back();
+      return DescendFrom(next.id, next.level, /*seek_key=*/nullptr);
     }
 
    private:
     friend class BPlusTree;
 
-    /// Positions on the current entry, hopping to the next leaf as needed.
-    Status LoadCurrent() {
+    /// An internal-node child to the right of the descent path; everything
+    /// under it is greater than every key the iterator has produced.
+    struct PendingSubtree {
+      PageId id;
+      int level;
+    };
+
+    /// Descends from `node` (at `level`) to the leaf holding the first key
+    /// >= *seek_key (the subtree's leftmost leaf when null) and fills the
+    /// cache. Right-sibling children of every internal node on the path are
+    /// stacked rightmost-first, so the nearest unexplored subtree ends on
+    /// top. If the reached leaf has no entry at or after the position, the
+    /// descent continues into the next pending subtree until an entry or
+    /// the end of the tree is found.
+    Status DescendFrom(PageId node, int level, const Key* seek_key) {
+      cache_.clear();
+      pos_ = 0;
       while (true) {
-        PageId next = kInvalidPage;
-        if (tree_->compressed_) {
-          if (index_ < static_cast<int>(cache_.size())) {
-            key_ = cache_[index_].key;
-            value_ = cache_[index_].value;
-            return Status::OK();
-          }
-          next = next_leaf_;
-          next_leaf_ = kInvalidPage;
-          if (next == kInvalidPage) {
-            cache_.clear();  // end
-            return Status::OK();
-          }
-        } else {
-          if (guard_) {
-            if (index_ < Count(guard_.get())) {
-              ReadLeafEntry(guard_.get(), index_, &key_, &value_);
-              return Status::OK();
-            }
-            next = Extra(guard_.get());
-            guard_.Release();
-          }
-          if (next == kInvalidPage) return Status::OK();  // end
-        }
-        // A corrupt next-leaf pointer can form a cycle the per-node checks
-        // cannot see (every node in it is individually valid); bound the
-        // chain by the file size, which any acyclic chain satisfies. The
-        // bound is in leaf *pages*, so it holds no matter how many entries
-        // a compressed leaf packs.
+        // A corrupt child pointer can form a cycle the per-node checks
+        // cannot see (every node in it is individually valid). An honest
+        // traversal fetches each tree node at most once over the whole
+        // iteration, so the lifetime total is bounded by the file size.
         if (++hops_ > tree_->pool_->disk()->num_pages()) {
           return Status::Corruption(
-              "B+-tree leaf chain does not terminate (cycle via page " +
-              std::to_string(next) + ")");
+              "B+-tree iteration does not terminate (cycle via page " +
+              std::to_string(node) + ")");
         }
-        PRIX_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(next));
+        PRIX_ASSIGN_OR_RETURN(Page * page, tree_->pool_->FetchPage(node));
         ChargeBtreeNode();
         PageGuard guard(tree_->pool_, page);
-        PRIX_RETURN_NOT_OK(tree_->CheckNode(page, next, /*expected_level=*/0));
-        if (tree_->compressed_) {
-          PRIX_RETURN_NOT_OK(tree_->DecodeCompressedLeaf(page, next, &cache_));
-          next_leaf_ = Extra(page);
-        } else {
-          guard_ = std::move(guard);
+        PRIX_RETURN_NOT_OK(tree_->CheckNode(page, node, level));
+        if (IsLeaf(page)) {
+          PRIX_RETURN_NOT_OK(tree_->FillCache(page, node, &cache_));
+          guard.Release();
+          pos_ = seek_key == nullptr
+                     ? 0
+                     : static_cast<size_t>(
+                           tree_->LowerBoundEntries(cache_, *seek_key) -
+                           cache_.begin());
+          if (pos_ < cache_.size()) return Status::OK();
+          if (pending_.empty()) {
+            cache_.clear();
+            pos_ = 0;
+            return Status::OK();  // end of tree
+          }
+          node = pending_.back().id;
+          level = pending_.back().level;
+          pending_.pop_back();
+          seek_key = nullptr;  // everything there is greater anyway
+          continue;
         }
-        index_ = 0;
+        int count = Count(page);
+        int slot = seek_key == nullptr
+                       ? 0
+                       : tree_->ChildSlotForKey(page, *seek_key);
+        for (int s = count; s > slot; --s) {
+          pending_.push_back(PendingSubtree{ChildAtSlot(page, s), level - 1});
+        }
+        node = ChildAtSlot(page, slot);
+        guard.Release();
+        --level;
       }
     }
 
     const BPlusTree* tree_ = nullptr;
-    PageGuard guard_;                           // fixed-format leaves only
-    std::vector<LeafEntryKV> cache_;            // compressed leaves only
-    PageId next_leaf_ = kInvalidPage;           // compressed leaves only
-    int index_ = 0;
+    std::vector<LeafEntryKV> cache_;  ///< current leaf, copied/decoded out
+    size_t pos_ = 0;                  ///< position within cache_
+    std::vector<PendingSubtree> pending_;  ///< unexplored subtrees, nearest last
     uint64_t hops_ = 0;
-    Key key_{};
-    Value value_{};
   };
 
   /// Iterator positioned at the first entry with key >= `key`.
   Result<Iterator> Seek(const Key& key) const {
-    PageId node = meta_.root;
-    int level = static_cast<int>(meta_.height) - 1;
-    uint64_t visited = 0;
-    while (true) {
-      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
-      ++visited;
-      PageGuard guard(pool_, page);  // no error return may leak this pin
-      PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
-      if (IsLeaf(page)) {
-        ChargeBtreeNodes(visited);
-        return MakeLeafIterator(std::move(guard), page, &key);
-      }
-      node = ChildForKey(page, key);
-      --level;
-    }
+    Iterator it;
+    it.tree_ = this;
+    PRIX_RETURN_NOT_OK(it.DescendFrom(
+        meta_.root, static_cast<int>(meta_.height) - 1, &key));
+    return it;
   }
 
   /// Iterator positioned at the smallest entry.
   Result<Iterator> SeekToFirst() const {
-    PageId node = meta_.root;
-    int level = static_cast<int>(meta_.height) - 1;
-    uint64_t visited = 0;
-    while (true) {
-      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
-      ++visited;
-      PageGuard guard(pool_, page);  // no error return may leak this pin
-      PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
-      if (IsLeaf(page)) {
-        ChargeBtreeNodes(visited);
-        return MakeLeafIterator(std::move(guard), page, /*seek_key=*/nullptr);
-      }
-      node = Extra(page);  // leftmost child
-      --level;
-    }
+    Iterator it;
+    it.tree_ = this;
+    PRIX_RETURN_NOT_OK(it.DescendFrom(
+        meta_.root, static_cast<int>(meta_.height) - 1, /*seek_key=*/nullptr));
+    return it;
   }
 
   /// Structural scrub/salvage walk: visits every node reachable from the
@@ -434,6 +445,10 @@ class BPlusTree {
   // Exposed for tests.
   static constexpr int LeafCapacity() { return kLeafCapacity; }
   static constexpr int InternalCapacity() { return kInternalCapacity; }
+  static constexpr size_t CompressedInsertLimit() {
+    return kCompressedInsertLimit;
+  }
+  static constexpr size_t MaxEntryEncoded() { return kMaxEntryEncoded; }
 
  private:
   static constexpr uint16_t kNodeMagic = 0xb7e3;
@@ -758,35 +773,26 @@ class BPlusTree {
     return lo;
   }
 
-  /// Builds an iterator positioned within the just-reached leaf: at the
-  /// lower bound of `*seek_key`, or at the first entry when null.
-  Result<Iterator> MakeLeafIterator(PageGuard guard, Page* page,
-                                    const Key* seek_key) const {
-    Iterator it;
-    it.tree_ = this;
-    if (compressed_) {
-      PRIX_RETURN_NOT_OK(
-          DecodeCompressedLeaf(page, page->page_id(), &it.cache_));
-      it.next_leaf_ = Extra(page);
-      guard.Release();
-      it.index_ =
-          seek_key == nullptr
-              ? 0
-              : static_cast<int>(LowerBoundEntries(it.cache_, *seek_key) -
-                                 it.cache_.begin());
-    } else {
-      it.index_ = seek_key == nullptr ? 0 : LeafLowerBound(page, *seek_key);
-      it.guard_ = std::move(guard);
+  /// Copies (fixed) or decodes (compressed) a leaf's entries into `out`.
+  Status FillCache(const Page* page, PageId id,
+                   std::vector<LeafEntryKV>* out) const {
+    if (compressed_) return DecodeCompressedLeaf(page, id, out);
+    int count = Count(page);
+    out->clear();
+    out->reserve(count);
+    for (int i = 0; i < count; ++i) {
+      LeafEntryKV e;
+      ReadLeafEntry(page, i, &e.key, &e.value);
+      out->push_back(e);
     }
-    PRIX_RETURN_NOT_OK(it.LoadCurrent());
-    return it;
+    return Status::OK();
   }
 
-  /// Child page to descend into for `key`: entries hold keys >= separator,
-  /// so take the last entry whose separator is <= key, else leftmost child.
-  PageId ChildForKey(const Page* page, const Key& key) const {
+  /// Child slot to descend into for `key`: slot 0 is the leftmost child
+  /// (Extra), slot i > 0 is entry i-1's child. Entries hold keys >=
+  /// separator, so this is the upper bound over separators.
+  int ChildSlotForKey(const Page* page, const Key& key) const {
     int lo = 0, hi = Count(page);
-    // upper_bound over separators
     while (lo < hi) {
       int mid = (lo + hi) / 2;
       Key k;
@@ -798,16 +804,71 @@ class BPlusTree {
         lo = mid + 1;
       }
     }
-    if (lo == 0) return Extra(page);
+    return lo;
+  }
+
+  static PageId ChildAtSlot(const Page* page, int slot) {
+    if (slot == 0) return Extra(page);
     Key k;
     PageId c;
-    ReadInternalEntry(page, lo - 1, &k, &c);
+    ReadInternalEntry(page, slot - 1, &k, &c);
     return c;
+  }
+
+  static void SetChildAtSlot(Page* page, int slot, PageId child) {
+    if (slot == 0) {
+      SetExtra(page, child);
+      return;
+    }
+    Key k;
+    PageId c;
+    ReadInternalEntry(page, slot - 1, &k, &c);
+    WriteInternalEntry(page, slot - 1, k, child);
+  }
+
+  PageId ChildForKey(const Page* page, const Key& key) const {
+    return ChildAtSlot(page, ChildSlotForKey(page, key));
+  }
+
+  /// Allocates a node page, registering it as transaction-fresh.
+  Result<Page*> AllocNode() {
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
+    if (cow_ != nullptr) cow_->MarkFresh(page->page_id());
+    return page;
+  }
+
+  /// The copy-on-write barrier: with a CowContext installed, a page that a
+  /// committed generation can reach is copied to a fresh page before it is
+  /// written, the original marked superseded; pages this transaction
+  /// allocated are edited in place. `page`/`guard` are re-pointed at the
+  /// writable copy. Without a context this is a no-op (bulk builds own
+  /// their pages outright).
+  Status MakeMutable(Page** page, PageGuard* guard) {
+    if (cow_ == nullptr || cow_->IsFresh((*page)->page_id())) {
+      return Status::OK();
+    }
+    PRIX_ASSIGN_OR_RETURN(Page * copy, pool_->NewPage());
+    cow_->MarkFresh(copy->page_id());
+    PageGuard copy_guard(pool_, copy);
+    std::memcpy(copy->data(), (*page)->data(), kPageSize);
+    cow_->MarkFreed((*page)->page_id());
+    *page = copy;
+    *guard = std::move(copy_guard);
+    guard->MarkDirty();
+    return Status::OK();
   }
 
   Status SaveMeta() {
     PRIX_ASSIGN_OR_RETURN(Page * meta_page, pool_->FetchPage(meta_page_id_));
     PageGuard guard(pool_, meta_page);
+    // The meta page follows the same COW rule as every node: snapshots of
+    // older generations keep reading their own (root, height) through their
+    // own meta page, so it must never be rewritten in place mid-transaction.
+    PRIX_RETURN_NOT_OK(MakeMutable(&meta_page, &guard));
+    if (meta_page->page_id() != meta_page_id_) {
+      meta_page_id_ = meta_page->page_id();
+      SetPageType(meta_page->data(), PageType::kBtreeMeta);
+    }
     std::memcpy(meta_page->data(), &meta_, sizeof(Meta));
     guard.MarkDirty();
     return Status::OK();
@@ -887,32 +948,72 @@ class BPlusTree {
     return Status::OK();
   }
 
+  /// Inserts along the descent path. `*out_id` receives the node's id after
+  /// the call — under COW a touched node moves to a fresh page, and the
+  /// parent must re-point its child slot at the copy.
   Status InsertRecursive(PageId node, int level, const Key& key,
-                         const Value& value, SplitResult* split) {
+                         const Value& value, SplitResult* split,
+                         PageId* out_id) {
     PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
     PageGuard guard(pool_, page);
     PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
+    *out_id = node;
     if (IsLeaf(page)) {
       if (compressed_) {
-        return InsertIntoCompressedLeaf(page, &guard, key, value, split);
+        // Duplicate-key detection must precede the COW copy so a failed
+        // insert leaves no trace; the decode doubles as the check.
+        std::vector<LeafEntryKV> entries;
+        PRIX_RETURN_NOT_OK(DecodeCompressedLeaf(page, node, &entries));
+        auto pos = LowerBoundEntries(entries, key);
+        if (pos != entries.end() && !cmp_(key, pos->key)) {
+          return Status::AlreadyExists("duplicate key in B+-tree");
+        }
+        PRIX_RETURN_NOT_OK(MakeMutable(&page, &guard));
+        *out_id = page->page_id();
+        size_t idx = static_cast<size_t>(pos - entries.begin());
+        entries.insert(entries.begin() + idx, LeafEntryKV{key, value});
+        return FinishCompressedLeafInsert(page, &guard, entries, split);
       }
+      int idx = LeafLowerBound(page, key);
+      if (idx < Count(page)) {
+        Key k;
+        Value v;
+        ReadLeafEntry(page, idx, &k, &v);
+        if (!cmp_(key, k) && !cmp_(k, key)) {
+          return Status::AlreadyExists("duplicate key in B+-tree");
+        }
+      }
+      PRIX_RETURN_NOT_OK(MakeMutable(&page, &guard));
+      *out_id = page->page_id();
       return InsertIntoLeaf(page, &guard, key, value, split);
     }
-    PageId child = ChildForKey(page, key);
+    int slot = ChildSlotForKey(page, key);
+    PageId child = ChildAtSlot(page, slot);
     SplitResult child_split;
+    PageId child_new = child;
     {
       // Release the parent pin during the recursive descent to keep the
-      // pinned set small (depth is re-fetched only on split).
+      // pinned set small (depth is re-fetched only when it must change).
       guard.Release();
-      PRIX_RETURN_NOT_OK(
-          InsertRecursive(child, level - 1, key, value, &child_split));
+      PRIX_RETURN_NOT_OK(InsertRecursive(child, level - 1, key, value,
+                                         &child_split, &child_new));
     }
-    if (!child_split.happened) {
+    if (!child_split.happened && child_new == child) {
       split->happened = false;
       return Status::OK();
     }
     PRIX_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
     guard = PageGuard(pool_, page);
+    PRIX_RETURN_NOT_OK(MakeMutable(&page, &guard));
+    *out_id = page->page_id();
+    if (child_new != child) {
+      SetChildAtSlot(page, slot, child_new);
+      guard.MarkDirty();
+    }
+    if (!child_split.happened) {
+      split->happened = false;
+      return Status::OK();
+    }
     return InsertIntoInternal(page, &guard, child_split.separator,
                               child_split.right, split);
   }
@@ -939,7 +1040,7 @@ class BPlusTree {
       return Status::OK();
     }
     // Split: left keeps the lower half, right gets the rest.
-    PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
+    PRIX_ASSIGN_OR_RETURN(Page * right, AllocNode());
     PageGuard right_guard(pool_, right);
     InitNode(right, /*is_leaf=*/true, /*level=*/0);
     int left_count = (count + 1) / 2;
@@ -971,20 +1072,14 @@ class BPlusTree {
     return Status::OK();
   }
 
-  /// Compressed-leaf insert: decode, splice the new entry in, re-encode.
-  /// If the result exceeds the insert fill limit, split at the encoded-byte
-  /// midpoint so both halves land near half full regardless of how unevenly
-  /// the deltas compress.
-  Status InsertIntoCompressedLeaf(Page* page, PageGuard* guard,
-                                  const Key& key, const Value& value,
-                                  SplitResult* split) {
-    std::vector<LeafEntryKV> entries;
-    PRIX_RETURN_NOT_OK(DecodeCompressedLeaf(page, page->page_id(), &entries));
-    auto pos = LowerBoundEntries(entries, key);
-    if (pos != entries.end() && !cmp_(key, pos->key)) {
-      return Status::AlreadyExists("duplicate key in B+-tree");
-    }
-    entries.insert(pos, LeafEntryKV{key, value});
+  /// Compressed-leaf insert, after the caller decoded the leaf, verified
+  /// uniqueness, COW'd the page, and spliced the new entry into `entries`:
+  /// re-encode in place, or — past the insert fill limit — split at the
+  /// encoded-byte midpoint so both halves land near half full regardless of
+  /// how unevenly the deltas compress.
+  Status FinishCompressedLeafInsert(Page* page, PageGuard* guard,
+                                    const std::vector<LeafEntryKV>& entries,
+                                    SplitResult* split) {
     std::vector<char> payload;
     std::vector<size_t> sizes;
     EncodeCompressedLeaf(entries, &payload, &sizes);
@@ -1017,7 +1112,7 @@ class BPlusTree {
         right_payload.size() > kCompressedInsertLimit) {
       return Status::Internal("compressed leaf split produced an oversized half");
     }
-    PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
+    PRIX_ASSIGN_OR_RETURN(Page * right, AllocNode());
     PageGuard right_guard(pool_, right);
     InitNode(right, /*is_leaf=*/true, /*level=*/0, kLeafFormatCompressed);
     WriteCompressedLeaf(right, right_payload, right_entries.size());
@@ -1032,31 +1127,133 @@ class BPlusTree {
     return Status::OK();
   }
 
-  /// Compressed-leaf delete: decode, drop the entry, re-encode in place.
-  /// Removal can grow the encoding (the successor re-deltas against a
-  /// farther predecessor) by strictly less than one max-size entry, which
-  /// the insert-side headroom (kCompressedInsertLimit) covers after any
-  /// insert. A chain of growing deletes could in principle exhaust it; that
-  /// is unreachable for sorted composite keys, and if it ever trips the
-  /// leaf is left untouched and an Internal status says to rebuild.
-  Status DeleteFromCompressedLeaf(Page* page, PageGuard* guard,
-                                  const Key& key) {
-    std::vector<LeafEntryKV> entries;
-    PRIX_RETURN_NOT_OK(DecodeCompressedLeaf(page, page->page_id(), &entries));
-    auto pos = LowerBoundEntries(entries, key);
-    if (pos == entries.end() || cmp_(key, pos->key)) {
-      return Status::NotFound("key not in tree");
+  /// Deletes along the descent path, unlinking nodes that empty out.
+  /// `*out_id` reports the node's id after the call (it moves under COW);
+  /// `*out_freed` reports that the node became empty and was freed, so the
+  /// parent must drop its child slot entirely. NotFound is established at
+  /// the leaf BEFORE any page is copied or written.
+  ///
+  /// Compressed-leaf note: removal can grow the encoding (the successor
+  /// re-deltas against a farther predecessor) by strictly less than one
+  /// max-size entry, which the insert-side headroom
+  /// (kCompressedInsertLimit) covers after any insert. A chain of growing
+  /// deletes could in principle exhaust it; that is unreachable for sorted
+  /// composite keys, and if it ever trips the leaf is left untouched and an
+  /// Internal status says to rebuild.
+  Status DeleteRecursive(PageId node, int level, bool is_root, const Key& key,
+                         PageId* out_id, bool* out_freed) {
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(node));
+    PageGuard guard(pool_, page);
+    PRIX_RETURN_NOT_OK(CheckNode(page, node, level));
+    *out_id = node;
+    *out_freed = false;
+    if (IsLeaf(page)) {
+      if (compressed_) {
+        std::vector<LeafEntryKV> entries;
+        PRIX_RETURN_NOT_OK(DecodeCompressedLeaf(page, node, &entries));
+        auto pos = LowerBoundEntries(entries, key);
+        if (pos == entries.end() || cmp_(key, pos->key)) {
+          return Status::NotFound("key not in tree");
+        }
+        std::vector<LeafEntryKV> remaining(entries.cbegin(), pos);
+        remaining.insert(remaining.end(), pos + 1, entries.cend());
+        std::vector<char> payload;
+        EncodeCompressedLeaf(remaining, &payload);
+        if (payload.size() > kLeafPayloadMax) {
+          return Status::Internal(
+              "compressed leaf re-encode after delete exceeds the page; "
+              "rebuild the index to reclaim space");
+        }
+        PRIX_RETURN_NOT_OK(MakeMutable(&page, &guard));
+        WriteCompressedLeaf(page, payload, remaining.size());
+        guard.MarkDirty();
+      } else {
+        int idx = LeafLowerBound(page, key);
+        int count = Count(page);
+        if (idx >= count) return Status::NotFound("key not in tree");
+        Key k;
+        Value v;
+        ReadLeafEntry(page, idx, &k, &v);
+        if (cmp_(key, k) || cmp_(k, key)) {
+          return Status::NotFound("key not in tree");
+        }
+        PRIX_RETURN_NOT_OK(MakeMutable(&page, &guard));
+        // Shift the tail left by one entry.
+        char* base = page->data() + kHeaderSize + idx * kLeafStride;
+        std::memmove(base, base + kLeafStride,
+                     (count - idx - 1) * kLeafStride);
+        SetCount(page, count - 1);
+        guard.MarkDirty();
+      }
+      *out_id = page->page_id();
+      if (Count(page) == 0 && !is_root) {
+        // Unlink the emptied leaf: iteration assumes no reachable non-root
+        // leaf is ever empty, so the parent must drop this child.
+        *out_freed = true;
+        if (cow_ != nullptr) cow_->MarkFreed(page->page_id());
+      }
+      return Status::OK();
     }
-    entries.erase(pos);
-    std::vector<char> payload;
-    EncodeCompressedLeaf(entries, &payload);
-    if (payload.size() > kLeafPayloadMax) {
-      return Status::Internal(
-          "compressed leaf re-encode after delete exceeds the page; "
-          "rebuild the index to reclaim space");
+    int slot = ChildSlotForKey(page, key);
+    PageId child = ChildAtSlot(page, slot);
+    guard.Release();
+    PageId child_new = child;
+    bool child_freed = false;
+    PRIX_RETURN_NOT_OK(DeleteRecursive(child, level - 1, /*is_root=*/false,
+                                       key, &child_new, &child_freed));
+    if (!child_freed && child_new == child) return Status::OK();
+    PRIX_ASSIGN_OR_RETURN(page, pool_->FetchPage(node));
+    guard = PageGuard(pool_, page);
+    PRIX_RETURN_NOT_OK(MakeMutable(&page, &guard));
+    *out_id = page->page_id();
+    if (!child_freed) {
+      SetChildAtSlot(page, slot, child_new);
+      guard.MarkDirty();
+      return Status::OK();
     }
-    WriteCompressedLeaf(page, payload, entries.size());
-    guard->MarkDirty();
+    int count = Count(page);
+    if (slot == 0) {
+      if (count == 0) {
+        // The last child is gone: this node frees too (cascading unlink).
+        *out_freed = true;
+        if (cow_ != nullptr) cow_->MarkFreed(page->page_id());
+        return Status::OK();
+      }
+      // Promote the first entry's child into the leftmost slot. Keys under
+      // it are >= its old separator, which only makes the separator bounds
+      // looser — descents stay correct because separators merely guide.
+      Key k;
+      PageId c;
+      ReadInternalEntry(page, 0, &k, &c);
+      SetExtra(page, c);
+      char* base = page->data() + kHeaderSize;
+      std::memmove(base, base + kInternalStride,
+                   (count - 1) * kInternalStride);
+      SetCount(page, count - 1);
+    } else {
+      char* base = page->data() + kHeaderSize + (slot - 1) * kInternalStride;
+      std::memmove(base, base + kInternalStride,
+                   (count - slot) * kInternalStride);
+      SetCount(page, count - 1);
+    }
+    guard.MarkDirty();
+    return Status::OK();
+  }
+
+  /// Shrinks the tree while the root is an internal node with one child.
+  Status CollapseRoot() {
+    while (meta_.height > 1) {
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(meta_.root));
+      PageGuard guard(pool_, page);
+      PRIX_RETURN_NOT_OK(
+          CheckNode(page, meta_.root, static_cast<int>(meta_.height) - 1));
+      if (IsLeaf(page) || Count(page) > 0) return Status::OK();
+      PageId only_child = Extra(page);
+      guard.Release();
+      if (cow_ != nullptr) cow_->MarkFreed(meta_.root);
+      meta_.root = only_child;
+      --meta_.height;
+    }
     return Status::OK();
   }
 
@@ -1101,7 +1298,7 @@ class BPlusTree {
     entries[idx] = Entry{sep, new_child};
     int total = count + 1;
     int mid = total / 2;  // entries[mid] moves up
-    PRIX_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
+    PRIX_ASSIGN_OR_RETURN(Page * right, AllocNode());
     PageGuard right_guard(pool_, right);
     InitNode(right, /*is_leaf=*/false, /*level=*/Level(page));
     // Left keeps entries [0, mid); right gets (mid, total) with leftmost
@@ -1129,6 +1326,7 @@ class BPlusTree {
   PageId meta_page_id_ = kInvalidPage;
   Meta meta_;
   bool compressed_ = false;
+  CowContext* cow_ = nullptr;  ///< not owned; null outside write transactions
 };
 
 }  // namespace prix

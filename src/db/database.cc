@@ -1,9 +1,11 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "storage/page_format.h"
 #include "storage/record_store.h"
 
@@ -65,6 +67,7 @@ Result<std::unique_ptr<Database>> Database::Create(const std::string& path,
     PRIX_CHECK(*got == slot);
   }
   db->pool_ = std::make_unique<BufferPool>(&db->disk_, options.pool_pages);
+  db->pool_->set_allocator(db.get());
   Status commit_st;
   {
     std::lock_guard<std::mutex> lock(db->mu_);
@@ -103,6 +106,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
   bool any_valid = false;
   int bad_magic_slots = 0;
   uint32_t old_version = 0;
+  PageId free_head = kInvalidPage;
   char page[kPageSize];
   for (PageId slot : kHeaderSlots) {
     Status read_st = db->disk_.ReadPage(slot, page);
@@ -113,11 +117,13 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
     uint64_t gen = 0;
     uint32_t version = 0;
     std::map<std::string, IndexEntry> entries;
-    switch (ParseHeader(page, &gen, &version, &entries)) {
+    PageId slot_free_head = kInvalidPage;
+    switch (ParseHeader(page, &gen, &version, &entries, &slot_free_head)) {
       case SlotState::kValid:
         if (!any_valid || gen > db->generation_) {
           db->generation_ = gen;
           db->catalog_ = std::move(entries);
+          free_head = slot_free_head;
         }
         any_valid = true;
         break;
@@ -152,6 +158,45 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
     return st;
   }
   db->pool_ = std::make_unique<BufferPool>(&db->disk_, options.pool_pages);
+  db->committed_gen_.store(db->generation_, std::memory_order_release);
+  if (free_head != kInvalidPage) {
+    // Reload the persistent free-page list the last commit recorded. The
+    // blob's own pages are remembered so the next rewrite can retire them.
+    std::vector<char> blob;
+    Status st = ReadBlob(db->pool_.get(), free_head, &blob);
+    if (st.ok()) st = ReadBlobPages(db->pool_.get(), free_head,
+                                    &db->free_blob_pages_);
+    if (st.ok()) {
+      const char* p = blob.data();
+      const char* end = p + blob.size();
+      if (end - p < 8) st = Status::Corruption("truncated free-page list");
+      uint64_t count = st.ok() ? GetU64(p) : 0;
+      p += 8;
+      if (st.ok() && count > static_cast<uint64_t>(end - p) / 12) {
+        st = Status::Corruption("free-page list count " +
+                                std::to_string(count) +
+                                " exceeds its blob size");
+      }
+      uint32_t file_pages = db->disk_.num_pages();
+      for (uint64_t i = 0; st.ok() && i < count; ++i) {
+        PageId id = GetU32(p);
+        p += 4;
+        uint64_t gen = GetU64(p);
+        p += 8;
+        if (id < 2 || id >= file_pages) {
+          st = Status::Corruption("free-page list references page " +
+                                  std::to_string(id) + " outside the file");
+          break;
+        }
+        db->free_pages_.push_back(FreedPage{id, gen});
+      }
+    }
+    if (!st.ok()) {
+      db->Abandon();
+      return st;
+    }
+  }
+  db->pool_->set_allocator(db.get());
   return db;
 }
 
@@ -167,7 +212,8 @@ Status Database::Close() {
 
 Database::SlotState Database::ParseHeader(
     const char* page, uint64_t* generation, uint32_t* version,
-    std::map<std::string, IndexEntry>* entries) {
+    std::map<std::string, IndexEntry>* entries, PageId* free_head) {
+  *free_head = kInvalidPage;
   const char* p = page;
   if (GetU32(p) != kDbMagic) return SlotState::kBadMagic;
   p += 4;
@@ -214,6 +260,12 @@ Database::SlotState Database::ParseHeader(
     p += opt_len;
     out.emplace(entry.name, std::move(entry));
   }
+  // Optional trailer (absent in headers written before the free list
+  // existed): the free-page-list blob head.
+  if (have(4)) {
+    *free_head = GetU32(p);
+    p += 4;
+  }
   *generation = gen;
   *entries = std::move(out);
   return SlotState::kValid;
@@ -231,10 +283,59 @@ void Database::SerializePayload(std::vector<char>* out) const {
   }
 }
 
+Result<PageId> Database::PersistFreeListLocked(uint64_t commit_gen) {
+  std::vector<char> blob;
+  std::vector<PageId> old_blob_pages;
+  size_t pushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    if (free_pages_.empty() && free_blob_pages_.empty()) return kInvalidPage;
+    // Freeze the list: a page popped for reuse after this serialization
+    // would still be listed as free in the durable blob, and on recovery
+    // it would be handed out again while a committed structure references
+    // it. Reuse resumes once CommitLocked finishes (either way).
+    suspend_reuse_ = true;
+    // The blob being superseded becomes free itself at this commit, and the
+    // new blob must record that.
+    old_blob_pages.swap(free_blob_pages_);
+    for (PageId id : old_blob_pages) {
+      free_pages_.push_back(FreedPage{id, commit_gen});
+      ++pushed;
+    }
+    PutU64(&blob, free_pages_.size());
+    for (const FreedPage& f : free_pages_) {
+      PutU32(&blob, f.id);
+      PutU64(&blob, f.gen);
+    }
+  }
+  // Written outside free_mu_: WriteBlob allocates through AllocatePage,
+  // which takes free_mu_ (and, with reuse suspended, extends the file).
+  auto head = WriteBlob(pool_.get(), blob, &free_blob_pages_);
+  if (!head.ok()) {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    for (size_t i = 0; i < pushed; ++i) free_pages_.pop_back();
+    free_blob_pages_.swap(old_blob_pages);
+    return head.status();
+  }
+  return *head;
+}
+
 Status Database::CommitLocked() {
+  uint64_t gen_next = generation_ + 1;
+  auto resume_reuse = [this]() {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    suspend_reuse_ = false;
+  };
   std::vector<char> payload;
   SerializePayload(&payload);
+  auto head = PersistFreeListLocked(gen_next);
+  if (!head.ok()) {
+    resume_reuse();
+    return head.status();
+  }
+  PutU32(&payload, *head);
   if (payload.size() > kPayloadCapacity) {
+    resume_reuse();
     return Status::ResourceExhausted(
         "catalog payload exceeds one header page (" +
         std::to_string(payload.size()) + " bytes)");
@@ -246,9 +347,14 @@ Status Database::CommitLocked() {
   // while losing index pages it references; without the second the commit
   // may silently roll back. The crash-simulation matrix
   // (tests/crash_recovery_test.cc) fails if either sync is removed.
-  if (pool_ != nullptr) PRIX_RETURN_NOT_OK(pool_->FlushAll());
-  PRIX_RETURN_NOT_OK(disk_.Sync());
-  uint64_t gen = generation_ + 1;
+  Status st;
+  if (pool_ != nullptr) st = pool_->FlushAll();
+  if (st.ok()) st = disk_.Sync();
+  if (!st.ok()) {
+    resume_reuse();
+    return st;
+  }
+  uint64_t gen = gen_next;
   char page[kPageSize] = {};
   std::vector<char> header;
   header.reserve(kHeaderBytes);
@@ -269,9 +375,107 @@ Status Database::CommitLocked() {
   // generation is never overwritten, so a torn write of the new slot still
   // leaves the old catalog recoverable.
   PageId slot = kHeaderSlots[gen % 2];
-  PRIX_RETURN_NOT_OK(disk_.WritePage(slot, page));
-  PRIX_RETURN_NOT_OK(disk_.Sync());
+  st = disk_.WritePage(slot, page);
+  if (st.ok()) st = disk_.Sync();
+  if (!st.ok()) {
+    resume_reuse();
+    return st;
+  }
   generation_ = gen;
+  committed_gen_.store(gen, std::memory_order_release);
+  resume_reuse();
+  return Status::OK();
+}
+
+Result<PageId> Database::AllocatePage() {
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    if (!suspend_reuse_ && !free_pages_.empty()) {
+      // A page retired at generation g is safe to recycle once (a) the
+      // commit that retired it is durable and (b) no snapshot pins a
+      // generation older than g (such a snapshot could still reach the
+      // page through its pre-g catalog).
+      uint64_t barrier = committed_gen_.load(std::memory_order_acquire);
+      if (!pinned_gens_.empty()) {
+        barrier = std::min(barrier, *pinned_gens_.begin());
+      }
+      if (free_pages_.front().gen <= barrier) {
+        PageId id = free_pages_.front().id;
+        free_pages_.pop_front();
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        if (reg.enabled()) reg.counter("prix.db.pages_reused").Add(1);
+        return id;
+      }
+    }
+  }
+  return disk_.AllocatePage();
+}
+
+size_t Database::free_page_count() const {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  return free_pages_.size();
+}
+
+std::shared_ptr<const Snapshot> Database::OpenSnapshot() {
+  auto* snap = new Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap->generation_ = generation_;
+    snap->catalog_ = catalog_;
+  }
+  uint64_t gen = snap->generation_;
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    pinned_gens_.insert(gen);
+  }
+  // The deleter unpins the generation; it takes only free_mu_, so dropping
+  // a snapshot is safe from any thread, including while a writer commits.
+  return std::shared_ptr<const Snapshot>(snap, [this, gen](Snapshot* s) {
+    {
+      std::lock_guard<std::mutex> lock(free_mu_);
+      pinned_gens_.erase(pinned_gens_.find(gen));
+    }
+    delete s;
+  });
+}
+
+Status Database::CommitBatch(const std::vector<IndexEntry>& entries,
+                             const std::vector<PageId>& freed) {
+  for (const IndexEntry& e : entries) {
+    if (e.name.empty()) {
+      return Status::InvalidArgument("catalog entry needs a name");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, IndexEntry> old_catalog = catalog_;
+  uint64_t commit_gen = generation_ + 1;
+  {
+    std::lock_guard<std::mutex> flock(free_mu_);
+    for (PageId id : freed) free_pages_.push_back(FreedPage{id, commit_gen});
+  }
+  for (const IndexEntry& e : entries) catalog_[e.name] = e;
+  Status st = CommitLocked();
+  if (!st.ok()) {
+    // The transaction did not publish: its superseded pages are still live
+    // in the (restored) old catalog and must leave the free list. Matching
+    // by id from the back is exact — these are the newest entries for
+    // their ids (CommitLocked's own blob retirement rolls itself back).
+    catalog_ = std::move(old_catalog);
+    std::lock_guard<std::mutex> flock(free_mu_);
+    for (PageId id : freed) {
+      for (auto it = free_pages_.rbegin(); it != free_pages_.rend(); ++it) {
+        if (it->id == id && it->gen == commit_gen) {
+          free_pages_.erase(std::next(it).base());
+          break;
+        }
+      }
+    }
+    return st;
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (reg.enabled() && !freed.empty()) {
+    reg.counter("prix.db.pages_freed").Add(freed.size());
+  }
   return Status::OK();
 }
 

@@ -1,10 +1,13 @@
 #ifndef PRIX_DB_DATABASE_H_
 #define PRIX_DB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +16,9 @@
 #include "storage/disk_manager.h"
 
 namespace prix {
+
+class Document;
+class Snapshot;
 
 /// The storage environment every engine runs in (the paper's Sec. 6.1 setup:
 /// one paged file behind a shared buffer pool). A Database owns the
@@ -35,7 +41,16 @@ namespace prix {
 /// Thread safety: catalog mutations (PutIndex/DropIndex/Commit) serialize
 /// under an internal mutex and must not race with Close. Reads of the pool
 /// and disk follow those classes' own contracts.
-class Database {
+///
+/// Online ingest (DESIGN.md §5i): InsertDocument / UpdateDocument /
+/// DeleteDocument mutate a PRIX index in place under the page-level
+/// copy-on-write protocol — writers never overwrite a page a committed
+/// generation can reach, so queries running against a Snapshot pinned to an
+/// older generation keep seeing exactly that generation's pages. Superseded
+/// pages enter a persistent free-page list stamped with the generation that
+/// retired them and are recycled by NewPage only once no open Snapshot pins
+/// an older generation.
+class Database : public PageAllocator {
  public:
   struct Options {
     /// Buffer-pool capacity; the default mirrors the paper's 2000-page pool.
@@ -122,31 +137,96 @@ class Database {
   /// torn write the recovered generation is the previous one.
   uint64_t catalog_generation() const;
 
+  /// Opens a read snapshot pinned to the current committed generation. The
+  /// snapshot holds a copy of that generation's catalog; while any snapshot
+  /// of generation g is alive, no page superseded at a generation > g is
+  /// recycled, so every page reachable from the snapshot's catalog keeps its
+  /// committed content. The Database must outlive all snapshots it issued.
+  std::shared_ptr<const Snapshot> OpenSnapshot();
+
+  /// Atomically upserts `entries` into the catalog and retires `freed`
+  /// (pages superseded by this commit) into the persistent free-page list,
+  /// then commits. All-or-nothing: on failure the catalog and free list are
+  /// rolled back to their pre-call state. This is the publish step of a
+  /// copy-on-write write transaction (the ingest path); `freed` pages become
+  /// recyclable once the new generation is durable and no snapshot pins an
+  /// older one.
+  Status CommitBatch(const std::vector<IndexEntry>& entries,
+                     const std::vector<PageId>& freed);
+
+  /// PageAllocator: recycles the oldest reclaimable free-list page, falling
+  /// back to extending the file. Installed on the pool at Create/Open.
+  Result<PageId> AllocatePage() override;
+
+  /// Pages currently in the free list (reclaimable or still pinned down).
+  size_t free_page_count() const;
+
+  // ---- online ingest (implemented in src/prix/database_ingest.cc, which
+  // lives in the engine library so this storage-layer library does not
+  // depend on parsing or index code; calling these from a binary that does
+  // not link the engine library fails at link time) ----
+
+  /// Parses, Prüfer-labels, and inserts `doc` into the named PRIX index,
+  /// committing a new catalog generation. Returns the assigned DocId.
+  /// Writers serialize; readers on snapshots are unaffected until commit.
+  Result<uint32_t> InsertDocument(const std::string& index_name,
+                                  const Document& doc);
+
+  /// Replaces document `doc` with `new_doc`: the old DocId is tombstoned
+  /// and the new content inserted under a fresh DocId (returned). DocIds
+  /// are never reused.
+  Result<uint32_t> UpdateDocument(const std::string& index_name, uint32_t doc,
+                                  const Document& new_doc);
+
+  /// Tombstones document `doc` in the named PRIX index and deletes its keys
+  /// from the refinement B+-trees. The DocStore record remains (append-only)
+  /// but is skipped by every query; `prix verify` reports it as dead.
+  Status DeleteDocument(const std::string& index_name, uint32_t doc);
+
   /// Cold-cache reset used before each benchmarked query (the paper's
   /// direct-I/O emulation): drops every cached frame and zeroes the pool
   /// counters. Requires no pinned pages.
   Status ColdStart();
 
  private:
+  friend class Snapshot;
+
+  /// One retired page: recyclable once the committed generation reaches
+  /// `gen` AND no snapshot pins a generation below `gen`.
+  struct FreedPage {
+    PageId id;
+    uint64_t gen;
+  };
+
   Database() = default;
 
   /// Serializes the catalog map into `out` (header fields excluded).
   void SerializePayload(std::vector<char>* out) const;
 
   /// Flushes the pool, then writes generation+1 into the alternate header
-  /// slot. Caller holds mu_.
+  /// slot. Caller holds mu_ (and must NOT hold free_mu_: the free-list blob
+  /// write allocates pages through AllocatePage).
   Status CommitLocked();
+
+  /// Persists the free list as a fresh blob chain and returns its head (or
+  /// kInvalidPage when the list is empty and no previous blob exists).
+  /// Reuse from the list is suspended for the duration so the blob cannot
+  /// consume the pages it is recording. Caller holds mu_, not free_mu_.
+  Result<PageId> PersistFreeListLocked(uint64_t commit_gen);
 
   /// What one header slot's page image turned out to hold. The distinction
   /// drives Open's error message: kTorn falls back to the other slot,
   /// kOldVersion means "rebuild", two kBadMagic slots mean "not ours".
   enum class SlotState { kValid, kTorn, kBadMagic, kOldVersion };
 
-  /// Parses one header slot's page image. On kValid fills generation and
-  /// entries; on kOldVersion fills only *version.
+  /// Parses one header slot's page image. On kValid fills generation,
+  /// entries, and the free-list blob head (kInvalidPage for headers written
+  /// before the free list existed — trailing payload bytes are optional);
+  /// on kOldVersion fills only *version.
   static SlotState ParseHeader(const char* page, uint64_t* generation,
                                uint32_t* version,
-                               std::map<std::string, IndexEntry>* entries);
+                               std::map<std::string, IndexEntry>* entries,
+                               PageId* free_head);
 
   std::string path_;
   DiskManager disk_;
@@ -155,6 +235,58 @@ class Database {
   mutable std::mutex mu_;
   std::map<std::string, IndexEntry> catalog_;
   uint64_t generation_ = 0;
+
+  /// Mirror of generation_ readable without mu_ — AllocatePage runs inside
+  /// CommitLocked's own blob writes while mu_ is held, so it must not take
+  /// mu_. Updated only after a commit is durable.
+  std::atomic<uint64_t> committed_gen_{0};
+
+  /// Guards the free list and snapshot pins. Lock order: mu_ before
+  /// free_mu_; AllocatePage takes only free_mu_.
+  mutable std::mutex free_mu_;
+  std::deque<FreedPage> free_pages_;  // FIFO, non-decreasing gen
+  std::vector<PageId> free_blob_pages_;  ///< pages of the persisted list blob
+  bool suspend_reuse_ = false;  ///< true while the free-list blob is written
+  std::multiset<uint64_t> pinned_gens_;  ///< generations open snapshots hold
+
+  /// Opaque per-writer ingest cache owned by database_ingest.cc (trie
+  /// mirror + open trees), rebuilt when its stamped generation goes stale.
+  std::mutex ingest_mu_;
+  std::shared_ptr<void> ingest_state_;
+};
+
+/// An immutable view of one committed catalog generation. Readers resolve
+/// index roots through the snapshot instead of the live catalog, so a
+/// concurrent writer's commits never change what an in-flight query sees.
+/// Obtained from Database::OpenSnapshot(); releasing the last shared_ptr
+/// unpins the generation and lets its superseded pages be recycled.
+class Snapshot {
+ public:
+  uint64_t generation() const { return generation_; }
+
+  Result<Database::IndexEntry> GetIndex(const std::string& name) const {
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) {
+      return Status::NotFound("no index named '" + name +
+                              "' in snapshot generation " +
+                              std::to_string(generation_));
+    }
+    return it->second;
+  }
+
+  std::vector<Database::IndexEntry> ListIndexes() const {
+    std::vector<Database::IndexEntry> out;
+    out.reserve(catalog_.size());
+    for (const auto& [name, entry] : catalog_) out.push_back(entry);
+    return out;
+  }
+
+ private:
+  friend class Database;
+  Snapshot() = default;
+
+  uint64_t generation_ = 0;
+  std::map<std::string, Database::IndexEntry> catalog_;
 };
 
 }  // namespace prix

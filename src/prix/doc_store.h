@@ -41,6 +41,9 @@ class DocStore {
 
   bool compressed() const { return compressed_; }
 
+  /// Copy-on-write passthrough for write transactions (see RecordStore).
+  void SetCow(CowContext* cow) { store_.SetCow(cow); }
+
   /// Appends the record for the next DocId (must be called in DocId order).
   Status Append(DocId doc, const PruferSequences& seq,
                 const std::vector<LeafEntry>& leaves);

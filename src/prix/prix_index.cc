@@ -113,23 +113,32 @@ constexpr uint32_t kCatalogVersion = 1;
 constexpr uint32_t kCatalogVersionCompressed = 2;
 }  // namespace
 
+void PrixIndex::SerializeCatalog(std::vector<char>* blob) const {
+  PutU32(blob, kCatalogMagic);
+  PutU32(blob, options_.compress ? kCatalogVersionCompressed
+                                 : kCatalogVersion);
+  PutU32(blob, options_.extended ? 1 : 0);
+  PutU32(blob, static_cast<uint32_t>(options_.labeling));
+  PutU32(blob, options_.alpha);
+  PutU64(blob, root_range_.left);
+  PutU64(blob, root_range_.right);
+  PutU32(blob, symbol_index_->meta_page_id());
+  PutU32(blob, docid_index_->meta_page_id());
+  docs_->SerializeTo(blob);
+  maxgap_.SerializeTo(blob);
+  PutU32(blob, static_cast<uint32_t>(childless_labels_.size()));
+  for (LabelId l : childless_labels_) PutU32(blob, l);
+  // Tombstone set, appended after the childless labels. Blobs written
+  // before ingest existed end right above; Open treats the absent section
+  // as an empty set.
+  PutU32(blob, static_cast<uint32_t>(tombstones_.size()));
+  for (DocId d : tombstones_) PutU32(blob, d);
+}
+
 Status PrixIndex::Save(Database* db, const std::string& name) const {
   BufferPool* pool = db->pool();
   std::vector<char> blob;
-  PutU32(&blob, kCatalogMagic);
-  PutU32(&blob, options_.compress ? kCatalogVersionCompressed
-                                  : kCatalogVersion);
-  PutU32(&blob, options_.extended ? 1 : 0);
-  PutU32(&blob, static_cast<uint32_t>(options_.labeling));
-  PutU32(&blob, options_.alpha);
-  PutU64(&blob, root_range_.left);
-  PutU64(&blob, root_range_.right);
-  PutU32(&blob, symbol_index_->meta_page_id());
-  PutU32(&blob, docid_index_->meta_page_id());
-  docs_->SerializeTo(&blob);
-  maxgap_.SerializeTo(&blob);
-  PutU32(&blob, static_cast<uint32_t>(childless_labels_.size()));
-  for (LabelId l : childless_labels_) PutU32(&blob, l);
+  SerializeCatalog(&blob);
   auto first_result = WriteBlob(pool, blob);
   if (!first_result.ok()) {
     return first_result.status().Annotate("saving PRIX index '" + name + "'");
@@ -148,16 +157,20 @@ Status PrixIndex::Save(Database* db, const std::string& name) const {
 Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(Database* db,
                                                    const std::string& name) {
   PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  return OpenFromEntry(db->pool(), entry);
+}
+
+Result<std::unique_ptr<PrixIndex>> PrixIndex::OpenFromEntry(
+    BufferPool* pool, const Database::IndexEntry& entry) {
   if (entry.kind != Database::IndexKind::kPrixRegular &&
       entry.kind != Database::IndexKind::kPrixExtended) {
-    return Status::InvalidArgument("catalog entry '" + name +
+    return Status::InvalidArgument("catalog entry '" + entry.name +
                                    "' is not a PRIX index");
   }
-  BufferPool* pool = db->pool();
   std::vector<char> blob;
   Status blob_st = ReadBlob(pool, entry.root, &blob);
   if (!blob_st.ok()) {
-    return blob_st.Annotate("opening PRIX index '" + name + "'");
+    return blob_st.Annotate("opening PRIX index '" + entry.name + "'");
   }
   const char* p = blob.data();
   const char* end = blob.data() + blob.size();
@@ -211,6 +224,22 @@ Result<std::unique_ptr<PrixIndex>> PrixIndex::Open(Database* db,
   for (uint32_t i = 0; i < childless; ++i, p += 4) {
     index->childless_labels_.insert(GetU32(p));
   }
+  // Optional tombstone section (absent in blobs from before ingest).
+  if (static_cast<size_t>(end - p) >= 4) {
+    uint32_t dead = GetU32(p);
+    p += 4;
+    PRIX_RETURN_NOT_OK(need(4ull * dead));
+    for (uint32_t i = 0; i < dead; ++i, p += 4) {
+      DocId d = GetU32(p);
+      if (d >= index->docs_->num_docs()) {
+        return Status::Corruption("tombstone for DocId " + std::to_string(d) +
+                                  " beyond the store's " +
+                                  std::to_string(index->docs_->num_docs()) +
+                                  " records");
+      }
+      index->tombstones_.insert(d);
+    }
+  }
   return index;
 }
 
@@ -245,6 +274,7 @@ Status PrixIndex::Salvage(Database* dst, const std::string& name,
   out->root_range_ = root_range_;
   out->maxgap_ = maxgap_;
   out->childless_labels_ = childless_labels_;
+  out->tombstones_ = tombstones_;
   out->docs_ = std::make_unique<DocStore>(dst->pool(), options_.compress);
   PRIX_ASSIGN_OR_RETURN(SymbolTree sym,
                         SymbolTree::Create(dst->pool(), {}, options_.compress));

@@ -114,6 +114,12 @@ class PrixIndex {
   static Result<std::unique_ptr<PrixIndex>> Open(Database* db,
                                                  const std::string& name);
 
+  /// Reopens an index from a catalog entry directly — the snapshot read
+  /// path, where the entry comes from a pinned Snapshot instead of the live
+  /// catalog (see db/snapshot_view.h).
+  static Result<std::unique_ptr<PrixIndex>> OpenFromEntry(
+      BufferPool* pool, const Database::IndexEntry& entry);
+
   /// Best-effort salvage into `dst` (a different, fresh database): walks
   /// both B+-trees via WalkReachable, re-inserting every reachable entry
   /// into new trees and skipping poisoned subtrees, and copies every
@@ -129,6 +135,41 @@ class PrixIndex {
   DocTree& docid_index() { return *docid_index_; }
   const DocStore& docs() const { return *docs_; }
   const MaxGapTable& maxgap() const { return maxgap_; }
+
+  // ---- online-ingest surface (src/prix/database_ingest.cc) ----
+
+  /// Routes every subsequent page write of both B+-trees and the doc store
+  /// through the copy-on-write context (nullptr detaches). While attached,
+  /// the trees' meta page ids change on first mutation; re-read
+  /// meta_page_id() when serializing the catalog for publication.
+  void SetCow(CowContext* cow) {
+    symbol_index_->SetCow(cow);
+    docid_index_->SetCow(cow);
+    docs_->SetCow(cow);
+  }
+
+  /// True when `doc` has been deleted. Tombstoned DocIds keep their
+  /// DocStore record (the store is append-only) but are skipped by the
+  /// matcher and query processor and never reused.
+  bool IsDeleted(DocId doc) const {
+    return tombstones_.find(doc) != tombstones_.end();
+  }
+  void Tombstone(DocId doc) { tombstones_.insert(doc); }
+  const std::unordered_set<DocId>& tombstones() const { return tombstones_; }
+  size_t num_live_docs() const {
+    return docs_->num_docs() - tombstones_.size();
+  }
+
+  DocStore& docs_mut() { return *docs_; }
+  MaxGapTable& maxgap_mut() { return maxgap_; }
+  void AddChildlessLabel(LabelId label) { childless_labels_.insert(label); }
+  void set_root_range(RangeLabel range) { root_range_ = range; }
+
+  /// Serializes the full index catalog (format tag, options, tree roots,
+  /// store extents, MaxGap, childless labels, tombstones) into `blob` —
+  /// what Save writes, exposed so a write transaction can publish through
+  /// Database::CommitBatch instead of PutIndex.
+  void SerializeCatalog(std::vector<char>* blob) const;
 
   /// Scope of the virtual trie root: every node's LeftPos lies in
   /// (root.left, root.right].
@@ -156,6 +197,7 @@ class PrixIndex {
   MaxGapTable maxgap_;
   RangeLabel root_range_;
   std::unordered_set<LabelId> childless_labels_;
+  std::unordered_set<DocId> tombstones_;
 };
 
 }  // namespace prix

@@ -1,6 +1,10 @@
 #include "prix/query_driver.h"
 
+#include <optional>
+#include <utility>
+
 #include "common/macros.h"
+#include "prix/snapshot_view.h"
 #include "query/xpath_parser.h"
 
 namespace prix {
@@ -30,9 +34,9 @@ Result<BatchResult> QueryDriver::ExecuteBatch(
   return batch;
 }
 
-Result<BatchResult> QueryDriver::ExecuteXPathBatch(
-    const std::vector<std::string>& xpaths, TagDictionary* dict,
-    const QueryOptions& options) {
+Result<BatchResult> QueryDriver::RunXPathBatch(
+    const QueryProcessor* processor, const std::vector<std::string>& xpaths,
+    TagDictionary* dict, const QueryOptions& options) {
   BatchResult batch;
   batch.results.resize(xpaths.size());
   std::vector<std::future<Status>> futures;
@@ -40,13 +44,14 @@ Result<BatchResult> QueryDriver::ExecuteXPathBatch(
   for (size_t i = 0; i < xpaths.size(); ++i) {
     // Parse inside the worker: TagDictionary::Intern is thread-safe, and
     // workers write disjoint result slots; the future join publishes them.
-    futures.push_back(pool_.Submit([this, &xpaths, dict, &batch, i, options] {
-      PRIX_ASSIGN_OR_RETURN(TwigPattern pattern,
-                            ParseXPath(xpaths[i], dict));
-      PRIX_ASSIGN_OR_RETURN(batch.results[i],
-                            processor_.Execute(pattern, options));
-      return Status::OK();
-    }));
+    futures.push_back(
+        pool_.Submit([processor, &xpaths, dict, &batch, i, options] {
+          PRIX_ASSIGN_OR_RETURN(TwigPattern pattern,
+                                ParseXPath(xpaths[i], dict));
+          PRIX_ASSIGN_OR_RETURN(batch.results[i],
+                                processor->Execute(pattern, options));
+          return Status::OK();
+        }));
   }
   Status first_error;
   for (size_t i = 0; i < futures.size(); ++i) {
@@ -55,6 +60,35 @@ Result<BatchResult> QueryDriver::ExecuteXPathBatch(
   }
   PRIX_RETURN_NOT_OK(first_error);
   for (const QueryResult& r : batch.results) batch.total.MergeFrom(r.stats);
+  return batch;
+}
+
+Result<BatchResult> QueryDriver::ExecuteXPathBatch(
+    const std::vector<std::string>& xpaths, TagDictionary* dict,
+    const QueryOptions& options) {
+  return RunXPathBatch(&processor_, xpaths, dict, options);
+}
+
+Result<BatchResult> QueryDriver::ExecuteXPathBatchSnapshot(
+    const std::string& rp_name, const std::string& ep_name,
+    const std::vector<std::string>& xpaths, TagDictionary* dict,
+    const QueryOptions& options) {
+  // One snapshot pins both indexes to the same generation; the views (and
+  // with them the pin) live until every worker has joined.
+  std::shared_ptr<const Snapshot> snap = db_->OpenSnapshot();
+  PRIX_ASSIGN_OR_RETURN(SnapshotView rp,
+                        SnapshotView::OpenAt(db_, snap, rp_name));
+  std::optional<SnapshotView> ep;
+  if (!ep_name.empty()) {
+    PRIX_ASSIGN_OR_RETURN(SnapshotView view,
+                          SnapshotView::OpenAt(db_, snap, ep_name));
+    ep.emplace(std::move(view));
+  }
+  QueryProcessor processor(*db_, rp.index(),
+                           ep.has_value() ? ep->index() : nullptr);
+  PRIX_ASSIGN_OR_RETURN(BatchResult batch,
+                        RunXPathBatch(&processor, xpaths, dict, options));
+  batch.generation = snap->generation();
   return batch;
 }
 

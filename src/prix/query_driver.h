@@ -11,9 +11,13 @@ namespace prix {
 
 /// Result of a batch run: per-query results in submission order plus the
 /// batch-wide stats aggregate (QueryStats::MergeFrom over all queries).
+/// `generation` is the catalog generation the batch ran against — the
+/// pinned snapshot's for ExecuteXPathBatchSnapshot, 0 for the live-index
+/// paths (which predate generations and never mix with writers).
 struct BatchResult {
   std::vector<QueryResult> results;
   QueryStats total;
+  uint64_t generation = 0;
 };
 
 /// Multi-threaded query driver: N workers execute a batch of parsed twig
@@ -23,13 +27,17 @@ struct BatchResult {
 /// coordination is the buffer pool's shard latches and the work queue.
 ///
 /// The driver owns its thread pool; one driver can serve many batches.
-/// Indexes must be fully built before the first batch — the single-writer
-/// rule of DESIGN.md. XPath batches parse inside the workers (Intern is
-/// thread-safe), so submission is O(1) in query count.
+/// The constructor-supplied indexes must be fully built before the first
+/// batch and never mutated while one runs — the single-writer rule of
+/// DESIGN.md. To query concurrently WITH a writer, use
+/// ExecuteXPathBatchSnapshot, which ignores the constructor indexes and
+/// opens the named ones out of a pinned catalog generation instead. XPath
+/// batches parse inside the workers (Intern is thread-safe), so submission
+/// is O(1) in query count.
 class QueryDriver {
  public:
   QueryDriver(Database& db, PrixIndex* rp, PrixIndex* ep, size_t num_threads)
-      : processor_(db, rp, ep), pool_(num_threads) {}
+      : db_(&db), processor_(db, rp, ep), pool_(num_threads) {}
 
   /// Executes `patterns[i]` into `results[i]`. All queries run to
   /// completion; the first error in submission order wins, if any.
@@ -42,9 +50,26 @@ class QueryDriver {
                                         TagDictionary* dict,
                                         const QueryOptions& options = {});
 
+  /// Snapshot-isolated batch (DESIGN.md §5i): pins the current committed
+  /// generation, opens the named RP index (and EP index, unless `ep_name`
+  /// is empty) out of it, and runs the whole batch against that one
+  /// generation. A concurrent writer's commits never change any answer
+  /// mid-batch; the generation answered from is returned in the result.
+  Result<BatchResult> ExecuteXPathBatchSnapshot(
+      const std::string& rp_name, const std::string& ep_name,
+      const std::vector<std::string>& xpaths, TagDictionary* dict,
+      const QueryOptions& options = {});
+
   size_t num_threads() const { return pool_.num_threads(); }
 
  private:
+  /// Shared fan-out body for the XPath paths; `processor` outlives the join.
+  Result<BatchResult> RunXPathBatch(const QueryProcessor* processor,
+                                    const std::vector<std::string>& xpaths,
+                                    TagDictionary* dict,
+                                    const QueryOptions& options);
+
+  Database* db_;
   QueryProcessor processor_;
   ThreadPool pool_;
 };

@@ -285,8 +285,10 @@ Status QueryProcessor::RunArrangement(
     std::vector<uint32_t> path = ChooseSpine(twig, index->extended());
     if (path.size() < 2) {
       // Degenerate spine (e.g. lone '*' tail on an extended index): every
-      // document is a candidate; verification does the filtering.
-      for (DocId d = 0; d < index->num_docs(); ++d) candidates->push_back(d);
+      // live document is a candidate; verification does the filtering.
+      for (DocId d = 0; d < index->num_docs(); ++d) {
+        if (!index->IsDeleted(d)) candidates->push_back(d);
+      }
       return Status::OK();
     }
     spine = twig.ExtractPath(path);
@@ -344,6 +346,7 @@ Status QueryProcessor::ScanSingleNode(PrixIndex* index,
   EdgeSpec anchor = twig.root_anchor();
   bool is_star = twig.is_star(twig.root());
   for (DocId doc = 0; doc < index->num_docs(); ++doc) {
+    if (index->IsDeleted(doc)) continue;
     PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
                           LoadDoc(index, doc, ctx, stats));
     std::vector<uint32_t> parent;

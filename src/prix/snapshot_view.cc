@@ -1,0 +1,24 @@
+#include "prix/snapshot_view.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace prix {
+
+Result<SnapshotView> SnapshotView::Open(Database* db,
+                                        const std::string& index_name) {
+  return OpenAt(db, db->OpenSnapshot(), index_name);
+}
+
+Result<SnapshotView> SnapshotView::OpenAt(
+    Database* db, std::shared_ptr<const Snapshot> snapshot,
+    const std::string& index_name) {
+  PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry,
+                        snapshot->GetIndex(index_name));
+  PRIX_ASSIGN_OR_RETURN(std::unique_ptr<PrixIndex> index,
+                        PrixIndex::OpenFromEntry(db->pool(), entry));
+  return SnapshotView(std::move(snapshot), std::move(index));
+}
+
+}  // namespace prix

@@ -1,0 +1,56 @@
+#ifndef PRIX_PRIX_SNAPSHOT_VIEW_H_
+#define PRIX_PRIX_SNAPSHOT_VIEW_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "prix/prix_index.h"
+
+namespace prix {
+
+/// A PRIX index opened against one pinned catalog generation (DESIGN.md
+/// §5i). Readers that must stay consistent while writers commit open a
+/// SnapshotView instead of PrixIndex::Open: the view resolves the index
+/// root through a Database::Snapshot and keeps that snapshot alive, so
+/// every page the query touches — tree nodes, doc records, the catalog
+/// blob — is protected from recycling until the view is destroyed. The
+/// result set of any query run through the view is exactly the pinned
+/// generation's answer, never a mix of generations.
+///
+/// Thread safety: one SnapshotView (like one PrixIndex) serves one reader
+/// thread; concurrent readers each open their own view. Opening is cheap —
+/// a catalog-map copy plus the index-catalog blob read.
+class SnapshotView {
+ public:
+  /// Pins the current committed generation of `db` and opens the named PRIX
+  /// index out of it. The Database must outlive the view.
+  static Result<SnapshotView> Open(Database* db,
+                                   const std::string& index_name);
+
+  /// Opens the named index out of an already-pinned snapshot (several views
+  /// can share one snapshot when a batch queries multiple indexes).
+  static Result<SnapshotView> OpenAt(Database* db,
+                                     std::shared_ptr<const Snapshot> snapshot,
+                                     const std::string& index_name);
+
+  SnapshotView(SnapshotView&&) = default;
+  SnapshotView& operator=(SnapshotView&&) = default;
+
+  PrixIndex* index() { return index_.get(); }
+  const Snapshot& snapshot() const { return *snapshot_; }
+  uint64_t generation() const { return snapshot_->generation(); }
+
+ private:
+  SnapshotView(std::shared_ptr<const Snapshot> snapshot,
+               std::unique_ptr<PrixIndex> index)
+      : snapshot_(std::move(snapshot)), index_(std::move(index)) {}
+
+  std::shared_ptr<const Snapshot> snapshot_;  ///< pin released on destruction
+  std::unique_ptr<PrixIndex> index_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_PRIX_SNAPSHOT_VIEW_H_

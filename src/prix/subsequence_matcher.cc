@@ -274,7 +274,9 @@ Status SubsequenceMatcher::Descend(const QuerySequence& q, size_t i,
         PRIX_ASSIGN_OR_RETURN(
             auto dit, index_->docid_index().Seek(DocKey{lefts[j], 0, 0}));
         while (dit.Valid() && dit.key().left <= rights[j]) {
-          docs.push_back(dit.value());
+          // Tombstoned documents keep their Docid-index entries until a
+          // compaction; they must never reach refinement.
+          if (!index_->IsDeleted(dit.value())) docs.push_back(dit.value());
           PRIX_RETURN_NOT_OK(dit.Next());
         }
         if (!docs.empty()) {

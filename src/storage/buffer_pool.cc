@@ -106,11 +106,34 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  // Disk allocation is internally synchronized; no shard latch is held
-  // across it, so concurrent NewPage calls interleave freely.
-  PRIX_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  // Allocation is internally synchronized (disk counter or the installed
+  // allocator's own lock); no shard latch is held across it, so concurrent
+  // NewPage calls interleave freely.
+  PageId id;
+  if (allocator_ != nullptr) {
+    PRIX_ASSIGN_OR_RETURN(id, allocator_->AllocatePage());
+  } else {
+    PRIX_ASSIGN_OR_RETURN(id, disk_->AllocatePage());
+  }
   Shard& shard = ShardFor(id);
   std::unique_lock<std::mutex> lock = LockShard(shard);
+  auto cached = shard.table.find(id);
+  if (cached != shard.table.end()) {
+    // A recycled id whose stale frame is still cached: reuse that frame in
+    // place so the id never maps to two frames. The stale content belongs
+    // to a generation no snapshot can reach (the allocator's invariant).
+    size_t frame = cached->second;
+    Page* page = shard.frames[frame].get();
+    if (page->pin_count() != 0) {
+      return Status::Internal("recycled page " + std::to_string(id) +
+                              " still pinned");
+    }
+    std::memset(page->data_, 0, kPageSize);
+    page->pin_count_.store(1, std::memory_order_release);
+    page->dirty_ = true;
+    Touch(shard, frame);
+    return page;
+  }
   PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
   Page* page = shard.frames[frame].get();
   std::memset(page->data_, 0, kPageSize);
@@ -120,6 +143,27 @@ Result<Page*> BufferPool::NewPage() {
   shard.table[id] = frame;
   Touch(shard, frame);
   return page;
+}
+
+Status BufferPool::DropPage(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  auto it = shard.table.find(id);
+  if (it == shard.table.end()) return Status::OK();
+  size_t frame = it->second;
+  Page* page = shard.frames[frame].get();
+  if (page->pin_count() != 0) {
+    return Status::Internal("DropPage(" + std::to_string(id) +
+                            ") with live pins");
+  }
+  shard.table.erase(it);
+  if (shard.lru_pos[frame] != shard.lru.end()) {
+    shard.lru.erase(shard.lru_pos[frame]);
+    shard.lru_pos[frame] = shard.lru.end();
+  }
+  page->Reset();
+  shard.free_frames.push_back(frame);
+  return Status::OK();
 }
 
 void BufferPool::UnpinPage(PageId id, bool dirty) {

@@ -28,6 +28,16 @@ struct BufferPoolStats {
   uint64_t lock_waits = 0;
 };
 
+/// Source of page ids for BufferPool::NewPage. The default is the
+/// DiskManager's append-only counter; a Database installs itself so freed
+/// pages from its persistent free list are recycled before the file grows.
+/// Implementations must be thread-safe (NewPage may be called concurrently).
+class PageAllocator {
+ public:
+  virtual ~PageAllocator() = default;
+  virtual Result<PageId> AllocatePage() = 0;
+};
+
 /// Fixed-capacity page cache with LRU replacement and pin counting, mirroring
 /// the paper's 2000-page buffer pool (Sec. 6.1). Clearing the pool before a
 /// query emulates the paper's direct-I/O cold-cache measurement.
@@ -53,8 +63,21 @@ class BufferPool {
   /// callers must UnpinPage (or use PageGuard).
   Result<Page*> FetchPage(PageId id);
 
-  /// Allocates a fresh page on disk and pins an empty frame for it.
+  /// Allocates a fresh page (via the installed PageAllocator, falling back
+  /// to the disk's append-only counter) and pins an empty frame for it. When
+  /// the allocator recycles an id the pool may still be caching that page's
+  /// stale frame; it is reused in place — zeroed, pinned, dirty — so no
+  /// duplicate frame can exist for one id.
   Result<Page*> NewPage();
+
+  /// Evicts page `id` WITHOUT writing it back, discarding any dirty data —
+  /// the abort path for pages a failed transaction allocated but never
+  /// published. No-op when the page is not cached; Internal when pinned.
+  Status DropPage(PageId id);
+
+  /// Installs (or, with nullptr, removes) the page-id source for NewPage.
+  /// Must not race with NewPage calls.
+  void set_allocator(PageAllocator* allocator) { allocator_ = allocator; }
 
   /// Drops a pin. `dirty` marks the frame for write-back on eviction/flush.
   void UnpinPage(PageId id, bool dirty);
@@ -147,6 +170,7 @@ class BufferPool {
   Status FlushShard(Shard& shard);
 
   DiskManager* disk_;
+  PageAllocator* allocator_ = nullptr;
   size_t capacity_ = 0;
   size_t shard_mask_ = 0;  // shard count is a power of two
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,45 @@
+#ifndef PRIX_STORAGE_COW_H_
+#define PRIX_STORAGE_COW_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace prix {
+
+/// Page-level copy-on-write bookkeeping for one write transaction.
+///
+/// Writers under the snapshot protocol (DESIGN.md §5i) never mutate a page
+/// that a committed generation can reach: a structure that wants to change a
+/// committed page copies it to a fresh page first and records the old id here
+/// as superseded. Pages the transaction itself allocated ("fresh") may be
+/// edited in place — no snapshot can see them until the commit publishes new
+/// roots.
+///
+/// One CowContext spans one commit: every participating structure (B+-trees,
+/// record stores) registers the pages it allocates and supersedes, and the
+/// Database either stages `freed` into the free-page list at commit or drops
+/// `fresh` from the pool on abort.
+class CowContext {
+ public:
+  bool IsFresh(PageId id) const { return fresh.count(id) != 0; }
+  void MarkFresh(PageId id) { fresh.insert(id); }
+  void MarkFreed(PageId id) {
+    // A page both allocated and discarded inside the same transaction never
+    // existed for any snapshot; it goes back to the allocator immediately at
+    // commit (gen of the staging caller) like any other superseded page.
+    freed.push_back(id);
+  }
+
+  /// Pages allocated by this transaction (safe to mutate in place; must be
+  /// dropped from the pool if the transaction aborts).
+  std::unordered_set<PageId> fresh;
+  /// Committed pages this transaction superseded (reclaimable once no
+  /// snapshot pins a generation that can reach them).
+  std::vector<PageId> freed;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_STORAGE_COW_H_

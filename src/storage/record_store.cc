@@ -37,7 +37,8 @@ uint64_t GetU64(const char* p) {
 // the usable area (the trailer is the storage layer's).
 constexpr size_t kBlobPayload = kPageUsable - 8;
 
-Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data) {
+Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data,
+                         std::vector<PageId>* out_pages) {
   size_t num_pages =
       std::max<size_t>(1, (data.size() + kBlobPayload - 1) / kBlobPayload);
   std::vector<PageId> ids(num_pages);
@@ -46,6 +47,7 @@ Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data) {
     ids[i] = page->page_id();
     pool->UnpinPage(ids[i], /*dirty=*/true);
   }
+  if (out_pages != nullptr) *out_pages = ids;
   for (size_t i = 0; i < num_pages; ++i) {
     PRIX_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(ids[i]));
     PageId next = i + 1 < num_pages ? ids[i + 1] : kInvalidPage;
@@ -92,6 +94,34 @@ Status ReadBlob(BufferPool* pool, PageId first, std::vector<char>* out) {
                                 " out of range");
     }
     out->insert(out->end(), page->data() + 8, page->data() + 8 + chunk);
+    pool->UnpinPage(cur, false);
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Status ReadBlobPages(BufferPool* pool, PageId first,
+                     std::vector<PageId>* out_pages) {
+  out_pages->clear();
+  PageId cur = first;
+  uint64_t hops = 0;
+  while (cur != kInvalidPage) {
+    if (++hops > pool->disk()->num_pages()) {
+      return Status::Corruption("blob chain does not terminate (cycle via "
+                                "page " +
+                                std::to_string(cur) + ")");
+    }
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(cur));
+    if (GetPageType(page->data()) != PageType::kBlob) {
+      Status st = Status::Corruption(
+          "page " + std::to_string(cur) + " is not a blob page (type " +
+          PageTypeName(GetPageType(page->data())) + ")");
+      pool->UnpinPage(cur, false);
+      return st;
+    }
+    out_pages->push_back(cur);
+    PageId next;
+    std::memcpy(&next, page->data(), 4);
     pool->UnpinPage(cur, false);
     cur = next;
   }
@@ -275,8 +305,23 @@ Status RecordStore::AppendBytes(const char* data, size_t len) {
     if (page_index == pages_.size()) {
       PRIX_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
       SetPageType(page->data(), PageType::kHeapData);
+      if (cow_ != nullptr) cow_->MarkFresh(page->page_id());
       pages_.push_back(page->page_id());
       pool_->UnpinPage(page->page_id(), /*dirty=*/true);
+    } else if (page_off > 0 && cow_ != nullptr &&
+               !cow_->IsFresh(pages_[page_index])) {
+      // The tail page is committed (a snapshot can reach it through an
+      // older catalog); copy it to a fresh page before extending it.
+      PRIX_ASSIGN_OR_RETURN(Page * old_page,
+                            pool_->FetchPage(pages_[page_index]));
+      PageGuard old_guard(pool_, old_page);
+      PRIX_ASSIGN_OR_RETURN(Page * copy, pool_->NewPage());
+      std::memcpy(copy->data(), old_page->data(), kPageSize);
+      old_guard.Release();
+      cow_->MarkFresh(copy->page_id());
+      cow_->MarkFreed(pages_[page_index]);
+      pages_[page_index] = copy->page_id();
+      pool_->UnpinPage(copy->page_id(), /*dirty=*/true);
     }
     PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pages_[page_index]));
     size_t chunk = std::min(len - written, kPageUsable - page_off);

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "storage/buffer_pool.h"
+#include "storage/cow.h"
 
 namespace prix {
 
@@ -24,6 +25,14 @@ class RecordStore {
 
   /// Reads record `id` into `out` (resized to the record length).
   Status Load(uint32_t id, std::vector<char>* out) const;
+
+  /// Attaches (or with nullptr detaches) copy-on-write bookkeeping for a
+  /// write transaction. With a context installed, Append never edits a
+  /// committed page in place: the partially-filled tail page is copied to a
+  /// fresh page first (its id in the page list changes), and every page the
+  /// store allocates is marked fresh. Pages the catalog no longer references
+  /// are reported as freed.
+  void SetCow(CowContext* cow) { cow_ = cow; }
 
   size_t num_records() const { return catalog_.size(); }
   uint64_t total_bytes() const { return next_offset_; }
@@ -60,6 +69,7 @@ class RecordStore {
   std::vector<PageId> pages_;
   std::vector<Extent> catalog_;
   uint64_t next_offset_ = 0;
+  CowContext* cow_ = nullptr;  ///< not owned; null outside write transactions
 };
 
 /// Little-endian-on-disk helpers for record serialization.
@@ -70,11 +80,19 @@ uint64_t GetU64(const char* p);
 
 /// Writes `data` into a chain of freshly allocated pages (each page holds a
 /// next-page pointer, a length, and payload) and returns the first page id.
-/// Used to persist index catalogs.
-Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data);
+/// Used to persist index catalogs. `out_pages`, when non-null, receives the
+/// ids of every page in the chain so a commit can retire the superseded
+/// blob's pages into the free list.
+Result<PageId> WriteBlob(BufferPool* pool, const std::vector<char>& data,
+                         std::vector<PageId>* out_pages = nullptr);
 
 /// Reads back a blob written by WriteBlob.
 Status ReadBlob(BufferPool* pool, PageId first, std::vector<char>* out);
+
+/// Collects the page ids of a blob chain without decoding its payload —
+/// used to retire a superseded catalog blob into the free list.
+Status ReadBlobPages(BufferPool* pool, PageId first,
+                     std::vector<PageId>* out_pages);
 
 }  // namespace prix
 

@@ -22,6 +22,16 @@ struct VerifyIssue {
   std::string message;
 };
 
+/// Per-index document accounting for PRIX entries: how many documents are
+/// live versus tombstoned-but-unreclaimed (deleted documents keep their
+/// append-only DocStore record until a compaction rewrites the index; they
+/// are dead weight, not corruption).
+struct IndexDocStats {
+  std::string index;
+  uint64_t live_docs = 0;
+  uint64_t dead_docs = 0;
+};
+
 /// Accumulated result of ScrubPages and/or VerifyDatabase. A database is
 /// clean when both passes leave `issues` empty.
 struct VerifyReport {
@@ -29,7 +39,9 @@ struct VerifyReport {
   uint64_t pages_bad = 0;        ///< pages failing the trailer CRC
   uint64_t indexes_checked = 0;  ///< catalog entries walked
   uint64_t indexes_bad = 0;      ///< entries with at least one issue
+  uint64_t free_pages = 0;       ///< persistent free-list entries at open
   std::vector<VerifyIssue> issues;
+  std::vector<IndexDocStats> doc_stats;  ///< one per PRIX entry
 
   bool clean() const { return issues.empty(); }
 };

@@ -292,6 +292,71 @@ TEST_F(CompressedBtreeTest, FormatMismatchIsCorruptionNotGarbage) {
   EXPECT_TRUE(pool()->Clear().ok());
 }
 
+TEST_F(CompressedBtreeTest, DeleteReinsertAtTheInsertLimitHeadroomBoundary) {
+  // The delete path re-encodes a compressed leaf in place and may GROW the
+  // payload (the successor re-deltas against a farther predecessor), which
+  // the insert-side fill limit (kCompressedInsertLimit, one max-size entry
+  // of headroom below the page) must absorb. Drive a leaf to the boundary:
+  // insert worst-case-wide entries until the leaf splits, then rebuild with
+  // one entry fewer — a payload within one encoded entry of the limit — and
+  // churn delete -> reinsert through every position. Every round must
+  // re-encode in place (no Internal status) and preserve the contents.
+  auto wide_key = [](uint64_t i) {
+    // ~2^41 spacing: 6-byte deltas, plus a low-bit wiggle so deltas differ.
+    return i * (uint64_t{1} << 41) + (i * 0x9e3779b9u & 0xfffu);
+  };
+  const uint64_t wide_value = (uint64_t{1} << 62) + 12345;  // 9-byte varint
+
+  // Find the split point: the first n whose insert allocates a new page.
+  auto probe = IntTree::Create(pool(), {}, true);
+  ASSERT_TRUE(probe.ok());
+  uint64_t pages_before = pool()->disk()->num_pages();
+  uint64_t n_split = 0;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(probe->Insert(wide_key(i), wide_value).ok());
+    if (pool()->disk()->num_pages() != pages_before) {
+      n_split = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(n_split, 4u) << "leaf never split; widen the keys";
+  // Sanity: the leaf held enough wide entries that its payload was near
+  // the fill limit when the split fired (each entry encodes to <= 25 B).
+  ASSERT_GT(n_split * 25, IntTree::CompressedInsertLimit())
+      << "split fired while the leaf was far from full";
+
+  auto tree = IntTree::Create(pool(), {}, true);
+  ASSERT_TRUE(tree.ok());
+  const uint64_t n = n_split - 1;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree->Insert(wide_key(i), wide_value).ok());
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree->Delete(wide_key(i)).ok()) << "position " << i;
+    EXPECT_EQ(tree->Get(wide_key(i)).status().code(), StatusCode::kNotFound);
+    ASSERT_TRUE(tree->Insert(wide_key(i), wide_value).ok())
+        << "reinsert at position " << i;
+  }
+  // Also the double-delete shape: remove two adjacent entries (the
+  // farthest re-delta), reinsert in reverse order.
+  ASSERT_TRUE(tree->Delete(wide_key(1)).ok());
+  ASSERT_TRUE(tree->Delete(wide_key(2)).ok());
+  ASSERT_TRUE(tree->Insert(wide_key(2), wide_value).ok());
+  ASSERT_TRUE(tree->Insert(wide_key(1), wide_value).ok());
+
+  EXPECT_EQ(tree->num_entries(), n);
+  auto it = tree->SeekToFirst();
+  ASSERT_TRUE(it.ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(it->Valid()) << "scan ended early at " << i;
+    EXPECT_EQ(it->key(), wide_key(i));
+    EXPECT_EQ(it->value(), wide_value);
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_FALSE(it->Valid());
+  EXPECT_TRUE(pool()->Clear().ok());
+}
+
 // --- record store v3 catalog ----------------------------------------------
 
 TEST_F(CompressedBtreeTest, RecordStoreCatalogRoundTripsInBothFormats) {

@@ -1,0 +1,370 @@
+// Online-ingest round trips (DESIGN.md §5i): InsertDocument /
+// UpdateDocument / DeleteDocument against a live PRIX index, exercised
+// single-threaded. The anchor is the incremental-equals-rebuild test: a
+// collection grown one document at a time must answer every query exactly
+// like an index bulk-built over the same live documents, because ingest
+// changes when pages are written and nothing about what they mean. The
+// concurrent-reader proof lives in ingest_stress_test.cc; the crash sweep
+// in ingest_crash_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "naive/naive_matcher.h"
+#include "prix/prix_index.h"
+#include "prix/query_driver.h"
+#include "prix/query_processor.h"
+#include "query/xpath_parser.h"
+#include "testutil/temp_db.h"
+#include "testutil/tree_gen.h"
+#include "verify/verifier.h"
+#include "xml/tag_dictionary.h"
+
+namespace prix {
+namespace {
+
+using testutil::DocFromSexp;
+using testutil::RandomCollection;
+using testutil::RandomDocOptions;
+using testutil::RandomTwig;
+using testutil::TempDb;
+
+class IngestTest : public ::testing::Test {
+ protected:
+  IngestTest() : db_(Database::Options{.pool_pages = 128}) {}
+
+  // Seeds the database with an index named `name` over `sexps`, using the
+  // dynamic labeler so later inserts find pre-allocated slack.
+  std::vector<Document> Seed(const std::string& name,
+                             const std::vector<std::string>& sexps,
+                             PrixIndexOptions options = DynamicOptions()) {
+    std::vector<Document> docs;
+    DocId id = 0;
+    for (const std::string& s : sexps) {
+      docs.push_back(DocFromSexp(s, id++, &dict_));
+    }
+    auto index = PrixIndex::Build(docs, db_.pool(), options);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    EXPECT_TRUE((*index)->Save(&db_.db(), name).ok());
+    return docs;
+  }
+
+  static PrixIndexOptions DynamicOptions() {
+    PrixIndexOptions options;
+    options.labeling = PrixIndexOptions::Labeling::kDynamic;
+    return options;
+  }
+
+  // Matching DocIds for `xpath`, via a freshly opened index (ingest moves
+  // tree roots, so a pre-commit PrixIndex handle is stale by design).
+  std::vector<DocId> Query(const std::string& name, const std::string& xpath) {
+    auto index = PrixIndex::Open(&db_.db(), name);
+    EXPECT_TRUE(index.ok()) << index.status().ToString();
+    QueryProcessor qp(db_.db(), index->get(), nullptr);
+    auto result = qp.ExecuteXPath(xpath, &dict_);
+    EXPECT_TRUE(result.ok()) << xpath << ": " << result.status().ToString();
+    return result.ok() ? result->docs : std::vector<DocId>{};
+  }
+
+  TagDictionary dict_;
+  TempDb db_;
+};
+
+TEST_F(IngestTest, InsertQueryDeleteUpdateRoundTrip) {
+  for (bool compress : {false, true}) {
+    SCOPED_TRACE(compress ? "compressed" : "uncompressed");
+    const std::string name = compress ? "rp_c" : "rp_u";
+    PrixIndexOptions options = DynamicOptions();
+    options.compress = compress;
+    Seed(name,
+         {"(book (author (name)) (title))", "(article (author (name)))"},
+         options);
+
+    // Insert: the new document is immediately visible to fresh queries.
+    Document d2 = DocFromSexp("(book (editor (name)) (title))", 2, &dict_);
+    auto id = db_->InsertDocument(name, d2);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(*id, 2u);
+    EXPECT_EQ(Query(name, "//book/title"), (std::vector<DocId>{0, 2}));
+    EXPECT_EQ(Query(name, "//book[./editor]"), (std::vector<DocId>{2}));
+
+    // Delete: the document disappears from every answer; its id stays dead.
+    ASSERT_TRUE(db_->DeleteDocument(name, 0).ok());
+    EXPECT_EQ(Query(name, "//book/title"), (std::vector<DocId>{2}));
+    EXPECT_EQ(Query(name, "//author/name"), (std::vector<DocId>{1}));
+
+    // Update: old id gone, fresh id visible, DocIds never reused.
+    Document d1b = DocFromSexp("(article (editor (name)) (journal))", 1,
+                               &dict_);
+    auto new_id = db_->UpdateDocument(name, 1, d1b);
+    ASSERT_TRUE(new_id.ok()) << new_id.status().ToString();
+    EXPECT_EQ(*new_id, 3u);
+    EXPECT_EQ(Query(name, "//author/name"), (std::vector<DocId>{}));
+    EXPECT_EQ(Query(name, "//article[./editor]/journal"),
+              (std::vector<DocId>{3}));
+
+    // Everything above survives a close/reopen of the whole environment.
+    ASSERT_TRUE(db_.Reopen().ok());
+    auto reopened = PrixIndex::Open(&db_.db(), name);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->num_docs(), 4u);
+    EXPECT_EQ((*reopened)->num_live_docs(), 2u);
+    EXPECT_TRUE((*reopened)->IsDeleted(0));
+    EXPECT_TRUE((*reopened)->IsDeleted(1));
+    EXPECT_EQ((*reopened)->options().compress, compress);
+    EXPECT_EQ(Query(name, "//book/title"), (std::vector<DocId>{2}));
+    EXPECT_EQ(Query(name, "//article[./editor]/journal"),
+              (std::vector<DocId>{3}));
+  }
+}
+
+TEST_F(IngestTest, ErrorsLeaveTheIndexUntouched) {
+  Seed("rp", {"(book (title))"});
+  uint64_t gen = db_->catalog_generation();
+
+  EXPECT_EQ(db_->InsertDocument("rp", Document()).status().code(),
+            StatusCode::kInvalidArgument);
+  Document doc = DocFromSexp("(book (year))", 9, &dict_);
+  EXPECT_EQ(db_->InsertDocument("nope", doc).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_->DeleteDocument("rp", 7).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_->UpdateDocument("rp", 7, doc).status().code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(db_->DeleteDocument("rp", 0).ok());
+  // Double delete and update-of-dead are NotFound, not corruption.
+  EXPECT_EQ(db_->DeleteDocument("rp", 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_->UpdateDocument("rp", 0, doc).status().code(),
+            StatusCode::kNotFound);
+
+  // Only the one successful delete committed.
+  EXPECT_EQ(db_->catalog_generation(), gen + 1);
+  auto index = PrixIndex::Open(&db_.db(), "rp");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->num_docs(), 1u);
+  EXPECT_EQ((*index)->num_live_docs(), 0u);
+}
+
+TEST_F(IngestTest, ExactLabeledIndexGrowsItsRangesAndRelabels) {
+  // An exact-labeled trie has zero slack everywhere, so the very first
+  // insert that extends a path must go through the relabel machinery.
+  MetricsRegistry::Global().set_enabled(true);
+  MetricsRegistry::Global().Reset();
+  PrixIndexOptions options;
+  options.labeling = PrixIndexOptions::Labeling::kExact;
+  Seed("rp", {"(book (author (name)) (title))", "(article (author (name)))"},
+       options);
+
+  Document doc =
+      DocFromSexp("(book (author (name) (name)) (title) (year))", 2, &dict_);
+  auto id = db_->InsertDocument("rp", doc);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_GT(MetricsRegistry::Global().counter("prix.ingest.relabels").value(),
+            0u);
+  // Old and new documents both answer correctly after the relabel.
+  EXPECT_EQ(Query("rp", "//book/title"), (std::vector<DocId>{0, 2}));
+  EXPECT_EQ(Query("rp", "//author/name"), (std::vector<DocId>{0, 1, 2}));
+  EXPECT_EQ(Query("rp", "//book[./year]"), (std::vector<DocId>{2}));
+  MetricsRegistry::Global().set_enabled(false);
+}
+
+TEST_F(IngestTest, IncrementalBuildEqualsBulkRebuild) {
+  // Grow a collection one document at a time (with interleaved deletes and
+  // updates), then check a battery of random twigs against an index
+  // bulk-built over exactly the live documents. The seed is EXACT-labeled
+  // (zero slack anywhere), so growth repeatedly exhausts ranges and the
+  // relabel machinery runs throughout the churn, not just on the first op.
+  MetricsRegistry::Global().set_enabled(true);
+  MetricsRegistry::Global().Reset();
+  Random rng(4242);
+  RandomDocOptions doc_opts;
+  doc_opts.max_nodes = 24;
+  doc_opts.alphabet = 4;  // few labels -> deep shared trie paths
+  doc_opts.deep_bias = 0.85;
+  std::vector<Document> pool = RandomCollection(rng, 60, &dict_, doc_opts);
+
+  PrixIndexOptions options;
+  options.labeling = PrixIndexOptions::Labeling::kExact;
+  Seed("rp", {"(tag0 (tag1))"}, options);
+  std::map<DocId, Document> live;
+  live.emplace(0u, DocFromSexp("(tag0 (tag1))", 0, &dict_));
+
+  size_t next = 0;
+  for (int op = 0; op < 80 && next < pool.size(); ++op) {
+    uint32_t kind = rng.Uniform(10);
+    if (kind >= 8 && live.size() > 2) {
+      // Pick a uniformly random live doc.
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      if (kind == 8) {
+        ASSERT_TRUE(db_->DeleteDocument("rp", it->first).ok());
+        live.erase(it);
+      } else {
+        Document replacement = pool[next++];
+        auto id = db_->UpdateDocument("rp", it->first, replacement);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        live.erase(it);
+        live.emplace(*id, std::move(replacement));
+      }
+    } else {
+      Document doc = pool[next++];
+      auto id = db_->InsertDocument("rp", doc);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      live.emplace(*id, std::move(doc));
+    }
+  }
+  ASSERT_GT(next, 30u);
+  EXPECT_GT(MetricsRegistry::Global().counter("prix.ingest.relabels").value(),
+            0u)
+      << "the workload never exhausted a range; deepen the documents";
+  MetricsRegistry::Global().set_enabled(false);
+
+  auto grown = PrixIndex::Open(&db_.db(), "rp");
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  QueryProcessor qp(db_.db(), grown->get(), nullptr);
+
+  std::vector<Document> live_docs;
+  for (const auto& [id, doc] : live) live_docs.push_back(doc);
+
+  size_t tried = 0;
+  for (int i = 0; i < 60 && tried < 20; ++i) {
+    const Document& sample = live_docs[rng.Uniform(live_docs.size())];
+    TwigPattern pattern = RandomTwig(rng, sample, &dict_);
+    if (pattern.num_nodes() < 2) continue;
+    ++tried;
+    EffectiveTwig twig = EffectiveTwig::Build(pattern);
+    std::vector<DocId> oracle;
+    for (const auto& [id, doc] : live) {
+      if (!NaiveMatch(doc, twig, MatchSemantics::kOrdered).empty()) {
+        oracle.push_back(id);
+      }
+    }
+    auto got = qp.Execute(pattern);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->docs, oracle) << "query " << i;
+  }
+  EXPECT_GE(tried, 10u);
+}
+
+TEST_F(IngestTest, FreeListGrowsPersistsAndPagesAreReused) {
+  MetricsRegistry::Global().set_enabled(true);
+  MetricsRegistry::Global().Reset();
+  Seed("rp", {"(book (author (name)) (title) (year))"});
+  // Every update retires the superseded catalog/tree pages.
+  DocId current = 0;
+  for (int i = 0; i < 6; ++i) {
+    Document doc = DocFromSexp("(book (author (name)) (title))", 0, &dict_);
+    auto id = db_->UpdateDocument("rp", current, doc);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    current = *id;
+  }
+  EXPECT_GT(db_->free_page_count(), 0u);
+  EXPECT_GT(MetricsRegistry::Global().counter("prix.db.pages_freed").value(),
+            0u);
+
+  // The list is persistent: it survives close/reopen.
+  ASSERT_TRUE(db_.Reopen().ok());
+  EXPECT_GT(db_->free_page_count(), 0u);
+
+  // With no snapshot pinning an old generation, further commits recycle
+  // retired pages instead of extending the file.
+  for (int i = 0; i < 10; ++i) {
+    Document doc = DocFromSexp("(book (title))", 0, &dict_);
+    auto id = db_->UpdateDocument("rp", current, doc);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    current = *id;
+  }
+  EXPECT_GT(MetricsRegistry::Global().counter("prix.db.pages_reused").value(),
+            0u);
+  MetricsRegistry::Global().set_enabled(false);
+  EXPECT_EQ(Query("rp", "//book/title"), (std::vector<DocId>{current}));
+}
+
+TEST_F(IngestTest, SnapshotKeepsAnsweringTheGenerationItPinned) {
+  Seed("rp", {"(book (title))", "(article (journal))"});
+  QueryDriver driver(db_.db(), nullptr, nullptr, 2);
+  const std::vector<std::string> queries = {"//book/title"};
+
+  // Pin a snapshot, then delete the only matching document THROUGH the
+  // live path. A batch on the old snapshot's generation would see it; a
+  // fresh batch must not.
+  auto snapshot = db_->OpenSnapshot();
+  uint64_t pinned_gen = snapshot->generation();
+  ASSERT_TRUE(db_->DeleteDocument("rp", 0).ok());
+
+  auto after = driver.ExecuteXPathBatchSnapshot("rp", "", queries, &dict_);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->generation, pinned_gen + 1);
+  EXPECT_TRUE(after->results[0].docs.empty());
+
+  // The pinned generation's pages are still intact: reading the old
+  // catalog entry directly still answers the old result.
+  auto entry = snapshot->GetIndex("rp");
+  ASSERT_TRUE(entry.ok());
+  auto old_index = PrixIndex::OpenFromEntry(db_.pool(), *entry);
+  ASSERT_TRUE(old_index.ok()) << old_index.status().ToString();
+  QueryProcessor qp(db_.db(), old_index->get(), nullptr);
+  auto old_result = qp.ExecuteXPath("//book/title", &dict_);
+  ASSERT_TRUE(old_result.ok()) << old_result.status().ToString();
+  EXPECT_EQ(old_result->docs, (std::vector<DocId>{0}));
+}
+
+TEST_F(IngestTest, VerifyReportsLiveAndDeadDocuments) {
+  Seed("rp", {"(book (title))", "(article (journal))", "(book (year))"});
+  ASSERT_TRUE(db_->DeleteDocument("rp", 1).ok());
+  const std::string path = db_.path();
+  ASSERT_TRUE(db_.CloseHandle().ok());
+
+  VerifyReport report;
+  ASSERT_TRUE(VerifyDatabase(path, &report).ok());
+  EXPECT_TRUE(report.clean()) << report.issues.size() << " issues";
+  ASSERT_EQ(report.doc_stats.size(), 1u);
+  EXPECT_EQ(report.doc_stats[0].index, "rp");
+  EXPECT_EQ(report.doc_stats[0].live_docs, 2u);
+  EXPECT_EQ(report.doc_stats[0].dead_docs, 1u);
+  EXPECT_GT(report.free_pages, 0u);
+
+  auto reopened = Database::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  db_.Adopt(std::move(*reopened));
+}
+
+TEST_F(IngestTest, ExtendedIndexIngestsInLockstepWithRegular) {
+  // The CLI keeps "rp" and "ep" DocIds in lockstep; value queries route to
+  // the extended index, structural ones to the regular — both must see the
+  // grown collection.
+  PrixIndexOptions ep_options = DynamicOptions();
+  ep_options.extended = true;
+  Seed("rp", {"(book (author (=Jim)) (title))"});
+  Seed("ep", {"(book (author (=Jim)) (title))"}, ep_options);
+
+  Document doc = DocFromSexp("(book (author (=Ana)) (title))", 1, &dict_);
+  auto rp_id = db_->InsertDocument("rp", doc);
+  auto ep_id = db_->InsertDocument("ep", doc);
+  ASSERT_TRUE(rp_id.ok()) << rp_id.status().ToString();
+  ASSERT_TRUE(ep_id.ok()) << ep_id.status().ToString();
+  EXPECT_EQ(*rp_id, *ep_id);
+
+  auto rp = PrixIndex::Open(&db_.db(), "rp");
+  auto ep = PrixIndex::Open(&db_.db(), "ep");
+  ASSERT_TRUE(rp.ok()) << rp.status().ToString();
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  EXPECT_TRUE((*ep)->extended());
+  QueryProcessor qp(db_.db(), rp->get(), ep->get());
+  auto by_value = qp.ExecuteXPath("//book[./author=\"Ana\"]", &dict_);
+  ASSERT_TRUE(by_value.ok()) << by_value.status().ToString();
+  EXPECT_EQ(by_value->docs, (std::vector<DocId>{1}));
+  EXPECT_TRUE(by_value->stats.used_extended_index);
+  auto structural = qp.ExecuteXPath("//book/title", &dict_);
+  ASSERT_TRUE(structural.ok()) << structural.status().ToString();
+  EXPECT_EQ(structural->docs, (std::vector<DocId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace prix

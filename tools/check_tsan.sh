@@ -7,7 +7,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
-TARGETS=(buffer_pool_concurrency_test parallel_query_test)
+TARGETS=(buffer_pool_concurrency_test parallel_query_test ingest_stress_test)
 
 cmake -B "$BUILD_DIR" -S . -DPRIX_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" --target "${TARGETS[@]}" -j "$(nproc)"

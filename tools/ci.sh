@@ -5,14 +5,17 @@
 #      the v3 compressed formats (DESIGN.md §5h); answers must not change
 #   3. faults tier (fault-injection / crash-recovery matrices)
 #   4. corruption tier (single-page garble fuzz, scrub, salvage)
-#   5. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
-#   6. ASan/UBSan suite
-#   7. fault suite again under ASan (error paths are where pins leak)
-#   8. corruption fuzz under ASan/UBSan, swept over fixed seeds and both
+#   5. ingest tier in both on-disk formats (online insert/update/delete,
+#      snapshot-isolation stress oracle — DESIGN.md §5i)
+#   6. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
+#   7. ASan/UBSan suite
+#   8. fault suite again under ASan (error paths are where pins leak)
+#   9. corruption fuzz under ASan/UBSan, swept over fixed seeds and both
 #      formats — garbled pages must produce clean Status errors, never UB
-#   9. TSan concurrency suite
+#  10. TSan concurrency suite (includes the ingest stress oracle, so the
+#      reader/writer snapshot handoff is race-checked, not just correct)
 # Each stage uses its own build tree, so rerunning after a fix is
-# incremental; stage 7 reuses stage 6's tree. Fast feedback first: a tier1
+# incremental; stage 8 reuses stage 7's tree. Fast feedback first: a tier1
 # regression fails the gate before any slow matrix or sanitizer build runs.
 #
 # Usage: tools/ci.sh
@@ -20,31 +23,41 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== 1/9 build + tier1 tests ===="
+echo "==== 1/10 build + tier1 tests ===="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 
-echo "==== 2/9 tier1 with compressed (v3) index formats ===="
+echo "==== 2/10 tier1 with compressed (v3) index formats ===="
 PRIX_COMPRESS=1 ctest --test-dir build -L tier1 --output-on-failure \
   -j "$(nproc)"
 
-echo "==== 3/9 fault-injection tier ===="
+echo "==== 3/10 fault-injection tier ===="
 ctest --test-dir build -L faults --output-on-failure -j "$(nproc)"
 
-echo "==== 4/9 corruption tier ===="
+echo "==== 4/10 corruption tier ===="
 ctest --test-dir build -L corruption --output-on-failure -j "$(nproc)"
 
-echo "==== 5/9 metrics overhead guard ===="
+echo "==== 5/10 online-ingest tier, both index formats ===="
+# The stress test checks every concurrent query batch against the oracle of
+# the exact generation it pinned; a compressed-format pass makes sure the
+# in-place B+-tree insert/delete paths hold for delta-coded leaves too.
+for compress in 0 1; do
+  echo "---- ingest: compress $compress ----"
+  PRIX_COMPRESS="$compress" \
+  ctest --test-dir build -L ingest --output-on-failure -j "$(nproc)"
+done
+
+echo "==== 6/10 metrics overhead guard ===="
 tools/check_metrics_overhead.sh
 
-echo "==== 6/9 AddressSanitizer + UBSan ===="
+echo "==== 7/10 AddressSanitizer + UBSan ===="
 tools/check_asan.sh build-asan
 
-echo "==== 7/9 fault injection + crash simulation under ASan ===="
+echo "==== 8/10 fault injection + crash simulation under ASan ===="
 tools/check_faults.sh build-asan
 
-echo "==== 8/9 corruption fuzz under ASan, fixed seed sweep ===="
+echo "==== 9/10 corruption fuzz under ASan, fixed seed sweep ===="
 # Each seed garbles every page of a differently-shaped index file; the
 # sweep is deterministic so a failure reproduces with the printed seed.
 # PRIX_COMPRESS flips the default-format sweep to v3, so each seed covers
@@ -60,7 +73,7 @@ for seed in 1 42 20260806; do
   done
 done
 
-echo "==== 9/9 ThreadSanitizer ===="
+echo "==== 10/10 ThreadSanitizer ===="
 tools/check_tsan.sh build-tsan
 
 echo "==== CI: all stages green ===="

@@ -15,6 +15,16 @@
 //                                         I/O counters and phase breakdown,
 //                                         --metrics dumps the process-wide
 //                                         MetricsRegistry as JSON afterward
+//   prix insert <db-file> <xml-file>...   parse each file into records and
+//                                         insert them into the live rp+ep
+//                                         indexes (one commit per record
+//                                         per index); concurrent readers on
+//                                         snapshots are unaffected until
+//                                         each commit lands
+//   prix delete <db-file> <docid>...      tombstone documents in rp+ep;
+//                                         their DocStore records remain
+//                                         until a rebuild but no query
+//                                         returns them
 //   prix stats  <db-file>                 print index statistics
 //   prix verify [--salvage] <db-file> [<out-file>]
 //                                         scrub every page's CRC and walk
@@ -30,6 +40,7 @@
 // restarts for queries to resolve tag names) is a blob entry named "tags".
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -169,6 +180,74 @@ int CmdIndex(const std::string& path, bool compress, int argc, char** argv) {
   return 0;
 }
 
+int CmdInsert(const std::string& path, int argc, char** argv) {
+  auto db = Database::Open(path);
+  if (!db.ok()) return Fail(db.status().ToString());
+  TagDictionary dict;
+  if (auto s = LoadDictionary(db->get(), &dict); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  size_t inserted = 0;
+  for (int i = 0; i < argc; ++i) {
+    auto text = ReadFile(argv[i]);
+    if (!text.ok()) return Fail(text.status().ToString());
+    auto doc = ParseXml(*text, &dict);
+    if (!doc.ok()) {
+      return Fail(std::string(argv[i]) + ": " + doc.status().ToString());
+    }
+    std::vector<Document> records = SplitIntoRecords(*doc);
+    if (records.empty()) records.push_back(std::move(*doc));
+    for (const Document& record : records) {
+      // Both indexes cover the same collection, so the assigned DocIds must
+      // stay in lockstep; a mismatch means the database was built unevenly.
+      auto rp_id = (*db)->InsertDocument("rp", record);
+      if (!rp_id.ok()) return Fail(rp_id.status().ToString());
+      auto ep_id = (*db)->InsertDocument("ep", record);
+      if (!ep_id.ok()) return Fail(ep_id.status().ToString());
+      if (*rp_id != *ep_id) {
+        return Fail("rp/ep DocId divergence: " + std::to_string(*rp_id) +
+                    " vs " + std::to_string(*ep_id));
+      }
+      std::printf("doc%u <- %s\n", *rp_id, argv[i]);
+      ++inserted;
+    }
+  }
+  // New tags may have been interned while parsing; re-persist the dictionary
+  // so queries after a restart can resolve them.
+  if (auto s = SaveDictionary(db->get(), dict); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  if (auto s = (*db)->Close(); !s.ok()) return Fail(s.ToString());
+  std::printf("Inserted %zu document(s) into %s (generation now spans rp+ep "
+              "commits).\n",
+              inserted, path.c_str());
+  return 0;
+}
+
+int CmdDelete(const std::string& path, int argc, char** argv) {
+  auto db = Database::Open(path);
+  if (!db.ok()) return Fail(db.status().ToString());
+  for (int i = 0; i < argc; ++i) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(argv[i], &end, 10);
+    if (end == argv[i] || *end != '\0') {
+      return Fail(std::string("not a DocId: ") + argv[i]);
+    }
+    uint32_t doc = static_cast<uint32_t>(parsed);
+    if (auto s = (*db)->DeleteDocument("rp", doc); !s.ok()) {
+      return Fail("deleting doc" + std::to_string(doc) + " from rp: " +
+                  s.ToString());
+    }
+    if (auto s = (*db)->DeleteDocument("ep", doc); !s.ok()) {
+      return Fail("deleting doc" + std::to_string(doc) + " from ep: " +
+                  s.ToString());
+    }
+    std::printf("doc%u deleted\n", doc);
+  }
+  if (auto s = (*db)->Close(); !s.ok()) return Fail(s.ToString());
+  return 0;
+}
+
 int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
              bool metrics) {
   auto db = Database::Open(path);
@@ -243,7 +322,10 @@ int CmdStats(const std::string& path) {
     std::printf(" %s", entry.name.c_str());
   }
   std::printf("\n");
-  std::printf("documents:       %zu\n", (*rp)->num_docs());
+  std::printf("documents:       %zu (%zu live, %zu tombstoned)\n",
+              (*rp)->num_docs(), (*rp)->num_live_docs(),
+              (*rp)->tombstones().size());
+  std::printf("free list:       %zu page(s)\n", (*db)->free_page_count());
   std::printf("labels:          %zu\n", dict.size());
   std::printf("RP symbol tree:  %llu entries, height %u\n",
               (unsigned long long)(*rp)->symbol_index().num_entries(),
@@ -286,6 +368,16 @@ int CmdVerify(const std::string& path, bool salvage,
               (unsigned long long)walk.indexes_checked,
               (unsigned long long)walk.indexes_bad);
   PrintIssues(walk);
+  for (const IndexDocStats& ds : walk.doc_stats) {
+    std::printf("  index '%s': %llu live document(s), %llu dead "
+                "(tombstoned, DocStore record unreclaimed)\n",
+                ds.index.c_str(), (unsigned long long)ds.live_docs,
+                (unsigned long long)ds.dead_docs);
+  }
+  if (walk.free_pages > 0) {
+    std::printf("  free list: %llu page(s) awaiting reuse\n",
+                (unsigned long long)walk.free_pages);
+  }
 
   bool clean = scrub.clean() && walk.clean();
   std::printf("%s: %s\n", path.c_str(), clean ? "clean" : "CORRUPT");
@@ -314,6 +406,8 @@ int Main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: prix index [--compress] <db> <xml>...\n"
+                 "       prix insert <db> <xml>...\n"
+                 "       prix delete <db> <docid>...\n"
                  "       prix query [--trace] [--metrics] <db> <xpath>...\n"
                  "       prix stats <db>\n"
                  "       prix verify [--salvage] <db> [<out>]\n");
@@ -346,6 +440,12 @@ int Main(int argc, char** argv) {
   std::string path = argv[arg++];
   if (cmd == "index" && arg < argc) {
     return CmdIndex(path, compress, argc - arg, argv + arg);
+  }
+  if (cmd == "insert" && arg < argc) {
+    return CmdInsert(path, argc - arg, argv + arg);
+  }
+  if (cmd == "delete" && arg < argc) {
+    return CmdDelete(path, argc - arg, argv + arg);
   }
   if (cmd == "query" && arg < argc) {
     return CmdQuery(path, argc - arg, argv + arg, trace, metrics);
