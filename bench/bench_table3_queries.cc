@@ -1,15 +1,50 @@
 // Regenerates Table 3: the nine XPath queries and their twig-match counts,
 // cross-checked across PRIX, ViST, TwigStack/TwigStackXB, and the oracle.
+//
+// Set PRIX_EXPORT_QUERIES=<path> to also write the nine queries as a
+// Zambezi-format query file (common/queryfile.h) — the input shape
+// `prix bench-serve` replays, so the paper's workload can be thrown at a
+// running `prix serve` unchanged.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "bench_common.h"
+#include "common/queryfile.h"
 
 using namespace prix;
 using namespace prix::bench;
 
+namespace {
+
+int ExportQueries(const char* path) {
+  std::vector<QueryFileEntry> entries;
+  for (const QuerySpec& spec : AllQueries()) {
+    QueryFileEntry e;
+    e.id = entries.size() + 1;
+    e.text = spec.xpath;
+    entries.push_back(std::move(e));
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  out << FormatQueryFile(entries);
+  out.close();
+  std::printf("exported %zu queries to %s (Zambezi format)\n",
+              entries.size(), path);
+  return 0;
+}
+
+}  // namespace
+
 int main() {
+  if (const char* export_path = std::getenv("PRIX_EXPORT_QUERIES")) {
+    if (int rc = ExportQueries(export_path); rc != 0) return rc;
+  }
   double scale = ScaleFromEnv();
   std::printf("Table 3: XPath queries and twig-match counts (scale %.2f)\n",
               scale);

@@ -1,0 +1,138 @@
+#include "common/queryfile.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace prix {
+
+namespace {
+
+Status MalformedAt(std::string_view what, size_t line, size_t offset) {
+  return Status::ParseError(std::string(what) + " at line " +
+                            std::to_string(line) + " (offset " +
+                            std::to_string(offset) + ")");
+}
+
+/// Parses a decimal u64 at `*pos`, advancing past it. Rejects empty digits
+/// and overflow; leading zeros are accepted (ids copied from other tools
+/// often carry them).
+Status ParseUint(std::string_view text, size_t* pos, size_t line,
+                 std::string_view what, uint64_t* out) {
+  size_t start = *pos;
+  uint64_t value = 0;
+  while (*pos < text.size() && text[*pos] >= '0' && text[*pos] <= '9') {
+    uint64_t digit = static_cast<uint64_t>(text[*pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return MalformedAt(std::string(what) + " overflows", line, start);
+    }
+    value = value * 10 + digit;
+    ++*pos;
+  }
+  if (*pos == start) {
+    return MalformedAt("expected " + std::string(what), line, start);
+  }
+  *out = value;
+  return Status::OK();
+}
+
+/// Consumes exactly one ' ' separator.
+Status ParseSpace(std::string_view text, size_t* pos, size_t line) {
+  if (*pos >= text.size() || text[*pos] != ' ') {
+    return MalformedAt("expected ' '", line, *pos);
+  }
+  ++*pos;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<QueryFileEntry>> ParseQueryFile(std::string_view text) {
+  size_t pos = 0;
+  size_t line = 1;
+  uint64_t declared = 0;
+  PRIX_RETURN_NOT_OK(ParseUint(text, &pos, line, "query count", &declared));
+  if (pos >= text.size() || text[pos] != '\n') {
+    return MalformedAt("expected end of line after query count", line, pos);
+  }
+  ++pos;
+  // A count an attacker (or a corrupted file) inflated must not drive a
+  // pre-allocation: reserve against what the remaining bytes could possibly
+  // hold (every line needs at least 4 bytes: "0 0\n").
+  std::vector<QueryFileEntry> entries;
+  uint64_t plausible = (text.size() - pos) / 4 + 1;
+  entries.reserve(static_cast<size_t>(std::min(declared, plausible)));
+  for (uint64_t i = 0; i < declared; ++i) {
+    ++line;
+    if (pos >= text.size()) {
+      return MalformedAt("file ends after " + std::to_string(i) + " of " +
+                             std::to_string(declared) + " declared queries",
+                         line, pos);
+    }
+    QueryFileEntry entry;
+    PRIX_RETURN_NOT_OK(ParseUint(text, &pos, line, "query id", &entry.id));
+    PRIX_RETURN_NOT_OK(ParseSpace(text, &pos, line));
+    uint64_t len = 0;
+    PRIX_RETURN_NOT_OK(ParseUint(text, &pos, line, "query length", &len));
+    PRIX_RETURN_NOT_OK(ParseSpace(text, &pos, line));
+    if (len > text.size() - pos) {
+      return MalformedAt("query length " + std::to_string(len) +
+                             " runs past end of file",
+                         line, pos);
+    }
+    entry.text.assign(text.data() + pos, static_cast<size_t>(len));
+    if (entry.text.find('\n') != std::string::npos) {
+      return MalformedAt("query length " + std::to_string(len) +
+                             " spans a newline",
+                         line, pos + entry.text.find('\n'));
+    }
+    pos += static_cast<size_t>(len);
+    if (pos < text.size()) {
+      if (text[pos] != '\n') {
+        return MalformedAt("expected end of line after query text", line,
+                           pos);
+      }
+      ++pos;
+    } else if (i + 1 < declared) {
+      return MalformedAt("file ends after " + std::to_string(i + 1) +
+                             " of " + std::to_string(declared) +
+                             " declared queries",
+                         line, pos);
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (pos < text.size()) {
+    return MalformedAt("trailing data after " + std::to_string(declared) +
+                           " declared queries",
+                       line + 1, pos);
+  }
+  return entries;
+}
+
+Result<std::vector<QueryFileEntry>> LoadQueryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = ParseQueryFile(buf.str());
+  if (!parsed.ok()) return parsed.status().Annotate(path);
+  return parsed;
+}
+
+std::string FormatQueryFile(const std::vector<QueryFileEntry>& entries) {
+  std::string out = std::to_string(entries.size());
+  out += '\n';
+  for (const QueryFileEntry& e : entries) {
+    out += std::to_string(e.id);
+    out += ' ';
+    out += std::to_string(e.text.size());
+    out += ' ';
+    out += e.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace prix

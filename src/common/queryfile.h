@@ -1,0 +1,45 @@
+#ifndef PRIX_COMMON_QUERYFILE_H_
+#define PRIX_COMMON_QUERYFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prix {
+
+// The Zambezi query-file format — the workload-driver shape adopted for the
+// serving layer's replay client and for exporting bench query mixes:
+//
+//   <first line>  .=. <number of queries : integer>
+//   <line>        .=. <query id : integer> <query length : integer> <query>
+//
+// `query length` is the byte length of the query text, which lets a query
+// carry embedded spaces without quoting (the parser takes exactly that many
+// bytes after the single separating space and requires end-of-line there).
+// Lines are '\n'-terminated; a trailing newline on the last line is
+// optional. Malformed input reports the 1-based line number AND the byte
+// offset of the offending character, matching the XPath parser's error
+// style ("... at line 3 (offset 41)").
+
+/// One parsed query line.
+struct QueryFileEntry {
+  uint64_t id = 0;
+  std::string text;
+};
+
+/// Parses a whole query file. ParseError names the first malformed line.
+Result<std::vector<QueryFileEntry>> ParseQueryFile(std::string_view text);
+
+/// Reads and parses `path` (errors are annotated with the path).
+Result<std::vector<QueryFileEntry>> LoadQueryFile(const std::string& path);
+
+/// Renders `entries` in the format above (with trailing newline).
+/// FormatQueryFile(ParseQueryFile(x)) == x for files this writer produced.
+std::string FormatQueryFile(const std::vector<QueryFileEntry>& entries);
+
+}  // namespace prix
+
+#endif  // PRIX_COMMON_QUERYFILE_H_

@@ -21,6 +21,10 @@ enum class StatusCode : int {
   kResourceExhausted = 8,
   kInternal = 9,
   kNotImplemented = 10,
+  kDeadlineExceeded = 11,
+  kCancelled = 12,
+  kFailedPrecondition = 13,
+  kUnavailable = 14,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -70,6 +74,20 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Transient peer/service condition (connection reset, server draining):
+  /// the operation may succeed if retried elsewhere or later.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -82,6 +100,17 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

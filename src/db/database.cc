@@ -266,6 +266,26 @@ Database::SlotState Database::ParseHeader(
     *free_head = GetU32(p);
     p += 4;
   }
+  // Second optional trailer: stale-generation stamps for derived indexes
+  // (headers written before staleness tracking simply end here). A name not
+  // in the catalog is ignored, not an error: the entry may have been
+  // dropped by the same commit that wrote the stamp list.
+  if (have(4)) {
+    uint32_t stale_count = GetU32(p);
+    p += 4;
+    for (uint32_t i = 0; i < stale_count; ++i) {
+      if (!have(4)) return SlotState::kTorn;
+      uint32_t name_len = GetU32(p);
+      p += 4;
+      if (!have(static_cast<size_t>(name_len) + 8)) return SlotState::kTorn;
+      std::string name(p, name_len);
+      p += name_len;
+      uint64_t stale_gen = GetU64(p);
+      p += 8;
+      auto it = out.find(name);
+      if (it != out.end()) it->second.stale_as_of_gen = stale_gen;
+    }
+  }
   *generation = gen;
   *entries = std::move(out);
   return SlotState::kValid;
@@ -334,6 +354,21 @@ Status Database::CommitLocked() {
     return head.status();
   }
   PutU32(&payload, *head);
+  // Stale-generation trailer (parsed as the second optional trailer): only
+  // stamped entries are listed, so fresh catalogs pay four bytes.
+  {
+    uint32_t stale_count = 0;
+    for (const auto& [name, entry] : catalog_) {
+      if (entry.stale_as_of_gen != 0) ++stale_count;
+    }
+    PutU32(&payload, stale_count);
+    for (const auto& [name, entry] : catalog_) {
+      if (entry.stale_as_of_gen == 0) continue;
+      PutU32(&payload, static_cast<uint32_t>(name.size()));
+      payload.insert(payload.end(), name.begin(), name.end());
+      PutU64(&payload, entry.stale_as_of_gen);
+    }
+  }
   if (payload.size() > kPayloadCapacity) {
     resume_reuse();
     return Status::ResourceExhausted(
@@ -454,6 +489,33 @@ Status Database::CommitBatch(const std::vector<IndexEntry>& entries,
     for (PageId id : freed) free_pages_.push_back(FreedPage{id, commit_gen});
   }
   for (const IndexEntry& e : entries) catalog_[e.name] = e;
+  // ROADMAP item 4 stopgap: online ingest rewrites only the PRIX index it
+  // targets, so any co-resident derived index (ViST, TwigStack streams,
+  // XB-forest) not part of this batch stops reflecting the collection at
+  // this commit. Stamp it with the first generation it missed; the stamp
+  // survives until a rebuild republishes the entry with a fresh one. The
+  // rollback below restores old_catalog, which undoes the stamps too.
+  bool mutates_documents = false;
+  for (const IndexEntry& e : entries) {
+    if (e.kind == IndexKind::kPrixRegular ||
+        e.kind == IndexKind::kPrixExtended) {
+      mutates_documents = true;
+    }
+  }
+  if (mutates_documents) {
+    for (auto& [name, entry] : catalog_) {
+      if (entry.kind != IndexKind::kVist &&
+          entry.kind != IndexKind::kTwigStreams &&
+          entry.kind != IndexKind::kXbForest) {
+        continue;
+      }
+      bool in_batch = false;
+      for (const IndexEntry& e : entries) in_batch |= e.name == name;
+      if (!in_batch && entry.stale_as_of_gen == 0) {
+        entry.stale_as_of_gen = commit_gen;
+      }
+    }
+  }
   Status st = CommitLocked();
   if (!st.ok()) {
     // The transaction did not publish: its superseded pages are still live

@@ -82,6 +82,13 @@ class Database : public PageAllocator {
     IndexKind kind = IndexKind::kBlob;
     PageId root = kInvalidPage;
     std::vector<char> options;
+    /// Nonzero for a derived (ViST/TwigStack) index whose collection was
+    /// mutated by online ingest after the index was built: the value is the
+    /// first catalog generation at which it stopped reflecting the
+    /// documents. CommitBatch stamps it (see DESIGN.md §5i); the engines'
+    /// Open functions refuse stale entries with FailedPrecondition, and a
+    /// rebuild (PutIndex with a fresh entry) clears it. 0 = in sync.
+    uint64_t stale_as_of_gen = 0;
   };
 
   ~Database();

@@ -104,6 +104,10 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
   // numbers below are exact for this query regardless of what other
   // threads fault concurrently.
   MetricsContext mctx;
+  // Publish the request deadline (if any) to this thread's checkpoints —
+  // the matcher's range descents, the loops below, and the buffer pool's
+  // miss path all call CheckDeadline() against it.
+  ScopedDeadline deadline_scope(options.deadline);
   const uint64_t t_start = MetricsContext::NowMicros();
 
   QueryResult result;
@@ -149,6 +153,7 @@ Result<QueryResult> QueryProcessor::Execute(const TwigPattern& pattern,
         // Final phase for generalized queries: direct embedding check on
         // the reconstructed tree (parent array is the NPS, Lemma 1).
         for (DocId doc : candidates) {
+          PRIX_RETURN_NOT_OK(CheckDeadline());
           PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
                                 LoadDoc(index, doc, &ctx, &result.stats));
           std::vector<uint32_t> parent;
@@ -347,6 +352,7 @@ Status QueryProcessor::ScanSingleNode(PrixIndex* index,
   bool is_star = twig.is_star(twig.root());
   for (DocId doc = 0; doc < index->num_docs(); ++doc) {
     if (index->IsDeleted(doc)) continue;
+    PRIX_RETURN_NOT_OK(CheckDeadline());
     PRIX_ASSIGN_OR_RETURN(const RefinableDoc* rdoc,
                           LoadDoc(index, doc, ctx, stats));
     std::vector<uint32_t> parent;

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/deadline.h"
 #include "db/database.h"
 #include "naive/naive_matcher.h"
 #include "prix/prix_index.h"
@@ -40,6 +41,13 @@ struct QueryOptions {
 
   /// Cap on raw branch permutations for unordered matching.
   size_t arrangement_limit = 40320;
+
+  /// Optional per-request deadline + cancel token (common/deadline.h). When
+  /// set, Execute installs it on the executing thread for its whole run, so
+  /// every engine checkpoint — range descents, per-document verification,
+  /// buffer-pool misses — can stop the query with DeadlineExceeded or
+  /// Cancelled. Must outlive the call; nullptr (the default) costs nothing.
+  const Deadline* deadline = nullptr;
 };
 
 /// Execution counters, aggregated across arrangements. MergeFrom folds the

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/deadline.h"
 #include "common/macros.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -214,6 +215,10 @@ Status SubsequenceMatcher::Descend(const QuerySequence& q, size_t i,
   // whose LeftPos lies in (ql, qr] — i.e. descendants of the current node.
   LabelId label = q.lps[i];
   ++stats->range_queries;
+  // Match-loop deadline checkpoint: once per range descent, so cancellation
+  // latency is bounded by one batch scan even when every page is cached and
+  // the buffer-pool miss checkpoint never fires.
+  PRIX_RETURN_NOT_OK(CheckDeadline());
   // Exact queries scan the open interval (ql, qr]; generalized queries
   // include ql itself so a slot may repeat its predecessor's position.
   uint64_t start = generalized_ && i > 0 ? ql : ql + 1;

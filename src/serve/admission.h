@@ -1,0 +1,96 @@
+#ifndef PRIX_SERVE_ADMISSION_H_
+#define PRIX_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/deadline.h"
+#include "common/result.h"
+
+namespace prix {
+
+// Admission control for the serving layer (DESIGN.md §5j): a bounded FIFO
+// queue in front of a fixed number of execute slots, with per-client
+// in-flight caps and deadline-aware shedding. The goal under overload is a
+// flat ceiling — memory bounded by max_queued, useful work bounded by
+// max_executing — with excess load turned into cheap, typed SHED responses
+// the client can back off on, instead of a growing queue of work that will
+// time out anyway.
+//
+// Shed decisions (all typed, all carrying a retry-after hint):
+//  - queue full                -> ResourceExhausted, shed on arrival
+//  - per-client cap reached    -> ResourceExhausted, shed on arrival
+//  - deadline unmeetable       -> ResourceExhausted, shed on arrival: the
+//    predicted queue wait (EWMA service time x queue depth / slots) already
+//    exceeds the request's remaining deadline, so queueing it would only
+//    waste a slot on a corpse
+//  - draining                  -> Unavailable (SIGTERM shutdown in progress)
+// A request whose deadline expires or is cancelled WHILE queued leaves the
+// queue with its own DeadlineExceeded/Cancelled — it was admitted-then-
+// abandoned, not shed.
+
+class AdmissionController {
+ public:
+  struct Options {
+    size_t max_executing = 4;       ///< concurrent requests actually running
+    size_t max_queued = 64;         ///< waiters beyond the executing set
+    size_t per_client_inflight = 8; ///< queued+executing cap per client id
+    uint64_t initial_service_us = 10'000;  ///< EWMA seed before any sample
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  /// Blocks until an execute slot is granted or the request is refused.
+  /// On OK the caller MUST call Release() when the request finishes. On
+  /// ResourceExhausted / Unavailable, `retry_after_ms` (if non-null) holds
+  /// the backoff hint to send with the SHED frame. `deadline` may be null.
+  Status Admit(uint64_t client_id, const Deadline* deadline,
+               uint32_t* retry_after_ms);
+
+  /// Returns an execute slot and feeds `service_us` into the EWMA the
+  /// shed predictions use.
+  void Release(uint64_t client_id, uint64_t service_us);
+
+  /// Refuse every new request with Unavailable and wake queued waiters
+  /// (they are shed with Unavailable too). Idempotent.
+  void BeginDrain();
+
+  // Introspection (tests and the stats endpoint).
+  size_t executing() const;
+  size_t queued() const;
+  uint64_t ewma_service_us() const;
+  uint64_t admitted_total() const;
+  uint64_t shed_total() const;
+
+ private:
+  struct Waiter {
+    uint64_t client_id = 0;
+    bool granted = false;
+    bool abandoned = false;  ///< left the queue (deadline/cancel); skip it
+  };
+
+  /// Pops grantable waiters into execute slots. Caller holds mu_.
+  void GrantLocked();
+
+  uint64_t PredictedWaitUsLocked() const;
+  uint32_t RetryAfterMsLocked() const;
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t executing_ = 0;
+  std::deque<std::shared_ptr<Waiter>> queue_;
+  std::unordered_map<uint64_t, size_t> client_inflight_;
+  uint64_t ewma_service_us_;
+  uint64_t admitted_total_ = 0;
+  uint64_t shed_total_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_SERVE_ADMISSION_H_

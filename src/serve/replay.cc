@@ -1,0 +1,257 @@
+#include "serve/replay.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <set>
+#include <thread>
+
+#include "common/deadline.h"
+#include "common/macros.h"
+#include "serve/wire.h"
+
+namespace prix {
+
+namespace {
+
+Result<int> ConnectTo(const std::string& host, uint16_t port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    return Status::Unavailable("resolve " + host + ": " + gai_strerror(rc));
+  }
+  int fd = -1;
+  Status last = Status::Unavailable("no addresses for " + host);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IoError("socket: " + std::string(std::strerror(errno)));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return last;
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Per-connection slice of the report, merged under a mutex at the end so
+/// worker threads never contend mid-run.
+struct ConnStats {
+  uint64_t requests = 0, ok = 0, cached = 0, shed = 0, retries = 0;
+  uint64_t gave_up = 0, errors = 0, deadline_errors = 0, docs = 0;
+  std::vector<uint64_t> latencies_us;
+  std::set<uint64_t> generations;
+  bool generations_monotonic = true;
+  Status fatal;  ///< infrastructure failure (stops this connection)
+};
+
+void RunConnection(const ReplayOptions& options,
+                   const std::vector<QueryFileEntry>& queries,
+                   size_t conn_index, ConnStats* stats) {
+  auto fd_or = ConnectTo(options.host, options.port);
+  if (!fd_or.ok()) {
+    stats->fatal = fd_or.status();
+    return;
+  }
+  int fd = *fd_or;
+  FrameDecoder dec;
+  // Deterministic per-connection RNG for backoff jitter.
+  std::mt19937_64 rng(options.seed * 7919 + conn_index);
+
+  // This connection's share of the workload: queries dealt round-robin,
+  // grouped into batches.
+  std::vector<std::vector<std::string>> batches;
+  {
+    std::vector<std::string> cur;
+    for (size_t pass = 0; pass < options.passes; ++pass) {
+      for (size_t i = conn_index; i < queries.size();
+           i += options.connections) {
+        cur.push_back(queries[i].text);
+        if (cur.size() >= options.batch_size) {
+          batches.push_back(std::move(cur));
+          cur.clear();
+        }
+      }
+    }
+    if (!cur.empty()) batches.push_back(std::move(cur));
+  }
+
+  // Open-loop schedule: request k is due at start + k / per-connection-qps.
+  uint64_t start_us = Deadline::NowMicros();
+  double conn_qps = options.open_loop_qps / options.connections;
+  uint64_t prev_generation = 0;
+
+  for (size_t k = 0; k < batches.size(); ++k) {
+    if (conn_qps > 0) {
+      uint64_t due_us =
+          start_us + static_cast<uint64_t>(k * 1'000'000.0 / conn_qps);
+      uint64_t now = Deadline::NowMicros();
+      if (now < due_us) {
+        std::this_thread::sleep_for(std::chrono::microseconds(due_us - now));
+      }
+    }
+    QueryRequest req;
+    req.request_id = conn_index * 1'000'000 + k + 1;
+    req.timeout_ms = options.timeout_ms;
+    req.xpaths = batches[k];
+
+    uint64_t attempt_start = Deadline::NowMicros();
+    bool answered = false;
+    for (size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
+      ++stats->requests;
+      if (attempt > 0) ++stats->retries;
+      if (!WriteAll(fd, EncodeQuery(req)).ok()) {
+        stats->fatal = Status::Unavailable("server closed the connection");
+        ::close(fd);
+        return;
+      }
+      auto got = ReadFrame(fd, &dec, /*idle_timeout_ms=*/60'000);
+      if (!got.ok() || !got->has_value()) {
+        stats->fatal = got.ok()
+                           ? Status::Unavailable("server closed mid-request")
+                           : got.status();
+        ::close(fd);
+        return;
+      }
+      const Frame& frame = **got;
+      if (frame.type == FrameType::kShed) {
+        auto shed = DecodeShed(frame);
+        if (!shed.ok()) {
+          stats->fatal = shed.status();
+          ::close(fd);
+          return;
+        }
+        ++stats->shed;
+        if (attempt == options.max_retries) break;  // counted below
+        // Exponential backoff with full jitter, floored at the server's
+        // retry-after hint: sleep U(0, min(cap, base * 2^attempt)) but
+        // never less than half the hint (so a loaded server's own estimate
+        // is respected without synchronizing the retrying clients).
+        uint64_t ceil_ms = std::min(options.backoff_cap_ms,
+                                    options.backoff_base_ms << attempt);
+        ceil_ms = std::max<uint64_t>(ceil_ms, shed->retry_after_ms);
+        std::uniform_int_distribution<uint64_t> dist(shed->retry_after_ms / 2,
+                                                     std::max<uint64_t>(
+                                                         1, ceil_ms));
+        std::this_thread::sleep_for(std::chrono::milliseconds(dist(rng)));
+        continue;
+      }
+      if (frame.type == FrameType::kError) {
+        auto err = DecodeError(frame);
+        if (!err.ok()) {
+          stats->fatal = err.status();
+          ::close(fd);
+          return;
+        }
+        ++stats->errors;
+        if (err->status_code ==
+            static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+          ++stats->deadline_errors;
+        }
+        answered = true;
+        break;
+      }
+      auto resp = DecodeResult(frame);
+      if (!resp.ok()) {
+        stats->fatal = resp.status();
+        ::close(fd);
+        return;
+      }
+      ++stats->ok;
+      if (resp->cached) ++stats->cached;
+      stats->latencies_us.push_back(Deadline::NowMicros() - attempt_start);
+      for (const std::vector<uint32_t>& docs : resp->docs) {
+        stats->docs += docs.size();
+      }
+      stats->generations.insert(resp->generation);
+      if (resp->generation < prev_generation) {
+        stats->generations_monotonic = false;
+      }
+      prev_generation = resp->generation;
+      answered = true;
+      break;
+    }
+    if (!answered) ++stats->gave_up;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+uint64_t LatencyPercentileUs(std::vector<uint64_t>* latencies, double q) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  size_t idx = static_cast<size_t>(q * (latencies->size() - 1) + 0.5);
+  if (idx >= latencies->size()) idx = latencies->size() - 1;
+  return (*latencies)[idx];
+}
+
+Status RunReplay(const ReplayOptions& options,
+                 const std::vector<QueryFileEntry>& queries,
+                 ReplayReport* report) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("replay needs at least one query");
+  }
+  if (options.connections == 0 || options.batch_size == 0) {
+    return Status::InvalidArgument(
+        "connections and batch_size must be nonzero");
+  }
+  std::vector<ConnStats> stats(options.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  for (size_t c = 0; c < options.connections; ++c) {
+    threads.emplace_back(
+        [&options, &queries, c, &stats] {
+          RunConnection(options, queries, c, &stats[c]);
+        });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::set<uint64_t> generations;
+  Status fatal;
+  for (const ConnStats& s : stats) {
+    report->requests += s.requests;
+    report->ok += s.ok;
+    report->cached += s.cached;
+    report->shed += s.shed;
+    report->retries += s.retries;
+    report->gave_up += s.gave_up;
+    report->errors += s.errors;
+    report->deadline_errors += s.deadline_errors;
+    report->docs += s.docs;
+    report->latencies_us.insert(report->latencies_us.end(),
+                                s.latencies_us.begin(), s.latencies_us.end());
+    generations.insert(s.generations.begin(), s.generations.end());
+    report->generations_monotonic &= s.generations_monotonic;
+    if (!s.fatal.ok() && fatal.ok()) fatal = s.fatal;
+  }
+  report->generations.assign(generations.begin(), generations.end());
+  return fatal;
+}
+
+}  // namespace prix

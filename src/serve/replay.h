@@ -1,0 +1,68 @@
+#ifndef PRIX_SERVE_REPLAY_H_
+#define PRIX_SERVE_REPLAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/queryfile.h"
+#include "common/result.h"
+
+namespace prix {
+
+/// Workload shape for RunReplay (`prix bench-serve`). Closed loop by
+/// default: each connection keeps exactly one request in flight and sends
+/// the next when the response lands. Setting `open_loop_qps` switches to an
+/// open loop: requests are launched on a fixed schedule regardless of
+/// response latency — the shape that actually exposes overload behavior,
+/// because a slow server cannot slow the arrival rate down.
+struct ReplayOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t connections = 1;  ///< concurrent client connections
+  size_t passes = 1;       ///< passes over the query list
+  uint32_t timeout_ms = 0; ///< per-request deadline sent on the wire
+  size_t batch_size = 1;   ///< queries per request frame
+  double open_loop_qps = 0;  ///< 0 = closed loop
+  /// SHED retry policy: exponential backoff with full jitter, seeded so a
+  /// bench run is reproducible.
+  size_t max_retries = 8;
+  uint64_t backoff_base_ms = 2;
+  uint64_t backoff_cap_ms = 250;
+  uint64_t seed = 42;
+};
+
+/// Everything a bench run measures. Latencies are per completed (kResult)
+/// request, end to end including any SHED-retry backoff.
+struct ReplayReport {
+  uint64_t requests = 0;       ///< kQuery frames sent (including retries)
+  uint64_t ok = 0;             ///< kResult responses
+  uint64_t cached = 0;         ///< kResult responses served from the cache
+  uint64_t shed = 0;           ///< kShed responses observed
+  uint64_t retries = 0;        ///< resends after a SHED
+  uint64_t gave_up = 0;        ///< requests dropped after max_retries SHEDs
+  uint64_t errors = 0;         ///< kError responses
+  uint64_t deadline_errors = 0;  ///< kError carrying DeadlineExceeded
+  uint64_t docs = 0;           ///< matching documents summed over answers
+  std::vector<uint64_t> latencies_us;
+  std::vector<uint64_t> generations;  ///< distinct generations, sorted
+  /// Per connection, response generations never decreased — the snapshot
+  /// monotonicity a client observes across its own requests.
+  bool generations_monotonic = true;
+};
+
+/// Value at quantile `q` (0.5/0.95/0.99); sorts `latencies` in place.
+uint64_t LatencyPercentileUs(std::vector<uint64_t>* latencies, double q);
+
+/// Replays `queries` against a running `prix serve` instance. Queries are
+/// dealt round-robin across connections, grouped into batches of
+/// `batch_size`. Returns non-OK only for infrastructure failures (cannot
+/// connect, protocol violation by the server); per-request errors and sheds
+/// are counted in the report.
+Status RunReplay(const ReplayOptions& options,
+                 const std::vector<QueryFileEntry>& queries,
+                 ReplayReport* report);
+
+}  // namespace prix
+
+#endif  // PRIX_SERVE_REPLAY_H_

@@ -1,0 +1,109 @@
+#include "serve/result_cache.h"
+
+#include "common/metrics.h"
+
+namespace prix {
+
+std::string ResultCache::MakeKey(const std::string& index,
+                                 uint64_t generation,
+                                 const std::string& xpath) {
+  // '\0' separators: index names and xpaths never contain NUL (both come
+  // through parsers that reject it), so the key is unambiguous.
+  std::string key;
+  key.reserve(index.size() + xpath.size() + 22);
+  key.append(index);
+  key.push_back('\0');
+  key.append(std::to_string(generation));
+  key.push_back('\0');
+  key.append(xpath);
+  return key;
+}
+
+size_t ResultCache::Weight(const std::string& key,
+                           const std::vector<uint32_t>& docs) {
+  // Fixed overhead approximates the list node + map slot + string/vector
+  // headers; exactness doesn't matter, boundedness does.
+  return key.size() + docs.size() * sizeof(uint32_t) + 96;
+}
+
+bool ResultCache::Lookup(const std::string& index, uint64_t generation,
+                         const std::string& xpath,
+                         std::vector<uint32_t>* docs) {
+  if (max_bytes_ == 0) return false;
+  std::string key = MakeKey(index, generation, xpath);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (it == map_.end()) {
+    ++misses_;
+    if (reg.enabled()) reg.counter("prix.serve.cache_misses").Add(1);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *docs = it->second->docs;
+  ++hits_;
+  if (reg.enabled()) reg.counter("prix.serve.cache_hits").Add(1);
+  return true;
+}
+
+void ResultCache::Insert(const std::string& index, uint64_t generation,
+                         const std::string& xpath,
+                         const std::vector<uint32_t>& docs) {
+  if (max_bytes_ == 0) return;
+  std::string key = MakeKey(index, generation, xpath);
+  size_t weight = Weight(key, docs);
+  if (weight > max_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second->weight;
+    it->second->docs = docs;
+    it->second->weight = weight;
+    bytes_ += weight;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{std::move(key), docs, weight});
+    map_.emplace(lru_.front().key, lru_.begin());
+    bytes_ += weight;
+  }
+  EvictLocked();
+}
+
+void ResultCache::EvictLocked() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.weight;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    if (reg.enabled()) reg.counter("prix.serve.cache_evictions").Add(1);
+  }
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace prix

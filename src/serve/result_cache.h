@@ -1,0 +1,74 @@
+#ifndef PRIX_SERVE_RESULT_CACHE_H_
+#define PRIX_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace prix {
+
+// Generation-keyed query result cache (DESIGN.md §5j). The key is
+// (index, catalog generation, xpath), so an ingest commit invalidates every
+// cached answer FOR FREE: the new generation simply never hits the old
+// keys. Stale entries are not hunted down — they age out through the LRU
+// like anything else, which is correct because a hit on an old generation
+// key can only come from a request pinned to that generation, and such a
+// hit is still the right answer for that snapshot.
+//
+// Memory is bounded by `max_bytes` of charged entry weight (key bytes +
+// doc payload + fixed per-entry overhead); inserting past the bound evicts
+// least-recently-used entries first. All operations take one mutex — the
+// critical sections are memcpy-sized, and the cache sits in front of query
+// execution that is milliseconds long.
+class ResultCache {
+ public:
+  /// max_bytes == 0 disables the cache (Lookup misses, Insert drops).
+  explicit ResultCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// On hit, fills `docs` and refreshes the entry's LRU position.
+  bool Lookup(const std::string& index, uint64_t generation,
+              const std::string& xpath, std::vector<uint32_t>* docs);
+
+  /// Inserts/overwrites, then evicts LRU entries until within budget. An
+  /// entry that alone exceeds the whole budget is not cached.
+  void Insert(const std::string& index, uint64_t generation,
+              const std::string& xpath, const std::vector<uint32_t>& docs);
+
+  size_t bytes() const;
+  size_t entries() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<uint32_t> docs;
+    size_t weight = 0;
+  };
+
+  static std::string MakeKey(const std::string& index, uint64_t generation,
+                             const std::string& xpath);
+  static size_t Weight(const std::string& key,
+                       const std::vector<uint32_t>& docs);
+  void EvictLocked();
+
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,146 @@
+#ifndef PRIX_SERVE_SERVER_H_
+#define PRIX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prix/query_driver.h"
+#include "serve/admission.h"
+#include "serve/result_cache.h"
+#include "serve/wire.h"
+#include "xml/tag_dictionary.h"
+
+namespace prix {
+
+/// Tuning and wiring for one Server. Defaults are sized for the paper's
+/// single-machine setup; everything is overridable from `prix serve`.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port (the
+  /// bound port is reported by Server::port() and printed by the CLI).
+  uint16_t port = 0;
+
+  /// Workers in the QueryDriver pool; also the default execute-slot count.
+  size_t query_threads = 4;
+
+  /// Admission control; max_executing == 0 inherits query_threads.
+  AdmissionController::Options admission{0, 64, 8, 10'000};
+
+  /// Result cache budget; 0 disables caching.
+  size_t cache_bytes = 16u << 20;
+
+  /// Deadline applied to requests that carry timeout_ms == 0. 0 = none.
+  uint32_t default_timeout_ms = 0;
+
+  /// Slowloris guard: a connection that keeps a frame (or its length
+  /// prefix) incomplete this long is dropped with a typed error.
+  uint32_t idle_timeout_ms = 10'000;
+
+  /// Catalog names of the PRIX indexes every batch runs against.
+  std::string rp_name = "rp";
+  std::string ep_name;  ///< empty = no extended index
+};
+
+/// `prix serve`: a thread-per-connection TCP server speaking the wire
+/// protocol of serve/wire.h, executing query batches through a shared
+/// QueryDriver against pinned generation snapshots (DESIGN.md §5j).
+///
+/// Request lifecycle: decode (hostile-input hardened) -> result-cache
+/// probe at the current committed generation -> admission (bounded queue,
+/// per-client caps, deadline-aware shedding) -> snapshot-pinned batch
+/// execution with the request's Deadline installed -> typed response
+/// (kResult / kError / kShed). A watchdog thread polls executing
+/// connections for peer disconnect (POLLRDHUP) and cancels their Deadline,
+/// so a client that vanishes mid-request stops burning CPU and I/O within
+/// one engine checkpoint.
+///
+/// Shutdown: BeginDrain() (the SIGTERM path) stops accepting, sheds the
+/// admission queue, lets in-flight requests finish and their responses
+/// flush, then Join() returns. Stop() additionally cancels in-flight
+/// request deadlines for a fast exit.
+class Server {
+ public:
+  /// Binds, listens, and starts the accept/watchdog threads. `db` and
+  /// `dict` must outlive the server; the named RP index must exist.
+  static Result<std::unique_ptr<Server>> Start(Database* db,
+                                               TagDictionary* dict,
+                                               const ServerOptions& options);
+
+  ~Server();
+
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown trigger; idempotent and safe from any thread.
+  void BeginDrain();
+
+  /// Cancels in-flight deadlines too (drain, but impatient).
+  void Stop();
+
+  /// Blocks until every connection thread has exited. Call after
+  /// BeginDrain()/Stop(); returns OK when the server wound down cleanly.
+  Status Join();
+
+  // Introspection for tests and `prix serve` logging.
+  const AdmissionController& admission() const { return admission_; }
+  const ResultCache& cache() const { return cache_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn;
+
+  Server(Database* db, TagDictionary* dict, const ServerOptions& options);
+
+  void AcceptLoop();
+  void WatchdogLoop();
+  void ConnectionLoop(Conn* conn);
+  /// Handles one kQuery frame end to end; the returned buffer is the
+  /// encoded response frame to send.
+  std::vector<char> HandleQuery(Conn* conn, const Frame& frame);
+
+  void RegisterExecuting(Conn* conn, Deadline* deadline);
+  void UnregisterExecuting(Conn* conn);
+  void ReapFinishedConns();
+
+  Database* db_;
+  TagDictionary* dict_;
+  ServerOptions options_;
+  AdmissionController admission_;
+  ResultCache cache_;
+  std::unique_ptr<QueryDriver> driver_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::thread accept_thread_;
+  std::thread watchdog_thread_;
+
+  struct Conn {
+    int fd = -1;
+    uint64_t client_id = 0;  ///< peer address hash (per-client caps)
+    std::thread thread;
+    std::atomic<bool> done{false};
+    /// Deadline of the request this connection is executing (null when
+    /// idle). The deadline lives on the connection thread's stack, so every
+    /// access — install, clear, and the watchdog's Cancel — happens under
+    /// conns_mu_; the connection thread cannot clear-and-destroy it while
+    /// the watchdog is mid-Cancel.
+    Deadline* executing_deadline = nullptr;
+  };
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_SERVE_SERVER_H_

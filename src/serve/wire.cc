@@ -1,0 +1,360 @@
+#include "serve/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/deadline.h"
+#include "common/macros.h"
+#include "storage/record_store.h"
+
+namespace prix {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 4;  // the u32 body length
+
+bool ValidFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kQuery) &&
+         t <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+/// Bounds-checked payload cursor: every Get* verifies the bytes are present
+/// before touching them, so a lying length field inside an
+/// otherwise-well-framed payload yields a typed error, not a wild read.
+class Cursor {
+ public:
+  Cursor(const char* p, size_t n) : p_(p), end_(p + n) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  Result<uint32_t> U32(const char* field) {
+    PRIX_RETURN_NOT_OK(Need(4, field));
+    uint32_t v = GetU32(p_);
+    p_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64(const char* field) {
+    PRIX_RETURN_NOT_OK(Need(8, field));
+    uint64_t v = GetU64(p_);
+    p_ += 8;
+    return v;
+  }
+
+  Result<uint8_t> U8(const char* field) {
+    PRIX_RETURN_NOT_OK(Need(1, field));
+    return static_cast<uint8_t>(*p_++);
+  }
+
+  Result<std::string> Bytes(uint32_t len, const char* field) {
+    PRIX_RETURN_NOT_OK(Need(len, field));
+    std::string s(p_, len);
+    p_ += len;
+    return s;
+  }
+
+  Status ExpectEnd(const char* what) {
+    if (p_ != end_) {
+      return Status::InvalidArgument(
+          std::string(what) + " frame carries " + std::to_string(remaining()) +
+          " trailing byte(s) past its declared fields");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n, const char* field) {
+    if (remaining() < n) {
+      return Status::InvalidArgument(
+          std::string("frame payload truncated reading ") + field + " (need " +
+          std::to_string(n) + " bytes, have " + std::to_string(remaining()) +
+          ")");
+    }
+    return Status::OK();
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+Status CheckType(const Frame& frame, FrameType want, const char* what) {
+  if (frame.type != want) {
+    return Status::InvalidArgument(
+        std::string("expected a ") + what + " frame, got type " +
+        std::to_string(static_cast<unsigned>(frame.type)));
+  }
+  return Status::OK();
+}
+
+void PutLenBytes(std::vector<char>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  // Compact the consumed prefix so a long-lived connection's buffer does
+  // not creep; done between frames only, when pos_ is a frame boundary.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return std::optional<Frame>();
+  uint32_t body_len = GetU32(buf_.data() + pos_);
+  // Header validation happens before the body is awaited (let alone
+  // buffered): a hostile 4 GiB length prefix dies here, with 4 bytes held.
+  if (body_len == 0) {
+    return Status::InvalidArgument(
+        "frame declares an empty body (no type byte)");
+  }
+  if (body_len > max_body_) {
+    return Status::InvalidArgument(
+        "frame body of " + std::to_string(body_len) +
+        " bytes exceeds the " + std::to_string(max_body_) + "-byte limit");
+  }
+  if (avail < kFrameHeaderBytes + 1) return std::optional<Frame>();
+  // The type byte is validated as soon as it arrives, not when the body
+  // completes — garbage dies before the peer can make us wait for it.
+  uint8_t type = static_cast<uint8_t>(buf_[pos_ + kFrameHeaderBytes]);
+  if (!ValidFrameType(type)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(unsigned(type)));
+  }
+  if (avail < kFrameHeaderBytes + body_len) return std::optional<Frame>();
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(buf_.begin() + pos_ + kFrameHeaderBytes + 1,
+                       buf_.begin() + pos_ + kFrameHeaderBytes + body_len);
+  pos_ += kFrameHeaderBytes + body_len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+void AppendFrame(std::vector<char>* out, FrameType type,
+                 const std::vector<char>& payload) {
+  PRIX_CHECK(payload.size() + 1 <= kMaxFrameBody);
+  PutU32(out, static_cast<uint32_t>(payload.size() + 1));
+  out->push_back(static_cast<char>(type));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+std::vector<char> EncodeQuery(const QueryRequest& req) {
+  std::vector<char> payload;
+  PutU64(&payload, req.request_id);
+  PutU32(&payload, req.timeout_ms);
+  PutU32(&payload, static_cast<uint32_t>(req.xpaths.size()));
+  for (const std::string& x : req.xpaths) PutLenBytes(&payload, x);
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kQuery, payload);
+  return out;
+}
+
+std::vector<char> EncodeResult(const QueryResponse& resp) {
+  std::vector<char> payload;
+  PutU64(&payload, resp.request_id);
+  PutU64(&payload, resp.generation);
+  payload.push_back(resp.cached ? 1 : 0);
+  PutU32(&payload, static_cast<uint32_t>(resp.docs.size()));
+  for (const std::vector<uint32_t>& docs : resp.docs) {
+    PutU32(&payload, static_cast<uint32_t>(docs.size()));
+    for (uint32_t d : docs) PutU32(&payload, d);
+  }
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kResult, payload);
+  return out;
+}
+
+std::vector<char> EncodeError(const ErrorResponse& resp) {
+  std::vector<char> payload;
+  PutU64(&payload, resp.request_id);
+  PutU32(&payload, resp.status_code);
+  PutLenBytes(&payload, resp.message);
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kError, payload);
+  return out;
+}
+
+std::vector<char> EncodeShed(const ShedResponse& resp) {
+  std::vector<char> payload;
+  PutU64(&payload, resp.request_id);
+  PutU32(&payload, resp.retry_after_ms);
+  PutLenBytes(&payload, resp.message);
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kShed, payload);
+  return out;
+}
+
+Result<QueryRequest> DecodeQuery(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(CheckType(frame, FrameType::kQuery, "query"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  QueryRequest req;
+  PRIX_ASSIGN_OR_RETURN(req.request_id, c.U64("request_id"));
+  PRIX_ASSIGN_OR_RETURN(req.timeout_ms, c.U32("timeout_ms"));
+  PRIX_ASSIGN_OR_RETURN(uint32_t count, c.U32("query count"));
+  // An xpath entry needs at least 4 bytes, so a count the remaining bytes
+  // cannot hold is rejected before it sizes any allocation.
+  if (count > c.remaining() / 4) {
+    return Status::InvalidArgument("query count " + std::to_string(count) +
+                                   " exceeds the frame's remaining " +
+                                   std::to_string(c.remaining()) + " bytes");
+  }
+  req.xpaths.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PRIX_ASSIGN_OR_RETURN(uint32_t len, c.U32("xpath length"));
+    PRIX_ASSIGN_OR_RETURN(std::string x, c.Bytes(len, "xpath text"));
+    req.xpaths.push_back(std::move(x));
+  }
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("query"));
+  return req;
+}
+
+Result<QueryResponse> DecodeResult(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(CheckType(frame, FrameType::kResult, "result"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  QueryResponse resp;
+  PRIX_ASSIGN_OR_RETURN(resp.request_id, c.U64("request_id"));
+  PRIX_ASSIGN_OR_RETURN(resp.generation, c.U64("generation"));
+  PRIX_ASSIGN_OR_RETURN(uint8_t cached, c.U8("cached flag"));
+  resp.cached = cached != 0;
+  PRIX_ASSIGN_OR_RETURN(uint32_t count, c.U32("result count"));
+  if (count > c.remaining() / 4) {
+    return Status::InvalidArgument("result count " + std::to_string(count) +
+                                   " exceeds the frame's remaining " +
+                                   std::to_string(c.remaining()) + " bytes");
+  }
+  resp.docs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PRIX_ASSIGN_OR_RETURN(uint32_t n, c.U32("doc count"));
+    if (n > c.remaining() / 4) {
+      return Status::InvalidArgument("doc count " + std::to_string(n) +
+                                     " exceeds the frame's remaining " +
+                                     std::to_string(c.remaining()) + " bytes");
+    }
+    std::vector<uint32_t> docs;
+    docs.reserve(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      PRIX_ASSIGN_OR_RETURN(uint32_t d, c.U32("doc id"));
+      docs.push_back(d);
+    }
+    resp.docs.push_back(std::move(docs));
+  }
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("result"));
+  return resp;
+}
+
+Result<ErrorResponse> DecodeError(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(CheckType(frame, FrameType::kError, "error"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  ErrorResponse resp;
+  PRIX_ASSIGN_OR_RETURN(resp.request_id, c.U64("request_id"));
+  PRIX_ASSIGN_OR_RETURN(resp.status_code, c.U32("status code"));
+  PRIX_ASSIGN_OR_RETURN(uint32_t len, c.U32("message length"));
+  PRIX_ASSIGN_OR_RETURN(resp.message, c.Bytes(len, "message"));
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("error"));
+  return resp;
+}
+
+Result<ShedResponse> DecodeShed(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(CheckType(frame, FrameType::kShed, "shed"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  ShedResponse resp;
+  PRIX_ASSIGN_OR_RETURN(resp.request_id, c.U64("request_id"));
+  PRIX_ASSIGN_OR_RETURN(resp.retry_after_ms, c.U32("retry_after_ms"));
+  PRIX_ASSIGN_OR_RETURN(uint32_t len, c.U32("message length"));
+  PRIX_ASSIGN_OR_RETURN(resp.message, c.Bytes(len, "message"));
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("shed"));
+  return resp;
+}
+
+uint64_t PeekRequestId(const Frame& frame) {
+  if (frame.payload.size() < 8) return 0;
+  return GetU64(frame.payload.data());
+}
+
+Status WriteAll(int fd, const std::vector<char>& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer closed the connection");
+      }
+      return Status::IoError("send: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
+                                       uint32_t idle_timeout_ms,
+                                       const std::atomic<bool>* stop) {
+  // Drain anything already buffered (pipelined frames) before touching the
+  // socket again.
+  PRIX_ASSIGN_OR_RETURN(std::optional<Frame> ready, dec->Next());
+  if (ready.has_value()) return ready;
+  uint64_t idle_deadline =
+      idle_timeout_ms == 0
+          ? 0
+          : Deadline::NowMicros() + uint64_t{idle_timeout_ms} * 1000;
+  char chunk[16 * 1024];
+  while (true) {
+    // Poll in short slices so a drain request is observed promptly even on
+    // an idle connection.
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("poll: " + std::string(std::strerror(errno)));
+    }
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return Status::Unavailable("shutting down");
+    }
+    if (rc == 0) {
+      if (idle_deadline != 0 && Deadline::NowMicros() >= idle_deadline) {
+        // The slowloris guard: a peer holding a frame open (or just its
+        // length prefix) may not pin this connection's thread forever.
+        return Status::DeadlineExceeded(
+            dec->buffered() > 0
+                ? "idle timeout mid-frame (" +
+                      std::to_string(dec->buffered()) + " bytes buffered)"
+                : "idle timeout awaiting a frame");
+      }
+      continue;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("connection reset");
+      }
+      return Status::IoError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (dec->buffered() > 0) {
+        return Status::InvalidArgument(
+            "peer disconnected mid-frame (" +
+            std::to_string(dec->buffered()) + " bytes of a frame buffered)");
+      }
+      return std::optional<Frame>();  // clean EOF between frames
+    }
+    dec->Feed(chunk, static_cast<size_t>(n));
+    PRIX_ASSIGN_OR_RETURN(std::optional<Frame> frame, dec->Next());
+    if (frame.has_value()) return frame;
+    if (idle_deadline != 0) {
+      // Progress was made; restart the idle clock.
+      idle_deadline = Deadline::NowMicros() + uint64_t{idle_timeout_ms} * 1000;
+    }
+  }
+}
+
+}  // namespace prix

@@ -1,0 +1,155 @@
+#ifndef PRIX_SERVE_WIRE_H_
+#define PRIX_SERVE_WIRE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace prix {
+
+// The serving layer's wire protocol (DESIGN.md §5j): length-prefixed binary
+// frames over a byte stream.
+//
+//   frame   .=. u32 body_len (LE) | body
+//   body    .=. u8 type | payload        (body_len = 1 + payload bytes)
+//
+// Every multi-byte integer is little-endian. Frame types and payloads:
+//
+//   kQuery  (client->server)  u64 request_id | u32 timeout_ms |
+//                             u32 count | count x (u32 len | xpath bytes)
+//   kResult (server->client)  u64 request_id | u64 generation | u8 cached |
+//                             u32 count | count x (u32 n | n x u32 doc)
+//   kError  (server->client)  u64 request_id | u32 status_code |
+//                             u32 len | message bytes
+//   kShed   (server->client)  u64 request_id | u32 retry_after_ms |
+//                             u32 len | message bytes
+//   kPing   (client->server)  arbitrary payload, echoed back
+//   kPong   (server->client)  the kPing payload
+//
+// The decoder assumes the peer is hostile: a declared body length is
+// validated against kMaxFrameBody BEFORE any allocation, field counts are
+// validated against the bytes actually present before any reserve, and
+// every malformed shape yields a typed InvalidArgument naming the field —
+// never a crash, an unbounded allocation, or a silent truncation.
+
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kResult = 2,
+  kError = 3,
+  kShed = 4,
+  kPing = 5,
+  kPong = 6,
+};
+
+/// Largest accepted frame body (type byte + payload). A batch of Table-3
+/// XPath queries is a few KB; 1 MiB leaves room for large result frames
+/// while capping what a hostile length prefix can make the server buffer.
+constexpr size_t kMaxFrameBody = 1u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<char> payload;
+};
+
+/// Incremental frame decoder for one connection. Feed() appends received
+/// bytes; Next() yields one decoded frame, std::nullopt when more bytes are
+/// needed, or a typed error for a malformed stream (oversized or zero
+/// length prefix, unknown type byte). After an error the stream is
+/// poisoned: the caller must drop the connection (framing can't resync).
+///
+/// Memory bound: the header is validated as soon as 5 bytes arrive, so the
+/// buffer never holds more than one accepted frame plus whatever the last
+/// Feed() appended — a peer drip-feeding a huge length prefix is rejected
+/// before the decoder commits any memory to it.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_body = kMaxFrameBody)
+      : max_body_(max_body) {}
+
+  void Feed(const char* data, size_t n) { buf_.insert(buf_.end(), data, data + n); }
+
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet decoded — nonzero at connection EOF means
+  /// the peer disconnected mid-frame.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_body_;
+  std::vector<char> buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_, compacted between frames
+};
+
+/// Appends one encoded frame to `out`. PRIX_CHECKs that the body fits
+/// kMaxFrameBody — producers build frames from validated inputs.
+void AppendFrame(std::vector<char>* out, FrameType type,
+                 const std::vector<char>& payload);
+
+// ---- typed payloads ----
+
+struct QueryRequest {
+  uint64_t request_id = 0;
+  uint32_t timeout_ms = 0;  ///< 0 = use the server default (possibly none)
+  std::vector<std::string> xpaths;
+};
+
+struct QueryResponse {
+  uint64_t request_id = 0;
+  uint64_t generation = 0;  ///< catalog generation the answers reflect
+  bool cached = false;      ///< answered from the result cache
+  std::vector<std::vector<uint32_t>> docs;  ///< per query, sorted DocIds
+};
+
+struct ErrorResponse {
+  uint64_t request_id = 0;
+  uint32_t status_code = 0;  ///< StatusCode of the failure
+  std::string message;
+};
+
+struct ShedResponse {
+  uint64_t request_id = 0;
+  uint32_t retry_after_ms = 0;  ///< client backoff hint
+  std::string message;
+};
+
+std::vector<char> EncodeQuery(const QueryRequest& req);
+std::vector<char> EncodeResult(const QueryResponse& resp);
+std::vector<char> EncodeError(const ErrorResponse& resp);
+std::vector<char> EncodeShed(const ShedResponse& resp);
+
+/// Decoders validate the claimed frame type and every length field against
+/// the payload bytes actually present (typed InvalidArgument otherwise).
+Result<QueryRequest> DecodeQuery(const Frame& frame);
+Result<QueryResponse> DecodeResult(const Frame& frame);
+Result<ErrorResponse> DecodeError(const Frame& frame);
+Result<ShedResponse> DecodeShed(const Frame& frame);
+
+/// Best-effort request id of a frame whose full decode failed (the first
+/// payload field of every typed frame), so error replies can still name
+/// the request. 0 when even that much is missing.
+uint64_t PeekRequestId(const Frame& frame);
+
+// ---- blocking socket helpers (shared by server and replay client) ----
+
+/// Writes all of `data` to `fd`, retrying short writes and EINTR. EPIPE and
+/// ECONNRESET come back as Unavailable (peer gone).
+Status WriteAll(int fd, const std::vector<char>& data);
+
+/// Reads frames from `fd` through `dec`. Returns the next frame, or
+/// std::nullopt on clean EOF (peer closed between frames), or a typed
+/// error: InvalidArgument for malformed/truncated streams (EOF mid-frame),
+/// DeadlineExceeded when no byte arrives for `idle_timeout_ms` while a
+/// frame is outstanding (the slowloris guard; 0 disables), Unavailable for
+/// socket errors. `stop`, when non-null, makes the poll loop return
+/// Unavailable("shutting down") promptly after it turns true.
+Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
+                                       uint32_t idle_timeout_ms,
+                                       const std::atomic<bool>* stop = nullptr);
+
+}  // namespace prix
+
+#endif  // PRIX_SERVE_WIRE_H_

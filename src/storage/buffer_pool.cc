@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "common/deadline.h"
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "storage/page_format.h"
@@ -75,6 +76,11 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   }
   shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
   ChargePoolMiss();
+  // Page-fetch deadline checkpoint (DESIGN.md §5j): a cancelled or expired
+  // request stops faulting pages in before the physical read. Hits are not
+  // checked — the hot path stays untouched and a cancelled query still dies
+  // at its next miss or match-loop checkpoint.
+  PRIX_RETURN_NOT_OK(CheckDeadline());
   PRIX_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame(shard));
   Page* page = shard.frames[frame].get();
   Status read_st = disk_->ReadPage(id, page->data_);

@@ -115,6 +115,14 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Open(
     return Status::InvalidArgument("catalog entry '" + name +
                                    "' is not a stream store");
   }
+  if (entry.stale_as_of_gen != 0) {
+    // Stamped by Database::CommitBatch when online ingest outran this
+    // derived structure; see the matching check in VistIndex::Open.
+    return Status::FailedPrecondition(
+        "index '" + name + "' is stale as of generation " +
+        std::to_string(entry.stale_as_of_gen) +
+        ", rebuild or query the PRIX index");
+  }
   std::vector<char> blob;
   PRIX_RETURN_NOT_OK(ReadBlob(db->pool(), entry.root, &blob));
   const char* p = blob.data();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/deadline.h"
 #include "common/macros.h"
 #include "storage/record_store.h"
 
@@ -55,6 +56,14 @@ Result<std::unique_ptr<XbForest>> XbForest::Open(Database* db,
   if (entry.kind != Database::IndexKind::kXbForest) {
     return Status::InvalidArgument("catalog entry '" + name +
                                    "' is not an XB-forest");
+  }
+  if (entry.stale_as_of_gen != 0) {
+    // Stamped by Database::CommitBatch when online ingest outran this
+    // derived structure; see the matching check in VistIndex::Open.
+    return Status::FailedPrecondition(
+        "index '" + name + "' is stale as of generation " +
+        std::to_string(entry.stale_as_of_gen) +
+        ", rebuild or query the PRIX index");
   }
   std::vector<char> blob;
   PRIX_RETURN_NOT_OK(ReadBlob(db->pool(), entry.root, &blob));
@@ -185,7 +194,12 @@ class TwigStackEngine::Run {
   }
 
   Status Execute(TwigStackResult* result) {
+    uint64_t iterations = 0;
     while (!SubtreeEnded(twig_.root())) {
+      // Deadline checkpoint, amortized: one TLS probe every 512 stream
+      // advances keeps cancellation latency in the microseconds while
+      // staying invisible next to the per-element stack work.
+      if ((iterations++ & 511) == 0) PRIX_RETURN_NOT_OK(CheckDeadline());
       PRIX_ASSIGN_OR_RETURN(uint32_t q, GetNext(twig_.root()));
       TagCursor* cur = cursors_[q];
       if (cur->Eof()) break;  // defensive; GetNext avoids eof nodes

@@ -32,6 +32,15 @@ struct IndexDocStats {
   uint64_t dead_docs = 0;
 };
 
+/// A derived (ViST/TwigStack) index stamped stale by online ingest: its
+/// structure is intact but describes an older generation of the documents.
+/// Like dead documents this is dead weight, not corruption — it never makes
+/// the report unclean.
+struct StaleIndexNote {
+  std::string index;
+  uint64_t stale_as_of_gen = 0;  ///< first generation the index missed
+};
+
 /// Accumulated result of ScrubPages and/or VerifyDatabase. A database is
 /// clean when both passes leave `issues` empty.
 struct VerifyReport {
@@ -42,6 +51,7 @@ struct VerifyReport {
   uint64_t free_pages = 0;       ///< persistent free-list entries at open
   std::vector<VerifyIssue> issues;
   std::vector<IndexDocStats> doc_stats;  ///< one per PRIX entry
+  std::vector<StaleIndexNote> stale_indexes;  ///< stamped by online ingest
 
   bool clean() const { return issues.empty(); }
 };

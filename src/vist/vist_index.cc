@@ -192,6 +192,15 @@ Result<std::unique_ptr<VistIndex>> VistIndex::Open(Database* db,
     return Status::InvalidArgument("catalog entry '" + name +
                                    "' is not a ViST index");
   }
+  if (entry.stale_as_of_gen != 0) {
+    // Online ingest mutated the collection after this index was built
+    // (Database::CommitBatch stamped it); its answers would silently miss
+    // or resurrect documents, so refuse to open it at all.
+    return Status::FailedPrecondition(
+        "index '" + name + "' is stale as of generation " +
+        std::to_string(entry.stale_as_of_gen) +
+        ", rebuild or query the PRIX index");
+  }
   BufferPool* pool = db->pool();
   std::vector<char> blob;
   Status blob_st = ReadBlob(pool, entry.root, &blob);

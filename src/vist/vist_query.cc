@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/deadline.h"
 #include "common/macros.h"
 #include "query/twig_prufer.h"
 
@@ -61,6 +62,7 @@ Result<VistQueryResult> VistQueryProcessor::Execute(
   }
   std::set<TwigMatch> match_set;
   for (DocId doc : candidates) {
+    PRIX_RETURN_NOT_OK(CheckDeadline());
     PRIX_ASSIGN_OR_RETURN(Document tree, index_->LoadDocument(doc));
     ++result.stats.docs_verified;
     size_t before = match_set.size();
@@ -86,6 +88,10 @@ Status VistQueryProcessor::Descend(size_t i, uint64_t ql, uint64_t qr,
                                    std::vector<DocId>* candidates,
                                    VistQueryStats* stats) {
   const VistQueryItem& item = items_[i];
+  // Deadline checkpoint once per range descent (the '*' and TREEBANK-style
+  // '//' scans touch every key of a symbol; without this a timed-out query
+  // would grind through the whole index).
+  PRIX_RETURN_NOT_OK(CheckDeadline());
 
   auto process_node = [&](const VistKey& key,
                           const VistNodeValue& value) -> Status {

@@ -7,15 +7,20 @@
 #   4. corruption tier (single-page garble fuzz, scrub, salvage)
 #   5. ingest tier in both on-disk formats (online insert/update/delete,
 #      snapshot-isolation stress oracle — DESIGN.md §5i)
-#   6. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
-#   7. ASan/UBSan suite
-#   8. fault suite again under ASan (error paths are where pins leak)
-#   9. corruption fuzz under ASan/UBSan, swept over fixed seeds and both
+#   6. serving layer: `ctest -L serve` plus the CLI end-to-end — a real
+#      `prix serve` process replayed against (concurrently with ingest
+#      commits), a client SIGKILLed mid-run, and a SIGTERM drain that must
+#      exit 0 (DESIGN.md §5j)
+#   7. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
+#   8. ASan/UBSan suite (includes the serve tests: the frame-decoder
+#      adversarial sweep and the socket servers run sanitized here)
+#   9. fault suite again under ASan (error paths are where pins leak)
+#  10. corruption fuzz under ASan/UBSan, swept over fixed seeds and both
 #      formats — garbled pages must produce clean Status errors, never UB
-#  10. TSan concurrency suite (includes the ingest stress oracle, so the
+#  11. TSan concurrency suite (includes the ingest stress oracle, so the
 #      reader/writer snapshot handoff is race-checked, not just correct)
 # Each stage uses its own build tree, so rerunning after a fix is
-# incremental; stage 8 reuses stage 7's tree. Fast feedback first: a tier1
+# incremental; stage 9 reuses stage 8's tree. Fast feedback first: a tier1
 # regression fails the gate before any slow matrix or sanitizer build runs.
 #
 # Usage: tools/ci.sh
@@ -23,22 +28,22 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== 1/10 build + tier1 tests ===="
+echo "==== 1/11 build + tier1 tests ===="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 
-echo "==== 2/10 tier1 with compressed (v3) index formats ===="
+echo "==== 2/11 tier1 with compressed (v3) index formats ===="
 PRIX_COMPRESS=1 ctest --test-dir build -L tier1 --output-on-failure \
   -j "$(nproc)"
 
-echo "==== 3/10 fault-injection tier ===="
+echo "==== 3/11 fault-injection tier ===="
 ctest --test-dir build -L faults --output-on-failure -j "$(nproc)"
 
-echo "==== 4/10 corruption tier ===="
+echo "==== 4/11 corruption tier ===="
 ctest --test-dir build -L corruption --output-on-failure -j "$(nproc)"
 
-echo "==== 5/10 online-ingest tier, both index formats ===="
+echo "==== 5/11 online-ingest tier, both index formats ===="
 # The stress test checks every concurrent query batch against the oracle of
 # the exact generation it pinned; a compressed-format pass makes sure the
 # in-place B+-tree insert/delete paths hold for delta-coded leaves too.
@@ -48,16 +53,24 @@ for compress in 0 1; do
   ctest --test-dir build -L ingest --output-on-failure -j "$(nproc)"
 done
 
-echo "==== 6/10 metrics overhead guard ===="
+echo "==== 6/11 serving layer (server + replay over loopback) ===="
+# `ctest -L serve` plus the CLI end-to-end: start `prix serve`, replay a
+# query file against it (including one run concurrent with `prix insert`
+# commits, whose report must show only monotonic committed generations),
+# SIGKILL a client mid-run, then SIGTERM the server and require a clean
+# drain with exit 0.
+tools/check_serve.sh build
+
+echo "==== 7/11 metrics overhead guard ===="
 tools/check_metrics_overhead.sh
 
-echo "==== 7/10 AddressSanitizer + UBSan ===="
+echo "==== 8/11 AddressSanitizer + UBSan ===="
 tools/check_asan.sh build-asan
 
-echo "==== 8/10 fault injection + crash simulation under ASan ===="
+echo "==== 9/11 fault injection + crash simulation under ASan ===="
 tools/check_faults.sh build-asan
 
-echo "==== 9/10 corruption fuzz under ASan, fixed seed sweep ===="
+echo "==== 10/11 corruption fuzz under ASan, fixed seed sweep ===="
 # Each seed garbles every page of a differently-shaped index file; the
 # sweep is deterministic so a failure reproduces with the printed seed.
 # PRIX_COMPRESS flips the default-format sweep to v3, so each seed covers
@@ -73,7 +86,7 @@ for seed in 1 42 20260806; do
   done
 done
 
-echo "==== 10/10 ThreadSanitizer ===="
+echo "==== 11/11 ThreadSanitizer ===="
 tools/check_tsan.sh build-tsan
 
 echo "==== CI: all stages green ===="

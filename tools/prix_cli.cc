@@ -25,6 +25,22 @@
 //                                         their DocStore records remain
 //                                         until a rebuild but no query
 //                                         returns them
+//   prix serve <db-file> [--port N] [--threads N] [--rp NAME] [--ep NAME]
+//              [--cache-mb N] [--max-queued N] [--per-client N]
+//              [--max-executing N] [--default-timeout-ms N]
+//              [--idle-timeout-ms N]
+//                                         serve queries over TCP (loopback)
+//                                         with admission control, per-
+//                                         request deadlines, and a
+//                                         generation-keyed result cache;
+//                                         SIGTERM/SIGINT drain gracefully
+//   prix bench-serve --port N --queries FILE [--host H] [--connections N]
+//              [--passes N] [--batch N] [--timeout-ms N] [--qps X]
+//              [--retries N] [--seed N] [--out FILE]
+//                                         replay a Zambezi-format query
+//                                         file against a running server and
+//                                         write p50/p95/p99 latencies to
+//                                         BENCH_serve.json
 //   prix stats  <db-file>                 print index statistics
 //   prix verify [--salvage] <db-file> [<out-file>]
 //                                         scrub every page's CRC and walk
@@ -39,17 +55,25 @@
 // entries named "rp" and "ep", and the tag dictionary (which must survive
 // restarts for queries to resolve tag names) is a blob entry named "tags".
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "common/deadline.h"
+#include "common/json.h"
 #include "common/metrics.h"
+#include "common/queryfile.h"
 #include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
+#include "serve/replay.h"
+#include "serve/server.h"
 #include "storage/record_store.h"
 #include "verify/verifier.h"
 #include "xml/xml_parser.h"
@@ -249,7 +273,7 @@ int CmdDelete(const std::string& path, int argc, char** argv) {
 }
 
 int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
-             bool metrics) {
+             bool metrics, uint32_t timeout_ms) {
   auto db = Database::Open(path);
   if (!db.ok()) return Fail(db.status().ToString());
   TagDictionary dict;
@@ -266,7 +290,14 @@ int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
   QueryProcessor qp(**db, rp->get(), ep->get());
   for (int i = 0; i < argc; ++i) {
     MetricsContext mctx(/*collect_trace=*/trace);
-    auto result = qp.ExecuteXPath(argv[i], &dict);
+    // Each query gets its own deadline: --timeout-ms bounds one query, not
+    // the whole invocation, so a slow second query still gets its full
+    // budget after a fast first one.
+    Deadline deadline = timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms)
+                                       : Deadline();
+    QueryOptions qopts;
+    if (timeout_ms > 0) qopts.deadline = &deadline;
+    auto result = qp.ExecuteXPath(argv[i], &dict, qopts);
     if (!result.ok()) {
       std::printf("%s\n  error: %s\n", argv[i],
                   result.status().ToString().c_str());
@@ -300,6 +331,271 @@ int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
   if (metrics) {
     std::printf("%s\n", MetricsRegistry::Global().ToJson().c_str());
   }
+  return 0;
+}
+
+// --- prix serve / prix bench-serve ------------------------------------------
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
+
+/// Parses the value of a `--flag value` pair; returns false (after printing
+/// the failure) on a malformed number.
+bool ParseUintValue(const char* flag, const char* text, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    Fail(std::string(flag) + " needs an unsigned integer, got '" + text +
+         "'");
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+int CmdServe(int argc, char** argv) {
+  std::string path;
+  ServerOptions options;
+  options.rp_name = "rp";
+  uint64_t cache_mb = 16;
+  bool ep_explicit = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    uint64_t n = 0;
+    if (flag.rfind("--", 0) != 0) {
+      if (!path.empty()) return Fail("serve takes one database path");
+      path = flag;
+    } else if (flag == "--port") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--port", v, &n)) return 1;
+      options.port = static_cast<uint16_t>(n);
+    } else if (flag == "--threads") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--threads", v, &n)) return 1;
+      options.query_threads = n;
+    } else if (flag == "--rp") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--rp needs an index name");
+      options.rp_name = v;
+    } else if (flag == "--ep") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--ep needs an index name");
+      options.ep_name = v;
+      ep_explicit = true;
+    } else if (flag == "--cache-mb") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--cache-mb", v, &n)) return 1;
+      cache_mb = n;
+    } else if (flag == "--max-queued") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--max-queued", v, &n)) return 1;
+      options.admission.max_queued = n;
+    } else if (flag == "--per-client") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--per-client", v, &n)) return 1;
+      options.admission.per_client_inflight = n;
+    } else if (flag == "--max-executing") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--max-executing", v, &n)) {
+        return 1;
+      }
+      options.admission.max_executing = n;
+    } else if (flag == "--default-timeout-ms") {
+      const char* v = value();
+      if (v == nullptr ||
+          !ParseUintValue("--default-timeout-ms", v, &n)) {
+        return 1;
+      }
+      options.default_timeout_ms = static_cast<uint32_t>(n);
+    } else if (flag == "--idle-timeout-ms") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--idle-timeout-ms", v, &n)) {
+        return 1;
+      }
+      options.idle_timeout_ms = static_cast<uint32_t>(n);
+    } else {
+      return Fail("unknown serve flag: " + flag);
+    }
+  }
+  if (path.empty()) return Fail("serve needs a database path");
+  options.cache_bytes = cache_mb << 20;
+
+  auto db = Database::Open(path);
+  if (!db.ok()) return Fail(db.status().ToString());
+  TagDictionary dict;
+  if (auto s = LoadDictionary(db->get(), &dict); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  // Default the extended index to "ep" when the catalog has one; --ep
+  // overrides, and a database built without an EP index just serves RP.
+  if (!ep_explicit && (*db)->GetIndex("ep").ok()) options.ep_name = "ep";
+
+  auto server = Server::Start(db->get(), &dict, options);
+  if (!server.ok()) return Fail(server.status().ToString());
+  std::printf("prix serve: listening on port %u (db %s, rp '%s'%s%s)\n",
+              (*server)->port(), path.c_str(), options.rp_name.c_str(),
+              options.ep_name.empty() ? "" : ", ep '",
+              options.ep_name.empty() ? ""
+                                      : (options.ep_name + "'").c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  while (g_shutdown_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("prix serve: draining (%llu requests served)\n",
+              (unsigned long long)(*server)->requests_served());
+  std::fflush(stdout);
+  (*server)->BeginDrain();
+  if (auto s = (*server)->Join(); !s.ok()) return Fail(s.ToString());
+  server->reset();
+  if (auto s = (*db)->Close(); !s.ok()) return Fail(s.ToString());
+  std::printf("prix serve: exited cleanly\n");
+  return 0;
+}
+
+int CmdBenchServe(int argc, char** argv) {
+  ReplayOptions options;
+  std::string queries_path;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 0; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    uint64_t n = 0;
+    if (flag == "--host") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--host needs a value");
+      options.host = v;
+    } else if (flag == "--port") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--port", v, &n)) return 1;
+      options.port = static_cast<uint16_t>(n);
+    } else if (flag == "--queries") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--queries needs a file path");
+      queries_path = v;
+    } else if (flag == "--connections") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--connections", v, &n)) return 1;
+      options.connections = n;
+    } else if (flag == "--passes") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--passes", v, &n)) return 1;
+      options.passes = n;
+    } else if (flag == "--batch") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--batch", v, &n)) return 1;
+      options.batch_size = n;
+    } else if (flag == "--timeout-ms") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--timeout-ms", v, &n)) return 1;
+      options.timeout_ms = static_cast<uint32_t>(n);
+    } else if (flag == "--qps") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--qps needs a value");
+      options.open_loop_qps = std::strtod(v, nullptr);
+    } else if (flag == "--retries") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--retries", v, &n)) return 1;
+      options.max_retries = n;
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--seed", v, &n)) return 1;
+      options.seed = n;
+    } else if (flag == "--out") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--out needs a file path");
+      out_path = v;
+    } else {
+      return Fail("unknown bench-serve flag: " + flag);
+    }
+  }
+  if (options.port == 0) return Fail("bench-serve needs --port");
+  if (queries_path.empty()) return Fail("bench-serve needs --queries");
+
+  auto queries = LoadQueryFile(queries_path);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  uint64_t start_us = Deadline::NowMicros();
+  ReplayReport report;
+  if (auto s = RunReplay(options, *queries, &report); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  uint64_t wall_us = Deadline::NowMicros() - start_us;
+
+  uint64_t p50 = LatencyPercentileUs(&report.latencies_us, 0.5);
+  uint64_t p95 = LatencyPercentileUs(&report.latencies_us, 0.95);
+  uint64_t p99 = LatencyPercentileUs(&report.latencies_us, 0.99);
+  uint64_t sum = 0;
+  for (uint64_t v : report.latencies_us) sum += v;
+  uint64_t mean =
+      report.latencies_us.empty() ? 0 : sum / report.latencies_us.size();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("serve");
+  w.Key("host").String(options.host);
+  w.Key("port").UInt(options.port);
+  w.Key("queries").UInt(queries->size());
+  w.Key("connections").UInt(options.connections);
+  w.Key("passes").UInt(options.passes);
+  w.Key("batch_size").UInt(options.batch_size);
+  w.Key("timeout_ms").UInt(options.timeout_ms);
+  w.Key("open_loop_qps").Double(options.open_loop_qps);
+  w.Key("max_retries").UInt(options.max_retries);
+  w.Key("seed").UInt(options.seed);
+  w.Key("wall_us").UInt(wall_us);
+  w.Key("requests").UInt(report.requests);
+  w.Key("ok").UInt(report.ok);
+  w.Key("cached").UInt(report.cached);
+  w.Key("shed").UInt(report.shed);
+  w.Key("retries").UInt(report.retries);
+  w.Key("gave_up").UInt(report.gave_up);
+  w.Key("errors").UInt(report.errors);
+  w.Key("deadline_errors").UInt(report.deadline_errors);
+  w.Key("docs").UInt(report.docs);
+  w.Key("p50_us").UInt(p50);
+  w.Key("p95_us").UInt(p95);
+  w.Key("p99_us").UInt(p99);
+  w.Key("mean_us").UInt(mean);
+  w.Key("generations").BeginArray();
+  for (uint64_t g : report.generations) w.UInt(g);
+  w.EndArray();
+  w.Key("generations_monotonic").Bool(report.generations_monotonic);
+  w.EndObject();
+  std::string json = w.Take();
+  if (auto s = ValidateJson(json); !s.ok()) {
+    return Fail("internal: bench JSON invalid: " + s.ToString());
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) return Fail("cannot write " + out_path);
+  out << json << "\n";
+  out.close();
+
+  std::printf(
+      "bench-serve: %llu ok (%llu cached), %llu shed, %llu retries, %llu "
+      "gave up, %llu errors (%llu deadline)\n",
+      (unsigned long long)report.ok, (unsigned long long)report.cached,
+      (unsigned long long)report.shed, (unsigned long long)report.retries,
+      (unsigned long long)report.gave_up, (unsigned long long)report.errors,
+      (unsigned long long)report.deadline_errors);
+  std::printf("  latency us: p50 %llu, p95 %llu, p99 %llu, mean %llu\n",
+              (unsigned long long)p50, (unsigned long long)p95,
+              (unsigned long long)p99, (unsigned long long)mean);
+  std::printf("  generations seen:");
+  for (uint64_t g : report.generations) {
+    std::printf(" %llu", (unsigned long long)g);
+  }
+  std::printf(" (%s)\n",
+              report.generations_monotonic ? "monotonic per connection"
+                                           : "NON-MONOTONIC");
+  std::printf("  report: %s\n", out_path.c_str());
   return 0;
 }
 
@@ -374,6 +670,11 @@ int CmdVerify(const std::string& path, bool salvage,
                 ds.index.c_str(), (unsigned long long)ds.live_docs,
                 (unsigned long long)ds.dead_docs);
   }
+  for (const StaleIndexNote& sn : walk.stale_indexes) {
+    std::printf("  index '%s': STALE as of generation %llu (online ingest "
+                "updated the collection; rebuild or query the PRIX index)\n",
+                sn.index.c_str(), (unsigned long long)sn.stale_as_of_gen);
+  }
   if (walk.free_pages > 0) {
     std::printf("  free list: %llu page(s) awaiting reuse\n",
                 (unsigned long long)walk.free_pages);
@@ -408,17 +709,25 @@ int Main(int argc, char** argv) {
                  "usage: prix index [--compress] <db> <xml>...\n"
                  "       prix insert <db> <xml>...\n"
                  "       prix delete <db> <docid>...\n"
-                 "       prix query [--trace] [--metrics] <db> <xpath>...\n"
+                 "       prix query [--trace] [--metrics] [--timeout-ms N] "
+                 "<db> <xpath>...\n"
+                 "       prix serve <db> [--port N] [--threads N] ...\n"
+                 "       prix bench-serve --port N --queries FILE ...\n"
                  "       prix stats <db>\n"
                  "       prix verify [--salvage] <db> [<out>]\n");
     return 2;
   }
   std::string cmd = argv[1];
+  // serve and bench-serve take `--flag value` pairs, which the shared flag
+  // loop below cannot express; they parse their own argument lists.
+  if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
+  if (cmd == "bench-serve") return CmdBenchServe(argc - 2, argv + 2);
   // Flags sit between the command and the database path.
   bool trace = false;
   bool metrics = false;
   bool salvage = false;
   bool compress = false;
+  uint64_t timeout_ms = 0;
   int arg = 2;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strcmp(argv[arg], "--trace") == 0) {
@@ -431,6 +740,12 @@ int Main(int argc, char** argv) {
       // Build with the v3 compressed formats (DESIGN.md §5h). Reading needs
       // no flag: the index catalog records its format version.
       compress = true;
+    } else if (std::strcmp(argv[arg], "--timeout-ms") == 0 &&
+               arg + 1 < argc) {
+      if (!ParseUintValue("--timeout-ms", argv[arg + 1], &timeout_ms)) {
+        return 1;
+      }
+      ++arg;
     } else {
       return Fail(std::string("unknown flag: ") + argv[arg]);
     }
@@ -448,7 +763,8 @@ int Main(int argc, char** argv) {
     return CmdDelete(path, argc - arg, argv + arg);
   }
   if (cmd == "query" && arg < argc) {
-    return CmdQuery(path, argc - arg, argv + arg, trace, metrics);
+    return CmdQuery(path, argc - arg, argv + arg, trace, metrics,
+                    static_cast<uint32_t>(timeout_ms));
   }
   if (cmd == "stats") return CmdStats(path);
   if (cmd == "verify") {
