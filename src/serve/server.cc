@@ -35,6 +35,24 @@ Status Errno(const char* what) {
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
 }
 
+/// Encodes a result frame, unless the payload would not fit one frame —
+/// result size is driven by query selectivity and batch size, which a
+/// hostile batch controls, so the overflow is a typed error back to the
+/// client, never AppendFrame's process-aborting invariant.
+std::vector<char> EncodeBoundedResult(const QueryResponse& resp) {
+  size_t payload = ResultPayloadBytes(resp);
+  if (payload + 1 <= kMaxFrameBody) return EncodeResult(resp);
+  ErrorResponse err;
+  err.request_id = resp.request_id;
+  err.status_code = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+  err.message = "result of " + std::to_string(payload) +
+                " bytes exceeds the " + std::to_string(kMaxFrameBody) +
+                "-byte frame limit; narrow the queries or shrink the batch";
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (reg.enabled()) reg.counter("prix.serve.oversized_results").Add(1);
+  return EncodeError(err);
+}
+
 }  // namespace
 
 Server::Server(Database* db, TagDictionary* dict, const ServerOptions& options)
@@ -171,16 +189,41 @@ void Server::AcceptLoop() {
       if (errno == EINTR) continue;
       // shutdown() in BeginDrain surfaces as EINVAL/ECONNABORTED here.
       if (draining_.load(std::memory_order_relaxed)) break;
+      // Persistent failures (EMFILE/ENFILE when the process is out of fds)
+      // must not busy-spin a core; back off briefly before retrying.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
       continue;
     }
     int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     ReapFinishedConns();
+    if (options_.max_connections != 0) {
+      size_t open;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        open = conns_.size();
+      }
+      if (open >= options_.max_connections) {
+        // Refuse, typed, without spawning a thread: a connection flood is
+        // bounded at the door instead of exhausting threads or fds.
+        ErrorResponse err;
+        err.request_id = 0;
+        err.status_code = static_cast<uint32_t>(StatusCode::kResourceExhausted);
+        err.message = "connection limit (" +
+                      std::to_string(options_.max_connections) +
+                      ") reached, retry later";
+        (void)WriteAll(fd, EncodeError(err));
+        ::close(fd);
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        if (reg.enabled()) reg.counter("prix.serve.conns_refused").Add(1);
+        continue;
+      }
+    }
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
-    // Per-client admission caps key on the peer address, so N connections
-    // from one host share one in-flight budget.
-    conn->client_id = static_cast<uint64_t>(ntohl(peer.sin_addr.s_addr));
+    // One admission key per connection; see the Conn::client_id comment
+    // for why the (always-loopback) peer address cannot be the key.
+    conn->client_id = next_client_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     Conn* raw = conn.get();
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
@@ -319,7 +362,7 @@ std::vector<char> Server::HandleQuery(Conn* conn, const Frame& frame) {
         reg.histogram("prix.serve.request_us")
             .Record(Deadline::NowMicros() - start_us);
       }
-      return EncodeResult(resp);
+      return EncodeBoundedResult(resp);
     }
   }
 
@@ -378,7 +421,7 @@ std::vector<char> Server::HandleQuery(Conn* conn, const Frame& frame) {
     reg.counter("prix.serve.requests").Add(1);
     reg.histogram("prix.serve.request_us").Record(service_us);
   }
-  return EncodeResult(resp);
+  return EncodeBoundedResult(resp);
 }
 
 }  // namespace prix

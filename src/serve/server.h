@@ -38,8 +38,15 @@ struct ServerOptions {
   uint32_t default_timeout_ms = 0;
 
   /// Slowloris guard: a connection that keeps a frame (or its length
-  /// prefix) incomplete this long is dropped with a typed error.
+  /// prefix) incomplete this long is dropped with a typed error. The clock
+  /// is per frame, not per byte — drip-feeding cannot extend it.
   uint32_t idle_timeout_ms = 10'000;
+
+  /// Cap on simultaneously open connections (thread-per-connection means
+  /// this also caps connection threads). An accept beyond the cap is
+  /// answered with a typed ResourceExhausted error and closed immediately,
+  /// so a connection flood cannot exhaust threads or fds. 0 = unlimited.
+  size_t max_connections = 256;
 
   /// Catalog names of the PRIX indexes every batch runs against.
   std::string rp_name = "rp";
@@ -117,6 +124,7 @@ class Server {
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  std::atomic<uint64_t> next_client_id_{0};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> watchdog_stop_{false};
@@ -127,7 +135,13 @@ class Server {
 
   struct Conn {
     int fd = -1;
-    uint64_t client_id = 0;  ///< peer address hash (per-client caps)
+    /// Admission key. One id per connection (monotonic counter): the
+    /// server binds loopback only, so every peer shares 127.0.0.1 and the
+    /// address cannot distinguish clients — keying on it would collapse
+    /// per_client_inflight into an accidental global cap. Per-connection
+    /// keys restore per-client fairness (one budget per connection);
+    /// global bounds come from max_executing/max_queued/max_connections.
+    uint64_t client_id = 0;
     std::thread thread;
     std::atomic<bool> done{false};
     /// Deadline of the request this connection is executing (null when

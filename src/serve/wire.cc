@@ -95,6 +95,17 @@ void PutLenBytes(std::vector<char>* out, const std::string& s) {
   out->insert(out->end(), s.begin(), s.end());
 }
 
+/// Error/shed messages can embed client-controlled text (e.g. the xpath a
+/// DeadlineExceeded names), so they are truncated to kMaxWireMessageBytes
+/// before framing — the reply must fit the frame it rides in.
+void PutBoundedMessage(std::vector<char>* out, const std::string& s) {
+  if (s.size() <= kMaxWireMessageBytes) {
+    PutLenBytes(out, s);
+    return;
+  }
+  PutLenBytes(out, s.substr(0, kMaxWireMessageBytes) + " ...[truncated]");
+}
+
 }  // namespace
 
 Result<std::optional<Frame>> FrameDecoder::Next() {
@@ -154,6 +165,14 @@ std::vector<char> EncodeQuery(const QueryRequest& req) {
   return out;
 }
 
+size_t ResultPayloadBytes(const QueryResponse& resp) {
+  size_t bytes = 8 + 8 + 1 + 4;  // request_id, generation, cached, count
+  for (const std::vector<uint32_t>& docs : resp.docs) {
+    bytes += 4 + 4 * docs.size();
+  }
+  return bytes;
+}
+
 std::vector<char> EncodeResult(const QueryResponse& resp) {
   std::vector<char> payload;
   PutU64(&payload, resp.request_id);
@@ -173,7 +192,7 @@ std::vector<char> EncodeError(const ErrorResponse& resp) {
   std::vector<char> payload;
   PutU64(&payload, resp.request_id);
   PutU32(&payload, resp.status_code);
-  PutLenBytes(&payload, resp.message);
+  PutBoundedMessage(&payload, resp.message);
   std::vector<char> out;
   AppendFrame(&out, FrameType::kError, payload);
   return out;
@@ -183,7 +202,7 @@ std::vector<char> EncodeShed(const ShedResponse& resp) {
   std::vector<char> payload;
   PutU64(&payload, resp.request_id);
   PutU32(&payload, resp.retry_after_ms);
-  PutLenBytes(&payload, resp.message);
+  PutBoundedMessage(&payload, resp.message);
   std::vector<char> out;
   AppendFrame(&out, FrameType::kShed, payload);
   return out;
@@ -350,9 +369,13 @@ Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
     dec->Feed(chunk, static_cast<size_t>(n));
     PRIX_ASSIGN_OR_RETURN(std::optional<Frame> frame, dec->Next());
     if (frame.has_value()) return frame;
-    if (idle_deadline != 0) {
-      // Progress was made; restart the idle clock.
-      idle_deadline = Deadline::NowMicros() + uint64_t{idle_timeout_ms} * 1000;
+    // Deliberately NOT resetting idle_deadline here: the timeout bounds the
+    // time to deliver one whole frame, so a peer dripping a byte every few
+    // ms cannot keep this call (and its connection thread) alive forever.
+    if (idle_deadline != 0 && Deadline::NowMicros() >= idle_deadline) {
+      return Status::DeadlineExceeded(
+          "idle timeout mid-frame (" + std::to_string(dec->buffered()) +
+          " bytes buffered)");
     }
   }
 }

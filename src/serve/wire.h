@@ -50,6 +50,12 @@ enum class FrameType : uint8_t {
 /// while capping what a hostile length prefix can make the server buffer.
 constexpr size_t kMaxFrameBody = 1u << 20;
 
+/// Cap on the message field of kError/kShed frames. Status messages can
+/// embed client-controlled text (a DeadlineExceeded names its xpath, which
+/// alone can approach kMaxFrameBody), so EncodeError/EncodeShed truncate
+/// rather than let a reply outgrow the frame it must fit in.
+constexpr size_t kMaxWireMessageBytes = 64u << 10;
+
 struct Frame {
   FrameType type = FrameType::kPing;
   std::vector<char> payload;
@@ -85,7 +91,10 @@ class FrameDecoder {
 };
 
 /// Appends one encoded frame to `out`. PRIX_CHECKs that the body fits
-/// kMaxFrameBody — producers build frames from validated inputs.
+/// kMaxFrameBody — a last-resort invariant, not input validation: every
+/// producer bounds its payload first (kQuery/kPong payloads are decoded
+/// from capped frames, kError/kShed messages are truncated, and the server
+/// sizes kResult with ResultPayloadBytes() before encoding).
 void AppendFrame(std::vector<char>* out, FrameType type,
                  const std::vector<char>& payload);
 
@@ -121,6 +130,13 @@ std::vector<char> EncodeResult(const QueryResponse& resp);
 std::vector<char> EncodeError(const ErrorResponse& resp);
 std::vector<char> EncodeShed(const ShedResponse& resp);
 
+/// Exact payload size EncodeResult would produce. Result size is driven by
+/// query selectivity and batch size — which a hostile batch controls — so
+/// the server checks `ResultPayloadBytes(resp) + 1 <= kMaxFrameBody` and
+/// answers with a typed ResourceExhausted error instead of letting
+/// AppendFrame's invariant abort the process.
+size_t ResultPayloadBytes(const QueryResponse& resp);
+
 /// Decoders validate the claimed frame type and every length field against
 /// the payload bytes actually present (typed InvalidArgument otherwise).
 Result<QueryRequest> DecodeQuery(const Frame& frame);
@@ -142,9 +158,12 @@ Status WriteAll(int fd, const std::vector<char>& data);
 /// Reads frames from `fd` through `dec`. Returns the next frame, or
 /// std::nullopt on clean EOF (peer closed between frames), or a typed
 /// error: InvalidArgument for malformed/truncated streams (EOF mid-frame),
-/// DeadlineExceeded when no byte arrives for `idle_timeout_ms` while a
-/// frame is outstanding (the slowloris guard; 0 disables), Unavailable for
-/// socket errors. `stop`, when non-null, makes the poll loop return
+/// DeadlineExceeded when a full frame has not arrived within
+/// `idle_timeout_ms` of entering the call (the slowloris guard; 0
+/// disables) — the clock is NOT reset by partial progress, so a peer
+/// dripping one byte at a time cannot hold the call (and its connection
+/// thread) open past the timeout — and Unavailable for socket errors.
+/// `stop`, when non-null, makes the poll loop return
 /// Unavailable("shutting down") promptly after it turns true.
 Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
                                        uint32_t idle_timeout_ms,

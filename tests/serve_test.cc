@@ -302,13 +302,165 @@ TEST_F(ServeTest, SlowlorisConnectionDroppedWithTypedError) {
   ::close(fd);
 }
 
+TEST_F(ServeTest, OversizedResultIsTypedErrorNotACrash) {
+  Seed({"(a (b))"});
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  int fd = Connect(server->port());
+  FrameDecoder dec;
+
+  // Prime the cache so the oversized batch below is answered from the
+  // cache-probe path instead of executing 140k queries.
+  QueryRequest prime;
+  prime.request_id = 30;
+  prime.xpaths = {"//a"};
+  auto frame = Exchange(fd, &dec, EncodeQuery(prime));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, FrameType::kResult);
+  auto primed = DecodeResult(*frame);
+  ASSERT_TRUE(primed.ok());
+  ASSERT_EQ(primed->docs.size(), 1u);
+  ASSERT_FALSE(primed->docs[0].empty()) << "//a must match the seeded doc";
+
+  // 140k copies of a matching xpath fit the 1 MiB request cap (20 + 7n
+  // bytes) but their result payload (21 + 8n bytes) does not: before the
+  // fix this PRIX_CHECK-aborted the whole server inside AppendFrame.
+  QueryRequest req;
+  req.request_id = 31;
+  req.xpaths.assign(140'000, "//a");
+  ASSERT_LE(EncodeQuery(req).size(), kMaxFrameBody + 4);
+  frame = Exchange(fd, &dec, EncodeQuery(req));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, FrameType::kError) << "oversized result must be typed";
+  auto err = DecodeError(*frame);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->request_id, 31u);
+  EXPECT_EQ(err->status_code,
+            static_cast<uint32_t>(StatusCode::kResourceExhausted))
+      << err->message;
+  EXPECT_NE(err->message.find("frame limit"), std::string::npos)
+      << err->message;
+
+  // The server survived and the connection still answers sane requests.
+  QueryRequest ok_req;
+  ok_req.request_id = 32;
+  ok_req.xpaths = {"//a/b"};
+  frame = Exchange(fd, &dec, EncodeQuery(ok_req));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kResult);
+  ::close(fd);
+}
+
+TEST_F(ServeTest, SlowlorisDripFeedCannotHoldAFrameOpen) {
+  Seed({"(a (b))"});
+  ServerOptions options;
+  options.idle_timeout_ms = 150;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  int fd = Connect(server->port());
+
+  // A well-formed header declaring a 1000-byte kQuery body, then one
+  // payload byte every 25 ms — each recv makes "progress", so a per-byte
+  // idle clock would never fire (the frame would complete after ~25 s of
+  // occupying the connection thread). The per-frame clock must cut the
+  // connection off near idle_timeout_ms regardless.
+  std::vector<char> header = {static_cast<char>(0xe8), 0x03, 0x00, 0x00,
+                              static_cast<char>(FrameType::kQuery)};
+  ASSERT_TRUE(WriteAll(fd, header).ok());
+  std::atomic<bool> stop_drip{false};
+  std::thread dripper([fd, &stop_drip] {
+    const char byte = 0;
+    while (!stop_drip.load()) {
+      if (::send(fd, &byte, 1, MSG_NOSIGNAL) < 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+  auto start = std::chrono::steady_clock::now();
+  FrameDecoder dec;
+  auto got = ReadFrame(fd, &dec, 10'000);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  stop_drip.store(true);
+  dripper.join();
+  ASSERT_TRUE(got.ok() && got->has_value())
+      << "server should reply before hanging up: " << got.status().ToString();
+  EXPECT_EQ((*got)->type, FrameType::kError);
+  auto err = DecodeError(**got);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->status_code,
+            static_cast<uint32_t>(StatusCode::kDeadlineExceeded))
+      << err->message;
+  // Generous bound (CI jitter), but far below "forever".
+  EXPECT_LT(elapsed.count(), 5'000);
+  ::close(fd);
+}
+
+TEST_F(ServeTest, ConnectionCapRefusesTypedWithoutNewThreads) {
+  Seed({"(a (b))"});
+  ServerOptions options;
+  options.max_connections = 1;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  int fd1 = Connect(server->port());
+  FrameDecoder dec1;
+  QueryRequest req;
+  req.request_id = 40;
+  req.xpaths = {"//a/b"};
+  auto frame = Exchange(fd1, &dec1, EncodeQuery(req));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kResult);
+
+  // With fd1 still open, a second connection is refused at the door with a
+  // typed ResourceExhausted, then closed.
+  int fd2 = Connect(server->port());
+  FrameDecoder dec2;
+  auto refused = ReadFrame(fd2, &dec2, 10'000);
+  ASSERT_TRUE(refused.ok() && refused->has_value())
+      << refused.status().ToString();
+  EXPECT_EQ((*refused)->type, FrameType::kError);
+  auto err = DecodeError(**refused);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->status_code,
+            static_cast<uint32_t>(StatusCode::kResourceExhausted))
+      << err->message;
+  EXPECT_NE(err->message.find("connection limit"), std::string::npos);
+  auto eof = ReadFrame(fd2, &dec2, 10'000);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+  ::close(fd2);
+
+  // The admitted connection is unaffected.
+  req.request_id = 41;
+  frame = Exchange(fd1, &dec1, EncodeQuery(req));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kResult);
+
+  // Closing it frees the slot for the next client (after the accept loop
+  // reaps the finished connection).
+  ::close(fd1);
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    int fd3 = Connect(server->port());
+    FrameDecoder dec3;
+    req.request_id = 42;
+    auto again = Exchange(fd3, &dec3, EncodeQuery(req));
+    admitted = again.ok() && again->type == FrameType::kResult;
+    ::close(fd3);
+    if (!admitted) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(admitted) << "slot never freed after the old client left";
+}
+
 TEST_F(ServeTest, ReplaySaturationShedsTypedAndBounded) {
   Seed({"(book (author (name)) (title))", "(article (author (name)))"});
   ServerOptions options;
   options.query_threads = 2;
-  // One execute slot, a two-deep queue, per-client cap 2 — and the test
-  // client is ONE client id (loopback), so 8 connections hammering it are
-  // 4x past what admission will hold. Caching off so nothing short-circuits.
+  // One execute slot and a two-deep queue: 8 connections hammering it are
+  // 4x past what admission will hold, so the overflow must shed on arrival
+  // (admission keys are per connection, so the per-client cap of 2 never
+  // binds a one-request-at-a-time connection — queue-full is what fires).
+  // Caching off so nothing short-circuits.
   options.admission = {1, 2, 2, 10'000};
   options.cache_bytes = 0;
   auto server = StartServer(options);

@@ -91,6 +91,52 @@ TEST(WireCodec, ErrorAndShedRoundTrip) {
   EXPECT_EQ(PeekRequestId(*sframe), 11u);
 }
 
+TEST(WireCodec, ResultPayloadBytesMatchesEncoder) {
+  QueryResponse resp;
+  resp.request_id = 5;
+  resp.generation = 2;
+  resp.docs = {{1, 2, 3}, {}, {9}};
+  // EncodeResult's output is header (4) + type byte (1) + payload.
+  EXPECT_EQ(EncodeResult(resp).size(), 4 + 1 + ResultPayloadBytes(resp));
+  QueryResponse empty;
+  EXPECT_EQ(EncodeResult(empty).size(), 4 + 1 + ResultPayloadBytes(empty));
+}
+
+TEST(WireCodec, OversizedMessagesAreTruncatedNotFatal) {
+  // A Status message can embed client-controlled text (e.g. the xpath a
+  // DeadlineExceeded names) approaching kMaxFrameBody; the encoders must
+  // truncate it into a valid frame, not trip AppendFrame's size invariant.
+  ErrorResponse err;
+  err.request_id = 21;
+  err.status_code = static_cast<uint32_t>(StatusCode::kDeadlineExceeded);
+  err.message = std::string(kMaxFrameBody - 64, 'x');
+  auto eframe = DecodeOne(EncodeError(err));
+  ASSERT_TRUE(eframe.ok()) << eframe.status().ToString();
+  auto eback = DecodeError(*eframe);
+  ASSERT_TRUE(eback.ok()) << eback.status().ToString();
+  EXPECT_EQ(eback->request_id, 21u);
+  EXPECT_LE(eback->message.size(), kMaxWireMessageBytes + 32);
+  EXPECT_NE(eback->message.find("[truncated]"), std::string::npos);
+  EXPECT_EQ(eback->message.compare(0, kMaxWireMessageBytes,
+                                   err.message, 0, kMaxWireMessageBytes),
+            0);
+
+  ShedResponse shed;
+  shed.request_id = 22;
+  shed.message = std::string(2 * kMaxWireMessageBytes, 'y');
+  auto sframe = DecodeOne(EncodeShed(shed));
+  ASSERT_TRUE(sframe.ok());
+  auto sback = DecodeShed(*sframe);
+  ASSERT_TRUE(sback.ok());
+  EXPECT_LE(sback->message.size(), kMaxWireMessageBytes + 32);
+
+  // At the cap exactly: untouched.
+  err.message = std::string(kMaxWireMessageBytes, 'z');
+  auto exact = DecodeError(*DecodeOne(EncodeError(err)));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->message, err.message);
+}
+
 TEST(WireCodec, PipelinedFramesDecodeInOrder) {
   std::vector<char> stream;
   for (uint64_t id = 1; id <= 3; ++id) {

@@ -416,6 +416,12 @@ int CmdServe(int argc, char** argv) {
         return 1;
       }
       options.idle_timeout_ms = static_cast<uint32_t>(n);
+    } else if (flag == "--max-connections") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--max-connections", v, &n)) {
+        return 1;
+      }
+      options.max_connections = n;
     } else {
       return Fail("unknown serve flag: " + flag);
     }
