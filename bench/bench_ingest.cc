@@ -13,6 +13,15 @@
 //                     readers' per-batch p50/p95 — the number that shows
 //                     whether snapshot isolation keeps readers off the
 //                     writer's lock path.
+//   3. tri solo     - same solo ingest against a database where ViST,
+//                     TwigStack streams, and the XB-forest are co-resident
+//                     (DESIGN.md §5k), so every commit carries four
+//                     engines. The docs/sec delta against phase 1 is the
+//                     price of keeping every engine live.
+//   4. tri contended- tri-engine ingest under a PRIX snapshot reader plus a
+//                     derived-engine reader that opens ViST/TwigStack from
+//                     pinned snapshot entries each batch; reports per-engine
+//                     reader p50/p95.
 //
 // Emits BENCH_ingest.json. PRIX_COMPRESS selects the on-disk format;
 // PRIX_BENCH_SCALE scales the collection.
@@ -29,6 +38,11 @@
 
 #include "bench_common.h"
 #include "prix/query_driver.h"
+#include "query/xpath_parser.h"
+#include "twigstack/position_stream.h"
+#include "twigstack/twig_stack.h"
+#include "vist/vist_index.h"
+#include "vist/vist_query.h"
 
 using namespace prix;
 using namespace prix::bench;
@@ -176,6 +190,169 @@ int main() {
     return 1;
   }
   std::remove(path.c_str());
+
+  // Phases 3/4: the same ingest with co-resident ViST + TwigStack + XB
+  // engines riding every commit.
+  const std::string tri_path = std::string(dir) + "/tri.prix";
+  auto tdb = Database::Create(tri_path, Database::Options{.pool_pages = 2000});
+  if (!tdb.ok()) {
+    std::fprintf(stderr, "tri create: %s\n", tdb.status().ToString().c_str());
+    return 1;
+  }
+  {
+    auto tri_index = PrixIndex::Build(seed, (*tdb)->pool(), options);
+    if (!tri_index.ok() || !(*tri_index)->Save(tdb->get(), "rp").ok()) {
+      std::fprintf(stderr, "tri seed build failed\n");
+      return 1;
+    }
+    auto vist = VistIndex::Build(seed, (*tdb)->pool(), nullptr);
+    if (!vist.ok() || !(*vist)->Save(tdb->get(), "v").ok()) {
+      std::fprintf(stderr, "tri vist build failed\n");
+      return 1;
+    }
+    auto streams = StreamStore::Build(seed, (*tdb)->pool());
+    if (!streams.ok() || !(*streams)->Save(tdb->get(), "ts").ok()) {
+      std::fprintf(stderr, "tri stream build failed\n");
+      return 1;
+    }
+    auto forest = XbForest::Build(streams->get(), coll.dictionary);
+    if (!forest.ok() || !(*forest)->Save(tdb->get(), "xb").ok()) {
+      std::fprintf(stderr, "tri forest build failed\n");
+      return 1;
+    }
+  }
+
+  MetricHistogram tri_solo_latency;
+  IngestPhase tri_solo;
+  if (Status st2 = IngestRange(tdb->get(), coll, seed_count, solo_end,
+                               &tri_solo_latency, &tri_solo);
+      !st2.ok()) {
+    std::fprintf(stderr, "tri solo ingest: %s\n", st2.ToString().c_str());
+    return 1;
+  }
+  std::printf("  tri solo ingest:  %6zu docs in %7.3fs = %8.1f docs/s "
+              "(p50 %lu us, p95 %lu us; x%.2f vs prix-only)\n",
+              tri_solo.docs, tri_solo.seconds, tri_solo.docs_per_sec,
+              (unsigned long)tri_solo.insert_p50_us,
+              (unsigned long)tri_solo.insert_p95_us,
+              solo.docs_per_sec / tri_solo.docs_per_sec);
+
+  // Structural members of the mix only: the derived readers measure
+  // snapshot/page contention, and value-predicate handling differs per
+  // engine.
+  std::vector<TwigPattern> derived_mix;
+  for (const char* q : {kQ2, "//inproceedings/title", "//www//url"}) {
+    auto pattern = ParseXPath(q, &coll.dictionary);
+    if (!pattern.ok()) {
+      std::fprintf(stderr, "parse %s: %s\n", q,
+                   pattern.status().ToString().c_str());
+      return 1;
+    }
+    derived_mix.push_back(*pattern);
+  }
+  std::atomic<bool> tri_stop{false};
+  std::atomic<uint64_t> tri_batches{0};
+  std::atomic<bool> tri_failed{false};
+  MetricHistogram tri_prix_latency, vist_latency, twigstack_latency;
+  std::thread tri_prix_reader([&] {
+    QueryDriver driver(**tdb, nullptr, nullptr, 2);
+    while (!tri_stop.load(std::memory_order_relaxed)) {
+      double s = Now();
+      auto batch =
+          driver.ExecuteXPathBatchSnapshot("rp", "", mix, &coll.dictionary);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "tri prix reader: %s\n",
+                     batch.status().ToString().c_str());
+        tri_failed.store(true);
+        return;
+      }
+      tri_prix_latency.Record(static_cast<uint64_t>((Now() - s) * 1e6));
+      tri_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread derived_reader([&] {
+    while (!tri_stop.load(std::memory_order_relaxed)) {
+      auto snapshot = (*tdb)->OpenSnapshot();
+      auto v_entry = snapshot->GetIndex("v");
+      auto ts_entry = snapshot->GetIndex("ts");
+      auto xb_entry = snapshot->GetIndex("xb");
+      if (!v_entry.ok() || !ts_entry.ok() || !xb_entry.ok()) {
+        std::fprintf(stderr, "derived reader: snapshot entry missing\n");
+        tri_failed.store(true);
+        return;
+      }
+      auto vist = VistIndex::OpenFromEntry((*tdb)->pool(), *v_entry);
+      auto streams = StreamStore::OpenFromEntry((*tdb)->pool(), *ts_entry);
+      if (!vist.ok() || !streams.ok()) {
+        std::fprintf(stderr, "derived reader open: %s / %s\n",
+                     vist.status().ToString().c_str(),
+                     streams.status().ToString().c_str());
+        tri_failed.store(true);
+        return;
+      }
+      auto forest =
+          XbForest::OpenFromEntry((*tdb)->pool(), *xb_entry, streams->get());
+      if (!forest.ok()) {
+        std::fprintf(stderr, "derived reader forest: %s\n",
+                     forest.status().ToString().c_str());
+        tri_failed.store(true);
+        return;
+      }
+      double s = Now();
+      VistQueryProcessor vq(vist->get());
+      for (const TwigPattern& p : derived_mix) {
+        if (auto r = vq.Execute(p); !r.ok()) {
+          std::fprintf(stderr, "vist reader: %s\n",
+                       r.status().ToString().c_str());
+          tri_failed.store(true);
+          return;
+        }
+      }
+      double mid = Now();
+      vist_latency.Record(static_cast<uint64_t>((mid - s) * 1e6));
+      TwigStackEngine engine(streams->get(), forest->get());
+      for (const TwigPattern& p : derived_mix) {
+        if (auto r = engine.Execute(p); !r.ok()) {
+          std::fprintf(stderr, "twigstack reader: %s\n",
+                       r.status().ToString().c_str());
+          tri_failed.store(true);
+          return;
+        }
+      }
+      twigstack_latency.Record(static_cast<uint64_t>((Now() - mid) * 1e6));
+      tri_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  MetricHistogram tri_contended_latency;
+  IngestPhase tri_contended;
+  Status tri_st = IngestRange(tdb->get(), coll, solo_end, total,
+                              &tri_contended_latency, &tri_contended);
+  tri_stop.store(true);
+  tri_prix_reader.join();
+  derived_reader.join();
+  if (!tri_st.ok() || tri_failed.load()) {
+    std::fprintf(stderr, "tri contended ingest: %s\n",
+                 tri_st.ToString().c_str());
+    return 1;
+  }
+  std::printf("  tri contended:    %6zu docs in %7.3fs = %8.1f docs/s "
+              "(p50 %lu us, p95 %lu us)\n",
+              tri_contended.docs, tri_contended.seconds,
+              tri_contended.docs_per_sec,
+              (unsigned long)tri_contended.insert_p50_us,
+              (unsigned long)tri_contended.insert_p95_us);
+  std::printf("  tri readers:      %6lu batches; prix p95 %lu us, vist p95 "
+              "%lu us, twigstackxb p95 %lu us\n",
+              (unsigned long)tri_batches.load(),
+              (unsigned long)tri_prix_latency.Percentile(0.95),
+              (unsigned long)vist_latency.Percentile(0.95),
+              (unsigned long)twigstack_latency.Percentile(0.95));
+
+  if (Status close = (*tdb)->Close(); !close.ok()) {
+    std::fprintf(stderr, "tri close: %s\n", close.ToString().c_str());
+    return 1;
+  }
+  std::remove(tri_path.c_str());
   ::rmdir(dir);
 
   JsonWriter w;
@@ -204,6 +381,18 @@ int main() {
   w.Key("batch_p50_us").UInt(reader_latency.Percentile(0.5));
   w.Key("batch_p95_us").UInt(reader_latency.Percentile(0.95));
   w.Key("batch_max_us").UInt(reader_latency.max());
+  w.EndObject();
+  phase("tri_solo", tri_solo);
+  phase("tri_contended", tri_contended);
+  w.Key("tri_readers").BeginObject();
+  w.Key("queries_per_batch").UInt(derived_mix.size());
+  w.Key("batches").UInt(tri_batches.load());
+  w.Key("prix_batch_p50_us").UInt(tri_prix_latency.Percentile(0.5));
+  w.Key("prix_batch_p95_us").UInt(tri_prix_latency.Percentile(0.95));
+  w.Key("vist_batch_p50_us").UInt(vist_latency.Percentile(0.5));
+  w.Key("vist_batch_p95_us").UInt(vist_latency.Percentile(0.95));
+  w.Key("twigstackxb_batch_p50_us").UInt(twigstack_latency.Percentile(0.5));
+  w.Key("twigstackxb_batch_p95_us").UInt(twigstack_latency.Percentile(0.95));
   w.EndObject();
   w.EndObject();
   std::string doc = w.Take();

@@ -556,7 +556,13 @@ Status Database::PutIndex(const IndexEntry& entry) {
     return Status::InvalidArgument("catalog entry needs a name");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  catalog_[entry.name] = entry;
+  // A successful Save publishes an index that is current by definition, so
+  // it supersedes any staleness stamp — including one the caller copied in
+  // from a stale entry it was rebuilding over. Only CommitBatch (which sees
+  // which engines a document mutation carried along) may stamp.
+  IndexEntry fresh = entry;
+  fresh.stale_as_of_gen = 0;
+  catalog_[entry.name] = std::move(fresh);
   return CommitLocked();
 }
 

@@ -1,31 +1,48 @@
 // Online ingest: Database::InsertDocument / UpdateDocument / DeleteDocument
-// (DESIGN.md §5i). The methods are declared on Database (db/database.h) but
-// implemented here, in the engine library, because the write path runs the
-// full PRIX transform — Prüfer sequences, trie labeling, B+-tree
+// (DESIGN.md §5i/§5k). The methods are declared on Database (db/database.h)
+// but implemented here, in the engine library, because the write path runs
+// the full PRIX transform — Prüfer sequences, trie labeling, B+-tree
 // maintenance — which the storage-layer library must not depend on. A binary
 // that calls them without linking the engine library fails at link time.
 //
 // Write protocol. Writers serialize on Database::ingest_mu_. Each call runs
 // as one copy-on-write transaction: a fresh CowContext is attached to the
-// index (PrixIndex::SetCow), so every page mutation copies committed pages
-// instead of editing them in place, and the set of superseded pages is
-// collected. Publication serializes the index catalog into a new blob chain
-// and hands (new entry, superseded pages) to Database::CommitBatch, which
-// makes the new generation durable in fsync order. On any failure the fresh
-// pages are dropped from the pool un-flushed and the in-memory ingest cache
-// is discarded; the committed generation is untouched.
+// PRIX index and every co-resident derived engine, so every page mutation
+// copies committed pages instead of editing them in place, and the set of
+// superseded pages is collected. Publication serializes every touched
+// engine's catalog into new blob chains and hands (new entries, superseded
+// pages) to Database::CommitBatch, which makes the new generation durable in
+// fsync order — one commit covers all engines, so a reader pinned to any
+// committed generation sees PRIX, ViST, and TwigStack answers that agree. On
+// any failure the fresh pages are dropped from the pool un-flushed and the
+// in-memory ingest cache is discarded; the committed generation is
+// untouched.
+//
+// Derived engines (DESIGN.md §5k). Co-resident ViST indexes, TwigStack
+// stream stores, and XB-forests found in the catalog ride along in the same
+// commit:
+//   - ViST's structure-encoded sequences insert exactly like LPS paths —
+//     both persist a virtual trie as range-labeled B+-tree entries — so the
+//     dynamic trie-labeling + relabel-batch machinery is shared
+//     (trie/dynamic_trie.h) and only the persistence ops differ. Deletes
+//     remove the Docid entry (candidates come solely from Docid scans).
+//   - Stream stores append the new document's entries to the tail of each
+//     touched tag stream (DocIds are monotone, so (doc, left) order holds)
+//     and tombstone deletes; cursors hide dead entries.
+//   - XB-forests re-bucket only the touched tag streams: each touched
+//     label's tree is rebuilt over the stream's current pages with live-only
+//     max-end summaries.
+// An engine ingest cannot carry along — a v1 stream store, a ViST whose trie
+// fails to mirror, a misaligned document count (all products of older
+// binaries or external tampering) — is left out of the commit, which is
+// exactly the case Database::CommitBatch still stamps stale_as_of_gen for.
 //
 // Labeling. New sequences are absorbed by the pre-allocated slack the
-// dynamic labeler leaves in every range (Sec. 5.2.1): each trie node's scope
-// (left, right] is larger than its current children need, so a new child
-// usually just claims the next free sub-range. When a scope is exhausted,
-// the nearest ancestor whose scope can host its whole subtree at a spread of
-// kRelabelSpread positions per node is relabeled as a batch: all old
-// Trie-Symbol and Docid keys of the moved nodes are deleted, new ranges
-// assigned, and the keys reinserted — inside the same transaction, so
-// readers never observe a half-relabeled trie. Exact-labeled indexes (the
-// build default) have no slack at all; their first insert triggers one
-// root-scope growth + relabel and behaves dynamically from then on.
+// dynamic labeler leaves in every range (Sec. 5.2.1); see
+// trie/dynamic_trie.h for the shared walk/claim/relabel mechanics.
+// Exact-labeled indexes (the build default for both PRIX and ViST) have no
+// slack at all; their first insert triggers one root-scope growth + relabel
+// and behaves dynamically from then on.
 #include <algorithm>
 #include <cstdint>
 #include <map>
@@ -42,145 +59,239 @@
 #include "prufer/prufer.h"
 #include "storage/cow.h"
 #include "storage/record_store.h"
+#include "trie/dynamic_trie.h"
+#include "twigstack/twig_stack.h"
+#include "vist/vist_index.h"
+#include "vist/vist_sequence.h"
 #include "xml/document.h"
 
 namespace prix {
 namespace {
 
-constexpr uint32_t kNoMirror = 0xffffffffu;
+/// DynamicTrie persistence ops for the PRIX Trie-Symbol/Docid trees. The
+/// composite child key is just the LPS label.
+struct PrixTrieOps {
+  PrixIndex* index;
 
-/// Positions reserved per node when a relabel batch re-spreads a subtree,
-/// and the growth granularity of the root scope. 16 means a relabeled
-/// subtree can absorb ~15 more nodes per existing node before the next
-/// relabel touches it.
-constexpr uint64_t kRelabelSpread = 16;
-
-/// Ceiling for the root scope; matches the dynamic labeler's budget and
-/// leaves headroom below 2^63 for interval arithmetic.
-constexpr uint64_t kMaxRootScope = uint64_t{1} << 62;
-
-/// Writer-side image of one virtual-trie node. The trie is never stored as
-/// a tree on disk — only as Trie-Symbol keys — so the writer reconstructs
-/// it once per cache build and keeps it current across its own inserts.
-struct MirrorNode {
-  LabelId label = 0;
-  uint64_t left = 0;
-  uint64_t right = 0;
-  uint32_t level = 0;  ///< 0 for the virtual root
-  uint32_t parent = kNoMirror;
-  /// First unclaimed position in (left, right]: all children's ranges and
-  /// the node's own position lie strictly below it.
-  uint64_t next_free = 0;
-  std::unordered_map<LabelId, uint32_t> children;
+  Status InsertNode(uint64_t ckey, uint64_t left, uint64_t right,
+                    uint32_t level) {
+    return index->symbol_index().Insert(
+        SymbolKey{static_cast<LabelId>(ckey), 0, left},
+        TrieNodeValue{right, level, 0});
+  }
+  Status DeleteNode(uint64_t ckey, uint64_t left) {
+    return index->symbol_index().Delete(
+        SymbolKey{static_cast<LabelId>(ckey), 0, left});
+  }
+  Status InsertDoc(uint64_t left, uint32_t seq, DocId doc) {
+    return index->docid_index().Insert(DocKey{left, seq, 0}, doc);
+  }
+  Status DeleteDoc(uint64_t left, uint32_t seq) {
+    return index->docid_index().Delete(DocKey{left, seq, 0});
+  }
+  void SetRootRange(uint64_t left, uint64_t right) {
+    index->set_root_range(RangeLabel{left, right});
+  }
 };
 
-/// Everything the writer caches about one open index: the live PrixIndex
-/// handle, the trie mirror (nodes in preorder, [0] = virtual root, so a
-/// node's parent always has a smaller slot), the page chain of the current
-/// catalog blob (retired into the free list on the next publish), and the
-/// Docid-entry map used by deletes and relabel re-keying.
+/// DynamicTrie persistence ops for ViST's D-Ancestorship/Docid trees. The
+/// composite child key packs (symbol << 32) | prefix — the same key the
+/// build-time VistTrie uses to distinguish siblings.
+struct VistTrieOps {
+  VistIndex* index;
+
+  static LabelId SymbolOf(uint64_t ckey) {
+    return static_cast<LabelId>(ckey >> 32);
+  }
+  static PrefixId PrefixOf(uint64_t ckey) {
+    return static_cast<PrefixId>(ckey & 0xffffffffu);
+  }
+
+  Status InsertNode(uint64_t ckey, uint64_t left, uint64_t right,
+                    uint32_t level) {
+    PRIX_RETURN_NOT_OK(index->dancestor().Insert(
+        VistKey{SymbolOf(ckey), 0, left},
+        VistNodeValue{right, level, PrefixOf(ckey)}));
+    index->AddSymbolPrefix(SymbolOf(ckey), PrefixOf(ckey));
+    return Status::OK();
+  }
+  Status DeleteNode(uint64_t ckey, uint64_t left) {
+    return index->dancestor().Delete(VistKey{SymbolOf(ckey), 0, left});
+  }
+  Status InsertDoc(uint64_t left, uint32_t seq, DocId doc) {
+    return index->docid_index().Insert(VistDocKey{left, seq, 0}, doc);
+  }
+  Status DeleteDoc(uint64_t left, uint32_t seq) {
+    return index->docid_index().Delete(VistDocKey{left, seq, 0});
+  }
+  void SetRootRange(uint64_t left, uint64_t right) {
+    index->set_root_range(RangeLabel{left, right});
+  }
+};
+
+/// Everything the writer caches about one open PRIX index: the live handle,
+/// the trie mirror, and the page chain of the current catalog blob (retired
+/// into the free list on the next publish).
 struct OpenIndex {
   std::unique_ptr<PrixIndex> index;
   std::vector<PageId> catalog_pages;
-  std::vector<MirrorNode> mirror;
-  std::unordered_map<DocId, DocKey> doc_keys;  ///< live documents only
-  uint32_t next_seq = 0;  ///< next Docid-entry sequence number
+  DynamicTrie trie;
+};
+
+/// One co-resident ViST index carried along by every commit.
+struct VistEngine {
+  Database::IndexEntry entry;  ///< committed entry (root of current blob)
+  std::unique_ptr<VistIndex> index;
+  std::vector<PageId> catalog_pages;
+  DynamicTrie trie;
+  bool dirty = false;  ///< mutated since the last publish
+  bool dead = false;   ///< misaligned with the documents; left to be stamped
+};
+
+/// One co-resident TwigStack stream store.
+struct StreamEngine {
+  Database::IndexEntry entry;
+  std::unique_ptr<StreamStore> store;
+  std::vector<PageId> catalog_pages;
+  /// Labels whose streams changed in the open transaction (drives the
+  /// paired forest's bounded re-bucket).
+  std::vector<LabelId> touched;
+  bool dirty = false;
+  bool dead = false;
+};
+
+/// One co-resident XB-forest, paired with the stream store it summarizes.
+struct ForestEngine {
+  Database::IndexEntry entry;
+  std::unique_ptr<XbForest> forest;
+  std::vector<PageId> catalog_pages;
+  StreamEngine* paired = nullptr;
+  bool dirty = false;
+  bool dead = false;
 };
 
 /// The opaque object behind Database::ingest_state_. Stamped with the
 /// catalog generation it was built from; any commit the writer did not make
 /// itself (or a failed transaction) makes it stale and it is rebuilt.
+/// Forests point into `streams`, so they are declared after (destroyed
+/// first).
 struct IngestState {
   uint64_t generation = 0;
   std::map<std::string, std::unique_ptr<OpenIndex>> indexes;
+  bool derived_loaded = false;
+  std::vector<std::unique_ptr<VistEngine>> vists;
+  std::vector<std::unique_ptr<StreamEngine>> streams;
+  std::vector<std::unique_ptr<ForestEngine>> forests;
 };
 
-/// Rebuilds the trie mirror from the Trie-Symbol index: collect every
-/// (label, left, right, level) entry, sort by LeftPos — range labels assign
-/// LeftPos in preorder, so that IS a preorder walk — and recover each node's
-/// parent as the nearest enclosing range on a stack, validating containment
-/// and level consistency as it goes.
-Status BuildMirror(OpenIndex* oi) {
-  struct Ent {
-    uint64_t left;
-    uint64_t right;
-    uint32_t level;
-    LabelId label;
-  };
-  std::vector<Ent> ents;
+/// Rebuilds the PRIX trie mirror and Docid map from the persisted trees.
+Status BuildPrixMirror(OpenIndex* oi) {
+  std::vector<DynTrieEntry> ents;
   PRIX_ASSIGN_OR_RETURN(auto it, oi->index->symbol_index().SeekToFirst());
   while (it.Valid()) {
-    ents.push_back(
-        Ent{it.key().left, it.value().right, it.value().level, it.key().label});
+    ents.push_back(DynTrieEntry{it.key().label, it.key().left,
+                                it.value().right, it.value().level});
     PRIX_RETURN_NOT_OK(it.Next());
   }
-  std::sort(ents.begin(), ents.end(),
-            [](const Ent& a, const Ent& b) { return a.left < b.left; });
-
   const RangeLabel rr = oi->index->root_range();
-  std::vector<MirrorNode>& m = oi->mirror;
-  m.clear();
-  MirrorNode root;
-  root.left = rr.left;
-  root.right = rr.right;
-  root.next_free = rr.left + 1;
-  m.push_back(std::move(root));
+  PRIX_RETURN_NOT_OK(oi->trie.Init(std::move(ents), rr.left, rr.right));
 
-  std::vector<uint32_t> stk{0};
-  for (const Ent& e : ents) {
-    if (e.left <= rr.left || e.left > rr.right || e.right < e.left ||
-        e.right > rr.right) {
-      return Status::Corruption("trie node range escapes the root scope");
+  PRIX_ASSIGN_OR_RETURN(auto dit, oi->index->docid_index().SeekToFirst());
+  while (dit.Valid()) {
+    const DocId doc = dit.value();
+    if (doc >= oi->index->num_docs()) {
+      return Status::Corruption("Docid entry for DocId " +
+                                std::to_string(doc) + " beyond the store");
     }
-    while (stk.size() > 1 &&
-           !(m[stk.back()].left < e.left && e.left <= m[stk.back()].right)) {
-      stk.pop_back();
-    }
-    const uint32_t parent = stk.back();
-    if (e.right > m[parent].right) {
-      return Status::Corruption("trie node range escapes its parent's scope");
-    }
-    if (e.level != m[parent].level + 1) {
-      return Status::Corruption(
-          "trie node level does not match its range nesting depth");
-    }
-    MirrorNode node;
-    node.label = e.label;
-    node.left = e.left;
-    node.right = e.right;
-    node.level = e.level;
-    node.parent = parent;
-    node.next_free = e.left + 1;
-    const uint32_t idx = static_cast<uint32_t>(m.size());
-    if (!m[parent].children.emplace(e.label, idx).second) {
-      return Status::Corruption("two sibling trie nodes share one label");
-    }
-    m.push_back(std::move(node));
-    if (m[parent].next_free < e.right + 1) m[parent].next_free = e.right + 1;
-    stk.push_back(idx);
+    PRIX_RETURN_NOT_OK(oi->trie.AddDocKey(doc, dit.key().left,
+                                          dit.key().seq));
+    PRIX_RETURN_NOT_OK(dit.Next());
   }
   return Status::OK();
 }
 
-/// Scans the Docid index into doc_keys (every live document's end-node key)
-/// and derives the next free sequence number. Tombstoned documents lost
-/// their entries when they were deleted, so they never appear here.
-Status ScanDocids(OpenIndex* oi) {
-  PRIX_ASSIGN_OR_RETURN(auto it, oi->index->docid_index().SeekToFirst());
+/// Rebuilds a ViST engine's trie mirror and Docid map.
+Status BuildVistMirror(VistEngine* ve) {
+  std::vector<DynTrieEntry> ents;
+  PRIX_ASSIGN_OR_RETURN(auto it, ve->index->dancestor().SeekToFirst());
   while (it.Valid()) {
-    const DocId doc = it.value();
-    if (doc >= oi->index->num_docs()) {
-      return Status::Corruption("Docid entry for DocId " + std::to_string(doc) +
-                                " beyond the store");
-    }
-    if (!oi->doc_keys.emplace(doc, it.key()).second) {
-      return Status::Corruption("two Docid-index entries map to DocId " +
-                                std::to_string(doc));
-    }
-    if (it.key().seq >= oi->next_seq) oi->next_seq = it.key().seq + 1;
+    const uint64_t ckey =
+        (static_cast<uint64_t>(it.key().symbol) << 32) | it.value().prefix;
+    ents.push_back(DynTrieEntry{ckey, it.key().left, it.value().right,
+                                it.value().level});
     PRIX_RETURN_NOT_OK(it.Next());
   }
+  const RangeLabel rr = ve->index->root_range();
+  PRIX_RETURN_NOT_OK(ve->trie.Init(std::move(ents), rr.left, rr.right));
+
+  PRIX_ASSIGN_OR_RETURN(auto dit, ve->index->docid_index().SeekToFirst());
+  while (dit.Valid()) {
+    const DocId doc = dit.value();
+    if (doc >= ve->index->num_docs()) {
+      return Status::Corruption("ViST Docid entry for DocId " +
+                                std::to_string(doc) + " beyond the store");
+    }
+    PRIX_RETURN_NOT_OK(ve->trie.AddDocKey(doc, dit.key().left,
+                                          dit.key().seq));
+    PRIX_RETURN_NOT_OK(dit.Next());
+  }
   return Status::OK();
+}
+
+/// Loads every co-resident derived index the writer can carry along. An
+/// entry that fails to load (already stamped, legacy format, unwalkable) is
+/// simply not tracked: it stays out of every commit batch, so CommitBatch
+/// stamps it stale on the first document mutation — the behaviour older
+/// binaries' indexes always get.
+void LoadDerived(Database* db, IngestState* state) {
+  if (state->derived_loaded) return;
+  state->derived_loaded = true;
+  std::vector<Database::IndexEntry> forest_entries;
+  for (const Database::IndexEntry& entry : db->ListIndexes()) {
+    if (entry.stale_as_of_gen != 0) continue;  // already stale: stays so
+    if (entry.kind == Database::IndexKind::kVist) {
+      auto opened = VistIndex::OpenFromEntry(db->pool(), entry);
+      if (!opened.ok()) continue;
+      auto ve = std::make_unique<VistEngine>();
+      ve->entry = entry;
+      ve->index = std::move(*opened);
+      if (!ReadBlobPages(db->pool(), entry.root, &ve->catalog_pages).ok()) {
+        continue;
+      }
+      if (!BuildVistMirror(ve.get()).ok()) continue;
+      state->vists.push_back(std::move(ve));
+    } else if (entry.kind == Database::IndexKind::kTwigStreams) {
+      auto opened = StreamStore::OpenFromEntry(db->pool(), entry);
+      if (!opened.ok() || (*opened)->legacy()) continue;
+      auto se = std::make_unique<StreamEngine>();
+      se->entry = entry;
+      se->store = std::move(*opened);
+      if (!ReadBlobPages(db->pool(), entry.root, &se->catalog_pages).ok()) {
+        continue;
+      }
+      state->streams.push_back(std::move(se));
+    } else if (entry.kind == Database::IndexKind::kXbForest) {
+      forest_entries.push_back(entry);  // needs the stores loaded first
+    }
+  }
+  for (const Database::IndexEntry& entry : forest_entries) {
+    auto fe = std::make_unique<ForestEngine>();
+    fe->entry = entry;
+    for (auto& se : state->streams) {
+      auto opened = XbForest::OpenFromEntry(db->pool(), entry,
+                                            se->store.get());
+      if (opened.ok()) {
+        fe->forest = std::move(*opened);
+        fe->paired = se.get();
+        break;
+      }
+    }
+    if (fe->forest == nullptr) continue;
+    if (!ReadBlobPages(db->pool(), entry.root, &fe->catalog_pages).ok()) {
+      continue;
+    }
+    state->forests.push_back(std::move(fe));
+  }
 }
 
 /// Returns the cached writer state for `name`, (re)building it when the
@@ -194,6 +305,7 @@ Result<OpenIndex*> AcquireIngest(Database* db, std::shared_ptr<void>* slot,
     state->generation = db->catalog_generation();
     *slot = state;
   }
+  LoadDerived(db, state.get());
   auto it = state->indexes.find(name);
   if (it == state->indexes.end()) {
     auto oi = std::make_unique<OpenIndex>();
@@ -201,210 +313,10 @@ Result<OpenIndex*> AcquireIngest(Database* db, std::shared_ptr<void>* slot,
     PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
     PRIX_RETURN_NOT_OK(
         ReadBlobPages(db->pool(), entry.root, &oi->catalog_pages));
-    PRIX_RETURN_NOT_OK(BuildMirror(oi.get()));
-    PRIX_RETURN_NOT_OK(ScanDocids(oi.get()));
+    PRIX_RETURN_NOT_OK(BuildPrixMirror(oi.get()));
     it = state->indexes.emplace(name, std::move(oi)).first;
   }
   return it->second.get();
-}
-
-/// Relabel batch (the Sec. 5.2.1 fallback): node `at` cannot host `need`
-/// more descendants. Walks up to the nearest ancestor A whose scope can
-/// hold its whole subtree — counting the pending chain — at kRelabelSpread
-/// positions per node (growing the root scope if even the root is too
-/// tight), then re-spreads every descendant of A: delete all their old
-/// Trie-Symbol and Docid keys, assign fresh ranges preorder with the spread,
-/// reinsert. A's own range never changes, so nothing outside its subtree
-/// moves.
-Status RelabelForInsert(OpenIndex* oi, uint32_t at, uint64_t need) {
-  std::vector<MirrorNode>& m = oi->mirror;
-  PrixIndex* index = oi->index.get();
-
-  // Subtree sizes (nodes incl. self). Mirror slots are preorder (parent <
-  // child), so one reverse sweep folds children into parents; then the
-  // pending chain of `need` nodes is credited to every ancestor of `at`.
-  std::vector<uint64_t> sz(m.size(), 1);
-  for (uint32_t v = static_cast<uint32_t>(m.size()); v-- > 1;) {
-    sz[m[v].parent] += sz[v];
-  }
-  for (uint32_t x = at;; x = m[x].parent) {
-    sz[x] += need;
-    if (x == 0) break;
-  }
-
-  uint32_t A = at;
-  while (true) {
-    const uint64_t descendants = sz[A] - 1;
-    const uint64_t span = m[A].right - m[A].left;
-    if (span / kRelabelSpread >= descendants) break;
-    if (A == 0) {
-      // Even the root scope is too small: grow it. The root is virtual (no
-      // Trie-Symbol key), so only root_range_ changes.
-      const uint64_t want =
-          std::max(descendants * kRelabelSpread, 2 * span);
-      if (want < span || m[0].left + want > kMaxRootScope) {
-        return Status::Internal("root label scope exhausted");
-      }
-      m[0].right = m[0].left + want;
-      index->set_root_range(RangeLabel{m[0].left, m[0].right});
-      break;
-    }
-    A = m[A].parent;
-  }
-
-  const uint64_t descendants = sz[A] - 1;
-  const uint64_t span = m[A].right - m[A].left;
-  const uint64_t spread = span / descendants;  // >= kRelabelSpread
-
-  // Preorder over A's proper descendants, children visited in old-left
-  // order, captured BEFORE any range changes.
-  std::vector<uint32_t> desc;
-  {
-    std::vector<uint32_t> stk;
-    auto push_children = [&](uint32_t n) {
-      std::vector<std::pair<uint64_t, uint32_t>> kids;
-      kids.reserve(m[n].children.size());
-      for (const auto& [label, c] : m[n].children) {
-        kids.emplace_back(m[c].left, c);
-      }
-      std::sort(kids.begin(), kids.end());
-      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-        stk.push_back(it->second);
-      }
-    };
-    push_children(A);
-    while (!stk.empty()) {
-      const uint32_t n = stk.back();
-      stk.pop_back();
-      desc.push_back(n);
-      push_children(n);
-    }
-  }
-  if (desc.empty()) return Status::OK();  // pure root growth, nothing moves
-
-  // Phase 1: delete every moved node's old symbol key and every Docid entry
-  // keyed under A's scope (exactly the moved nodes' entries; A's own, at
-  // A.left, is outside the open interval). Deletes strictly precede
-  // reinserts so a new key can never collide with a not-yet-moved old one.
-  std::vector<uint64_t> old_lefts(desc.size());
-  for (size_t i = 0; i < desc.size(); ++i) {
-    old_lefts[i] = m[desc[i]].left;
-    PRIX_RETURN_NOT_OK(index->symbol_index().Delete(
-        SymbolKey{m[desc[i]].label, 0, old_lefts[i]}));
-  }
-  struct MovedDoc {
-    DocId doc;
-    DocKey old_key;
-  };
-  std::vector<MovedDoc> moved;
-  for (const auto& [doc, key] : oi->doc_keys) {
-    if (key.left > m[A].left && key.left <= m[A].right) {
-      moved.push_back(MovedDoc{doc, key});
-    }
-  }
-  for (const MovedDoc& md : moved) {
-    PRIX_RETURN_NOT_OK(index->docid_index().Delete(md.old_key));
-  }
-
-  // Phase 2: assign fresh ranges in one preorder pass. Each node claims
-  // sz*spread positions from its parent's running cursor; processing order
-  // guarantees the parent's cursor exists before any child reads it.
-  std::unordered_map<uint64_t, uint64_t> new_left_by_old;
-  new_left_by_old.reserve(desc.size());
-  std::unordered_map<uint32_t, uint64_t> cursor;
-  cursor.reserve(desc.size() + 1);
-  cursor[A] = m[A].left + 1;
-  for (size_t i = 0; i < desc.size(); ++i) {
-    const uint32_t n = desc[i];
-    uint64_t& parent_cursor = cursor[m[n].parent];
-    const uint64_t base = parent_cursor;
-    parent_cursor = base + sz[n] * spread;
-    m[n].left = base;
-    m[n].right = base + sz[n] * spread - 1;
-    cursor[n] = base + 1;
-    new_left_by_old.emplace(old_lefts[i], base);
-  }
-  m[A].next_free = cursor[A];
-  for (const uint32_t n : desc) m[n].next_free = cursor[n];
-
-  // Phase 3: reinsert under the new ranges.
-  for (const uint32_t n : desc) {
-    PRIX_RETURN_NOT_OK(index->symbol_index().Insert(
-        SymbolKey{m[n].label, 0, m[n].left},
-        TrieNodeValue{m[n].right, m[n].level, 0}));
-  }
-  for (const MovedDoc& md : moved) {
-    const auto it = new_left_by_old.find(md.old_key.left);
-    if (it == new_left_by_old.end()) {
-      return Status::Internal("Docid entry keyed at no relabeled trie node");
-    }
-    const DocKey nk{it->second, md.old_key.seq, 0};
-    PRIX_RETURN_NOT_OK(index->docid_index().Insert(nk, md.doc));
-    oi->doc_keys[md.doc] = nk;
-  }
-
-  MetricsRegistry& reg = MetricsRegistry::Global();
-  if (reg.enabled()) {
-    reg.counter("prix.ingest.relabels").Add(1);
-    reg.counter("prix.ingest.relabeled_nodes").Add(desc.size());
-  }
-  return Status::OK();
-}
-
-/// Threads `lps` through the trie mirror, materializing the missing suffix
-/// as new Trie-Symbol entries, and returns the LeftPos of the end node. A
-/// new child's share of its parent's free scope is generous (3/4 of what is
-/// left, floored at 4x the pending chain) so sibling insertions stay cheap;
-/// an exhausted scope triggers one relabel batch and a retry.
-Result<uint64_t> WalkAndInsert(OpenIndex* oi, const std::vector<LabelId>& lps) {
-  std::vector<MirrorNode>& m = oi->mirror;
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    uint32_t cur = 0;
-    size_t i = 0;
-    while (i < lps.size()) {
-      const auto it = m[cur].children.find(lps[i]);
-      if (it == m[cur].children.end()) break;
-      cur = it->second;
-      ++i;
-    }
-    if (i == lps.size()) return m[cur].left;  // whole path already shared
-
-    uint64_t need = lps.size() - i;
-    uint64_t remaining =
-        m[cur].next_free > m[cur].right ? 0 : m[cur].right - m[cur].next_free + 1;
-    if (remaining < need) {
-      PRIX_RETURN_NOT_OK(RelabelForInsert(oi, cur, need));
-      continue;  // ranges moved under us; redo the walk
-    }
-    for (; i < lps.size(); ++i) {
-      need = lps.size() - i;
-      remaining = m[cur].right - m[cur].next_free + 1;
-      if (remaining < need) {
-        return Status::Internal("label scope underflow mid-chain");
-      }
-      const uint64_t share =
-          std::min(remaining, std::max(need * 4, remaining - remaining / 4));
-      const uint64_t left = m[cur].next_free;
-      const uint64_t right = left + share - 1;
-      m[cur].next_free = right + 1;
-      const uint32_t level = m[cur].level + 1;
-      PRIX_RETURN_NOT_OK(oi->index->symbol_index().Insert(
-          SymbolKey{lps[i], 0, left}, TrieNodeValue{right, level, 0}));
-      MirrorNode node;
-      node.label = lps[i];
-      node.left = left;
-      node.right = right;
-      node.level = level;
-      node.parent = cur;
-      node.next_free = left + 1;
-      const uint32_t idx = static_cast<uint32_t>(m.size());
-      m.push_back(std::move(node));
-      m[cur].children.emplace(lps[i], idx);
-      cur = idx;
-    }
-    return m[cur].left;
-  }
-  return Status::Internal("relabeling failed to open a large enough scope");
 }
 
 /// Stages one document into the open transaction: transform (matching what
@@ -432,11 +344,14 @@ Result<DocId> StageInsert(OpenIndex* oi, const Document& original) {
     }
   }
 
-  PRIX_ASSIGN_OR_RETURN(const uint64_t end_left, WalkAndInsert(oi, seq.lps));
-  const DocKey key{end_left, oi->next_seq++, 0};
-  PRIX_RETURN_NOT_OK(index->docid_index().Insert(key, d));
+  PrixTrieOps ops{index};
+  const std::vector<uint64_t> ckeys(seq.lps.begin(), seq.lps.end());
+  PRIX_ASSIGN_OR_RETURN(const uint64_t end_left,
+                        oi->trie.InsertPath(ckeys, ops));
+  PRIX_ASSIGN_OR_RETURN(const DynDocKey key,
+                        oi->trie.InsertDocEntry(end_left, d, ops));
+  (void)key;
   PRIX_RETURN_NOT_OK(index->docs_mut().Append(d, seq, leaves));
-  oi->doc_keys.emplace(d, key);
   return d;
 }
 
@@ -452,48 +367,267 @@ Status StageDelete(OpenIndex* oi, DocId doc) {
     return Status::NotFound("document " + std::to_string(doc) +
                             " is not live");
   }
-  const auto it = oi->doc_keys.find(doc);
-  if (it == oi->doc_keys.end()) {
+  if (!oi->trie.HasDoc(doc)) {
     return Status::Corruption("live document " + std::to_string(doc) +
                               " has no Docid-index entry");
   }
-  PRIX_RETURN_NOT_OK(index->docid_index().Delete(it->second));
+  PrixTrieOps ops{index};
+  PRIX_RETURN_NOT_OK(oi->trie.DeleteDocEntry(doc, ops));
   index->Tombstone(doc);
-  oi->doc_keys.erase(it);
   return Status::OK();
 }
 
-/// Publishes the staged transaction: serialize the index catalog into a new
-/// blob chain, then commit (new catalog entry, superseded pages) as one new
-/// generation. The old catalog blob's pages retire with everything the COW
-/// protocol freed.
-Status Publish(Database* db, const std::string& name, OpenIndex* oi,
-               CowContext* cow) {
-  std::vector<char> blob;
-  oi->index->SerializeCatalog(&blob);
+/// Stages `doc` into one ViST engine under DocId `d`. A second lockstep
+/// call for the same document (the CLI inserts into an RP and an EP index
+/// back to back) sees num_docs == d+1 and no-ops; any other misalignment
+/// marks the engine dead so it falls out of the commit and gets stamped.
+Status StageVistInsert(VistEngine* ve, const Document& doc, DocId d) {
+  if (ve->dead) return Status::OK();
+  const size_t have = ve->index->num_docs();
+  if (have == static_cast<size_t>(d) + 1) return Status::OK();
+  if (have != d) {
+    ve->dead = true;
+    return Status::OK();
+  }
+  const std::vector<VistItem> seq =
+      BuildVistSequence(doc, ve->index->prefixes_mut());
+  std::vector<char> buf;
+  PutU32(&buf, static_cast<uint32_t>(seq.size()));
+  std::vector<uint64_t> ckeys;
+  ckeys.reserve(seq.size());
+  for (const VistItem& item : seq) {
+    PutU32(&buf, item.symbol);
+    PutU32(&buf, item.prefix);
+    ckeys.push_back((static_cast<uint64_t>(item.symbol) << 32) | item.prefix);
+  }
+  PRIX_ASSIGN_OR_RETURN(const uint32_t id,
+                        ve->index->sequences().Append(buf.data(), buf.size()));
+  if (id != d) {
+    return Status::Internal("ViST sequence record landed out of order");
+  }
+  VistTrieOps ops{ve->index.get()};
+  PRIX_ASSIGN_OR_RETURN(const uint64_t end_left,
+                        ve->trie.InsertPath(ckeys, ops));
+  PRIX_ASSIGN_OR_RETURN(const DynDocKey key,
+                        ve->trie.InsertDocEntry(end_left, d, ops));
+  (void)key;
+  ve->dirty = true;
+  return Status::OK();
+}
+
+/// Stages a ViST delete: removing the Docid entry is a complete delete —
+/// candidates come solely from Docid scans, so the dead sequence record and
+/// orphaned trie nodes are unreachable, not wrong. Already-deleted docs
+/// no-op (the second lockstep call).
+Status StageVistDelete(VistEngine* ve, DocId doc) {
+  if (ve->dead) return Status::OK();
+  if (doc >= ve->index->num_docs()) {
+    ve->dead = true;
+    return Status::OK();
+  }
+  if (!ve->trie.HasDoc(doc)) return Status::OK();
+  VistTrieOps ops{ve->index.get()};
+  PRIX_RETURN_NOT_OK(ve->trie.DeleteDocEntry(doc, ops));
+  ve->dirty = true;
+  return Status::OK();
+}
+
+Status StageStreamInsert(StreamEngine* se, const Document& doc, DocId d,
+                         CowContext* cow) {
+  if (se->dead) return Status::OK();
+  const uint32_t have = se->store->num_docs();
+  if (have == d + 1) return Status::OK();  // second lockstep call
+  if (have != d) {
+    se->dead = true;
+    return Status::OK();
+  }
+  PRIX_RETURN_NOT_OK(se->store->AppendDocument(doc, d, cow, &se->touched));
+  se->dirty = true;
+  return Status::OK();
+}
+
+/// Stages a stream delete. The touched labels (for the paired forest's
+/// re-bucket) come from reconstructing the document out of the PRIX store —
+/// best-effort: if reconstruction fails, the old summaries stay, which is
+/// safe (a too-large max-end only costs extra drill-downs; the leaf cursor
+/// hides the dead entries either way).
+Status StageStreamDelete(StreamEngine* se, const OpenIndex* oi, DocId doc) {
+  if (se->dead) return Status::OK();
+  if (doc >= se->store->num_docs()) {
+    se->dead = true;
+    return Status::OK();
+  }
+  if (se->store->IsDeleted(doc)) return Status::OK();
+  Result<Document> re = oi->index->ReconstructDocument(doc);
+  if (re.ok()) {
+    for (NodeId v = 0; v < re->num_nodes(); ++v) {
+      se->touched.push_back(re->label(v));
+    }
+  }
+  se->store->Tombstone(doc);
+  se->dirty = true;
+  return Status::OK();
+}
+
+Status StageDerivedInsert(IngestState* state, const Document& doc, DocId d,
+                          CowContext* cow) {
+  for (auto& ve : state->vists) {
+    PRIX_RETURN_NOT_OK(StageVistInsert(ve.get(), doc, d));
+  }
+  for (auto& se : state->streams) {
+    PRIX_RETURN_NOT_OK(StageStreamInsert(se.get(), doc, d, cow));
+  }
+  return Status::OK();
+}
+
+/// Must run while `doc` is still live in the PRIX index (reconstruction
+/// feeds the forest re-bucket), i.e. before StageDelete.
+Status StageDerivedDelete(IngestState* state, const OpenIndex* oi,
+                          DocId doc) {
+  for (auto& ve : state->vists) {
+    PRIX_RETURN_NOT_OK(StageVistDelete(ve.get(), doc));
+  }
+  for (auto& se : state->streams) {
+    PRIX_RETURN_NOT_OK(StageStreamDelete(se.get(), oi, doc));
+  }
+  return Status::OK();
+}
+
+/// One engine's deferred publication bookkeeping: applied only after
+/// CommitBatch succeeds, so a failed commit leaves the cached state
+/// describing the still-committed generation (it is discarded anyway).
+struct PendingPublish {
+  std::vector<PageId>* pages_slot;
+  Database::IndexEntry* entry_slot;  ///< null for the PRIX index itself
+  Database::IndexEntry entry;
+  std::vector<PageId> new_pages;
+};
+
+/// Serializes one engine catalog into a fresh blob chain and stages its
+/// entry + retired pages for the batch commit.
+Status StageEnginePublish(Database* db, CowContext* cow,
+                          const std::vector<char>& blob,
+                          Database::IndexEntry entry,
+                          std::vector<PageId>* pages_slot,
+                          Database::IndexEntry* entry_slot,
+                          std::vector<Database::IndexEntry>* entries,
+                          std::vector<PageId>* freed,
+                          std::vector<PendingPublish>* pending) {
   std::vector<PageId> new_pages;
   PRIX_ASSIGN_OR_RETURN(const PageId head,
                         WriteBlob(db->pool(), blob, &new_pages));
   for (const PageId p : new_pages) cow->MarkFresh(p);
-
-  Database::IndexEntry entry;
-  entry.name = name;
-  entry.kind = oi->index->extended() ? Database::IndexKind::kPrixExtended
-                                     : Database::IndexKind::kPrixRegular;
   entry.root = head;
-
-  std::vector<PageId> freed = cow->freed;
-  freed.insert(freed.end(), oi->catalog_pages.begin(),
-               oi->catalog_pages.end());
-  PRIX_RETURN_NOT_OK(db->CommitBatch({entry}, freed));
-  oi->catalog_pages = std::move(new_pages);
+  // A freshly published engine is current by construction; this also
+  // retires any stamp a pre-§5k binary left on an otherwise healthy index.
+  entry.stale_as_of_gen = 0;
+  entries->push_back(entry);
+  freed->insert(freed->end(), pages_slot->begin(), pages_slot->end());
+  pending->push_back(
+      PendingPublish{pages_slot, entry_slot, entry, std::move(new_pages)});
   return Status::OK();
+}
+
+/// Publishes the staged transaction: re-bucket the touched XB-trees,
+/// serialize every dirty engine's catalog into a new blob chain, include
+/// every clean-but-live derived entry unchanged (presence in the batch is
+/// what exempts it from staleness stamping), and commit the whole set plus
+/// the superseded pages as one new generation.
+Status PublishAll(Database* db, const std::string& name, OpenIndex* oi,
+                  IngestState* state, CowContext* cow) {
+  for (auto& fe : state->forests) {
+    if (fe->dead || fe->paired == nullptr || fe->paired->dead) continue;
+    if (fe->paired->touched.empty()) continue;
+    std::vector<LabelId> labels = fe->paired->touched;
+    std::sort(labels.begin(), labels.end());
+    labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+    for (const LabelId label : labels) {
+      PRIX_RETURN_NOT_OK(
+          fe->forest->RebuildTree(label, fe->paired->store.get(), cow));
+    }
+    fe->dirty = true;
+  }
+
+  std::vector<Database::IndexEntry> entries;
+  std::vector<PageId> freed;
+  std::vector<PendingPublish> pending;
+
+  {
+    std::vector<char> blob;
+    oi->index->SerializeCatalog(&blob);
+    Database::IndexEntry entry;
+    entry.name = name;
+    entry.kind = oi->index->extended() ? Database::IndexKind::kPrixExtended
+                                       : Database::IndexKind::kPrixRegular;
+    PRIX_RETURN_NOT_OK(StageEnginePublish(db, cow, blob, entry,
+                                          &oi->catalog_pages, nullptr,
+                                          &entries, &freed, &pending));
+  }
+  for (auto& ve : state->vists) {
+    if (ve->dead) continue;
+    if (!ve->dirty) {
+      entries.push_back(ve->entry);
+      continue;
+    }
+    std::vector<char> blob;
+    ve->index->SerializeCatalog(&blob);
+    PRIX_RETURN_NOT_OK(StageEnginePublish(db, cow, blob, ve->entry,
+                                          &ve->catalog_pages, &ve->entry,
+                                          &entries, &freed, &pending));
+  }
+  for (auto& se : state->streams) {
+    if (se->dead) continue;
+    if (!se->dirty) {
+      entries.push_back(se->entry);
+      continue;
+    }
+    std::vector<char> blob;
+    se->store->SerializeCatalog(&blob);
+    PRIX_RETURN_NOT_OK(StageEnginePublish(db, cow, blob, se->entry,
+                                          &se->catalog_pages, &se->entry,
+                                          &entries, &freed, &pending));
+  }
+  for (auto& fe : state->forests) {
+    if (fe->dead || fe->paired == nullptr || fe->paired->dead) continue;
+    if (!fe->dirty) {
+      entries.push_back(fe->entry);
+      continue;
+    }
+    std::vector<char> blob;
+    fe->forest->SerializeCatalog(&blob);
+    PRIX_RETURN_NOT_OK(StageEnginePublish(db, cow, blob, fe->entry,
+                                          &fe->catalog_pages, &fe->entry,
+                                          &entries, &freed, &pending));
+  }
+
+  freed.insert(freed.end(), cow->freed.begin(), cow->freed.end());
+  PRIX_RETURN_NOT_OK(db->CommitBatch(entries, freed));
+  for (PendingPublish& pp : pending) {
+    *pp.pages_slot = std::move(pp.new_pages);
+    if (pp.entry_slot != nullptr) *pp.entry_slot = pp.entry;
+  }
+  for (auto& ve : state->vists) ve->dirty = false;
+  for (auto& se : state->streams) {
+    se->dirty = false;
+    se->touched.clear();
+  }
+  for (auto& fe : state->forests) fe->dirty = false;
+  return Status::OK();
+}
+
+/// Attaches/detaches the COW context on every engine participating in the
+/// transaction (stream stores take it per call instead).
+void SetCowAll(OpenIndex* oi, IngestState* state, CowContext* cow) {
+  oi->index->SetCow(cow);
+  for (auto& ve : state->vists) {
+    if (!ve->dead) ve->index->SetCow(cow);
+  }
 }
 
 /// Abort path: evict every page this transaction allocated WITHOUT writing
 /// it back (committed pages were never touched in place, so the committed
 /// generation is intact by construction) and discard the writer cache — its
-/// in-memory trees and mirror now describe the aborted state. Pages popped
+/// in-memory trees and mirrors now describe the aborted state. Pages popped
 /// from the free list by the aborted transaction leak (they are unreachable
 /// and unlisted); a crash has the same effect, and `prix verify` treats
 /// leaked pages as benign.
@@ -520,21 +654,22 @@ Result<uint32_t> Database::InsertDocument(const std::string& index_name,
   }
   PRIX_ASSIGN_OR_RETURN(OpenIndex * oi,
                         AcquireIngest(this, &ingest_state_, index_name));
+  auto state = std::static_pointer_cast<IngestState>(ingest_state_).get();
   CowContext cow;
-  oi->index->SetCow(&cow);
+  SetCowAll(oi, state, &cow);
   auto run = [&]() -> Result<uint32_t> {
     PRIX_ASSIGN_OR_RETURN(const DocId d, StageInsert(oi, doc));
-    PRIX_RETURN_NOT_OK(Publish(this, index_name, oi, &cow));
+    PRIX_RETURN_NOT_OK(StageDerivedInsert(state, doc, d, &cow));
+    PRIX_RETURN_NOT_OK(PublishAll(this, index_name, oi, state, &cow));
     return d;
   };
   Result<uint32_t> result = run();
-  oi->index->SetCow(nullptr);
+  SetCowAll(oi, state, nullptr);
   if (!result.ok()) {
     AbortIngest(this, &ingest_state_, &cow);
     return result;
   }
-  std::static_pointer_cast<IngestState>(ingest_state_)->generation =
-      catalog_generation();
+  state->generation = catalog_generation();
   BumpIngestCounter("prix.ingest.docs_inserted");
   return result;
 }
@@ -548,26 +683,28 @@ Result<uint32_t> Database::UpdateDocument(const std::string& index_name,
   }
   PRIX_ASSIGN_OR_RETURN(OpenIndex * oi,
                         AcquireIngest(this, &ingest_state_, index_name));
+  auto state = std::static_pointer_cast<IngestState>(ingest_state_).get();
   if (doc >= oi->index->num_docs() || oi->index->IsDeleted(doc)) {
     return Status::NotFound("document " + std::to_string(doc) +
                             " is not live");
   }
   CowContext cow;
-  oi->index->SetCow(&cow);
+  SetCowAll(oi, state, &cow);
   auto run = [&]() -> Result<uint32_t> {
+    PRIX_RETURN_NOT_OK(StageDerivedDelete(state, oi, doc));
     PRIX_RETURN_NOT_OK(StageDelete(oi, doc));
     PRIX_ASSIGN_OR_RETURN(const DocId d, StageInsert(oi, new_doc));
-    PRIX_RETURN_NOT_OK(Publish(this, index_name, oi, &cow));
+    PRIX_RETURN_NOT_OK(StageDerivedInsert(state, new_doc, d, &cow));
+    PRIX_RETURN_NOT_OK(PublishAll(this, index_name, oi, state, &cow));
     return d;
   };
   Result<uint32_t> result = run();
-  oi->index->SetCow(nullptr);
+  SetCowAll(oi, state, nullptr);
   if (!result.ok()) {
     AbortIngest(this, &ingest_state_, &cow);
     return result;
   }
-  std::static_pointer_cast<IngestState>(ingest_state_)->generation =
-      catalog_generation();
+  state->generation = catalog_generation();
   BumpIngestCounter("prix.ingest.docs_updated");
   return result;
 }
@@ -576,24 +713,25 @@ Status Database::DeleteDocument(const std::string& index_name, uint32_t doc) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   PRIX_ASSIGN_OR_RETURN(OpenIndex * oi,
                         AcquireIngest(this, &ingest_state_, index_name));
+  auto state = std::static_pointer_cast<IngestState>(ingest_state_).get();
   if (doc >= oi->index->num_docs() || oi->index->IsDeleted(doc)) {
     return Status::NotFound("document " + std::to_string(doc) +
                             " is not live");
   }
   CowContext cow;
-  oi->index->SetCow(&cow);
+  SetCowAll(oi, state, &cow);
   auto run = [&]() -> Status {
+    PRIX_RETURN_NOT_OK(StageDerivedDelete(state, oi, doc));
     PRIX_RETURN_NOT_OK(StageDelete(oi, doc));
-    return Publish(this, index_name, oi, &cow);
+    return PublishAll(this, index_name, oi, state, &cow);
   };
   const Status result = run();
-  oi->index->SetCow(nullptr);
+  SetCowAll(oi, state, nullptr);
   if (!result.ok()) {
     AbortIngest(this, &ingest_state_, &cow);
     return result;
   }
-  std::static_pointer_cast<IngestState>(ingest_state_)->generation =
-      catalog_generation();
+  state->generation = catalog_generation();
   BumpIngestCounter("prix.ingest.docs_deleted");
   return Status::OK();
 }

@@ -243,6 +243,59 @@ Result<std::unique_ptr<PrixIndex>> PrixIndex::OpenFromEntry(
   return index;
 }
 
+Result<Document> PrixIndex::ReconstructDocument(DocId doc) const {
+  if (doc >= docs_->num_docs()) {
+    return Status::NotFound("DocId " + std::to_string(doc) +
+                            " beyond the store's " +
+                            std::to_string(docs_->num_docs()) + " records");
+  }
+  if (IsDeleted(doc)) {
+    return Status::NotFound("DocId " + std::to_string(doc) + " is deleted");
+  }
+  PRIX_ASSIGN_OR_RETURN(StoredDoc stored, docs_->Load(doc));
+  if (stored.seq.num_nodes == 0) {
+    return Status::Corruption("DocId " + std::to_string(doc) +
+                              " is an empty placeholder record");
+  }
+  if (!options_.extended) {
+    PRIX_ASSIGN_OR_RETURN(Document out,
+                          ReconstructTree(stored.seq, stored.leaves));
+    out.set_doc_id(doc);
+    return out;
+  }
+  // EP stores keep no leaf list — the extended tree's leaves are exactly the
+  // dummies, whose postorder numbers are the positions the original tree
+  // does not claim. Synthesize them, rebuild the extended tree, then strip
+  // every dummy in a child-order-preserving DFS copy.
+  std::vector<uint32_t> ext_to_orig = ExtendedToOriginalPostorder(stored.seq);
+  std::vector<LeafEntry> dummies;
+  for (uint32_t v = 1; v <= stored.seq.num_nodes; ++v) {
+    if (ext_to_orig[v] == 0) dummies.push_back(LeafEntry{kDummyLabel, v});
+  }
+  PRIX_ASSIGN_OR_RETURN(Document ext, ReconstructTree(stored.seq, dummies));
+  Document out(doc);
+  if (ext.empty() || ext.label(ext.root()) == kDummyLabel) {
+    return Status::Corruption("extended tree reconstructs to a dummy root");
+  }
+  struct Frame {
+    NodeId ext_node;
+    NodeId out_parent;
+  };
+  std::vector<Frame> stack{{ext.root(), kInvalidNode}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    NodeId copied = f.out_parent == kInvalidNode
+                        ? out.AddRoot(ext.label(f.ext_node))
+                        : out.AddChild(f.out_parent, ext.label(f.ext_node));
+    const std::vector<NodeId>& kids = ext.children(f.ext_node);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      if (ext.label(*it) != kDummyLabel) stack.push_back(Frame{*it, copied});
+    }
+  }
+  return out;
+}
+
 namespace {
 
 /// Shared emit body for salvage walks: re-insert into the destination tree,

@@ -171,6 +171,14 @@ class PrixIndex {
   /// Database::CommitBatch instead of PutIndex.
   void SerializeCatalog(std::vector<char>* blob) const;
 
+  /// Rebuilds document `doc` from its stored Prüfer transform — RP records
+  /// via the stored leaf list, EP records by synthesizing the dummy leaves
+  /// and stripping them from the reconstruction. Used by ingest (to learn
+  /// which tag streams a delete touches) and by salvage (to regenerate
+  /// derived ViST/TwigStack indexes from the surviving documents). Fails on
+  /// tombstoned or unreadable records.
+  Result<Document> ReconstructDocument(DocId doc) const;
+
   /// Scope of the virtual trie root: every node's LeftPos lies in
   /// (root.left, root.right].
   RangeLabel root_range() const { return root_range_; }

@@ -6,7 +6,14 @@
 namespace prix {
 
 AdmissionController::AdmissionController(const Options& options)
-    : options_(options), ewma_service_us_(options.initial_service_us) {}
+    : options_(options),
+      // Cold-start guard: before any request has completed the EWMA is pure
+      // guesswork, so an unset (zero) seed falls back to a conservative
+      // figure — shedding a meetable deadline costs one retry; admitting an
+      // unmeetable one wastes a slot on a corpse.
+      ewma_service_us_(options.initial_service_us > 0
+                           ? options.initial_service_us
+                           : kConservativeServiceUs) {}
 
 uint64_t AdmissionController::PredictedWaitUsLocked() const {
   // Every max_executing releases admit one queue position, so a request
@@ -119,12 +126,22 @@ void AdmissionController::Release(uint64_t client_id, uint64_t service_us) {
     if (it->second > 0) --it->second;
     if (it->second == 0) client_inflight_.erase(it);
   }
-  // EWMA with alpha = 1/4: new = old + (sample - old) / 4, in integers.
-  ewma_service_us_ =
-      ewma_service_us_ + (static_cast<int64_t>(service_us) -
-                          static_cast<int64_t>(ewma_service_us_)) /
-                             4;
-  if (ewma_service_us_ == 0) ewma_service_us_ = 1;
+  if (!has_sample_) {
+    // First completed request: adopt its service time outright instead of
+    // blending into the synthetic seed — a seed orders of magnitude off
+    // would otherwise take ~log(err)/log(4/3) releases to converge, shedding
+    // meetable requests (seed too high) or queueing corpses (too low) the
+    // whole way down.
+    ewma_service_us_ = std::max<uint64_t>(1, service_us);
+    has_sample_ = true;
+  } else {
+    // EWMA with alpha = 1/4: new = old + (sample - old) / 4, in integers.
+    ewma_service_us_ =
+        ewma_service_us_ + (static_cast<int64_t>(service_us) -
+                            static_cast<int64_t>(ewma_service_us_)) /
+                               4;
+    if (ewma_service_us_ == 0) ewma_service_us_ = 1;
+  }
   GrantLocked();
   cv_.notify_all();
 }

@@ -39,8 +39,14 @@ class AdmissionController {
     size_t max_executing = 4;       ///< concurrent requests actually running
     size_t max_queued = 64;         ///< waiters beyond the executing set
     size_t per_client_inflight = 8; ///< queued+executing cap per client id
-    uint64_t initial_service_us = 10'000;  ///< EWMA seed before any sample
+    /// EWMA seed before any sample; 0 means "unknown", which falls back to
+    /// the conservative kConservativeServiceUs so cold-start shed
+    /// predictions err toward shedding rather than queueing corpses.
+    uint64_t initial_service_us = 10'000;
   };
+
+  /// Stand-in service time while no request has completed yet.
+  static constexpr uint64_t kConservativeServiceUs = 10'000;
 
   explicit AdmissionController(const Options& options);
 
@@ -86,6 +92,9 @@ class AdmissionController {
   std::deque<std::shared_ptr<Waiter>> queue_;
   std::unordered_map<uint64_t, size_t> client_inflight_;
   uint64_t ewma_service_us_;
+  /// False until the first Release(): the first real sample replaces the
+  /// seed outright instead of blending into it.
+  bool has_sample_ = false;
   uint64_t admitted_total_ = 0;
   uint64_t shed_total_ = 0;
   bool draining_ = false;

@@ -80,26 +80,39 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Build(
     store->total_pages_ += info.pages.size();
     store->streams_.emplace(label, std::move(info));
   }
+  store->num_docs_ = static_cast<uint32_t>(documents.size());
   PRIX_RETURN_NOT_OK(pool->FlushAll());
   return store;
 }
 
 namespace {
 constexpr uint32_t kStreamCatalogMagic = 0x54574753;  // "TWGS"
-constexpr uint32_t kStreamCatalogVersion = 1;
+/// v1: streams section only (pre-ingest binaries). v2 prepends the document
+/// count and the tombstone set so the store can participate in ingest
+/// commits. v1 blobs still open (as legacy()) so old databases stay
+/// readable.
+constexpr uint32_t kStreamCatalogVersionLegacy = 1;
+constexpr uint32_t kStreamCatalogVersion = 2;
 }  // namespace
+
+void StreamStore::SerializeCatalog(std::vector<char>* blob) const {
+  PutU32(blob, kStreamCatalogMagic);
+  PutU32(blob, kStreamCatalogVersion);
+  PutU32(blob, num_docs_);
+  PutU32(blob, static_cast<uint32_t>(tombstones_.size()));
+  for (DocId d : tombstones_) PutU32(blob, d);
+  PutU32(blob, static_cast<uint32_t>(streams_.size()));
+  for (const auto& [label, info] : streams_) {
+    PutU32(blob, label);
+    PutU32(blob, info.count);
+    PutU32(blob, static_cast<uint32_t>(info.pages.size()));
+    for (PageId page : info.pages) PutU32(blob, page);
+  }
+}
 
 Status StreamStore::Save(Database* db, const std::string& name) const {
   std::vector<char> blob;
-  PutU32(&blob, kStreamCatalogMagic);
-  PutU32(&blob, kStreamCatalogVersion);
-  PutU32(&blob, static_cast<uint32_t>(streams_.size()));
-  for (const auto& [label, info] : streams_) {
-    PutU32(&blob, label);
-    PutU32(&blob, info.count);
-    PutU32(&blob, static_cast<uint32_t>(info.pages.size()));
-    for (PageId page : info.pages) PutU32(&blob, page);
-  }
+  SerializeCatalog(&blob);
   PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(db->pool(), blob));
   Database::IndexEntry entry;
   entry.name = name;
@@ -111,20 +124,27 @@ Status StreamStore::Save(Database* db, const std::string& name) const {
 Result<std::unique_ptr<StreamStore>> StreamStore::Open(
     Database* db, const std::string& name) {
   PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  return OpenFromEntry(db->pool(), entry);
+}
+
+Result<std::unique_ptr<StreamStore>> StreamStore::OpenFromEntry(
+    BufferPool* pool, const Database::IndexEntry& entry) {
   if (entry.kind != Database::IndexKind::kTwigStreams) {
-    return Status::InvalidArgument("catalog entry '" + name +
+    return Status::InvalidArgument("catalog entry '" + entry.name +
                                    "' is not a stream store");
   }
   if (entry.stale_as_of_gen != 0) {
     // Stamped by Database::CommitBatch when online ingest outran this
-    // derived structure; see the matching check in VistIndex::Open.
+    // derived structure (only possible for stores ingest cannot carry
+    // along, e.g. legacy v1 blobs); see the matching check in
+    // VistIndex::OpenFromEntry.
     return Status::FailedPrecondition(
-        "index '" + name + "' is stale as of generation " +
+        "index '" + entry.name + "' is stale as of generation " +
         std::to_string(entry.stale_as_of_gen) +
         ", rebuild or query the PRIX index");
   }
   std::vector<char> blob;
-  PRIX_RETURN_NOT_OK(ReadBlob(db->pool(), entry.root, &blob));
+  PRIX_RETURN_NOT_OK(ReadBlob(pool, entry.root, &blob));
   const char* p = blob.data();
   const char* end = blob.data() + blob.size();
   auto need = [&](size_t bytes) -> Status {
@@ -138,13 +158,35 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Open(
     return Status::Corruption("not a stream-store catalog");
   }
   p += 4;
-  if (GetU32(p) != kStreamCatalogVersion) {
+  uint32_t version = GetU32(p);
+  if (version != kStreamCatalogVersionLegacy &&
+      version != kStreamCatalogVersion) {
     return Status::Corruption("unsupported stream-store catalog version");
   }
   p += 4;
+  auto store = std::unique_ptr<StreamStore>(new StreamStore(pool));
+  store->legacy_ = version == kStreamCatalogVersionLegacy;
+  if (!store->legacy_) {
+    PRIX_RETURN_NOT_OK(need(8));
+    store->num_docs_ = GetU32(p);
+    p += 4;
+    uint32_t dead = GetU32(p);
+    p += 4;
+    PRIX_RETURN_NOT_OK(need(4ull * dead));
+    for (uint32_t i = 0; i < dead; ++i, p += 4) {
+      DocId d = GetU32(p);
+      if (d >= store->num_docs_) {
+        return Status::Corruption(
+            "stream-store tombstone for DocId " + std::to_string(d) +
+            " beyond the store's " + std::to_string(store->num_docs_) +
+            " documents");
+      }
+      store->tombstones_.insert(d);
+    }
+  }
+  PRIX_RETURN_NOT_OK(need(4));
   uint32_t num_streams = GetU32(p);
   p += 4;
-  auto store = std::unique_ptr<StreamStore>(new StreamStore(db->pool()));
   for (uint32_t i = 0; i < num_streams; ++i) {
     PRIX_RETURN_NOT_OK(need(12));
     LabelId label = GetU32(p);
@@ -166,7 +208,7 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Open(
                                 std::to_string(num_pages) + " pages");
     }
     PRIX_RETURN_NOT_OK(need(4ull * num_pages));
-    uint32_t file_pages = db->disk()->num_pages();
+    uint32_t file_pages = pool->disk()->num_pages();
     info.pages.reserve(num_pages);
     for (uint32_t j = 0; j < num_pages; ++j, p += 4) {
       info.pages.push_back(GetU32(p));
@@ -182,6 +224,82 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Open(
     store->streams_.emplace(label, std::move(info));
   }
   return store;
+}
+
+Status StreamStore::AppendEntries(StreamInfo* info,
+                                  const std::vector<ElementPos>& entries,
+                                  CowContext* cow) {
+  size_t i = 0;
+  while (i < entries.size()) {
+    uint32_t used = info->count % kEntriesPerPage;
+    if (info->count > 0 && used == 0) used = kEntriesPerPage;
+    if (info->pages.empty() || used == kEntriesPerPage) {
+      // Tail full (or no pages yet): open a fresh page.
+      PRIX_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
+      SetPageType(page->data(), PageType::kStream);
+      if (cow != nullptr) cow->MarkFresh(page->page_id());
+      info->pages.push_back(page->page_id());
+      pool_->UnpinPage(page->page_id(), /*dirty=*/true);
+      ++total_pages_;
+      used = 0;
+    } else if (cow != nullptr && !cow->IsFresh(info->pages.back())) {
+      // The partial tail page belongs to a committed generation: copy on
+      // write before extending it.
+      PRIX_ASSIGN_OR_RETURN(Page * copy, pool_->NewPage());
+      PageId old_id = info->pages.back();
+      {
+        PRIX_ASSIGN_OR_RETURN(Page * old_page, pool_->FetchPage(old_id));
+        std::memcpy(copy->data(), old_page->data(), kPageUsable);
+        pool_->UnpinPage(old_id, /*dirty=*/false);
+      }
+      SetPageType(copy->data(), PageType::kStream);
+      cow->MarkFresh(copy->page_id());
+      cow->MarkFreed(old_id);
+      info->pages.back() = copy->page_id();
+      pool_->UnpinPage(copy->page_id(), /*dirty=*/true);
+    }
+    PageId tail = info->pages.back();
+    size_t chunk = std::min(kEntriesPerPage - used, entries.size() - i);
+    PRIX_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(tail));
+    std::memcpy(page->data() + used * sizeof(ElementPos), entries.data() + i,
+                chunk * sizeof(ElementPos));
+    pool_->UnpinPage(tail, /*dirty=*/true);
+    info->count += static_cast<uint32_t>(chunk);
+    total_entries_ += chunk;
+    i += chunk;
+  }
+  return Status::OK();
+}
+
+Status StreamStore::AppendDocument(const Document& doc, DocId assigned,
+                                   CowContext* cow,
+                                   std::vector<LabelId>* touched) {
+  if (legacy_) {
+    return Status::FailedPrecondition(
+        "stream store predates ingest support (catalog v1); rebuild it");
+  }
+  if (assigned != num_docs_) {
+    return Status::InvalidArgument(
+        "stream append out of order: DocId " + std::to_string(assigned) +
+        " with " + std::to_string(num_docs_) + " documents stored");
+  }
+  std::vector<ElementPos> regions = ComputeRegions(doc);
+  std::map<LabelId, std::vector<ElementPos>> by_label;
+  for (NodeId v = 0; v < doc.num_nodes(); ++v) {
+    ElementPos e = regions[v];
+    e.doc = assigned;
+    by_label[doc.label(v)].push_back(e);
+  }
+  for (auto& [label, entries] : by_label) {
+    std::sort(entries.begin(), entries.end(),
+              [](const ElementPos& a, const ElementPos& b) {
+                return a.BeginKey() < b.BeginKey();
+              });
+    PRIX_RETURN_NOT_OK(AppendEntries(&streams_[label], entries, cow));
+    if (touched != nullptr) touched->push_back(label);
+  }
+  ++num_docs_;
+  return Status::OK();
 }
 
 Result<ElementPos> StreamStore::ReadEntry(const StreamInfo& info,
@@ -200,21 +318,27 @@ Result<ElementPos> StreamStore::ReadEntry(const StreamInfo& info,
 }
 
 Status SimpleStreamCursor::LoadCurrent() {
-  if (Eof()) return Status::OK();
-  uint32_t page_idx = index_ / StreamStore::kEntriesPerPage;
-  if (page_idx != buffer_page_) {
-    PRIX_ASSIGN_OR_RETURN(
-        Page * page, store_->pool()->FetchPage(info_->pages[page_idx]));
-    uint32_t remaining = std::min<uint32_t>(
-        StreamStore::kEntriesPerPage,
-        info_->count - page_idx * StreamStore::kEntriesPerPage);
-    buffer_.resize(remaining);
-    std::memcpy(buffer_.data(), page->data(),
-                remaining * sizeof(ElementPos));
-    store_->pool()->UnpinPage(info_->pages[page_idx], /*dirty=*/false);
-    buffer_page_ = page_idx;
+  // Tombstoned documents keep their stream entries (streams are
+  // append-only); the cursor hides them so consumers only ever see live
+  // elements.
+  while (!Eof()) {
+    uint32_t page_idx = index_ / StreamStore::kEntriesPerPage;
+    if (page_idx != buffer_page_) {
+      PRIX_ASSIGN_OR_RETURN(
+          Page * page, store_->pool()->FetchPage(info_->pages[page_idx]));
+      uint32_t remaining = std::min<uint32_t>(
+          StreamStore::kEntriesPerPage,
+          info_->count - page_idx * StreamStore::kEntriesPerPage);
+      buffer_.resize(remaining);
+      std::memcpy(buffer_.data(), page->data(),
+                  remaining * sizeof(ElementPos));
+      store_->pool()->UnpinPage(info_->pages[page_idx], /*dirty=*/false);
+      buffer_page_ = page_idx;
+    }
+    current_ = buffer_[index_ % StreamStore::kEntriesPerPage];
+    if (!store_->IsDeleted(current_.doc)) break;
+    ++index_;
   }
-  current_ = buffer_[index_ % StreamStore::kEntriesPerPage];
   return Status::OK();
 }
 

@@ -6,9 +6,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unordered_set>
+
 #include "common/result.h"
 #include "db/database.h"
 #include "storage/buffer_pool.h"
+#include "storage/cow.h"
 #include "xml/document.h"
 
 namespace prix {
@@ -61,6 +64,45 @@ class StreamStore {
   static Result<std::unique_ptr<StreamStore>> Open(Database* db,
                                                    const std::string& name);
 
+  /// Reopens a stream store from a catalog entry directly — the snapshot
+  /// read path and the ingest acquire path. Kind and staleness checks
+  /// happen here; Open delegates.
+  static Result<std::unique_ptr<StreamStore>> OpenFromEntry(
+      BufferPool* pool, const Database::IndexEntry& entry);
+
+  // ---- online-ingest surface (src/prix/database_ingest.cc) ----
+  //
+  // Streams stay append-only: an insert appends the new document's entries
+  // to the tail of each touched tag stream (DocIds are assigned
+  // monotonically, so (doc, left) order is preserved), and a delete
+  // tombstones the DocId — cursors skip dead entries, nothing is compacted
+  // in place. Catalog v2 persists the document count and the tombstone set;
+  // v1 blobs (older binaries) reopen read-only as `legacy()` and are left
+  // out of ingest commits, so they still go stale the old way.
+
+  /// Appends every node of `doc` to its label's stream under DocId
+  /// `assigned` (which must equal num_docs()). New and COW-copied tail
+  /// pages are reported to `cow`; each touched label is appended to
+  /// `touched` (for the paired XB-forest's incremental rebuild).
+  Status AppendDocument(const Document& doc, DocId assigned, CowContext* cow,
+                        std::vector<LabelId>* touched);
+
+  bool IsDeleted(DocId doc) const {
+    return tombstones_.find(doc) != tombstones_.end();
+  }
+  void Tombstone(DocId doc) { tombstones_.insert(doc); }
+  const std::unordered_set<DocId>& tombstones() const { return tombstones_; }
+  /// Documents ever appended (incl. tombstoned); 0 for legacy v1 stores.
+  uint32_t num_docs() const { return num_docs_; }
+  /// True when the store was persisted by a pre-ingest binary (catalog v1):
+  /// no document count, no tombstones, excluded from ingest commits.
+  bool legacy() const { return legacy_; }
+
+  /// Serializes the stream directory into `blob` — what Save writes,
+  /// exposed so a write transaction can publish through
+  /// Database::CommitBatch instead of PutIndex.
+  void SerializeCatalog(std::vector<char>* blob) const;
+
   bool HasStream(LabelId label) const {
     return streams_.find(label) != streams_.end();
   }
@@ -83,8 +125,16 @@ class StreamStore {
  private:
   explicit StreamStore(BufferPool* pool) : pool_(pool) {}
 
+  /// Appends `entries` to the tail of `info`'s page chain, COW-copying a
+  /// non-fresh partial tail page first.
+  Status AppendEntries(StreamInfo* info, const std::vector<ElementPos>& entries,
+                       CowContext* cow);
+
   BufferPool* pool_;
   std::unordered_map<LabelId, StreamInfo> streams_;
+  std::unordered_set<DocId> tombstones_;
+  uint32_t num_docs_ = 0;
+  bool legacy_ = false;
   uint64_t total_entries_ = 0;
   uint64_t total_pages_ = 0;
 };

@@ -22,25 +22,60 @@ Result<std::unique_ptr<XbForest>> XbForest::Build(const StreamStore* store,
   return forest;
 }
 
+Result<std::unique_ptr<XbForest>> XbForest::Build(const StreamStore* store) {
+  auto forest = std::make_unique<XbForest>();
+  for (const auto& [label, info] : store->streams()) {
+    PRIX_ASSIGN_OR_RETURN(std::unique_ptr<XbTree> tree,
+                          XbTree::Build(store, &info));
+    forest->internal_pages_ += tree->internal_pages();
+    forest->trees_.emplace(label, std::move(tree));
+  }
+  return forest;
+}
+
+Status XbForest::RebuildTree(LabelId label, const StreamStore* store,
+                             CowContext* cow) {
+  auto it = trees_.find(label);
+  if (it != trees_.end()) {
+    for (const XbTree::Level& level : it->second->levels()) {
+      for (PageId page : level.pages) {
+        if (cow != nullptr) cow->MarkFreed(page);
+      }
+    }
+    internal_pages_ -= it->second->internal_pages();
+    trees_.erase(it);
+  }
+  const StreamStore::StreamInfo* info = store->Find(label);
+  PRIX_ASSIGN_OR_RETURN(std::unique_ptr<XbTree> tree,
+                        XbTree::Build(store, info, cow));
+  internal_pages_ += tree->internal_pages();
+  trees_.emplace(label, std::move(tree));
+  return Status::OK();
+}
+
 namespace {
 constexpr uint32_t kForestCatalogMagic = 0x58424652;  // "XBFR"
 constexpr uint32_t kForestCatalogVersion = 1;
 }  // namespace
 
-Status XbForest::Save(Database* db, const std::string& name) const {
-  std::vector<char> blob;
-  PutU32(&blob, kForestCatalogMagic);
-  PutU32(&blob, kForestCatalogVersion);
-  PutU32(&blob, static_cast<uint32_t>(trees_.size()));
+void XbForest::SerializeCatalog(std::vector<char>* blob) const {
+  PutU32(blob, kForestCatalogMagic);
+  PutU32(blob, kForestCatalogVersion);
+  PutU32(blob, static_cast<uint32_t>(trees_.size()));
   for (const auto& [label, tree] : trees_) {
-    PutU32(&blob, label);
-    PutU32(&blob, static_cast<uint32_t>(tree->levels().size()));
+    PutU32(blob, label);
+    PutU32(blob, static_cast<uint32_t>(tree->levels().size()));
     for (const XbTree::Level& level : tree->levels()) {
-      PutU32(&blob, level.entry_count);
-      PutU32(&blob, static_cast<uint32_t>(level.pages.size()));
-      for (PageId page : level.pages) PutU32(&blob, page);
+      PutU32(blob, level.entry_count);
+      PutU32(blob, static_cast<uint32_t>(level.pages.size()));
+      for (PageId page : level.pages) PutU32(blob, page);
     }
   }
+}
+
+Status XbForest::Save(Database* db, const std::string& name) const {
+  std::vector<char> blob;
+  SerializeCatalog(&blob);
   PRIX_ASSIGN_OR_RETURN(PageId first, WriteBlob(db->pool(), blob));
   Database::IndexEntry entry;
   entry.name = name;
@@ -53,20 +88,26 @@ Result<std::unique_ptr<XbForest>> XbForest::Open(Database* db,
                                                  const std::string& name,
                                                  const StreamStore* store) {
   PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  return OpenFromEntry(db->pool(), entry, store);
+}
+
+Result<std::unique_ptr<XbForest>> XbForest::OpenFromEntry(
+    BufferPool* pool, const Database::IndexEntry& entry,
+    const StreamStore* store) {
   if (entry.kind != Database::IndexKind::kXbForest) {
-    return Status::InvalidArgument("catalog entry '" + name +
+    return Status::InvalidArgument("catalog entry '" + entry.name +
                                    "' is not an XB-forest");
   }
   if (entry.stale_as_of_gen != 0) {
     // Stamped by Database::CommitBatch when online ingest outran this
-    // derived structure; see the matching check in VistIndex::Open.
+    // derived structure; see the matching check in VistIndex::OpenFromEntry.
     return Status::FailedPrecondition(
-        "index '" + name + "' is stale as of generation " +
+        "index '" + entry.name + "' is stale as of generation " +
         std::to_string(entry.stale_as_of_gen) +
         ", rebuild or query the PRIX index");
   }
   std::vector<char> blob;
-  PRIX_RETURN_NOT_OK(ReadBlob(db->pool(), entry.root, &blob));
+  PRIX_RETURN_NOT_OK(ReadBlob(pool, entry.root, &blob));
   const char* p = blob.data();
   const char* end = blob.data() + blob.size();
   auto need = [&](size_t bytes) -> Status {
@@ -109,7 +150,7 @@ Result<std::unique_ptr<XbForest>> XbForest::Open(Database* db,
             " entries lists only " + std::to_string(num_pages) + " pages");
       }
       PRIX_RETURN_NOT_OK(need(4ull * num_pages));
-      uint32_t file_pages = db->disk()->num_pages();
+      uint32_t file_pages = pool->disk()->num_pages();
       level.pages.reserve(num_pages);
       for (uint32_t j = 0; j < num_pages; ++j, p += 4) {
         level.pages.push_back(GetU32(p));

@@ -21,6 +21,10 @@ class XbForest {
   static Result<std::unique_ptr<XbForest>> Build(const StreamStore* store,
                                                  const TagDictionary& dict);
 
+  /// Builds one tree per stream the store actually holds — the salvage
+  /// path, where no tag dictionary is at hand.
+  static Result<std::unique_ptr<XbForest>> Build(const StreamStore* store);
+
   /// Registers the forest's level directory in `db`'s catalog under `name`
   /// (kind kXbForest). The internal pages were written at Build time.
   Status Save(Database* db, const std::string& name) const;
@@ -30,6 +34,23 @@ class XbForest {
   static Result<std::unique_ptr<XbForest>> Open(Database* db,
                                                 const std::string& name,
                                                 const StreamStore* store);
+
+  /// Reopens a forest from a catalog entry directly — the snapshot read
+  /// path and the ingest acquire path. Kind and staleness checks happen
+  /// here; Open delegates.
+  static Result<std::unique_ptr<XbForest>> OpenFromEntry(
+      BufferPool* pool, const Database::IndexEntry& entry,
+      const StreamStore* store);
+
+  /// Replaces `label`'s tree with one freshly built over the stream's
+  /// current pages and tombstones — the ingest path's bounded rebuild: an
+  /// insert or delete re-buckets only the touched tag streams. Old internal
+  /// pages go to `cow->freed`; new ones are registered fresh.
+  Status RebuildTree(LabelId label, const StreamStore* store, CowContext* cow);
+
+  /// Serializes the level directory into `blob` — what Save writes, exposed
+  /// so a write transaction can publish through Database::CommitBatch.
+  void SerializeCatalog(std::vector<char>* blob) const;
 
   /// Null when the label has no stream.
   const XbTree* Find(LabelId label) const {

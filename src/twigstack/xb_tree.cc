@@ -18,11 +18,15 @@ struct RawEntry {
 }  // namespace
 
 Result<std::unique_ptr<XbTree>> XbTree::Build(
-    const StreamStore* store, const StreamStore::StreamInfo* info) {
+    const StreamStore* store, const StreamStore::StreamInfo* info,
+    CowContext* cow) {
   auto tree = std::unique_ptr<XbTree>(new XbTree(store, info));
   if (info == nullptr || info->count == 0) return tree;
 
-  // Summaries of the current level, starting with the stream pages.
+  // Summaries of the current level, starting with the stream pages. The
+  // max-end of a page is taken over its live entries only: a page whose
+  // entries are all tombstoned summarizes to max_end 0, which no query
+  // range reaches, so the whole page is skipped without a drill-down.
   std::vector<RawEntry> summaries;
   summaries.reserve(info->pages.size());
   for (size_t p = 0; p < info->pages.size(); ++p) {
@@ -34,6 +38,7 @@ Result<std::unique_ptr<XbTree>> XbTree::Build(
     uint64_t max_end = 0;
     for (uint32_t i = first; i < last; ++i) {
       PRIX_ASSIGN_OR_RETURN(ElementPos e, store->ReadEntry(*info, i));
+      if (store->IsDeleted(e.doc)) continue;
       max_end = std::max(max_end, e.EndKey());
     }
     summaries.push_back(RawEntry{first_elem.BeginKey(), max_end});
@@ -51,6 +56,7 @@ Result<std::unique_ptr<XbTree>> XbTree::Build(
                   chunk * sizeof(RawEntry));
       SetPageType(page->data(), PageType::kXbNode);
       level.pages.push_back(page->page_id());
+      if (cow != nullptr) cow->MarkFresh(page->page_id());
       store->pool()->UnpinPage(page->page_id(), /*dirty=*/true);
       uint64_t max_end = 0;
       for (size_t j = i; j < i + chunk; ++j) {
@@ -62,7 +68,9 @@ Result<std::unique_ptr<XbTree>> XbTree::Build(
     tree->levels_.push_back(std::move(level));
     summaries = std::move(next);
   }
-  PRIX_RETURN_NOT_OK(store->pool()->FlushAll());
+  if (cow == nullptr) {
+    PRIX_RETURN_NOT_OK(store->pool()->FlushAll());
+  }
   return tree;
 }
 
@@ -89,7 +97,8 @@ Status XbCursor::Init() {
   level_ = static_cast<int>(tree_->levels().size());
   node_ = 0;
   entry_ = 0;
-  return LoadEntry();
+  PRIX_RETURN_NOT_OK(LoadEntry());
+  return SettleLive();
 }
 
 uint32_t XbCursor::LevelEntryTotal(int level) const {
@@ -117,7 +126,7 @@ uint64_t XbCursor::NextR() const {
   return level_ == 0 ? element_.EndKey() : max_end_;
 }
 
-Status XbCursor::Advance() {
+Status XbCursor::AdvanceRaw() {
   if (eof_) return Status::OK();
   while (true) {
     if (entry_ + 1 < NodeEntryCount(level_, node_)) {
@@ -138,6 +147,25 @@ Status XbCursor::Advance() {
   }
 }
 
+Status XbCursor::SettleLive() {
+  // A leaf-level cursor must never expose a tombstoned entry through
+  // NextL/NextR (the engine's min/max selection would process dead
+  // positions and could mis-order its stack maintenance), so every
+  // positioning that can land on the leaf level steps past dead entries —
+  // possibly ascending back to a summary level, whose bounds are
+  // conservative over live entries by construction.
+  while (!eof_ && level_ == 0 && tree_->store() != nullptr &&
+         tree_->store()->IsDeleted(element_.doc)) {
+    PRIX_RETURN_NOT_OK(AdvanceRaw());
+  }
+  return Status::OK();
+}
+
+Status XbCursor::Advance() {
+  PRIX_RETURN_NOT_OK(AdvanceRaw());
+  return SettleLive();
+}
+
 Status XbCursor::DrillDown() {
   if (eof_ || level_ == 0) return Status::OK();
   ++drilldowns_;
@@ -151,10 +179,13 @@ Status XbCursor::DrillDown() {
   --level_;
   node_ = child;
   entry_ = 0;
-  return LoadEntry();
+  PRIX_RETURN_NOT_OK(LoadEntry());
+  return SettleLive();
 }
 
 Status XbCursor::EnsureElement() {
+  // SettleLive keeps leaf positions live, so drilling to the leaf level is
+  // all that remains (a settle may ascend; the loop re-drills).
   while (!eof_ && level_ > 0) {
     PRIX_RETURN_NOT_OK(DrillDown());
   }

@@ -63,8 +63,13 @@ class XbTree {
   static constexpr size_t kFanout = kPageUsable / (2 * sizeof(uint64_t));
 
   /// Builds the internal levels above `info`'s pages. `info` may be null.
+  /// Summaries cover only LIVE entries (tombstoned documents are excluded
+  /// from max-end), so skipping is exact for the current tombstone set;
+  /// within an ingest transaction the new pages are registered with `cow`
+  /// (and flushing is left to the commit) instead of FlushAll'd here.
   static Result<std::unique_ptr<XbTree>> Build(
-      const StreamStore* store, const StreamStore::StreamInfo* info);
+      const StreamStore* store, const StreamStore::StreamInfo* info,
+      CowContext* cow = nullptr);
 
   /// Re-creates a tree over already-persisted internal pages (XbForest
   /// persistence); no pages are read or allocated.
@@ -117,6 +122,11 @@ class XbCursor final : public TagCursor {
   uint32_t NodeEntryCount(int level, uint32_t node) const;
   uint32_t LevelEntryTotal(int level) const;
   Status LoadEntry();
+  /// Advance without the dead-entry settle (the raw Bruno et al. move).
+  Status AdvanceRaw();
+  /// Steps past tombstoned leaf entries so NextL/NextR always describe a
+  /// live element (or a summary, or eof).
+  Status SettleLive();
 
   const XbTree* tree_;
   int level_ = 0;        // 0 = stream level

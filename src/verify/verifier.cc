@@ -96,13 +96,38 @@ void VerifyVistEntry(Database* db, const Database::IndexEntry& entry,
   }
   ScrubTree(&(*index)->dancestor(), entry.name, "dancestor-tree", report);
   ScrubTree(&(*index)->docid_index(), entry.name, "docid-tree", report);
+  // Live/dead accounting: a ViST delete removes the Docid entry and leaves
+  // the sequence record behind, so live = Docid entries, dead = the rest.
+  // Only live documents need a loadable sequence record.
+  std::vector<bool> live((*index)->num_docs(), false);
+  auto it = (*index)->docid_index().SeekToFirst();
+  if (!it.ok()) {
+    AddIssue(report, kInvalidPage, entry.name, "docid-tree scan", it.status());
+  } else {
+    while (it->Valid()) {
+      if (it->value() < live.size()) live[it->value()] = true;
+      Status st = it->Next();
+      if (!st.ok()) {
+        AddIssue(report, kInvalidPage, entry.name, "docid-tree scan", st);
+        break;
+      }
+    }
+  }
+  IndexDocStats ds;
+  ds.index = entry.name;
   for (DocId d = 0; d < (*index)->num_docs(); ++d) {
+    if (!live[d]) {
+      ++ds.dead_docs;
+      continue;
+    }
+    ++ds.live_docs;
     Result<Document> doc = (*index)->LoadDocument(d);
     if (!doc.ok()) {
       AddIssue(report, kInvalidPage, entry.name,
                "sequence record " + std::to_string(d), doc.status());
     }
   }
+  report->doc_stats.push_back(std::move(ds));
 }
 
 void VerifyStreamsEntry(Database* db, const Database::IndexEntry& entry,
@@ -124,6 +149,13 @@ void VerifyStreamsEntry(Database* db, const Database::IndexEntry& entry,
       }
       db->pool()->UnpinPage(page, /*dirty=*/false);
     }
+  }
+  if (!(*store)->legacy()) {
+    IndexDocStats ds;
+    ds.index = entry.name;
+    ds.dead_docs = (*store)->tombstones().size();
+    ds.live_docs = (*store)->num_docs() - ds.dead_docs;
+    report->doc_stats.push_back(std::move(ds));
   }
 }
 
@@ -161,6 +193,76 @@ void VerifyBlobEntry(Database* db, const Database::IndexEntry& entry,
   std::vector<char> blob;
   Status st = ReadBlob(db->pool(), entry.root, &blob);
   if (!st.ok()) AddIssue(report, entry.root, entry.name, "blob chain", st);
+}
+
+/// Rebuilds derived entries (stream stores, XB-forests, ViSTs whose own
+/// structure could not be walked) into `dst` from the documents
+/// reconstructed out of `source` — the first PRIX index the salvage could
+/// open. Documents that fail to reconstruct (tombstoned or poisoned) become
+/// empty placeholders so DocIds keep lining up with the salvaged PRIX
+/// store, and are tombstoned again in the rebuilt stream store. Returns
+/// non-OK only for destination write failures; per-entry rebuild failures
+/// drop that entry.
+Status RebuildDerivedEntries(const PrixIndex* source, Database* dst,
+                             const std::vector<Database::IndexEntry>& derived,
+                             SalvageReport* report) {
+  if (source == nullptr) {
+    for (const auto& e : derived) report->dropped.push_back(e.name);
+    return Status::OK();
+  }
+  std::vector<Document> docs;
+  std::vector<DocId> dead;
+  docs.reserve(source->num_docs());
+  for (DocId d = 0; d < source->num_docs(); ++d) {
+    Result<Document> doc = source->ReconstructDocument(d);
+    if (doc.ok()) {
+      docs.push_back(std::move(*doc));
+    } else {
+      docs.push_back(Document(d));
+      dead.push_back(d);
+    }
+  }
+  // Streams before forests: a forest is rebuilt over the rebuilt store.
+  std::unique_ptr<StreamStore> store;
+  for (const auto& e : derived) {
+    if (e.kind != Database::IndexKind::kTwigStreams) continue;
+    auto built = StreamStore::Build(docs, dst->pool());
+    if (!built.ok()) {
+      report->dropped.push_back(e.name);
+      continue;
+    }
+    for (DocId d : dead) (*built)->Tombstone(d);
+    PRIX_RETURN_NOT_OK((*built)->Save(dst, e.name));
+    if (store == nullptr) store = std::move(*built);
+    report->rebuilt.push_back(e.name);
+  }
+  for (const auto& e : derived) {
+    if (e.kind != Database::IndexKind::kXbForest) continue;
+    if (store == nullptr) {
+      // No stream store to summarize (none in the source catalog): a forest
+      // alone is meaningless.
+      report->dropped.push_back(e.name);
+      continue;
+    }
+    auto forest = XbForest::Build(store.get());
+    if (!forest.ok()) {
+      report->dropped.push_back(e.name);
+      continue;
+    }
+    PRIX_RETURN_NOT_OK((*forest)->Save(dst, e.name));
+    report->rebuilt.push_back(e.name);
+  }
+  for (const auto& e : derived) {
+    if (e.kind != Database::IndexKind::kVist) continue;
+    auto vist = VistIndex::Build(docs, dst->pool());
+    if (!vist.ok()) {
+      report->dropped.push_back(e.name);
+      continue;
+    }
+    PRIX_RETURN_NOT_OK((*vist)->Save(dst, e.name));
+    report->rebuilt.push_back(e.name);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -274,6 +376,8 @@ Status SalvageDatabase(const std::string& src, const std::string& dst,
     return ddb.status().Annotate("salvage: cannot create destination");
   }
   Status fatal;
+  std::unique_ptr<PrixIndex> doc_source;  // reconstruction source for below
+  std::vector<Database::IndexEntry> derived;
   for (const auto& entry : (*sdb)->ListIndexes()) {
     switch (entry.kind) {
       case Database::IndexKind::kPrixRegular:
@@ -286,12 +390,15 @@ Status SalvageDatabase(const std::string& src, const std::string& dst,
         fatal = (*index)->Salvage(ddb->get(), entry.name, &report->stats);
         if (!fatal.ok()) break;
         ++report->indexes_salvaged;
+        if (doc_source == nullptr) doc_source = std::move(*index);
         break;
       }
       case Database::IndexKind::kVist: {
         auto index = VistIndex::Open(sdb->get(), entry.name);
         if (!index.ok()) {
-          report->dropped.push_back(entry.name);
+          // Unwalkable as an index, but still recoverable from the
+          // documents: rebuild it below instead of dropping it.
+          derived.push_back(entry);
           break;
         }
         fatal = (*index)->Salvage(ddb->get(), entry.name, &report->stats);
@@ -318,11 +425,16 @@ Status SalvageDatabase(const std::string& src, const std::string& dst,
       }
       case Database::IndexKind::kTwigStreams:
       case Database::IndexKind::kXbForest:
-        // Derived from the documents; rebuild instead of salvaging.
-        report->dropped.push_back(entry.name);
+        // Derived from the documents; rebuilt from the salvaged documents
+        // once a reconstruction source is known.
+        derived.push_back(entry);
         break;
     }
     if (!fatal.ok()) break;
+  }
+  if (fatal.ok() && !derived.empty()) {
+    fatal = RebuildDerivedEntries(doc_source.get(), ddb->get(), derived,
+                                  report);
   }
   (*sdb)->Abandon();
   Status close_st = (*ddb)->Close();

@@ -22,18 +22,23 @@ struct VerifyIssue {
   std::string message;
 };
 
-/// Per-index document accounting for PRIX entries: how many documents are
-/// live versus tombstoned-but-unreclaimed (deleted documents keep their
-/// append-only DocStore record until a compaction rewrites the index; they
-/// are dead weight, not corruption).
+/// Per-index document accounting: how many documents are live versus
+/// tombstoned-but-unreclaimed (deleted documents keep their append-only
+/// records until a compaction rewrites the index; they are dead weight, not
+/// corruption). Reported for PRIX entries, for ViST entries (live = Docid
+/// entries remaining), and for v2 stream stores (dead = tombstone count) —
+/// co-resident engines ride every ingest commit, so live/dead accounting,
+/// not staleness, is the interesting number per engine.
 struct IndexDocStats {
   std::string index;
   uint64_t live_docs = 0;
   uint64_t dead_docs = 0;
 };
 
-/// A derived (ViST/TwigStack) index stamped stale by online ingest: its
-/// structure is intact but describes an older generation of the documents.
+/// A derived (ViST/TwigStack) index stamped stale: its structure is intact
+/// but describes an older generation of the documents. Co-resident derived
+/// indexes now ride every ingest commit, so stamps only appear on indexes a
+/// pre-§5k binary ingested past (or that failed to load at ingest time).
 /// Like dead documents this is dead weight, not corruption — it never makes
 /// the report unclean.
 struct StaleIndexNote {
@@ -50,8 +55,8 @@ struct VerifyReport {
   uint64_t indexes_bad = 0;      ///< entries with at least one issue
   uint64_t free_pages = 0;       ///< persistent free-list entries at open
   std::vector<VerifyIssue> issues;
-  std::vector<IndexDocStats> doc_stats;  ///< one per PRIX entry
-  std::vector<StaleIndexNote> stale_indexes;  ///< stamped by online ingest
+  std::vector<IndexDocStats> doc_stats;  ///< per document-bearing entry
+  std::vector<StaleIndexNote> stale_indexes;  ///< stamped by older binaries
 
   bool clean() const { return issues.empty(); }
 };
@@ -77,15 +82,21 @@ struct SalvageReport {
   SalvageStats stats;                  ///< summed over all salvaged indexes
   uint64_t indexes_salvaged = 0;       ///< entries rebuilt into `dst`
   std::vector<std::string> dropped;    ///< entries lost or not salvageable
+  /// Derived entries (stream stores, XB-forests, unwalkable ViSTs) rebuilt
+  /// from the salvaged documents rather than copied from the source.
+  std::vector<std::string> rebuilt;
 };
 
 /// Best-effort salvage: rebuilds every reachable PRIX/ViST index of `src`
 /// into a fresh database file at `dst` (which must not be `src`), skipping
 /// poisoned subtrees, and copies readable blob entries (e.g. the tag
-/// dictionary). Stream stores and XB-forests are derived structures and are
-/// dropped (listed in `report->dropped`); rebuild them from the documents.
-/// Fails when `src`'s catalog cannot be opened at all or `dst` cannot be
-/// written.
+/// dictionary). Derived entries — stream stores, XB-forests, and any ViST
+/// whose own structure cannot be walked — are rebuilt from the documents
+/// reconstructed out of the first salvageable PRIX index (tombstoned or
+/// unreadable documents become empty placeholders, tombstoned again where
+/// the format supports it) and listed in `report->rebuilt`; only when no
+/// PRIX index survives to reconstruct from are they dropped. Fails when
+/// `src`'s catalog cannot be opened at all or `dst` cannot be written.
 Status SalvageDatabase(const std::string& src, const std::string& dst,
                        SalvageReport* report);
 

@@ -157,22 +157,26 @@ constexpr uint32_t kVistCatalogMagic = 0x56495354;  // "VIST"
 constexpr uint32_t kVistCatalogVersion = 1;
 }  // namespace
 
+void VistIndex::SerializeCatalog(std::vector<char>* blob) const {
+  PutU32(blob, kVistCatalogMagic);
+  PutU32(blob, kVistCatalogVersion);
+  PutU64(blob, root_range_.left);
+  PutU64(blob, root_range_.right);
+  PutU32(blob, dancestor_->meta_page_id());
+  PutU32(blob, docid_->meta_page_id());
+  seq_store_->SerializeTo(blob);
+  prefixes_.SerializeTo(blob);
+  PutU32(blob, static_cast<uint32_t>(symbol_prefixes_.size()));
+  for (const auto& [symbol, prefixes] : symbol_prefixes_) {
+    PutU32(blob, symbol);
+    PutU32(blob, static_cast<uint32_t>(prefixes.size()));
+    for (PrefixId p : prefixes) PutU32(blob, p);
+  }
+}
+
 Status VistIndex::Save(Database* db, const std::string& name) const {
   std::vector<char> blob;
-  PutU32(&blob, kVistCatalogMagic);
-  PutU32(&blob, kVistCatalogVersion);
-  PutU64(&blob, root_range_.left);
-  PutU64(&blob, root_range_.right);
-  PutU32(&blob, dancestor_->meta_page_id());
-  PutU32(&blob, docid_->meta_page_id());
-  seq_store_->SerializeTo(&blob);
-  prefixes_.SerializeTo(&blob);
-  PutU32(&blob, static_cast<uint32_t>(symbol_prefixes_.size()));
-  for (const auto& [symbol, prefixes] : symbol_prefixes_) {
-    PutU32(&blob, symbol);
-    PutU32(&blob, static_cast<uint32_t>(prefixes.size()));
-    for (PrefixId p : prefixes) PutU32(&blob, p);
-  }
+  SerializeCatalog(&blob);
   auto first_result = WriteBlob(db->pool(), blob);
   if (!first_result.ok()) {
     return first_result.status().Annotate("saving ViST index '" + name + "'");
@@ -188,24 +192,29 @@ Status VistIndex::Save(Database* db, const std::string& name) const {
 Result<std::unique_ptr<VistIndex>> VistIndex::Open(Database* db,
                                                    const std::string& name) {
   PRIX_ASSIGN_OR_RETURN(Database::IndexEntry entry, db->GetIndex(name));
+  return OpenFromEntry(db->pool(), entry);
+}
+
+Result<std::unique_ptr<VistIndex>> VistIndex::OpenFromEntry(
+    BufferPool* pool, const Database::IndexEntry& entry) {
   if (entry.kind != Database::IndexKind::kVist) {
-    return Status::InvalidArgument("catalog entry '" + name +
+    return Status::InvalidArgument("catalog entry '" + entry.name +
                                    "' is not a ViST index");
   }
   if (entry.stale_as_of_gen != 0) {
-    // Online ingest mutated the collection after this index was built
-    // (Database::CommitBatch stamped it); its answers would silently miss
-    // or resurrect documents, so refuse to open it at all.
+    // The index was built by an older binary and a later ingest commit
+    // mutated the collection without carrying it along (current binaries
+    // keep co-resident ViST indexes live in the same commit). Its answers
+    // would silently miss or resurrect documents, so refuse to open it.
     return Status::FailedPrecondition(
-        "index '" + name + "' is stale as of generation " +
+        "index '" + entry.name + "' is stale as of generation " +
         std::to_string(entry.stale_as_of_gen) +
         ", rebuild or query the PRIX index");
   }
-  BufferPool* pool = db->pool();
   std::vector<char> blob;
   Status blob_st = ReadBlob(pool, entry.root, &blob);
   if (!blob_st.ok()) {
-    return blob_st.Annotate("opening ViST index '" + name + "'");
+    return blob_st.Annotate("opening ViST index '" + entry.name + "'");
   }
   const char* p = blob.data();
   const char* end = blob.data() + blob.size();

@@ -90,6 +90,12 @@ class VistIndex {
   Status Salvage(Database* dst, const std::string& name,
                  SalvageStats* stats) const;
 
+  /// Reopens an index from a catalog entry directly — the snapshot read
+  /// path (entry from a pinned Snapshot) and the ingest acquire path. Kind
+  /// and staleness checks happen here; Open delegates.
+  static Result<std::unique_ptr<VistIndex>> OpenFromEntry(
+      BufferPool* pool, const Database::IndexEntry& entry);
+
   DAncestorTree& dancestor() { return *dancestor_; }
   DocTree& docid_index() { return *docid_; }
   const PrefixDictionary& prefixes() const { return prefixes_; }
@@ -98,6 +104,40 @@ class VistIndex {
   const std::vector<PrefixId>& SymbolPrefixes(LabelId symbol) const;
   RangeLabel root_range() const { return root_range_; }
   size_t num_docs() const { return seq_store_->num_records(); }
+
+  // ---- online-ingest surface (src/prix/database_ingest.cc) ----
+  //
+  // ViST deletes remove only the Docid-index entry: query candidates come
+  // solely from Docid scans, so the dead sequence record and any
+  // now-unreferenced trie nodes are unreachable garbage, not wrong answers.
+  // No tombstone set is needed.
+
+  /// Routes every subsequent page write of both B+-trees and the sequence
+  /// store through the copy-on-write context (nullptr detaches).
+  void SetCow(CowContext* cow) {
+    dancestor_->SetCow(cow);
+    docid_->SetCow(cow);
+    seq_store_->SetCow(cow);
+  }
+
+  RecordStore& sequences() { return *seq_store_; }
+  PrefixDictionary* prefixes_mut() { return &prefixes_; }
+  void set_root_range(RangeLabel range) { root_range_ = range; }
+
+  /// Records that `prefix` now occurs with `symbol` (insert-if-absent), so
+  /// scoped descents keep seeing every live (symbol, prefix) key.
+  void AddSymbolPrefix(LabelId symbol, PrefixId prefix) {
+    std::vector<PrefixId>& list = symbol_prefixes_[symbol];
+    for (PrefixId p : list) {
+      if (p == prefix) return;
+    }
+    list.push_back(prefix);
+  }
+
+  /// Serializes the full index catalog into `blob` — what Save writes,
+  /// exposed so a write transaction can publish through
+  /// Database::CommitBatch instead of PutIndex.
+  void SerializeCatalog(std::vector<char>* blob) const;
 
   /// Reloads document `doc` as a tree (rebuilt from its structure-encoded
   /// sequence) for post-verification. I/O goes through the buffer pool.

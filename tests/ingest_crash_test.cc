@@ -12,16 +12,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
+#include "query/xpath_parser.h"
 #include "storage/fault_injector.h"
 #include "testutil/tree_gen.h"
+#include "twigstack/position_stream.h"
+#include "twigstack/twig_stack.h"
+#include "vist/vist_index.h"
+#include "vist/vist_query.h"
 #include "xml/tag_dictionary.h"
 
 namespace prix {
@@ -95,6 +102,38 @@ class IngestCrashTest : public ::testing::Test {
     }
     last_ok = (*db)->catalog_generation();
 
+    if (tri_) {
+      // Co-resident derived engines (DESIGN.md §5k): each Save is one more
+      // commit with zero ingested documents, and every ingest commit below
+      // then carries all four engines — so the sweep also crosses the
+      // ViST sequence-append, stream-append, and XB re-bucket write
+      // patterns mid-crash.
+      auto vist = VistIndex::Build(seed, (*db)->pool(), nullptr);
+      gen_docs_[last_ok + 1] = 0;
+      st = vist.ok() ? (*vist)->Save(db->get(), "v") : vist.status();
+      if (!st.ok()) {
+        (*db)->Abandon();
+        return last_ok;
+      }
+      last_ok = (*db)->catalog_generation();
+      auto streams = StreamStore::Build(seed, (*db)->pool());
+      gen_docs_[last_ok + 1] = 0;
+      st = streams.ok() ? (*streams)->Save(db->get(), "ts") : streams.status();
+      if (!st.ok()) {
+        (*db)->Abandon();
+        return last_ok;
+      }
+      last_ok = (*db)->catalog_generation();
+      auto forest = XbForest::Build(streams->get(), dict_);
+      gen_docs_[last_ok + 1] = 0;
+      st = forest.ok() ? (*forest)->Save(db->get(), "xb") : forest.status();
+      if (!st.ok()) {
+        (*db)->Abandon();
+        return last_ok;
+      }
+      last_ok = (*db)->catalog_generation();
+    }
+
     for (size_t i = 0; i < 3; ++i) {
       Document doc =
           DocFromSexp(kInsertSexps[i], static_cast<DocId>(2 + i), &dict_);
@@ -162,6 +201,55 @@ class IngestCrashTest : public ::testing::Test {
     auto cold = qp.ExecuteXPath(kQueries[0], &dict_);
     ASSERT_TRUE(cold.ok()) << cold.status().ToString();
     EXPECT_EQ(cold->docs, author_name);
+
+    // Tri-engine leg: every derived engine that exists at the recovered
+    // generation is unstamped, opens, and answers exactly like PRIX. (One
+    // may exist without the others when the crash hit between their seed
+    // Saves; after the last Save they ride every commit together.)
+    if (tri_) {
+      auto canon = [](std::vector<DocId> docs) {
+        std::sort(docs.begin(), docs.end());
+        docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+        return docs;
+      };
+      if ((*db)->HasIndex("v")) {
+        auto vist = VistIndex::Open(db->get(), "v");
+        ASSERT_TRUE(vist.ok()) << vist.status().ToString();
+        EXPECT_EQ((*vist)->num_docs(), 2 + ingested);
+        VistQueryProcessor vq(vist->get());
+        for (size_t q = 0; q < 2; ++q) {
+          auto pattern = ParseXPath(kQueries[q], &dict_);
+          ASSERT_TRUE(pattern.ok());
+          auto result = vq.Execute(*pattern);
+          ASSERT_TRUE(result.ok())
+              << kQueries[q] << ": " << result.status().ToString();
+          EXPECT_EQ(canon(result->docs), *expected[q])
+              << kQueries[q] << " (vist)";
+        }
+      }
+      if ((*db)->HasIndex("ts")) {
+        auto streams = StreamStore::Open(db->get(), "ts");
+        ASSERT_TRUE(streams.ok()) << streams.status().ToString();
+        EXPECT_EQ((*streams)->num_docs(), 2 + ingested);
+        Result<std::unique_ptr<XbForest>> forest =
+            Status::NotFound("no forest");
+        if ((*db)->HasIndex("xb")) {
+          forest = XbForest::Open(db->get(), "xb", streams->get());
+          ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+        }
+        TwigStackEngine engine(streams->get(),
+                               forest.ok() ? forest->get() : nullptr);
+        for (size_t q = 0; q < 2; ++q) {
+          auto pattern = ParseXPath(kQueries[q], &dict_);
+          ASSERT_TRUE(pattern.ok());
+          auto result = engine.Execute(*pattern);
+          ASSERT_TRUE(result.ok())
+              << kQueries[q] << ": " << result.status().ToString();
+          EXPECT_EQ(canon(result->docs), *expected[q])
+              << kQueries[q] << " (twigstack)";
+        }
+      }
+    }
     ASSERT_TRUE((*db)->Close().ok());
   }
 
@@ -175,6 +263,7 @@ class IngestCrashTest : public ::testing::Test {
   TagDictionary dict_;
   std::string dir_;
   std::map<uint64_t, size_t> gen_docs_;  ///< generation -> ingested docs
+  bool tri_ = false;  ///< also build + check ViST / TwigStack / XB-forest
 };
 
 TEST_F(IngestCrashTest, CrashAtEveryWritePointKeepsCommittedDocuments) {
@@ -205,6 +294,45 @@ TEST_F(IngestCrashTest, CrashAtEverySyncPointKeepsCommittedDocuments) {
     FaultInjector inj(0x27d4eb2fu + k);
     inj.CrashAtSync(k);
     ASSERT_NO_FATAL_FAILURE(RunCrashPoint("sync_" + std::to_string(k), &inj));
+    ASSERT_TRUE(inj.crashed()) << "crash point " << k << " never fired";
+  }
+}
+
+TEST_F(IngestCrashTest, TriEngineCrashAtWritePointsKeepsEnginesAligned) {
+  tri_ = true;
+  FaultInjector counting;
+  uint64_t gen = RunUntilCrash(dir_ + "/reference.prix", &counting);
+  ASSERT_GT(gen, 0u);
+  ASSERT_FALSE(counting.crashed());
+  uint64_t total_writes = counting.op_count(FaultInjector::Op::kWrite) +
+                          counting.op_count(FaultInjector::Op::kExtend);
+  ASSERT_GT(total_writes, 40u) << "the tri-engine sweep must have coverage";
+
+  // The tri-engine run writes several times more pages per commit than the
+  // PRIX-only sweep above; stride 3 keeps the runtime in budget while the
+  // seeded offset still rotates coverage across the commit's write pattern.
+  for (uint64_t k = 1; k <= total_writes; k += 3) {
+    FaultInjector inj(0x9e3779b9u + k);
+    inj.CrashAtWrite(k);
+    ASSERT_NO_FATAL_FAILURE(
+        RunCrashPoint("tri_write_" + std::to_string(k), &inj));
+    ASSERT_TRUE(inj.crashed()) << "crash point " << k << " never fired";
+  }
+}
+
+TEST_F(IngestCrashTest, TriEngineCrashAtEverySyncPointKeepsEnginesAligned) {
+  tri_ = true;
+  FaultInjector counting;
+  uint64_t gen = RunUntilCrash(dir_ + "/reference.prix", &counting);
+  ASSERT_GT(gen, 0u);
+  uint64_t total_syncs = counting.op_count(FaultInjector::Op::kSync);
+  ASSERT_GE(total_syncs, 14u);  // >= 2 per commit: 4 builds, 3 inserts, close
+
+  for (uint64_t k = 1; k <= total_syncs; ++k) {
+    FaultInjector inj(0x85ebca6bu + k);
+    inj.CrashAtSync(k);
+    ASSERT_NO_FATAL_FAILURE(
+        RunCrashPoint("tri_sync_" + std::to_string(k), &inj));
     ASSERT_TRUE(inj.crashed()) << "crash point " << k << " never fired";
   }
 }

@@ -1,11 +1,14 @@
-// Snapshot-isolation stress proof (DESIGN.md §5i, the PR's acceptance
+// Snapshot-isolation stress proof (DESIGN.md §5i/§5k, the PR's acceptance
 // test): reader threads run query batches through pinned snapshots while
 // the writer thread interleaves insert / update / delete commits. After
 // every commit the writer records that generation's oracle answer set
 // (per-document naive matching over exactly the documents live at that
 // generation); every reader batch must equal EXACTLY the oracle of the one
 // generation it pinned — never a mix of two generations, never a torn
-// in-flight state. Run under TSan by tools/check_tsan.sh; the PRIX_COMPRESS
+// in-flight state. Ingest carries the co-resident ViST and TwigStack
+// engines in the same commits, so a second reader flavor opens THOSE from
+// pinned snapshot entries and holds them to the same per-generation
+// oracle. Run under TSan by tools/check_tsan.sh; the PRIX_COMPRESS
 // environment variable (tools/ci.sh sets 0 and 1) selects the on-disk
 // format, since the seed index builds with the default options.
 
@@ -19,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/random.h"
 #include "naive/naive_matcher.h"
 #include "prix/prix_index.h"
@@ -26,6 +31,10 @@
 #include "query/xpath_parser.h"
 #include "testutil/temp_db.h"
 #include "testutil/tree_gen.h"
+#include "twigstack/position_stream.h"
+#include "twigstack/twig_stack.h"
+#include "vist/vist_index.h"
+#include "vist/vist_query.h"
 #include "xml/tag_dictionary.h"
 
 namespace prix {
@@ -86,6 +95,7 @@ class IngestStressTest : public ::testing::Test {
   TempDb db_;
   TagDictionary dict_;
   std::vector<EffectiveTwig> twigs_;
+  std::vector<TwigPattern> patterns_;  // same queries, for derived engines
   std::map<DocId, Document> live_;  // writer-thread only after readers start
 
   std::mutex oracle_mu_;
@@ -113,10 +123,24 @@ TEST_F(IngestStressTest, EveryBatchEqualsExactlyOneGenerationsOracle) {
   ASSERT_TRUE((*index)->Save(&db_.db(), "rp").ok());
   for (DocId d = 0; d < seed.size(); ++d) live_.emplace(d, seed[d]);
 
+  // Co-resident derived engines over the same seed; every writer commit
+  // below carries them, so snapshot readers can open them at any pinned
+  // generation.
+  auto vist = VistIndex::Build(seed, db_.pool(), nullptr);
+  ASSERT_TRUE(vist.ok()) << vist.status().ToString();
+  ASSERT_TRUE((*vist)->Save(&db_.db(), "v").ok());
+  auto streams = StreamStore::Build(seed, db_.pool());
+  ASSERT_TRUE(streams.ok()) << streams.status().ToString();
+  ASSERT_TRUE((*streams)->Save(&db_.db(), "ts").ok());
+  auto forest = XbForest::Build(streams->get(), dict_);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  ASSERT_TRUE((*forest)->Save(&db_.db(), "xb").ok());
+
   for (const char* xpath : kQueries) {
     auto pattern = ParseXPath(xpath, &dict_);
     ASSERT_TRUE(pattern.ok()) << xpath;
     twigs_.push_back(EffectiveTwig::Build(*pattern));
+    patterns_.push_back(*pattern);
   }
   RecordOracle(db_->catalog_generation());
 
@@ -154,6 +178,90 @@ TEST_F(IngestStressTest, EveryBatchEqualsExactlyOneGenerationsOracle) {
                           << batch->generation << " query " << kQueries[q]
                           << ": got " << batch->results[q].docs.size()
                           << " docs, oracle " << expected[q].size();
+            ++distinct_failures;
+          }
+        }
+        ++batches_checked;
+        if (final_pass || distinct_failures.load() > 0) return;
+        if (writer_done_.load()) final_pass = true;
+      }
+    });
+  }
+
+  // Derived-engine readers: pin a snapshot, open the ViST / stream / forest
+  // entries it holds, and hold their answers to the SAME generation oracle
+  // the PRIX readers use. (The query mix is all chain twigs, so the ordered
+  // oracle is also TwigStack's standard-semantics answer.)
+  constexpr int kNumDerivedReaders = 2;
+  for (int r = 0; r < kNumDerivedReaders; ++r) {
+    readers.emplace_back([&, r] {
+      auto canon = [](std::vector<DocId> docs) {
+        std::sort(docs.begin(), docs.end());
+        docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+        return docs;
+      };
+      bool final_pass = false;
+      while (true) {
+        auto snapshot = db_->OpenSnapshot();
+        uint64_t gen = snapshot->generation();
+        auto v_entry = snapshot->GetIndex("v");
+        auto ts_entry = snapshot->GetIndex("ts");
+        auto xb_entry = snapshot->GetIndex("xb");
+        if (!v_entry.ok() || !ts_entry.ok() || !xb_entry.ok()) {
+          ADD_FAILURE() << "derived reader " << r << " generation " << gen
+                        << ": missing catalog entry";
+          ++distinct_failures;
+          return;
+        }
+        auto vist = VistIndex::OpenFromEntry(db_.pool(), *v_entry);
+        auto streams = StreamStore::OpenFromEntry(db_.pool(), *ts_entry);
+        if (!vist.ok() || !streams.ok()) {
+          ADD_FAILURE() << "derived reader " << r << " generation " << gen
+                        << ": " << vist.status().ToString() << " / "
+                        << streams.status().ToString();
+          ++distinct_failures;
+          return;
+        }
+        auto forest =
+            XbForest::OpenFromEntry(db_.pool(), *xb_entry, streams->get());
+        if (!forest.ok()) {
+          ADD_FAILURE() << "derived reader " << r << " generation " << gen
+                        << ": " << forest.status().ToString();
+          ++distinct_failures;
+          return;
+        }
+        std::vector<std::vector<DocId>> expected;
+        if (!WaitForOracle(gen, &expected)) {
+          ADD_FAILURE() << "derived reader " << r << " saw generation "
+                        << gen << " with no oracle";
+          ++distinct_failures;
+          return;
+        }
+        VistQueryProcessor vq(vist->get());
+        TwigStackEngine tse(streams->get(), forest->get());
+        for (size_t q = 0; q < kNumQueries; ++q) {
+          auto vr = vq.Execute(patterns_[q]);
+          auto tr = tse.Execute(patterns_[q]);
+          if (!vr.ok() || !tr.ok()) {
+            ADD_FAILURE() << "derived reader " << r << " generation " << gen
+                          << " query " << kQueries[q] << ": "
+                          << vr.status().ToString() << " / "
+                          << tr.status().ToString();
+            ++distinct_failures;
+            continue;
+          }
+          if (canon(vr->docs) != expected[q]) {
+            ADD_FAILURE() << "derived reader " << r << " generation " << gen
+                          << " query " << kQueries[q] << " (vist): got "
+                          << vr->docs.size() << " docs, oracle "
+                          << expected[q].size();
+            ++distinct_failures;
+          }
+          if (canon(tr->docs) != expected[q]) {
+            ADD_FAILURE() << "derived reader " << r << " generation " << gen
+                          << " query " << kQueries[q] << " (twigstackxb): "
+                          << "got " << tr->docs.size() << " docs, oracle "
+                          << expected[q].size();
             ++distinct_failures;
           }
         }

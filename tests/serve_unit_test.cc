@@ -569,6 +569,53 @@ TEST(AdmissionTest, EwmaTracksServiceTime) {
   EXPECT_GT(ac.ewma_service_us(), 90'000u);
 }
 
+TEST(AdmissionTest, ZeroSeedFallsBackToConservativeEstimate) {
+  // initial_service_us = 0 means "unknown", not "instant": an EWMA of 0
+  // would predict zero queue wait and admit requests with microseconds of
+  // deadline left straight into the queue to die there.
+  AdmissionController ac({.max_executing = 1, .max_queued = 8,
+                          .per_client_inflight = 8,
+                          .initial_service_us = 0});
+  EXPECT_EQ(ac.ewma_service_us(), AdmissionController::kConservativeServiceUs);
+  // The conservative seed sheds an unmeetable deadline on arrival, exactly
+  // like an explicit seed of the same magnitude would.
+  uint32_t retry = 0;
+  ASSERT_TRUE(ac.Admit(1, nullptr, &retry).ok());
+  Deadline tight = Deadline::AfterMillis(1);
+  EXPECT_TRUE(ac.Admit(2, &tight, &retry).IsResourceExhausted());
+  ac.Release(1, 1000);
+}
+
+TEST(AdmissionTest, FirstSampleReplacesTheSeedOutright) {
+  AdmissionController ac({.max_executing = 1, .max_queued = 8,
+                          .per_client_inflight = 8,
+                          .initial_service_us = 10'000});
+  uint32_t retry = 0;
+  // The first real sample REPLACES the synthetic seed (no blend): a seed
+  // orders of magnitude off would otherwise linger for many releases.
+  ASSERT_TRUE(ac.Admit(1, nullptr, &retry).ok());
+  ac.Release(1, 200'000);
+  EXPECT_EQ(ac.ewma_service_us(), 200'000u);
+  // From the second sample on, the normal alpha = 1/4 blend applies.
+  ASSERT_TRUE(ac.Admit(1, nullptr, &retry).ok());
+  ac.Release(1, 100'000);
+  EXPECT_EQ(ac.ewma_service_us(), 175'000u);
+}
+
+TEST(AdmissionTest, ZeroDurationSamplesNeverZeroTheEstimate) {
+  AdmissionController ac({.max_executing = 1, .max_queued = 8,
+                          .per_client_inflight = 8,
+                          .initial_service_us = 0});
+  uint32_t retry = 0;
+  // Sub-microsecond requests clamp to 1us — the estimate stays positive so
+  // the predicted-wait arithmetic never degenerates to "free".
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ac.Admit(1, nullptr, &retry).ok());
+    ac.Release(1, 0);
+  }
+  EXPECT_GE(ac.ewma_service_us(), 1u);
+}
+
 // ---- result cache -----------------------------------------------------
 
 TEST(ResultCacheTest, HitRequiresIndexGenerationAndXPath) {

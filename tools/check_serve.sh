@@ -8,7 +8,9 @@
 #   2. `prix serve` + `prix bench-serve` over a real loopback socket,
 #      including a replay that runs WHILE `prix insert` commits new
 #      documents — the report must show only monotonic, committed
-#      generations
+#      generations, and after each commit every co-resident engine
+#      (PRIX, ViST, TwigStack, TwigStackXB) must agree on a query mix
+#      (`prix query --engine all`, DESIGN.md §5k)
 #   3. a client killed mid-run (SIGKILL) must leave the server healthy
 #   4. SIGTERM must drain: in-flight work finishes, the process exits 0
 #
@@ -88,6 +90,11 @@ echo "---- serve: replay concurrent with ingest commits ----"
 REPLAY_PID=$!
 for i in 1 2 3; do
   "$PRIX" insert "$WORK/db.prix" "$WORK/extra$i.xml" >/dev/null
+  # Each live-server commit carried the ViST/TwigStack engines along: all
+  # four engines answer the mix identically while the replay still runs.
+  "$PRIX" query --engine all "$WORK/db.prix" \
+    '//article/author' '//article/title' > "$WORK/engines$i.log"
+  grep -q 'all agree' "$WORK/engines$i.log"
 done
 wait "$REPLAY_PID"
 # Every response carried a committed snapshot generation, and no connection

@@ -5,8 +5,10 @@
 #      the v3 compressed formats (DESIGN.md §5h); answers must not change
 #   3. faults tier (fault-injection / crash-recovery matrices)
 #   4. corruption tier (single-page garble fuzz, scrub, salvage)
-#   5. ingest tier in both on-disk formats (online insert/update/delete,
-#      snapshot-isolation stress oracle — DESIGN.md §5i)
+#   5. ingest tier in both on-disk formats (online insert/update/delete
+#      with the co-resident ViST/TwigStack/XB engines carried in every
+#      commit, the tri-engine bulk-rebuild equivalence, and the
+#      snapshot-isolation stress oracle — DESIGN.md §5i/§5k)
 #   6. serving layer: `ctest -L serve` plus the CLI end-to-end — a real
 #      `prix serve` process replayed against (concurrently with ingest
 #      commits), a client SIGKILLed mid-run, and a SIGTERM drain that must
@@ -43,10 +45,13 @@ ctest --test-dir build -L faults --output-on-failure -j "$(nproc)"
 echo "==== 4/11 corruption tier ===="
 ctest --test-dir build -L corruption --output-on-failure -j "$(nproc)"
 
-echo "==== 5/11 online-ingest tier, both index formats ===="
-# The stress test checks every concurrent query batch against the oracle of
-# the exact generation it pinned; a compressed-format pass makes sure the
-# in-place B+-tree insert/delete paths hold for delta-coded leaves too.
+echo "==== 5/11 tri-engine online-ingest tier, both index formats ===="
+# Ingest commits carry every co-resident engine: the tri-engine test holds
+# grown ViST/TwigStack/XB indexes to from-scratch rebuilds and to PRIX, and
+# the stress test checks every concurrent query batch — PRIX and derived
+# readers alike — against the oracle of the exact generation it pinned. A
+# compressed-format pass makes sure the in-place B+-tree insert/delete
+# paths hold for delta-coded leaves too.
 for compress in 0 1; do
   echo "---- ingest: compress $compress ----"
   PRIX_COMPRESS="$compress" \

@@ -3,28 +3,38 @@
 //   prix index [--compress] <db-file> <xml-file>...
 //                                         build RP+EP indexes over the
 //                                         record children of each file's
-//                                         root element and persist them;
+//                                         root element, plus the co-resident
+//                                         baseline engines (ViST "v",
+//                                         TwigStack streams "ts", XB-forest
+//                                         "xb") over the same collection;
 //                                         --compress stores the v3 formats
 //                                         (delta-coded B+-tree leaves,
 //                                         varint doc records); readers pick
 //                                         the format up from the catalog
-//   prix query [--trace] [--metrics] <db-file> <xpath>...
+//   prix query [--trace] [--metrics] [--engine E] <db-file> <xpath>...
 //                                         run twig queries against a
 //                                         previously built database;
-//                                         --trace prints each query's exact
-//                                         I/O counters and phase breakdown,
-//                                         --metrics dumps the process-wide
-//                                         MetricsRegistry as JSON afterward
+//                                         --engine picks prix (default),
+//                                         vist, twigstack, twigstackxb, or
+//                                         all (every engine answers and the
+//                                         doc sets must agree — exits 1 on
+//                                         divergence); --trace prints each
+//                                         query's exact I/O counters and
+//                                         phase breakdown, --metrics dumps
+//                                         the process-wide MetricsRegistry
+//                                         as JSON afterward
 //   prix insert <db-file> <xml-file>...   parse each file into records and
 //                                         insert them into the live rp+ep
 //                                         indexes (one commit per record
-//                                         per index); concurrent readers on
+//                                         per index); each commit also
+//                                         carries the co-resident v/ts/xb
+//                                         engines; concurrent readers on
 //                                         snapshots are unaffected until
 //                                         each commit lands
-//   prix delete <db-file> <docid>...      tombstone documents in rp+ep;
-//                                         their DocStore records remain
-//                                         until a rebuild but no query
-//                                         returns them
+//   prix delete <db-file> <docid>...      tombstone documents in rp+ep (and
+//                                         the co-resident engines); their
+//                                         DocStore records remain until a
+//                                         rebuild but no query returns them
 //   prix serve <db-file> [--port N] [--threads N] [--rp NAME] [--ep NAME]
 //              [--cache-mb N] [--max-queued N] [--per-client N]
 //              [--max-executing N] [--default-timeout-ms N]
@@ -55,15 +65,18 @@
 // entries named "rp" and "ep", and the tag dictionary (which must survive
 // restarts for queries to resolve tag names) is a blob entry named "tags".
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/deadline.h"
 #include "common/json.h"
@@ -72,10 +85,15 @@
 #include "db/database.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
+#include "query/xpath_parser.h"
 #include "serve/replay.h"
 #include "serve/server.h"
 #include "storage/record_store.h"
+#include "twigstack/position_stream.h"
+#include "twigstack/twig_stack.h"
 #include "verify/verifier.h"
+#include "vist/vist_index.h"
+#include "vist/vist_query.h"
 #include "xml/xml_parser.h"
 
 namespace prix {
@@ -191,6 +209,25 @@ int CmdIndex(const std::string& path, bool compress, int argc, char** argv) {
   if (auto s = (*ep)->Save(db->get(), "ep"); !s.ok()) {
     return Fail(s.ToString());
   }
+  // Co-resident baseline engines over the same collection: ViST ("v") and
+  // TwigStack streams + XB-forest ("ts"/"xb"). Online ingest carries all of
+  // them in the same commit as rp/ep (DESIGN.md §5k), so they stay
+  // answer-identical at every generation.
+  auto vist = VistIndex::Build(coll.documents, (*db)->pool());
+  if (!vist.ok()) return Fail(vist.status().ToString());
+  if (auto s = (*vist)->Save(db->get(), "v"); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  auto streams = StreamStore::Build(coll.documents, (*db)->pool());
+  if (!streams.ok()) return Fail(streams.status().ToString());
+  if (auto s = (*streams)->Save(db->get(), "ts"); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  auto forest = XbForest::Build(streams->get(), coll.dictionary);
+  if (!forest.ok()) return Fail(forest.status().ToString());
+  if (auto s = (*forest)->Save(db->get(), "xb"); !s.ok()) {
+    return Fail(s.ToString());
+  }
   if (auto s = SaveDictionary(db->get(), coll.dictionary); !s.ok()) {
     return Fail(s.ToString());
   }
@@ -272,8 +309,16 @@ int CmdDelete(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
+/// Sorted, distinct doc list — the common denominator all engines are
+/// compared on under --engine all.
+std::vector<DocId> CanonicalDocs(std::vector<DocId> docs) {
+  std::sort(docs.begin(), docs.end());
+  docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+  return docs;
+}
+
 int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
-             bool metrics, uint32_t timeout_ms) {
+             bool metrics, uint32_t timeout_ms, const std::string& engine) {
   auto db = Database::Open(path);
   if (!db.ok()) return Fail(db.status().ToString());
   TagDictionary dict;
@@ -283,12 +328,96 @@ int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
   auto rp = PrixIndex::Open(db->get(), "rp");
   auto ep = PrixIndex::Open(db->get(), "ep");
   if (!rp.ok() || !ep.ok()) return Fail("opening indexes failed");
+  const bool want_vist = engine == "vist" || engine == "all";
+  const bool want_ts =
+      engine == "twigstack" || engine == "twigstackxb" || engine == "all";
+  std::unique_ptr<VistIndex> vist;
+  std::unique_ptr<StreamStore> streams;
+  std::unique_ptr<XbForest> forest;
+  if (want_vist) {
+    auto v = VistIndex::Open(db->get(), "v");
+    if (!v.ok()) return Fail("opening ViST index: " + v.status().ToString());
+    vist = std::move(*v);
+  }
+  if (want_ts) {
+    auto ts = StreamStore::Open(db->get(), "ts");
+    if (!ts.ok()) {
+      return Fail("opening stream store: " + ts.status().ToString());
+    }
+    streams = std::move(*ts);
+    if (engine != "twigstack") {
+      auto xb = XbForest::Open(db->get(), "xb", streams.get());
+      if (!xb.ok()) {
+        return Fail("opening XB-forest: " + xb.status().ToString());
+      }
+      forest = std::move(*xb);
+    }
+  }
   if (metrics) {
     MetricsRegistry::Global().set_enabled(true);
     MetricsRegistry::Global().Reset();
   }
   QueryProcessor qp(**db, rp->get(), ep->get());
+  bool diverged = false;
+  // Non-PRIX engines share the parse + execute + print shape; `all` runs
+  // every engine on one query and compares the canonical doc sets.
+  auto run_derived = [&](const std::string& which, const TwigPattern& pattern)
+      -> Result<std::vector<DocId>> {
+    if (which == "vist") {
+      VistQueryProcessor vqp(vist.get());
+      PRIX_ASSIGN_OR_RETURN(VistQueryResult r, vqp.Execute(pattern));
+      return CanonicalDocs(std::move(r.docs));
+    }
+    TwigStackEngine eng(streams.get(),
+                        which == "twigstackxb" ? forest.get() : nullptr);
+    PRIX_ASSIGN_OR_RETURN(TwigStackResult r, eng.Execute(pattern));
+    return CanonicalDocs(std::move(r.docs));
+  };
   for (int i = 0; i < argc; ++i) {
+    if (engine != "prix") {
+      auto pattern = ParseXPath(argv[i], &dict);
+      if (!pattern.ok()) {
+        std::printf("%s\n  error: %s\n", argv[i],
+                    pattern.status().ToString().c_str());
+        continue;
+      }
+      if (engine != "all") {
+        auto docs = run_derived(engine, *pattern);
+        if (!docs.ok()) {
+          std::printf("%s\n  error: %s\n", argv[i],
+                      docs.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s\n  [%s] %zu document(s)\n", argv[i], engine.c_str(),
+                    docs->size());
+        continue;
+      }
+      // --engine all: every engine answers, and they must agree.
+      auto prix_result = qp.ExecuteXPath(argv[i], &dict, QueryOptions{});
+      if (!prix_result.ok()) {
+        std::printf("%s\n  error: %s\n", argv[i],
+                    prix_result.status().ToString().c_str());
+        diverged = true;
+        continue;
+      }
+      std::vector<DocId> reference = CanonicalDocs(prix_result->docs);
+      std::printf("%s\n  [prix] %zu document(s)", argv[i], reference.size());
+      bool q_diverged = false;
+      for (const char* which : {"vist", "twigstack", "twigstackxb"}) {
+        auto docs = run_derived(which, *pattern);
+        if (!docs.ok()) {
+          std::printf("\n  [%s] error: %s", which,
+                      docs.status().ToString().c_str());
+          q_diverged = true;
+          continue;
+        }
+        std::printf(" [%s] %zu", which, docs->size());
+        if (*docs != reference) q_diverged = true;
+      }
+      std::printf("%s\n", q_diverged ? "  DIVERGENCE" : "  (all agree)");
+      diverged |= q_diverged;
+      continue;
+    }
     MetricsContext mctx(/*collect_trace=*/trace);
     // Each query gets its own deadline: --timeout-ms bounds one query, not
     // the whole invocation, so a slow second query still gets its full
@@ -331,7 +460,7 @@ int CmdQuery(const std::string& path, int argc, char** argv, bool trace,
   if (metrics) {
     std::printf("%s\n", MetricsRegistry::Global().ToJson().c_str());
   }
-  return 0;
+  return diverged ? 1 : 0;
 }
 
 // --- prix serve / prix bench-serve ------------------------------------------
@@ -677,8 +806,8 @@ int CmdVerify(const std::string& path, bool salvage,
                 (unsigned long long)ds.dead_docs);
   }
   for (const StaleIndexNote& sn : walk.stale_indexes) {
-    std::printf("  index '%s': STALE as of generation %llu (online ingest "
-                "updated the collection; rebuild or query the PRIX index)\n",
+    std::printf("  index '%s': STALE as of generation %llu (an older binary "
+                "ingested past it; rebuild to refresh)\n",
                 sn.index.c_str(), (unsigned long long)sn.stale_as_of_gen);
   }
   if (walk.free_pages > 0) {
@@ -702,6 +831,10 @@ int CmdVerify(const std::string& path, bool salvage,
         (unsigned long long)sr.stats.subtrees_skipped,
         (unsigned long long)sr.stats.records_recovered,
         (unsigned long long)sr.stats.records_lost);
+    for (const std::string& name : sr.rebuilt) {
+      std::printf("  rebuilt: %s (derived entry regenerated from salvaged "
+                  "documents)\n", name.c_str());
+    }
     for (const std::string& name : sr.dropped) {
       std::printf("  dropped: %s\n", name.c_str());
     }
@@ -716,6 +849,7 @@ int Main(int argc, char** argv) {
                  "       prix insert <db> <xml>...\n"
                  "       prix delete <db> <docid>...\n"
                  "       prix query [--trace] [--metrics] [--timeout-ms N] "
+                 "[--engine prix|vist|twigstack|twigstackxb|all] "
                  "<db> <xpath>...\n"
                  "       prix serve <db> [--port N] [--threads N] ...\n"
                  "       prix bench-serve --port N --queries FILE ...\n"
@@ -734,6 +868,7 @@ int Main(int argc, char** argv) {
   bool salvage = false;
   bool compress = false;
   uint64_t timeout_ms = 0;
+  std::string engine = "prix";
   int arg = 2;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strcmp(argv[arg], "--trace") == 0) {
@@ -750,6 +885,14 @@ int Main(int argc, char** argv) {
                arg + 1 < argc) {
       if (!ParseUintValue("--timeout-ms", argv[arg + 1], &timeout_ms)) {
         return 1;
+      }
+      ++arg;
+    } else if (std::strcmp(argv[arg], "--engine") == 0 && arg + 1 < argc) {
+      engine = argv[arg + 1];
+      if (engine != "prix" && engine != "vist" && engine != "twigstack" &&
+          engine != "twigstackxb" && engine != "all") {
+        return Fail("--engine takes prix|vist|twigstack|twigstackxb|all, "
+                    "got '" + engine + "'");
       }
       ++arg;
     } else {
@@ -770,7 +913,7 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "query" && arg < argc) {
     return CmdQuery(path, argc - arg, argv + arg, trace, metrics,
-                    static_cast<uint32_t>(timeout_ms));
+                    static_cast<uint32_t>(timeout_ms), engine);
   }
   if (cmd == "stats") return CmdStats(path);
   if (cmd == "verify") {
