@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/build_info.h"
 #include "common/macros.h"
 #include "naive/naive_matcher.h"
 #include "query/xpath_parser.h"
@@ -249,6 +250,7 @@ Status BenchReport::Write() {
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String(name_);
+  AppendBuildInfoJson(&w);
   w.Key("scale").Double(ScaleFromEnv());
   w.Key("rows").BeginArray();
   for (const std::string& row : rows_) w.RawValue(row);

@@ -1,0 +1,40 @@
+#include "common/build_info.h"
+
+#include "common/crc32c.h"
+
+// Injected per-file by src/CMakeLists.txt from `git describe` at configure
+// time; absent in odd build setups (tarball exports), hence the fallback.
+#ifndef PRIX_GIT_DESCRIBE
+#define PRIX_GIT_DESCRIBE "unknown"
+#endif
+
+namespace prix {
+
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+  info.git_describe = PRIX_GIT_DESCRIBE;
+  info.db_format = kDbFormatVersion;
+  info.oplog_format = kOpLogFormatVersion;
+  info.crc32c_hardware = Crc32cHardwareAccelerated();
+  return info;
+}
+
+std::string BuildInfoLine() {
+  BuildInfo info = GetBuildInfo();
+  return "prix " + info.git_describe + " (db format " +
+         std::to_string(info.db_format) + ", oplog format " +
+         std::to_string(info.oplog_format) + ", crc32c " +
+         (info.crc32c_hardware ? "hardware" : "software") + ")";
+}
+
+void AppendBuildInfoJson(JsonWriter* w) {
+  BuildInfo info = GetBuildInfo();
+  w->Key("build").BeginObject();
+  w->Key("git_describe").String(info.git_describe);
+  w->Key("db_format").UInt(info.db_format);
+  w->Key("oplog_format").UInt(info.oplog_format);
+  w->Key("crc32c").String(info.crc32c_hardware ? "hardware" : "software");
+  w->EndObject();
+}
+
+}  // namespace prix

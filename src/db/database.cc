@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/build_info.h"
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "db/op_codec.h"
 #include "storage/page_format.h"
 #include "storage/record_store.h"
 
@@ -16,8 +18,9 @@ namespace {
 constexpr uint32_t kDbMagic = 0x50524442;  // "PRDB"
 /// Format 2 added the per-page CRC trailer (storage/page.h); format-1 files
 /// carry no trailers and would drown in checksum mismatches, so they are
-/// rejected up front by version, with a rebuild hint.
-constexpr uint32_t kDbVersion = 2;
+/// rejected up front by version, with a rebuild hint. The number itself
+/// lives in common/build_info.h so the --version stamp cannot drift.
+constexpr uint32_t kDbVersion = kDbFormatVersion;
 constexpr PageId kHeaderSlots[2] = {0, 1};
 /// magic + version + generation + payload_len + checksum.
 constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
@@ -65,6 +68,18 @@ Result<std::unique_ptr<Database>> Database::Create(const std::string& path,
       return got.status();
     }
     PRIX_CHECK(*got == slot);
+  }
+  if (options.oplog_fault_injector != nullptr) {
+    db->oplog_.set_fault_injector(options.oplog_fault_injector);
+  }
+  {
+    Status oplog_st =
+        db->oplog_.Open(OpLog::PathFor(path), /*committed_gen=*/0,
+                        /*truncate=*/true);
+    if (!oplog_st.ok()) {
+      db->Abandon();
+      return oplog_st;
+    }
   }
   db->pool_ = std::make_unique<BufferPool>(&db->disk_, options.pool_pages);
   db->pool_->set_allocator(db.get());
@@ -118,12 +133,17 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
     uint32_t version = 0;
     std::map<std::string, IndexEntry> entries;
     PageId slot_free_head = kInvalidPage;
-    switch (ParseHeader(page, &gen, &version, &entries, &slot_free_head)) {
+    uint64_t slot_repl_gen = 0;
+    uint32_t slot_repl_manifest = 0;
+    switch (ParseHeader(page, &gen, &version, &entries, &slot_free_head,
+                        &slot_repl_gen, &slot_repl_manifest)) {
       case SlotState::kValid:
         if (!any_valid || gen > db->generation_) {
           db->generation_ = gen;
           db->catalog_ = std::move(entries);
           free_head = slot_free_head;
+          db->repl_source_gen_ = slot_repl_gen;
+          db->repl_source_manifest_ = slot_repl_manifest;
         }
         any_valid = true;
         break;
@@ -196,6 +216,20 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
       return st;
     }
   }
+  if (options.oplog_fault_injector != nullptr) {
+    db->oplog_.set_fault_injector(options.oplog_fault_injector);
+  }
+  {
+    // Recover the oplog against the recovered catalog generation: a torn
+    // tail or a record ahead of the committed header is trimmed; a log that
+    // cannot reach the committed generation is rebased.
+    Status oplog_st = db->oplog_.Open(OpLog::PathFor(path), db->generation_,
+                                      /*truncate=*/false);
+    if (!oplog_st.ok()) {
+      db->Abandon();
+      return oplog_st;
+    }
+  }
   db->pool_->set_allocator(db.get());
   return db;
 }
@@ -207,13 +241,18 @@ Status Database::Close() {
     PRIX_RETURN_NOT_OK(CommitLocked());
   }
   pool_.reset();
-  return disk_.Close();
+  Status disk_st = disk_.Close();
+  Status oplog_st = oplog_.Close();
+  return disk_st.ok() ? oplog_st : disk_st;
 }
 
 Database::SlotState Database::ParseHeader(
     const char* page, uint64_t* generation, uint32_t* version,
-    std::map<std::string, IndexEntry>* entries, PageId* free_head) {
+    std::map<std::string, IndexEntry>* entries, PageId* free_head,
+    uint64_t* repl_gen, uint32_t* repl_manifest) {
   *free_head = kInvalidPage;
+  *repl_gen = 0;
+  *repl_manifest = 0;
   const char* p = page;
   if (GetU32(p) != kDbMagic) return SlotState::kBadMagic;
   p += 4;
@@ -285,6 +324,15 @@ Database::SlotState Database::ParseHeader(
       auto it = out.find(name);
       if (it != out.end()) it->second.stale_as_of_gen = stale_gen;
     }
+  }
+  // Third optional trailer: the replication cursor — the leader position
+  // (generation + manifest) a follower has applied through. Headers written
+  // before replication existed simply end here.
+  if (have(12)) {
+    *repl_gen = GetU64(p);
+    p += 8;
+    *repl_manifest = GetU32(p);
+    p += 4;
   }
   *generation = gen;
   *entries = std::move(out);
@@ -369,6 +417,11 @@ Status Database::CommitLocked() {
       PutU64(&payload, entry.stale_as_of_gen);
     }
   }
+  // Replication-cursor trailer (third optional trailer): committing it with
+  // the catalog makes "which leader generation this follower reflects"
+  // atomic with the applied state itself.
+  PutU64(&payload, repl_source_gen_);
+  PutU32(&payload, repl_source_manifest_);
   if (payload.size() > kPayloadCapacity) {
     resume_reuse();
     return Status::ResourceExhausted(
@@ -388,6 +441,23 @@ Status Database::CommitLocked() {
   if (!st.ok()) {
     resume_reuse();
     return st;
+  }
+  // Oplog barrier (DESIGN.md §5l): the record for this generation is durable
+  // BEFORE the header flips, so after any crash the log covers every
+  // committed generation. The converse hazard — a durable record whose
+  // header never flipped — is trimmed by OpLog::Open at recovery and by the
+  // rollback below on a live commit failure.
+  {
+    OpKind op_kind = pending_op_set_ ? pending_op_kind_ : OpKind::kNoop;
+    std::vector<char> op_payload = std::move(pending_op_payload_);
+    pending_op_set_ = false;
+    pending_op_kind_ = OpKind::kNoop;
+    pending_op_payload_.clear();
+    st = oplog_.Append(gen_next, op_kind, op_payload);
+    if (!st.ok()) {
+      resume_reuse();
+      return st;
+    }
   }
   uint64_t gen = gen_next;
   char page[kPageSize] = {};
@@ -413,6 +483,10 @@ Status Database::CommitLocked() {
   st = disk_.WritePage(slot, page);
   if (st.ok()) st = disk_.Sync();
   if (!st.ok()) {
+    // The commit never published: drop its oplog record so the live handle
+    // cannot stream history ahead of the catalog. (After a real crash here
+    // OpLog::Open performs the same trim.)
+    (void)oplog_.TruncateTo(generation_);
     resume_reuse();
     return st;
   }
@@ -433,6 +507,13 @@ Result<PageId> Database::AllocatePage() {
       uint64_t barrier = committed_gen_.load(std::memory_order_acquire);
       if (!pinned_gens_.empty()) {
         barrier = std::min(barrier, *pinned_gens_.begin());
+      }
+      // A snapshot ship in progress pins its generation exactly like an
+      // open Snapshot: the file being streamed still references every page
+      // its generation could reach.
+      uint64_t low_water = repl_low_water_.load(std::memory_order_acquire);
+      if (low_water != kNoReplLowWater) {
+        barrier = std::min(barrier, low_water);
       }
       if (free_pages_.front().gen <= barrier) {
         PageId id = free_pages_.front().id;
@@ -548,8 +629,65 @@ void Database::Abandon() {
     pool_.reset();
   }
   (void)disk_.Close();
+  oplog_.Abandon();
   catalog_.clear();
 }
+
+void Database::StageOpRecord(OpKind kind, std::vector<char> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_op_set_ = true;
+  pending_op_kind_ = kind;
+  pending_op_payload_ = std::move(payload);
+}
+
+void Database::ClearStagedOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_op_set_ = false;
+  pending_op_kind_ = OpKind::kNoop;
+  pending_op_payload_.clear();
+}
+
+void Database::StageReplCursor(uint64_t source_gen, uint32_t source_manifest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  repl_source_gen_ = source_gen;
+  repl_source_manifest_ = source_manifest;
+}
+
+std::pair<uint64_t, uint32_t> Database::repl_cursor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {repl_source_gen_, repl_source_manifest_};
+}
+
+void Database::SetReplLowWater(uint64_t gen) {
+  repl_low_water_.store(gen, std::memory_order_release);
+}
+
+Result<Database::FileSnapshot> Database::BeginFileSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileSnapshot snap;
+  snap.gen = generation_;
+  snap.num_pages = disk_.num_pages();
+  auto manifest = oplog_.ManifestAt(snap.gen);
+  if (!manifest.ok()) return manifest.status();
+  snap.manifest = *manifest;
+  // Bound page reuse BEFORE reading anything: from here to EndFileSnapshot
+  // no page a generation-`gen` catalog can reach is recycled, so the caller
+  // may read pages >= 2 lock-free (committed pages are never overwritten
+  // under copy-on-write; everything committed at `gen` is already on disk
+  // because CommitLocked syncs data before flipping the header). Callers
+  // serialize ships — there is one low-water bound, not a stack.
+  SetReplLowWater(snap.gen);
+  snap.header_pages.resize(2 * static_cast<size_t>(kPageSize));
+  Status st = disk_.ReadPage(0, snap.header_pages.data());
+  if (st.ok()) st = disk_.ReadPage(1, snap.header_pages.data() + kPageSize);
+  if (!st.ok()) {
+    EndFileSnapshot();
+    return st;
+  }
+  return snap;
+}
+
+void Database::EndFileSnapshot() { SetReplLowWater(kNoReplLowWater); }
 
 Status Database::PutIndex(const IndexEntry& entry) {
   if (entry.name.empty()) {
@@ -563,6 +701,22 @@ Status Database::PutIndex(const IndexEntry& entry) {
   IndexEntry fresh = entry;
   fresh.stale_as_of_gen = 0;
   catalog_[entry.name] = std::move(fresh);
+  // Stage this publish's oplog record. A blob entry travels by value (the
+  // follower rewrites the bytes into its own page chain); an engine publish
+  // is a barrier — its page roots mean nothing in another file, so a
+  // follower that reaches it must resync from a full snapshot.
+  std::vector<char> blob;
+  if (entry.kind == IndexKind::kBlob && entry.root != kInvalidPage &&
+      pool_ != nullptr && ReadBlob(pool_.get(), entry.root, &blob).ok() &&
+      blob.size() + entry.options.size() + entry.name.size() + 64 <=
+          OpLog::kMaxPayload) {
+    pending_op_kind_ = OpKind::kPutBlob;
+    pending_op_payload_ = EncodePutBlobOp(entry.name, entry.options, blob);
+  } else {
+    pending_op_kind_ = OpKind::kBarrier;
+    pending_op_payload_ = EncodeNameOp(entry.name);
+  }
+  pending_op_set_ = true;
   return CommitLocked();
 }
 
@@ -594,6 +748,9 @@ Status Database::DropIndex(const std::string& name) {
   if (catalog_.erase(name) == 0) {
     return Status::NotFound("no index named '" + name + "' in " + path_);
   }
+  pending_op_set_ = true;
+  pending_op_kind_ = OpKind::kDrop;
+  pending_op_payload_ = EncodeNameOp(name);
   return CommitLocked();
 }
 

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/oplog.h"
 
 namespace prix {
 
@@ -60,6 +61,12 @@ class Database : public PageAllocator {
     /// disk, so fault schedules and crash points cover Create/Open's own
     /// I/O. Must outlive the Database.
     FaultInjector* fault_injector = nullptr;
+
+    /// Test-only: a SEPARATE injector for the oplog sidecar file (each
+    /// FaultInjector instance tracks one fd), so the replication crash
+    /// matrix can crash at every oplog write/sync point independently of
+    /// the main file's schedule. Must outlive the Database.
+    FaultInjector* oplog_fault_injector = nullptr;
   };
 
   /// What a catalog entry points at. kBlob is an uninterpreted page chain
@@ -195,6 +202,54 @@ class Database : public PageAllocator {
   /// counters. Requires no pinned pages.
   Status ColdStart();
 
+  // ---- replication hooks (DESIGN.md §5l) ----
+
+  /// The durable operation log. CommitLocked appends one record per commit
+  /// (fsynced before the header flips); the replication sender reads
+  /// committed records back by generation.
+  OpLog* oplog() { return &oplog_; }
+
+  /// Follower-side: records the leader position (leader generation +
+  /// manifest) this node has applied through. Sticky — persisted in a header
+  /// trailer by every subsequent commit, so calling this immediately before
+  /// applying a record makes cursor and applied state land in ONE commit.
+  void StageReplCursor(uint64_t source_gen, uint32_t source_manifest);
+
+  /// {source_gen, source_manifest} recovered from the committed header
+  /// (both zero on a database that never followed anyone).
+  std::pair<uint64_t, uint32_t> repl_cursor() const;
+
+  /// Sentinel for "no snapshot ship in progress".
+  static constexpr uint64_t kNoReplLowWater = ~0ull;
+
+  /// While a snapshot of generation g is being shipped to a follower, pages
+  /// freed at generations > g must not be recycled (the shipped file still
+  /// references them). Threaded into AllocatePage's reuse barrier exactly
+  /// like a pinned snapshot generation. kNoReplLowWater lifts the bound.
+  void SetReplLowWater(uint64_t gen);
+  uint64_t repl_low_water() const {
+    return repl_low_water_.load(std::memory_order_acquire);
+  }
+
+  /// A consistent point-in-time view of the database FILE for snapshot
+  /// shipping: the committed generation, the page count at that moment, and
+  /// raw images of both header slots captured under the catalog lock. Pages
+  /// >= 2 can then be read lock-free — copy-on-write never overwrites a
+  /// committed page, and the low-water bound (set before this returns)
+  /// keeps freed pages from being recycled mid-ship. Pages unreachable from
+  /// the captured catalog may contain in-flight writer garbage; the
+  /// receiver's Open never walks them.
+  struct FileSnapshot {
+    uint64_t gen = 0;
+    uint32_t num_pages = 0;
+    uint32_t manifest = 0;  ///< oplog manifest at `gen`
+    std::vector<char> header_pages;  ///< pages 0 and 1, 2*kPageSize bytes
+  };
+  Result<FileSnapshot> BeginFileSnapshot();
+
+  /// Lifts the low-water bound set by BeginFileSnapshot.
+  void EndFileSnapshot();
+
  private:
   friend class Snapshot;
 
@@ -206,6 +261,15 @@ class Database : public PageAllocator {
   };
 
   Database() = default;
+
+  /// Stages the oplog record the NEXT commit will carry (one-shot; a commit
+  /// with nothing staged appends kNoop). Called by the ingest path
+  /// (database_ingest.cc) just before PublishAll and internally by
+  /// PutIndex/DropIndex. Takes mu_; must not be called while holding it.
+  void StageOpRecord(OpKind kind, std::vector<char> payload);
+
+  /// Drops a staged record that will never commit (ingest abort). Takes mu_.
+  void ClearStagedOp();
 
   /// Serializes the catalog map into `out` (header fields excluded).
   void SerializePayload(std::vector<char>* out) const;
@@ -227,13 +291,15 @@ class Database : public PageAllocator {
   enum class SlotState { kValid, kTorn, kBadMagic, kOldVersion };
 
   /// Parses one header slot's page image. On kValid fills generation,
-  /// entries, and the free-list blob head (kInvalidPage for headers written
-  /// before the free list existed — trailing payload bytes are optional);
-  /// on kOldVersion fills only *version.
+  /// entries, the free-list blob head (kInvalidPage for headers written
+  /// before the free list existed — trailing payload bytes are optional),
+  /// and the replication cursor trailer (zeros when absent); on kOldVersion
+  /// fills only *version.
   static SlotState ParseHeader(const char* page, uint64_t* generation,
                                uint32_t* version,
                                std::map<std::string, IndexEntry>* entries,
-                               PageId* free_head);
+                               PageId* free_head, uint64_t* repl_gen,
+                               uint32_t* repl_manifest);
 
   std::string path_;
   DiskManager disk_;
@@ -242,6 +308,19 @@ class Database : public PageAllocator {
   mutable std::mutex mu_;
   std::map<std::string, IndexEntry> catalog_;
   uint64_t generation_ = 0;
+
+  OpLog oplog_;
+  /// Record staged for the next commit; consumed (and cleared) under mu_ by
+  /// CommitLocked. Writers serialize on ingest_mu_ (or call sites under
+  /// mu_), so at most one op is ever pending.
+  bool pending_op_set_ = false;
+  OpKind pending_op_kind_ = OpKind::kNoop;
+  std::vector<char> pending_op_payload_;
+  /// Replication cursor persisted as the third optional header trailer.
+  uint64_t repl_source_gen_ = 0;
+  uint32_t repl_source_manifest_ = 0;
+
+  std::atomic<uint64_t> repl_low_water_{kNoReplLowWater};
 
   /// Mirror of generation_ readable without mu_ — AllocatePage runs inside
   /// CommitLocked's own blob writes while mu_ is held, so it must not take

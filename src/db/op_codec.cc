@@ -1,0 +1,232 @@
+#include "db/op_codec.h"
+
+#include <cstring>
+
+namespace prix {
+namespace {
+
+void PutU32(std::vector<char>* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->insert(out->end(), b, b + 4);
+}
+
+void PutU8(std::vector<char>* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutString(std::vector<char>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutDoc(std::vector<char>* out, const Document& doc) {
+  PutU32(out, static_cast<uint32_t>(doc.num_nodes()));
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    PutU32(out, doc.label(n));
+    PutU8(out, static_cast<uint8_t>(doc.kind(n)));
+    PutU32(out, doc.parent(n) == kInvalidNode
+                    ? 0xffffffffu
+                    : static_cast<uint32_t>(doc.parent(n)));
+  }
+}
+
+// Bounds-checked little-endian reader over an untrusted payload.
+class Reader {
+ public:
+  Reader(const std::vector<char>& buf) : p_(buf.data()), n_(buf.size()) {}
+
+  Status U32(uint32_t* out) {
+    PRIX_RETURN_NOT_OK(Need(4));
+    std::memcpy(out, p_ + pos_, 4);
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status U8(uint8_t* out) {
+    PRIX_RETURN_NOT_OK(Need(1));
+    *out = static_cast<uint8_t>(p_[pos_++]);
+    return Status::OK();
+  }
+
+  Status String(std::string* out) {
+    uint32_t len = 0;
+    PRIX_RETURN_NOT_OK(U32(&len));
+    if (len > 4096) {
+      return Status::InvalidArgument("op payload: name length " +
+                                     std::to_string(len) + " is implausible");
+    }
+    PRIX_RETURN_NOT_OK(Need(len));
+    out->assign(p_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status Bytes(std::vector<char>* out) {
+    uint32_t len = 0;
+    PRIX_RETURN_NOT_OK(U32(&len));
+    PRIX_RETURN_NOT_OK(Need(len));
+    out->assign(p_ + pos_, p_ + pos_ + len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status Doc(Document* doc) {
+    uint32_t count = 0;
+    PRIX_RETURN_NOT_OK(U32(&count));
+    // 9 bytes per node; reject counts the remaining bytes cannot hold before
+    // reserving anything.
+    if (count > remaining() / 9) {
+      return Status::InvalidArgument(
+          "op payload: document node count " + std::to_string(count) +
+          " exceeds remaining payload bytes");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t label = 0, parent = 0;
+      uint8_t kind = 0;
+      PRIX_RETURN_NOT_OK(U32(&label));
+      PRIX_RETURN_NOT_OK(U8(&kind));
+      PRIX_RETURN_NOT_OK(U32(&parent));
+      if (kind > static_cast<uint8_t>(NodeKind::kValue)) {
+        return Status::InvalidArgument("op payload: bad node kind " +
+                                       std::to_string(kind));
+      }
+      NodeKind nk = static_cast<NodeKind>(kind);
+      if (parent == 0xffffffffu) {
+        if (i != 0) {
+          return Status::InvalidArgument(
+              "op payload: non-first node has no parent");
+        }
+        doc->AddRoot(label, nk);
+      } else {
+        // Parents must precede children (arena order), or AddChild would
+        // index past the nodes built so far.
+        if (parent >= i) {
+          return Status::InvalidArgument(
+              "op payload: node " + std::to_string(i) +
+              " references forward parent " + std::to_string(parent));
+        }
+        doc->AddChild(parent, label, nk);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != n_) {
+      return Status::InvalidArgument(
+          "op payload: " + std::to_string(n_ - pos_) + " trailing bytes");
+    }
+    return Status::OK();
+  }
+
+  size_t remaining() const { return n_ - pos_; }
+
+ private:
+  Status Need(size_t k) const {
+    if (n_ - pos_ < k) {
+      return Status::InvalidArgument("op payload truncated");
+    }
+    return Status::OK();
+  }
+
+  const char* p_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<char> EncodeInsertOp(const std::string& index, uint32_t doc_id,
+                                 const Document& doc) {
+  std::vector<char> out;
+  PutString(&out, index);
+  PutU32(&out, doc_id);
+  PutDoc(&out, doc);
+  return out;
+}
+
+std::vector<char> EncodeUpdateOp(const std::string& index, uint32_t old_id,
+                                 uint32_t new_id, const Document& doc) {
+  std::vector<char> out;
+  PutString(&out, index);
+  PutU32(&out, old_id);
+  PutU32(&out, new_id);
+  PutDoc(&out, doc);
+  return out;
+}
+
+std::vector<char> EncodeDeleteOp(const std::string& index, uint32_t doc_id) {
+  std::vector<char> out;
+  PutString(&out, index);
+  PutU32(&out, doc_id);
+  return out;
+}
+
+std::vector<char> EncodePutBlobOp(const std::string& name,
+                                  const std::vector<char>& options,
+                                  const std::vector<char>& blob) {
+  std::vector<char> out;
+  PutString(&out, name);
+  PutU32(&out, static_cast<uint32_t>(options.size()));
+  out.insert(out.end(), options.begin(), options.end());
+  PutU32(&out, static_cast<uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+  return out;
+}
+
+std::vector<char> EncodeNameOp(const std::string& name) {
+  std::vector<char> out;
+  PutString(&out, name);
+  return out;
+}
+
+Result<InsertOp> DecodeInsertOp(const std::vector<char>& payload) {
+  Reader r(payload);
+  InsertOp op;
+  PRIX_RETURN_NOT_OK(r.String(&op.index));
+  PRIX_RETURN_NOT_OK(r.U32(&op.doc_id));
+  PRIX_RETURN_NOT_OK(r.Doc(&op.doc));
+  PRIX_RETURN_NOT_OK(r.ExpectEnd());
+  return op;
+}
+
+Result<UpdateOp> DecodeUpdateOp(const std::vector<char>& payload) {
+  Reader r(payload);
+  UpdateOp op;
+  PRIX_RETURN_NOT_OK(r.String(&op.index));
+  PRIX_RETURN_NOT_OK(r.U32(&op.old_doc_id));
+  PRIX_RETURN_NOT_OK(r.U32(&op.new_doc_id));
+  PRIX_RETURN_NOT_OK(r.Doc(&op.doc));
+  PRIX_RETURN_NOT_OK(r.ExpectEnd());
+  return op;
+}
+
+Result<DeleteOp> DecodeDeleteOp(const std::vector<char>& payload) {
+  Reader r(payload);
+  DeleteOp op;
+  PRIX_RETURN_NOT_OK(r.String(&op.index));
+  PRIX_RETURN_NOT_OK(r.U32(&op.doc_id));
+  PRIX_RETURN_NOT_OK(r.ExpectEnd());
+  return op;
+}
+
+Result<PutBlobOp> DecodePutBlobOp(const std::vector<char>& payload) {
+  Reader r(payload);
+  PutBlobOp op;
+  PRIX_RETURN_NOT_OK(r.String(&op.name));
+  PRIX_RETURN_NOT_OK(r.Bytes(&op.options));
+  PRIX_RETURN_NOT_OK(r.Bytes(&op.blob));
+  PRIX_RETURN_NOT_OK(r.ExpectEnd());
+  return op;
+}
+
+Result<std::string> DecodeNameOp(const std::vector<char>& payload) {
+  Reader r(payload);
+  std::string name;
+  PRIX_RETURN_NOT_OK(r.String(&name));
+  PRIX_RETURN_NOT_OK(r.ExpectEnd());
+  return name;
+}
+
+}  // namespace prix

@@ -1,0 +1,67 @@
+#ifndef PRIX_DB_OP_CODEC_H_
+#define PRIX_DB_OP_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace prix {
+
+// Payload encodings for oplog records (storage/oplog.h). A payload must be
+// self-contained enough for a follower to replay the operation into its own
+// database: documents travel as raw node arenas (label, kind, parent) —
+// LabelIds, not tag names, because the engines index LabelIds and the
+// follower's history is byte-derived from the leader's (the tag dictionary
+// itself replicates as the "tags" kPutBlob records). Decoders assume the
+// bytes crossed a network: every length is bounds-checked and a malformed
+// payload is a typed InvalidArgument, never a wild read.
+
+struct InsertOp {
+  std::string index;
+  uint32_t doc_id = 0;  ///< DocId the leader assigned; replay must agree
+  Document doc;
+};
+
+struct UpdateOp {
+  std::string index;
+  uint32_t old_doc_id = 0;
+  uint32_t new_doc_id = 0;
+  Document doc;
+};
+
+struct DeleteOp {
+  std::string index;
+  uint32_t doc_id = 0;
+};
+
+/// PutIndex of a kBlob catalog entry: the follower rewrites the blob into
+/// its own page chain and publishes the entry under the same name.
+struct PutBlobOp {
+  std::string name;
+  std::vector<char> options;
+  std::vector<char> blob;
+};
+
+std::vector<char> EncodeInsertOp(const std::string& index, uint32_t doc_id,
+                                 const Document& doc);
+std::vector<char> EncodeUpdateOp(const std::string& index, uint32_t old_id,
+                                 uint32_t new_id, const Document& doc);
+std::vector<char> EncodeDeleteOp(const std::string& index, uint32_t doc_id);
+std::vector<char> EncodePutBlobOp(const std::string& name,
+                                  const std::vector<char>& options,
+                                  const std::vector<char>& blob);
+/// kBarrier and kDrop carry just the entry name.
+std::vector<char> EncodeNameOp(const std::string& name);
+
+Result<InsertOp> DecodeInsertOp(const std::vector<char>& payload);
+Result<UpdateOp> DecodeUpdateOp(const std::vector<char>& payload);
+Result<DeleteOp> DecodeDeleteOp(const std::vector<char>& payload);
+Result<PutBlobOp> DecodePutBlobOp(const std::vector<char>& payload);
+Result<std::string> DecodeNameOp(const std::vector<char>& payload);
+
+}  // namespace prix
+
+#endif  // PRIX_DB_OP_CODEC_H_

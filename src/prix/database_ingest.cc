@@ -55,6 +55,7 @@
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "db/database.h"
+#include "db/op_codec.h"
 #include "prix/prix_index.h"
 #include "prufer/prufer.h"
 #include "storage/cow.h"
@@ -660,12 +661,17 @@ Result<uint32_t> Database::InsertDocument(const std::string& index_name,
   auto run = [&]() -> Result<uint32_t> {
     PRIX_ASSIGN_OR_RETURN(const DocId d, StageInsert(oi, doc));
     PRIX_RETURN_NOT_OK(StageDerivedInsert(state, doc, d, &cow));
+    // Stage the oplog record the publish commit will carry (DESIGN.md §5l):
+    // the assigned DocId rides along so a follower replay that disagrees on
+    // ids is caught as divergence, not silently re-numbered.
+    StageOpRecord(OpKind::kInsert, EncodeInsertOp(index_name, d, doc));
     PRIX_RETURN_NOT_OK(PublishAll(this, index_name, oi, state, &cow));
     return d;
   };
   Result<uint32_t> result = run();
   SetCowAll(oi, state, nullptr);
   if (!result.ok()) {
+    ClearStagedOp();
     AbortIngest(this, &ingest_state_, &cow);
     return result;
   }
@@ -695,12 +701,15 @@ Result<uint32_t> Database::UpdateDocument(const std::string& index_name,
     PRIX_RETURN_NOT_OK(StageDelete(oi, doc));
     PRIX_ASSIGN_OR_RETURN(const DocId d, StageInsert(oi, new_doc));
     PRIX_RETURN_NOT_OK(StageDerivedInsert(state, new_doc, d, &cow));
+    StageOpRecord(OpKind::kUpdate,
+                  EncodeUpdateOp(index_name, doc, d, new_doc));
     PRIX_RETURN_NOT_OK(PublishAll(this, index_name, oi, state, &cow));
     return d;
   };
   Result<uint32_t> result = run();
   SetCowAll(oi, state, nullptr);
   if (!result.ok()) {
+    ClearStagedOp();
     AbortIngest(this, &ingest_state_, &cow);
     return result;
   }
@@ -723,11 +732,13 @@ Status Database::DeleteDocument(const std::string& index_name, uint32_t doc) {
   auto run = [&]() -> Status {
     PRIX_RETURN_NOT_OK(StageDerivedDelete(state, oi, doc));
     PRIX_RETURN_NOT_OK(StageDelete(oi, doc));
+    StageOpRecord(OpKind::kDelete, EncodeDeleteOp(index_name, doc));
     return PublishAll(this, index_name, oi, state, &cow);
   };
   const Status result = run();
   SetCowAll(oi, state, nullptr);
   if (!result.ok()) {
+    ClearStagedOp();
     AbortIngest(this, &ingest_state_, &cow);
     return result;
   }

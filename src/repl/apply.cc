@@ -1,0 +1,89 @@
+#include "repl/apply.h"
+
+#include "db/op_codec.h"
+#include "storage/oplog.h"
+#include "storage/record_store.h"
+
+namespace prix {
+
+Status ApplyOpRecord(Database* db, uint8_t op_kind,
+                     const std::vector<char>& payload,
+                     const ApplyHooks& hooks) {
+  if (op_kind > static_cast<uint8_t>(OpKind::kDrop)) {
+    return Status::FailedPrecondition(
+        "oplog record carries unknown op kind " + std::to_string(op_kind) +
+        "; histories have diverged");
+  }
+  switch (static_cast<OpKind>(op_kind)) {
+    case OpKind::kNoop:
+      // An empty commit keeps the follower's cursor (staged by the caller)
+      // moving in lockstep with the leader's manifest chain.
+      return db->CommitBatch({}, {});
+    case OpKind::kInsert: {
+      PRIX_ASSIGN_OR_RETURN(InsertOp op, DecodeInsertOp(payload));
+      PRIX_ASSIGN_OR_RETURN(uint32_t d, db->InsertDocument(op.index, op.doc));
+      if (d != op.doc_id) {
+        return Status::FailedPrecondition(
+            "replayed insert into '" + op.index + "' assigned DocId " +
+            std::to_string(d) + " but the leader recorded " +
+            std::to_string(op.doc_id) + "; histories have diverged");
+      }
+      return Status::OK();
+    }
+    case OpKind::kUpdate: {
+      PRIX_ASSIGN_OR_RETURN(UpdateOp op, DecodeUpdateOp(payload));
+      PRIX_ASSIGN_OR_RETURN(uint32_t d,
+                            db->UpdateDocument(op.index, op.old_doc_id,
+                                               op.doc));
+      if (d != op.new_doc_id) {
+        return Status::FailedPrecondition(
+            "replayed update in '" + op.index + "' assigned DocId " +
+            std::to_string(d) + " but the leader recorded " +
+            std::to_string(op.new_doc_id) + "; histories have diverged");
+      }
+      return Status::OK();
+    }
+    case OpKind::kDelete: {
+      PRIX_ASSIGN_OR_RETURN(DeleteOp op, DecodeDeleteOp(payload));
+      Status st = db->DeleteDocument(op.index, op.doc_id);
+      if (st.IsNotFound()) {
+        return Status::FailedPrecondition(
+            "replayed delete of DocId " + std::to_string(op.doc_id) +
+            " found no live document; histories have diverged");
+      }
+      return st;
+    }
+    case OpKind::kPutBlob: {
+      PRIX_ASSIGN_OR_RETURN(PutBlobOp op, DecodePutBlobOp(payload));
+      PRIX_ASSIGN_OR_RETURN(PageId head, WriteBlob(db->pool(), op.blob));
+      Database::IndexEntry entry;
+      entry.name = op.name;
+      entry.kind = Database::IndexKind::kBlob;
+      entry.root = head;
+      entry.options = op.options;
+      PRIX_RETURN_NOT_OK(db->PutIndex(entry));
+      if (hooks.on_blob) hooks.on_blob(op.name, op.blob);
+      return Status::OK();
+    }
+    case OpKind::kBarrier: {
+      auto name = DecodeNameOp(payload);
+      return Status::FailedPrecondition(
+          "barrier record (engine index publish '" +
+          (name.ok() ? *name : std::string("?")) +
+          "') is not replayable; snapshot resync required");
+    }
+    case OpKind::kDrop: {
+      PRIX_ASSIGN_OR_RETURN(std::string name, DecodeNameOp(payload));
+      Status st = db->DropIndex(name);
+      if (st.IsNotFound()) {
+        return Status::FailedPrecondition(
+            "replayed drop of '" + name +
+            "' found no such index; histories have diverged");
+      }
+      return st;
+    }
+  }
+  return Status::Internal("unreachable op kind");
+}
+
+}  // namespace prix

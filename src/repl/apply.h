@@ -1,0 +1,39 @@
+#ifndef PRIX_REPL_APPLY_H_
+#define PRIX_REPL_APPLY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+
+namespace prix {
+
+/// Side effects the embedding process wants to observe during replay.
+struct ApplyHooks {
+  /// Fired after a kPutBlob record publishes (e.g. the CLI reloads its tag
+  /// dictionary when the "tags" blob lands).
+  std::function<void(const std::string& name, const std::vector<char>& blob)>
+      on_blob;
+};
+
+/// Replays one shipped oplog record into the follower's database through
+/// the SAME tri-engine ingest paths the leader ran, committing one local
+/// generation. The caller stages the replication cursor first
+/// (Database::StageReplCursor), so the commit this apply performs persists
+/// cursor and state atomically.
+///
+/// Typed failures: FailedPrecondition means the histories have diverged (a
+/// barrier record, an unknown op kind, or a replayed DocId that disagrees
+/// with what the leader recorded) and the follower must resync from a full
+/// snapshot; anything else is a local fault (I/O, crash injection) and the
+/// record can simply be retried after recovery.
+Status ApplyOpRecord(Database* db, uint8_t op_kind,
+                     const std::vector<char>& payload,
+                     const ApplyHooks& hooks);
+
+}  // namespace prix
+
+#endif  // PRIX_REPL_APPLY_H_

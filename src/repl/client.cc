@@ -1,0 +1,399 @@
+#include "repl/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <stdio.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <random>
+
+#include "common/macros.h"
+#include "storage/oplog.h"
+
+namespace prix {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// write(2) loop for regular files. WriteAll from serve/wire.h is send(2)
+/// underneath and therefore socket-only; snapshot chunks land in a file.
+Status WriteFileAll(int fd, const std::vector<char>& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write snapshot tmp");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Fsyncs the directory holding `path` so a rename/unlink inside it is
+/// durable before we report success.
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return Errno("open parent dir");
+  Status st = Status::OK();
+  if (::fsync(dfd) != 0) st = Errno("fsync parent dir");
+  ::close(dfd);
+  return st;
+}
+
+}  // namespace
+
+Status InstallSnapshotFile(const std::string& tmp_path,
+                           const std::string& db_path) {
+  if (::rename(tmp_path.c_str(), db_path.c_str()) != 0) {
+    return Errno("rename snapshot");
+  }
+  // The sidecar's records chain through the PRE-snapshot history; any that
+  // coincidentally align with the new file would be trusted on reopen, so
+  // it must go. The reopen rebases a fresh oplog at the snapshot's
+  // committed generation.
+  std::string sidecar = OpLog::PathFor(db_path);
+  if (::unlink(sidecar.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink oplog sidecar");
+  }
+  return SyncParentDir(db_path);
+}
+
+ReplClient::ReplClient(Database* db, const ReplClientOptions& options,
+                       SnapshotSwapFn swap, ApplyHooks hooks)
+    : options_(options),
+      swap_(std::move(swap)),
+      hooks_(std::move(hooks)),
+      db_(db) {}
+
+Result<std::unique_ptr<ReplClient>> ReplClient::Start(
+    Database* db, const ReplClientOptions& options, SnapshotSwapFn swap,
+    ApplyHooks hooks) {
+  if (db == nullptr) return Status::InvalidArgument("null follower database");
+  if (options.db_path.empty()) {
+    return Status::InvalidArgument("ReplClientOptions.db_path is required");
+  }
+  if (!swap && options.allow_snapshot) {
+    return Status::InvalidArgument(
+        "a snapshot swap callback is required when snapshots are allowed");
+  }
+  auto client = std::unique_ptr<ReplClient>(
+      new ReplClient(db, options, std::move(swap), std::move(hooks)));
+  std::pair<uint64_t, uint32_t> cursor = db->repl_cursor();
+  client->cursor_gen_ = cursor.first;
+  client->cursor_manifest_ = cursor.second;
+  client->applied_gen_.store(cursor.first, std::memory_order_relaxed);
+  client->rng_state_ =
+      options.seed != 0 ? options.seed : std::random_device{}();
+  if (client->rng_state_ == 0) client->rng_state_ = 0x9e3779b97f4a7c15ull;
+  client->thread_ = std::thread([c = client.get()] { c->Run(); });
+  return client;
+}
+
+ReplClient::~ReplClient() { Stop(); }
+
+void ReplClient::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+ReplClient::Stats ReplClient::stats() const {
+  Stats s;
+  s.applied_gen = applied_gen_.load(std::memory_order_relaxed);
+  s.leader_gen = leader_gen_.load(std::memory_order_relaxed);
+  s.records_applied = records_applied_.load(std::memory_order_relaxed);
+  s.snapshots_installed = snapshots_installed_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.divergences = divergences_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status ReplClient::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+Database* ReplClient::db() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_;
+}
+
+void ReplClient::SetLastError(const Status& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_error_ = st;
+}
+
+uint32_t ReplClient::NextBackoffMs() {
+  // splitmix64 — cheap, seedable, good enough for jitter.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+
+  uint32_t shift = backoff_attempt_ < 16 ? backoff_attempt_ : 16;
+  if (backoff_attempt_ < 64) ++backoff_attempt_;
+  uint64_t window = static_cast<uint64_t>(options_.backoff_base_ms) << shift;
+  if (window > options_.backoff_cap_ms) window = options_.backoff_cap_ms;
+  // Full jitter: uniform in [0, window]. A herd of followers losing the
+  // same leader reconnects spread out, not in lockstep.
+  return static_cast<uint32_t>(z % (window + 1));
+}
+
+void ReplClient::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status st = RunOnce();
+    if (stop_.load(std::memory_order_acquire)) break;
+    SetLastError(st);
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t sleep_ms = NextBackoffMs();
+    // Stop-aware backoff sleep.
+    while (sleep_ms > 0 && !stop_.load(std::memory_order_acquire)) {
+      uint32_t step = sleep_ms < 20 ? sleep_ms : 20;
+      std::this_thread::sleep_for(std::chrono::milliseconds(step));
+      sleep_ms -= step;
+    }
+  }
+}
+
+Result<int> ReplClient::Dial() {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad leader address '" + options_.host +
+                                   "'");
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return Status::Unavailable(std::string(st.message()));
+  }
+  return fd;
+}
+
+Status ReplClient::RunOnce() {
+  PRIX_ASSIGN_OR_RETURN(int fd, Dial());
+  auto fail = [&](Status st) {
+    ::close(fd);
+    return st;
+  };
+
+  ReplHello hello;
+  hello.cursor_gen = cursor_gen_;
+  hello.cursor_manifest = cursor_manifest_;
+  hello.want_snapshot =
+      (want_snapshot_ && options_.allow_snapshot) ? 1 : 0;
+  Status st = WriteAll(fd, EncodeReplHello(hello));
+  if (!st.ok()) return fail(st);
+
+  FrameDecoder dec;
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<std::optional<Frame>> got =
+        ReadFrame(fd, &dec, options_.io_timeout_ms, &stop_);
+    if (!got.ok()) {
+      if (got.status().IsDeadlineExceeded() && dec.buffered() == 0) {
+        // Benign idle: we are caught up and the leader has nothing to send.
+        // A dead leader shows up as EOF/reset, not silence, so keep waiting.
+        continue;
+      }
+      return fail(got.status());
+    }
+    if (!*got) return fail(Status::Unavailable("leader closed connection"));
+    Frame frame = std::move(**got);
+    switch (frame.type) {
+      case FrameType::kError: {
+        Result<ErrorResponse> err = DecodeError(frame);
+        if (!err.ok()) return fail(err.status());
+        StatusCode code = static_cast<StatusCode>(err->status_code);
+        if (code == StatusCode::kFailedPrecondition) {
+          divergences_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if ((code == StatusCode::kFailedPrecondition ||
+             code == StatusCode::kOutOfRange) &&
+            options_.allow_snapshot) {
+          // The leader rejected our cursor and a snapshot follows on this
+          // same connection; keep reading.
+          continue;
+        }
+        return fail(Status::FailedPrecondition("leader error: " +
+                                               err->message));
+      }
+      case FrameType::kReplRecord: {
+        Result<ReplRecordFrame> rec = DecodeReplRecord(frame);
+        if (!rec.ok()) return fail(rec.status());
+        Status apply_st = HandleRecord(fd, *rec);
+        if (!apply_st.ok()) return fail(apply_st);
+        continue;
+      }
+      case FrameType::kReplSnapshot: {
+        if (!options_.allow_snapshot) {
+          return fail(
+              Status::FailedPrecondition("leader shipped a snapshot but "
+                                         "snapshots are disabled"));
+        }
+        Result<ReplSnapshotFrame> snap = DecodeReplSnapshot(frame);
+        if (!snap.ok()) return fail(snap.status());
+        Status snap_st = HandleSnapshot(fd, &dec, *snap);
+        if (!snap_st.ok()) return fail(snap_st);
+        continue;
+      }
+      default:
+        return fail(Status::InvalidArgument(
+            "unexpected frame type " +
+            std::to_string(static_cast<int>(frame.type)) +
+            " on a replication connection"));
+    }
+  }
+  return fail(Status::Unavailable("replication client stopping"));
+}
+
+Status ReplClient::HandleRecord(int fd, const ReplRecordFrame& rec) {
+  leader_gen_.store(rec.leader_gen, std::memory_order_relaxed);
+  auto diverged = [&](const std::string& why) {
+    divergences_.fetch_add(1, std::memory_order_relaxed);
+    want_snapshot_ = true;
+    return Status::FailedPrecondition(why + "; snapshot resync required");
+  };
+  if (rec.gen != cursor_gen_ + 1) {
+    return diverged("record gen " + std::to_string(rec.gen) +
+                    " does not follow cursor gen " +
+                    std::to_string(cursor_gen_));
+  }
+  // Verify the manifest chain BEFORE applying: a garbled or forged record
+  // must never touch the replica's state.
+  uint32_t expected = OpLog::ChainManifest(
+      cursor_manifest_, rec.gen, static_cast<OpKind>(rec.op_kind),
+      rec.payload.data(), rec.payload.size());
+  if (expected != rec.manifest) {
+    return diverged("manifest chain mismatch at gen " +
+                    std::to_string(rec.gen) + " (corrupt or foreign record)");
+  }
+
+  Database* db;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    db = db_;
+  }
+  // Stage the cursor first: the commit this apply performs persists cursor
+  // and state atomically, which is what makes catch-up crash-consistent.
+  db->StageReplCursor(rec.gen, rec.manifest);
+  Status st = ApplyOpRecord(db, rec.op_kind, rec.payload, hooks_);
+  if (st.IsFailedPrecondition()) {
+    return diverged("apply diverged: " + std::string(st.message()));
+  }
+  if (!st.ok()) {
+    // Local fault (I/O, crash injection): the commit did not happen, so the
+    // cursor is unchanged. Reconnect and retry the same record.
+    return st;
+  }
+  cursor_gen_ = rec.gen;
+  cursor_manifest_ = rec.manifest;
+  applied_gen_.store(rec.gen, std::memory_order_release);
+  records_applied_.fetch_add(1, std::memory_order_relaxed);
+  backoff_attempt_ = 0;
+
+  ReplAck ack;
+  ack.applied_gen = rec.gen;
+  ack.manifest = rec.manifest;
+  return WriteAll(fd, EncodeReplAck(ack));
+}
+
+Status ReplClient::HandleSnapshot(int fd, FrameDecoder* dec,
+                                  const ReplSnapshotFrame& first) {
+  const std::string tmp_path = options_.db_path + ".snap-tmp";
+  int tmp_fd = ::open(tmp_path.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) return Errno("open snapshot tmp");
+
+  Status st = [&]() -> Status {
+    ReplSnapshotFrame chunk = first;
+    uint32_t expected_seq = 0;
+    while (true) {
+      if (chunk.snapshot_gen != first.snapshot_gen ||
+          chunk.manifest != first.manifest) {
+        return Status::InvalidArgument(
+            "snapshot chunk switched generations mid-stream");
+      }
+      if (chunk.seq != expected_seq) {
+        return Status::InvalidArgument(
+            "snapshot chunk seq " + std::to_string(chunk.seq) +
+            " arrived out of order (expected " +
+            std::to_string(expected_seq) + ")");
+      }
+      ++expected_seq;
+      if (!chunk.chunk.empty()) {
+        PRIX_RETURN_NOT_OK(WriteFileAll(tmp_fd, chunk.chunk));
+      }
+      if (chunk.last != 0) break;
+      if (stop_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("replication client stopping");
+      }
+      PRIX_ASSIGN_OR_RETURN(
+          std::optional<Frame> got,
+          ReadFrame(fd, dec, options_.io_timeout_ms, &stop_));
+      if (!got) {
+        return Status::Unavailable("leader closed mid-snapshot");
+      }
+      if (got->type != FrameType::kReplSnapshot) {
+        return Status::InvalidArgument("non-snapshot frame mid-snapshot");
+      }
+      PRIX_ASSIGN_OR_RETURN(chunk, DecodeReplSnapshot(*got));
+    }
+    if (::fsync(tmp_fd) != 0) return Errno("fsync snapshot tmp");
+    return Status::OK();
+  }();
+  ::close(tmp_fd);
+  if (!st.ok()) {
+    (void)::unlink(tmp_path.c_str());
+    return st;
+  }
+
+  // Hand the file to the embedder: it installs (InstallSnapshotFile),
+  // reopens, persists the cursor, and gives us the new database.
+  Result<Database*> new_db =
+      swap_(tmp_path, first.snapshot_gen, first.manifest);
+  if (!new_db.ok()) {
+    (void)::unlink(tmp_path.c_str());
+    return new_db.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    db_ = *new_db;
+  }
+  cursor_gen_ = first.snapshot_gen;
+  cursor_manifest_ = first.manifest;
+  want_snapshot_ = false;
+  applied_gen_.store(first.snapshot_gen, std::memory_order_release);
+  leader_gen_.store(
+      std::max(leader_gen_.load(std::memory_order_relaxed),
+               first.snapshot_gen),
+      std::memory_order_relaxed);
+  snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+  backoff_attempt_ = 0;
+
+  ReplAck ack;
+  ack.applied_gen = first.snapshot_gen;
+  ack.manifest = first.manifest;
+  return WriteAll(fd, EncodeReplAck(ack));
+}
+
+}  // namespace prix

@@ -1,0 +1,144 @@
+#ifndef PRIX_REPL_CLIENT_H_
+#define PRIX_REPL_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "repl/apply.h"
+#include "serve/wire.h"
+
+namespace prix {
+
+struct ReplClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// The follower's database file; snapshots install next to it (atomic
+  /// rename of `db_path + ".snap-tmp"`).
+  std::string db_path;
+  uint32_t io_timeout_ms = 10'000;
+  /// Jittered exponential backoff between reconnect attempts: each attempt
+  /// sleeps uniform(0, min(cap, base * 2^attempt)) — full jitter, so a herd
+  /// of followers does not reconnect in lockstep.
+  uint32_t backoff_base_ms = 50;
+  uint32_t backoff_cap_ms = 2'000;
+  /// Seed for the backoff jitter; 0 draws one from std::random_device.
+  uint64_t seed = 0;
+  /// When false the client refuses snapshot resync (tests use this to pin
+  /// the record-streaming path); divergence then keeps reconnecting.
+  bool allow_snapshot = true;
+};
+
+/// Called when a full snapshot has been received into `tmp_path`: the
+/// embedder must stop readers of the old database, install the file
+/// (InstallSnapshotFile), reopen, persist the cursor
+/// (StageReplCursor(snapshot_gen, snapshot_manifest) + an empty
+/// CommitBatch), and return the new Database*. The returned pointer must
+/// stay valid until the next swap or Stop(). Returning an error makes the
+/// client retry the snapshot on its next connection.
+using SnapshotSwapFn = std::function<Result<Database*>(
+    const std::string& tmp_path, uint64_t snapshot_gen,
+    uint32_t snapshot_manifest)>;
+
+/// Atomically installs a received snapshot file over the follower's
+/// database: rename(tmp_path, db_path) plus removal of the now-stale
+/// `.oplog` sidecar (its records belong to the pre-snapshot history; a
+/// reopen would otherwise trust any that coincidentally align). The caller
+/// reopens the database afterwards — the oplog rebases at the snapshot's
+/// committed generation.
+Status InstallSnapshotFile(const std::string& tmp_path,
+                           const std::string& db_path);
+
+/// The follower half of streaming replication (DESIGN.md §5l): connects to
+/// the leader, announces its durable cursor, and replays shipped records
+/// through ApplyOpRecord — staging the cursor before each apply so cursor
+/// and state commit atomically. Every record's manifest is verified against
+/// the local chain (OpLog::ChainManifest) BEFORE it is applied: a garbled
+/// or forged record is divergence, answered by a snapshot resync, never a
+/// corrupted replica. Link faults (EOF, resets, timeouts) reconnect with
+/// jittered exponential backoff; the durable cursor makes catch-up
+/// crash-consistent — a follower killed at any point resumes from its last
+/// committed generation.
+class ReplClient {
+ public:
+  struct Stats {
+    uint64_t applied_gen = 0;     ///< follower cursor (leader generations)
+    uint64_t leader_gen = 0;      ///< leader's generation, last observed
+    uint64_t records_applied = 0;
+    uint64_t snapshots_installed = 0;
+    uint64_t reconnects = 0;
+    uint64_t divergences = 0;     ///< manifest/apply mismatches detected
+  };
+
+  /// Starts the replication thread. `db` is the follower's open database
+  /// (its persisted repl cursor seeds the hello); `swap` handles snapshot
+  /// installs. `db` must stay valid until `swap` replaces it or Stop().
+  static Result<std::unique_ptr<ReplClient>> Start(
+      Database* db, const ReplClientOptions& options, SnapshotSwapFn swap,
+      ApplyHooks hooks = {});
+
+  ~ReplClient();
+  ReplClient(const ReplClient&) = delete;
+  ReplClient& operator=(const ReplClient&) = delete;
+
+  /// Stops the replication thread (current record finishes applying).
+  void Stop();
+
+  Stats stats() const;
+
+  /// The most recent connection/apply failure, for `prix repl-status`.
+  Status last_error() const;
+
+  /// The current database (changes across snapshot swaps; serialized with
+  /// the swap itself).
+  Database* db() const;
+
+ private:
+  ReplClient(Database* db, const ReplClientOptions& options,
+             SnapshotSwapFn swap, ApplyHooks hooks);
+
+  void Run();
+  /// One connection's lifetime: dial, hello, stream until error/stop.
+  Status RunOnce();
+  Result<int> Dial();
+  Status HandleRecord(int fd, const ReplRecordFrame& rec);
+  /// Receives the remaining chunks of a snapshot whose first frame is
+  /// `first`, writes them to `db_path + ".snap-tmp"`, and runs the swap.
+  Status HandleSnapshot(int fd, FrameDecoder* dec,
+                        const ReplSnapshotFrame& first);
+  void SetLastError(const Status& st);
+  uint32_t NextBackoffMs();
+
+  ReplClientOptions options_;
+  SnapshotSwapFn swap_;
+  ApplyHooks hooks_;
+
+  mutable std::mutex mu_;
+  Database* db_;           // guarded by mu_ (swaps happen on the run thread)
+  Status last_error_;      // guarded by mu_
+  uint64_t cursor_gen_ = 0;
+  uint32_t cursor_manifest_ = 0;
+  bool want_snapshot_ = false;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  uint32_t backoff_attempt_ = 0;
+  uint64_t rng_state_ = 0;  // splitmix64; run-thread only
+
+  std::atomic<uint64_t> applied_gen_{0};
+  std::atomic<uint64_t> leader_gen_{0};
+  std::atomic<uint64_t> records_applied_{0};
+  std::atomic<uint64_t> snapshots_installed_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> divergences_{0};
+};
+
+}  // namespace prix
+
+#endif  // PRIX_REPL_CLIENT_H_

@@ -1,0 +1,400 @@
+#include "repl/sender.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "common/macros.h"
+#include "storage/page.h"
+
+namespace prix {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ReplSender::ReplSender(Database* db, const ReplSenderOptions& options)
+    : db_(db), options_(options) {}
+
+Result<std::unique_ptr<ReplSender>> ReplSender::Start(
+    Database* db, const ReplSenderOptions& options) {
+  auto sender = std::unique_ptr<ReplSender>(new ReplSender(db, options));
+  // Every snapshot chunk must fit one wire frame (payload fixed fields + the
+  // chunk itself under kMaxFrameBody), whatever the caller asked for.
+  constexpr size_t kMaxChunk = kMaxFrameBody - 64;
+  if (sender->options_.snapshot_chunk_bytes == 0 ||
+      sender->options_.snapshot_chunk_bytes > kMaxChunk) {
+    sender->options_.snapshot_chunk_bytes = kMaxChunk;
+  }
+  if (sender->options_.poll_interval_ms == 0) {
+    sender->options_.poll_interval_ms = 1;
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) < 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  sender->listen_fd_ = fd;
+  sender->port_ = ntohs(addr.sin_port);
+  sender->accept_thread_ =
+      std::thread([s = sender.get()] { s->AcceptLoop(); });
+  return sender;
+}
+
+ReplSender::~ReplSender() { Stop(); }
+
+void ReplSender::Stop() {
+  bool was_stopped = stop_.exchange(true);
+  if (!was_stopped && listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is gone, so conns_ can no longer grow; join without
+  // holding conns_mu_ (follower threads take it to record their exit).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ReplSender::Stats ReplSender::stats() const {
+  Stats s;
+  s.records_sent = records_sent_.load(std::memory_order_relaxed);
+  s.snapshots_sent = snapshots_sent_.load(std::memory_order_relaxed);
+  s.divergences = divergences_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.min_acked_gen = ~0ull;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  s.last_conn_error = last_conn_error_;
+  for (const auto& conn : conns_) {
+    if (conn->done.load(std::memory_order_acquire)) continue;
+    if (!conn->active.load(std::memory_order_acquire)) continue;
+    ++s.followers;
+    uint64_t acked = conn->acked_gen.load(std::memory_order_acquire);
+    if (acked < s.min_acked_gen) s.min_acked_gen = acked;
+  }
+  return s;
+}
+
+void ReplSender::ReapFinished() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReplSender::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EBADF || errno == EINVAL) break;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    ReapFinished();
+    size_t live = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      live = conns_.size();
+    }
+    if (options_.max_followers != 0 && live >= options_.max_followers) {
+      SendTypedError(fd, StatusCode::kResourceExhausted,
+                     "follower limit of " +
+                         std::to_string(options_.max_followers) +
+                         " reached; retry later");
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<FollowerConn>();
+    conn->fd = fd;
+    FollowerConn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+      raw->thread = std::thread([this, raw] { FollowerLoop(raw); });
+    }
+  }
+}
+
+Status ReplSender::SendFrame(int fd, std::vector<char> frame) {
+  uint64_t idx = frames_sent_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const LinkFaultSchedule& faults = options_.faults;
+  if (faults.drop_after_frames != 0 && idx == faults.drop_after_frames) {
+    return Status::Unavailable("link fault: dropped frame #" +
+                               std::to_string(idx));
+  }
+  if (faults.garble_frame != 0 && idx == faults.garble_frame &&
+      !frame.empty()) {
+    // Flip one payload bit mid-frame: the framing survives, so corruption
+    // must be caught by the follower's manifest-chain check, not by luck.
+    frame[frame.size() / 2] ^= 0x40;
+  }
+  if (faults.short_frame != 0 && idx == faults.short_frame) {
+    std::vector<char> half(frame.begin(), frame.begin() + frame.size() / 2);
+    (void)WriteAll(fd, half);
+    return Status::Unavailable("link fault: short transfer on frame #" +
+                               std::to_string(idx));
+  }
+  return WriteAll(fd, frame);
+}
+
+void ReplSender::SendTypedError(int fd, StatusCode code,
+                                const std::string& message) {
+  ErrorResponse err;
+  err.request_id = 0;
+  err.status_code = static_cast<uint32_t>(code);
+  err.message = message;
+  (void)SendFrame(fd, EncodeError(err));
+}
+
+Status ReplSender::ShipSnapshot(int fd, FrameDecoder* dec, uint64_t* pos,
+                                uint32_t* pos_manifest) {
+  // One low-water bound on the database: concurrent ships serialize here so
+  // EndFileSnapshot never lifts a bound another ship still depends on.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  PRIX_ASSIGN_OR_RETURN(Database::FileSnapshot snap, db_->BeginFileSnapshot());
+  Status send_st = [&]() -> Status {
+    uint32_t seq = 0;
+    std::vector<char> chunk;
+    chunk.reserve(options_.snapshot_chunk_bytes);
+    auto flush = [&](bool last) -> Status {
+      ReplSnapshotFrame f;
+      f.snapshot_gen = snap.gen;
+      f.manifest = snap.manifest;
+      f.seq = seq++;
+      f.last = last ? 1 : 0;
+      f.chunk = std::move(chunk);
+      chunk.clear();
+      chunk.reserve(options_.snapshot_chunk_bytes);
+      return SendFrame(fd, EncodeReplSnapshot(f));
+    };
+    auto append = [&](const char* data, size_t n) -> Status {
+      while (n > 0) {
+        size_t room = options_.snapshot_chunk_bytes - chunk.size();
+        size_t take = n < room ? n : room;
+        chunk.insert(chunk.end(), data, data + take);
+        data += take;
+        n -= take;
+        if (chunk.size() == options_.snapshot_chunk_bytes) {
+          PRIX_RETURN_NOT_OK(flush(false));
+        }
+      }
+      return Status::OK();
+    };
+    // The snapshot's byte stream is the database file at snap.gen: the two
+    // header pages captured under the commit lock, then every data page.
+    // Pages >= 2 are safe to read lock-free — COW never overwrites a
+    // committed page and the low-water bound blocks reuse of freed ones.
+    PRIX_RETURN_NOT_OK(
+        append(snap.header_pages.data(), snap.header_pages.size()));
+    std::vector<char> page(kPageSize);
+    for (uint32_t p = 2; p < snap.num_pages; ++p) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("sender shutting down");
+      }
+      PRIX_RETURN_NOT_OK(db_->disk()->ReadPage(p, page.data()));
+      PRIX_RETURN_NOT_OK(append(page.data(), kPageSize));
+    }
+    return flush(true);  // always sends a final frame, even an empty one
+  }();
+  db_->EndFileSnapshot();
+  PRIX_RETURN_NOT_OK(send_st);
+
+  PRIX_ASSIGN_OR_RETURN(
+      std::optional<Frame> got,
+      ReadFrame(fd, dec, options_.ack_timeout_ms, &stop_));
+  if (!got) {
+    return Status::Unavailable("follower closed during snapshot install");
+  }
+  if (got->type != FrameType::kReplAck) {
+    return Status::InvalidArgument("expected kReplAck after snapshot, got " +
+                                   std::to_string(static_cast<int>(got->type)));
+  }
+  PRIX_ASSIGN_OR_RETURN(ReplAck ack, DecodeReplAck(*got));
+  if (ack.applied_gen != snap.gen || ack.manifest != snap.manifest) {
+    divergences_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition(
+        "follower acked snapshot at gen " + std::to_string(ack.applied_gen) +
+        " but the shipped snapshot was gen " + std::to_string(snap.gen));
+  }
+  *pos = snap.gen;
+  *pos_manifest = snap.manifest;
+  snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ReplSender::FollowerLoop(FollowerConn* conn) {
+  FrameDecoder dec;
+  uint64_t pos = 0;
+  uint32_t pos_manifest = 0;
+  const int fd = conn->fd;
+
+  auto run = [&]() -> Status {
+    PRIX_ASSIGN_OR_RETURN(
+        std::optional<Frame> got,
+        ReadFrame(fd, &dec, options_.hello_timeout_ms, &stop_));
+    if (!got) return Status::Unavailable("follower closed before hello");
+    if (got->type != FrameType::kReplHello) {
+      SendTypedError(fd, StatusCode::kInvalidArgument,
+                     "expected kReplHello as the first frame");
+      return Status::InvalidArgument("first frame was not kReplHello");
+    }
+    PRIX_ASSIGN_OR_RETURN(ReplHello hello, DecodeReplHello(*got));
+    pos = hello.cursor_gen;
+    pos_manifest = hello.cursor_manifest;
+    conn->acked_gen.store(pos, std::memory_order_release);
+    conn->active.store(true, std::memory_order_release);
+
+    bool need_snapshot = hello.want_snapshot != 0;
+    if (!need_snapshot) {
+      Result<uint32_t> manifest = db_->oplog()->ManifestAt(hello.cursor_gen);
+      if (!manifest.ok()) {
+        // Cursor outside the oplog's tail: the follower lags a rebased log
+        // (or claims a future generation). Typed error, then fall back to a
+        // full snapshot on the same connection.
+        SendTypedError(fd, StatusCode::kOutOfRange,
+                       "cursor gen " + std::to_string(hello.cursor_gen) +
+                           " is outside the oplog tail [" +
+                           std::to_string(db_->oplog()->base_gen()) + ", " +
+                           std::to_string(db_->oplog()->last_gen()) +
+                           "]; shipping snapshot");
+        need_snapshot = true;
+      } else if (*manifest != hello.cursor_manifest) {
+        divergences_.fetch_add(1, std::memory_order_relaxed);
+        SendTypedError(fd, StatusCode::kFailedPrecondition,
+                       "manifest mismatch at gen " +
+                           std::to_string(hello.cursor_gen) +
+                           ": histories have diverged; shipping snapshot");
+        need_snapshot = true;
+      }
+    }
+    if (need_snapshot) {
+      PRIX_RETURN_NOT_OK(ShipSnapshot(fd, &dec, &pos, &pos_manifest));
+      conn->acked_gen.store(pos, std::memory_order_release);
+    }
+
+    while (!stop_.load(std::memory_order_acquire)) {
+      OpLog* log = db_->oplog();
+      if (pos >= log->last_gen()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.poll_interval_ms));
+        continue;
+      }
+      Result<OpRecord> rec = log->RecordAt(pos + 1);
+      if (!rec.ok()) {
+        if (rec.status().code() == StatusCode::kOutOfRange) {
+          // The oplog rebased past this follower while it streamed (bounded
+          // tail): fall back to a snapshot instead of stalling forever.
+          PRIX_RETURN_NOT_OK(ShipSnapshot(fd, &dec, &pos, &pos_manifest));
+          conn->acked_gen.store(pos, std::memory_order_release);
+          continue;
+        }
+        return rec.status();
+      }
+      ReplRecordFrame frame;
+      frame.gen = rec->gen;
+      frame.manifest = rec->manifest;
+      frame.op_kind = static_cast<uint8_t>(rec->kind);
+      frame.leader_gen = db_->catalog_generation();
+      frame.payload = std::move(rec->payload);
+      PRIX_RETURN_NOT_OK(SendFrame(fd, EncodeReplRecord(frame)));
+
+      PRIX_ASSIGN_OR_RETURN(
+          std::optional<Frame> ack_frame,
+          ReadFrame(fd, &dec, options_.ack_timeout_ms, &stop_));
+      if (!ack_frame) {
+        return Status::Unavailable("follower closed awaiting ack");
+      }
+      if (ack_frame->type != FrameType::kReplAck) {
+        return Status::InvalidArgument(
+            "expected kReplAck, got frame type " +
+            std::to_string(static_cast<int>(ack_frame->type)));
+      }
+      PRIX_ASSIGN_OR_RETURN(ReplAck ack, DecodeReplAck(*ack_frame));
+      if (ack.applied_gen != frame.gen || ack.manifest != frame.manifest) {
+        // The follower applied something other than what we sent: diverged.
+        divergences_.fetch_add(1, std::memory_order_relaxed);
+        SendTypedError(fd, StatusCode::kFailedPrecondition,
+                       "ack for gen " + std::to_string(ack.applied_gen) +
+                           " does not match shipped gen " +
+                           std::to_string(frame.gen) + "; shipping snapshot");
+        PRIX_RETURN_NOT_OK(ShipSnapshot(fd, &dec, &pos, &pos_manifest));
+      } else {
+        pos = frame.gen;
+        pos_manifest = frame.manifest;
+        records_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+      conn->acked_gen.store(pos, std::memory_order_release);
+    }
+    return Status::Unavailable("sender shutting down");
+  };
+
+  Status st = run();
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    last_conn_error_ = st.ToString();
+  }
+  conn->active.store(false, std::memory_order_release);
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace prix

@@ -1,0 +1,128 @@
+#ifndef PRIX_REPL_SENDER_H_
+#define PRIX_REPL_SENDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "serve/wire.h"
+
+namespace prix {
+
+/// Test-only link-fault schedule applied to the sender's outgoing frames
+/// (counted globally across all follower connections, 1-based). Each
+/// trigger fires exactly once; after it the link behaves normally again,
+/// so a reconnecting follower always reconverges.
+struct LinkFaultSchedule {
+  uint64_t drop_after_frames = 0;  ///< close the link INSTEAD of frame #N
+  uint64_t garble_frame = 0;       ///< flip one byte inside frame #N
+  uint64_t short_frame = 0;        ///< send only half of frame #N, then close
+};
+
+struct ReplSenderOptions {
+  /// TCP port on 127.0.0.1; 0 asks the kernel (read back via port()).
+  uint16_t port = 0;
+  uint32_t hello_timeout_ms = 10'000;
+  uint32_t ack_timeout_ms = 10'000;
+  /// Snapshot ship chunk size; must leave frame headroom under
+  /// kMaxFrameBody. 256 KiB = 32 pages per frame.
+  size_t snapshot_chunk_bytes = 256u << 10;
+  /// Follower connections beyond this are refused with a typed error.
+  size_t max_followers = 4;
+  /// How often a caught-up follower connection re-checks the oplog tail.
+  uint32_t poll_interval_ms = 20;
+  LinkFaultSchedule faults;
+};
+
+/// The leader half of streaming replication (DESIGN.md §5l): accepts
+/// follower connections on its own port, validates each follower's hello
+/// cursor against the oplog manifest chain, and streams committed records
+/// in lockstep (one record, one ack). A cursor outside the oplog's range
+/// (follower too far behind a rebased log, or ahead of us) or a manifest
+/// mismatch (true divergence) gets a typed kError frame followed by a full
+/// file snapshot on the same connection; streaming resumes from the
+/// snapshot generation. The oplog itself is the bounded catch-up tail — it
+/// lives on disk, so a lagging follower costs no leader memory, and one
+/// that falls off the tail's base falls back to snapshot ship.
+class ReplSender {
+ public:
+  struct Stats {
+    uint64_t followers = 0;       ///< currently connected
+    uint64_t records_sent = 0;    ///< acked records
+    uint64_t snapshots_sent = 0;  ///< full snapshot ships completed
+    uint64_t divergences = 0;     ///< manifest mismatches detected
+    uint64_t frames_sent = 0;
+    /// Smallest acked generation across live followers (UINT64_MAX when
+    /// none are connected).
+    uint64_t min_acked_gen = 0;
+    /// Why the most recently finished follower connection ended (empty
+    /// until one has). Diagnostic only — benign disconnects land here too.
+    std::string last_conn_error;
+  };
+
+  /// Binds, listens, and starts accepting followers. `db` must outlive the
+  /// sender.
+  static Result<std::unique_ptr<ReplSender>> Start(
+      Database* db, const ReplSenderOptions& options);
+
+  ~ReplSender();
+  ReplSender(const ReplSender&) = delete;
+  ReplSender& operator=(const ReplSender&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, disconnects followers, joins all threads. Idempotent.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  struct FollowerConn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> acked_gen{0};
+    std::atomic<bool> active{false};  ///< past hello, streaming
+  };
+
+  ReplSender(Database* db, const ReplSenderOptions& options);
+
+  void AcceptLoop();
+  void FollowerLoop(FollowerConn* conn);
+  /// Sends one frame through the fault schedule; a scheduled drop/short
+  /// returns Unavailable so the caller tears the connection down.
+  Status SendFrame(int fd, std::vector<char> frame);
+  void SendTypedError(int fd, StatusCode code, const std::string& message);
+  /// Ships a full file snapshot and, on ack, rewinds the stream position to
+  /// the snapshot generation. Ships serialize on snapshot_mu_ (one
+  /// low-water bound).
+  Status ShipSnapshot(int fd, FrameDecoder* dec, uint64_t* pos,
+                      uint32_t* pos_manifest);
+  void ReapFinished();
+
+  Database* db_;
+  ReplSenderOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::list<std::unique_ptr<FollowerConn>> conns_;
+  std::string last_conn_error_;  ///< guarded by conns_mu_
+  std::mutex snapshot_mu_;
+
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> records_sent_{0};
+  std::atomic<uint64_t> snapshots_sent_{0};
+  std::atomic<uint64_t> divergences_{0};
+};
+
+}  // namespace prix
+
+#endif  // PRIX_REPL_SENDER_H_

@@ -276,11 +276,20 @@ void Server::UnregisterExecuting(Conn* conn) {
 void Server::ConnectionLoop(Conn* conn) {
   FrameDecoder dec;
   while (true) {
-    auto got = ReadFrame(conn->fd, &dec, options_.idle_timeout_ms, &draining_);
+    auto got = ReadFrame(conn->fd, &dec, options_.idle_timeout_ms, &draining_,
+                         options_.idle_conn_timeout_ms);
     if (!got.ok()) {
       // Malformed stream, idle timeout, or shutdown: answer with a typed
       // error when the peer may still be listening, then hang up (framing
-      // cannot resync after garbage).
+      // cannot resync after garbage). A DeadlineExceeded with no frame
+      // bytes buffered is the idle-connection reaper (silence between
+      // frames), not a slowloris kill — count it so operators can see
+      // abandoned clients being recycled.
+      if (got.status().IsDeadlineExceeded() && dec.buffered() == 0 &&
+          options_.idle_conn_timeout_ms != 0) {
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        if (reg.enabled()) reg.counter("prix.serve.conns_reaped").Add(1);
+      }
       if (!got.status().IsUnavailable()) {
         ErrorResponse err;
         err.request_id = 0;

@@ -42,6 +42,15 @@ struct ServerOptions {
   /// is per frame, not per byte — drip-feeding cannot extend it.
   uint32_t idle_timeout_ms = 10'000;
 
+  /// Idle-connection reaper: a connection that completes a frame and then
+  /// goes silent — no bytes at all — is allowed this much quiet before it
+  /// is closed with a typed DeadlineExceeded and counted in
+  /// `prix.serve.conns_reaped`. Bounds how long an abandoned client can
+  /// pin a connection thread between requests (the per-frame clock above
+  /// only governs a frame in flight). 0 disables reaping, collapsing both
+  /// bounds back into idle_timeout_ms.
+  uint32_t idle_conn_timeout_ms = 60'000;
+
   /// Cap on simultaneously open connections (thread-per-connection means
   /// this also caps connection threads). An accept beyond the cap is
   /// answered with a typed ResourceExhausted error and closed immediately,

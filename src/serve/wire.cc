@@ -19,7 +19,7 @@ constexpr size_t kFrameHeaderBytes = 4;  // the u32 body length
 
 bool ValidFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kQuery) &&
-         t <= static_cast<uint8_t>(FrameType::kPong);
+         t <= static_cast<uint8_t>(FrameType::kReplAck);
 }
 
 /// Bounds-checked payload cursor: every Get* verifies the bytes are present
@@ -55,6 +55,13 @@ class Cursor {
     std::string s(p_, len);
     p_ += len;
     return s;
+  }
+
+  Result<std::vector<char>> Blob(uint32_t len, const char* field) {
+    PRIX_RETURN_NOT_OK(Need(len, field));
+    std::vector<char> v(p_, p_ + len);
+    p_ += len;
+    return v;
   }
 
   Status ExpectEnd(const char* what) {
@@ -290,6 +297,101 @@ Result<ShedResponse> DecodeShed(const Frame& frame) {
   return resp;
 }
 
+std::vector<char> EncodeReplHello(const ReplHello& hello) {
+  std::vector<char> payload;
+  PutU64(&payload, hello.cursor_gen);
+  PutU32(&payload, hello.cursor_manifest);
+  payload.push_back(static_cast<char>(hello.want_snapshot));
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kReplHello, payload);
+  return out;
+}
+
+std::vector<char> EncodeReplRecord(const ReplRecordFrame& rec) {
+  std::vector<char> payload;
+  PutU64(&payload, rec.gen);
+  PutU32(&payload, rec.manifest);
+  payload.push_back(static_cast<char>(rec.op_kind));
+  PutU64(&payload, rec.leader_gen);
+  PutU32(&payload, static_cast<uint32_t>(rec.payload.size()));
+  payload.insert(payload.end(), rec.payload.begin(), rec.payload.end());
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kReplRecord, payload);
+  return out;
+}
+
+std::vector<char> EncodeReplSnapshot(const ReplSnapshotFrame& snap) {
+  std::vector<char> payload;
+  PutU64(&payload, snap.snapshot_gen);
+  PutU32(&payload, snap.manifest);
+  PutU32(&payload, snap.seq);
+  payload.push_back(static_cast<char>(snap.last));
+  PutU32(&payload, static_cast<uint32_t>(snap.chunk.size()));
+  payload.insert(payload.end(), snap.chunk.begin(), snap.chunk.end());
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kReplSnapshot, payload);
+  return out;
+}
+
+std::vector<char> EncodeReplAck(const ReplAck& ack) {
+  std::vector<char> payload;
+  PutU64(&payload, ack.applied_gen);
+  PutU32(&payload, ack.manifest);
+  std::vector<char> out;
+  AppendFrame(&out, FrameType::kReplAck, payload);
+  return out;
+}
+
+Result<ReplHello> DecodeReplHello(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(CheckType(frame, FrameType::kReplHello, "repl-hello"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  ReplHello hello;
+  PRIX_ASSIGN_OR_RETURN(hello.cursor_gen, c.U64("cursor_gen"));
+  PRIX_ASSIGN_OR_RETURN(hello.cursor_manifest, c.U32("cursor_manifest"));
+  PRIX_ASSIGN_OR_RETURN(hello.want_snapshot, c.U8("want_snapshot flag"));
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("repl-hello"));
+  return hello;
+}
+
+Result<ReplRecordFrame> DecodeReplRecord(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(CheckType(frame, FrameType::kReplRecord, "repl-record"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  ReplRecordFrame rec;
+  PRIX_ASSIGN_OR_RETURN(rec.gen, c.U64("record gen"));
+  PRIX_ASSIGN_OR_RETURN(rec.manifest, c.U32("record manifest"));
+  PRIX_ASSIGN_OR_RETURN(rec.op_kind, c.U8("op kind"));
+  PRIX_ASSIGN_OR_RETURN(rec.leader_gen, c.U64("leader_gen"));
+  PRIX_ASSIGN_OR_RETURN(uint32_t len, c.U32("payload length"));
+  PRIX_ASSIGN_OR_RETURN(rec.payload, c.Blob(len, "record payload"));
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("repl-record"));
+  return rec;
+}
+
+Result<ReplSnapshotFrame> DecodeReplSnapshot(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(
+      CheckType(frame, FrameType::kReplSnapshot, "repl-snapshot"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  ReplSnapshotFrame snap;
+  PRIX_ASSIGN_OR_RETURN(snap.snapshot_gen, c.U64("snapshot gen"));
+  PRIX_ASSIGN_OR_RETURN(snap.manifest, c.U32("snapshot manifest"));
+  PRIX_ASSIGN_OR_RETURN(snap.seq, c.U32("chunk seq"));
+  PRIX_ASSIGN_OR_RETURN(snap.last, c.U8("last flag"));
+  PRIX_ASSIGN_OR_RETURN(uint32_t len, c.U32("chunk length"));
+  PRIX_ASSIGN_OR_RETURN(snap.chunk, c.Blob(len, "chunk bytes"));
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("repl-snapshot"));
+  return snap;
+}
+
+Result<ReplAck> DecodeReplAck(const Frame& frame) {
+  PRIX_RETURN_NOT_OK(CheckType(frame, FrameType::kReplAck, "repl-ack"));
+  Cursor c(frame.payload.data(), frame.payload.size());
+  ReplAck ack;
+  PRIX_ASSIGN_OR_RETURN(ack.applied_gen, c.U64("applied_gen"));
+  PRIX_ASSIGN_OR_RETURN(ack.manifest, c.U32("ack manifest"));
+  PRIX_RETURN_NOT_OK(c.ExpectEnd("repl-ack"));
+  return ack;
+}
+
 uint64_t PeekRequestId(const Frame& frame) {
   if (frame.payload.size() < 8) return 0;
   return GetU64(frame.payload.data());
@@ -313,15 +415,41 @@ Status WriteAll(int fd, const std::vector<char>& data) {
 
 Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
                                        uint32_t idle_timeout_ms,
-                                       const std::atomic<bool>* stop) {
+                                       const std::atomic<bool>* stop,
+                                       uint32_t conn_idle_timeout_ms) {
   // Drain anything already buffered (pipelined frames) before touching the
   // socket again.
   PRIX_ASSIGN_OR_RETURN(std::optional<Frame> ready, dec->Next());
   if (ready.has_value()) return ready;
+  // Two clocks (see wire.h). `frame_started` tracks whether any byte of the
+  // awaited frame has arrived: until then the (longer) connection-idle
+  // clock governs, if enabled; from the first byte the per-frame slowloris
+  // clock governs, re-armed at that moment.
+  bool frame_started = dec->buffered() > 0;
   uint64_t idle_deadline =
       idle_timeout_ms == 0
           ? 0
           : Deadline::NowMicros() + uint64_t{idle_timeout_ms} * 1000;
+  uint64_t conn_deadline =
+      conn_idle_timeout_ms == 0
+          ? 0
+          : Deadline::NowMicros() + uint64_t{conn_idle_timeout_ms} * 1000;
+  auto idle_status = [&]() -> Status {
+    if (!frame_started && conn_deadline != 0) {
+      return Status::DeadlineExceeded(
+          "connection idle: no frame started within " +
+          std::to_string(conn_idle_timeout_ms) + " ms");
+    }
+    return Status::DeadlineExceeded(
+        dec->buffered() > 0
+            ? "idle timeout mid-frame (" + std::to_string(dec->buffered()) +
+                  " bytes buffered)"
+            : "idle timeout awaiting a frame");
+  };
+  auto idle_expired = [&](uint64_t now) {
+    if (!frame_started && conn_deadline != 0) return now >= conn_deadline;
+    return idle_deadline != 0 && now >= idle_deadline;
+  };
   char chunk[16 * 1024];
   while (true) {
     // Poll in short slices so a drain request is observed promptly even on
@@ -339,15 +467,9 @@ Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
       return Status::Unavailable("shutting down");
     }
     if (rc == 0) {
-      if (idle_deadline != 0 && Deadline::NowMicros() >= idle_deadline) {
-        // The slowloris guard: a peer holding a frame open (or just its
-        // length prefix) may not pin this connection's thread forever.
-        return Status::DeadlineExceeded(
-            dec->buffered() > 0
-                ? "idle timeout mid-frame (" +
-                      std::to_string(dec->buffered()) + " bytes buffered)"
-                : "idle timeout awaiting a frame");
-      }
+      // The slowloris / connection-idle guard: a peer holding a frame open
+      // (or just a silent connection) may not pin this thread forever.
+      if (idle_expired(Deadline::NowMicros())) return idle_status();
       continue;
     }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -367,16 +489,21 @@ Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
       return std::optional<Frame>();  // clean EOF between frames
     }
     dec->Feed(chunk, static_cast<size_t>(n));
+    if (!frame_started) {
+      // First byte of the frame: the per-frame clock takes over, armed now.
+      frame_started = true;
+      if (idle_timeout_ms != 0 && conn_idle_timeout_ms != 0) {
+        idle_deadline =
+            Deadline::NowMicros() + uint64_t{idle_timeout_ms} * 1000;
+      }
+    }
     PRIX_ASSIGN_OR_RETURN(std::optional<Frame> frame, dec->Next());
     if (frame.has_value()) return frame;
-    // Deliberately NOT resetting idle_deadline here: the timeout bounds the
-    // time to deliver one whole frame, so a peer dripping a byte every few
-    // ms cannot keep this call (and its connection thread) alive forever.
-    if (idle_deadline != 0 && Deadline::NowMicros() >= idle_deadline) {
-      return Status::DeadlineExceeded(
-          "idle timeout mid-frame (" + std::to_string(dec->buffered()) +
-          " bytes buffered)");
-    }
+    // Deliberately NOT resetting idle_deadline on later bytes: the timeout
+    // bounds the time to deliver one whole frame, so a peer dripping a byte
+    // at a time cannot keep this call (and its connection thread) alive
+    // forever.
+    if (idle_expired(Deadline::NowMicros())) return idle_status();
   }
 }
 

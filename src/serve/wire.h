@@ -30,6 +30,17 @@ namespace prix {
 //   kPing   (client->server)  arbitrary payload, echoed back
 //   kPong   (server->client)  the kPing payload
 //
+// Replication frames (DESIGN.md §5l) ride the same framing with the same
+// hostile-peer discipline:
+//
+//   kReplHello    (follower->leader)  u64 cursor_gen | u32 cursor_manifest |
+//                                     u8 want_snapshot
+//   kReplRecord   (leader->follower)  u64 gen | u32 manifest | u8 op_kind |
+//                                     u64 leader_gen | u32 len | payload
+//   kReplSnapshot (leader->follower)  u64 snapshot_gen | u32 manifest |
+//                                     u32 seq | u8 last | u32 len | chunk
+//   kReplAck      (follower->leader)  u64 applied_gen | u32 manifest
+//
 // The decoder assumes the peer is hostile: a declared body length is
 // validated against kMaxFrameBody BEFORE any allocation, field counts are
 // validated against the bytes actually present before any reserve, and
@@ -43,6 +54,10 @@ enum class FrameType : uint8_t {
   kShed = 4,
   kPing = 5,
   kPong = 6,
+  kReplHello = 7,
+  kReplRecord = 8,
+  kReplSnapshot = 9,
+  kReplAck = 10,
 };
 
 /// Largest accepted frame body (type byte + payload). A batch of Table-3
@@ -125,10 +140,54 @@ struct ShedResponse {
   std::string message;
 };
 
+/// Follower's opening frame: the leader position it has applied through.
+/// `want_snapshot` forces a full-file resync regardless of the cursor (the
+/// recovery move after detected divergence or a barrier record).
+struct ReplHello {
+  uint64_t cursor_gen = 0;
+  uint32_t cursor_manifest = 0;
+  uint8_t want_snapshot = 0;
+};
+
+/// One shipped oplog record. `op_kind` stays a raw byte at the wire layer
+/// (the repl apply layer validates it — an unknown kind is divergence, not
+/// a framing error). `leader_gen` is the leader's committed generation at
+/// send time, so the follower can report its lag in generations.
+struct ReplRecordFrame {
+  uint64_t gen = 0;
+  uint32_t manifest = 0;
+  uint8_t op_kind = 0;
+  uint64_t leader_gen = 0;
+  std::vector<char> payload;
+};
+
+/// One chunk of a full-file snapshot ship. Chunks arrive in `seq` order;
+/// `last` marks the final one. The gen/manifest fields repeat on every
+/// chunk so a follower can sanity-check mid-stream.
+struct ReplSnapshotFrame {
+  uint64_t snapshot_gen = 0;
+  uint32_t manifest = 0;
+  uint32_t seq = 0;
+  uint8_t last = 0;
+  std::vector<char> chunk;
+};
+
+/// Follower's acknowledgment of an applied record (or installed snapshot):
+/// its new cursor. The leader verifies the manifest echoes what it sent —
+/// a mismatch is divergence detected at the leader.
+struct ReplAck {
+  uint64_t applied_gen = 0;
+  uint32_t manifest = 0;
+};
+
 std::vector<char> EncodeQuery(const QueryRequest& req);
 std::vector<char> EncodeResult(const QueryResponse& resp);
 std::vector<char> EncodeError(const ErrorResponse& resp);
 std::vector<char> EncodeShed(const ShedResponse& resp);
+std::vector<char> EncodeReplHello(const ReplHello& hello);
+std::vector<char> EncodeReplRecord(const ReplRecordFrame& rec);
+std::vector<char> EncodeReplSnapshot(const ReplSnapshotFrame& snap);
+std::vector<char> EncodeReplAck(const ReplAck& ack);
 
 /// Exact payload size EncodeResult would produce. Result size is driven by
 /// query selectivity and batch size — which a hostile batch controls — so
@@ -143,6 +202,10 @@ Result<QueryRequest> DecodeQuery(const Frame& frame);
 Result<QueryResponse> DecodeResult(const Frame& frame);
 Result<ErrorResponse> DecodeError(const Frame& frame);
 Result<ShedResponse> DecodeShed(const Frame& frame);
+Result<ReplHello> DecodeReplHello(const Frame& frame);
+Result<ReplRecordFrame> DecodeReplRecord(const Frame& frame);
+Result<ReplSnapshotFrame> DecodeReplSnapshot(const Frame& frame);
+Result<ReplAck> DecodeReplAck(const Frame& frame);
 
 /// Best-effort request id of a frame whose full decode failed (the first
 /// payload field of every typed frame), so error replies can still name
@@ -165,9 +228,20 @@ Status WriteAll(int fd, const std::vector<char>& data);
 /// thread) open past the timeout — and Unavailable for socket errors.
 /// `stop`, when non-null, makes the poll loop return
 /// Unavailable("shutting down") promptly after it turns true.
+///
+/// `conn_idle_timeout_ms`, when nonzero, splits the clock in two: silence
+/// BEFORE the first byte of a frame arrives is allowed to last that long
+/// (the connection-idle bound — typically much longer than the per-frame
+/// bound), and `idle_timeout_ms` is re-armed from the moment the first
+/// frame byte lands, bounding only the frame's delivery. A caller can tell
+/// the two timeouts apart without parsing messages: a connection-idle reap
+/// returns DeadlineExceeded with dec->buffered() == 0 (no frame bytes ever
+/// arrived), a slowloris kill with bytes buffered. With 0 the behavior is
+/// exactly the legacy single clock armed at entry.
 Result<std::optional<Frame>> ReadFrame(int fd, FrameDecoder* dec,
                                        uint32_t idle_timeout_ms,
-                                       const std::atomic<bool>* stop = nullptr);
+                                       const std::atomic<bool>* stop = nullptr,
+                                       uint32_t conn_idle_timeout_ms = 0);
 
 }  // namespace prix
 

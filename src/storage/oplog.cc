@@ -1,0 +1,429 @@
+#include "storage/oplog.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/build_info.h"
+#include "common/crc32c.h"
+#include "common/macros.h"
+#include "storage/record_store.h"
+
+namespace prix {
+
+namespace {
+
+constexpr uint32_t kOpLogMagic = 0x504c4f47;  // "PLOG"
+constexpr uint32_t kOpLogVersion = kOpLogFormatVersion;
+/// magic + version + base_gen + base_manifest + header crc.
+constexpr size_t kOpLogHeaderBytes = 4 + 4 + 8 + 4 + 4;
+/// gen + kind + manifest, preceding the payload inside a record body.
+constexpr size_t kRecordFixedBytes = 8 + 1 + 4;
+
+bool ValidOpKind(uint8_t k) {
+  return k <= static_cast<uint8_t>(OpKind::kDrop);
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNoop: return "noop";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kDelete: return "delete";
+    case OpKind::kPutBlob: return "put-blob";
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+uint32_t OpLog::ChainManifest(uint32_t prev, uint64_t gen, OpKind kind,
+                              const char* payload, size_t len) {
+  char fixed[9];
+  for (int i = 0; i < 8; ++i) {
+    fixed[i] = static_cast<char>(gen >> (8 * i));
+  }
+  fixed[8] = static_cast<char>(kind);
+  uint32_t m = Crc32cExtend(prev, fixed, sizeof(fixed));
+  return Crc32cExtend(m, payload, len);
+}
+
+OpLog::~OpLog() {
+  Status st = Close();
+  if (!st.ok()) {
+    // Destruction cannot report; the next Open re-validates the tail anyway.
+    (void)st;
+  }
+}
+
+Status OpLog::WriteBytesLocked(uint64_t offset, const char* data,
+                               size_t len) {
+  if (injector_ != nullptr) {
+    FaultInjector::Action a =
+        injector_->OnAttempt(FaultInjector::Op::kWrite, offset, 0);
+    switch (a.kind) {
+      case FaultInjector::Action::Kind::kProceed:
+      case FaultInjector::Action::Kind::kShortIo:
+        break;  // short transfers are resumed by the loop below anyway
+      case FaultInjector::Action::Kind::kError:
+        errno = a.err;
+        return ErrnoStatus("oplog write (injected)");
+      case FaultInjector::Action::Kind::kCrash:
+        // The injector applies the triggering write's fate (complete, torn,
+        // dropped) and truncates to a crash length itself; everything
+        // un-synced past the last fsync may be lost, which is exactly what
+        // the Open-time scan must tolerate.
+        return injector_->ExecuteCrash(offset, data, len);
+    }
+  }
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd_, data + done, len - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("oplog write");
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (injector_ != nullptr) injector_->OnFileGrown(offset + len);
+  return Status::OK();
+}
+
+Status OpLog::SyncLocked() {
+  if (injector_ != nullptr) {
+    FaultInjector::Action a =
+        injector_->OnAttempt(FaultInjector::Op::kSync, 0, 0);
+    switch (a.kind) {
+      case FaultInjector::Action::Kind::kProceed:
+      case FaultInjector::Action::Kind::kShortIo:
+        break;
+      case FaultInjector::Action::Kind::kError:
+        errno = a.err;
+        return ErrnoStatus("oplog fdatasync (injected)");
+      case FaultInjector::Action::Kind::kCrash:
+        return injector_->ExecuteCrash(0, nullptr, 0);
+    }
+  }
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("oplog fdatasync");
+  if (injector_ != nullptr) injector_->OnSyncSucceeded(file_size_);
+  return Status::OK();
+}
+
+Status OpLog::RebaseLocked(uint64_t committed_gen) {
+  if (::ftruncate(fd_, 0) != 0) return ErrnoStatus("oplog rebase truncate");
+  base_gen_ = committed_gen;
+  base_manifest_ = 0;
+  slots_.clear();
+  file_size_ = 0;
+  std::vector<char> header;
+  header.reserve(kOpLogHeaderBytes);
+  PutU32(&header, kOpLogMagic);
+  PutU32(&header, kOpLogVersion);
+  PutU64(&header, base_gen_);
+  PutU32(&header, base_manifest_);
+  PutU32(&header, Crc32c(header.data(), header.size()));
+  PRIX_CHECK(header.size() == kOpLogHeaderBytes);
+  PRIX_RETURN_NOT_OK(WriteBytesLocked(0, header.data(), header.size()));
+  file_size_ = header.size();
+  return SyncLocked();
+}
+
+Status OpLog::ScanLocked(uint64_t file_size) {
+  // Walk the records, stopping (and truncating) at the first byte that does
+  // not validate: a torn tail from a crash mid-append is the expected case.
+  uint64_t off = kOpLogHeaderBytes;
+  uint64_t good_end = off;
+  uint64_t next_gen = base_gen_ + 1;
+  uint32_t prev_manifest = base_manifest_;
+  std::vector<char> body;
+  while (off + 8 <= file_size) {
+    char prefix[8];
+    ssize_t n = ::pread(fd_, prefix, sizeof(prefix), static_cast<off_t>(off));
+    if (n != static_cast<ssize_t>(sizeof(prefix))) break;
+    uint32_t body_len = GetU32(prefix);
+    uint32_t crc = GetU32(prefix + 4);
+    if (body_len < kRecordFixedBytes ||
+        body_len > kRecordFixedBytes + kMaxPayload) {
+      break;
+    }
+    if (off + 8 + body_len > file_size) break;
+    body.resize(body_len);
+    n = ::pread(fd_, body.data(), body_len, static_cast<off_t>(off + 8));
+    if (n != static_cast<ssize_t>(body_len)) break;
+    if (Crc32c(body.data(), body_len) != crc) break;
+    const char* p = body.data();
+    uint64_t gen = GetU64(p);
+    p += 8;
+    uint8_t kind = static_cast<uint8_t>(*p++);
+    uint32_t manifest = GetU32(p);
+    p += 4;
+    if (gen != next_gen || !ValidOpKind(kind)) break;
+    if (ChainManifest(prev_manifest, gen, static_cast<OpKind>(kind),
+                      body.data() + kRecordFixedBytes,
+                      body_len - kRecordFixedBytes) != manifest) {
+      break;
+    }
+    Slot slot;
+    slot.offset = off;
+    slot.body_len = body_len;
+    slot.manifest = manifest;
+    slot.kind = static_cast<OpKind>(kind);
+    slots_.push_back(slot);
+    off += 8 + body_len;
+    good_end = off;
+    ++next_gen;
+    prev_manifest = manifest;
+  }
+  if (good_end < file_size) {
+    if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+      return ErrnoStatus("oplog tail truncate");
+    }
+  }
+  file_size_ = good_end;
+  return Status::OK();
+}
+
+Status OpLog::Open(const std::string& path, uint64_t committed_gen,
+                   bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PRIX_CHECK(fd_ < 0);
+  path_ = path;
+  int flags = O_RDWR | O_CREAT | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    Status err = ErrnoStatus("fstat " + path);
+    ::close(fd_);
+    fd_ = -1;
+    return err;
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (injector_ != nullptr) injector_->AttachFile(fd_, size);
+
+  bool rebase = size < kOpLogHeaderBytes;
+  if (!rebase) {
+    char header[kOpLogHeaderBytes];
+    ssize_t n = ::pread(fd_, header, sizeof(header), 0);
+    rebase = n != static_cast<ssize_t>(sizeof(header)) ||
+             GetU32(header) != kOpLogMagic ||
+             GetU32(header + 4) != kOpLogVersion ||
+             GetU32(header + 20) != Crc32c(header, 20);
+    if (!rebase) {
+      base_gen_ = GetU64(header + 8);
+      base_manifest_ = GetU32(header + 16);
+      slots_.clear();
+      Status scan = ScanLocked(size);
+      if (!scan.ok()) {
+        ::close(fd_);
+        fd_ = -1;
+        return scan;
+      }
+      // A record for a generation past the recovered catalog is a commit
+      // that never flipped its header: trim it, it is not history.
+      while (!slots_.empty() && base_gen_ + slots_.size() > committed_gen) {
+        slots_.pop_back();
+      }
+      uint64_t keep_end = slots_.empty()
+                              ? kOpLogHeaderBytes
+                              : slots_.back().offset + 8 + slots_.back().body_len;
+      if (keep_end < file_size_) {
+        if (::ftruncate(fd_, static_cast<off_t>(keep_end)) != 0) {
+          Status err = ErrnoStatus("oplog trim truncate");
+          ::close(fd_);
+          fd_ = -1;
+          return err;
+        }
+        file_size_ = keep_end;
+      }
+      // The chain must reach the committed generation, or it has a gap
+      // (pre-oplog database, foreign file) and cannot serve anyone.
+      rebase = base_gen_ > committed_gen ||
+               base_gen_ + slots_.size() < committed_gen;
+    }
+  }
+  if (rebase) {
+    Status st_rebase = RebaseLocked(committed_gen);
+    if (!st_rebase.ok()) {
+      ::close(fd_);
+      fd_ = -1;
+      return st_rebase;
+    }
+  }
+  return Status::OK();
+}
+
+Status OpLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::OK();
+  Status st = Status::OK();
+  if (::fdatasync(fd_) != 0) st = ErrnoStatus("oplog close fdatasync");
+  if (::close(fd_) != 0 && st.ok()) st = ErrnoStatus("oplog close");
+  fd_ = -1;
+  if (injector_ != nullptr) injector_->DetachFile();
+  return st;
+}
+
+void OpLog::Abandon() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;
+  (void)::close(fd_);
+  fd_ = -1;
+  if (injector_ != nullptr) injector_->DetachFile();
+}
+
+Status OpLog::Append(uint64_t gen, OpKind kind,
+                     const std::vector<char>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("oplog is not open");
+  if (payload.size() > kMaxPayload) {
+    return Status::ResourceExhausted(
+        "oplog payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxPayload) + "-byte cap");
+  }
+  uint64_t expect = base_gen_ + slots_.size() + 1;
+  if (gen != expect) {
+    return Status::Internal("oplog append at generation " +
+                            std::to_string(gen) + ", expected " +
+                            std::to_string(expect));
+  }
+  uint32_t prev = slots_.empty() ? base_manifest_ : slots_.back().manifest;
+  uint32_t manifest =
+      ChainManifest(prev, gen, kind, payload.data(), payload.size());
+  std::vector<char> frame;
+  frame.reserve(8 + kRecordFixedBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(kRecordFixedBytes + payload.size()));
+  PutU32(&frame, 0);  // crc patched below
+  size_t body_at = frame.size();
+  PutU64(&frame, gen);
+  frame.push_back(static_cast<char>(kind));
+  PutU32(&frame, manifest);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  uint32_t crc = Crc32c(frame.data() + body_at, frame.size() - body_at);
+  frame[4] = static_cast<char>(crc);
+  frame[5] = static_cast<char>(crc >> 8);
+  frame[6] = static_cast<char>(crc >> 16);
+  frame[7] = static_cast<char>(crc >> 24);
+
+  uint64_t off = file_size_;
+  PRIX_RETURN_NOT_OK(WriteBytesLocked(off, frame.data(), frame.size()));
+  file_size_ = off + frame.size();
+  PRIX_RETURN_NOT_OK(SyncLocked());
+  Slot slot;
+  slot.offset = off;
+  slot.body_len = static_cast<uint32_t>(kRecordFixedBytes + payload.size());
+  slot.manifest = manifest;
+  slot.kind = kind;
+  slots_.push_back(slot);
+  return Status::OK();
+}
+
+Status OpLog::TruncateTo(uint64_t gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("oplog is not open");
+  if (gen < base_gen_) {
+    return Status::InvalidArgument("cannot truncate the oplog below its base");
+  }
+  while (!slots_.empty() && base_gen_ + slots_.size() > gen) {
+    slots_.pop_back();
+  }
+  uint64_t keep_end = slots_.empty()
+                          ? kOpLogHeaderBytes
+                          : slots_.back().offset + 8 + slots_.back().body_len;
+  if (keep_end < file_size_) {
+    if (::ftruncate(fd_, static_cast<off_t>(keep_end)) != 0) {
+      return ErrnoStatus("oplog truncate");
+    }
+    file_size_ = keep_end;
+  }
+  return SyncLocked();
+}
+
+uint64_t OpLog::base_gen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_gen_;
+}
+
+uint32_t OpLog::base_manifest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_manifest_;
+}
+
+uint64_t OpLog::last_gen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_gen_ + slots_.size();
+}
+
+uint32_t OpLog::last_manifest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.empty() ? base_manifest_ : slots_.back().manifest;
+}
+
+size_t OpLog::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+Result<uint32_t> OpLog::ManifestAt(uint64_t gen) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gen < base_gen_ || gen > base_gen_ + slots_.size()) {
+    return Status::OutOfRange(
+        "generation " + std::to_string(gen) + " outside the oplog's [" +
+        std::to_string(base_gen_) + ", " +
+        std::to_string(base_gen_ + slots_.size()) + "] range");
+  }
+  if (gen == base_gen_) return base_manifest_;
+  return slots_[gen - base_gen_ - 1].manifest;
+}
+
+Result<OpRecord> OpLog::ReadRecordLocked(size_t idx) const {
+  const Slot& slot = slots_[idx];
+  std::vector<char> body(slot.body_len);
+  char prefix[8];
+  ssize_t n =
+      ::pread(fd_, prefix, sizeof(prefix), static_cast<off_t>(slot.offset));
+  if (n != static_cast<ssize_t>(sizeof(prefix))) {
+    return ErrnoStatus("oplog record prefix read");
+  }
+  n = ::pread(fd_, body.data(), body.size(),
+              static_cast<off_t>(slot.offset + 8));
+  if (n != static_cast<ssize_t>(body.size())) {
+    return ErrnoStatus("oplog record read");
+  }
+  if (Crc32c(body.data(), body.size()) != GetU32(prefix + 4)) {
+    return Status::Corruption("oplog record for generation " +
+                              std::to_string(base_gen_ + idx + 1) +
+                              " fails its checksum");
+  }
+  OpRecord rec;
+  rec.gen = GetU64(body.data());
+  rec.kind = static_cast<OpKind>(body[8]);
+  rec.manifest = GetU32(body.data() + 9);
+  rec.payload.assign(body.begin() + kRecordFixedBytes, body.end());
+  return rec;
+}
+
+Result<OpRecord> OpLog::RecordAt(uint64_t gen) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("oplog is not open");
+  if (gen <= base_gen_ || gen > base_gen_ + slots_.size()) {
+    return Status::OutOfRange(
+        "generation " + std::to_string(gen) + " outside the oplog's (" +
+        std::to_string(base_gen_) + ", " +
+        std::to_string(base_gen_ + slots_.size()) + "] range");
+  }
+  return ReadRecordLocked(gen - base_gen_ - 1);
+}
+
+}  // namespace prix

@@ -1,0 +1,169 @@
+#ifndef PRIX_STORAGE_OPLOG_H_
+#define PRIX_STORAGE_OPLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/fault_injector.h"
+
+namespace prix {
+
+/// What one committed catalog generation did to the database, as far as a
+/// replica needs to know (DESIGN.md §5l). The payload encoding depends on
+/// the kind and is owned by db/op_codec.h; the oplog treats it as opaque
+/// bytes.
+enum class OpKind : uint8_t {
+  /// A commit that changed no replayable state (Close(), Create(), a
+  /// free-list-only commit). Replayed as an empty commit so the follower's
+  /// cursor stays aligned with the manifest chain.
+  kNoop = 0,
+  kInsert = 1,  ///< InsertDocument: index name + assigned DocId + document
+  kUpdate = 2,  ///< UpdateDocument: index name + old id + new id + document
+  kDelete = 3,  ///< DeleteDocument: index name + DocId
+  /// PutIndex of a kBlob entry (e.g. the CLI's tag dictionary): entry name
+  /// + blob bytes. Replayable — the follower writes its own blob chain.
+  kPutBlob = 4,
+  /// PutIndex of an engine index (a build/rebuild publishing page roots the
+  /// record cannot carry). NOT replayable: a follower hitting a barrier
+  /// must resync from a full snapshot.
+  kBarrier = 5,
+  kDrop = 6,  ///< DropIndex: entry name
+};
+
+const char* OpKindName(OpKind kind);
+
+/// One oplog record: exactly one per committed generation.
+struct OpRecord {
+  uint64_t gen = 0;
+  OpKind kind = OpKind::kNoop;
+  /// Chained CRC32C through this record: manifest(g) =
+  /// ChainManifest(manifest(g-1), gen, kind, payload). Two nodes that hold
+  /// the same manifest at the same generation hold byte-identical op
+  /// histories, which is the replication divergence check.
+  uint32_t manifest = 0;
+  std::vector<char> payload;
+};
+
+/// Append-only, checksummed log of committed operations, one sidecar file
+/// per database (`<db>.oplog`). Database::CommitLocked appends the record
+/// for generation g and fsyncs it BEFORE the catalog header flips to g, so
+/// after any crash the log covers every committed generation (a record for
+/// an uncommitted generation may survive; Open trims it). Replication reads
+/// records back by generation to stream them to followers.
+///
+/// On-disk layout:
+///   header  .=. u32 magic "PLOG" | u32 version | u64 base_gen |
+///               u32 base_manifest | u32 crc32c(first 20 bytes)
+///   record  .=. u32 body_len | u32 crc32c(body) | body
+///   body    .=. u64 gen | u8 kind | u32 manifest | payload
+///
+/// `base_gen` is the generation the chain starts after: record generations
+/// are contiguous from base_gen+1. A log created for a database that
+/// already has committed generations (a pre-oplog file, or a follower that
+/// just installed a snapshot) starts with base_gen = that generation and an
+/// empty chain — history before the base is only reachable by snapshot.
+///
+/// Open() is the recovery path: it validates the header, walks the records
+/// verifying length, CRC, generation contiguity, and manifest chaining, and
+/// truncates at the first invalid byte (a torn tail from a crash mid-append
+/// is expected, not an error). If the surviving chain does not reach the
+/// database's committed generation (a gap: the file vanished or was
+/// foreign), the log is rebased — truncated to empty at the committed
+/// generation — which a follower detects as a manifest mismatch and repairs
+/// by snapshot resync.
+///
+/// Thread safety: all methods serialize on an internal mutex. Append is
+/// called under the Database catalog lock; readers (the replication sender)
+/// pread concurrently-appended regions safely because records are never
+/// modified in place.
+class OpLog {
+ public:
+  /// Payload cap per record. A kReplRecord frame carries the payload plus
+  /// ~30 bytes of framing and must fit the wire's 1 MiB frame-body cap.
+  static constexpr size_t kMaxPayload = 768u << 10;
+
+  OpLog() = default;
+  ~OpLog();
+  OpLog(const OpLog&) = delete;
+  OpLog& operator=(const OpLog&) = delete;
+
+  static std::string PathFor(const std::string& db_path) {
+    return db_path + ".oplog";
+  }
+
+  /// Manifest chaining rule (shared with the replication client, which
+  /// recomputes it per applied record).
+  static uint32_t ChainManifest(uint32_t prev, uint64_t gen, OpKind kind,
+                                const char* payload, size_t len);
+
+  /// Opens (creating if absent) the log at `path` and recovers it against
+  /// the database's recovered `committed_gen` as described above. With
+  /// `truncate` (Database::Create) any existing file is discarded first.
+  Status Open(const std::string& path, uint64_t committed_gen, bool truncate);
+
+  /// Fsyncs and closes; idempotent.
+  Status Close();
+
+  /// Drops the fd without syncing (the crash-simulation teardown).
+  void Abandon();
+
+  /// Appends and fsyncs the record for generation `gen` (must be
+  /// last_gen()+1). The record is durable when this returns OK.
+  Status Append(uint64_t gen, OpKind kind, const std::vector<char>& payload);
+
+  /// Drops records with generation > `gen` (the commit-failure rollback:
+  /// the header never flipped, so the appended record must not survive a
+  /// reopen as committed history).
+  Status TruncateTo(uint64_t gen);
+
+  /// Test-only: installed before Open so fault schedules and crash points
+  /// cover every oplog write and sync. Must be a DIFFERENT injector from
+  /// the database file's (each instance tracks one fd). Must outlive the
+  /// OpLog.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  uint64_t base_gen() const;
+  uint32_t base_manifest() const;
+  uint64_t last_gen() const;       ///< == base_gen() when the chain is empty
+  uint32_t last_manifest() const;  ///< == base_manifest() when empty
+  size_t record_count() const;
+
+  /// Manifest at `gen`, which must lie in [base_gen, last_gen]. This is how
+  /// the leader validates a follower's hello cursor: OutOfRange means the
+  /// follower predates the chain (or leads it) and needs a snapshot.
+  Result<uint32_t> ManifestAt(uint64_t gen) const;
+
+  /// Full record for `gen` in (base_gen, last_gen] — payload read back from
+  /// disk and CRC-verified.
+  Result<OpRecord> RecordAt(uint64_t gen) const;
+
+ private:
+  struct Slot {
+    uint64_t offset = 0;    ///< of the record's length prefix
+    uint32_t body_len = 0;  ///< bytes after the crc field
+    uint32_t manifest = 0;
+    OpKind kind = OpKind::kNoop;
+  };
+
+  Status WriteBytesLocked(uint64_t offset, const char* data, size_t len);
+  Status SyncLocked();
+  Status RebaseLocked(uint64_t committed_gen);
+  Status ScanLocked(uint64_t file_size);
+  Result<OpRecord> ReadRecordLocked(size_t idx) const;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  uint64_t base_gen_ = 0;
+  uint32_t base_manifest_ = 0;
+  std::vector<Slot> slots_;  ///< slots_[i] holds generation base_gen_+1+i
+  uint64_t file_size_ = 0;
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace prix
+
+#endif  // PRIX_STORAGE_OPLOG_H_

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/queryfile.h"
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
@@ -300,6 +301,49 @@ TEST_F(ServeTest, SlowlorisConnectionDroppedWithTypedError) {
             static_cast<uint32_t>(StatusCode::kDeadlineExceeded))
       << err->message;
   ::close(fd);
+}
+
+TEST_F(ServeTest, IdleConnectionReapedAndCounted) {
+  Seed({"(a (b))"});
+  ServerOptions options;
+  options.idle_conn_timeout_ms = 150;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.set_enabled(true);
+  reg.Reset();
+
+  // A client that keeps talking inside the window stays connected across
+  // many windows' worth of wall clock.
+  int busy = Connect(server->port());
+  FrameDecoder busy_dec;
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    std::vector<char> ping;
+    AppendFrame(&ping, FrameType::kPing, {'u', 'p'});
+    auto pong = Exchange(busy, &busy_dec, ping);
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_EQ(pong->type, FrameType::kPong);
+  }
+
+  // A connected-but-silent client (no bytes at all, so the slowloris
+  // clock never starts) is reaped with a typed DeadlineExceeded and
+  // counted in prix.serve.conns_reaped.
+  int idle = Connect(server->port());
+  FrameDecoder dec;
+  auto got = ReadFrame(idle, &dec, /*idle_timeout_ms=*/10'000);
+  ASSERT_TRUE(got.ok() && got->has_value())
+      << "reaper should answer before hanging up: " << got.status().ToString();
+  EXPECT_EQ((*got)->type, FrameType::kError);
+  auto err = DecodeError(**got);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->status_code,
+            static_cast<uint32_t>(StatusCode::kDeadlineExceeded))
+      << err->message;
+  EXPECT_GE(reg.counter("prix.serve.conns_reaped").value(), 1u);
+  ::close(idle);
+  ::close(busy);
+  reg.set_enabled(false);
 }
 
 TEST_F(ServeTest, OversizedResultIsTypedErrorNotACrash) {

@@ -1,0 +1,198 @@
+#!/usr/bin/env bash
+# End-to-end gate for the replication layer (DESIGN.md §5l), through the
+# real CLI binaries the way an operator would deploy a leader/follower
+# pair:
+#
+#   1. `ctest -L repl` — the oplog recovery contract, repl wire frames
+#      against hostile bytes, record replay, the crash matrices, and the
+#      in-process convergence suite (snapshot bootstrap, divergence
+#      resync, seeded link faults)
+#   2. a leader `prix serve --replicate-port` ingesting live, a fresh
+#      follower `prix serve --follow` that bootstraps via snapshot and
+#      streams; both must answer a replayed query mix
+#   3. SIGKILL the leader mid-stream: the follower keeps serving reads
+#   4. restart the leader on the same port: the follower reconnects and
+#      catches up; offline `prix query` answers on the two database files
+#      must be identical
+#   5. a second fresh follower joining the restarted leader resyncs from
+#      scratch (snapshot path again, now on a leader with history)
+#
+# Usage: tools/check_replication.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+PRIX="$BUILD_DIR/tools/prix"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target prix_cli repl_test \
+  repl_crash_test
+
+echo "---- repl: ctest label ----"
+ctest --test-dir "$BUILD_DIR" -L repl --output-on-failure
+
+WORK="$(mktemp -d /tmp/prix_repl_ci.XXXXXX)"
+LEADER_PID=""
+FOLLOWER_PID=""
+FOLLOWER2_PID=""
+cleanup() {
+  for pid in "$LEADER_PID" "$FOLLOWER_PID" "$FOLLOWER2_PID"; do
+    [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/seed.xml" <<'EOF'
+<dblp>
+  <article><author>smith</author><title>prufer sequences</title></article>
+  <article><author>jones</author><title>xml twigs</title></article>
+  <inproceedings><author>smith</author><booktitle>icde</booktitle></inproceedings>
+</dblp>
+EOF
+# A stream of extra records the leader ingests while replication runs.
+{
+  echo '<dblp>'
+  for i in $(seq 1 40); do
+    echo "<article><author>new$i</author><title>ingested $i</title></article>"
+  done
+  echo '</dblp>'
+} > "$WORK/extra.xml"
+
+"$PRIX" index "$WORK/lead.prix" "$WORK/seed.xml" >/dev/null
+
+{
+  echo 2
+  i=1
+  for q in '//article/author' '//article/title'; do
+    printf '%d %d %s\n' "$i" "${#q}" "$q"
+    i=$((i + 1))
+  done
+} > "$WORK/queries.txt"
+
+scrape_port() {  # scrape_port <logfile> <pattern> <pid>
+  local port=""
+  for _ in $(seq 1 150); do
+    port="$(sed -n "s/.*$2 \([0-9]*\).*/\1/p" "$1" | head -n1)"
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    kill -0 "$3" 2>/dev/null || {
+      echo "process died during startup:" >&2; cat "$1" >&2; return 1; }
+    sleep 0.1
+  done
+  echo "never reported '$2':" >&2; cat "$1" >&2; return 1
+}
+
+start_leader() {
+  "$PRIX" serve "$WORK/lead.prix" --port 0 --replicate-port "${1:-0}" \
+    --ingest "$WORK/extra.xml" --ingest-interval-ms 50 \
+    > "$WORK/leader.log" 2>&1 &
+  LEADER_PID=$!
+}
+
+echo "---- repl: leader up, fresh follower bootstraps and serves ----"
+start_leader 0
+REPL_PORT="$(scrape_port "$WORK/leader.log" 'replicating on port' \
+  "$LEADER_PID")"
+LEAD_PORT="$(scrape_port "$WORK/leader.log" 'listening on port' \
+  "$LEADER_PID")"
+
+"$PRIX" serve "$WORK/fol.prix" --port 0 --follow "127.0.0.1:$REPL_PORT" \
+  > "$WORK/follower.log" 2>&1 &
+FOLLOWER_PID=$!
+FOL_PORT="$(scrape_port "$WORK/follower.log" 'listening on port' \
+  "$FOLLOWER_PID")"
+
+# The fresh follower must have resynced via a full snapshot (the seed
+# build's index publish is a barrier record, not replayable).
+for _ in $(seq 1 150); do
+  grep -q 'installed leader snapshot' "$WORK/follower.log" && break
+  sleep 0.1
+done
+grep -q 'installed leader snapshot' "$WORK/follower.log" || {
+  echo "follower never installed the bootstrap snapshot:"
+  cat "$WORK/follower.log"; exit 1
+}
+
+# Both sides answer a replayed mix while the leader keeps committing.
+"$PRIX" bench-serve --port "$LEAD_PORT" --queries "$WORK/queries.txt" \
+  --connections 1 --passes 5 --timeout-ms 2000 \
+  --out "$WORK/BENCH_lead.json" >/dev/null
+grep -q '"errors":0' "$WORK/BENCH_lead.json"
+"$PRIX" bench-serve --port "$FOL_PORT" --queries "$WORK/queries.txt" \
+  --connections 1 --passes 5 --timeout-ms 2000 \
+  --out "$WORK/BENCH_fol.json" >/dev/null
+grep -q '"errors":0' "$WORK/BENCH_fol.json"
+
+echo "---- repl: SIGKILL the leader; follower keeps serving reads ----"
+kill -9 "$LEADER_PID"
+wait "$LEADER_PID" 2>/dev/null || true
+LEADER_PID=""
+"$PRIX" bench-serve --port "$FOL_PORT" --queries "$WORK/queries.txt" \
+  --connections 1 --passes 5 --timeout-ms 2000 \
+  --out "$WORK/BENCH_fol_orphan.json" >/dev/null
+grep -q '"errors":0' "$WORK/BENCH_fol_orphan.json"
+
+echo "---- repl: leader restarts on the same port; follower catches up ----"
+start_leader "$REPL_PORT"
+scrape_port "$WORK/leader.log" 'replicating on port' "$LEADER_PID" \
+  >/dev/null
+# Wait for the ingest driver to finish, then for the follower to report
+# having applied the leader's tip.
+for _ in $(seq 1 300); do
+  grep -q 'ingest finished' "$WORK/leader.log" && break
+  sleep 0.1
+done
+CAUGHT=""
+for _ in $(seq 1 300); do
+  APPLIED="$(grep -o 'applied gen [0-9]*' "$WORK/follower.log" \
+    | tail -n1 | grep -o '[0-9]*' || true)"
+  TIP="$(grep -o 'of leader gen [0-9]*' "$WORK/follower.log" \
+    | tail -n1 | grep -o '[0-9]*' || true)"
+  if [[ -n "$APPLIED" && -n "$TIP" && "$APPLIED" -eq "$TIP" ]]; then
+    CAUGHT=1; break
+  fi
+  sleep 0.1
+done
+[[ -n "$CAUGHT" ]] || {
+  echo "follower never caught up after leader restart:"
+  tail -20 "$WORK/follower.log"; exit 1
+}
+
+echo "---- repl: second fresh follower resyncs from the live leader ----"
+"$PRIX" serve "$WORK/fol2.prix" --port 0 --follow "127.0.0.1:$REPL_PORT" \
+  > "$WORK/follower2.log" 2>&1 &
+FOLLOWER2_PID=$!
+for _ in $(seq 1 150); do
+  grep -q 'installed leader snapshot' "$WORK/follower2.log" && break
+  sleep 0.1
+done
+grep -q 'installed leader snapshot' "$WORK/follower2.log" || {
+  echo "second follower never installed a snapshot:"
+  cat "$WORK/follower2.log"; exit 1
+}
+
+echo "---- repl: drain both, offline answers must be identical ----"
+kill -TERM "$FOLLOWER_PID" "$FOLLOWER2_PID" "$LEADER_PID"
+for pid in "$FOLLOWER_PID" "$FOLLOWER2_PID" "$LEADER_PID"; do
+  RC=0; wait "$pid" || RC=$?
+  [[ "$RC" -eq 0 ]] || { echo "pid $pid exited $RC on SIGTERM"; exit 1; }
+done
+LEADER_PID=""; FOLLOWER_PID=""; FOLLOWER2_PID=""
+grep -q 'exited cleanly' "$WORK/leader.log"
+grep -q 'exited cleanly' "$WORK/follower.log"
+
+"$PRIX" repl-status "$WORK/lead.prix" > "$WORK/status_lead.txt"
+"$PRIX" repl-status "$WORK/fol.prix" > "$WORK/status_fol.txt"
+cat "$WORK/status_lead.txt" "$WORK/status_fol.txt"
+
+for db in lead fol; do
+  "$PRIX" query "$WORK/$db.prix" '//article/author' '//article/title' \
+    '//inproceedings/author' > "$WORK/answers_$db.txt"
+done
+diff "$WORK/answers_lead.txt" "$WORK/answers_fol.txt" || {
+  echo "leader and follower answers diverged"; exit 1
+}
+"$PRIX" verify "$WORK/lead.prix" >/dev/null
+"$PRIX" verify "$WORK/fol.prix" >/dev/null
+
+echo "replication gate: all checks passed."

@@ -13,16 +13,20 @@
 #      `prix serve` process replayed against (concurrently with ingest
 #      commits), a client SIGKILLed mid-run, and a SIGTERM drain that must
 #      exit 0 (DESIGN.md §5j)
-#   7. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
-#   8. ASan/UBSan suite (includes the serve tests: the frame-decoder
+#   7. replication: `ctest -L repl` (oplog recovery, wire frames, crash
+#      matrices, link-fault convergence) plus the CLI leader/follower pair
+#      — snapshot bootstrap, leader SIGKILL the follower survives, restart
+#      catch-up, byte-identical offline answers (DESIGN.md §5l)
+#   8. metrics overhead guard (disabled-metrics hot path vs PRIX_NO_METRICS)
+#   9. ASan/UBSan suite (includes the serve tests: the frame-decoder
 #      adversarial sweep and the socket servers run sanitized here)
-#   9. fault suite again under ASan (error paths are where pins leak)
-#  10. corruption fuzz under ASan/UBSan, swept over fixed seeds and both
+#  10. fault suite again under ASan (error paths are where pins leak)
+#  11. corruption fuzz under ASan/UBSan, swept over fixed seeds and both
 #      formats — garbled pages must produce clean Status errors, never UB
-#  11. TSan concurrency suite (includes the ingest stress oracle, so the
+#  12. TSan concurrency suite (includes the ingest stress oracle, so the
 #      reader/writer snapshot handoff is race-checked, not just correct)
 # Each stage uses its own build tree, so rerunning after a fix is
-# incremental; stage 9 reuses stage 8's tree. Fast feedback first: a tier1
+# incremental; stage 10 reuses stage 9's tree. Fast feedback first: a tier1
 # regression fails the gate before any slow matrix or sanitizer build runs.
 #
 # Usage: tools/ci.sh
@@ -30,22 +34,22 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==== 1/11 build + tier1 tests ===="
+echo "==== 1/12 build + tier1 tests ===="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 
-echo "==== 2/11 tier1 with compressed (v3) index formats ===="
+echo "==== 2/12 tier1 with compressed (v3) index formats ===="
 PRIX_COMPRESS=1 ctest --test-dir build -L tier1 --output-on-failure \
   -j "$(nproc)"
 
-echo "==== 3/11 fault-injection tier ===="
+echo "==== 3/12 fault-injection tier ===="
 ctest --test-dir build -L faults --output-on-failure -j "$(nproc)"
 
-echo "==== 4/11 corruption tier ===="
+echo "==== 4/12 corruption tier ===="
 ctest --test-dir build -L corruption --output-on-failure -j "$(nproc)"
 
-echo "==== 5/11 tri-engine online-ingest tier, both index formats ===="
+echo "==== 5/12 tri-engine online-ingest tier, both index formats ===="
 # Ingest commits carry every co-resident engine: the tri-engine test holds
 # grown ViST/TwigStack/XB indexes to from-scratch rebuilds and to PRIX, and
 # the stress test checks every concurrent query batch — PRIX and derived
@@ -58,7 +62,7 @@ for compress in 0 1; do
   ctest --test-dir build -L ingest --output-on-failure -j "$(nproc)"
 done
 
-echo "==== 6/11 serving layer (server + replay over loopback) ===="
+echo "==== 6/12 serving layer (server + replay over loopback) ===="
 # `ctest -L serve` plus the CLI end-to-end: start `prix serve`, replay a
 # query file against it (including one run concurrent with `prix insert`
 # commits, whose report must show only monotonic committed generations),
@@ -66,16 +70,23 @@ echo "==== 6/11 serving layer (server + replay over loopback) ===="
 # drain with exit 0.
 tools/check_serve.sh build
 
-echo "==== 7/11 metrics overhead guard ===="
+echo "==== 7/12 replication (leader/follower over loopback) ===="
+# `ctest -L repl` (oplog recovery, wire frames, crash matrices, link-fault
+# convergence) plus the CLI pair: a live leader under ingest, a follower
+# that bootstraps via snapshot, a SIGKILLed leader the follower survives,
+# a restart it catches up to, and byte-identical offline answers.
+tools/check_replication.sh build
+
+echo "==== 8/12 metrics overhead guard ===="
 tools/check_metrics_overhead.sh
 
-echo "==== 8/11 AddressSanitizer + UBSan ===="
+echo "==== 9/12 AddressSanitizer + UBSan ===="
 tools/check_asan.sh build-asan
 
-echo "==== 9/11 fault injection + crash simulation under ASan ===="
+echo "==== 10/12 fault injection + crash simulation under ASan ===="
 tools/check_faults.sh build-asan
 
-echo "==== 10/11 corruption fuzz under ASan, fixed seed sweep ===="
+echo "==== 11/12 corruption fuzz under ASan, fixed seed sweep ===="
 # Each seed garbles every page of a differently-shaped index file; the
 # sweep is deterministic so a failure reproduces with the printed seed.
 # PRIX_COMPRESS flips the default-format sweep to v3, so each seed covers
@@ -91,7 +102,7 @@ for seed in 1 42 20260806; do
   done
 done
 
-echo "==== 11/11 ThreadSanitizer ===="
+echo "==== 12/12 ThreadSanitizer ===="
 tools/check_tsan.sh build-tsan
 
 echo "==== CI: all stages green ===="

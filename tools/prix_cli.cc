@@ -38,12 +38,28 @@
 //   prix serve <db-file> [--port N] [--threads N] [--rp NAME] [--ep NAME]
 //              [--cache-mb N] [--max-queued N] [--per-client N]
 //              [--max-executing N] [--default-timeout-ms N]
-//              [--idle-timeout-ms N]
+//              [--idle-timeout-ms N] [--idle-conn-timeout-ms N]
+//              [--replicate-port N] [--follow HOST:PORT]
+//              [--ingest XML [--ingest-interval-ms N]]
 //                                         serve queries over TCP (loopback)
 //                                         with admission control, per-
 //                                         request deadlines, and a
 //                                         generation-keyed result cache;
-//                                         SIGTERM/SIGINT drain gracefully
+//                                         SIGTERM/SIGINT drain gracefully;
+//                                         --replicate-port additionally
+//                                         streams committed generations to
+//                                         followers (the leader role);
+//                                         --follow makes this node a read-
+//                                         only follower replaying from the
+//                                         given leader — it serves queries
+//                                         at its last committed generation,
+//                                         and a fresh/diverged follower
+//                                         resyncs from a full snapshot
+//                                         automatically
+//   prix repl-status <db-file>            print a node's replication cursor
+//                                         and oplog extent without touching
+//                                         the file (no commit, no
+//                                         generation bump)
 //   prix bench-serve --port N --queries FILE [--host H] [--connections N]
 //              [--passes N] [--batch N] [--timeout-ms N] [--qps X]
 //              [--retries N] [--seed N] [--out FILE]
@@ -65,9 +81,13 @@
 // entries named "rp" and "ep", and the tag dictionary (which must survive
 // restarts for queries to resolve tag names) is a blob entry named "tags".
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
+#include <mutex>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +98,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/deadline.h"
 #include "common/json.h"
 #include "common/metrics.h"
@@ -86,8 +107,11 @@
 #include "prix/prix_index.h"
 #include "prix/query_processor.h"
 #include "query/xpath_parser.h"
+#include "repl/client.h"
+#include "repl/sender.h"
 #include "serve/replay.h"
 #include "serve/server.h"
+#include "storage/oplog.h"
 #include "storage/record_store.h"
 #include "twigstack/position_stream.h"
 #include "twigstack/twig_stack.h"
@@ -488,6 +512,11 @@ int CmdServe(int argc, char** argv) {
   options.rp_name = "rp";
   uint64_t cache_mb = 16;
   bool ep_explicit = false;
+  bool replicate = false;
+  uint16_t replicate_port = 0;
+  std::string follow_addr;
+  std::string ingest_path;
+  uint64_t ingest_interval_ms = 100;
   for (int i = 0; i < argc; ++i) {
     std::string flag = argv[i];
     auto value = [&]() -> const char* {
@@ -551,45 +580,327 @@ int CmdServe(int argc, char** argv) {
         return 1;
       }
       options.max_connections = n;
+    } else if (flag == "--idle-conn-timeout-ms") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--idle-conn-timeout-ms", v, &n)) {
+        return 1;
+      }
+      options.idle_conn_timeout_ms = static_cast<uint32_t>(n);
+    } else if (flag == "--replicate-port") {
+      const char* v = value();
+      if (v == nullptr || !ParseUintValue("--replicate-port", v, &n)) {
+        return 1;
+      }
+      replicate = true;
+      replicate_port = static_cast<uint16_t>(n);
+    } else if (flag == "--follow") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--follow needs a leader host:port");
+      follow_addr = v;
+    } else if (flag == "--ingest") {
+      const char* v = value();
+      if (v == nullptr) return Fail("--ingest needs an XML file path");
+      ingest_path = v;
+    } else if (flag == "--ingest-interval-ms") {
+      const char* v = value();
+      if (v == nullptr ||
+          !ParseUintValue("--ingest-interval-ms", v, &n)) {
+        return 1;
+      }
+      ingest_interval_ms = n;
     } else {
       return Fail("unknown serve flag: " + flag);
     }
   }
   if (path.empty()) return Fail("serve needs a database path");
-  options.cache_bytes = cache_mb << 20;
-
-  auto db = Database::Open(path);
-  if (!db.ok()) return Fail(db.status().ToString());
-  TagDictionary dict;
-  if (auto s = LoadDictionary(db->get(), &dict); !s.ok()) {
-    return Fail(s.ToString());
+  if (replicate && !follow_addr.empty()) {
+    return Fail("--replicate-port and --follow are mutually exclusive "
+                "(a node is a leader or a follower, not both)");
   }
-  // Default the extended index to "ep" when the catalog has one; --ep
-  // overrides, and a database built without an EP index just serves RP.
-  if (!ep_explicit && (*db)->GetIndex("ep").ok()) options.ep_name = "ep";
+  options.cache_bytes = cache_mb << 20;
+  const bool follow = !follow_addr.empty();
+  std::string follow_host = "127.0.0.1";
+  uint16_t follow_port = 0;
+  if (follow) {
+    size_t colon = follow_addr.find_last_of(':');
+    std::string port_text =
+        colon == std::string::npos ? follow_addr
+                                   : follow_addr.substr(colon + 1);
+    if (colon != std::string::npos && colon > 0) {
+      follow_host = follow_addr.substr(0, colon);
+    }
+    uint64_t n = 0;
+    if (!ParseUintValue("--follow", port_text.c_str(), &n) || n == 0 ||
+        n > 65535) {
+      return Fail("--follow needs a leader host:port, got '" + follow_addr +
+                  "'");
+    }
+    follow_port = static_cast<uint16_t>(n);
+  }
 
-  auto server = Server::Start(db->get(), &dict, options);
-  if (!server.ok()) return Fail(server.status().ToString());
-  std::printf("prix serve: listening on port %u (db %s, rp '%s'%s%s)\n",
-              (*server)->port(), path.c_str(), options.rp_name.c_str(),
-              options.ep_name.empty() ? "" : ", ep '",
-              options.ep_name.empty() ? ""
-                                      : (options.ep_name + "'").c_str());
-  std::fflush(stdout);
+  // A fresh follower may start from nothing: create an empty database and
+  // let the first snapshot (or record stream) populate it. Leaders must
+  // already have one.
+  std::unique_ptr<Database> db;
+  if (follow && ::access(path.c_str(), F_OK) != 0) {
+    auto created = Database::Create(path);
+    if (!created.ok()) return Fail(created.status().ToString());
+    db = std::move(*created);
+    std::printf("prix serve: created empty follower database %s\n",
+                path.c_str());
+  } else {
+    auto opened = Database::Open(path);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    db = std::move(*opened);
+  }
+  TagDictionary dict;
+  if (auto s = LoadDictionary(db.get(), &dict); !s.ok()) {
+    // A follower that has not caught up yet has no dictionary; it arrives
+    // with the snapshot (or the replicated "tags" blob).
+    if (!follow) return Fail(s.ToString());
+  }
+
+  // --ingest: a driver thread inserting this file's records one commit at
+  // a time while serving — how the replication check exercises a live
+  // leader under concurrent inserts. Parse (and persist any new tags) up
+  // front: the dictionary is shared with query threads once the server
+  // starts, so it must stop changing now.
+  std::vector<Document> ingest_records;
+  if (!ingest_path.empty()) {
+    if (follow) return Fail("--ingest on a follower (it is read-only)");
+    auto text = ReadFile(ingest_path);
+    if (!text.ok()) return Fail(text.status().ToString());
+    auto doc = ParseXml(*text, &dict);
+    if (!doc.ok()) {
+      return Fail(ingest_path + ": " + doc.status().ToString());
+    }
+    ingest_records = SplitIntoRecords(*doc);
+    if (ingest_records.empty()) ingest_records.push_back(std::move(*doc));
+    if (auto s = SaveDictionary(db.get(), dict); !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
+
+  // `state_mu` guards db/dict/server against the replication thread's
+  // snapshot swap (which tears all three down and rebuilds them).
+  std::mutex state_mu;
+  std::unique_ptr<Server> server;
+  auto start_server_locked = [&]() -> Status {
+    // Default the extended index to "ep" when the catalog has one; --ep
+    // overrides, and a database built without an EP index just serves RP.
+    if (!ep_explicit) {
+      options.ep_name = db->GetIndex("ep").ok() ? "ep" : "";
+    }
+    PRIX_ASSIGN_OR_RETURN(server, Server::Start(db.get(), &dict, options));
+    // Pin the (possibly kernel-assigned) port so a snapshot swap restarts
+    // the server on the same one — clients reconnect, not rediscover.
+    options.port = server->port();
+    std::printf("prix serve: listening on port %u (db %s, rp '%s'%s%s)\n",
+                server->port(), path.c_str(), options.rp_name.c_str(),
+                options.ep_name.empty() ? "" : ", ep '",
+                options.ep_name.empty() ? ""
+                                        : (options.ep_name + "'").c_str());
+    std::fflush(stdout);
+    return Status::OK();
+  };
+  {
+    std::lock_guard<std::mutex> lock(state_mu);
+    if (auto s = start_server_locked(); !s.ok()) {
+      if (!follow) return Fail(s.ToString());
+      // No PRIX index yet (fresh follower): serve once the snapshot lands.
+      std::printf("prix serve: not serving yet (%s); waiting for catch-up\n",
+                  s.ToString().c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::unique_ptr<ReplSender> sender;
+  if (replicate) {
+    ReplSenderOptions sopt;
+    sopt.port = replicate_port;
+    auto started = ReplSender::Start(db.get(), sopt);
+    if (!started.ok()) return Fail(started.status().ToString());
+    sender = std::move(*started);
+    std::printf("prix serve: replicating on port %u\n", sender->port());
+    std::fflush(stdout);
+  }
+
+  std::unique_ptr<ReplClient> repl;
+  if (follow) {
+    ReplClientOptions copt;
+    copt.host = follow_host;
+    copt.port = follow_port;
+    copt.db_path = path;
+    SnapshotSwapFn swap = [&](const std::string& tmp, uint64_t gen,
+                              uint32_t manifest) -> Result<Database*> {
+      std::lock_guard<std::mutex> lock(state_mu);
+      if (server) {
+        server->Stop();
+        (void)server->Join();
+        server.reset();
+      }
+      db->Abandon();  // its file was just superseded; nothing to sync
+      db.reset();
+      PRIX_RETURN_NOT_OK(InstallSnapshotFile(tmp, path));
+      auto reopened = Database::Open(path);
+      if (!reopened.ok()) return reopened.status();
+      db = std::move(*reopened);
+      // Persist the cursor the snapshot corresponds to; until this commit
+      // lands a restart re-syncs from scratch, which is safe.
+      db->StageReplCursor(gen, manifest);
+      PRIX_RETURN_NOT_OK(db->CommitBatch({}, {}));
+      dict = TagDictionary();
+      if (auto s = LoadDictionary(db.get(), &dict); !s.ok()) {
+        std::printf("prix serve: snapshot carries no tag dictionary (%s)\n",
+                    s.ToString().c_str());
+      }
+      std::printf("prix serve: installed leader snapshot (leader gen %llu)\n",
+                  (unsigned long long)gen);
+      if (auto s = start_server_locked(); !s.ok()) {
+        std::printf("prix serve: still not serving (%s)\n",
+                    s.ToString().c_str());
+      }
+      std::fflush(stdout);
+      return db.get();
+    };
+    auto started = ReplClient::Start(db.get(), copt, std::move(swap));
+    if (!started.ok()) return Fail(started.status().ToString());
+    repl = std::move(*started);
+    std::printf("prix serve: following %s:%u\n", follow_host.c_str(),
+                follow_port);
+    std::fflush(stdout);
+  }
+
+  std::atomic<bool> ingest_stop{false};
+  std::thread ingest_thread;
+  if (!ingest_records.empty()) {
+    std::printf("prix serve: ingesting %zu record(s) from %s every %llu ms\n",
+                ingest_records.size(), ingest_path.c_str(),
+                (unsigned long long)ingest_interval_ms);
+    std::fflush(stdout);
+    ingest_thread = std::thread([&] {
+      size_t done = 0;
+      for (const Document& record : ingest_records) {
+        if (ingest_stop.load(std::memory_order_acquire)) break;
+        auto rp_id = db->InsertDocument("rp", record);
+        if (!rp_id.ok()) {
+          std::printf("prix serve: ingest stopped: %s\n",
+                      rp_id.status().ToString().c_str());
+          break;
+        }
+        auto ep_id = db->InsertDocument("ep", record);
+        if (!ep_id.ok()) {
+          std::printf("prix serve: ingest stopped: %s\n",
+                      ep_id.status().ToString().c_str());
+          break;
+        }
+        ++done;
+        uint64_t remaining = ingest_interval_ms;
+        while (remaining > 0 &&
+               !ingest_stop.load(std::memory_order_acquire)) {
+          uint64_t step = remaining < 20 ? remaining : 20;
+          std::this_thread::sleep_for(std::chrono::milliseconds(step));
+          remaining -= step;
+        }
+      }
+      std::printf("prix serve: ingest finished (%zu record(s))\n", done);
+      std::fflush(stdout);
+    });
+  }
 
   std::signal(SIGTERM, HandleShutdownSignal);
   std::signal(SIGINT, HandleShutdownSignal);
+  // Once a second, log replication progress — but only when it changed, so
+  // a caught-up pair is silent and a wedged one says why.
+  std::string last_note;
+  int ticks = 0;
   while (g_shutdown_requested == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (++ticks % 20 != 0) continue;
+    std::string note;
+    char buf[512];
+    if (repl) {
+      ReplClient::Stats rs = repl->stats();
+      Status err = repl->last_error();
+      std::snprintf(buf, sizeof(buf),
+                    "follow: applied gen %llu of leader gen %llu "
+                    "(%llu records, %llu snapshots, %llu reconnects)%s%s",
+                    (unsigned long long)rs.applied_gen,
+                    (unsigned long long)rs.leader_gen,
+                    (unsigned long long)rs.records_applied,
+                    (unsigned long long)rs.snapshots_installed,
+                    (unsigned long long)rs.reconnects,
+                    err.ok() ? "" : " last error: ",
+                    err.ok() ? "" : err.ToString().c_str());
+      note = buf;
+    } else if (sender) {
+      ReplSender::Stats ss = sender->stats();
+      std::snprintf(buf, sizeof(buf),
+                    "replicate: %llu follower(s), %llu records, "
+                    "%llu snapshots, %llu divergences%s%s",
+                    (unsigned long long)ss.followers,
+                    (unsigned long long)ss.records_sent,
+                    (unsigned long long)ss.snapshots_sent,
+                    (unsigned long long)ss.divergences,
+                    ss.last_conn_error.empty() ? "" : " last conn: ",
+                    ss.last_conn_error.c_str());
+      note = buf;
+    }
+    if (!note.empty() && note != last_note) {
+      std::printf("prix serve: %s\n", note.c_str());
+      std::fflush(stdout);
+      last_note = note;
+    }
   }
-  std::printf("prix serve: draining (%llu requests served)\n",
-              (unsigned long long)(*server)->requests_served());
-  std::fflush(stdout);
-  (*server)->BeginDrain();
-  if (auto s = (*server)->Join(); !s.ok()) return Fail(s.ToString());
-  server->reset();
-  if (auto s = (*db)->Close(); !s.ok()) return Fail(s.ToString());
+  ingest_stop.store(true, std::memory_order_release);
+  if (ingest_thread.joinable()) ingest_thread.join();
+  if (repl) {
+    ReplClient::Stats rs = repl->stats();
+    repl->Stop();
+    std::printf("prix serve: replication stopped at leader gen %llu "
+                "(%llu records, %llu snapshots, %llu reconnects)\n",
+                (unsigned long long)rs.applied_gen,
+                (unsigned long long)rs.records_applied,
+                (unsigned long long)rs.snapshots_installed,
+                (unsigned long long)rs.reconnects);
+  }
+  if (sender) sender->Stop();
+  std::lock_guard<std::mutex> lock(state_mu);
+  if (server) {
+    std::printf("prix serve: draining (%llu requests served)\n",
+                (unsigned long long)server->requests_served());
+    std::fflush(stdout);
+    server->BeginDrain();
+    if (auto s = server->Join(); !s.ok()) return Fail(s.ToString());
+    server.reset();
+  }
+  if (auto s = db->Close(); !s.ok()) return Fail(s.ToString());
   std::printf("prix serve: exited cleanly\n");
+  return 0;
+}
+
+int CmdReplStatus(const std::string& path) {
+  auto opened = Database::Open(path);
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  std::unique_ptr<Database> db = std::move(*opened);
+  std::pair<uint64_t, uint32_t> cursor = db->repl_cursor();
+  OpLog* log = db->oplog();
+  std::printf("database:     %s\n", path.c_str());
+  std::printf("generation:   %llu\n",
+              (unsigned long long)db->catalog_generation());
+  std::printf("repl cursor:  leader gen %llu, manifest %08x%s\n",
+              (unsigned long long)cursor.first, cursor.second,
+              cursor.first == 0 && cursor.second == 0
+                  ? " (never followed a leader)"
+                  : "");
+  std::printf("oplog:        gens (%llu, %llu], %zu record(s), "
+              "tail manifest %08x\n",
+              (unsigned long long)log->base_gen(),
+              (unsigned long long)log->last_gen(), log->record_count(),
+              log->last_manifest());
+  // Peek only: Close() would commit, bumping the generation of a node we
+  // are merely inspecting (and racing a serving process on the same file).
+  db->Abandon();
   return 0;
 }
 
@@ -675,6 +986,7 @@ int CmdBenchServe(int argc, char** argv) {
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String("serve");
+  AppendBuildInfoJson(&w);
   w.Key("host").String(options.host);
   w.Key("port").UInt(options.port);
   w.Key("queries").UInt(queries->size());
@@ -843,6 +1155,10 @@ int CmdVerify(const std::string& path, bool salvage,
 }
 
 int Main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", BuildInfoLine().c_str());
+    return 0;
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: prix index [--compress] <db> <xml>...\n"
@@ -851,10 +1167,13 @@ int Main(int argc, char** argv) {
                  "       prix query [--trace] [--metrics] [--timeout-ms N] "
                  "[--engine prix|vist|twigstack|twigstackxb|all] "
                  "<db> <xpath>...\n"
-                 "       prix serve <db> [--port N] [--threads N] ...\n"
+                 "       prix serve <db> [--port N] [--threads N] "
+                 "[--replicate-port N] [--follow HOST:PORT] ...\n"
+                 "       prix repl-status <db>\n"
                  "       prix bench-serve --port N --queries FILE ...\n"
                  "       prix stats <db>\n"
-                 "       prix verify [--salvage] <db> [<out>]\n");
+                 "       prix verify [--salvage] <db> [<out>]\n"
+                 "       prix --version\n");
     return 2;
   }
   std::string cmd = argv[1];
@@ -862,6 +1181,7 @@ int Main(int argc, char** argv) {
   // loop below cannot express; they parse their own argument lists.
   if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
   if (cmd == "bench-serve") return CmdBenchServe(argc - 2, argv + 2);
+  if (cmd == "repl-status") return CmdReplStatus(argv[2]);
   // Flags sit between the command and the database path.
   bool trace = false;
   bool metrics = false;
